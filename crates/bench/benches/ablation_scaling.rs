@@ -1,0 +1,51 @@
+//! **Ablation A2 — analysis cost vs program size and structure complexity**:
+//! synthetic workload sweeps. The fixed point abstracts loop trip counts, so
+//! cost scales with the *statement count and structural variety* of the
+//! program, not with data sizes — this bench demonstrates both axes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psa_codes::generators;
+use psa_core::api::{AnalysisOptions, Analyzer};
+
+fn scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scaling");
+    group.sample_size(10);
+
+    // Axis 1: number of traversal passes (statement count grows).
+    for passes in [1usize, 2, 4, 8] {
+        let src = generators::list_program(16, passes);
+        let analyzer = Analyzer::new(&src, AnalysisOptions::default()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("list_passes", passes),
+            &analyzer,
+            |b, a| b.iter(|| a.run().expect("converges")),
+        );
+    }
+
+    // Axis 2: loop trip count — cost must stay flat (fixed point).
+    for n in [4usize, 64, 1024] {
+        let src = generators::list_program(n, 1);
+        let analyzer = Analyzer::new(&src, AnalysisOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("list_len", n), &analyzer, |b, a| {
+            b.iter(|| a.run().expect("converges"))
+        });
+    }
+
+    // Axis 3: structural variety.
+    let programs = [
+        ("list", generators::list_program(12, 1)),
+        ("dll", generators::dll_program(12)),
+        ("tree", generators::tree_program(12)),
+        ("lol", generators::list_of_lists_program(6, 4)),
+    ];
+    for (name, src) in programs {
+        let analyzer = Analyzer::new(&src, AnalysisOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("structure", name), &analyzer, |b, a| {
+            b.iter(|| a.run().expect("converges"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

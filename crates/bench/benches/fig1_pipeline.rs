@@ -1,0 +1,54 @@
+//! **Figure 1 pipeline**: micro-benchmarks of the abstract-interpretation
+//! stages on the summarized doubly-linked list — DIVIDE, PRUNE,
+//! materialization, and the full `x->nxt = NULL` statement semantics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psa_core::semantics::{transfer_one, TransferCtx};
+use psa_core::stats::AnalysisStats;
+use psa_ir::{PtrStmt, PvarId};
+use psa_rsg::compress::compress;
+use psa_rsg::divide::divide;
+use psa_rsg::materialize::materialize;
+use psa_rsg::prune::prune;
+use psa_rsg::{builder, Level, ShapeCtx};
+use psa_cfront::types::SelectorId;
+
+fn fig1(c: &mut Criterion) {
+    let nxt = SelectorId(0);
+    let prv = SelectorId(1);
+    let x = PvarId(0);
+    let ctx = ShapeCtx::synthetic(1, 2);
+    let (g, _) = builder::fig1_dll(x, 1, nxt, prv);
+
+    let mut group = c.benchmark_group("fig1");
+    group.bench_function("divide", |b| b.iter(|| divide(&g, x, nxt)));
+    group.bench_function("prune", |b| b.iter(|| prune(&g).expect("consistent")));
+    group.bench_function("materialize+prune", |b| {
+        b.iter(|| {
+            let mut gm = g.clone();
+            let head = gm.pl(x).unwrap();
+            let mid = gm
+                .succs(head, nxt)
+                .into_iter()
+                .find(|&n| gm.node(n).summary)
+                .expect("summary");
+            let m = materialize(&mut gm, head, nxt, mid);
+            let _ = (m, prune(&gm));
+        })
+    });
+    group.bench_function("store_nil_full", |b| {
+        let tcx = TransferCtx::new(&ctx, Level::L1, &[]);
+        b.iter(|| {
+            let mut stats = AnalysisStats::default();
+            transfer_one(&g, &PtrStmt::StoreNil(x, nxt), &tcx, &mut stats)
+        })
+    });
+    group.bench_function("compress_long_list", |b| {
+        let long = builder::singly_linked_list(64, 1, x, nxt);
+        b.iter(|| compress(&long, &ctx, Level::L1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

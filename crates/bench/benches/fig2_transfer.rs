@@ -1,0 +1,64 @@
+//! **Figure 2 pipeline**: the symbolic execution of one statement over a
+//! multi-graph RSRSG — division/pruning, abstract interpretation,
+//! compression and union — measured end to end, plus the union (JOIN)
+//! step in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psa_core::rsrsg::Rsrsg;
+use psa_core::semantics::{transfer_rsrsg, TransferCtx};
+use psa_core::stats::AnalysisStats;
+use psa_ir::{PtrStmt, PvarId};
+use psa_rsg::join::{compatible, join};
+use psa_rsg::{builder, Level, ShapeCtx};
+use psa_cfront::types::SelectorId;
+
+fn fig2(c: &mut Criterion) {
+    let s0 = SelectorId(0);
+    let ctx = ShapeCtx::synthetic(2, 2);
+    let level = Level::L1;
+
+    // An RSRSG holding several list variants.
+    let mut set = Rsrsg::new();
+    for len in [2usize, 3, 5, 8] {
+        set.insert(
+            builder::singly_linked_list(len, 2, PvarId(0), s0),
+            &ctx,
+            level,
+        );
+    }
+
+    let mut group = c.benchmark_group("fig2");
+    group.bench_function("transfer_load_over_rsrsg", |b| {
+        let tcx = TransferCtx::new(&ctx, level, &[]);
+        b.iter(|| {
+            let mut stats = AnalysisStats::default();
+            transfer_rsrsg(&set, &PtrStmt::Load(PvarId(1), PvarId(0), s0), &tcx, &mut stats)
+        })
+    });
+    group.bench_function("join_compatible_lists", |b| {
+        let g4 = psa_rsg::compress::compress(
+            &builder::singly_linked_list(4, 2, PvarId(0), s0),
+            &ctx,
+            level,
+        );
+        let g6 = psa_rsg::compress::compress(
+            &builder::singly_linked_list(6, 2, PvarId(0), s0),
+            &ctx,
+            level,
+        );
+        assert!(compatible(&g4, &g6, level));
+        b.iter(|| join(&g4, &g6, level))
+    });
+    group.bench_function("rsrsg_insert_with_subsumption", |b| {
+        let candidate = builder::singly_linked_list(6, 2, PvarId(0), s0);
+        b.iter(|| {
+            let mut s = set.clone();
+            s.insert(candidate.clone(), &ctx, level);
+            s
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! **Figure 3 / §5.1**: Barnes-Hut across the progressive levels — analysis
+//! cost per level plus the qualitative property checks (SHSEL(body) on the
+//! Lbodies region; parallelizability of the force loop at L3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psa_codes::{barnes_hut, Sizes};
+use psa_core::api::{AnalysisOptions, Analyzer};
+use psa_core::{parallel, queries};
+use psa_ir::LoopId;
+use psa_rsg::Level;
+
+fn fig3(c: &mut Criterion) {
+    let src = barnes_hut(Sizes::default());
+    let analyzer = Analyzer::new(&src, AnalysisOptions::default()).expect("lowers");
+    let ir = analyzer.ir();
+    let lbodies = ir.pvar_id("Lbodies").unwrap();
+    let body = ir.types.selector_id("body").unwrap();
+    let b = ir.pvar_id("b").unwrap();
+    let force_loop = (0..ir.loops.len())
+        .rev()
+        .map(|i| LoopId(i as u32))
+        .find(|l| ir.loops[l.0 as usize].ipvars.contains(&b))
+        .expect("force loop");
+
+    let mut group = c.benchmark_group("fig3_barnes_hut");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for level in Level::ALL {
+        match analyzer.run_at(level) {
+            Ok(res) => {
+                let shsel = queries::shsel_in_region(&res.exit, lbodies, body);
+                let par = parallel::loop_report(ir, &res, force_loop).parallelizable;
+                println!(
+                    "fig3: {level}: SHSEL(body) in Lbodies region = {shsel}, \
+                     force loop parallelizable = {par}, peak {:.3} MiB, {} iterations",
+                    res.stats.peak_mib(),
+                    res.stats.iterations
+                );
+            }
+            Err(e) => {
+                println!("fig3: {level}: {e}");
+                continue;
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("analyze", level), &level, |bch, &level| {
+            bch.iter(|| analyzer.run_at(level).expect("converges"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! **Table 1 regeneration**: compiler time (Criterion) and space (printed
+//! alongside) for the four benchmark codes at the three progressive levels.
+//!
+//! The paper's absolute numbers (Pentium III 500 MHz, 128 MB) are not
+//! reproducible; the comparison targets are the *shape*: per-code cost
+//! ordering, growth across levels for the sparse codes, and the Barnes-Hut
+//! inversion discussed in §5.1. Measured values land in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psa_codes::{table1_codes, Sizes};
+use psa_core::api::{AnalysisOptions, Analyzer};
+use psa_rsg::Level;
+
+fn table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+
+    for (name, src) in table1_codes(Sizes::default()) {
+        let analyzer = Analyzer::new(&src, AnalysisOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        for level in Level::ALL {
+            // One shot for the Space column (printed once per target).
+            match analyzer.run_at(level) {
+                Ok(res) => {
+                    println!(
+                        "table1: {name} {level}: space {:.3} MiB (peak), {} iterations, \
+                         exit {} graphs",
+                        res.stats.peak_mib(),
+                        res.stats.iterations,
+                        res.exit.len()
+                    );
+                }
+                Err(e) => {
+                    println!("table1: {name} {level}: {e}");
+                    continue;
+                }
+            }
+            group.bench_with_input(BenchmarkId::new(name, level), &level, |b, &level| {
+                b.iter(|| analyzer.run_at(level).expect("analysis converges"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

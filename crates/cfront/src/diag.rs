@@ -1,0 +1,145 @@
+//! Source spans and diagnostics shared by the lexer, parser and type checker.
+
+use std::fmt;
+
+/// A half-open byte range into the original source text, with the 1-based
+/// line and column of its start for human-readable reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering nothing, used for synthesized constructs.
+    pub const SYNTH: Span = Span { start: 0, end: 0, line: 0, col: 0 };
+
+    /// Create a span from raw pieces.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        if self == Span::SYNTH {
+            return other;
+        }
+        if other == Span::SYNTH {
+            return self;
+        }
+        let (line, col) = if self.start <= other.start {
+            (self.line, self.col)
+        } else {
+            (other.line, other.col)
+        };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line,
+            col,
+        }
+    }
+
+    /// True for spans attached to compiler-synthesized constructs.
+    pub fn is_synth(&self) -> bool {
+        *self == Span::SYNTH
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synth() {
+            write!(f, "<synthesized>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+/// Severity of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// A hard error: the input cannot be processed further.
+    Error,
+    /// Something suspicious that does not stop processing.
+    Warning,
+}
+
+/// A diagnostic message tied to a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How serious the problem is.
+    pub severity: Severity,
+    /// Where in the source the problem was detected.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Construct an error diagnostic.
+    pub fn error(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Error, span, message: message.into() }
+    }
+
+    /// Construct a warning diagnostic.
+    pub fn warning(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Warning, span, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{}: {}: {}", self.span, sev, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_outer_extent() {
+        let a = Span::new(4, 9, 1, 5);
+        let b = Span::new(12, 20, 2, 3);
+        let m = a.merge(b);
+        assert_eq!(m.start, 4);
+        assert_eq!(m.end, 20);
+        assert_eq!(m.line, 1);
+        assert_eq!(m.col, 5);
+    }
+
+    #[test]
+    fn merge_with_synth_is_identity() {
+        let a = Span::new(4, 9, 1, 5);
+        assert_eq!(a.merge(Span::SYNTH), a);
+        assert_eq!(Span::SYNTH.merge(a), a);
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = Diagnostic::error(Span::new(0, 1, 3, 7), "unexpected token");
+        assert_eq!(d.to_string(), "3:7: error: unexpected token");
+        assert_eq!(Span::SYNTH.to_string(), "<synthesized>");
+    }
+
+    #[test]
+    fn merge_reversed_order_picks_earlier_line() {
+        let a = Span::new(12, 20, 2, 3);
+        let b = Span::new(4, 9, 1, 5);
+        let m = a.merge(b);
+        assert_eq!((m.line, m.col), (1, 5));
+    }
+}

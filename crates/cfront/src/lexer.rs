@@ -1,0 +1,491 @@
+//! Hand-written lexer for the C subset.
+//!
+//! Handles `//` and `/* */` comments, preprocessor lines (`#include`,
+//! `#define` of simple constants is *not* expanded — lines starting with `#`
+//! are skipped, which is enough for the benchmark codes), and the full token
+//! set in [`crate::token::TokenKind`].
+
+use crate::diag::{Diagnostic, Span};
+use crate::token::{Token, TokenKind};
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Lex `src` into a token vector terminated by [`TokenKind::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut out = Vec::new();
+    loop {
+        let tok = lx.next_token()?;
+        let done = tok.kind == TokenKind::Eof;
+        out.push(tok);
+        if done {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn here(&self) -> (usize, u32, u32) {
+        (self.pos, self.line, self.col)
+    }
+
+    fn span_from(&self, start: (usize, u32, u32)) -> Span {
+        Span::new(start.0, self.pos, start.1, start.2)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'#') if self.col == 1 || self.at_line_start() => {
+                    // Preprocessor directive: skip to end of (logical) line.
+                    while let Some(c) = self.peek() {
+                        if c == b'\\' && self.peek2() == Some(b'\n') {
+                            self.bump();
+                            self.bump();
+                            continue;
+                        }
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(Diagnostic::error(
+                                    self.span_from(start),
+                                    "unterminated block comment",
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn at_line_start(&self) -> bool {
+        // True if only whitespace precedes `pos` on this line.
+        let mut i = self.pos;
+        while i > 0 {
+            let c = self.src[i - 1];
+            if c == b'\n' {
+                return true;
+            }
+            if !c.is_ascii_whitespace() {
+                return false;
+            }
+            i -= 1;
+        }
+        true
+    }
+
+    fn next_token(&mut self) -> Result<Token, Diagnostic> {
+        self.skip_trivia()?;
+        let start = self.here();
+        let c = match self.peek() {
+            None => {
+                return Ok(Token { kind: TokenKind::Eof, span: self.span_from(start) });
+            }
+            Some(c) => c,
+        };
+
+        if c.is_ascii_alphabetic() || c == b'_' {
+            return Ok(self.ident_or_keyword(start));
+        }
+        if c.is_ascii_digit() {
+            return self.number(start);
+        }
+        if c == b'"' {
+            return self.string(start);
+        }
+        if c == b'\'' {
+            return self.char_lit(start);
+        }
+
+        self.bump();
+        let two = |lx: &mut Lexer<'a>, next: u8, yes: TokenKind, no: TokenKind| {
+            if lx.peek() == Some(next) {
+                lx.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let kind = match c {
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b';' => TokenKind::Semi,
+            b',' => TokenKind::Comma,
+            b'.' => TokenKind::Dot,
+            b'?' => TokenKind::Question,
+            b':' => TokenKind::Colon,
+            b'%' => TokenKind::Percent,
+            b'*' => two(self, b'=', TokenKind::StarAssign, TokenKind::Star),
+            b'/' => two(self, b'=', TokenKind::SlashAssign, TokenKind::Slash),
+            b'=' => two(self, b'=', TokenKind::Eq, TokenKind::Assign),
+            b'!' => two(self, b'=', TokenKind::Ne, TokenKind::Not),
+            b'<' => two(self, b'=', TokenKind::Le, TokenKind::Lt),
+            b'>' => two(self, b'=', TokenKind::Ge, TokenKind::Gt),
+            b'&' => two(self, b'&', TokenKind::AndAnd, TokenKind::Amp),
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(Diagnostic::error(
+                        self.span_from(start),
+                        "bitwise `|` is not supported in this C subset",
+                    ));
+                }
+            }
+            b'+' => {
+                if self.peek() == Some(b'+') {
+                    self.bump();
+                    TokenKind::PlusPlus
+                } else {
+                    two(self, b'=', TokenKind::PlusAssign, TokenKind::Plus)
+                }
+            }
+            b'-' => {
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    TokenKind::Arrow
+                } else if self.peek() == Some(b'-') {
+                    self.bump();
+                    TokenKind::MinusMinus
+                } else {
+                    two(self, b'=', TokenKind::MinusAssign, TokenKind::Minus)
+                }
+            }
+            other => {
+                return Err(Diagnostic::error(
+                    self.span_from(start),
+                    format!("unexpected character `{}`", other as char),
+                ));
+            }
+        };
+        Ok(Token { kind, span: self.span_from(start) })
+    }
+
+    fn ident_or_keyword(&mut self, start: (usize, u32, u32)) -> Token {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start.0..self.pos]).unwrap();
+        let kind =
+            TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+        Token { kind, span: self.span_from(start) }
+    }
+
+    fn number(&mut self, start: (usize, u32, u32)) -> Result<Token, Diagnostic> {
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.bump();
+            } else if c == b'.' && !is_float && self.peek2().is_some_and(|d| d.is_ascii_digit())
+            {
+                is_float = true;
+                self.bump();
+            } else if (c == b'e' || c == b'E')
+                && self
+                    .peek2()
+                    .is_some_and(|d| d.is_ascii_digit() || d == b'+' || d == b'-')
+            {
+                is_float = true;
+                self.bump(); // e
+                self.bump(); // sign or digit
+            } else {
+                break;
+            }
+        }
+        // Swallow C suffixes (L, U, f) without recording them.
+        while let Some(c) = self.peek() {
+            if matches!(c, b'l' | b'L' | b'u' | b'U' | b'f' | b'F') {
+                if matches!(c, b'f' | b'F') {
+                    is_float = true;
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let raw = std::str::from_utf8(&self.src[start.0..self.pos]).unwrap();
+        let clean: String =
+            raw.chars().filter(|c| !matches!(c, 'l' | 'L' | 'u' | 'U' | 'f' | 'F')).collect();
+        let span = self.span_from(start);
+        let kind = if is_float {
+            let v = clean
+                .parse::<f64>()
+                .map_err(|_| Diagnostic::error(span, format!("bad float literal `{raw}`")))?;
+            TokenKind::FloatLit(v)
+        } else {
+            let v = clean
+                .parse::<i64>()
+                .map_err(|_| Diagnostic::error(span, format!("bad integer literal `{raw}`")))?;
+            TokenKind::IntLit(v)
+        };
+        Ok(Token { kind, span })
+    }
+
+    fn string(&mut self, start: (usize, u32, u32)) -> Result<Token, Diagnostic> {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => {
+                    return Err(Diagnostic::error(
+                        self.span_from(start),
+                        "unterminated string literal",
+                    ));
+                }
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    let esc = self.bump().ok_or_else(|| {
+                        Diagnostic::error(self.span_from(start), "unterminated escape")
+                    })?;
+                    text.push(unescape(esc));
+                }
+                Some(c) => text.push(c as char),
+            }
+        }
+        Ok(Token { kind: TokenKind::StrLit(text), span: self.span_from(start) })
+    }
+
+    fn char_lit(&mut self, start: (usize, u32, u32)) -> Result<Token, Diagnostic> {
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            Some(b'\\') => {
+                let esc = self.bump().ok_or_else(|| {
+                    Diagnostic::error(self.span_from(start), "unterminated char literal")
+                })?;
+                unescape(esc) as i64
+            }
+            Some(c) => c as i64,
+            None => {
+                return Err(Diagnostic::error(
+                    self.span_from(start),
+                    "unterminated char literal",
+                ));
+            }
+        };
+        if self.bump() != Some(b'\'') {
+            return Err(Diagnostic::error(
+                self.span_from(start),
+                "char literal must contain exactly one character",
+            ));
+        }
+        Ok(Token { kind: TokenKind::CharLit(c), span: self.span_from(start) })
+    }
+}
+
+fn unescape(c: u8) -> char {
+    match c {
+        b'n' => '\n',
+        b't' => '\t',
+        b'r' => '\r',
+        b'0' => '\0',
+        b'\\' => '\\',
+        b'\'' => '\'',
+        b'"' => '"',
+        other => other as char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<T> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_pointer_statement() {
+        assert_eq!(
+            kinds("p->nxt = q;"),
+            vec![
+                T::Ident("p".into()),
+                T::Arrow,
+                T::Ident("nxt".into()),
+                T::Assign,
+                T::Ident("q".into()),
+                T::Semi,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_two_char_operators() {
+        assert_eq!(
+            kinds("a == b != c <= d >= e && f || !g"),
+            vec![
+                T::Ident("a".into()),
+                T::Eq,
+                T::Ident("b".into()),
+                T::Ne,
+                T::Ident("c".into()),
+                T::Le,
+                T::Ident("d".into()),
+                T::Ge,
+                T::Ident("e".into()),
+                T::AndAnd,
+                T::Ident("f".into()),
+                T::OrOr,
+                T::Not,
+                T::Ident("g".into()),
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_forms() {
+        assert_eq!(
+            kinds("a - b -= c-- ->"),
+            vec![
+                T::Ident("a".into()),
+                T::Minus,
+                T::Ident("b".into()),
+                T::MinusAssign,
+                T::Ident("c".into()),
+                T::MinusMinus,
+                T::Arrow,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        assert_eq!(
+            kinds("42 3.5 1e3 7L 2.0f"),
+            vec![
+                T::IntLit(42),
+                T::FloatLit(3.5),
+                T::FloatLit(1000.0),
+                T::IntLit(7),
+                T::FloatLit(2.0),
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_vs_member_access_on_float() {
+        // `x.f` is member access, `1.5` is a float: the dot rule requires a
+        // digit after the dot to start a float.
+        assert_eq!(
+            kinds("x.f"),
+            vec![T::Ident("x".into()), T::Dot, T::Ident("f".into()), T::Eof]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_preprocessor() {
+        let src = "#include <stdio.h>\n// line comment\nint /* block */ x;";
+        assert_eq!(kinds(src), vec![T::KwInt, T::Ident("x".into()), T::Semi, T::Eof]);
+    }
+
+    #[test]
+    fn multiline_define_is_skipped() {
+        let src = "#define FOO \\\n  bar\nint x;";
+        assert_eq!(kinds(src), vec![T::KwInt, T::Ident("x".into()), T::Semi, T::Eof]);
+    }
+
+    #[test]
+    fn string_and_char_literals() {
+        assert_eq!(
+            kinds(r#""he\nllo" 'a' '\n'"#),
+            vec![T::StrLit("he\nllo".into()), T::CharLit(97), T::CharLit(10), T::Eof]
+        );
+    }
+
+    #[test]
+    fn null_keyword() {
+        assert_eq!(kinds("NULL"), vec![T::KwNull, T::Eof]);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn bitwise_or_rejected() {
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = lex("int\n  x;").unwrap();
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+}

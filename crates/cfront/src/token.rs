@@ -1,0 +1,222 @@
+//! Token definitions for the C subset.
+
+use crate::diag::Span;
+use std::fmt;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and identifiers.
+    /// An identifier (or a name later resolved as a typedef).
+    Ident(String),
+    /// An integer literal.
+    IntLit(i64),
+    /// A floating-point literal.
+    FloatLit(f64),
+    /// A string literal (contents without quotes, escapes resolved).
+    StrLit(String),
+    /// A character literal, stored as its integer value.
+    CharLit(i64),
+
+    // Keywords.
+    KwStruct,
+    KwTypedef,
+    KwInt,
+    KwLong,
+    KwShort,
+    KwUnsigned,
+    KwSigned,
+    KwDouble,
+    KwFloat,
+    KwChar,
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwDo,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSizeof,
+    KwNull,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+
+    // Punctuation.
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Star,
+    Amp,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    PlusPlus,
+    MinusMinus,
+    Question,
+    Colon,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short printable name used in parser error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::IntLit(v) => format!("integer `{v}`"),
+            TokenKind::FloatLit(v) => format!("float `{v}`"),
+            TokenKind::StrLit(_) => "string literal".to_string(),
+            TokenKind::CharLit(_) => "char literal".to_string(),
+            TokenKind::KwStruct => "`struct`".to_string(),
+            TokenKind::KwTypedef => "`typedef`".to_string(),
+            TokenKind::KwInt => "`int`".to_string(),
+            TokenKind::KwLong => "`long`".to_string(),
+            TokenKind::KwShort => "`short`".to_string(),
+            TokenKind::KwUnsigned => "`unsigned`".to_string(),
+            TokenKind::KwSigned => "`signed`".to_string(),
+            TokenKind::KwDouble => "`double`".to_string(),
+            TokenKind::KwFloat => "`float`".to_string(),
+            TokenKind::KwChar => "`char`".to_string(),
+            TokenKind::KwVoid => "`void`".to_string(),
+            TokenKind::KwIf => "`if`".to_string(),
+            TokenKind::KwElse => "`else`".to_string(),
+            TokenKind::KwWhile => "`while`".to_string(),
+            TokenKind::KwDo => "`do`".to_string(),
+            TokenKind::KwFor => "`for`".to_string(),
+            TokenKind::KwReturn => "`return`".to_string(),
+            TokenKind::KwBreak => "`break`".to_string(),
+            TokenKind::KwContinue => "`continue`".to_string(),
+            TokenKind::KwSizeof => "`sizeof`".to_string(),
+            TokenKind::KwNull => "`NULL`".to_string(),
+            TokenKind::KwSwitch => "`switch`".to_string(),
+            TokenKind::KwCase => "`case`".to_string(),
+            TokenKind::KwDefault => "`default`".to_string(),
+            TokenKind::LBrace => "`{`".to_string(),
+            TokenKind::RBrace => "`}`".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::LBracket => "`[`".to_string(),
+            TokenKind::RBracket => "`]`".to_string(),
+            TokenKind::Semi => "`;`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Dot => "`.`".to_string(),
+            TokenKind::Arrow => "`->`".to_string(),
+            TokenKind::Star => "`*`".to_string(),
+            TokenKind::Amp => "`&`".to_string(),
+            TokenKind::Plus => "`+`".to_string(),
+            TokenKind::Minus => "`-`".to_string(),
+            TokenKind::Slash => "`/`".to_string(),
+            TokenKind::Percent => "`%`".to_string(),
+            TokenKind::Assign => "`=`".to_string(),
+            TokenKind::PlusAssign => "`+=`".to_string(),
+            TokenKind::MinusAssign => "`-=`".to_string(),
+            TokenKind::StarAssign => "`*=`".to_string(),
+            TokenKind::SlashAssign => "`/=`".to_string(),
+            TokenKind::Eq => "`==`".to_string(),
+            TokenKind::Ne => "`!=`".to_string(),
+            TokenKind::Lt => "`<`".to_string(),
+            TokenKind::Gt => "`>`".to_string(),
+            TokenKind::Le => "`<=`".to_string(),
+            TokenKind::Ge => "`>=`".to_string(),
+            TokenKind::AndAnd => "`&&`".to_string(),
+            TokenKind::OrOr => "`||`".to_string(),
+            TokenKind::Not => "`!`".to_string(),
+            TokenKind::PlusPlus => "`++`".to_string(),
+            TokenKind::MinusMinus => "`--`".to_string(),
+            TokenKind::Question => "`?`".to_string(),
+            TokenKind::Colon => "`:`".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+
+    /// Look up the keyword for an identifier spelling, if any.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "struct" => TokenKind::KwStruct,
+            "typedef" => TokenKind::KwTypedef,
+            "int" => TokenKind::KwInt,
+            "long" => TokenKind::KwLong,
+            "short" => TokenKind::KwShort,
+            "unsigned" => TokenKind::KwUnsigned,
+            "signed" => TokenKind::KwSigned,
+            "double" => TokenKind::KwDouble,
+            "float" => TokenKind::KwFloat,
+            "char" => TokenKind::KwChar,
+            "void" => TokenKind::KwVoid,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "do" => TokenKind::KwDo,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "sizeof" => TokenKind::KwSizeof,
+            "NULL" => TokenKind::KwNull,
+            "switch" => TokenKind::KwSwitch,
+            "case" => TokenKind::KwCase,
+            "default" => TokenKind::KwDefault,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token together with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it was found.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::KwWhile));
+        assert_eq!(TokenKind::keyword("NULL"), Some(TokenKind::KwNull));
+        assert_eq!(TokenKind::keyword("frobnicate"), None);
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        assert_eq!(TokenKind::Arrow.describe(), "`->`");
+        assert_eq!(TokenKind::Ident("p".into()).describe(), "identifier `p`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

@@ -1,0 +1,240 @@
+//! `psa` — command-line driver for the progressive shape analyzer.
+//!
+//! ```text
+//! psa analyze <file.c> [--level L1|L2|L3|auto] [--function main]
+//!             [--dot DIR] [--stmt-dump] [--parallel-report]
+//! psa ir <file.c> [--function main]
+//! psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d> [--level ...]
+//! ```
+
+use psa_core::api::{AnalysisOptions, Analyzer};
+use psa_core::engine::AnalysisResult;
+use psa_core::{parallel, queries};
+use psa_rsg::dot;
+use psa_rsg::Level;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("psa: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Flags {
+    level: Option<Level>,
+    progressive: bool,
+    function: String,
+    dot_dir: Option<String>,
+    stmt_dump: bool,
+    parallel_report: bool,
+    leak_report: bool,
+    annotate: bool,
+    json: bool,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        level: Some(Level::L1),
+        progressive: false,
+        function: "main".to_string(),
+        dot_dir: None,
+        stmt_dump: false,
+        parallel_report: false,
+        leak_report: false,
+        annotate: false,
+        json: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--level" => {
+                i += 1;
+                let v = args.get(i).ok_or("--level needs a value")?;
+                f.level = match v.as_str() {
+                    "L1" | "l1" => Some(Level::L1),
+                    "L2" | "l2" => Some(Level::L2),
+                    "L3" | "l3" => Some(Level::L3),
+                    "auto" => {
+                        f.progressive = true;
+                        None
+                    }
+                    other => return Err(format!("unknown level `{other}`")),
+                };
+            }
+            "--function" => {
+                i += 1;
+                f.function = args.get(i).ok_or("--function needs a value")?.clone();
+            }
+            "--dot" => {
+                i += 1;
+                f.dot_dir = Some(args.get(i).ok_or("--dot needs a directory")?.clone());
+            }
+            "--stmt-dump" => f.stmt_dump = true,
+            "--parallel-report" => f.parallel_report = true,
+            "--leak-report" => f.leak_report = true,
+            "--annotate" => f.annotate = true,
+            "--json" => f.json = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(f)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "analyze" => {
+            let file = args.get(1).ok_or("analyze needs a file")?;
+            let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let flags = parse_flags(&args[2..])?;
+            analyze(&src, file, flags)
+        }
+        "ir" => {
+            let file = args.get(1).ok_or("ir needs a file")?;
+            let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let flags = parse_flags(&args[2..])?;
+            let options =
+                AnalysisOptions { function: flags.function.clone(), ..Default::default() };
+            let analyzer = Analyzer::new(&src, options).map_err(|e| e.to_string())?;
+            print!("{}", psa_ir::pretty::func(analyzer.ir()));
+            Ok(())
+        }
+        "bench-code" => {
+            let which = args.get(1).ok_or("bench-code needs a name")?;
+            let sizes = psa_codes::Sizes::default();
+            let src = match which.as_str() {
+                "matvec" => psa_codes::sparse_matvec(sizes),
+                "matmat" => psa_codes::sparse_matmat(sizes),
+                "lu" => psa_codes::sparse_lu(sizes),
+                "barnes-hut" => psa_codes::barnes_hut(sizes),
+                "treeadd" => psa_codes::olden::treeadd(sizes),
+                "power" => psa_codes::olden::power(sizes),
+                "em3d" => psa_codes::olden::em3d(sizes),
+                other => return Err(format!("unknown benchmark code `{other}`")),
+            };
+            let flags = parse_flags(&args[2..])?;
+            analyze(&src, which, flags)
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  psa analyze <file.c> [--level L1|L2|L3|auto] [--function NAME] \
+     [--dot DIR] [--stmt-dump] [--parallel-report] [--leak-report] [--annotate] [--json]\n  psa ir <file.c> [--function NAME]\n  \
+     psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d> [flags]"
+        .to_string()
+}
+
+fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
+    let options = AnalysisOptions {
+        function: flags.function.clone(),
+        level: flags.level,
+        ..Default::default()
+    };
+    let analyzer = Analyzer::new(src, options).map_err(|e| e.to_string())?;
+
+    let result: AnalysisResult = if flags.progressive {
+        let outcome = analyzer.run_progressive(vec![]);
+        println!(
+            "progressive analysis satisfied at {}",
+            outcome
+                .satisfied_at
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "none (L3 reached)".to_string())
+        );
+        match outcome.best() {
+            Some(best) => best.clone(),
+            None => return Err("no level produced a result".into()),
+        }
+    } else {
+        analyzer.run().map_err(|e| e.to_string())?
+    };
+
+    if flags.json {
+        let report = psa_core::report::build_report(analyzer.ir(), &result);
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+        return Ok(());
+    }
+
+    println!(
+        "{name}: level {} — {} statements, {} iterations, {:.2?} wall, \
+         peak {:.2} MiB, exit RSRSG: {} graphs / {} nodes / {} links",
+        result.level,
+        result.stats.num_stmts,
+        result.stats.iterations,
+        result.stats.elapsed,
+        result.stats.peak_mib(),
+        result.exit.len(),
+        result.exit.total_nodes(),
+        result.exit.total_links(),
+    );
+    for w in &result.stats.warnings {
+        println!("warning: {w}");
+    }
+
+    // Per-pvar structure reports (program pvars only).
+    let ir = analyzer.ir();
+    for (i, pv) in ir.pvars.iter().enumerate() {
+        if pv.is_temp {
+            continue;
+        }
+        let p = psa_ir::PvarId(i as u32);
+        let rep = queries::structure_report(&result.exit, p);
+        if !rep.always_null {
+            println!("  {}: {}", pv.name, rep);
+        }
+    }
+
+    if flags.parallel_report {
+        println!("loop parallelism report:");
+        for rep in parallel::loop_reports(ir, &result) {
+            print!("  {rep}");
+        }
+    }
+
+    if flags.leak_report {
+        println!("leak / dead-code report:");
+        print!("{}", psa_core::leaks::leak_report(ir, &result));
+    }
+
+    if flags.annotate {
+        let anns = psa_core::annotate::loop_annotations(ir, &result);
+        print!("{}", psa_core::annotate::annotate_source(src, &anns));
+    }
+
+    if flags.stmt_dump {
+        for (i, rsrsg) in result.after_stmt.iter().enumerate() {
+            let sid = psa_ir::StmtId(i as u32);
+            println!(
+                "  {}: {} — {} graphs, {} nodes",
+                sid,
+                psa_ir::pretty::stmt(ir, &ir.stmt(sid).stmt),
+                rsrsg.len(),
+                rsrsg.total_nodes()
+            );
+        }
+    }
+
+    if let Some(dir) = flags.dot_dir {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("{dir}: {e}"))?;
+        let ctx = analyzer.shape_ctx();
+        let path = format!("{dir}/exit.dot");
+        let dot_text = dot::rsrsg_to_dot(result.exit.graphs(), &ctx, "exit");
+        std::fs::write(&path, dot_text).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! End-to-end tests of the `psa` binary.
+
+use std::process::Command;
+
+fn psa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_psa"))
+}
+
+fn write_tmp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("psa-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+const LIST: &str = r#"
+struct node { int v; struct node *nxt; };
+int main() {
+    struct node *list;
+    struct node *p;
+    int i;
+    list = NULL;
+    for (i = 0; i < 5; i++) {
+        p = (struct node *) malloc(sizeof(struct node));
+        p->nxt = list;
+        list = p;
+    }
+    return 0;
+}
+"#;
+
+#[test]
+fn analyze_prints_summary() {
+    let f = write_tmp("list.c", LIST);
+    let out = psa().args(["analyze", f.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("level L1"));
+    assert!(stdout.contains("list: List") || stdout.contains("list:"));
+}
+
+#[test]
+fn analyze_json_is_valid() {
+    let f = write_tmp("list_json.c", LIST);
+    let out = psa()
+        .args(["analyze", f.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(v["function"], "main");
+    assert!(v["loops"].as_array().unwrap().len() >= 1);
+}
+
+#[test]
+fn analyze_levels_and_auto() {
+    let f = write_tmp("list_lvl.c", LIST);
+    for lvl in ["L1", "L2", "L3", "auto"] {
+        let out = psa()
+            .args(["analyze", f.to_str().unwrap(), "--level", lvl])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "level {lvl}");
+    }
+}
+
+#[test]
+fn ir_dump_contains_statements() {
+    let f = write_tmp("list_ir.c", LIST);
+    let out = psa().args(["ir", f.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("p->nxt = list"));
+    assert!(stdout.contains("ipvars"));
+}
+
+#[test]
+fn dot_export_writes_file() {
+    let f = write_tmp("list_dot.c", LIST);
+    let dir = std::env::temp_dir().join("psa-cli-tests").join("dots");
+    let out = psa()
+        .args(["analyze", f.to_str().unwrap(), "--dot", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let dot = std::fs::read_to_string(dir.join("exit.dot")).unwrap();
+    assert!(dot.contains("digraph"));
+}
+
+#[test]
+fn bench_code_builtin_runs() {
+    let out = psa().args(["bench-code", "matvec"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("matvec"));
+}
+
+#[test]
+fn unknown_flag_fails_cleanly() {
+    let f = write_tmp("list_bad.c", LIST);
+    let out = psa()
+        .args(["analyze", f.to_str().unwrap(), "--frobnicate"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn parse_error_reports_location() {
+    let f = write_tmp("bad.c", "int main() { struct nope *p; }");
+    let out = psa().args(["analyze", f.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error"), "{err}");
+}
+
+#[test]
+fn annotate_emits_source_with_verdicts() {
+    let f = write_tmp("list_ann.c", LIST);
+    let out = psa()
+        .args(["analyze", f.to_str().unwrap(), "--annotate"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("/* psa: loop"));
+    assert!(stdout.contains("p->nxt = list;"), "original source preserved");
+}
+
+#[test]
+fn leak_report_flag_runs() {
+    let f = write_tmp("list_leak.c", LIST);
+    let out = psa()
+        .args(["analyze", f.to_str().unwrap(), "--leak-report"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("leak / dead-code report"));
+}

@@ -1,0 +1,184 @@
+//! α — the abstraction function from a concrete state to an exact RSG.
+//!
+//! Every reachable location becomes its own **singular** node with exact
+//! properties computed from the concrete heap (over the reachable sub-heap,
+//! matching the analysis' garbage-collected semantics):
+//!
+//! * `SELIN`/`SELOUT` are exact must-sets (a singular location's populated
+//!   fields), possible sets empty;
+//! * `SHARED` / `SHSEL` from reachable in-reference counts;
+//! * `CYCLELINKS(l) ∋ <s1,s2>` iff `l.s1 != NULL → l.s1.s2 == l` and
+//!   `l.s1 != NULL` (the pair is only recorded when witnessed — vacuous
+//!   pairs add nothing and the analysis never needs them to cover);
+//! * `TOUCH` from the interpreter's concrete visit marks (L3 validation).
+
+use crate::heap::{ConcreteState, Loc};
+use psa_rsg::{Node, NodeId, Rsg};
+use std::collections::BTreeMap;
+
+/// Abstract a concrete state into an exact RSG over `num_pvars` pvar slots.
+/// Returns the graph and the location → node mapping.
+pub fn alpha(state: &ConcreteState, num_pvars: usize) -> (Rsg, BTreeMap<Loc, NodeId>) {
+    let reachable = state.reachable();
+    let mut g = Rsg::empty(num_pvars);
+    let mut map: BTreeMap<Loc, NodeId> = BTreeMap::new();
+
+    for &l in &reachable {
+        let obj = state.object(l);
+        let mut node = Node::fresh(obj.ty);
+        // Exact reference patterns.
+        for (&sel, &v) in &obj.fields {
+            if v.is_some() {
+                node.set_must_out(sel);
+            }
+        }
+        let in_refs = state.in_refs(l, &reachable);
+        for &(_, sel) in &in_refs {
+            node.set_must_in(sel);
+        }
+        // Sharing.
+        node.shared = in_refs.len() >= 2;
+        for (&sel_count_sel, count) in
+            &in_refs.iter().fold(BTreeMap::<_, usize>::new(), |mut m, &(_, s)| {
+                *m.entry(s).or_default() += 1;
+                m
+            })
+        {
+            if *count >= 2 {
+                node.shsel.insert(sel_count_sel);
+            }
+        }
+        // Cycle links (witnessed only).
+        for (&s1, &v) in &obj.fields {
+            if let Some(mid) = v {
+                for (&s2, &back) in &state.object(mid).fields {
+                    if back == Some(l) {
+                        node.cyclelinks.insert(s1, s2);
+                    }
+                }
+            }
+        }
+        // Touch.
+        if let Some(marks) = state.touch.get(&l) {
+            for &p in marks {
+                node.touch.insert(p);
+            }
+        }
+        let id = g.add_node(node);
+        map.insert(l, id);
+    }
+
+    for &l in &reachable {
+        for (&sel, &v) in &state.object(l).fields {
+            if let Some(t) = v {
+                g.add_link(map[&l], sel, map[&t]);
+            }
+        }
+    }
+    for (p, l) in state.pvars() {
+        g.set_pl(p, map[&l]);
+    }
+    (g, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_cfront::types::{SelectorId, StructId};
+    use psa_ir::PvarId;
+
+    fn sel(i: u32) -> SelectorId {
+        SelectorId(i)
+    }
+
+    /// Concrete 3-list pointed by p0.
+    fn list3() -> (ConcreteState, Vec<Loc>) {
+        let mut st = ConcreteState::new();
+        let a = st.alloc(StructId(0));
+        let b = st.alloc(StructId(0));
+        let c = st.alloc(StructId(0));
+        st.store(a, sel(0), Some(b));
+        st.store(b, sel(0), Some(c));
+        st.set_pvar(PvarId(0), Some(a));
+        (st, vec![a, b, c])
+    }
+
+    #[test]
+    fn alpha_of_list_is_exact() {
+        let (st, locs) = list3();
+        let (g, map) = alpha(&st, 1);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_links(), 2);
+        let na = map[&locs[0]];
+        let nb = map[&locs[1]];
+        let nc = map[&locs[2]];
+        assert_eq!(g.pl(PvarId(0)), Some(na));
+        assert!(g.node(na).selout.contains(sel(0)));
+        assert!(g.node(na).selin.is_empty());
+        assert!(g.node(nb).selin.contains(sel(0)));
+        assert!(g.node(nb).selout.contains(sel(0)));
+        assert!(g.node(nc).selout.is_empty());
+        for &l in &locs {
+            assert!(!g.node(map[&l]).shared);
+            assert!(!g.node(map[&l]).summary);
+        }
+    }
+
+    #[test]
+    fn alpha_counts_sharing() {
+        let mut st = ConcreteState::new();
+        let a = st.alloc(StructId(0));
+        let b = st.alloc(StructId(0));
+        let hub = st.alloc(StructId(0));
+        st.store(a, sel(0), Some(hub));
+        st.store(b, sel(0), Some(hub));
+        st.set_pvar(PvarId(0), Some(a));
+        st.set_pvar(PvarId(1), Some(b));
+        let (g, map) = alpha(&st, 2);
+        let nh = map[&hub];
+        assert!(g.node(nh).shared);
+        assert!(g.node(nh).shsel.contains(sel(0)));
+    }
+
+    #[test]
+    fn alpha_ignores_garbage() {
+        let (mut st, locs) = list3();
+        // Garbage pointing into the list does not count.
+        let garbage = st.alloc(StructId(0));
+        st.store(garbage, sel(1), Some(locs[0]));
+        let (g, map) = alpha(&st, 1);
+        assert_eq!(g.num_nodes(), 3);
+        assert!(!map.contains_key(&garbage));
+        assert!(!g.node(map[&locs[0]]).shared);
+    }
+
+    #[test]
+    fn alpha_detects_cycle_links() {
+        let mut st = ConcreteState::new();
+        let a = st.alloc(StructId(0));
+        let b = st.alloc(StructId(0));
+        st.store(a, sel(0), Some(b));
+        st.store(b, sel(1), Some(a));
+        st.set_pvar(PvarId(0), Some(a));
+        let (g, map) = alpha(&st, 1);
+        assert!(g.node(map[&a]).cyclelinks.contains(sel(0), sel(1)));
+        assert!(g.node(map[&b]).cyclelinks.contains(sel(1), sel(0)));
+    }
+
+    #[test]
+    fn alpha_records_touch() {
+        let (mut st, locs) = list3();
+        st.touch(locs[1], PvarId(0));
+        let (g, map) = alpha(&st, 1);
+        assert!(g.node(map[&locs[1]]).touch.contains(PvarId(0)));
+        assert!(g.node(map[&locs[0]]).touch.is_empty());
+    }
+
+    #[test]
+    fn alpha_graph_passes_invariants() {
+        let (st, _) = list3();
+        let (g, _) = alpha(&st, 1);
+        let ctx = psa_rsg::ShapeCtx::synthetic(1, 2);
+        g.check_invariants(&ctx).unwrap();
+    }
+}

@@ -1,0 +1,28 @@
+//! # psa-concrete — concrete heap interpreter and abstraction function
+//!
+//! The validation substrate for the shape analysis: run the *same* lowered
+//! IR on an explicit concrete heap, abstract every intermediate state with
+//! the abstraction function α, and check that the RSRSG the analysis
+//! computed for that statement **covers** it (some member RSG admits a
+//! property-respecting homomorphism from the concrete state).
+//!
+//! This is the repository's soundness oracle — the analysis is exercised
+//! differentially against real executions of the paper's codes and of
+//! seeded random programs.
+//!
+//! * [`heap`] — the concrete heap (locations, typed objects, pvar frame);
+//! * [`interp`] — IR interpreter: truthful pointer conditions, randomized
+//!   but bounded opaque (scalar) branches, per-statement state snapshots;
+//! * [`alpha`] — α: concrete state → exact singular RSG;
+//! * [`cover`] — the embedding check (arc-consistency + property checks);
+//! * [`differential`] — the end-to-end harness.
+
+pub mod alpha;
+pub mod cover;
+pub mod differential;
+pub mod heap;
+pub mod interp;
+
+pub use differential::{check_soundness, DifferentialReport};
+pub use heap::{ConcreteState, Loc};
+pub use interp::{ExecOutcome, Interpreter, InterpConfig};

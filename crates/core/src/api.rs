@@ -1,0 +1,201 @@
+//! High-level facade: from C source text to analysis results in one call.
+
+use crate::engine::{AnalysisError, AnalysisResult, Engine, EngineConfig};
+use crate::progressive::{Goal, ProgressiveOutcome, ProgressiveRunner};
+use crate::stats::Budget;
+use psa_cfront::diag::Diagnostic;
+use psa_ir::{lower_function, FuncIr};
+use psa_rsg::{Level, ShapeCtx};
+
+/// Options for [`analyze_source`] / [`Analyzer`].
+#[derive(Debug, Clone)]
+pub struct AnalysisOptions {
+    /// Function to analyze (the paper inlines everything into one).
+    pub function: String,
+    /// Fixed level, or `None` for the progressive driver.
+    pub level: Option<Level>,
+    /// Resource budget.
+    pub budget: Budget,
+    /// Parallel per-graph transfers.
+    pub parallel: bool,
+    /// Inline user-function calls before lowering (the paper's manual
+    /// preprocessing, automated). Programs without calls are unaffected.
+    pub inline: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            function: "main".to_string(),
+            level: Some(Level::L1),
+            budget: Budget::default(),
+            parallel: false,
+            inline: true,
+        }
+    }
+}
+
+impl AnalysisOptions {
+    /// Options fixed at one level.
+    pub fn at_level(level: Level) -> AnalysisOptions {
+        AnalysisOptions { level: Some(level), ..Default::default() }
+    }
+
+    /// Options for the progressive driver.
+    pub fn progressive() -> AnalysisOptions {
+        AnalysisOptions { level: None, ..Default::default() }
+    }
+}
+
+/// Errors spanning frontend and analysis.
+#[derive(Debug)]
+pub enum Error {
+    /// Parse/type/lowering problem.
+    Frontend(Diagnostic),
+    /// Engine resource problem.
+    Analysis(AnalysisError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Frontend(d) => write!(f, "{d}"),
+            Error::Analysis(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Diagnostic> for Error {
+    fn from(d: Diagnostic) -> Self {
+        Error::Frontend(d)
+    }
+}
+
+impl From<AnalysisError> for Error {
+    fn from(e: AnalysisError) -> Self {
+        Error::Analysis(e)
+    }
+}
+
+/// A prepared analyzer: parsed, typed, lowered; ready to run at any level.
+pub struct Analyzer {
+    ir: FuncIr,
+    options: AnalysisOptions,
+}
+
+impl Analyzer {
+    /// Parse and lower `src` under `options`, inlining user-function calls
+    /// first when `options.inline` is set.
+    pub fn new(src: &str, options: AnalysisOptions) -> Result<Analyzer, Error> {
+        let (program, table) = psa_cfront::parse_and_type(src)?;
+        let program = if options.inline {
+            psa_ir::inline_program(&program, &options.function)?
+        } else {
+            program
+        };
+        let ir = lower_function(&program, &table, &options.function)?;
+        Ok(Analyzer { ir, options })
+    }
+
+    /// The lowered function.
+    pub fn ir(&self) -> &FuncIr {
+        &self.ir
+    }
+
+    /// The analysis universe.
+    pub fn shape_ctx(&self) -> ShapeCtx {
+        ShapeCtx::from_ir(&self.ir)
+    }
+
+    fn engine_config(&self, level: Level) -> EngineConfig {
+        EngineConfig {
+            level,
+            budget: self.options.budget,
+            parallel: self.options.parallel,
+            ..EngineConfig::at_level(level)
+        }
+    }
+
+    /// Run at a fixed level.
+    pub fn run_at(&self, level: Level) -> Result<AnalysisResult, AnalysisError> {
+        Engine::new(&self.ir, self.engine_config(level)).run()
+    }
+
+    /// Run at the configured level (default `L1`).
+    pub fn run(&self) -> Result<AnalysisResult, AnalysisError> {
+        self.run_at(self.options.level.unwrap_or(Level::L1))
+    }
+
+    /// Run the progressive driver with client goals.
+    pub fn run_progressive(&self, goals: Vec<Goal>) -> ProgressiveOutcome {
+        ProgressiveRunner::new(&self.ir, goals)
+            .with_config(self.engine_config(Level::L1))
+            .run()
+    }
+}
+
+/// One-shot analysis of `src` at `options.level` (or L1).
+pub fn analyze_source(src: &str, options: AnalysisOptions) -> Result<AnalysisResult, Error> {
+    let analyzer = Analyzer::new(src, options)?;
+    analyzer.run().map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        struct node { int v; struct node *nxt; };
+        int main() {
+            struct node *list; struct node *p; int i;
+            list = NULL;
+            for (i = 0; i < 5; i++) {
+                p = (struct node *) malloc(sizeof(struct node));
+                p->nxt = list;
+                list = p;
+            }
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn one_shot_analysis() {
+        let res = analyze_source(SRC, AnalysisOptions::default()).unwrap();
+        assert!(!res.exit.is_empty());
+        assert_eq!(res.level, Level::L1);
+    }
+
+    #[test]
+    fn analyzer_reuse_across_levels() {
+        let a = Analyzer::new(SRC, AnalysisOptions::default()).unwrap();
+        for level in Level::ALL {
+            let res = a.run_at(level).unwrap();
+            assert!(!res.exit.is_empty(), "level {level}");
+        }
+    }
+
+    #[test]
+    fn frontend_errors_surface() {
+        let bad = "int main() { this is not C;; }";
+        assert!(matches!(
+            analyze_source(bad, AnalysisOptions::default()),
+            Err(Error::Frontend(_))
+        ));
+    }
+
+    #[test]
+    fn missing_function_is_frontend_error() {
+        let opts =
+            AnalysisOptions { function: "nope".to_string(), ..AnalysisOptions::default() };
+        assert!(matches!(analyze_source(SRC, opts), Err(Error::Frontend(_))));
+    }
+
+    #[test]
+    fn progressive_via_api() {
+        let a = Analyzer::new(SRC, AnalysisOptions::progressive()).unwrap();
+        let outcome = a.run_progressive(vec![]);
+        assert_eq!(outcome.satisfied_at, Some(Level::L1));
+    }
+}

@@ -1,0 +1,604 @@
+//! Symbolic execution to a fixed point (§2, Fig. 2).
+//!
+//! A worklist iterates over CFG blocks. A block's input RSRSG is the
+//! accumulated union of its incoming edge contributions — each predecessor's
+//! output refined by the branch condition of that edge and stripped of the
+//! TOUCH marks of any loops the edge exits. Accumulation makes the iteration
+//! monotone in a finite lattice (node properties range over finite sets and
+//! COMPRESS keeps member graphs pairwise-incompatible), so the fixed point
+//! is reached; a configurable iteration budget guards the implementation
+//! anyway.
+//!
+//! The engine stores the RSRSG *after every statement* — the paper's
+//! "RSRSG associated with each sentence" — plus timing and structural-byte
+//! accounting for the Table 1 harness. Setting [`EngineConfig::parallel`]
+//! fans the per-graph statement transfers of large RSRSGs out across
+//! threads (crossbeam scoped threads); results are re-unioned in canonical
+//! order, so parallel and sequential runs produce identical RSRSGs.
+
+use crate::rsrsg::Rsrsg;
+use crate::semantics::{
+    clear_touch, enter_touch, refine_by_cond, transfer_rsrsg, transfer_scalar, TransferCtx,
+};
+use crate::stats::{AnalysisStats, Budget};
+use psa_ir::{BlockId, FuncIr, Stmt, StmtId, Terminator};
+use psa_rsg::{Level, ShapeCtx};
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Compilation level (progressive analysis stage).
+    pub level: Level,
+    /// Resource budget.
+    pub budget: Budget,
+    /// Process the graphs of large RSRSGs on multiple threads.
+    pub parallel: bool,
+    /// Minimum graphs in an RSRSG before parallel fan-out pays off.
+    pub parallel_threshold: usize,
+    /// Soft cap on graphs per RSRSG before the widening join kicks in
+    /// (force-joining graphs with equal widening signatures). Keeps the
+    /// analysis practicable on codes whose control flow fragments the
+    /// RSRSG; see [`Rsrsg::widen`].
+    pub widen_cap: usize,
+    /// Lower provable sharing flags after every statement (§4.2). Disable
+    /// only to reproduce the paper's "stale sharing blocks pruning"
+    /// behaviour in the ablation benches.
+    pub sharing_relaxation: bool,
+    /// Ablation: stores mark their targets SHARED/SHSEL unconditionally
+    /// (the paper's L1-imprecision emulation; see
+    /// [`crate::semantics::TransferCtx::pessimistic_sharing`]).
+    pub pessimistic_sharing: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            level: Level::L1,
+            budget: Budget::default(),
+            parallel: false,
+            parallel_threshold: 8,
+            widen_cap: 12,
+            sharing_relaxation: true,
+            pessimistic_sharing: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config for a specific level with defaults otherwise.
+    pub fn at_level(level: Level) -> EngineConfig {
+        EngineConfig { level, ..Default::default() }
+    }
+}
+
+/// Why an analysis run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The structural-byte budget was exceeded (the paper's "compiler runs
+    /// out of memory").
+    OutOfMemory {
+        /// Peak bytes when the budget tripped.
+        peak_bytes: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A statement's RSRSG exceeded the graph-count budget.
+    TooManyGraphs {
+        /// Where it happened.
+        stmt: StmtId,
+        /// How many graphs accumulated.
+        graphs: usize,
+    },
+    /// The iteration budget was exhausted before a fixed point.
+    NoConvergence {
+        /// Iterations executed.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::OutOfMemory { peak_bytes, limit } => write!(
+                f,
+                "out of memory: peak {} bytes exceeds budget {} bytes",
+                peak_bytes, limit
+            ),
+            AnalysisError::TooManyGraphs { stmt, graphs } => {
+                write!(f, "RSRSG at {stmt} grew to {graphs} graphs")
+            }
+            AnalysisError::NoConvergence { iterations } => {
+                write!(f, "no fixed point after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// The product of a successful run: per-statement RSRSGs plus statistics.
+#[derive(Debug, Clone)]
+pub struct AnalysisResult {
+    /// Level the analysis ran at.
+    pub level: Level,
+    /// RSRSG after each statement (indexed by [`StmtId`]).
+    pub after_stmt: Vec<Rsrsg>,
+    /// RSRSG at entry of each block (indexed by [`BlockId`]).
+    pub block_in: Vec<Rsrsg>,
+    /// RSRSG at the return point (union over `Return` block outputs).
+    pub exit: Rsrsg,
+    /// Statistics of the run.
+    pub stats: AnalysisStats,
+}
+
+impl AnalysisResult {
+    /// RSRSG after statement `s`.
+    pub fn at(&self, s: StmtId) -> &Rsrsg {
+        &self.after_stmt[s.0 as usize]
+    }
+}
+
+/// The symbolic-execution engine for one function.
+pub struct Engine<'a> {
+    ir: &'a FuncIr,
+    ctx: ShapeCtx,
+    config: EngineConfig,
+}
+
+impl<'a> Engine<'a> {
+    /// Create an engine over a lowered function.
+    pub fn new(ir: &'a FuncIr, config: EngineConfig) -> Engine<'a> {
+        Engine { ir, ctx: ShapeCtx::from_ir(ir), config }
+    }
+
+    /// The analysis universe.
+    pub fn ctx(&self) -> &ShapeCtx {
+        &self.ctx
+    }
+
+    /// Run to the fixed point.
+    pub fn run(&self) -> Result<AnalysisResult, AnalysisError> {
+        let start = Instant::now();
+        let level = self.config.level;
+        let nblocks = self.ir.blocks.len();
+        let mut stats = AnalysisStats::default();
+        stats.num_stmts = self.ir.stmts.len();
+
+        let mut block_in: Vec<Rsrsg> = vec![Rsrsg::new(); nblocks];
+        let mut block_out: Vec<Rsrsg> = vec![Rsrsg::new(); nblocks];
+        let mut after_stmt: Vec<Rsrsg> = vec![Rsrsg::new(); self.ir.stmts.len()];
+        let mut exit = Rsrsg::new();
+
+        block_in[self.ir.entry.0 as usize] = Rsrsg::entry(self.ir.num_pvars());
+
+        // Process blocks in id order (lowering emits them roughly in
+        // reverse post-order), which reaches loop fixed points with far
+        // fewer re-transfers than LIFO.
+        let mut worklist: std::collections::BTreeSet<BlockId> =
+            std::collections::BTreeSet::new();
+        worklist.insert(self.ir.entry);
+        let mut on_list = vec![false; nblocks];
+        on_list[self.ir.entry.0 as usize] = true;
+
+        let mut iterations = 0usize;
+        while let Some(b) = worklist.pop_first() {
+            on_list[b.0 as usize] = false;
+            iterations += 1;
+            if iterations > self.config.budget.max_iterations {
+                return Err(AnalysisError::NoConvergence { iterations });
+            }
+
+            // Transfer the block.
+            let mut cur = block_in[b.0 as usize].clone();
+            let block = self.ir.block(b);
+            for &sid in &block.stmts {
+                cur = self.transfer_stmt(&cur, sid, &mut stats)?;
+                cur.widen(&self.ctx, level, self.config.widen_cap);
+                if cur.len() > self.config.budget.max_graphs {
+                    return Err(AnalysisError::TooManyGraphs { stmt: sid, graphs: cur.len() });
+                }
+                stats.max_graphs_per_stmt = stats.max_graphs_per_stmt.max(cur.len());
+                for g in cur.iter() {
+                    stats.max_nodes_per_graph =
+                        stats.max_nodes_per_graph.max(g.num_nodes());
+                }
+                after_stmt[sid.0 as usize] = cur.clone();
+            }
+            block_out[b.0 as usize] = cur.clone();
+
+            // Memory accounting (peak of all live state).
+            let live: usize = after_stmt.iter().map(|s| s.approx_bytes()).sum::<usize>()
+                + block_in.iter().map(|s| s.approx_bytes()).sum::<usize>()
+                + block_out.iter().map(|s| s.approx_bytes()).sum::<usize>();
+            stats.peak_bytes = stats.peak_bytes.max(live);
+            if let Some(limit) = self.config.budget.max_bytes {
+                if live > limit {
+                    return Err(AnalysisError::OutOfMemory {
+                        peak_bytes: live,
+                        limit,
+                    });
+                }
+            }
+
+            // Propagate along edges.
+            let contributions: Vec<(BlockId, Rsrsg)> = match block.term {
+                Terminator::Goto(t) => vec![(t, cur.clone())],
+                Terminator::Branch { cond, then_bb, else_bb } => {
+                    let t = refine_by_cond(&cur, &cond, true, &self.ctx, level);
+                    let f = refine_by_cond(&cur, &cond, false, &self.ctx, level);
+                    vec![(then_bb, t), (else_bb, f)]
+                }
+                Terminator::Return => {
+                    exit.union_with(&cur, &self.ctx, level);
+                    vec![]
+                }
+            };
+            for (succ, mut contrib) in contributions {
+                // Loop-exit edges clear the exited loops' TOUCH marks.
+                let exited = self.ir.exited_loops(b, succ);
+                if !exited.is_empty() && level.use_touch() {
+                    let ipvars = self.ir.active_ipvars(exited);
+                    contrib = clear_touch(&contrib, &ipvars, &self.ctx, level);
+                }
+                // Loop-entry edges mark the entered loops' cursors' current
+                // targets as visited.
+                let entered = self.ir.entered_loops(b, succ);
+                if !entered.is_empty() && level.use_touch() {
+                    let ipvars = self.ir.active_ipvars(entered);
+                    contrib = enter_touch(&contrib, &ipvars, &self.ctx, level);
+                }
+                let succ_in = &mut block_in[succ.0 as usize];
+                let mut changed = succ_in.union_with(&contrib, &self.ctx, level);
+                if succ_in.len() > self.config.widen_cap {
+                    let before = succ_in.signature();
+                    succ_in.widen(&self.ctx, level, self.config.widen_cap);
+                    changed = succ_in.signature() != before || changed;
+                }
+                if changed && !on_list[succ.0 as usize] {
+                    on_list[succ.0 as usize] = true;
+                    worklist.insert(succ);
+                }
+            }
+        }
+
+        stats.iterations = iterations;
+        stats.final_bytes = after_stmt.iter().map(|s| s.approx_bytes()).sum::<usize>()
+            + block_in.iter().map(|s| s.approx_bytes()).sum::<usize>();
+        stats.elapsed = start.elapsed();
+        Ok(AnalysisResult { level, after_stmt, block_in, exit, stats })
+    }
+
+    /// Transfer one statement over an RSRSG.
+    fn transfer_stmt(
+        &self,
+        input: &Rsrsg,
+        sid: StmtId,
+        stats: &mut AnalysisStats,
+    ) -> Result<Rsrsg, AnalysisError> {
+        stats.stmt_transfers += 1;
+        let info = self.ir.stmt(sid);
+        let ptr = match &info.stmt {
+            Stmt::Scalar(_) | Stmt::ScalarStore(_, _) => return Ok(input.clone()),
+            Stmt::ScalarConst(v, k) => {
+                return Ok(transfer_scalar(input, *v, Some(*k), &self.ctx, self.config.level));
+            }
+            Stmt::ScalarHavoc(v, _) => {
+                return Ok(transfer_scalar(input, *v, None, &self.ctx, self.config.level));
+            }
+            Stmt::Ptr(p) => *p,
+        };
+        let active = if self.config.level.use_touch() {
+            self.ir.active_ipvars(&info.loops)
+        } else {
+            Vec::new()
+        };
+        let tcx = TransferCtx {
+            ctx: &self.ctx,
+            level: self.config.level,
+            active_ipvars: &active,
+            sharing_relaxation: self.config.sharing_relaxation,
+            pessimistic_sharing: self.config.pessimistic_sharing,
+        };
+
+        if self.config.parallel && input.len() >= self.parallel_threshold() {
+            return Ok(self.transfer_parallel(input, &ptr, &tcx, stats));
+        }
+        Ok(transfer_rsrsg(input, &ptr, &tcx, stats))
+    }
+
+    fn parallel_threshold(&self) -> usize {
+        self.config.parallel_threshold.max(2)
+    }
+
+    /// Fan the per-graph transfers out across scoped threads, then re-union
+    /// deterministically.
+    fn transfer_parallel(
+        &self,
+        input: &Rsrsg,
+        ptr: &psa_ir::PtrStmt,
+        tcx: &TransferCtx<'_>,
+        stats: &mut AnalysisStats,
+    ) -> Rsrsg {
+        use crate::semantics::transfer_one;
+        let graphs = input.graphs();
+        let nthreads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(graphs.len());
+        let chunk = graphs.len().div_ceil(nthreads);
+        let mut partials: Vec<(usize, Vec<psa_rsg::Rsg>, AnalysisStats)> =
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (i, slice) in graphs.chunks(chunk).enumerate() {
+                    let tctx = TransferCtx {
+                        ctx: tcx.ctx,
+                        level: tcx.level,
+                        active_ipvars: tcx.active_ipvars,
+                        sharing_relaxation: tcx.sharing_relaxation,
+                        pessimistic_sharing: tcx.pessimistic_sharing,
+                    };
+                    handles.push(scope.spawn(move |_| {
+                        let mut local_stats = AnalysisStats::default();
+                        let mut outs = Vec::new();
+                        for g in slice {
+                            outs.extend(transfer_one(g, ptr, &tctx, &mut local_stats));
+                        }
+                        (i, outs, local_stats)
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("crossbeam scope");
+        partials.sort_by_key(|(i, _, _)| *i);
+        let mut out = Rsrsg::new();
+        for (_, outs, local_stats) in partials {
+            for w in local_stats.warnings {
+                stats.warn(w);
+            }
+            stats.revisits.extend(local_stats.revisits);
+            for g in outs {
+                out.insert(g, tcx.ctx, tcx.level);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_cfront::parse_and_type;
+    use psa_ir::lower_main;
+
+    fn analyze(src: &str, level: Level) -> (FuncIr, AnalysisResult) {
+        let (p, t) = parse_and_type(src).unwrap();
+        let ir = lower_main(&p, &t).unwrap();
+        let engine = Engine::new(&ir, EngineConfig::at_level(level));
+        let res = engine.run().unwrap();
+        (ir, res)
+    }
+
+    const LIST_BUILD: &str = r#"
+        struct node { int v; struct node *nxt; };
+        int main() {
+            struct node *list;
+            struct node *p;
+            int i;
+            list = NULL;
+            for (i = 0; i < 10; i++) {
+                p = (struct node *) malloc(sizeof(struct node));
+                p->nxt = list;
+                list = p;
+            }
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn list_construction_reaches_fixed_point() {
+        let (ir, res) = analyze(LIST_BUILD, Level::L1);
+        assert!(!res.exit.is_empty());
+        // At exit: either list == NULL (zero iterations) or a list shape.
+        let has_null = res.exit.iter().any(|g| g.pl(ir.pvar_id("list").unwrap()).is_none());
+        let has_list = res.exit.iter().any(|g| g.pl(ir.pvar_id("list").unwrap()).is_some());
+        assert!(has_null && has_list);
+        // No graph at exit marks any node shared: a list is unaliased.
+        for g in res.exit.iter() {
+            for n in g.node_ids() {
+                assert!(!g.node(n).shared, "list nodes are never shared");
+                assert!(g.node(n).shsel.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn list_shape_is_bounded() {
+        let (_ir, res) = analyze(LIST_BUILD, Level::L1);
+        // The summarized list must stay small regardless of the loop count.
+        for g in res.exit.iter() {
+            assert!(g.num_nodes() <= 4, "compressed list has ≤ 4 nodes, got {}", g.num_nodes());
+        }
+        assert!(res.exit.len() <= 4);
+    }
+
+    #[test]
+    fn traversal_after_construction() {
+        let src = r#"
+            struct node { int v; struct node *nxt; };
+            int main() {
+                struct node *list;
+                struct node *p;
+                int i;
+                list = NULL;
+                for (i = 0; i < 10; i++) {
+                    p = (struct node *) malloc(sizeof(struct node));
+                    p->nxt = list;
+                    list = p;
+                }
+                p = list;
+                while (p != NULL) {
+                    p->v = 1;
+                    p = p->nxt;
+                }
+                return 0;
+            }
+        "#;
+        let (ir, res) = analyze(src, Level::L1);
+        // After the traversal p == NULL in every exit graph.
+        let p = ir.pvar_id("p").unwrap();
+        for g in res.exit.iter() {
+            assert!(g.pl(p).is_none(), "loop exit condition refines p to NULL");
+        }
+    }
+
+    #[test]
+    fn branch_refinement_splits_null_cases() {
+        let src = r#"
+            struct node { int v; struct node *nxt; };
+            int main() {
+                struct node *p;
+                int c;
+                p = NULL;
+                if (c > 0) {
+                    p = (struct node *) malloc(sizeof(struct node));
+                }
+                if (p != NULL) {
+                    p->v = 1;
+                }
+                return 0;
+            }
+        "#;
+        let (ir, res) = analyze(src, Level::L1);
+        let p = ir.pvar_id("p").unwrap();
+        // Exit has both p==NULL and p!=NULL graphs.
+        assert!(res.exit.iter().any(|g| g.pl(p).is_none()));
+        assert!(res.exit.iter().any(|g| g.pl(p).is_some()));
+    }
+
+    #[test]
+    fn dll_construction_has_cyclelinks() {
+        let src = r#"
+            struct node { int v; struct node *nxt; struct node *prv; };
+            int main() {
+                struct node *list;
+                struct node *p;
+                int i;
+                list = NULL;
+                for (i = 0; i < 10; i++) {
+                    p = (struct node *) malloc(sizeof(struct node));
+                    p->nxt = list;
+                    p->prv = NULL;
+                    if (list != NULL) {
+                        list->prv = p;
+                    }
+                    list = p;
+                }
+                return 0;
+            }
+        "#;
+        let (ir, res) = analyze(src, Level::L1);
+        let list = ir.pvar_id("list").unwrap();
+        let nxt = ir.types.selector_id("nxt").unwrap();
+        let prv = ir.types.selector_id("prv").unwrap();
+        // In every exit graph where the list has ≥2 elements, the head has
+        // the <nxt,prv> cycle pair.
+        let mut checked = false;
+        for g in res.exit.iter() {
+            if let Some(h) = g.pl(list) {
+                if !g.succs(h, nxt).is_empty() {
+                    assert!(
+                        g.node(h).cyclelinks.contains(nxt, prv),
+                        "DLL head must carry <nxt,prv>"
+                    );
+                    checked = true;
+                }
+            }
+        }
+        assert!(checked, "expected at least one multi-element DLL graph");
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let (p, t) = parse_and_type(LIST_BUILD).unwrap();
+        let ir = lower_main(&p, &t).unwrap();
+        let seq = Engine::new(&ir, EngineConfig::at_level(Level::L1)).run().unwrap();
+        let par = Engine::new(
+            &ir,
+            EngineConfig {
+                level: Level::L1,
+                parallel: true,
+                parallel_threshold: 1,
+                ..Default::default()
+            },
+        )
+        .run()
+        .unwrap();
+        assert!(seq.exit.same_as(&par.exit));
+        for (a, b) in seq.after_stmt.iter().zip(&par.after_stmt) {
+            assert!(a.same_as(b));
+        }
+    }
+
+    #[test]
+    fn budget_out_of_memory_trips() {
+        let (p, t) = parse_and_type(LIST_BUILD).unwrap();
+        let ir = lower_main(&p, &t).unwrap();
+        let cfg = EngineConfig {
+            level: Level::L1,
+            budget: Budget { max_bytes: Some(512), ..Budget::default() },
+            ..Default::default()
+        };
+        match Engine::new(&ir, cfg).run() {
+            Err(AnalysisError::OutOfMemory { .. }) => {}
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (_ir, res) = analyze(LIST_BUILD, Level::L1);
+        assert!(res.stats.iterations > 0);
+        assert!(res.stats.stmt_transfers > 0);
+        assert!(res.stats.peak_bytes > 0);
+        assert!(res.stats.max_graphs_per_stmt >= 1);
+        assert!(res.stats.num_stmts > 0);
+    }
+
+    #[test]
+    fn levels_all_converge_on_list_build() {
+        for level in Level::ALL {
+            let (_ir, res) = analyze(LIST_BUILD, level);
+            assert!(!res.exit.is_empty(), "level {level} must converge");
+        }
+    }
+
+    #[test]
+    fn empty_function_analyzes() {
+        let src = "int main() { return 0; }";
+        let (_ir, res) = analyze(src, Level::L1);
+        assert_eq!(res.exit.len(), 1);
+        assert_eq!(res.exit.graphs()[0].num_nodes(), 0);
+    }
+
+    #[test]
+    fn null_deref_warning_surfaces() {
+        let src = r#"
+            struct node { int v; struct node *nxt; };
+            int main() {
+                struct node *p;
+                p = NULL;
+                p->nxt = NULL;
+                return 0;
+            }
+        "#;
+        let (_ir, res) = analyze(src, Level::L1);
+        assert!(res
+            .stats
+            .warnings
+            .iter()
+            .any(|w| w.contains("NULL dereference")));
+        // The crashing path yields no exit configuration.
+        assert!(res.exit.is_empty());
+    }
+}

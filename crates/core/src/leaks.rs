@@ -1,0 +1,230 @@
+//! Memory-leak and dead-code reporting — a second "subsequent analysis"
+//! client on top of the per-statement RSRSGs (the paper's stated purpose
+//! for the shape information is enabling such client passes).
+//!
+//! * **Dead statements**: a pointer statement whose RSRSG is empty at the
+//!   fixed point is unreachable (its only incoming configurations crash
+//!   earlier or are filtered out by conditions).
+//! * **Leak sites**: a statement that rebinds or NULLs a pointer variable
+//!   whose old target region was reachable *only* through that variable
+//!   makes the region unreachable — garbage with no `free` (the analysis'
+//!   gc collects it, which is exactly the observation). The check is exact
+//!   with respect to the abstraction: for each graph in the statement's
+//!   input RSRSG, the nodes exclusively reachable from the rebound pvar are
+//!   computed directly.
+
+use crate::engine::AnalysisResult;
+use psa_ir::{FuncIr, PtrStmt, Stmt, StmtId};
+
+/// One potential leak site.
+#[derive(Debug, Clone)]
+pub struct LeakSite {
+    /// The statement after which reachable heap shrank.
+    pub stmt: StmtId,
+    /// Rendered statement.
+    pub rendered: String,
+    /// Maximum number of nodes that became unreachable in some graph.
+    pub max_nodes_dropped: usize,
+}
+
+/// The report.
+#[derive(Debug, Clone, Default)]
+pub struct LeakReport {
+    /// Statements never reached (empty RSRSG at fixed point) — dead code
+    /// or code only reachable through a crashing dereference.
+    pub dead_statements: Vec<StmtId>,
+    /// Potential leak sites.
+    pub leaks: Vec<LeakSite>,
+}
+
+/// Build the leak/dead-code report for a finished analysis.
+pub fn leak_report(ir: &FuncIr, result: &AnalysisResult) -> LeakReport {
+    use crate::queries::reachable_from;
+    let mut report = LeakReport::default();
+
+    for (bi, block) in ir.blocks.iter().enumerate() {
+        // The input of the first statement is the block input; afterwards
+        // each statement's input is its predecessor's output.
+        let mut pre = result.block_in[bi].clone();
+        for &sid in &block.stmts {
+            let info = ir.stmt(sid);
+            let cur = result.at(sid);
+            let is_ptr = matches!(info.stmt, Stmt::Ptr(_));
+            if is_ptr && cur.is_empty() && !pre.is_empty() {
+                report.dead_statements.push(sid);
+            }
+            // Rebinding statements sever the old binding of their target.
+            let rebinds = match info.stmt {
+                Stmt::Ptr(PtrStmt::Nil(x))
+                | Stmt::Ptr(PtrStmt::Malloc(x, _))
+                | Stmt::Ptr(PtrStmt::Load(x, _, _))
+                | Stmt::Ptr(PtrStmt::Copy(x, _)) => Some(x),
+                _ => None,
+            };
+            if let Some(x) = rebinds {
+                // Temps are bookkeeping, their kills never leak.
+                if !ir.pvar(x).is_temp {
+                    let mut max_dropped = 0usize;
+                    for g in pre.iter() {
+                        let Some(old) = g.pl(x) else { continue };
+                        // For x = x->sel and x = y, the new target may keep
+                        // the region alive; conservatively we only check
+                        // reachability through the *other* pvars.
+                        let region = reachable_from(g, old);
+                        let mut reachable_elsewhere = std::collections::BTreeSet::new();
+                        for (p, root) in g.pl_iter() {
+                            if p == x {
+                                continue;
+                            }
+                            for n in reachable_from(g, root) {
+                                reachable_elsewhere.insert(n);
+                            }
+                        }
+                        // x = x->sel / x = y: the new binding also keeps its
+                        // region; approximate it from the statement shape.
+                        let new_root = match info.stmt {
+                            Stmt::Ptr(PtrStmt::Copy(_, y)) => g.pl(y),
+                            Stmt::Ptr(PtrStmt::Load(_, y, sel)) => {
+                                g.pl(y).and_then(|ny| g.succs(ny, sel).first().copied())
+                            }
+                            _ => None,
+                        };
+                        if let Some(nr) = new_root {
+                            for n in reachable_from(g, nr) {
+                                reachable_elsewhere.insert(n);
+                            }
+                        }
+                        let dropped = region
+                            .iter()
+                            .filter(|n| !reachable_elsewhere.contains(n))
+                            .count();
+                        max_dropped = max_dropped.max(dropped);
+                    }
+                    if max_dropped > 0 {
+                        report.leaks.push(LeakSite {
+                            stmt: sid,
+                            rendered: psa_ir::pretty::stmt(ir, &info.stmt),
+                            max_nodes_dropped: max_dropped,
+                        });
+                    }
+                }
+            }
+            pre = cur.clone();
+        }
+    }
+    report
+}
+
+impl std::fmt::Display for LeakReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.dead_statements.is_empty() && self.leaks.is_empty() {
+            return writeln!(f, "no dead statements, no leak sites");
+        }
+        for s in &self.dead_statements {
+            writeln!(f, "dead: {s}")?;
+        }
+        for l in &self.leaks {
+            writeln!(
+                f,
+                "possible leak at {}: {} (≥{} nodes became unreachable)",
+                l.stmt, l.rendered, l.max_nodes_dropped
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{AnalysisOptions, Analyzer};
+
+    fn analyze(src: &str) -> (Analyzer, AnalysisResult) {
+        let a = Analyzer::new(src, AnalysisOptions::default()).unwrap();
+        let r = a.run().unwrap();
+        (a, r)
+    }
+
+    #[test]
+    fn clean_program_reports_nothing() {
+        let src = r#"
+            struct node { int v; struct node *nxt; };
+            int main() {
+                struct node *list; struct node *p; int i;
+                list = NULL;
+                for (i = 0; i < 4; i++) {
+                    p = (struct node *) malloc(sizeof(struct node));
+                    p->nxt = list;
+                    list = p;
+                }
+                return 0;
+            }
+        "#;
+        let (a, r) = analyze(src);
+        let rep = leak_report(a.ir(), &r);
+        assert!(rep.dead_statements.is_empty());
+        assert!(rep.leaks.is_empty(), "{rep}");
+    }
+
+    #[test]
+    fn dropping_the_only_head_reference_is_flagged() {
+        let src = r#"
+            struct node { int v; struct node *nxt; };
+            int main() {
+                struct node *list; struct node *p; int i;
+                list = NULL;
+                for (i = 0; i < 6; i++) {
+                    p = (struct node *) malloc(sizeof(struct node));
+                    p->nxt = list;
+                    list = p;
+                }
+                p = NULL;
+                list = NULL;   /* whole list leaks here */
+                return 0;
+            }
+        "#;
+        let (a, r) = analyze(src);
+        let rep = leak_report(a.ir(), &r);
+        assert!(
+            rep.leaks.iter().any(|l| l.rendered.contains("list = NULL")),
+            "{rep}"
+        );
+    }
+
+    #[test]
+    fn dead_statement_after_definite_crash() {
+        let src = r#"
+            struct node { int v; struct node *nxt; };
+            int main() {
+                struct node *p;
+                p = NULL;
+                p->nxt = NULL;   /* definite NULL dereference */
+                p = (struct node *) malloc(sizeof(struct node));
+                return 0;
+            }
+        "#;
+        let (a, r) = analyze(src);
+        let rep = leak_report(a.ir(), &r);
+        assert!(
+            !rep.dead_statements.is_empty(),
+            "statements after a certain crash are dead: {rep}"
+        );
+    }
+
+    #[test]
+    fn rebinding_with_other_references_is_not_flagged() {
+        let src = r#"
+            struct node { int v; struct node *nxt; };
+            int main() {
+                struct node *a; struct node *b;
+                a = (struct node *) malloc(sizeof(struct node));
+                b = a;
+                a = NULL;   /* b still holds it: no leak */
+                return 0;
+            }
+        "#;
+        let (an, r) = analyze(src);
+        let rep = leak_report(an.ir(), &r);
+        assert!(rep.leaks.is_empty(), "{rep}");
+    }
+}

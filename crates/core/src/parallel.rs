@@ -1,0 +1,251 @@
+//! Loop-parallelism client — the paper's "subsequent analysis \[that\] can
+//! state that the tree can be traversed and updated in parallel" (§5.1,
+//! listed as future work in §6).
+//!
+//! For every loop, the client inspects the RSRSGs at its heap-writing
+//! statements and decides whether distinct iterations can write the same
+//! location. The criterion reconstructs the paper's reasoning:
+//!
+//! * a loop with **no heap writes** (pointer stores or scalar stores through
+//!   pointers) is trivially parallelizable;
+//! * a heap write through pvar `x` is **iteration-private** when, in every
+//!   graph at that statement, the written node is either not SHARED at all,
+//!   or is distinguished as *the current element* of this loop's traversal —
+//!   it carries a TOUCH mark of one of the loop's induction pointers while
+//!   the rest of the structure does not (this is exactly what L3's TOUCH
+//!   property adds over L2: the stack may still reference the unvisited part
+//!   of the octree, but the node being updated is provably the one the
+//!   cursor just reached);
+//! * otherwise the write may conflict across iterations and the loop is
+//!   reported sequential, with the offending statements as reasons.
+
+use crate::engine::AnalysisResult;
+use psa_ir::{FuncIr, LoopId, PtrStmt, PvarId, Stmt, StmtId};
+
+/// Verdict for one loop.
+#[derive(Debug, Clone)]
+pub struct LoopReport {
+    /// Which loop.
+    pub loop_id: LoopId,
+    /// Induction pointers of the loop.
+    pub ipvars: Vec<PvarId>,
+    /// Heap-writing statements found in the body.
+    pub heap_writes: Vec<StmtId>,
+    /// The verdict.
+    pub parallelizable: bool,
+    /// Human-readable blockers (empty when parallelizable).
+    pub reasons: Vec<String>,
+}
+
+/// Analyze every loop of `ir` against `result`.
+pub fn loop_reports(ir: &FuncIr, result: &AnalysisResult) -> Vec<LoopReport> {
+    (0..ir.loops.len())
+        .map(|i| loop_report(ir, result, LoopId(i as u32)))
+        .collect()
+}
+
+/// Analyze a single loop.
+pub fn loop_report(ir: &FuncIr, result: &AnalysisResult, l: LoopId) -> LoopReport {
+    let ipvars = ir.loops[l.0 as usize].ipvars.clone();
+    let mut heap_writes = Vec::new();
+    let mut reasons = Vec::new();
+
+    for (idx, info) in ir.stmts.iter().enumerate() {
+        if !info.loops.contains(&l) {
+            continue;
+        }
+        let sid = StmtId(idx as u32);
+        let written: Option<PvarId> = match &info.stmt {
+            Stmt::Ptr(PtrStmt::Store(x, _, _)) | Stmt::Ptr(PtrStmt::StoreNil(x, _)) => Some(*x),
+            Stmt::ScalarStore(x, _) => Some(*x),
+            _ => None,
+        };
+        let Some(x) = written else { continue };
+        heap_writes.push(sid);
+
+        // A write is iteration-private when the target is provably unshared,
+        // or when (at L3) the written pvar is one of this loop's traversal
+        // cursors and the whole traversal is revisit-free: TOUCH marks every
+        // visited element, loop-entry marking covers the starting element,
+        // and any return to a marked element is recorded in
+        // `stats.revisits`. Sharing from outside the iteration space (e.g.
+        // the Barnes-Hut octree referenced by the traversal stack) then
+        // cannot produce a cross-iteration write conflict.
+        let cursor_write = result.level.use_touch()
+            && ipvars.contains(&x)
+            && !result.stats.revisits.contains(&x);
+        if cursor_write {
+            continue;
+        }
+        let rsrsg = result.at(sid);
+        for g in rsrsg.iter() {
+            let Some(n) = g.pl(x) else { continue };
+            let nd = g.node(n);
+            if nd.shared {
+                reasons.push(format!(
+                    "{}: writes through `{}` whose target may be shared",
+                    sid, ir.pvar_name(x)
+                ));
+                break;
+            }
+        }
+    }
+
+    reasons.sort();
+    reasons.dedup();
+    LoopReport {
+        loop_id: l,
+        ipvars,
+        heap_writes,
+        parallelizable: reasons.is_empty(),
+        reasons,
+    }
+}
+
+impl std::fmt::Display for LoopReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "loop {}: {} (ipvars: {}, heap writes: {})",
+            self.loop_id,
+            if self.parallelizable { "PARALLELIZABLE" } else { "sequential" },
+            self.ipvars.len(),
+            self.heap_writes.len()
+        )?;
+        for r in &self.reasons {
+            writeln!(f, "  blocked by {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use psa_cfront::parse_and_type;
+    use psa_ir::lower_main;
+    use psa_rsg::Level;
+
+    fn analyze(src: &str, level: Level) -> (FuncIr, AnalysisResult) {
+        let (p, t) = parse_and_type(src).unwrap();
+        let ir = lower_main(&p, &t).unwrap();
+        let res = Engine::new(&ir, EngineConfig::at_level(level)).run().unwrap();
+        (ir, res)
+    }
+
+    #[test]
+    fn readonly_traversal_is_parallel() {
+        let src = r#"
+            struct node { int v; struct node *nxt; };
+            int main() {
+                struct node *list; struct node *p; int i; int s;
+                list = NULL;
+                for (i = 0; i < 9; i++) {
+                    p = (struct node *) malloc(sizeof(struct node));
+                    p->nxt = list;
+                    list = p;
+                }
+                p = list;
+                while (p != NULL) {
+                    s = s + p->v;
+                    p = p->nxt;
+                }
+                return 0;
+            }
+        "#;
+        let (ir, res) = analyze(src, Level::L1);
+        let reports = loop_reports(&ir, &res);
+        // Loop 1 is the traversal: no heap writes at all.
+        let traversal = &reports[1];
+        assert!(traversal.heap_writes.is_empty());
+        assert!(traversal.parallelizable);
+    }
+
+    #[test]
+    fn unshared_update_traversal_is_parallel() {
+        let src = r#"
+            struct node { int v; struct node *nxt; };
+            int main() {
+                struct node *list; struct node *p; int i;
+                list = NULL;
+                for (i = 0; i < 9; i++) {
+                    p = (struct node *) malloc(sizeof(struct node));
+                    p->nxt = list;
+                    list = p;
+                }
+                p = list;
+                while (p != NULL) {
+                    p->v = 0;
+                    p = p->nxt;
+                }
+                return 0;
+            }
+        "#;
+        let (ir, res) = analyze(src, Level::L1);
+        let reports = loop_reports(&ir, &res);
+        let traversal = &reports[1];
+        assert_eq!(traversal.heap_writes.len(), 1);
+        assert!(
+            traversal.parallelizable,
+            "list nodes are unshared: updates are iteration-private; reasons: {:?}",
+            traversal.reasons
+        );
+    }
+
+    #[test]
+    fn shared_target_update_is_sequential() {
+        // Every list element points at a common hub through `dat`; the
+        // traversal writes the hub each iteration.
+        let src = r#"
+            struct node { int v; struct node *nxt; struct node *dat; };
+            int main() {
+                struct node *list; struct node *p; struct node *hub; int i;
+                hub = (struct node *) malloc(sizeof(struct node));
+                list = NULL;
+                for (i = 0; i < 9; i++) {
+                    p = (struct node *) malloc(sizeof(struct node));
+                    p->nxt = list;
+                    p->dat = hub;
+                    list = p;
+                }
+                p = list;
+                while (p != NULL) {
+                    p->dat->v = 1;
+                    p = p->nxt;
+                }
+                return 0;
+            }
+        "#;
+        let (ir, res) = analyze(src, Level::L1);
+        let reports = loop_reports(&ir, &res);
+        let traversal = &reports[1];
+        assert!(
+            !traversal.parallelizable,
+            "writes land on the shared hub node"
+        );
+        assert!(!traversal.reasons.is_empty());
+    }
+
+    #[test]
+    fn construction_loop_with_private_writes_is_parallelizable() {
+        // The builder loop only writes the freshly malloc'd node.
+        let src = r#"
+            struct node { int v; struct node *nxt; };
+            int main() {
+                struct node *list; struct node *p; int i;
+                list = NULL;
+                for (i = 0; i < 9; i++) {
+                    p = (struct node *) malloc(sizeof(struct node));
+                    p->nxt = list;
+                    list = p;
+                }
+                return 0;
+            }
+        "#;
+        let (ir, res) = analyze(src, Level::L1);
+        let reports = loop_reports(&ir, &res);
+        assert!(reports[0].parallelizable);
+        assert_eq!(reports[0].heap_writes.len(), 1);
+    }
+}

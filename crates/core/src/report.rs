@@ -1,0 +1,199 @@
+//! Machine-readable analysis reports (serde/JSON) — the CLI's `--json`
+//! output and the format downstream tooling (e.g. a parallelizing code
+//! generator, the paper's stated end goal) would consume.
+
+use crate::engine::AnalysisResult;
+use crate::parallel;
+use crate::queries;
+use psa_ir::{FuncIr, PvarId};
+use serde::Serialize;
+
+/// Structure summary for one pointer variable.
+#[derive(Debug, Clone, Serialize)]
+pub struct PvarReport {
+    /// Source name.
+    pub name: String,
+    /// Heuristic classification (`List`, `Tree`, `DoublyLinked`, `Dag`,
+    /// `Cyclic`, `Empty`).
+    pub class: String,
+    /// Largest reachable-region node count over exit graphs.
+    pub max_nodes: usize,
+    /// Any reachable node may be heap-shared.
+    pub any_shared: bool,
+    /// Selector names with per-selector sharing.
+    pub shared_selectors: Vec<String>,
+    /// Confirmed cycle-link pairs present in the region.
+    pub has_cycle_links: bool,
+    /// NULL in some configuration.
+    pub may_be_null: bool,
+    /// NULL in every configuration.
+    pub always_null: bool,
+}
+
+/// Verdict for one loop.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoopVerdict {
+    /// Loop index.
+    pub loop_id: u32,
+    /// Induction pointer names.
+    pub ipvars: Vec<String>,
+    /// Number of heap-writing statements in the body.
+    pub heap_writes: usize,
+    /// The verdict.
+    pub parallelizable: bool,
+    /// Blockers, empty when parallelizable.
+    pub reasons: Vec<String>,
+}
+
+/// Engine statistics, serializable subset.
+#[derive(Debug, Clone, Serialize)]
+pub struct StatsReport {
+    /// Level the analysis ran at.
+    pub level: String,
+    /// Wall-clock milliseconds.
+    pub elapsed_ms: u128,
+    /// Peak structural bytes.
+    pub peak_bytes: usize,
+    /// Worklist iterations.
+    pub iterations: usize,
+    /// Statement transfers executed.
+    pub stmt_transfers: usize,
+    /// Largest RSRSG seen.
+    pub max_graphs_per_stmt: usize,
+    /// Largest RSG seen.
+    pub max_nodes_per_graph: usize,
+    /// Analysis warnings (possible NULL dereferences etc.).
+    pub warnings: Vec<String>,
+}
+
+/// The full report.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnalysisReport {
+    /// Analyzed function.
+    pub function: String,
+    /// Statistics.
+    pub stats: StatsReport,
+    /// Exit RSRSG size (graphs / nodes / links).
+    pub exit_graphs: usize,
+    /// Total nodes at exit.
+    pub exit_nodes: usize,
+    /// Total links at exit.
+    pub exit_links: usize,
+    /// Per-pvar structure summaries (program pvars bound at exit).
+    pub pvars: Vec<PvarReport>,
+    /// Per-loop parallelism verdicts.
+    pub loops: Vec<LoopVerdict>,
+    /// Dead statements (unreachable at the fixed point).
+    pub dead_statements: Vec<u32>,
+    /// Potential leak sites: `(statement id, rendered, nodes dropped)`.
+    pub leaks: Vec<(u32, String, usize)>,
+}
+
+/// Build the report for a finished analysis.
+pub fn build_report(ir: &FuncIr, result: &AnalysisResult) -> AnalysisReport {
+    let mut pvars = Vec::new();
+    for (i, pv) in ir.pvars.iter().enumerate() {
+        if pv.is_temp {
+            continue;
+        }
+        let p = PvarId(i as u32);
+        let rep = queries::structure_report(&result.exit, p);
+        if rep.always_null && rep.max_nodes == 0 && !rep.may_be_null {
+            continue;
+        }
+        pvars.push(PvarReport {
+            name: pv.name.clone(),
+            class: format!("{:?}", rep.class),
+            max_nodes: rep.max_nodes,
+            any_shared: rep.any_shared,
+            shared_selectors: rep
+                .shared_selectors
+                .iter()
+                .map(|s| ir.types.selector_name(s).to_string())
+                .collect(),
+            has_cycle_links: rep.has_cycle_links,
+            may_be_null: rep.may_be_null,
+            always_null: rep.always_null,
+        });
+    }
+    let loops = parallel::loop_reports(ir, result)
+        .into_iter()
+        .map(|l| LoopVerdict {
+            loop_id: l.loop_id.0,
+            ipvars: l.ipvars.iter().map(|p| ir.pvar_name(*p).to_string()).collect(),
+            heap_writes: l.heap_writes.len(),
+            parallelizable: l.parallelizable,
+            reasons: l.reasons,
+        })
+        .collect();
+    let leak_rep = crate::leaks::leak_report(ir, result);
+    AnalysisReport {
+        function: ir.name.clone(),
+        stats: StatsReport {
+            level: result.level.to_string(),
+            elapsed_ms: result.stats.elapsed.as_millis(),
+            peak_bytes: result.stats.peak_bytes,
+            iterations: result.stats.iterations,
+            stmt_transfers: result.stats.stmt_transfers,
+            max_graphs_per_stmt: result.stats.max_graphs_per_stmt,
+            max_nodes_per_graph: result.stats.max_nodes_per_graph,
+            warnings: result.stats.warnings.clone(),
+        },
+        exit_graphs: result.exit.len(),
+        exit_nodes: result.exit.total_nodes(),
+        exit_links: result.exit.total_links(),
+        pvars,
+        loops,
+        dead_statements: leak_rep.dead_statements.iter().map(|s| s.0).collect(),
+        leaks: leak_rep
+            .leaks
+            .into_iter()
+            .map(|l| (l.stmt.0, l.rendered, l.max_nodes_dropped))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{AnalysisOptions, Analyzer};
+
+    const SRC: &str = r#"
+        struct node { int v; struct node *nxt; };
+        int main() {
+            struct node *list; struct node *p; int i;
+            list = NULL;
+            for (i = 0; i < 5; i++) {
+                p = (struct node *) malloc(sizeof(struct node));
+                p->nxt = list;
+                list = p;
+            }
+            p = list;
+            while (p != NULL) { p->v = 0; p = p->nxt; }
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn report_builds_and_serializes() {
+        let a = Analyzer::new(SRC, AnalysisOptions::default()).unwrap();
+        let res = a.run().unwrap();
+        let rep = build_report(a.ir(), &res);
+        assert_eq!(rep.function, "main");
+        assert!(rep.pvars.iter().any(|p| p.name == "list"));
+        assert_eq!(rep.loops.len(), 2);
+        let json = serde_json::to_string_pretty(&rep).unwrap();
+        assert!(json.contains("\"function\": \"main\""));
+        assert!(json.contains("\"parallelizable\""));
+    }
+
+    #[test]
+    fn report_pvar_classes_match_queries() {
+        let a = Analyzer::new(SRC, AnalysisOptions::default()).unwrap();
+        let res = a.run().unwrap();
+        let rep = build_report(a.ir(), &res);
+        let list = rep.pvars.iter().find(|p| p.name == "list").unwrap();
+        assert!(!list.any_shared);
+        assert!(list.shared_selectors.is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! The Reduced Set of Reference Shape Graphs (§4).
+//!
+//! An RSRSG holds the RSGs describing every memory configuration that can
+//! reach a program point. Insertion keeps the set *reduced*: a graph
+//! COMPATIBLE with an existing member is JOINed into it (re-inserted
+//! recursively, since the join may become compatible with another member),
+//! and exact duplicates (canonical-form equality) are dropped. The result is
+//! a set of pairwise-incompatible graphs, which both bounds the set and
+//! matches the paper's construction.
+
+use psa_rsg::canon::canonical_bytes;
+use psa_rsg::compress::compress;
+use psa_rsg::join::{compatible, join};
+use psa_rsg::subsume::subsumes;
+use psa_rsg::{Level, Rsg, ShapeCtx};
+
+/// A reduced set of RSGs with canonical-form bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct Rsrsg {
+    graphs: Vec<Rsg>,
+    /// Canonical bytes of each graph, kept aligned with `graphs`.
+    canon: Vec<Vec<u8>>,
+}
+
+impl Rsrsg {
+    /// The empty set (bottom: no reachable configuration).
+    pub fn new() -> Rsrsg {
+        Rsrsg::default()
+    }
+
+    /// The initial RSRSG of a program entry: one empty heap.
+    pub fn entry(num_pvars: usize) -> Rsrsg {
+        let mut s = Rsrsg::new();
+        s.push_raw(Rsg::empty(num_pvars));
+        s
+    }
+
+    /// Number of member graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True when no configuration reaches this point.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The member graphs.
+    pub fn graphs(&self) -> &[Rsg] {
+        &self.graphs
+    }
+
+    /// Iterate member graphs.
+    pub fn iter(&self) -> impl Iterator<Item = &Rsg> {
+        self.graphs.iter()
+    }
+
+    /// Insert without compatibility merging (caller guarantees reduction or
+    /// does not care — e.g. the entry set).
+    pub fn push_raw(&mut self, g: Rsg) {
+        let c = canonical_bytes(&g);
+        if self.canon.contains(&c) {
+            return;
+        }
+        self.graphs.push(g);
+        self.canon.push(c);
+    }
+
+    /// Insert a graph, compressing it and JOINing with compatible members
+    /// until the set is reduced again.
+    ///
+    /// A candidate already **subsumed** by a member is dropped, and members
+    /// subsumed by the candidate are replaced — this is what makes repeated
+    /// insertion of covered contributions a no-op, so the engine's
+    /// accumulation reaches a fixed point instead of churning joined forms.
+    pub fn insert(&mut self, g: Rsg, ctx: &ShapeCtx, level: Level) {
+        let mut pending = vec![compress(&g, ctx, level)];
+        while let Some(cand) = pending.pop() {
+            let c = canonical_bytes(&cand);
+            if self.canon.contains(&c) {
+                continue;
+            }
+            if self.graphs.iter().any(|m| subsumes(m, &cand)) {
+                continue;
+            }
+            // Drop members the candidate strictly generalizes.
+            let mut i = 0;
+            while i < self.graphs.len() {
+                if subsumes(&cand, &self.graphs[i]) {
+                    self.graphs.remove(i);
+                    self.canon.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            if let Some(i) = self
+                .graphs
+                .iter()
+                .position(|m| compatible(m, &cand, level))
+            {
+                let member = self.graphs.remove(i);
+                self.canon.remove(i);
+                let joined = compress(&join(&member, &cand, level), ctx, level);
+                pending.push(joined);
+            } else {
+                self.graphs.push(cand);
+                self.canon.push(c);
+            }
+        }
+    }
+
+    /// Union another RSRSG into this one. Returns true if this set changed.
+    pub fn union_with(&mut self, other: &Rsrsg, ctx: &ShapeCtx, level: Level) -> bool {
+        let before = self.signature();
+        for g in other.iter() {
+            self.insert(g.clone(), ctx, level);
+        }
+        self.signature() != before
+    }
+
+    /// A canonical signature of the whole set (sorted member forms), used
+    /// for fixed-point detection.
+    pub fn signature(&self) -> Vec<Vec<u8>> {
+        let mut s = self.canon.clone();
+        s.sort();
+        s
+    }
+
+    /// Set equality up to graph isomorphism and ordering.
+    pub fn same_as(&self, other: &Rsrsg) -> bool {
+        self.signature() == other.signature()
+    }
+
+    /// Keep only graphs satisfying `pred` (used by branch-condition
+    /// refinement; filtering preserves reduction).
+    pub fn filter(&self, pred: impl Fn(&Rsg) -> bool) -> Rsrsg {
+        let mut out = Rsrsg::new();
+        for (g, c) in self.graphs.iter().zip(&self.canon) {
+            if pred(g) {
+                out.graphs.push(g.clone());
+                out.canon.push(c.clone());
+            }
+        }
+        out
+    }
+
+    /// Map every graph through `f` and re-reduce (used by loop-exit TOUCH
+    /// clearing).
+    pub fn map(&self, ctx: &ShapeCtx, level: Level, f: impl Fn(&Rsg) -> Rsg) -> Rsrsg {
+        let mut out = Rsrsg::new();
+        for g in self.iter() {
+            out.insert(f(g), ctx, level);
+        }
+        out
+    }
+
+    /// The **widening signature** of a graph: the part of COMPATIBLE that a
+    /// forced join must preserve — PL domain, alias classes, and per-pvar
+    /// TYPE / SHARED / SHSEL / TOUCH of the pointed node. Graphs agreeing on
+    /// it can always be joined: `MERGE_NODES` reconciles differing reference
+    /// patterns by intersecting must-sets and widening possible-sets.
+    /// Sharing flags stay in the signature: joining an "already linked"
+    /// state into a "not yet linked" one plants alternative may-links whose
+    /// sharing evidence later stores cannot distinguish from real second
+    /// references (this is precisely the Barnes-Hut `SHSEL(body)` story of
+    /// §5.1).
+    fn widen_signature(g: &Rsg) -> Vec<u8> {
+        let mut sig = Vec::new();
+        // Known scalar facts: widening must not merge configurations that a
+        // tracked flag distinguishes (`done == 0` vs `done == 1`), or the
+        // flag tracking would be erased exactly where it matters.
+        for (v, k) in g.scalars() {
+            sig.extend_from_slice(&v.to_le_bytes());
+            sig.extend_from_slice(&k.to_le_bytes());
+        }
+        sig.push(0xFE);
+        // Alias partition, with node identities canonicalized by first
+        // occurrence among the (sorted) pl entries.
+        let mut seen: Vec<psa_rsg::NodeId> = Vec::new();
+        for (p, n) in g.pl_iter() {
+            sig.extend_from_slice(&p.0.to_le_bytes());
+            let canon_id = match seen.iter().position(|&m| m == n) {
+                Some(i) => i,
+                None => {
+                    seen.push(n);
+                    seen.len() - 1
+                }
+            };
+            sig.extend_from_slice(&(canon_id as u32).to_le_bytes());
+            let nd = g.node(n);
+            sig.extend_from_slice(&nd.ty.0.to_le_bytes());
+            sig.push(nd.shared as u8);
+            sig.extend_from_slice(&nd.shsel.0.to_le_bytes());
+            for t in nd.touch.iter() {
+                sig.extend_from_slice(&t.0.to_le_bytes());
+            }
+            sig.push(0xFF);
+        }
+        sig
+    }
+
+    /// Widening: while the set holds more than `soft_cap` graphs, force-join
+    /// pairs sharing a widening signature. This is the lattice widening that
+    /// keeps the paper's analysis practicable on codes whose control flow
+    /// would otherwise fragment the RSRSG combinatorially; it only coarsens
+    /// (join over-approximates both inputs), never drops configurations.
+    pub fn widen(&mut self, ctx: &ShapeCtx, level: Level, soft_cap: usize) {
+        while self.len() > soft_cap {
+            // Group indices by widening signature.
+            let mut groups: std::collections::BTreeMap<Vec<u8>, Vec<usize>> =
+                std::collections::BTreeMap::new();
+            for (i, g) in self.graphs.iter().enumerate() {
+                groups.entry(Self::widen_signature(g)).or_default().push(i);
+            }
+            let Some(pair) = groups.values().find(|v| v.len() >= 2) else {
+                return; // nothing joinable: give up (budget may trip later)
+            };
+            let (i, j) = (pair[0], pair[1]);
+            debug_assert!(i < j);
+            let b = self.graphs.remove(j);
+            self.canon.remove(j);
+            let a = self.graphs.remove(i);
+            self.canon.remove(i);
+            let joined = compress(&join(&a, &b, level), ctx, level);
+            self.insert(joined, ctx, level);
+        }
+    }
+
+    /// Approximate structural bytes of the whole set.
+    pub fn approx_bytes(&self) -> usize {
+        self.graphs.iter().map(|g| g.approx_bytes()).sum::<usize>()
+            + self.canon.iter().map(|c| c.len()).sum::<usize>()
+    }
+
+    /// Total node count across members (reporting).
+    pub fn total_nodes(&self) -> usize {
+        self.graphs.iter().map(|g| g.num_nodes()).sum()
+    }
+
+    /// Total link count across members (reporting).
+    pub fn total_links(&self) -> usize {
+        self.graphs.iter().map(|g| g.num_links()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_ir::PvarId;
+    use psa_cfront::types::SelectorId;
+    use psa_rsg::builder;
+
+    fn sel(i: u32) -> SelectorId {
+        SelectorId(i)
+    }
+
+    #[test]
+    fn entry_is_single_empty_graph() {
+        let s = Rsrsg::entry(3);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.graphs()[0].num_nodes(), 0);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let g = builder::singly_linked_list(3, 1, PvarId(0), sel(0));
+        let mut s = Rsrsg::new();
+        s.insert(g.clone(), &ctx, Level::L1);
+        s.insert(g, &ctx, Level::L1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn compatible_graphs_join_on_insert() {
+        let ctx = ShapeCtx::synthetic(1, 1);
+        // 4-list and 6-list compress to compatible shapes that join.
+        let mut s = Rsrsg::new();
+        s.insert(builder::singly_linked_list(4, 1, PvarId(0), sel(0)), &ctx, Level::L1);
+        s.insert(builder::singly_linked_list(6, 1, PvarId(0), sel(0)), &ctx, Level::L1);
+        assert_eq!(s.len(), 1, "compatible lists join into the 2+-list shape");
+    }
+
+    #[test]
+    fn incompatible_graphs_stay_separate() {
+        let ctx = ShapeCtx::synthetic(2, 1);
+        // One graph binds p0, the other binds p1: different domains.
+        let mut s = Rsrsg::new();
+        s.insert(builder::singly_linked_list(3, 2, PvarId(0), sel(0)), &ctx, Level::L1);
+        s.insert(builder::singly_linked_list(3, 2, PvarId(1), sel(0)), &ctx, Level::L1);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let ctx = ShapeCtx::synthetic(2, 1);
+        let mut a = Rsrsg::new();
+        a.insert(builder::singly_linked_list(3, 2, PvarId(0), sel(0)), &ctx, Level::L1);
+        let mut b = Rsrsg::new();
+        b.insert(builder::singly_linked_list(3, 2, PvarId(1), sel(0)), &ctx, Level::L1);
+        assert!(a.union_with(&b, &ctx, Level::L1));
+        assert!(!a.union_with(&b, &ctx, Level::L1), "idempotent");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn same_as_ignores_order() {
+        let ctx = ShapeCtx::synthetic(2, 1);
+        let g1 = builder::singly_linked_list(3, 2, PvarId(0), sel(0));
+        let g2 = builder::singly_linked_list(3, 2, PvarId(1), sel(0));
+        let mut a = Rsrsg::new();
+        a.insert(g1.clone(), &ctx, Level::L1);
+        a.insert(g2.clone(), &ctx, Level::L1);
+        let mut b = Rsrsg::new();
+        b.insert(g2, &ctx, Level::L1);
+        b.insert(g1, &ctx, Level::L1);
+        assert!(a.same_as(&b));
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let ctx = ShapeCtx::synthetic(2, 1);
+        let mut s = Rsrsg::new();
+        s.insert(builder::singly_linked_list(3, 2, PvarId(0), sel(0)), &ctx, Level::L1);
+        s.insert(builder::singly_linked_list(3, 2, PvarId(1), sel(0)), &ctx, Level::L1);
+        let only_p0 = s.filter(|g| g.pl(PvarId(0)).is_some());
+        assert_eq!(only_p0.len(), 1);
+        let none = s.filter(|_| false);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn bytes_grow_with_members() {
+        let ctx = ShapeCtx::synthetic(2, 1);
+        let mut s = Rsrsg::new();
+        s.insert(builder::singly_linked_list(3, 2, PvarId(0), sel(0)), &ctx, Level::L1);
+        let one = s.approx_bytes();
+        s.insert(builder::singly_linked_list(3, 2, PvarId(1), sel(0)), &ctx, Level::L1);
+        assert!(s.approx_bytes() > one);
+        assert!(s.total_nodes() >= 6);
+    }
+}

@@ -1,0 +1,112 @@
+//! Analysis statistics and budgets — the measurement substrate behind the
+//! Table 1 reproduction.
+//!
+//! The paper reports wall-clock time and the compiler's memory pool in MB on
+//! a Pentium III. Absolute 2001 numbers are not reproducible; instead we
+//! account the *structural bytes* of all live RSRSG state (every node with
+//! its property sets, every link, every PL entry, every cached canonical
+//! form) and track the peak. A configurable budget turns "peak exceeded"
+//! into the paper's "compiler runs out of memory" outcome (Sparse LU at
+//! L2/L3 on 128 MB).
+
+use std::time::Duration;
+
+/// Counters collected during one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisStats {
+    /// Wall-clock time of the fixed-point run.
+    pub elapsed: Duration,
+    /// Peak structural bytes of all per-statement RSRSGs plus in-flight
+    /// state.
+    pub peak_bytes: usize,
+    /// Structural bytes at the fixed point.
+    pub final_bytes: usize,
+    /// Number of block-transfer worklist iterations.
+    pub iterations: usize,
+    /// Statement transfers executed (statements × visits).
+    pub stmt_transfers: usize,
+    /// Largest RSRSG (graph count) seen at any statement.
+    pub max_graphs_per_stmt: usize,
+    /// Largest single RSG (node count) seen.
+    pub max_nodes_per_graph: usize,
+    /// Total statements in the analyzed function.
+    pub num_stmts: usize,
+    /// Diagnostics emitted during analysis (e.g. possible NULL dereference).
+    pub warnings: Vec<String>,
+    /// Induction pvars that, at L3, ever re-visited a node already carrying
+    /// their TOUCH mark — evidence that the traversal may revisit locations
+    /// (e.g. a cyclic structure). The parallelism client requires the
+    /// written cursor's loop to be revisit-free.
+    pub revisits: std::collections::BTreeSet<psa_ir::PvarId>,
+}
+
+impl AnalysisStats {
+    /// Peak bytes in mebibytes, for Table 1 style reporting.
+    pub fn peak_mib(&self) -> f64 {
+        self.peak_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Record a warning, deduplicating exact repeats.
+    pub fn warn(&mut self, msg: impl Into<String>) {
+        let msg = msg.into();
+        if !self.warnings.contains(&msg) {
+            self.warnings.push(msg);
+        }
+    }
+}
+
+/// Resource budgets for one engine run.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Abort when peak structural bytes exceed this.
+    pub max_bytes: Option<usize>,
+    /// Abort when a statement's RSRSG exceeds this many graphs.
+    pub max_graphs: usize,
+    /// Abort after this many block-transfer iterations (non-convergence
+    /// safety net; the property space is finite so this should not trigger).
+    pub max_iterations: usize,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget { max_bytes: None, max_graphs: 512, max_iterations: 100_000 }
+    }
+}
+
+impl Budget {
+    /// The paper machine's budget: 128 MB.
+    pub fn paper_128mb() -> Budget {
+        Budget { max_bytes: Some(128 * 1024 * 1024), ..Budget::default() }
+    }
+
+    /// A tight budget for tests.
+    pub fn tiny() -> Budget {
+        Budget { max_bytes: Some(64 * 1024), max_graphs: 16, max_iterations: 2_000 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mib_conversion() {
+        let s = AnalysisStats { peak_bytes: 3 * 1024 * 1024, ..Default::default() };
+        assert!((s.peak_mib() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warn_dedups() {
+        let mut s = AnalysisStats::default();
+        s.warn("possible NULL dereference at 3:1");
+        s.warn("possible NULL dereference at 3:1");
+        s.warn("other");
+        assert_eq!(s.warnings.len(), 2);
+    }
+
+    #[test]
+    fn budget_presets() {
+        assert_eq!(Budget::paper_128mb().max_bytes, Some(128 * 1024 * 1024));
+        assert!(Budget::tiny().max_graphs < Budget::default().max_graphs);
+    }
+}

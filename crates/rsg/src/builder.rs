@@ -1,0 +1,230 @@
+//! Convenience builders for canonical RSGs, used by tests, examples and
+//! benchmarks (e.g. the Fig. 1 doubly-linked list).
+
+use crate::graph::Rsg;
+use crate::node::NodeId;
+use psa_cfront::types::{SelectorId, StructId};
+use psa_ir::PvarId;
+
+/// A concrete singly-linked list of `len` nodes (struct 0), head pointed to
+/// by `head`, linked through `sel`. Every node is singular with exact
+/// must-sets, as the abstraction of a concrete list would produce.
+pub fn singly_linked_list(len: usize, num_pvars: usize, head: PvarId, sel: SelectorId) -> Rsg {
+    assert!(len >= 1);
+    let mut g = Rsg::empty(num_pvars);
+    let ids: Vec<NodeId> = (0..len).map(|_| g.add_fresh(StructId(0))).collect();
+    g.set_pl(head, ids[0]);
+    for w in ids.windows(2) {
+        g.add_link(w[0], sel, w[1]);
+        g.node_mut(w[0]).set_must_out(sel);
+        g.node_mut(w[1]).set_must_in(sel);
+    }
+    g
+}
+
+/// A concrete doubly-linked list of `len ≥ 2` nodes linked by `nxt`/`prv`,
+/// with CYCLELINKS `<nxt,prv>` / `<prv,nxt>` on the interior ends of each
+/// pair, exactly as in Fig. 1(a) of the paper.
+pub fn doubly_linked_list(
+    len: usize,
+    num_pvars: usize,
+    head: PvarId,
+    nxt: SelectorId,
+    prv: SelectorId,
+) -> Rsg {
+    assert!(len >= 2);
+    let mut g = Rsg::empty(num_pvars);
+    let ids: Vec<NodeId> = (0..len).map(|_| g.add_fresh(StructId(0))).collect();
+    g.set_pl(head, ids[0]);
+    for w in ids.windows(2) {
+        g.add_link(w[0], nxt, w[1]);
+        g.add_link(w[1], prv, w[0]);
+        g.node_mut(w[0]).set_must_out(nxt);
+        g.node_mut(w[1]).set_must_in(nxt);
+        g.node_mut(w[1]).set_must_out(prv);
+        g.node_mut(w[0]).set_must_in(prv);
+        // Every nxt link is answered by prv and vice versa.
+        g.node_mut(w[0]).cyclelinks.insert(nxt, prv);
+        g.node_mut(w[1]).cyclelinks.insert(prv, nxt);
+    }
+    // Interior nodes carry two heap references (nxt from the left neighbour
+    // and prv from the right one): SHARED is true for them, while each
+    // individual selector references them once (SHSEL stays false).
+    for (i, &id) in ids.iter().enumerate() {
+        if i > 0 && i + 1 < len {
+            g.node_mut(id).shared = true;
+        }
+    }
+    g
+}
+
+/// The **summarized** doubly-linked list RSG of Fig. 1(a): three nodes —
+/// `n1` (first element, pointed to by `x`), `n2` (summary of the middle
+/// elements), `n3` (last element) — linked by `nxt`/`prv` with full cycle
+/// links. Represents every DLL with two or more elements.
+///
+/// Returns the graph and `(n1, n2, n3)`.
+pub fn fig1_dll(x: PvarId, num_pvars: usize, nxt: SelectorId, prv: SelectorId) -> (Rsg, [NodeId; 3]) {
+    let mut g = Rsg::empty(num_pvars);
+    let n1 = g.add_fresh(StructId(0));
+    let n2 = g.add_fresh(StructId(0));
+    let n3 = g.add_fresh(StructId(0));
+    g.set_pl(x, n1);
+
+    // May-links: n1 -nxt-> {n2, n3} (list of exactly 2 skips the middle),
+    // n2 -nxt-> {n2, n3}, prv links mirrored.
+    g.add_link(n1, nxt, n2);
+    g.add_link(n1, nxt, n3);
+    g.add_link(n2, nxt, n2);
+    g.add_link(n2, nxt, n3);
+    g.add_link(n2, prv, n1);
+    g.add_link(n2, prv, n2);
+    g.add_link(n3, prv, n1);
+    g.add_link(n3, prv, n2);
+
+    {
+        let m = g.node_mut(n1);
+        m.set_must_out(nxt);
+        m.set_must_in(prv);
+        m.cyclelinks.insert(nxt, prv);
+        m.cyclelinks.insert(prv, nxt);
+    }
+    {
+        let m = g.node_mut(n2);
+        m.set_must_out(nxt);
+        m.set_must_out(prv);
+        m.set_must_in(nxt);
+        m.set_must_in(prv);
+        m.cyclelinks.insert(nxt, prv);
+        m.cyclelinks.insert(prv, nxt);
+        m.summary = true;
+        // Middle elements are referenced twice (nxt + prv), once per
+        // selector: SHARED true, SHSEL false for both.
+        m.shared = true;
+    }
+    {
+        let m = g.node_mut(n3);
+        m.set_must_out(prv);
+        m.set_must_in(nxt);
+        m.cyclelinks.insert(nxt, prv);
+        m.cyclelinks.insert(prv, nxt);
+    }
+    (g, [n1, n2, n3])
+}
+
+/// A concrete complete binary tree of the given depth (struct 0), root
+/// pointed by `root`, children through `left`/`right`. Depth 0 is a single
+/// node.
+pub fn binary_tree(
+    depth: usize,
+    num_pvars: usize,
+    root: PvarId,
+    left: SelectorId,
+    right: SelectorId,
+) -> Rsg {
+    let mut g = Rsg::empty(num_pvars);
+    fn build(
+        g: &mut Rsg,
+        depth: usize,
+        left: SelectorId,
+        right: SelectorId,
+    ) -> NodeId {
+        let n = g.add_fresh(StructId(0));
+        if depth > 0 {
+            let l = build(g, depth - 1, left, right);
+            let r = build(g, depth - 1, left, right);
+            g.add_link(n, left, l);
+            g.add_link(n, right, r);
+            g.node_mut(n).set_must_out(left);
+            g.node_mut(n).set_must_out(right);
+            g.node_mut(l).set_must_in(left);
+            g.node_mut(r).set_must_in(right);
+        }
+        n
+    }
+    let r = build(&mut g, depth, left, right);
+    g.set_pl(root, r);
+    g
+}
+
+/// A circular singly-linked list of `len ≥ 1` nodes: the tail links back to
+/// the head. Every node has must in/out `sel`.
+pub fn circular_list(len: usize, num_pvars: usize, head: PvarId, sel: SelectorId) -> Rsg {
+    assert!(len >= 1);
+    let mut g = Rsg::empty(num_pvars);
+    let ids: Vec<NodeId> = (0..len).map(|_| g.add_fresh(StructId(0))).collect();
+    g.set_pl(head, ids[0]);
+    for i in 0..len {
+        let a = ids[i];
+        let b = ids[(i + 1) % len];
+        g.add_link(a, sel, b);
+        g.node_mut(a).set_must_out(sel);
+        g.node_mut(b).set_must_in(sel);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::ShapeCtx;
+
+    fn sel(i: u32) -> SelectorId {
+        SelectorId(i)
+    }
+
+    #[test]
+    fn sll_shape() {
+        let g = singly_linked_list(5, 1, PvarId(0), sel(0));
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_links(), 4);
+        let ctx = ShapeCtx::synthetic(1, 1);
+        g.check_invariants(&ctx).unwrap();
+    }
+
+    #[test]
+    fn dll_cyclelinks() {
+        let g = doubly_linked_list(4, 1, PvarId(0), sel(0), sel(1));
+        assert_eq!(g.num_links(), 6);
+        // Every node except the tail has <nxt,prv>.
+        let with_pair = g
+            .node_ids()
+            .filter(|&n| g.node(n).cyclelinks.contains(sel(0), sel(1)))
+            .count();
+        assert_eq!(with_pair, 3);
+        let ctx = ShapeCtx::synthetic(1, 2);
+        g.check_invariants(&ctx).unwrap();
+    }
+
+    #[test]
+    fn fig1_graph_matches_paper() {
+        let (g, [n1, n2, n3]) = fig1_dll(PvarId(0), 1, sel(0), sel(1));
+        assert_eq!(g.pl(PvarId(0)), Some(n1));
+        assert!(g.node(n2).summary);
+        assert!(!g.node(n1).summary && !g.node(n3).summary);
+        // x->nxt has two possible targets: the division of Fig. 1(b).
+        assert_eq!(g.succs(n1, sel(0)), vec![n2, n3]);
+        let ctx = ShapeCtx::synthetic(1, 2);
+        g.check_invariants(&ctx).unwrap();
+    }
+
+    #[test]
+    fn tree_counts() {
+        let g = binary_tree(3, 1, PvarId(0), sel(0), sel(1));
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.num_links(), 14);
+    }
+
+    #[test]
+    fn circular_list_links_back() {
+        let g = circular_list(3, 1, PvarId(0), sel(0));
+        assert_eq!(g.num_links(), 3);
+        let head = g.pl(PvarId(0)).unwrap();
+        // Follow three hops: back at head.
+        let mut cur = head;
+        for _ in 0..3 {
+            cur = g.succs(cur, sel(0))[0];
+        }
+        assert_eq!(cur, head);
+    }
+}

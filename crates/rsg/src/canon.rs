@@ -1,0 +1,332 @@
+//! Canonical forms for RSGs.
+//!
+//! The fixed-point engine must decide whether an RSRSG changed across an
+//! iteration. Graphs are rebuilt by every operation, so node ids are
+//! meaningless; equality must be isomorphism up to node renaming (pvars and
+//! selectors are globally named and fixed).
+//!
+//! We compute a canonical labelling by partition refinement (Weisfeiler–
+//! Leman style, seeded with the full node property vector and the pvars
+//! pointing at each node) followed by individualization with backtracking:
+//! when refinement stalls with a non-discrete partition, each member of the
+//! first ambiguous class is tried and the lexicographically smallest
+//! serialization wins. RSGs are small (tens of nodes) and, after COMPRESS,
+//! contain pairwise property-distinct nodes, so backtracking almost never
+//! triggers.
+
+use crate::graph::Rsg;
+use crate::node::NodeId;
+use std::collections::BTreeMap;
+
+/// A canonical byte serialization: equal bytes ⇔ isomorphic graphs (over
+/// fixed pvar/selector universes).
+pub fn canonical_bytes(g: &Rsg) -> Vec<u8> {
+    let ids: Vec<NodeId> = g.node_ids().collect();
+    if ids.is_empty() {
+        let mut out = b"empty;".to_vec();
+        // Even an empty graph records which pvars are NULL (none bound)
+        // and the known scalar facts.
+        out.extend_from_slice(&(g.num_pvar_slots() as u32).to_le_bytes());
+        for (v, k) in g.scalars() {
+            out.extend_from_slice(&v.to_le_bytes());
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+        return out;
+    }
+    let colors = canonical_colors(g, &ids);
+    serialize(g, &ids, &colors)
+}
+
+/// Are two graphs isomorphic (as RSGs)?
+pub fn isomorphic(a: &Rsg, b: &Rsg) -> bool {
+    canonical_bytes(a) == canonical_bytes(b)
+}
+
+/// The exact initial color of a node: every property plus the sorted pvar
+/// set pointing at it.
+fn initial_color(g: &Rsg, n: NodeId) -> Vec<u8> {
+    let nd = g.node(n);
+    let mut c = Vec::with_capacity(64);
+    c.extend_from_slice(&nd.ty.0.to_le_bytes());
+    c.push(nd.shared as u8);
+    c.push(nd.summary as u8);
+    c.extend_from_slice(&nd.shsel.0.to_le_bytes());
+    c.extend_from_slice(&nd.selin.0.to_le_bytes());
+    c.extend_from_slice(&nd.selout.0.to_le_bytes());
+    c.extend_from_slice(&nd.pos_selin.0.to_le_bytes());
+    c.extend_from_slice(&nd.pos_selout.0.to_le_bytes());
+    for (a, b) in nd.cyclelinks.iter() {
+        c.extend_from_slice(&a.0.to_le_bytes());
+        c.extend_from_slice(&b.0.to_le_bytes());
+    }
+    c.push(0xfe);
+    for p in nd.touch.iter() {
+        c.extend_from_slice(&p.0.to_le_bytes());
+    }
+    c.push(0xfd);
+    for p in g.pvars_of(n) {
+        c.extend_from_slice(&p.0.to_le_bytes());
+    }
+    c
+}
+
+/// Refine colors until stable; returns a stable coloring (possibly with
+/// ties).
+fn refine(g: &Rsg, ids: &[NodeId], init: &BTreeMap<NodeId, Vec<u8>>) -> BTreeMap<NodeId, u32> {
+    // Convert initial byte colors to dense ints, assigned in sorted key
+    // order so that color values are independent of node id order.
+    let keys: std::collections::BTreeSet<&Vec<u8>> = ids.iter().map(|n| &init[n]).collect();
+    let palette: BTreeMap<&Vec<u8>, u32> =
+        keys.into_iter().enumerate().map(|(i, k)| (k, i as u32)).collect();
+    let mut color: BTreeMap<NodeId, u32> =
+        ids.iter().map(|&n| (n, palette[&init[&n]])).collect();
+    loop {
+        let mut sigs: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
+        for &n in ids {
+            let mut sig = vec![color[&n]];
+            let mut outs: Vec<(u32, u32)> =
+                g.out_links(n).into_iter().map(|(s, b)| (s.0, color[&b])).collect();
+            outs.sort_unstable();
+            sig.push(u32::MAX); // separator
+            for (s, c) in outs {
+                sig.push(s);
+                sig.push(c);
+            }
+            let mut ins: Vec<(u32, u32)> =
+                g.in_links(n).into_iter().map(|(a, s)| (s.0, color[&a])).collect();
+            ins.sort_unstable();
+            sig.push(u32::MAX - 1);
+            for (s, c) in ins {
+                sig.push(s);
+                sig.push(c);
+            }
+            sigs.insert(n, sig);
+        }
+        let sig_keys: std::collections::BTreeSet<&Vec<u32>> =
+            ids.iter().map(|n| &sigs[n]).collect();
+        let sig_palette: BTreeMap<&Vec<u32>, u32> =
+            sig_keys.into_iter().enumerate().map(|(i, k)| (k, i as u32)).collect();
+        let next_color: BTreeMap<NodeId, u32> =
+            ids.iter().map(|&n| (n, sig_palette[&sigs[&n]])).collect();
+        let old_classes = color.values().collect::<std::collections::BTreeSet<_>>().len();
+        let new_classes =
+            next_color.values().collect::<std::collections::BTreeSet<_>>().len();
+        let stable = new_classes == old_classes;
+        color = next_color;
+        if stable {
+            return color;
+        }
+    }
+}
+
+/// Full canonical coloring with individualization + backtracking.
+fn canonical_colors(g: &Rsg, ids: &[NodeId]) -> BTreeMap<NodeId, u32> {
+    let init: BTreeMap<NodeId, Vec<u8>> =
+        ids.iter().map(|&n| (n, initial_color(g, n))).collect();
+    best_coloring(g, ids, &init, 0)
+}
+
+const MAX_INDIVIDUALIZE_DEPTH: usize = 8;
+
+fn best_coloring(
+    g: &Rsg,
+    ids: &[NodeId],
+    init: &BTreeMap<NodeId, Vec<u8>>,
+    depth: usize,
+) -> BTreeMap<NodeId, u32> {
+    let colors = refine(g, ids, init);
+    // Find the first ambiguous class (smallest color with ≥ 2 members).
+    let mut by_color: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+    for &n in ids {
+        by_color.entry(colors[&n]).or_default().push(n);
+    }
+    let ambiguous = by_color.values().find(|v| v.len() >= 2);
+    let Some(class) = ambiguous else {
+        return colors;
+    };
+    if depth >= MAX_INDIVIDUALIZE_DEPTH {
+        // Give up on perfect canonicalization; break ties by node id. This
+        // can only cause spurious inequality between isomorphic graphs,
+        // which costs one extra engine iteration, never unsoundness.
+        let mut out = colors;
+        let n = ids.len() as u32;
+        for (i, &id) in ids.iter().enumerate() {
+            out.insert(id, out[&id] * n + i as u32);
+        }
+        return out;
+    }
+    // Individualize each candidate; keep the lexicographically smallest
+    // serialization.
+    let mut best: Option<(Vec<u8>, BTreeMap<NodeId, u32>)> = None;
+    for &cand in class {
+        let mut init2 = init.clone();
+        init2.get_mut(&cand).unwrap().push(0xAA); // distinguish
+        let colors2 = best_coloring(g, ids, &init2, depth + 1);
+        let ser = serialize(g, ids, &colors2);
+        if best.as_ref().map(|(b, _)| ser < *b).unwrap_or(true) {
+            best = Some((ser, colors2));
+        }
+    }
+    best.unwrap().1
+}
+
+/// Serialize a graph under a node coloring (colors must be a total order on
+/// the nodes for the output to be canonical; ties are broken by sorting the
+/// per-node records, which is stable for equal records).
+fn serialize(g: &Rsg, ids: &[NodeId], colors: &BTreeMap<NodeId, u32>) -> Vec<u8> {
+    let mut order: Vec<NodeId> = ids.to_vec();
+    order.sort_by_key(|n| colors[n]);
+    let rank: BTreeMap<NodeId, u32> =
+        order.iter().enumerate().map(|(i, &n)| (n, i as u32)).collect();
+    let mut out = Vec::with_capacity(order.len() * 48);
+    out.extend_from_slice(&(order.len() as u32).to_le_bytes());
+    for &n in &order {
+        out.extend_from_slice(&initial_color(g, n));
+        out.push(0xFF);
+    }
+    let mut links: Vec<(u32, u32, u32)> = g
+        .links()
+        .map(|(a, s, b)| (rank[&a], s.0, rank[&b]))
+        .collect();
+    links.sort_unstable();
+    for (a, s, b) in links {
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&s.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out.push(0xFC);
+    for (p, n) in g.pl_iter() {
+        out.extend_from_slice(&p.0.to_le_bytes());
+        out.extend_from_slice(&rank[&n].to_le_bytes());
+    }
+    out.push(0xFB);
+    for (v, k) in g.scalars() {
+        out.extend_from_slice(&v.to_le_bytes());
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use psa_cfront::types::{SelectorId, StructId};
+    use psa_ir::PvarId;
+
+    fn sel(i: u32) -> SelectorId {
+        SelectorId(i)
+    }
+
+    #[test]
+    fn identical_graphs_equal() {
+        let g = builder::singly_linked_list(4, 1, PvarId(0), sel(0));
+        assert!(isomorphic(&g, &g.clone()));
+    }
+
+    #[test]
+    fn permuted_construction_is_isomorphic() {
+        // Build the same 3-list in two different node orders.
+        let mut g1 = Rsg::empty(1);
+        let a = g1.add_fresh(StructId(0));
+        let b = g1.add_fresh(StructId(0));
+        let c = g1.add_fresh(StructId(0));
+        g1.set_pl(PvarId(0), a);
+        g1.add_link(a, sel(0), b);
+        g1.add_link(b, sel(0), c);
+        g1.node_mut(a).set_must_out(sel(0));
+        g1.node_mut(b).set_must_in(sel(0));
+        g1.node_mut(b).set_must_out(sel(0));
+        g1.node_mut(c).set_must_in(sel(0));
+
+        let mut g2 = Rsg::empty(1);
+        let c2 = g2.add_fresh(StructId(0));
+        let b2 = g2.add_fresh(StructId(0));
+        let a2 = g2.add_fresh(StructId(0));
+        g2.set_pl(PvarId(0), a2);
+        g2.add_link(a2, sel(0), b2);
+        g2.add_link(b2, sel(0), c2);
+        g2.node_mut(a2).set_must_out(sel(0));
+        g2.node_mut(b2).set_must_in(sel(0));
+        g2.node_mut(b2).set_must_out(sel(0));
+        g2.node_mut(c2).set_must_in(sel(0));
+
+        assert!(isomorphic(&g1, &g2));
+    }
+
+    #[test]
+    fn different_length_lists_differ() {
+        let g3 = builder::singly_linked_list(3, 1, PvarId(0), sel(0));
+        let g4 = builder::singly_linked_list(4, 1, PvarId(0), sel(0));
+        assert!(!isomorphic(&g3, &g4));
+    }
+
+    #[test]
+    fn property_differences_detected() {
+        let g1 = builder::singly_linked_list(3, 1, PvarId(0), sel(0));
+        let mut g2 = g1.clone();
+        let last = g2.node_ids().last().unwrap();
+        g2.node_mut(last).shared = true;
+        assert!(!isomorphic(&g1, &g2));
+    }
+
+    #[test]
+    fn pl_differences_detected() {
+        let g1 = builder::singly_linked_list(3, 2, PvarId(0), sel(0));
+        let mut g2 = g1.clone();
+        let head = g2.pl(PvarId(0)).unwrap();
+        g2.set_pl(PvarId(1), head);
+        assert!(!isomorphic(&g1, &g2));
+    }
+
+    #[test]
+    fn symmetric_graph_canonicalizes() {
+        // Two identical unreached... two identical parallel children: a
+        // symmetric case requiring individualization.
+        let mut g1 = Rsg::empty(1);
+        let r = g1.add_fresh(StructId(0));
+        let x = g1.add_fresh(StructId(0));
+        let y = g1.add_fresh(StructId(0));
+        g1.set_pl(PvarId(0), r);
+        g1.add_link(r, sel(0), x);
+        g1.add_link(r, sel(0), y);
+        g1.node_mut(x).pos_selin.insert(sel(0));
+        g1.node_mut(y).pos_selin.insert(sel(0));
+        g1.node_mut(r).pos_selout.insert(sel(0));
+
+        // Same graph with x/y created in the opposite order.
+        let mut g2 = Rsg::empty(1);
+        let r2 = g2.add_fresh(StructId(0));
+        let y2 = g2.add_fresh(StructId(0));
+        let x2 = g2.add_fresh(StructId(0));
+        g2.set_pl(PvarId(0), r2);
+        g2.add_link(r2, sel(0), x2);
+        g2.add_link(r2, sel(0), y2);
+        g2.node_mut(x2).pos_selin.insert(sel(0));
+        g2.node_mut(y2).pos_selin.insert(sel(0));
+        g2.node_mut(r2).pos_selout.insert(sel(0));
+
+        assert!(isomorphic(&g1, &g2));
+    }
+
+    #[test]
+    fn empty_graphs_equal() {
+        assert!(isomorphic(&Rsg::empty(3), &Rsg::empty(3)));
+    }
+
+    #[test]
+    fn circular_lists_of_different_size_differ() {
+        let a = builder::circular_list(3, 1, PvarId(0), sel(0));
+        let b = builder::circular_list(4, 1, PvarId(0), sel(0));
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn cyclelink_differences_detected() {
+        let g1 = builder::doubly_linked_list(3, 1, PvarId(0), sel(0), sel(1));
+        let mut g2 = g1.clone();
+        let head = g2.pl(PvarId(0)).unwrap();
+        g2.node_mut(head).cyclelinks.drop_first(sel(0));
+        assert!(!isomorphic(&g1, &g2));
+    }
+}

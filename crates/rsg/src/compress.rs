@@ -1,0 +1,449 @@
+//! COMPRESS (§3.1): summarization of compatible nodes within one RSG.
+//!
+//! `C_NODES_RSG(n1, n2)` holds when TYPE, STRUCTURE, SHARED, SHSEL (every
+//! selector), TOUCH coincide, the reference patterns are compatible
+//! (`C_REFPAT`: neither node's must-sets contradict the other's may-sets,
+//! see [`Node::refpat_compatible`]) and the simple paths are compatible
+//! (`C_SPATH0`/`C_SPATH1` depending on the level). Compatible nodes merge via
+//! `MERGE_NODES`, which intersects the must reference-pattern sets, widens
+//! the possible sets, and keeps a cycle link only when the other node cannot
+//! contradict it (paper's CYCLELINKS merge rule).
+
+use crate::ctx::{Level, ShapeCtx};
+use crate::graph::Rsg;
+use crate::node::{Node, NodeId};
+use crate::sets::CycleSet;
+use crate::spath::{self};
+
+/// MERGE_NODES (§3.1) over nodes `a`/`b` of graph `g` (used by intra-graph
+/// compression, inter-graph join, and the RSRSG widening join).
+///
+/// Preconditions (checked in debug builds): equal TYPE and TOUCH. SHARED
+/// and SHSEL reconcile by union (sound for may-flags; the compress/join
+/// compatibility predicates require equality anyway — only the widening
+/// join merges differing flags). `summary` is the flag for the result
+/// (true for intra-graph merges; `a.summary || b.summary` for joins).
+pub fn merge_nodes(g: &Rsg, aid: NodeId, bid: NodeId, summary: bool) -> Node {
+    let a = g.node(aid);
+    let b = g.node(bid);
+    debug_assert_eq!(a.ty, b.ty);
+    debug_assert_eq!(a.touch, b.touch);
+    // SHARED/SHSEL are may-flags: the union is a sound (if nodes with equal
+    // flags merge, it is also exact — the compress/join compatibility
+    // predicates require equality; the RSRSG widening join deliberately
+    // merges nodes with different flags and takes the OR).
+    let shared = a.shared || b.shared;
+    let shsel = a.shsel.union(b.shsel);
+
+    let selin = a.selin.inter(b.selin);
+    let selout = a.selout.inter(b.selout);
+    let pos_selin = a
+        .selin
+        .union(b.selin)
+        .union(a.pos_selin)
+        .union(b.pos_selin)
+        .diff(selin);
+    let pos_selout = a
+        .selout
+        .union(b.selout)
+        .union(a.pos_selout)
+        .union(b.pos_selout)
+        .diff(selout);
+
+    // CYCLELINKS: keep common pairs; keep a one-sided pair when the other
+    // node has no out-link through the pair's first selector (so it cannot
+    // witness a violation).
+    let mut pairs = Vec::new();
+    for (s1, s2) in a.cyclelinks.iter() {
+        if b.cyclelinks.contains(s1, s2) || g.succs(bid, s1).is_empty() {
+            pairs.push((s1, s2));
+        }
+    }
+    for (s1, s2) in b.cyclelinks.iter() {
+        if !a.cyclelinks.contains(s1, s2) && g.succs(aid, s1).is_empty() {
+            pairs.push((s1, s2));
+        }
+    }
+
+    Node {
+        ty: a.ty,
+        shared,
+        shsel,
+        selin,
+        selout,
+        pos_selin,
+        pos_selout,
+        cyclelinks: CycleSet::from_pairs(pairs),
+        touch: a.touch.clone(),
+        summary,
+    }
+}
+
+/// Merge a whole group left to right.
+fn merge_group(g: &Rsg, group: &[NodeId]) -> Node {
+    debug_assert!(group.len() >= 2);
+    // Fold MERGE_NODES over the group. The paper's MERGE_COMP_NODES is a
+    // right fold; merging is associative up to the conservative CYCLELINKS
+    // rule, and a left fold keeps the code iterative. Intermediate results
+    // are evaluated against the original graph's links, as in the paper
+    // (the formulas reference `NL(rsg)`).
+    let mut acc = merge_nodes(g, group[0], group[1], true);
+    for &nid in &group[2..] {
+        // Build a view: compare `acc` with node `nid`. We temporarily treat
+        // `acc`'s links as the union of the group's prior members' links by
+        // checking succs on each member.
+        let n = g.node(nid);
+        let selin = acc.selin.inter(n.selin);
+        let selout = acc.selout.inter(n.selout);
+        let pos_selin = acc
+            .selin
+            .union(n.selin)
+            .union(acc.pos_selin)
+            .union(n.pos_selin)
+            .diff(selin);
+        let pos_selout = acc
+            .selout
+            .union(n.selout)
+            .union(acc.pos_selout)
+            .union(n.pos_selout)
+            .diff(selout);
+        let mut pairs = Vec::new();
+        for (s1, s2) in acc.cyclelinks.iter() {
+            if n.cyclelinks.contains(s1, s2) || g.succs(nid, s1).is_empty() {
+                pairs.push((s1, s2));
+            }
+        }
+        for (s1, s2) in n.cyclelinks.iter() {
+            // `acc` has an s1-link when any earlier member had one; be
+            // conservative and drop the pair unless acc also had it (handled
+            // above) — i.e. one-sided pairs from later members survive only
+            // if acc's cycle set already had them. This is strictly
+            // conservative (soundness is never hurt by dropping must-pairs).
+            let _ = (s1, s2);
+        }
+        acc = Node {
+            ty: acc.ty,
+            shared: acc.shared,
+            shsel: acc.shsel,
+            selin,
+            selout,
+            pos_selin,
+            pos_selout,
+            cyclelinks: CycleSet::from_pairs(pairs),
+            touch: acc.touch.clone(),
+            summary: true,
+        };
+    }
+    acc
+}
+
+/// The equality-based part of the `C_NODES_RSG` signature.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct GroupKey {
+    ty: u32,
+    structure: u32,
+    shared: bool,
+    shsel: u64,
+    touch: Vec<u32>,
+    zero_spath: Vec<u32>,
+}
+
+/// One COMPRESS pass: partition by the equality signature, then greedily
+/// sub-partition by the non-transitive compatibilities — `C_REFPAT`
+/// (musts ⊆ mays both ways, tracked against the accumulated group view) and
+/// `C_SPATH1` when the level requires it. Merge groups, rebuild.
+/// Returns `(graph, merged_any)`.
+fn compress_once(g: &Rsg, _ctx: &ShapeCtx, level: Level) -> (Rsg, bool) {
+    let labels = g.structure_labels();
+    let sps = spath::spaths(g);
+
+    // Partition by the equality key.
+    let mut parts: std::collections::BTreeMap<GroupKey, Vec<NodeId>> =
+        std::collections::BTreeMap::new();
+    for id in g.node_ids() {
+        let n = g.node(id);
+        let key = GroupKey {
+            ty: n.ty.0,
+            structure: labels[id.0 as usize],
+            shared: n.shared,
+            shsel: n.shsel.0,
+            touch: n.touch.iter().map(|p| p.0).collect(),
+            zero_spath: sps[id.0 as usize].zero.iter().map(|p| p.0).collect(),
+        };
+        parts.entry(key).or_default().push(id);
+    }
+
+    // Greedy sub-partition by refpat (+ spath1) compatibility, tracked
+    // against the accumulating group view.
+    struct GroupView {
+        members: Vec<NodeId>,
+        // Accumulated refpat: intersection of musts, union of mays.
+        selin: crate::sets::SelSet,
+        selout: crate::sets::SelSet,
+        may_in: crate::sets::SelSet,
+        may_out: crate::sets::SelSet,
+        one: Vec<(psa_ir::PvarId, psa_cfront::types::SelectorId)>,
+        one_empty_ok: bool,
+    }
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    for (_, members) in parts {
+        if members.len() == 1 {
+            groups.push(members);
+            continue;
+        }
+        let mut sub: Vec<GroupView> = Vec::new();
+        'member: for id in members {
+            let n = g.node(id);
+            let sp = &sps[id.0 as usize];
+            for view in sub.iter_mut() {
+                let refpat_ok = view.selin.diff(n.may_selin()).is_empty()
+                    && n.selin.diff(view.may_in).is_empty()
+                    && view.selout.diff(n.may_selout()).is_empty()
+                    && n.selout.diff(view.may_out).is_empty();
+                let spath_ok = if !level.use_spath1() {
+                    true
+                } else if sp.one.is_empty() && view.one_empty_ok {
+                    true
+                } else {
+                    sp.one.iter().any(|x| view.one.contains(x))
+                };
+                if refpat_ok && spath_ok {
+                    view.members.push(id);
+                    view.selin = view.selin.inter(n.selin);
+                    view.selout = view.selout.inter(n.selout);
+                    view.may_in = view.may_in.union(n.may_selin());
+                    view.may_out = view.may_out.union(n.may_selout());
+                    view.one_empty_ok &= sp.one.is_empty();
+                    for x in &sp.one {
+                        if !view.one.contains(x) {
+                            view.one.push(*x);
+                        }
+                    }
+                    continue 'member;
+                }
+            }
+            sub.push(GroupView {
+                members: vec![id],
+                selin: n.selin,
+                selout: n.selout,
+                may_in: n.may_selin(),
+                may_out: n.may_selout(),
+                one: sp.one.clone(),
+                one_empty_ok: sp.one.is_empty(),
+            });
+        }
+        groups.extend(sub.into_iter().map(|v| v.members));
+    }
+
+    let merged_any = groups.iter().any(|grp| grp.len() >= 2);
+    if !merged_any {
+        return (g.clone(), false);
+    }
+
+    // Rebuild: map old ids to new ids.
+    let cap = g.node_ids().map(|n| n.0 as usize + 1).max().unwrap_or(0);
+    let mut map: Vec<Option<NodeId>> = vec![None; cap];
+    let mut out = Rsg::empty(g.num_pvar_slots());
+    for grp in &groups {
+        let new_id = if grp.len() == 1 {
+            out.add_node(g.node(grp[0]).clone())
+        } else {
+            out.add_node(merge_group(g, grp))
+        };
+        for &old in grp {
+            map[old.0 as usize] = Some(new_id);
+        }
+    }
+    for (p, n) in g.pl_iter() {
+        out.set_pl(p, map[n.0 as usize].expect("mapped"));
+    }
+    for (a, sel, b) in g.links() {
+        out.add_link(
+            map[a.0 as usize].expect("mapped"),
+            sel,
+            map[b.0 as usize].expect("mapped"),
+        );
+    }
+    (out, true)
+}
+
+/// COMPRESS to a fixed point: merging can expose further compatible pairs
+/// (structure labels and SPATHs change), so iterate until stable. The node
+/// count strictly decreases on every merging pass, so this terminates.
+pub fn compress(g: &Rsg, ctx: &ShapeCtx, level: Level) -> Rsg {
+    let mut cur = g.clone();
+    cur.gc();
+    loop {
+        let (next, merged) = compress_once(&cur, ctx, level);
+        if !merged {
+            return next;
+        }
+        cur = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use psa_cfront::types::{SelectorId, StructId};
+    use psa_ir::PvarId;
+
+    fn sel(i: u32) -> SelectorId {
+        SelectorId(i)
+    }
+
+    /// p0 -> n0 -s0-> n1 -s0-> n2 -s0-> n3, with must in/out sets as a
+    /// concrete singly-linked list would have.
+    fn list4() -> Rsg {
+        builder::singly_linked_list(4, 1, PvarId(0), sel(0))
+    }
+
+    #[test]
+    fn list_middle_nodes_summarize_at_l1() {
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let g = list4();
+        assert_eq!(g.num_nodes(), 4);
+        let c = compress(&g, &ctx, Level::L1);
+        // head (pvar-pointed, selin ∅), middle (selin {s0}, selout {s0}),
+        // tail (selout ∅): 3 classes.
+        assert_eq!(c.num_nodes(), 3);
+        c.check_invariants(&ctx).unwrap();
+        // The merged middle node is a summary with a self link.
+        let summary: Vec<_> = c.node_ids().filter(|&n| c.node(n).summary).collect();
+        assert_eq!(summary.len(), 1);
+        let s = summary[0];
+        assert!(c.has_link(s, sel(0), s));
+    }
+
+    #[test]
+    fn spath1_keeps_one_hop_node_separate() {
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let g = list4();
+        let c = compress(&g, &ctx, Level::L2);
+        // At L2, the node one hop from p0 cannot merge with the deeper
+        // middle node: head, second, middle(third), tail = 4 nodes.
+        assert_eq!(c.num_nodes(), 4);
+    }
+
+    #[test]
+    fn longer_list_compresses_same_at_l1() {
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let g = builder::singly_linked_list(10, 1, PvarId(0), sel(0));
+        let c = compress(&g, &ctx, Level::L1);
+        assert_eq!(c.num_nodes(), 3, "any length ≥ 3 collapses to 3 nodes");
+    }
+
+    #[test]
+    fn shared_flag_blocks_merge() {
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let mut g = list4();
+        // Mark one middle node as shared: it can no longer merge with the
+        // other middle node.
+        let ids: Vec<_> = g.node_ids().collect();
+        g.node_mut(ids[1]).shared = true;
+        let c = compress(&g, &ctx, Level::L1);
+        assert_eq!(c.num_nodes(), 4);
+    }
+
+    #[test]
+    fn touch_blocks_merge_at_l3_only() {
+        let ctx = ShapeCtx::synthetic(2, 1);
+        let mut g = list4();
+        let ids: Vec<_> = g.node_ids().collect();
+        g.node_mut(ids[1]).touch.insert(PvarId(1));
+        // At L3 the touched middle differs from the untouched middle.
+        let c3 = compress(&g, &ctx, Level::L3);
+        assert_eq!(c3.num_nodes(), 4);
+        // The compatibility predicate always compares TOUCH, but at L1 the
+        // engine never populates it; simulate by clearing.
+        let mut g1 = g.clone();
+        for id in g1.node_ids().collect::<Vec<_>>() {
+            g1.node_mut(id).touch = crate::sets::TouchSet::new();
+        }
+        let c1 = compress(&g1, &ctx, Level::L1);
+        assert_eq!(c1.num_nodes(), 3);
+    }
+
+    #[test]
+    fn disjoint_structures_never_merge() {
+        let ctx = ShapeCtx::synthetic(2, 1);
+        // Two disjoint 3-lists pointed by p0 and p1.
+        let mut g = builder::singly_linked_list(3, 2, PvarId(0), sel(0));
+        let heads: Vec<_> = g.node_ids().collect();
+        let _ = heads;
+        let a = g.add_fresh(StructId(0));
+        let b = g.add_fresh(StructId(0));
+        let c = g.add_fresh(StructId(0));
+        g.set_pl(PvarId(1), a);
+        g.add_link(a, sel(0), b);
+        g.add_link(b, sel(0), c);
+        g.node_mut(a).set_must_out(sel(0));
+        g.node_mut(b).set_must_in(sel(0));
+        g.node_mut(b).set_must_out(sel(0));
+        g.node_mut(c).set_must_in(sel(0));
+        let before = g.num_nodes();
+        let out = compress(&g, &ctx, Level::L1);
+        // STRUCTURE forbids cross-structure merges; within each list nothing
+        // merges either (lists of 3 have distinct head/middle/tail).
+        assert_eq!(out.num_nodes(), before);
+    }
+
+    #[test]
+    fn merge_nodes_reference_patterns() {
+        let mut g = Rsg::empty(1);
+        let a = g.add_fresh(StructId(0));
+        let b = g.add_fresh(StructId(0));
+        g.node_mut(a).set_must_in(sel(0));
+        g.node_mut(a).set_must_out(sel(0));
+        g.node_mut(b).set_must_in(sel(0));
+        let m = merge_nodes(&g, a, b, true);
+        assert_eq!(m.selin, crate::sets::SelSet::single(sel(0)));
+        assert!(m.selout.is_empty());
+        // a's must-out becomes possible in the merge.
+        assert!(m.pos_selout.contains(sel(0)));
+        assert!(m.summary);
+    }
+
+    #[test]
+    fn merge_nodes_cyclelinks_one_sided() {
+        let mut g = Rsg::empty(1);
+        let a = g.add_fresh(StructId(0));
+        let b = g.add_fresh(StructId(0));
+        let t = g.add_fresh(StructId(0));
+        g.node_mut(a).cyclelinks.insert(sel(0), sel(1));
+        // b has no s0 out-link: a's pair survives.
+        let m = merge_nodes(&g, a, b, true);
+        assert!(m.cyclelinks.contains(sel(0), sel(1)));
+        // Give b an s0 link: the pair is dropped (b cannot guarantee it).
+        g.add_link(b, sel(0), t);
+        let m2 = merge_nodes(&g, a, b, true);
+        assert!(!m2.cyclelinks.contains(sel(0), sel(1)));
+    }
+
+    #[test]
+    fn compress_idempotent() {
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let g = list4();
+        let c1 = compress(&g, &ctx, Level::L1);
+        let c2 = compress(&c1, &ctx, Level::L1);
+        assert_eq!(c1.num_nodes(), c2.num_nodes());
+        assert_eq!(c1.num_links(), c2.num_links());
+    }
+
+    #[test]
+    fn doubly_linked_list_compress_preserves_cycles() {
+        let ctx = ShapeCtx::synthetic(1, 2);
+        let g = builder::doubly_linked_list(5, 1, PvarId(0), sel(0), sel(1));
+        let c = compress(&g, &ctx, Level::L1);
+        // head, middle summary, tail.
+        assert_eq!(c.num_nodes(), 3);
+        // Middle summary keeps the <nxt,prv> and <prv,nxt> cycle pairs.
+        let mid = c
+            .node_ids()
+            .find(|&n| c.node(n).summary)
+            .expect("summary node");
+        assert!(c.node(mid).cyclelinks.contains(sel(0), sel(1)));
+        assert!(c.node(mid).cyclelinks.contains(sel(1), sel(0)));
+    }
+}

@@ -1,0 +1,138 @@
+//! Graphviz/DOT export of RSGs, mirroring the paper's figures: square boxes
+//! for singular nodes, doubled boxes for summary nodes, pvar arrows from
+//! plaintext labels, selector-labelled edges.
+
+use crate::ctx::ShapeCtx;
+use crate::graph::Rsg;
+use std::fmt::Write;
+
+/// Render one RSG as a DOT digraph named `name`.
+pub fn rsg_to_dot(g: &Rsg, ctx: &ShapeCtx, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
+    for n in g.node_ids() {
+        let nd = g.node(n);
+        let mut props = Vec::new();
+        if nd.shared {
+            props.push("SH".to_string());
+        }
+        if !nd.shsel.is_empty() {
+            let sels: Vec<&str> = nd
+                .shsel
+                .iter()
+                .map(|s| ctx.selector_names[s.0 as usize].as_str())
+                .collect();
+            props.push(format!("shsel:{}", sels.join("/")));
+        }
+        if !nd.touch.is_empty() {
+            let ps: Vec<&str> = nd
+                .touch
+                .iter()
+                .map(|p| ctx.pvar_names[p.0 as usize].as_str())
+                .collect();
+            props.push(format!("touch:{}", ps.join("/")));
+        }
+        if !nd.cyclelinks.is_empty() {
+            let cl: Vec<String> = nd
+                .cyclelinks
+                .iter()
+                .map(|(a, b)| {
+                    format!(
+                        "<{},{}>",
+                        ctx.selector_names[a.0 as usize], ctx.selector_names[b.0 as usize]
+                    )
+                })
+                .collect();
+            props.push(format!("cyc:{}", cl.join("")));
+        }
+        let label = if props.is_empty() {
+            format!("n{}\\n{}", n.0, ctx.struct_names[nd.ty.0 as usize])
+        } else {
+            format!(
+                "n{}\\n{}\\n{}",
+                n.0,
+                ctx.struct_names[nd.ty.0 as usize],
+                props.join("\\n")
+            )
+        };
+        let peripheries = if nd.summary { 2 } else { 1 };
+        let _ = writeln!(out, "  n{} [label=\"{label}\", peripheries={peripheries}];", n.0);
+    }
+    for (p, n) in g.pl_iter() {
+        let pname = &ctx.pvar_names[p.0 as usize];
+        let _ = writeln!(out, "  pv{} [label=\"{pname}\", shape=plaintext];", p.0);
+        let _ = writeln!(out, "  pv{} -> n{};", p.0, n.0);
+    }
+    for (a, sel, b) in g.links() {
+        let sname = &ctx.selector_names[sel.0 as usize];
+        let _ = writeln!(out, "  n{} -> n{} [label=\"{sname}\"];", a.0, b.0);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Render a set of RSGs (an RSRSG) as one DOT file with clustered subgraphs.
+pub fn rsrsg_to_dot(graphs: &[Rsg], ctx: &ShapeCtx, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
+    for (gi, g) in graphs.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{gi} {{");
+        let _ = writeln!(out, "    label=\"rsg{gi}\";");
+        for n in g.node_ids() {
+            let nd = g.node(n);
+            let peripheries = if nd.summary { 2 } else { 1 };
+            let _ = writeln!(
+                out,
+                "    g{gi}n{} [label=\"n{}:{}\", peripheries={peripheries}];",
+                n.0, n.0, ctx.struct_names[nd.ty.0 as usize]
+            );
+        }
+        for (p, n) in g.pl_iter() {
+            let pname = &ctx.pvar_names[p.0 as usize];
+            let _ = writeln!(out, "    g{gi}pv{} [label=\"{pname}\", shape=plaintext];", p.0);
+            let _ = writeln!(out, "    g{gi}pv{} -> g{gi}n{};", p.0, n.0);
+        }
+        for (a, sel, b) in g.links() {
+            let sname = &ctx.selector_names[sel.0 as usize];
+            let _ = writeln!(out, "    g{gi}n{} -> g{gi}n{} [label=\"{sname}\"];", a.0, b.0);
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::ctx::ShapeCtx;
+    use psa_cfront::types::SelectorId;
+    use psa_ir::PvarId;
+
+    #[test]
+    fn dot_contains_nodes_edges_pvars() {
+        let ctx = ShapeCtx::synthetic(1, 2);
+        let (g, _) = builder::fig1_dll(PvarId(0), 1, SelectorId(0), SelectorId(1));
+        let dot = rsg_to_dot(&g, &ctx, "fig1");
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("peripheries=2"), "summary node is doubled");
+        assert!(dot.contains("p0"));
+        assert!(dot.contains("label=\"s0\""));
+        assert!(dot.contains("cyc:"));
+    }
+
+    #[test]
+    fn rsrsg_dot_clusters() {
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let a = builder::singly_linked_list(2, 1, PvarId(0), SelectorId(0));
+        let b = builder::singly_linked_list(3, 1, PvarId(0), SelectorId(0));
+        let dot = rsrsg_to_dot(&[a, b], &ctx, "set");
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("cluster_1"));
+    }
+}

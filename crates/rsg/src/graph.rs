@@ -1,0 +1,778 @@
+//! The RSG graph: nodes, pvar references (PL) and selector links (NL).
+
+use crate::ctx::ShapeCtx;
+use crate::node::{Node, NodeId};
+use crate::sets::SelSet;
+use psa_cfront::types::{SelectorId, StructId};
+use psa_ir::PvarId;
+use std::collections::BTreeSet;
+
+/// A Reference Shape Graph.
+///
+/// Invariants maintained by the operations in this crate:
+///
+/// * **one PL target per pvar** — a single control path binds each pvar to
+///   at most one location, so `pl[p]` is an `Option`;
+/// * **pvar-pointed nodes are singular** — a pvar designates exactly one
+///   location, and the SPATH property prevents its node from being merged
+///   with any location not pointed to by the same pvar;
+/// * NL links are *may* information; the node property must-sets
+///   (`selin`/`selout`/`cyclelinks`) carry the *must* information that
+///   pruning exploits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rsg {
+    nodes: Vec<Option<Node>>,
+    pl: Vec<Option<NodeId>>,
+    links: BTreeSet<(NodeId, SelectorId, NodeId)>,
+    /// Known constant values of tracked scalar (flag) variables: an entry
+    /// `v ↦ k` asserts that in **every** configuration this graph
+    /// represents, scalar `v` holds `k`. Maintained by the engine from
+    /// `ScalarConst`/`ScalarHavoc` statements and `ScalarEq` branch
+    /// refinement; keeps flag-guarded loops (`done`-style) precise.
+    scalars: std::collections::BTreeMap<u32, i64>,
+}
+
+impl Rsg {
+    /// An empty graph over `num_pvars` pointer variables.
+    pub fn empty(num_pvars: usize) -> Rsg {
+        Rsg {
+            nodes: Vec::new(),
+            pl: vec![None; num_pvars],
+            links: BTreeSet::new(),
+            scalars: std::collections::BTreeMap::new(),
+        }
+    }
+
+    // ---------------------------------------------------------- scalars
+
+    /// The known constant of tracked scalar `v`, if any.
+    pub fn scalar(&self, v: u32) -> Option<i64> {
+        self.scalars.get(&v).copied()
+    }
+
+    /// Record that scalar `v` holds `k` in every represented configuration.
+    pub fn set_scalar(&mut self, v: u32, k: i64) {
+        self.scalars.insert(v, k);
+    }
+
+    /// Forget scalar `v`'s value (havoc).
+    pub fn clear_scalar(&mut self, v: u32) {
+        self.scalars.remove(&v);
+    }
+
+    /// The full known-scalar environment.
+    pub fn scalars(&self) -> &std::collections::BTreeMap<u32, i64> {
+        &self.scalars
+    }
+
+    /// Keep only the facts present and equal in both environments (the
+    /// join of the flat constant lattice).
+    pub fn intersect_scalars(&mut self, other: &Rsg) {
+        self.scalars.retain(|k, v| other.scalars.get(k) == Some(v));
+    }
+
+    // ------------------------------------------------------------- nodes
+
+    /// Insert a node, returning its id.
+    pub fn add_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(node));
+        id
+    }
+
+    /// Access a node.
+    ///
+    /// # Panics
+    /// If the node was removed.
+    pub fn node(&self, id: NodeId) -> &Node {
+        self.nodes[id.0 as usize].as_ref().expect("dead node")
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.nodes[id.0 as usize].as_mut().expect("dead node")
+    }
+
+    /// True if the id refers to a live node.
+    pub fn is_live(&self, id: NodeId) -> bool {
+        (id.0 as usize) < self.nodes.len() && self.nodes[id.0 as usize].is_some()
+    }
+
+    /// Remove a node together with its links and pvar references.
+    pub fn remove_node(&mut self, id: NodeId) {
+        self.nodes[id.0 as usize] = None;
+        self.links.retain(|&(a, _, b)| a != id && b != id);
+        for slot in self.pl.iter_mut() {
+            if *slot == Some(id) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Iterate live node ids in increasing order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_some())
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Number of live nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    // ------------------------------------------------------------- PL
+
+    /// The node pointed to by `p`, if bound (absence encodes NULL).
+    pub fn pl(&self, p: PvarId) -> Option<NodeId> {
+        self.pl[p.0 as usize]
+    }
+
+    /// Bind `p` to `n`.
+    pub fn set_pl(&mut self, p: PvarId, n: NodeId) {
+        debug_assert!(self.is_live(n));
+        self.pl[p.0 as usize] = Some(n);
+    }
+
+    /// Unbind `p` (NULL).
+    pub fn clear_pl(&mut self, p: PvarId) {
+        self.pl[p.0 as usize] = None;
+    }
+
+    /// Iterate `(pvar, node)` bindings.
+    pub fn pl_iter(&self) -> impl Iterator<Item = (PvarId, NodeId)> + '_ {
+        self.pl
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.map(|n| (PvarId(i as u32), n)))
+    }
+
+    /// Number of pvar slots (bound or not).
+    pub fn num_pvar_slots(&self) -> usize {
+        self.pl.len()
+    }
+
+    /// The pvars bound to node `n`, sorted.
+    pub fn pvars_of(&self, n: NodeId) -> Vec<PvarId> {
+        self.pl_iter().filter(|&(_, m)| m == n).map(|(p, _)| p).collect()
+    }
+
+    // ------------------------------------------------------------- NL
+
+    /// Add link `<a, sel, b>`; returns true if it was new.
+    pub fn add_link(&mut self, a: NodeId, sel: SelectorId, b: NodeId) -> bool {
+        debug_assert!(self.is_live(a) && self.is_live(b));
+        self.links.insert((a, sel, b))
+    }
+
+    /// Remove link `<a, sel, b>`; returns true if it existed.
+    pub fn remove_link(&mut self, a: NodeId, sel: SelectorId, b: NodeId) -> bool {
+        self.links.remove(&(a, sel, b))
+    }
+
+    /// Does link `<a, sel, b>` exist?
+    pub fn has_link(&self, a: NodeId, sel: SelectorId, b: NodeId) -> bool {
+        self.links.contains(&(a, sel, b))
+    }
+
+    /// All links, sorted.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, SelectorId, NodeId)> + '_ {
+        self.links.iter().copied()
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Targets of `a` through `sel`, sorted.
+    pub fn succs(&self, a: NodeId, sel: SelectorId) -> Vec<NodeId> {
+        self.links
+            .range((a, sel, NodeId(0))..=(a, sel, NodeId(u32::MAX)))
+            .map(|&(_, _, b)| b)
+            .collect()
+    }
+
+    /// All outgoing links of `a`, sorted.
+    pub fn out_links(&self, a: NodeId) -> Vec<(SelectorId, NodeId)> {
+        self.links
+            .range((a, SelectorId(0), NodeId(0))..=(a, SelectorId(u32::MAX), NodeId(u32::MAX)))
+            .map(|&(_, s, b)| (s, b))
+            .collect()
+    }
+
+    /// All incoming links of `b` (linear scan; graphs are small).
+    pub fn in_links(&self, b: NodeId) -> Vec<(NodeId, SelectorId)> {
+        self.links.iter().filter(|&&(_, _, t)| t == b).map(|&(a, s, _)| (a, s)).collect()
+    }
+
+    /// Incoming links of `b` through `sel`.
+    pub fn preds(&self, b: NodeId, sel: SelectorId) -> Vec<NodeId> {
+        self.links
+            .iter()
+            .filter(|&&(_, s, t)| t == b && s == sel)
+            .map(|&(a, _, _)| a)
+            .collect()
+    }
+
+    /// Nodes **definitely present** in every configuration the graph
+    /// represents. A node can be "empty" in some configurations — joined
+    /// graphs keep alternative substructures side by side (Fig. 1(a):
+    /// `n1-nxt->{n2,n3}`), and a node contributed by only one alternative
+    /// represents no location in the others. Presence propagates from pvar
+    /// targets (a bound pvar designates a real location) along definite
+    /// links: a present **singular** node with a must-out selector and a
+    /// unique successor definitely populates that link.
+    pub fn present_nodes(&self) -> Vec<bool> {
+        let mut present = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = Vec::new();
+        for (_, n) in self.pl_iter() {
+            if !present[n.0 as usize] {
+                present[n.0 as usize] = true;
+                stack.push(n);
+            }
+        }
+        while let Some(a) = stack.pop() {
+            let na = self.node(a);
+            if na.summary {
+                continue; // cannot single out which location holds the link
+            }
+            for sel in na.selout.iter() {
+                let succs = self.succs(a, sel);
+                if let [b] = succs[..] {
+                    if !present[b.0 as usize] {
+                        present[b.0 as usize] = true;
+                        stack.push(b);
+                    }
+                }
+            }
+        }
+        present
+    }
+
+    /// A link `<a, sel, b>` is **definite** when it must exist in every
+    /// represented configuration: `a` is definitely present and singular,
+    /// `sel` is a must-out selector of `a`, and `b` is `a`'s only `sel`
+    /// successor. Callers iterating many links should use
+    /// [`Rsg::present_nodes`] once and
+    /// [`Rsg::is_definite_link_with`] instead.
+    pub fn is_definite_link(&self, a: NodeId, sel: SelectorId, b: NodeId) -> bool {
+        self.is_definite_link_with(&self.present_nodes(), a, sel, b)
+    }
+
+    /// [`Rsg::is_definite_link`] with a precomputed presence vector.
+    pub fn is_definite_link_with(
+        &self,
+        present: &[bool],
+        a: NodeId,
+        sel: SelectorId,
+        b: NodeId,
+    ) -> bool {
+        let na = self.node(a);
+        present[a.0 as usize]
+            && !na.summary
+            && na.selout.contains(sel)
+            && self.succs(a, sel) == vec![b]
+    }
+
+    // ------------------------------------------------------- maintenance
+
+    /// Remove nodes unreachable from every pvar (garbage). Returns the
+    /// number of nodes dropped.
+    ///
+    /// Garbage may still hold links **into** surviving nodes (a detached
+    /// list element keeps its `prv` back-pointer). The analysis models the
+    /// reachable sub-heap — garbage can never be named again, so dropping it
+    /// is sound — but survivors' must-in selectors whose only witnesses came
+    /// from garbage are weakened to *possible*, otherwise `N_PRUNE` would
+    /// wrongly declare the graph contradictory. (The reverse direction needs
+    /// no care: a survivor linking *to* a node makes that node reachable, so
+    /// survivor→garbage links cannot exist.)
+    pub fn gc(&mut self) -> usize {
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = self.pl.iter().flatten().copied().collect();
+        for &n in &stack {
+            reachable[n.0 as usize] = true;
+        }
+        while let Some(n) = stack.pop() {
+            for (_, b) in self.out_links(n) {
+                if !reachable[b.0 as usize] {
+                    reachable[b.0 as usize] = true;
+                    stack.push(b);
+                }
+            }
+        }
+        let dead: Vec<NodeId> = self
+            .node_ids()
+            .filter(|n| !reachable[n.0 as usize])
+            .collect();
+        if dead.is_empty() {
+            return 0;
+        }
+        // Weaken survivors that lose garbage-held in-links.
+        let crossing: Vec<(SelectorId, NodeId)> = self
+            .links
+            .iter()
+            .filter(|&&(a, _, b)| !reachable[a.0 as usize] && reachable[b.0 as usize])
+            .map(|&(_, s, b)| (s, b))
+            .collect();
+        for n in &dead {
+            self.nodes[n.0 as usize] = None;
+        }
+        self.links
+            .retain(|&(a, _, b)| reachable[a.0 as usize] && reachable[b.0 as usize]);
+        if !crossing.is_empty() {
+            // A surviving must-in claim needs a *definite* witness: remaining
+            // may-links through the same selector can be alternatives from
+            // other configurations — the dropped garbage link may have been
+            // this configuration's only reference (found by the differential
+            // harness on Barnes-Hut: popping the traversal stack).
+            let present = self.present_nodes();
+            for (s, b) in crossing {
+                let witnessed = self
+                    .preds(b, s)
+                    .into_iter()
+                    .any(|a| self.is_definite_link_with(&present, a, s, b));
+                if !witnessed {
+                    self.node_mut(b).weaken_in(s);
+                }
+            }
+        }
+        dead.len()
+    }
+
+    /// STRUCTURE labels: the canonical label of each node's weakly-connected
+    /// component, defined as the smallest pvar bound into the component.
+    /// Call after [`Rsg::gc`] so every component has at least one pvar.
+    /// Returns `u32::MAX` for nodes in components no pvar reaches (pending
+    /// garbage).
+    pub fn structure_labels(&self) -> Vec<u32> {
+        let n = self.nodes.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for &(a, _, b) in &self.links {
+            let ra = find(&mut parent, a.0 as usize);
+            let rb = find(&mut parent, b.0 as usize);
+            if ra != rb {
+                parent[ra.max(rb)] = ra.min(rb);
+            }
+        }
+        let mut label = vec![u32::MAX; n];
+        for (p, nd) in self.pl_iter() {
+            let r = find(&mut parent, nd.0 as usize);
+            if p.0 < label[r] {
+                label[r] = p.0;
+            }
+        }
+        let mut out = vec![u32::MAX; n];
+        for id in self.node_ids() {
+            let r = find(&mut parent, id.0 as usize);
+            out[id.0 as usize] = label[r];
+        }
+        out
+    }
+
+    /// Relax SHARED/SHSEL downward where provable (§4.2 relies on `false`
+    /// sharing values for aggressive pruning):
+    ///
+    /// * a **singular** node with no incoming `sel` links, or exactly one
+    ///   incoming `sel` link from a singular source, is not `sel`-shared;
+    /// * a singular node whose total incoming concrete references are
+    ///   provably ≤ 1 is not shared.
+    ///
+    /// Links from summary sources may stand for several concrete links, so
+    /// they block the relaxation.
+    pub fn relax_sharing(&mut self) {
+        let ids: Vec<NodeId> = self.node_ids().collect();
+        for id in ids {
+            if self.node(id).summary {
+                continue;
+            }
+            let in_links = self.in_links(id);
+            let mut new_shsel = self.node(id).shsel;
+            let mut provable_total = 0usize; // ≥2 means "cannot relax shared"
+            let mut unknown = false;
+            // Consider every selector that is flagged shared or has in-links.
+            let relevant: SelSet = in_links
+                .iter()
+                .map(|&(_, s)| s)
+                .collect::<SelSet>()
+                .union(new_shsel);
+            for sel in relevant.iter() {
+                let sources: Vec<NodeId> = in_links
+                    .iter()
+                    .filter(|&&(_, s)| s == sel)
+                    .map(|&(a, _)| a)
+                    .collect();
+                if sources.is_empty() {
+                    new_shsel.remove(sel);
+                } else if sources.len() == 1 && !self.node(sources[0]).summary {
+                    new_shsel.remove(sel);
+                    provable_total += 1;
+                } else {
+                    unknown = true;
+                }
+            }
+            let node = self.node_mut(id);
+            node.shsel = new_shsel;
+            if !unknown && provable_total <= 1 {
+                node.shared = false;
+            }
+        }
+    }
+
+    /// Weaken must-in selectors that lost every **definitely-present**
+    /// witness: `selin(b) ∋ s` asserts that in every configuration some
+    /// location references `b` through `s`, and that assertion outlives its
+    /// witness when the referencing node becomes reachable only through
+    /// may-links (e.g. the popped Barnes-Hut stack entry still chained
+    /// through `sp->prev` alternatives). Demoting the claim to *possible*
+    /// is always sound; called at the end of every statement transfer.
+    ///
+    /// A present predecessor holding a may-link still counts as a witness:
+    /// such configurations arise from JOIN, which preserves the per-config
+    /// truth of the merged must-ins.
+    pub fn weaken_unwitnessed_ins(&mut self) {
+        let present = self.present_nodes();
+        let ids: Vec<NodeId> = self.node_ids().collect();
+        for b in ids {
+            let must_in = self.node(b).selin;
+            for s in must_in.iter() {
+                let witnessed =
+                    self.preds(b, s).into_iter().any(|a| present[a.0 as usize]);
+                if !witnessed {
+                    self.node_mut(b).weaken_in(s);
+                }
+            }
+        }
+    }
+
+    /// Approximate structural size in bytes (nodes + links + PL), the unit
+    /// of the Table 1 "Space" column.
+    pub fn approx_bytes(&self) -> usize {
+        let node_bytes: usize = self
+            .nodes
+            .iter()
+            .flatten()
+            .map(|n| n.approx_bytes())
+            .sum();
+        node_bytes
+            + self.links.len() * std::mem::size_of::<(NodeId, SelectorId, NodeId)>()
+            + self.pl.len() * std::mem::size_of::<Option<NodeId>>()
+            + self.scalars.len() * std::mem::size_of::<(u32, i64)>()
+    }
+
+    /// Debug invariant check: PL targets live and singular, link endpoints
+    /// live, link selectors declared by the source node's type.
+    pub fn check_invariants(&self, ctx: &ShapeCtx) -> Result<(), String> {
+        for (p, n) in self.pl_iter() {
+            if !self.is_live(n) {
+                return Err(format!("pvar {} bound to dead node {}", p.0, n));
+            }
+            if self.node(n).summary {
+                return Err(format!(
+                    "pvar {} points at summary node {} (singularity invariant)",
+                    p.0, n
+                ));
+            }
+        }
+        for (a, sel, b) in self.links() {
+            if !self.is_live(a) || !self.is_live(b) {
+                return Err(format!("dangling link <{a},{},{b}>", sel.0));
+            }
+            let ta = self.node(a).ty;
+            if !ctx.struct_selectors(ta).contains(sel) {
+                return Err(format!(
+                    "link <{a},{},{b}>: struct {} does not declare the selector",
+                    sel.0, ctx.struct_names[ta.0 as usize]
+                ));
+            }
+            if let Some(target) = ctx.target_of(ta, sel) {
+                if self.node(b).ty != target {
+                    return Err(format!(
+                        "link <{a},{},{b}>: target type mismatch",
+                        sel.0
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fresh-node helper: add a `malloc` node of struct `ty`.
+    pub fn add_fresh(&mut self, ty: StructId) -> NodeId {
+        self.add_node(Node::fresh(ty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(i: u32) -> SelectorId {
+        SelectorId(i)
+    }
+
+    fn two_node_graph() -> (Rsg, NodeId, NodeId) {
+        let mut g = Rsg::empty(2);
+        let a = g.add_fresh(StructId(0));
+        let b = g.add_fresh(StructId(0));
+        g.set_pl(PvarId(0), a);
+        g.add_link(a, sel(0), b);
+        g.node_mut(a).set_must_out(sel(0));
+        g.node_mut(b).set_must_in(sel(0));
+        (g, a, b)
+    }
+
+    #[test]
+    fn add_query_remove_links() {
+        let (mut g, a, b) = two_node_graph();
+        assert!(g.has_link(a, sel(0), b));
+        assert_eq!(g.succs(a, sel(0)), vec![b]);
+        assert_eq!(g.preds(b, sel(0)), vec![a]);
+        assert_eq!(g.out_links(a), vec![(sel(0), b)]);
+        assert_eq!(g.in_links(b), vec![(a, sel(0))]);
+        assert!(g.remove_link(a, sel(0), b));
+        assert!(!g.remove_link(a, sel(0), b));
+        assert_eq!(g.num_links(), 0);
+    }
+
+    #[test]
+    fn remove_node_cleans_links_and_pl() {
+        let (mut g, a, b) = two_node_graph();
+        g.set_pl(PvarId(1), b);
+        g.remove_node(b);
+        assert!(!g.is_live(b));
+        assert_eq!(g.num_links(), 0);
+        assert_eq!(g.pl(PvarId(1)), None);
+        assert_eq!(g.pl(PvarId(0)), Some(a));
+    }
+
+    #[test]
+    fn gc_drops_unreachable() {
+        let (mut g, _a, _b) = two_node_graph();
+        let orphan = g.add_fresh(StructId(0));
+        let orphan2 = g.add_fresh(StructId(0));
+        g.add_link(orphan, sel(0), orphan2);
+        assert_eq!(g.gc(), 2);
+        assert!(!g.is_live(orphan));
+        assert_eq!(g.num_nodes(), 2);
+    }
+
+    #[test]
+    fn gc_follows_directed_reachability() {
+        let mut g = Rsg::empty(1);
+        let a = g.add_fresh(StructId(0));
+        let b = g.add_fresh(StructId(0));
+        // b -> a, pvar on a: b unreachable even though connected.
+        g.add_link(b, sel(0), a);
+        g.set_pl(PvarId(0), a);
+        assert_eq!(g.gc(), 1);
+        assert!(g.is_live(a));
+        assert!(!g.is_live(b));
+    }
+
+    #[test]
+    fn structure_labels_distinguish_components() {
+        let mut g = Rsg::empty(3);
+        let a = g.add_fresh(StructId(0));
+        let b = g.add_fresh(StructId(0));
+        let c = g.add_fresh(StructId(0));
+        g.add_link(a, sel(0), b);
+        g.set_pl(PvarId(0), a);
+        g.set_pl(PvarId(2), c);
+        let labels = g.structure_labels();
+        assert_eq!(labels[a.0 as usize], 0);
+        assert_eq!(labels[b.0 as usize], 0);
+        assert_eq!(labels[c.0 as usize], 2);
+    }
+
+    #[test]
+    fn structure_labels_use_weak_connectivity() {
+        let mut g = Rsg::empty(2);
+        let a = g.add_fresh(StructId(0));
+        let b = g.add_fresh(StructId(0));
+        let m = g.add_fresh(StructId(0));
+        // a -> m <- b : same component even though a and b do not reach
+        // each other.
+        g.add_link(a, sel(0), m);
+        g.add_link(b, sel(0), m);
+        g.set_pl(PvarId(0), a);
+        g.set_pl(PvarId(1), b);
+        let labels = g.structure_labels();
+        assert_eq!(labels[a.0 as usize], labels[b.0 as usize]);
+        assert_eq!(labels[m.0 as usize], 0);
+    }
+
+    #[test]
+    fn definite_link_detection() {
+        let (mut g, a, b) = two_node_graph();
+        assert!(g.is_definite_link(a, sel(0), b));
+        // Another possible target makes it indefinite.
+        let c = g.add_fresh(StructId(0));
+        g.add_link(a, sel(0), c);
+        assert!(!g.is_definite_link(a, sel(0), b));
+        g.remove_link(a, sel(0), c);
+        g.remove_node(c);
+        // A summary source also blocks definiteness.
+        g.node_mut(a).summary = true;
+        assert!(!g.is_definite_link(a, sel(0), b));
+    }
+
+    #[test]
+    fn relax_sharing_lowers_flags() {
+        let (mut g, _a, b) = two_node_graph();
+        // Claim sharing, then relax: single in-link from a singular source.
+        g.node_mut(b).shared = true;
+        g.node_mut(b).shsel.insert(sel(0));
+        g.relax_sharing();
+        assert!(!g.node(b).shared);
+        assert!(!g.node(b).shsel.contains(sel(0)));
+    }
+
+    #[test]
+    fn relax_sharing_keeps_flags_with_summary_source() {
+        let (mut g, a, b) = two_node_graph();
+        g.node_mut(a).summary = true;
+        g.clear_pl(PvarId(0)); // keep pvar-singularity invariant
+        g.node_mut(b).shared = true;
+        g.node_mut(b).shsel.insert(sel(0));
+        g.relax_sharing();
+        // Source is summary: the single abstract link may stand for many.
+        assert!(g.node(b).shared);
+        assert!(g.node(b).shsel.contains(sel(0)));
+    }
+
+    #[test]
+    fn relax_sharing_two_sources_keep_shsel() {
+        let (mut g, _a, b) = two_node_graph();
+        let c = g.add_fresh(StructId(0));
+        g.set_pl(PvarId(1), c);
+        g.add_link(c, sel(0), b);
+        g.node_mut(b).shared = true;
+        g.node_mut(b).shsel.insert(sel(0));
+        g.relax_sharing();
+        assert!(g.node(b).shsel.contains(sel(0)));
+        assert!(g.node(b).shared);
+    }
+
+    #[test]
+    fn invariants_catch_summary_pl_target() {
+        let ctx = ShapeCtx::synthetic(2, 2);
+        let (mut g, a, _b) = two_node_graph();
+        assert!(g.check_invariants(&ctx).is_ok());
+        g.node_mut(a).summary = true;
+        assert!(g.check_invariants(&ctx).is_err());
+    }
+
+    #[test]
+    fn approx_bytes_monotone() {
+        let (g, _, _) = two_node_graph();
+        let before = g.approx_bytes();
+        let mut g2 = g.clone();
+        let c = g2.add_fresh(StructId(0));
+        g2.add_link(c, sel(1), c);
+        assert!(g2.approx_bytes() > before);
+    }
+}
+
+#[cfg(test)]
+mod presence_tests {
+    use super::*;
+    use crate::builder;
+    use psa_cfront::types::{SelectorId, StructId};
+    use psa_ir::PvarId;
+
+    fn sel(i: u32) -> SelectorId {
+        SelectorId(i)
+    }
+
+    #[test]
+    fn presence_propagates_along_definite_chains() {
+        let g = builder::singly_linked_list(4, 1, PvarId(0), sel(0));
+        let present = g.present_nodes();
+        // Every node of a concrete chain is present: pvar target, then
+        // unique must-out links all the way down.
+        for n in g.node_ids() {
+            assert!(present[n.0 as usize], "{n} must be present");
+        }
+    }
+
+    #[test]
+    fn presence_stops_at_summaries_and_forks() {
+        let ctx = crate::ctx::ShapeCtx::synthetic(1, 1);
+        let g = crate::compress::compress(
+            &builder::singly_linked_list(6, 1, PvarId(0), sel(0)),
+            &ctx,
+            crate::ctx::Level::L1,
+        );
+        let present = g.present_nodes();
+        let head = g.pl(PvarId(0)).unwrap();
+        assert!(present[head.0 as usize]);
+        let mid = g.succs(head, sel(0))[0];
+        // The summary itself is present (the head definitely points into
+        // it) but propagation does not continue past it.
+        assert!(present[mid.0 as usize]);
+        let tail = g
+            .succs(mid, sel(0))
+            .into_iter()
+            .find(|&t| t != mid)
+            .expect("tail");
+        assert!(!present[tail.0 as usize], "beyond a summary nothing is definite");
+    }
+
+    #[test]
+    fn fork_blocks_presence() {
+        let mut g = Rsg::empty(1);
+        let a = g.add_fresh(StructId(0));
+        let b = g.add_fresh(StructId(0));
+        let c = g.add_fresh(StructId(0));
+        g.set_pl(PvarId(0), a);
+        g.add_link(a, sel(0), b);
+        g.add_link(a, sel(0), c);
+        g.node_mut(a).set_must_out(sel(0));
+        g.node_mut(b).pos_selin.insert(sel(0));
+        g.node_mut(c).pos_selin.insert(sel(0));
+        let present = g.present_nodes();
+        assert!(present[a.0 as usize]);
+        assert!(!present[b.0 as usize], "two alternatives: neither is definite");
+        assert!(!present[c.0 as usize]);
+    }
+
+    #[test]
+    fn weaken_unwitnessed_ins_demotes_stale_claims() {
+        // b claims must-in through sel(0) but its only witness is a
+        // non-present node.
+        let mut g = Rsg::empty(2);
+        let root = g.add_fresh(StructId(0));
+        let ghost = g.add_fresh(StructId(0));
+        let b = g.add_fresh(StructId(0));
+        g.set_pl(PvarId(0), root);
+        // root may point at ghost (possible only), ghost points at b.
+        g.add_link(root, sel(0), ghost);
+        g.node_mut(root).pos_selout.insert(sel(0));
+        g.node_mut(ghost).pos_selin.insert(sel(0));
+        g.add_link(ghost, sel(0), b);
+        g.node_mut(ghost).pos_selout.insert(sel(0));
+        g.node_mut(b).set_must_in(sel(0));
+        g.weaken_unwitnessed_ins();
+        assert!(!g.node(b).selin.contains(sel(0)), "stale must-in demoted");
+        assert!(g.node(b).pos_selin.contains(sel(0)), "…to possible");
+    }
+
+    #[test]
+    fn weaken_keeps_witnessed_claims() {
+        let g0 = builder::singly_linked_list(3, 1, PvarId(0), sel(0));
+        let mut g = g0.clone();
+        g.weaken_unwitnessed_ins();
+        assert_eq!(g, g0, "fully witnessed chains are untouched");
+    }
+}

@@ -1,0 +1,383 @@
+//! JOIN (§4.3): union of two compatible RSGs into one.
+//!
+//! `COMPATIBLE(rsg1, rsg2)` requires (i) equal alias relations between pvars
+//! (we additionally require the same *set* of non-NULL pvars, so that PL
+//! absence — NULL-ness — is preserved exactly and branch conditions can
+//! filter on it), and (ii) `C_NODES` compatibility of the nodes pointed to
+//! by each pvar: equal TYPE, SHARED, SHSEL and TOUCH, compatible reference
+//! patterns and compatible simple paths.
+//!
+//! The joined graph keeps every node and link of both inputs; nodes pointed
+//! to by the same pvar are merged (MERGE_NODES), and remaining cross-graph
+//! compatible pairs merge greedily. Keeping unmerged nodes separate is
+//! always sound — the union over-approximates both inputs — so the greedy
+//! pairing affects only precision and size, never soundness.
+
+use crate::compress::merge_nodes;
+use crate::ctx::Level;
+use crate::graph::Rsg;
+use crate::node::NodeId;
+use crate::spath::{self, SPath};
+use psa_ir::PvarId;
+
+/// The alias relation of a graph: for each bound pvar, the group of pvars
+/// bound to the same node. Returned as a sorted partition (only classes of
+/// bound pvars; singletons included).
+pub fn alias_classes(g: &Rsg) -> Vec<Vec<PvarId>> {
+    let mut by_node: std::collections::BTreeMap<NodeId, Vec<PvarId>> =
+        std::collections::BTreeMap::new();
+    for (p, n) in g.pl_iter() {
+        by_node.entry(n).or_default().push(p);
+    }
+    let mut classes: Vec<Vec<PvarId>> = by_node.into_values().collect();
+    for c in &mut classes {
+        c.sort_unstable();
+    }
+    classes.sort();
+    classes
+}
+
+/// C_NODES (§4): node compatibility across graphs (no STRUCTURE — that is
+/// the intra-graph `C_NODES_RSG` extra).
+pub fn c_nodes(
+    g1: &Rsg,
+    n1: NodeId,
+    g2: &Rsg,
+    n2: NodeId,
+    sp1: &SPath,
+    sp2: &SPath,
+    level: Level,
+) -> bool {
+    let a = g1.node(n1);
+    let b = g2.node(n2);
+    a.ty == b.ty
+        && a.shared == b.shared
+        && a.shsel == b.shsel
+        && a.touch == b.touch
+        && a.refpat_compatible(b)
+        && spath::c_spath(sp1, sp2, level.use_spath1())
+}
+
+/// COMPATIBLE (§4): may `g1` and `g2` be joined?
+pub fn compatible(g1: &Rsg, g2: &Rsg, level: Level) -> bool {
+    debug_assert_eq!(g1.num_pvar_slots(), g2.num_pvar_slots());
+    // Same NULL-ness for every pvar.
+    let dom1: Vec<PvarId> = g1.pl_iter().map(|(p, _)| p).collect();
+    let dom2: Vec<PvarId> = g2.pl_iter().map(|(p, _)| p).collect();
+    if dom1 != dom2 {
+        return false;
+    }
+    // Same known scalar facts: merging configs with different flag values
+    // would erase exactly the distinctions flag tracking exists for.
+    if g1.scalars() != g2.scalars() {
+        return false;
+    }
+    // Equal alias relations.
+    if alias_classes(g1) != alias_classes(g2) {
+        return false;
+    }
+    // Pvar-pointed nodes pairwise compatible.
+    let sp1 = spath::spaths(g1);
+    let sp2 = spath::spaths(g2);
+    for (p, n1) in g1.pl_iter() {
+        let n2 = g2.pl(p).expect("same domain");
+        if !c_nodes(
+            g1,
+            n1,
+            g2,
+            n2,
+            &sp1[n1.0 as usize],
+            &sp2[n2.0 as usize],
+            level,
+        ) {
+            return false;
+        }
+    }
+    true
+}
+
+/// JOIN (§4.3). Callers must ensure [`compatible`] holds.
+pub fn join(g1: &Rsg, g2: &Rsg, level: Level) -> Rsg {
+    // 1. Disjoint union.
+    let mut combined = Rsg::empty(g1.num_pvar_slots());
+    let map = |g: &Rsg, out: &mut Rsg| -> Vec<Option<NodeId>> {
+        let cap = g.node_ids().map(|n| n.0 as usize + 1).max().unwrap_or(0);
+        let mut m: Vec<Option<NodeId>> = vec![None; cap];
+        for id in g.node_ids() {
+            m[id.0 as usize] = Some(out.add_node(g.node(id).clone()));
+        }
+        m
+    };
+    let m1 = map(g1, &mut combined);
+    let m2 = map(g2, &mut combined);
+    for (a, s, b) in g1.links() {
+        combined.add_link(m1[a.0 as usize].unwrap(), s, m1[b.0 as usize].unwrap());
+    }
+    for (a, s, b) in g2.links() {
+        combined.add_link(m2[a.0 as usize].unwrap(), s, m2[b.0 as usize].unwrap());
+    }
+
+    // 2. Merge pairs: same-pvar targets always; then greedy C_NODES pairs.
+    let total = combined.node_ids().map(|n| n.0 as usize + 1).max().unwrap_or(0);
+    let mut uf: Vec<usize> = (0..total).collect();
+    fn find(uf: &mut Vec<usize>, mut x: usize) -> usize {
+        while uf[x] != x {
+            uf[x] = uf[uf[x]];
+            x = uf[x];
+        }
+        x
+    }
+    let union = |uf: &mut Vec<usize>, a: NodeId, b: NodeId| {
+        let ra = find(uf, a.0 as usize);
+        let rb = find(uf, b.0 as usize);
+        if ra != rb {
+            uf[ra.max(rb)] = ra.min(rb);
+        }
+    };
+    for (p, n1) in g1.pl_iter() {
+        if let Some(n2) = g2.pl(p) {
+            union(&mut uf, m1[n1.0 as usize].unwrap(), m2[n2.0 as usize].unwrap());
+        }
+    }
+    let sp1 = spath::spaths(g1);
+    let sp2 = spath::spaths(g2);
+    // Nodes already merged through a pvar pair are out of the greedy pass.
+    let mut group_size = vec![0usize; total];
+    for i in 0..total {
+        let r = find(&mut uf, i);
+        group_size[r] += 1;
+    }
+    let ungrouped = |uf: &mut Vec<usize>, group_size: &[usize], id: NodeId| {
+        group_size[find(uf, id.0 as usize)] == 1
+    };
+    let mut matched2: Vec<bool> =
+        vec![false; g2.node_ids().map(|n| n.0 as usize + 1).max().unwrap_or(0)];
+    for n1 in g1.node_ids() {
+        let c1 = m1[n1.0 as usize].unwrap();
+        if !ungrouped(&mut uf, &group_size, c1) {
+            continue;
+        }
+        for n2 in g2.node_ids() {
+            if matched2[n2.0 as usize] {
+                continue;
+            }
+            let c2 = m2[n2.0 as usize].unwrap();
+            if !ungrouped(&mut uf, &group_size, c2) {
+                continue;
+            }
+            if c_nodes(
+                g1,
+                n1,
+                g2,
+                n2,
+                &sp1[n1.0 as usize],
+                &sp2[n2.0 as usize],
+                level,
+            ) {
+                union(&mut uf, c1, c2);
+                matched2[n2.0 as usize] = true;
+                break;
+            }
+        }
+    }
+
+    // 3. Build the output with merged nodes.
+    let mut groups: std::collections::BTreeMap<usize, Vec<NodeId>> =
+        std::collections::BTreeMap::new();
+    for id in combined.node_ids().collect::<Vec<_>>() {
+        let r = find(&mut uf, id.0 as usize);
+        groups.entry(r).or_default().push(id);
+    }
+    let mut out = Rsg::empty(g1.num_pvar_slots());
+    let mut final_map: Vec<Option<NodeId>> = vec![None; total];
+    for members in groups.values() {
+        let new_id = if members.len() == 1 {
+            out.add_node(combined.node(members[0]).clone())
+        } else {
+            // Fold MERGE_NODES pairwise over the combined graph (whose NL is
+            // the union, giving the conservative cyclelinks rule the right
+            // visibility). Cross-graph merges are summaries only if a member
+            // already was one.
+            let acc_id = members[0];
+            let mut scratch = combined.clone();
+            for &m in &members[1..] {
+                let summary = scratch.node(acc_id).summary || scratch.node(m).summary;
+                let merged = merge_nodes(&scratch, acc_id, m, summary);
+                *scratch.node_mut(acc_id) = merged;
+            }
+            out.add_node(scratch.node(acc_id).clone())
+        };
+        for &m in members {
+            final_map[m.0 as usize] = Some(new_id);
+        }
+    }
+    for (a, s, b) in combined.links() {
+        out.add_link(
+            final_map[a.0 as usize].unwrap(),
+            s,
+            final_map[b.0 as usize].unwrap(),
+        );
+    }
+    for (p, n1) in g1.pl_iter() {
+        let c = m1[n1.0 as usize].unwrap();
+        out.set_pl(p, final_map[c.0 as usize].unwrap());
+    }
+    // Keep the facts both sides agree on (equal under COMPATIBLE; the
+    // widening join may merge differing maps, where intersection is the
+    // sound lattice join).
+    for (v, k) in g1.scalars() {
+        if g2.scalars().get(v) == Some(k) {
+            out.set_scalar(*v, *k);
+        }
+    }
+    out.gc();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::compress::compress;
+    use crate::ctx::ShapeCtx;
+    use psa_cfront::types::{SelectorId, StructId};
+
+    fn sel(i: u32) -> SelectorId {
+        SelectorId(i)
+    }
+
+    #[test]
+    fn alias_classes_group_by_target() {
+        let mut g = Rsg::empty(3);
+        let a = g.add_fresh(StructId(0));
+        let b = g.add_fresh(StructId(0));
+        g.set_pl(PvarId(0), a);
+        g.set_pl(PvarId(1), a);
+        g.set_pl(PvarId(2), b);
+        assert_eq!(
+            alias_classes(&g),
+            vec![vec![PvarId(0), PvarId(1)], vec![PvarId(2)]]
+        );
+    }
+
+    #[test]
+    fn different_domains_incompatible() {
+        let mut g1 = Rsg::empty(2);
+        let a = g1.add_fresh(StructId(0));
+        g1.set_pl(PvarId(0), a);
+        let mut g2 = Rsg::empty(2);
+        let b = g2.add_fresh(StructId(0));
+        g2.set_pl(PvarId(1), b);
+        assert!(!compatible(&g1, &g2, Level::L1));
+    }
+
+    #[test]
+    fn different_alias_incompatible() {
+        let mut g1 = Rsg::empty(2);
+        let a = g1.add_fresh(StructId(0));
+        g1.set_pl(PvarId(0), a);
+        g1.set_pl(PvarId(1), a);
+        let mut g2 = Rsg::empty(2);
+        let b = g2.add_fresh(StructId(0));
+        let c = g2.add_fresh(StructId(0));
+        g2.set_pl(PvarId(0), b);
+        g2.set_pl(PvarId(1), c);
+        assert!(!compatible(&g1, &g2, Level::L1));
+    }
+
+    #[test]
+    fn identical_graphs_compatible_and_join_to_same_shape() {
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let g = compress(
+            &builder::singly_linked_list(5, 1, PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
+        assert!(compatible(&g, &g, Level::L1));
+        let j = join(&g, &g, Level::L1);
+        let jc = compress(&j, &ctx, Level::L1);
+        assert_eq!(jc.num_nodes(), g.num_nodes());
+        assert_eq!(jc.num_links(), g.num_links());
+    }
+
+    #[test]
+    fn join_lists_of_different_length() {
+        // A 3-list and a 5-list (both compressed) join into the generic
+        // "2+ list" shape.
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let g3 = compress(
+            &builder::singly_linked_list(4, 1, PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
+        let g5 = compress(
+            &builder::singly_linked_list(6, 1, PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
+        assert!(compatible(&g3, &g5, Level::L1));
+        let j = compress(&join(&g3, &g5, Level::L1), &ctx, Level::L1);
+        assert_eq!(j.num_nodes(), 3, "head / middle summary / tail");
+        let head = j.pl(PvarId(0)).unwrap();
+        assert!(!j.node(head).summary);
+    }
+
+    #[test]
+    fn incompatible_pvar_nodes_block_join() {
+        // g1: p0 -> node with must-out sel0; g2: p0 -> node without.
+        let mut g1 = Rsg::empty(1);
+        let a = g1.add_fresh(StructId(0));
+        let a2 = g1.add_fresh(StructId(0));
+        g1.set_pl(PvarId(0), a);
+        g1.add_link(a, sel(0), a2);
+        g1.node_mut(a).set_must_out(sel(0));
+        g1.node_mut(a2).set_must_in(sel(0));
+        let mut g2 = Rsg::empty(1);
+        let b = g2.add_fresh(StructId(0));
+        g2.set_pl(PvarId(0), b);
+        assert!(!compatible(&g1, &g2, Level::L1));
+    }
+
+    #[test]
+    fn join_keeps_union_of_links() {
+        // Same alias structure, one graph has an extra tail node.
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let mut g1 = Rsg::empty(1);
+        let a1 = g1.add_fresh(StructId(0));
+        g1.set_pl(PvarId(0), a1);
+        let mut g2 = Rsg::empty(1);
+        let a2 = g2.add_fresh(StructId(0));
+        let b2 = g2.add_fresh(StructId(0));
+        g2.set_pl(PvarId(0), a2);
+        g2.add_link(a2, sel(0), b2);
+        g2.node_mut(a2).pos_selout.insert(sel(0));
+        g2.node_mut(b2).pos_selin.insert(sel(0));
+        // The pvar nodes differ in refpat? a1: empty; a2: pos out only —
+        // must-sets both empty => refpat-compatible => joinable.
+        assert!(compatible(&g1, &g2, Level::L1));
+        let j = join(&g1, &g2, Level::L1);
+        assert_eq!(j.num_links(), 1);
+        let h = j.pl(PvarId(0)).unwrap();
+        // Out-selector became possible, not must, after the merge.
+        assert!(!j.node(h).selout.contains(sel(0)));
+        assert!(j.node(h).pos_selout.contains(sel(0)));
+        j.check_invariants(&ctx).unwrap();
+    }
+
+    #[test]
+    fn join_never_marks_pvar_nodes_summary() {
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let g3 = compress(
+            &builder::singly_linked_list(3, 1, PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
+        let g4 = compress(
+            &builder::singly_linked_list(4, 1, PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
+        let j = join(&g3, &g4, Level::L1);
+        j.check_invariants(&ctx).unwrap();
+    }
+}

@@ -1,0 +1,207 @@
+//! RSG nodes and their property vectors.
+
+use crate::sets::{CycleSet, SelSet, TouchSet};
+use psa_cfront::types::StructId;
+use std::fmt;
+
+/// Identifier of a node inside one RSG (slot index; slots are reused only
+/// across whole-graph rebuilds, never within an operation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One RSG node: a set of memory locations sharing reference properties.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Node {
+    /// TYPE — the struct type of the represented locations.
+    pub ty: StructId,
+    /// SHARED — may some represented location be heap-referenced ≥ 2 times?
+    pub shared: bool,
+    /// SHSEL — per selector: may some location be referenced ≥ 2 times
+    /// *through that selector*?
+    pub shsel: SelSet,
+    /// SELINset — selectors by which *every* represented location is
+    /// definitely referenced.
+    pub selin: SelSet,
+    /// SELOUTset — selectors definitely populated out of every location.
+    pub selout: SelSet,
+    /// posSELINset — selectors possibly (but not definitely) incoming.
+    pub pos_selin: SelSet,
+    /// posSELOUTset — selectors possibly (but not definitely) outgoing.
+    pub pos_selout: SelSet,
+    /// CYCLELINKS — must-pairs `<s_out, s_back>`.
+    pub cyclelinks: CycleSet,
+    /// TOUCH — induction pvars that have visited the locations (L3).
+    pub touch: TouchSet,
+    /// True when the node may represent more than one location *within a
+    /// single memory configuration* (requires materialization before strong
+    /// updates).
+    pub summary: bool,
+}
+
+impl Node {
+    /// A fresh node for a `malloc`'d location: no links, nothing shared,
+    /// untouched, singular. Uninitialized pointer fields are treated as NULL
+    /// (the standard convention; the paper's codes initialize fields right
+    /// after allocation).
+    pub fn fresh(ty: StructId) -> Node {
+        Node {
+            ty,
+            shared: false,
+            shsel: SelSet::EMPTY,
+            selin: SelSet::EMPTY,
+            selout: SelSet::EMPTY,
+            pos_selin: SelSet::EMPTY,
+            pos_selout: SelSet::EMPTY,
+            cyclelinks: CycleSet::new(),
+            touch: TouchSet::new(),
+            summary: false,
+        }
+    }
+
+    /// The selectors that may be populated out of this node (must ∪ pos).
+    pub fn may_selout(&self) -> SelSet {
+        self.selout.union(self.pos_selout)
+    }
+
+    /// The selectors that may reference this node (must ∪ pos).
+    pub fn may_selin(&self) -> SelSet {
+        self.selin.union(self.pos_selin)
+    }
+
+    /// C_REFPAT — reference-pattern compatibility: neither node's *must*
+    /// sets may contradict the other's *may* sets. (MERGE_NODES then
+    /// intersects the musts and widens the possibles.) Equality of musts is
+    /// a special case; requiring full equality would keep apart the
+    /// refpat-diverse siblings that graph division + union produce (one
+    /// alternative per divided variant gets its link promoted to *must*),
+    /// and the RSGs would grow without bound.
+    ///
+    /// Note this relation is **not transitive**; COMPRESS and JOIN merge
+    /// greedily against the accumulated group view.
+    pub fn refpat_compatible(&self, other: &Node) -> bool {
+        self.selin.diff(other.may_selin()).is_empty()
+            && other.selin.diff(self.may_selin()).is_empty()
+            && self.selout.diff(other.may_selout()).is_empty()
+            && other.selout.diff(self.may_selout()).is_empty()
+    }
+
+    /// Make `sel` a definite out-selector (e.g. after `x->sel = y` on a
+    /// singular node).
+    pub fn set_must_out(&mut self, sel: psa_cfront::types::SelectorId) {
+        self.selout.insert(sel);
+        self.pos_selout.remove(sel);
+    }
+
+    /// Make `sel` a definite in-selector.
+    pub fn set_must_in(&mut self, sel: psa_cfront::types::SelectorId) {
+        self.selin.insert(sel);
+        self.pos_selin.remove(sel);
+    }
+
+    /// Remove `sel` from both the definite and possible out sets (the node
+    /// definitely has no `sel` link anymore).
+    pub fn clear_out(&mut self, sel: psa_cfront::types::SelectorId) {
+        self.selout.remove(sel);
+        self.pos_selout.remove(sel);
+    }
+
+    /// Remove `sel` from both the definite and possible in sets.
+    pub fn clear_in(&mut self, sel: psa_cfront::types::SelectorId) {
+        self.selin.remove(sel);
+        self.pos_selin.remove(sel);
+    }
+
+    /// Demote `sel` from definite to possible in the out sets (used when a
+    /// summary node's links are disturbed and we can no longer guarantee the
+    /// property for every represented location).
+    pub fn weaken_out(&mut self, sel: psa_cfront::types::SelectorId) {
+        if self.selout.contains(sel) {
+            self.selout.remove(sel);
+            self.pos_selout.insert(sel);
+        }
+    }
+
+    /// Demote `sel` from definite to possible in the in sets.
+    pub fn weaken_in(&mut self, sel: psa_cfront::types::SelectorId) {
+        if self.selin.contains(sel) {
+            self.selin.remove(sel);
+            self.pos_selin.insert(sel);
+        }
+    }
+
+    /// Approximate structural size in bytes, for the paper's "Space (MB)"
+    /// accounting.
+    pub fn approx_bytes(&self) -> usize {
+        // Fixed part + dynamic sets.
+        std::mem::size_of::<Node>()
+            + self.cyclelinks.len() * std::mem::size_of::<(u32, u32)>()
+            + self.touch.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psa_cfront::types::SelectorId;
+
+    fn s(i: u32) -> SelectorId {
+        SelectorId(i)
+    }
+
+    #[test]
+    fn fresh_node_is_clean() {
+        let n = Node::fresh(StructId(0));
+        assert!(!n.shared);
+        assert!(!n.summary);
+        assert!(n.selin.is_empty() && n.selout.is_empty());
+        assert!(n.may_selout().is_empty());
+    }
+
+    #[test]
+    fn must_pos_transitions() {
+        let mut n = Node::fresh(StructId(0));
+        n.set_must_out(s(1));
+        assert!(n.selout.contains(s(1)));
+        assert!(!n.pos_selout.contains(s(1)));
+        n.weaken_out(s(1));
+        assert!(!n.selout.contains(s(1)));
+        assert!(n.pos_selout.contains(s(1)));
+        n.set_must_out(s(1));
+        assert!(n.selout.contains(s(1)) && !n.pos_selout.contains(s(1)));
+        n.clear_out(s(1));
+        assert!(n.may_selout().is_empty());
+    }
+
+    #[test]
+    fn refpat_compat_must_versus_may() {
+        let mut a = Node::fresh(StructId(0));
+        let mut b = Node::fresh(StructId(0));
+        a.set_must_in(s(0));
+        b.set_must_in(s(0));
+        // Extra possible selectors never block compatibility.
+        a.pos_selout.insert(s(1));
+        assert!(a.refpat_compatible(&b));
+        // A must on one side covered by the other's may: still compatible.
+        b.set_must_out(s(1));
+        assert!(a.refpat_compatible(&b));
+        // A must with no may counterpart: incompatible.
+        b.set_must_out(s(2));
+        assert!(!a.refpat_compatible(&b));
+        // Must-in asymmetry: a requires s0-in, c admits none.
+        let c = Node::fresh(StructId(0));
+        assert!(!a.refpat_compatible(&c));
+    }
+
+    #[test]
+    fn weaken_in_noop_when_not_must() {
+        let mut n = Node::fresh(StructId(0));
+        n.weaken_in(s(2));
+        assert!(n.may_selin().is_empty());
+    }
+}

@@ -1,0 +1,325 @@
+//! Compact set types used by node properties.
+
+use psa_cfront::types::SelectorId;
+use psa_ir::PvarId;
+use std::fmt;
+
+/// A set of selectors as a 64-bit mask. The analysis asserts at context
+/// construction that a program declares at most 64 distinct selector names,
+/// which is far beyond any code in the paper (Barnes-Hut uses 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SelSet(pub u64);
+
+impl SelSet {
+    /// The empty set.
+    pub const EMPTY: SelSet = SelSet(0);
+
+    /// Set containing a single selector.
+    pub fn single(s: SelectorId) -> SelSet {
+        debug_assert!(s.0 < 64);
+        SelSet(1 << s.0)
+    }
+
+    /// Membership test.
+    pub fn contains(self, s: SelectorId) -> bool {
+        self.0 & (1 << s.0) != 0
+    }
+
+    /// Insert a selector.
+    pub fn insert(&mut self, s: SelectorId) {
+        self.0 |= 1 << s.0;
+    }
+
+    /// Remove a selector.
+    pub fn remove(&mut self, s: SelectorId) {
+        self.0 &= !(1 << s.0);
+    }
+
+    /// Set union.
+    pub fn union(self, other: SelSet) -> SelSet {
+        SelSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn inter(self, other: SelSet) -> SelSet {
+        SelSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn diff(self, other: SelSet) -> SelSet {
+        SelSet(self.0 & !other.0)
+    }
+
+    /// True when empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterate members in increasing id order.
+    pub fn iter(self) -> impl Iterator<Item = SelectorId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(SelectorId(i))
+            }
+        })
+    }
+}
+
+impl FromIterator<SelectorId> for SelSet {
+    fn from_iter<T: IntoIterator<Item = SelectorId>>(iter: T) -> Self {
+        let mut s = SelSet::EMPTY;
+        for x in iter {
+            s.insert(x);
+        }
+        s
+    }
+}
+
+impl fmt::Display for SelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, s) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", s.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The CYCLELINKS set: ordered pairs `<sel_out, sel_back>` asserting that
+/// every `sel_out` link from a represented location is answered by a
+/// `sel_back` link pointing back at it. Kept sorted and deduplicated.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CycleSet(Vec<(SelectorId, SelectorId)>);
+
+impl CycleSet {
+    /// The empty set.
+    pub fn new() -> CycleSet {
+        CycleSet(Vec::new())
+    }
+
+    /// Build from pairs.
+    pub fn from_pairs(mut pairs: Vec<(SelectorId, SelectorId)>) -> CycleSet {
+        pairs.sort_unstable();
+        pairs.dedup();
+        CycleSet(pairs)
+    }
+
+    /// Insert a pair.
+    pub fn insert(&mut self, out: SelectorId, back: SelectorId) {
+        match self.0.binary_search(&(out, back)) {
+            Ok(_) => {}
+            Err(i) => self.0.insert(i, (out, back)),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, out: SelectorId, back: SelectorId) -> bool {
+        self.0.binary_search(&(out, back)).is_ok()
+    }
+
+    /// Remove every pair whose *first* selector is `sel` (the out-link was
+    /// disturbed).
+    pub fn drop_first(&mut self, sel: SelectorId) {
+        self.0.retain(|&(a, _)| a != sel);
+    }
+
+    /// Remove every pair whose *second* selector is `sel` (the back-link was
+    /// disturbed).
+    pub fn drop_second(&mut self, sel: SelectorId) {
+        self.0.retain(|&(_, b)| b != sel);
+    }
+
+    /// Iterate pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (SelectorId, SelectorId)> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl fmt::Display for CycleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (a, b)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "<{},{}>", a.0, b.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A TOUCH set: the induction pvars that have visited a node's locations.
+/// Small (only ipvars of active loops are eligible), kept sorted.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TouchSet(Vec<PvarId>);
+
+impl TouchSet {
+    /// The empty set.
+    pub fn new() -> TouchSet {
+        TouchSet(Vec::new())
+    }
+
+    /// Insert a pvar.
+    pub fn insert(&mut self, p: PvarId) {
+        match self.0.binary_search(&p) {
+            Ok(_) => {}
+            Err(i) => self.0.insert(i, p),
+        }
+    }
+
+    /// Remove a pvar.
+    pub fn remove(&mut self, p: PvarId) {
+        if let Ok(i) = self.0.binary_search(&p) {
+            self.0.remove(i);
+        }
+    }
+
+    /// Remove every pvar in `ps` (used when a loop exits).
+    pub fn remove_all(&mut self, ps: &[PvarId]) {
+        self.0.retain(|p| !ps.contains(p));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: PvarId) -> bool {
+        self.0.binary_search(&p).is_ok()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Iterate members in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = PvarId> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+impl FromIterator<PvarId> for TouchSet {
+    fn from_iter<T: IntoIterator<Item = PvarId>>(iter: T) -> Self {
+        let mut v: Vec<PvarId> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        TouchSet(v)
+    }
+}
+
+impl fmt::Display for TouchSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", p.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> SelectorId {
+        SelectorId(i)
+    }
+
+    #[test]
+    fn selset_basics() {
+        let mut a = SelSet::EMPTY;
+        assert!(a.is_empty());
+        a.insert(s(3));
+        a.insert(s(0));
+        assert!(a.contains(s(3)));
+        assert!(!a.contains(s(1)));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![s(0), s(3)]);
+        a.remove(s(3));
+        assert_eq!(a, SelSet::single(s(0)));
+    }
+
+    #[test]
+    fn selset_algebra() {
+        let a: SelSet = [s(0), s(1)].into_iter().collect();
+        let b: SelSet = [s(1), s(2)].into_iter().collect();
+        assert_eq!(a.union(b), [s(0), s(1), s(2)].into_iter().collect());
+        assert_eq!(a.inter(b), SelSet::single(s(1)));
+        assert_eq!(a.diff(b), SelSet::single(s(0)));
+    }
+
+    #[test]
+    fn selset_display() {
+        let a: SelSet = [s(2), s(0)].into_iter().collect();
+        assert_eq!(a.to_string(), "{0,2}");
+    }
+
+    #[test]
+    fn cycleset_insert_dedup_sorted() {
+        let mut c = CycleSet::new();
+        c.insert(s(1), s(0));
+        c.insert(s(0), s(1));
+        c.insert(s(1), s(0));
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(s(0), s(1)));
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![(s(0), s(1)), (s(1), s(0))]);
+    }
+
+    #[test]
+    fn cycleset_drop_rules() {
+        let mut c = CycleSet::from_pairs(vec![(s(0), s(1)), (s(1), s(0)), (s(2), s(1))]);
+        c.drop_first(s(0));
+        assert!(!c.contains(s(0), s(1)));
+        assert_eq!(c.len(), 2);
+        c.drop_second(s(1));
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![(s(1), s(0))]);
+    }
+
+    #[test]
+    fn touchset_ops() {
+        let mut t = TouchSet::new();
+        t.insert(PvarId(5));
+        t.insert(PvarId(1));
+        t.insert(PvarId(5));
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(PvarId(1)));
+        t.remove_all(&[PvarId(1), PvarId(9)]);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![PvarId(5)]);
+        t.remove(PvarId(5));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn touchset_from_iter_dedups() {
+        let t: TouchSet = [PvarId(3), PvarId(1), PvarId(3)].into_iter().collect();
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![PvarId(1), PvarId(3)]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Subsumption between RSGs: does one graph represent every memory
+//! configuration another represents?
+//!
+//! `subsumes(general, specific)` searches for an **embedding** — a total
+//! mapping from `specific`'s nodes onto `general`'s nodes such that every
+//! configuration admitted by `specific` is admitted by `general`:
+//!
+//! * pvar bindings agree (`map(pl_s(p)) = pl_g(p)`, same NULL-ness);
+//! * TYPE and TOUCH are equal; SHARED/SHSEL may only grow
+//!   (`specific ⇒ general`);
+//! * `general`'s **must**-sets are weaker (`selin_g ⊆ selin_s`, same for
+//!   out) and its **may**-sets wider;
+//! * `general`'s CYCLELINKS pairs are a subset of `specific`'s (a must-pair
+//!   the general graph promises must hold in everything it represents);
+//! * every NL link of `specific` maps onto a link of `general`;
+//! * a **singular** general node hosts at most one specific node, and never
+//!   a summary one.
+//!
+//! The search backtracks, so a positive answer is exact — dropping a
+//! subsumed graph from an RSRSG never loses configurations. This is what
+//! makes the engine's accumulation idempotent: re-presenting an
+//! already-joined contribution is recognized and discarded instead of
+//! churning the set forever.
+
+use crate::graph::Rsg;
+use crate::node::{Node, NodeId};
+
+/// Does `general` represent every configuration of `specific`?
+pub fn subsumes(general: &Rsg, specific: &Rsg) -> bool {
+    debug_assert_eq!(general.num_pvar_slots(), specific.num_pvar_slots());
+
+    // Pvar domains must agree exactly (PL is must information).
+    let dom_g: Vec<_> = general.pl_iter().map(|(p, _)| p).collect();
+    let dom_s: Vec<_> = specific.pl_iter().map(|(p, _)| p).collect();
+    if dom_g != dom_s {
+        return false;
+    }
+    // Every scalar fact the general graph promises must hold in the
+    // specific one (extra facts in `specific` are fine — they only narrow).
+    for (v, k) in general.scalars() {
+        if specific.scalars().get(v) != Some(k) {
+            return false;
+        }
+    }
+
+    let s_ids: Vec<NodeId> = specific.node_ids().collect();
+    if s_ids.is_empty() {
+        // The empty heap: general must have no *present* obligations; since
+        // domains agree (no pvars bound), it represents the empty heap iff
+        // it has no pvar-pinned nodes — which it cannot have. Accept.
+        return true;
+    }
+
+    // Candidate sets filtered by node-local conditions and pvar pinning.
+    let mut cand: Vec<Vec<NodeId>> = Vec::with_capacity(s_ids.len());
+    for &sn in &s_ids {
+        let mut cs: Vec<NodeId> = general
+            .node_ids()
+            .filter(|&gn| node_weaker(general.node(gn), specific.node(sn)))
+            .collect();
+        for (p, target) in specific.pl_iter() {
+            if target == sn {
+                let pin = general.pl(p).expect("domains agree");
+                cs.retain(|&gn| gn == pin);
+            }
+        }
+        if cs.is_empty() {
+            return false;
+        }
+        cand.push(cs);
+    }
+
+    // Arc-consistency prepass: a candidate must be able to simulate every
+    // link of the specific node with *some* candidate of the neighbour.
+    // Cheap, and it usually collapses the search space to (near) singleton
+    // candidate sets.
+    let index_of_ac = |n: NodeId| s_ids.binary_search(&n).expect("specific node");
+    loop {
+        let mut changed = false;
+        for (i, &sn) in s_ids.iter().enumerate() {
+            let outs = specific.out_links(sn);
+            let ins = specific.in_links(sn);
+            let before = cand[i].len();
+            let snapshot = cand.clone();
+            cand[i].retain(|&gn| {
+                outs.iter().all(|&(sel, t)| {
+                    general
+                        .succs(gn, sel)
+                        .iter()
+                        .any(|gt| snapshot[index_of_ac(t)].contains(gt))
+                }) && ins.iter().all(|&(f, sel)| {
+                    general
+                        .preds(gn, sel)
+                        .iter()
+                        .any(|gf| snapshot[index_of_ac(f)].contains(gf))
+                })
+            });
+            if cand[i].is_empty() {
+                return false;
+            }
+            changed |= cand[i].len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Backtracking assignment with link-consistency checks against already
+    // assigned neighbours. Order nodes by candidate count (most constrained
+    // first).
+    let mut order: Vec<usize> = (0..s_ids.len()).collect();
+    order.sort_by_key(|&i| cand[i].len());
+    let mut assign: Vec<Option<NodeId>> = vec![None; s_ids.len()];
+    let index_of = |n: NodeId| s_ids.binary_search(&n).expect("specific node");
+
+    fn consistent(
+        general: &Rsg,
+        specific: &Rsg,
+        s_ids: &[NodeId],
+        assign: &[Option<NodeId>],
+        idx: usize,
+        gn: NodeId,
+        index_of: &dyn Fn(NodeId) -> usize,
+    ) -> bool {
+        let sn = s_ids[idx];
+        // Singular general nodes host at most one specific node.
+        if !general.node(gn).summary {
+            for (j, a) in assign.iter().enumerate() {
+                if j != idx && *a == Some(gn) {
+                    return false;
+                }
+            }
+        }
+        // Links to/from already-assigned specifics must be simulated.
+        for (sel, t) in specific.out_links(sn) {
+            if let Some(gt) = assign[index_of(t)] {
+                if !general.has_link(gn, sel, gt) {
+                    return false;
+                }
+            } else if general.succs(gn, sel).is_empty() {
+                return false; // no possible target at all
+            }
+        }
+        for (f, sel) in specific.in_links(sn) {
+            if let Some(gf) = assign[index_of(f)] {
+                if !general.has_link(gf, sel, gn) {
+                    return false;
+                }
+            } else if general.preds(gn, sel).is_empty() {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn search(
+        general: &Rsg,
+        specific: &Rsg,
+        s_ids: &[NodeId],
+        cand: &[Vec<NodeId>],
+        order: &[usize],
+        assign: &mut Vec<Option<NodeId>>,
+        depth: usize,
+        index_of: &dyn Fn(NodeId) -> usize,
+        budget: &mut usize,
+    ) -> bool {
+        if depth == order.len() {
+            return true;
+        }
+        if *budget == 0 {
+            return false; // give up: treat as not subsumed (sound)
+        }
+        let idx = order[depth];
+        for &gn in &cand[idx] {
+            *budget -= 1;
+            if *budget == 0 {
+                return false;
+            }
+            if consistent(general, specific, s_ids, assign, idx, gn, index_of) {
+                assign[idx] = Some(gn);
+                if search(general, specific, s_ids, cand, order, assign, depth + 1, index_of, budget)
+                {
+                    return true;
+                }
+                assign[idx] = None;
+            }
+        }
+        false
+    }
+
+    let mut budget = 4_000usize;
+    search(
+        general,
+        specific,
+        &s_ids,
+        &cand,
+        &order,
+        &mut assign,
+        0,
+        &index_of,
+        &mut budget,
+    )
+}
+
+/// Node-local check: can general node `g` represent everything specific
+/// node `s` represents?
+fn node_weaker(g: &Node, s: &Node) -> bool {
+    g.ty == s.ty
+        && g.touch == s.touch
+        && (!s.shared || g.shared)
+        && s.shsel.diff(g.shsel).is_empty()
+        && g.selin.diff(s.selin).is_empty()          // g's musts ⊆ s's musts
+        && g.selout.diff(s.selout).is_empty()
+        && s.may_selin().diff(g.may_selin()).is_empty() // s's mays ⊆ g's mays
+        && s.may_selout().diff(g.may_selout()).is_empty()
+        && (!s.summary || g.summary)
+        && g.cyclelinks.iter().all(|(a, b)| s.cyclelinks.contains(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::compress::compress;
+    use crate::ctx::{Level, ShapeCtx};
+    use psa_cfront::types::{SelectorId, StructId};
+    use psa_ir::PvarId;
+
+    fn sel(i: u32) -> SelectorId {
+        SelectorId(i)
+    }
+
+    #[test]
+    fn graph_subsumes_itself() {
+        let g = builder::singly_linked_list(4, 1, PvarId(0), sel(0));
+        assert!(subsumes(&g, &g));
+        let (f, _) = builder::fig1_dll(PvarId(0), 1, sel(0), sel(1));
+        assert!(subsumes(&f, &f));
+    }
+
+    #[test]
+    fn summary_subsumes_longer_lists() {
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let summary = compress(
+            &builder::singly_linked_list(5, 1, PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
+        for n in [4, 5, 6, 9] {
+            let concrete = builder::singly_linked_list(n, 1, PvarId(0), sel(0));
+            assert!(subsumes(&summary, &concrete), "summary must cover length {n}");
+        }
+        // But not the 1-element list (its node has no out-link while every
+        // summary path requires the head to point onward).
+        let one = builder::singly_linked_list(1, 1, PvarId(0), sel(0));
+        assert!(!subsumes(&summary, &one));
+    }
+
+    #[test]
+    fn specific_does_not_subsume_general() {
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let summary = compress(
+            &builder::singly_linked_list(5, 1, PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
+        let concrete = builder::singly_linked_list(4, 1, PvarId(0), sel(0));
+        assert!(!subsumes(&concrete, &summary), "a concrete list cannot cover a summary");
+    }
+
+    #[test]
+    fn different_domains_never_subsume() {
+        let mut a = Rsg::empty(2);
+        let n = a.add_fresh(StructId(0));
+        a.set_pl(PvarId(0), n);
+        let b = Rsg::empty(2);
+        assert!(!subsumes(&a, &b));
+        assert!(!subsumes(&b, &a));
+    }
+
+    #[test]
+    fn sharing_direction_matters() {
+        let mut a = Rsg::empty(1);
+        let n = a.add_fresh(StructId(0));
+        a.set_pl(PvarId(0), n);
+        let mut b = a.clone();
+        b.node_mut(n).shared = true;
+        // Shared-general covers unshared-specific, not vice versa.
+        assert!(subsumes(&b, &a));
+        assert!(!subsumes(&a, &b));
+    }
+
+    #[test]
+    fn must_set_direction_matters() {
+        // general with fewer must-outs covers specific with more.
+        let mut gen = Rsg::empty(1);
+        let a1 = gen.add_fresh(StructId(0));
+        let a2 = gen.add_fresh(StructId(0));
+        gen.set_pl(PvarId(0), a1);
+        gen.add_link(a1, sel(0), a2);
+        gen.node_mut(a1).pos_selout.insert(sel(0)); // possible only
+        gen.node_mut(a2).pos_selin.insert(sel(0));
+        let mut spec = Rsg::empty(1);
+        let b1 = spec.add_fresh(StructId(0));
+        let b2 = spec.add_fresh(StructId(0));
+        spec.set_pl(PvarId(0), b1);
+        spec.add_link(b1, sel(0), b2);
+        spec.node_mut(b1).set_must_out(sel(0));
+        spec.node_mut(b2).set_must_in(sel(0));
+        assert!(subsumes(&gen, &spec));
+        assert!(!subsumes(&spec, &gen), "must-out promise cannot cover a maybe");
+    }
+
+    #[test]
+    fn cyclelinks_direction() {
+        let dll = builder::doubly_linked_list(3, 1, PvarId(0), sel(0), sel(1));
+        let mut weak = dll.clone();
+        for n in weak.node_ids().collect::<Vec<_>>() {
+            weak.node_mut(n).cyclelinks = crate::sets::CycleSet::new();
+        }
+        assert!(subsumes(&weak, &dll), "promising fewer cycle pairs is weaker");
+        assert!(!subsumes(&dll, &weak), "cycle promises cannot cover their absence");
+    }
+
+    #[test]
+    fn link_structure_checked() {
+        // Same nodes, no links in the general graph: cannot host a linked
+        // specific.
+        let spec = builder::singly_linked_list(2, 1, PvarId(0), sel(0));
+        let mut gen = Rsg::empty(1);
+        let n1 = gen.add_fresh(StructId(0));
+        let n2 = gen.add_fresh(StructId(0));
+        gen.set_pl(PvarId(0), n1);
+        let _ = n2;
+        assert!(!subsumes(&gen, &spec));
+    }
+
+    #[test]
+    fn empty_graphs_subsume() {
+        assert!(subsumes(&Rsg::empty(2), &Rsg::empty(2)));
+    }
+
+    #[test]
+    fn singular_cardinality_enforced() {
+        // general: p -> a -s-> b (all singular).
+        // specific: 3-chain. The middle+tail cannot both map to b.
+        let gen = builder::singly_linked_list(2, 1, PvarId(0), sel(0));
+        let spec = builder::singly_linked_list(3, 1, PvarId(0), sel(0));
+        assert!(!subsumes(&gen, &spec));
+    }
+}

@@ -1,0 +1,86 @@
+//! Barnes-Hut (§5.1, Fig. 3): progressive analysis of the N-body code.
+//!
+//! Reproduces the paper's qualitative claims:
+//! * the `Lbodies` list middle summary must not be SHSEL-shared through
+//!   `body` (each octree leaf points at its own body);
+//! * the octree levels *are* referenced from the traversal stack (SHARED),
+//!   which blocks parallelization of the force phase below L3;
+//! * at L3 the TOUCH property identifies the written body as the current
+//!   element of the traversal, and the force loop is reported
+//!   parallelizable.
+//!
+//! ```sh
+//! cargo run --release --example barnes_hut
+//! ```
+
+use psa::codes::{barnes_hut, Sizes};
+use psa::core::api::{AnalysisOptions, Analyzer};
+use psa::core::progressive::Goal;
+use psa::core::{parallel, queries};
+use psa::rsg::Level;
+
+fn main() {
+    let src = barnes_hut(Sizes::default());
+    let analyzer =
+        Analyzer::new(&src, AnalysisOptions::progressive()).expect("Barnes-Hut lowers");
+    let ir = analyzer.ir();
+    let lbodies = ir.pvar_id("Lbodies").unwrap();
+    let body_sel = ir.types.selector_id("body").unwrap();
+
+    // Identify the force loop: the outermost loop of phase (iii) — the last
+    // loop whose ipvars include `b`.
+    let b = ir.pvar_id("b").unwrap();
+    let force_loop = (0..ir.loops.len())
+        .rev()
+        .map(|i| psa::ir::LoopId(i as u32))
+        .find(|l| ir.loops[l.0 as usize].ipvars.contains(&b))
+        .expect("force loop");
+
+    let goals = vec![
+        Goal::NotShselInRegion { pvar: lbodies, sel: body_sel },
+        Goal::LoopParallel { loop_id: force_loop },
+    ];
+    println!("running progressive analysis with goals:");
+    for g in &goals {
+        println!("  - {}", g.describe(ir));
+    }
+
+    let outcome = analyzer.run_progressive(goals);
+    for lv in &outcome.levels {
+        match &lv.result {
+            Ok(res) => {
+                println!(
+                    "{}: {:.2?}, peak {:.2} MiB, {} iterations — goals met: {:?}",
+                    lv.level,
+                    res.stats.elapsed,
+                    res.stats.peak_mib(),
+                    res.stats.iterations,
+                    lv.goals_met
+                );
+            }
+            Err(e) => println!("{}: failed ({e})", lv.level),
+        }
+    }
+    match outcome.satisfied_at {
+        Some(level) => println!("all goals satisfied at {level}"),
+        None => println!("goals not fully satisfied even at L3"),
+    }
+
+    // Detailed Fig. 3 style inspection of the most precise result.
+    if let Some(best) = outcome.best() {
+        let rep = queries::structure_report(&best.exit, lbodies);
+        println!("\nLbodies region at exit: {rep}");
+        println!(
+            "SHSEL(body) anywhere in the Lbodies region: {}",
+            queries::shsel_in_region(&best.exit, lbodies, body_sel)
+        );
+        let root = ir.pvar_id("root").unwrap();
+        let rep_tree = queries::structure_report(&best.exit, root);
+        println!("octree region at exit: {rep_tree}");
+
+        println!("\nloop parallelism report at {}:", best.level);
+        for lr in parallel::loop_reports(ir, best) {
+            print!("  {lr}");
+        }
+    }
+}

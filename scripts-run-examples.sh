@@ -1,0 +1,7 @@
+#!/bin/sh
+# Run every example once; used to verify the shipped examples work.
+set -e
+for ex in quickstart fig1_dll sparse_suite table1 soundness_check leak_hunt barnes_hut; do
+  echo "=== example: $ex ==="
+  cargo run --release --example "$ex" >/tmp/example_$ex.out 2>&1 && echo OK || { echo FAILED; tail -5 /tmp/example_$ex.out; }
+done

@@ -1,0 +1,73 @@
+//! # psa — Progressive Shape Analysis for Real C Codes
+//!
+//! Umbrella crate re-exporting the full public API of the workspace: a
+//! complete implementation of the RSRSG shape analysis of Corbera, Asenjo
+//! and Zapata (ICPP 2001). See the repository README for the architecture
+//! overview and DESIGN.md for the per-experiment index.
+//!
+//! ## Example
+//!
+//! Analyze a list-building C program and query the resulting shape:
+//!
+//! ```
+//! use psa::core::{Analyzer, AnalysisOptions, queries};
+//! use psa::rsg::Level;
+//!
+//! let src = r#"
+//!     struct node { int v; struct node *nxt; };
+//!     int main() {
+//!         struct node *list;
+//!         struct node *p;
+//!         int i;
+//!         list = NULL;
+//!         for (i = 0; i < 10; i++) {
+//!             p = (struct node *) malloc(sizeof(struct node));
+//!             p->nxt = list;
+//!             list = p;
+//!         }
+//!         return 0;
+//!     }
+//! "#;
+//!
+//! let analyzer = Analyzer::new(src, AnalysisOptions::at_level(Level::L1)).unwrap();
+//! let result = analyzer.run().unwrap();
+//!
+//! // The RSRSG at exit describes every final memory configuration.
+//! assert!(!result.exit.is_empty());
+//!
+//! // `list` is an unshared singly-linked list.
+//! let list = analyzer.ir().pvar_id("list").unwrap();
+//! let report = queries::structure_report(&result.exit, list);
+//! assert!(!report.any_shared);
+//! ```
+//!
+//! Progressive analysis with a client goal (escalates L1 → L2 → L3 only
+//! while the goal is unmet):
+//!
+//! ```
+//! use psa::core::{Analyzer, AnalysisOptions, Goal};
+//!
+//! # let src = r#"
+//! #     struct node { int v; struct node *nxt; };
+//! #     int main() {
+//! #         struct node *list; struct node *p; int i;
+//! #         list = NULL;
+//! #         for (i = 0; i < 4; i++) {
+//! #             p = (struct node *) malloc(sizeof(struct node));
+//! #             p->nxt = list; list = p;
+//! #         }
+//! #         return 0;
+//! #     }
+//! # "#;
+//! let analyzer = Analyzer::new(src, AnalysisOptions::progressive()).unwrap();
+//! let list = analyzer.ir().pvar_id("list").unwrap();
+//! let outcome = analyzer.run_progressive(vec![Goal::NotSharedInRegion { pvar: list }]);
+//! assert_eq!(outcome.satisfied_at, Some(psa::rsg::Level::L1));
+//! ```
+
+pub use psa_cfront as cfront;
+pub use psa_codes as codes;
+pub use psa_concrete as concrete;
+pub use psa_core as core;
+pub use psa_ir as ir;
+pub use psa_rsg as rsg;

@@ -1,0 +1,131 @@
+//! Integration test for experiment F1: the complete Fig. 1 pipeline —
+//! abstract interpretation of `x->nxt = NULL` over the summarized
+//! doubly-linked list, checked step by step against the paper's figures.
+
+use psa::core::semantics::{transfer_one, TransferCtx};
+use psa::core::stats::AnalysisStats;
+use psa::ir::{PtrStmt, PvarId};
+use psa::rsg::divide::divide;
+use psa::rsg::{builder, Level, ShapeCtx};
+use psa_cfront::types::SelectorId;
+
+const NXT: SelectorId = SelectorId(0);
+const PRV: SelectorId = SelectorId(1);
+const X: PvarId = PvarId(0);
+
+#[test]
+fn fig1b_division_produces_two_graphs() {
+    let (g, [n1, ..]) = builder::fig1_dll(X, 1, NXT, PRV);
+    let parts = divide(&g, X, NXT);
+    assert_eq!(parts.len(), 2);
+    for p in &parts {
+        assert_eq!(p.succs(n1, NXT).len(), 1, "single x->nxt target per divided graph");
+    }
+}
+
+#[test]
+fn fig1c_pruning_matches_paper() {
+    let (g, [n1, n2, n3]) = builder::fig1_dll(X, 1, NXT, PRV);
+    let parts = divide(&g, X, NXT);
+
+    // rsg''1: the 3-node variant (x -> n1 -> summary n2 -> n3).
+    let three = parts.iter().find(|p| p.num_nodes() == 3).expect("3-node variant");
+    // "we can safely remove the link <n3, prv, n1>".
+    assert!(!three.has_link(n3, PRV, n1));
+    // The rest of the DLL skeleton survives.
+    assert!(three.has_link(n1, NXT, n2));
+    assert!(three.has_link(n2, PRV, n1));
+    assert!(three.has_link(n2, NXT, n3));
+    assert!(three.has_link(n3, PRV, n2));
+
+    // rsg''2: the 2-element variant. "<n2,nxt,n3> should be removed […]
+    // this implies the elimination of <n3,prv,n2> […] node n2 cannot be
+    // reached and is therefore removed."
+    let two = parts.iter().find(|p| p.num_nodes() == 2).expect("2-node variant");
+    assert!(!two.is_live(n2));
+    assert!(two.has_link(n1, NXT, n3));
+    assert!(two.has_link(n3, PRV, n1));
+}
+
+#[test]
+fn fig1e_final_graphs_unlink_x_nxt() {
+    let ctx = ShapeCtx::synthetic(1, 2);
+    let (g, _) = builder::fig1_dll(X, 1, NXT, PRV);
+    let tcx = TransferCtx::new(&ctx, Level::L1, &[]);
+    let mut stats = AnalysisStats::default();
+    let out = transfer_one(&g, &PtrStmt::StoreNil(X, NXT), &tcx, &mut stats);
+    assert_eq!(out.len(), 2, "one final graph per divided variant");
+    for p in &out {
+        let head = p.pl(X).expect("x survives");
+        assert!(p.succs(head, NXT).is_empty(), "x->nxt removed");
+        assert!(!p.node(head).selout.contains(NXT));
+        assert!(!p.node(head).may_selout().contains(NXT));
+        p.check_invariants(&ctx).unwrap();
+    }
+}
+
+#[test]
+fn fig1_store_y_relinks() {
+    // The sibling statement x->nxt = y: after unlinking, the new link is
+    // definite and carries fresh properties.
+    let ctx = ShapeCtx::synthetic(2, 2);
+    let (mut g, _) = builder::fig1_dll(X, 2, NXT, PRV);
+    // y points at a fresh isolated node.
+    let fresh = g.add_fresh(psa_cfront::types::StructId(0));
+    let y = PvarId(1);
+    g.set_pl(y, fresh);
+    let tcx = TransferCtx::new(&ctx, Level::L1, &[]);
+    let mut stats = AnalysisStats::default();
+    let out = transfer_one(&g, &PtrStmt::Store(X, NXT, y), &tcx, &mut stats);
+    assert!(!out.is_empty());
+    for p in &out {
+        let head = p.pl(X).unwrap();
+        let target = p.pl(y).unwrap();
+        assert_eq!(p.succs(head, NXT), vec![target]);
+        assert!(p.node(head).selout.contains(NXT));
+        assert!(p.node(target).selin.contains(NXT));
+        assert!(!p.node(target).shared, "first reference to the fresh node");
+        p.check_invariants(&ctx).unwrap();
+    }
+}
+
+#[test]
+fn fig1_equivalent_from_source() {
+    // The same scenario driven from C source through the whole pipeline:
+    // build a DLL, then head->nxt = NULL.
+    let src = r#"
+        struct node { int v; struct node *nxt; struct node *prv; };
+        int main() {
+            struct node *list;
+            struct node *p;
+            int i;
+            list = NULL;
+            for (i = 0; i < 8; i++) {
+                p = (struct node *) malloc(sizeof(struct node));
+                p->nxt = list;
+                p->prv = NULL;
+                if (list != NULL) { list->prv = p; }
+                list = p;
+            }
+            if (list != NULL) {
+                list->nxt = NULL;
+            }
+            return 0;
+        }
+    "#;
+    let analyzer =
+        psa::core::Analyzer::new(src, psa::core::AnalysisOptions::default()).unwrap();
+    let res = analyzer.run().unwrap();
+    let ir = analyzer.ir();
+    let list = ir.pvar_id("list").unwrap();
+    let nxt = ir.types.selector_id("nxt").unwrap();
+    // At exit, in every graph where list is bound, list->nxt is gone.
+    let mut found_bound = false;
+    for g in res.exit.iter() {
+        if let Some(h) = g.pl(list) {
+            found_bound = true;
+            assert!(g.succs(h, nxt).is_empty(), "list->nxt must be NULL at exit");
+        }
+    }
+    assert!(found_bound);
+}

@@ -1,0 +1,288 @@
+//! End-to-end frontend coverage: the exact C-subset boundary, error
+//! reporting quality, and normalization fidelity on awkward-but-legal
+//! inputs.
+
+use psa::core::api::{AnalysisOptions, Analyzer};
+use psa::core::api::Error;
+use psa::rsg::Level;
+
+fn analyze(src: &str) -> Result<(), String> {
+    let a = Analyzer::new(src, AnalysisOptions::at_level(Level::L1))
+        .map_err(|e| e.to_string())?;
+    a.run().map(|_| ()).map_err(|e| e.to_string())
+}
+
+#[test]
+fn typedefs_through_the_whole_pipeline() {
+    let src = r#"
+        struct cell { int v; struct cell *nxt; };
+        typedef struct cell cell_t;
+        typedef cell_t *list_t;
+        int main() {
+            list_t head;
+            cell_t *p;
+            head = NULL;
+            p = (cell_t *) malloc(sizeof(struct cell));
+            p->nxt = head;
+            head = p;
+            return 0;
+        }
+    "#;
+    analyze(src).expect("typedef chains resolve");
+}
+
+#[test]
+fn do_while_and_compound_assign() {
+    let src = r#"
+        struct node { int v; struct node *nxt; };
+        int main() {
+            struct node *list;
+            struct node *p;
+            int i;
+            list = NULL;
+            i = 0;
+            do {
+                p = (struct node *) malloc(sizeof(struct node));
+                p->nxt = list;
+                list = p;
+                i += 1;
+            } while (i < 5);
+            return 0;
+        }
+    "#;
+    analyze(src).expect("do-while and += lower");
+}
+
+#[test]
+fn ternary_pointer_assignment() {
+    let src = r#"
+        struct node { int v; struct node *nxt; };
+        int main() {
+            struct node *a;
+            struct node *b;
+            struct node *c;
+            int k;
+            a = (struct node *) malloc(sizeof(struct node));
+            b = (struct node *) malloc(sizeof(struct node));
+            c = (k > 0) ? a : b;
+            return 0;
+        }
+    "#;
+    analyze(src).expect("pointer ternary lowers to if/else");
+}
+
+#[test]
+fn deep_member_chains() {
+    let src = r#"
+        struct node { int v; struct node *nxt; };
+        int main() {
+            struct node *a;
+            a = (struct node *) malloc(sizeof(struct node));
+            a->nxt = (struct node *) malloc(sizeof(struct node));
+            a->nxt->nxt = (struct node *) malloc(sizeof(struct node));
+            a->nxt->nxt->nxt = a;
+            a->nxt->nxt->nxt->nxt->v = 7;
+            return 0;
+        }
+    "#;
+    analyze(src).expect("4-deep chains normalize through temporaries");
+}
+
+#[test]
+fn short_circuit_mixed_conditions() {
+    let src = r#"
+        struct node { int v; struct node *nxt; };
+        int main() {
+            struct node *p;
+            struct node *q;
+            int i;
+            p = (struct node *) malloc(sizeof(struct node));
+            if (p != NULL && (i < 3 || p == q) && p->nxt == NULL) {
+                p->v = 1;
+            }
+            return 0;
+        }
+    "#;
+    analyze(src).expect("mixed &&/|| with pointer and scalar leaves");
+}
+
+#[test]
+fn global_pointer_initializer_order() {
+    let src = r#"
+        struct node { int v; struct node *nxt; };
+        struct node *g1;
+        struct node *g2;
+        int main() {
+            g1 = (struct node *) malloc(sizeof(struct node));
+            g2 = g1;
+            return 0;
+        }
+    "#;
+    analyze(src).expect("globals registered before body");
+}
+
+#[test]
+fn errors_are_informative() {
+    // Arrays.
+    let e = analyze("int main() { int a[4]; return 0; }").unwrap_err();
+    assert!(e.contains("array"), "{e}");
+    // Unknown struct.
+    let e = analyze("struct a { struct nope *p; }; int main() { return 0; }").unwrap_err();
+    assert!(e.contains("unknown struct"), "{e}");
+    // Struct by value.
+    let e = analyze(
+        "struct a { int v; }; int main() { struct a x; return 0; }",
+    )
+    .unwrap_err();
+    assert!(e.contains("struct value") || e.contains("pointers"), "{e}");
+    // Unknown call with pointer argument.
+    let e = analyze(
+        "struct a { struct a *n; }; int main() { struct a *p; frob(p); return 0; }",
+    )
+    .unwrap_err();
+    assert!(e.contains("inline"), "{e}");
+}
+
+#[test]
+fn frontend_error_type_roundtrip() {
+    match Analyzer::new("int main() { ??? }", AnalysisOptions::default()) {
+        Err(Error::Frontend(d)) => {
+            assert!(d.span.line >= 1);
+        }
+        Err(other) => panic!("expected frontend error, got {other}"),
+        Ok(_) => panic!("expected frontend error, got success"),
+    }
+}
+
+#[test]
+fn null_vs_zero_literal() {
+    // `p = 0` is the null pointer constant, same as `p = NULL`.
+    let src = r#"
+        struct node { int v; struct node *nxt; };
+        int main() {
+            struct node *p;
+            struct node *q;
+            p = 0;
+            q = NULL;
+            return 0;
+        }
+    "#;
+    let a = Analyzer::new(src, AnalysisOptions::default()).unwrap();
+    let res = a.run().unwrap();
+    let p = a.ir().pvar_id("p").unwrap();
+    let q = a.ir().pvar_id("q").unwrap();
+    assert!(psa::core::queries::always_null(&res.exit, p));
+    assert!(psa::core::queries::always_null(&res.exit, q));
+}
+
+#[test]
+fn comments_and_preprocessor_skipped() {
+    let src = r#"
+        #include <stdlib.h>
+        /* a matrix of
+           comments */
+        struct node { int v; struct node *nxt; }; // trailing
+        int main() {
+            struct node *p; // decl
+            p = NULL; /* assignment */
+            return 0;
+        }
+    "#;
+    analyze(src).expect("trivia ignored");
+}
+
+#[test]
+fn multiple_functions_only_entry_analyzed() {
+    let src = r#"
+        struct node { int v; struct node *nxt; };
+        int helper_scalar(int a, int b) { return a + b; }
+        int main() {
+            struct node *p;
+            int x;
+            x = helper_scalar(1, 2);
+            p = (struct node *) malloc(sizeof(struct node));
+            return 0;
+        }
+    "#;
+    // helper_scalar is inlined (scalar-only), analysis proceeds.
+    analyze(src).expect("scalar helper inlines");
+}
+
+#[test]
+fn switch_statement_lowers_to_chain() {
+    let src = r#"
+        struct node { int v; struct node *nxt; };
+        int main() {
+            int mode;
+            struct node *p;
+            p = NULL;
+            switch (mode) {
+                case 0:
+                    p = (struct node *) malloc(sizeof(struct node));
+                    break;
+                case 1:
+                    p = NULL;
+                    break;
+                default:
+                    p = (struct node *) malloc(sizeof(struct node));
+            }
+            return 0;
+        }
+    "#;
+    let a = Analyzer::new(src, AnalysisOptions::default()).unwrap();
+    let res = a.run().unwrap();
+    let p = a.ir().pvar_id("p").unwrap();
+    // Both outcomes reachable (mode unknown).
+    assert!(psa::core::queries::may_be_null(&res.exit, p));
+    assert!(res.exit.iter().any(|g| g.pl(p).is_some()));
+}
+
+#[test]
+fn switch_on_known_flag_is_precise() {
+    let src = r#"
+        struct node { int v; struct node *nxt; };
+        int main() {
+            int mode;
+            struct node *p;
+            p = NULL;
+            mode = 1;
+            switch (mode) {
+                case 0:
+                    p = (struct node *) malloc(sizeof(struct node));
+                    break;
+                case 1:
+                    p = NULL;
+                    break;
+                default:
+                    p = (struct node *) malloc(sizeof(struct node));
+            }
+            return 0;
+        }
+    "#;
+    let a = Analyzer::new(src, AnalysisOptions::default()).unwrap();
+    let res = a.run().unwrap();
+    let p = a.ir().pvar_id("p").unwrap();
+    assert!(
+        psa::core::queries::always_null(&res.exit, p),
+        "only the case-1 arm is live when mode == 1"
+    );
+}
+
+#[test]
+fn switch_fallthrough_rejected() {
+    let src = r#"
+        int main() {
+            int m;
+            switch (m) {
+                case 0:
+                    m = 1;
+                case 1:
+                    m = 2;
+                    break;
+            }
+            return 0;
+        }
+    "#;
+    let err = Analyzer::new(src, AnalysisOptions::default());
+    assert!(err.is_err(), "fallthrough is outside the subset");
+}

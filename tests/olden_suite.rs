@@ -1,0 +1,137 @@
+//! Integration tests for the Olden-style extension workloads: shapes,
+//! parallelizability and differential soundness. These exercise the
+//! function inliner end to end (treeadd's helpers) and provide the
+//! negative control for the sharing analysis (em3d's genuinely shared
+//! bipartite graph).
+
+use psa::codes::olden::{em3d, power, treeadd};
+use psa::codes::Sizes;
+use psa::concrete::check_soundness;
+use psa::core::api::{AnalysisOptions, Analyzer};
+use psa::core::queries::{self, ShapeClass};
+use psa::rsg::Level;
+
+fn analyzer(src: &str) -> Analyzer {
+    Analyzer::new(src, AnalysisOptions::default()).expect("lowers")
+}
+
+#[test]
+fn treeadd_inlines_and_stays_tree() {
+    let a = analyzer(&treeadd(Sizes::default()));
+    // The inliner must have expanded mknode.
+    assert!(a.ir().pvar_id("__inl0_p").is_some(), "mknode inlined");
+    let res = a.run_at(Level::L1).unwrap();
+    let root = a.ir().pvar_id("root").unwrap();
+    let ir = a.ir();
+
+    // At exit, residual sharing can only come through the traversal stack's
+    // `node` selector (the walk referenced tree cells); the tree's own
+    // child selectors are never shared.
+    let rep = queries::structure_report(&res.exit, root);
+    let l = ir.types.selector_id("l").unwrap();
+    let r = ir.types.selector_id("r").unwrap();
+    assert!(!rep.shared_selectors.contains(l), "left children unshared: {rep}");
+    assert!(!rep.shared_selectors.contains(r), "right children unshared: {rep}");
+
+    // Right after construction (before the stack walk touches it), the
+    // structure is a clean unshared tree: inspect the RSRSG at the last
+    // construction statement (the break targets rejoin before `sum = 0`).
+    let walk_start = ir
+        .stmts
+        .iter()
+        .position(|st| matches!(&st.stmt, psa::ir::Stmt::Ptr(psa::ir::PtrStmt::Malloc(p, t))
+            if ir.pvar_name(*p) == "top"
+                && ir.types.struct_info(*t).name == "stk"))
+        .expect("stack creation found");
+    let before_walk = res.at(psa::ir::StmtId(walk_start as u32 - 1));
+    let rep2 = queries::structure_report(before_walk, root);
+    assert!(!rep2.any_shared, "tree unshared before the walk: {rep2}");
+    assert_eq!(rep2.class, ShapeClass::Tree);
+}
+
+#[test]
+fn power_hierarchy_unshared() {
+    let a = analyzer(&power(Sizes::default()));
+    let res = a.run_at(Level::L1).unwrap();
+    let root = a.ir().pvar_id("root").unwrap();
+    let rep = queries::structure_report(&res.exit, root);
+    assert!(!rep.any_shared, "power hierarchy is a tree of lists: {rep}");
+
+    // The branch-update loop writes each branch exactly once.
+    let reports = psa::core::parallel::loop_reports(a.ir(), &res);
+    let br = a.ir().pvar_id("br").unwrap();
+    let update_loops: Vec<_> = reports
+        .iter()
+        .filter(|r| r.ipvars.contains(&br) && !r.heap_writes.is_empty())
+        .collect();
+    assert!(!update_loops.is_empty());
+    for l in update_loops {
+        assert!(l.parallelizable, "branch updates are independent: {:?}", l.reasons);
+    }
+}
+
+#[test]
+fn em3d_detects_genuine_sharing() {
+    let a = analyzer(&em3d(Sizes::default()));
+    let res = a.run_at(Level::L1).unwrap();
+    let elist = a.ir().pvar_id("elist").unwrap();
+    // The H nodes reachable from the E list through deps are shared: the
+    // analysis must NOT claim this structure unshared.
+    let rep = queries::structure_report(&res.exit, elist);
+    assert!(rep.any_shared, "em3d's H nodes are genuinely shared: {rep}");
+    assert_eq!(rep.class, ShapeClass::Dag);
+    // The `to` selector is the sharing channel.
+    let to = a.ir().types.selector_id("to").unwrap();
+    assert!(queries::shsel_in_region(&res.exit, elist, to));
+}
+
+#[test]
+fn olden_codes_converge_at_all_levels() {
+    for (name, src) in psa::codes::olden::olden_codes(Sizes::default()) {
+        let a = analyzer(&src);
+        for level in Level::ALL {
+            let res = a.run_at(level).unwrap_or_else(|e| panic!("{name}/{level}: {e}"));
+            assert!(!res.exit.is_empty(), "{name}/{level}");
+        }
+    }
+}
+
+#[test]
+fn olden_codes_differentially_sound() {
+    for (name, src) in psa::codes::olden::olden_codes(Sizes::tiny()) {
+        // The soundness oracle runs on the *inlined* program: inline first,
+        // then hand the flat source… the harness lowers `main` directly, so
+        // inline here via the API-equivalent path.
+        let (p, t) = psa_cfront::parse_and_type(&src).unwrap();
+        let p2 = psa::ir::inline_program(&p, "main").unwrap();
+        // Reconstruct a source-independent check by running the engine and
+        // interpreter over the same IR.
+        let ir = psa::ir::lower_main(&p2, &t).unwrap();
+        let engine = psa::core::engine::Engine::new(
+            &ir,
+            psa::core::engine::EngineConfig::at_level(Level::L1),
+        );
+        let result = engine.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+        for seed in [1u64, 2] {
+            let exec = psa::concrete::Interpreter::new(
+                &ir,
+                psa::concrete::InterpConfig { seed, ..Default::default() },
+            )
+            .run();
+            for point in &exec.trace {
+                let rsrsg = result.at(point.stmt);
+                assert!(
+                    psa::concrete::cover::any_covers(rsrsg.iter(), &point.state, Level::L1),
+                    "{name}: uncovered after {} (seed {seed})",
+                    point.stmt
+                );
+            }
+        }
+        // Also exercise the plain harness on the already-inlined codes
+        // (power and em3d have no calls).
+        if !src.contains("mknode") {
+            let rep = check_soundness(&src, Level::L1, &[3]);
+            assert!(rep.is_sound(), "{name}: {:#?}", rep.violations);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The progressive driver (§5) across the whole benchmark suite: which
+//! level each code/goal combination settles at, and that escalation is
+//! exactly as lazy as the paper prescribes.
+
+use psa::codes::{barnes_hut, sparse_lu, sparse_matmat, sparse_matvec, Sizes};
+use psa::core::api::{AnalysisOptions, Analyzer};
+use psa::core::progressive::Goal;
+use psa::rsg::Level;
+
+fn analyzer(src: &str) -> Analyzer {
+    Analyzer::new(src, AnalysisOptions::progressive()).expect("lowers")
+}
+
+#[test]
+fn sparse_codes_satisfied_at_l1() {
+    // "The first three codes were successfully analyzed in the first level
+    // of the compiler, L1."
+    for (name, src, root) in [
+        ("matvec", sparse_matvec(Sizes::default()), "A"),
+        ("matmat", sparse_matmat(Sizes::default()), "C"),
+        ("lu", sparse_lu(Sizes::default()), "M"),
+    ] {
+        let a = analyzer(&src);
+        let pvar = a.ir().pvar_id(root).unwrap();
+        let outcome = a.run_progressive(vec![Goal::NotSharedInRegion { pvar }]);
+        assert_eq!(
+            outcome.satisfied_at,
+            Some(Level::L1),
+            "{name} must not escalate beyond L1"
+        );
+        assert_eq!(outcome.levels.len(), 1, "{name}: exactly one level attempted");
+    }
+}
+
+#[test]
+fn barnes_hut_shsel_goal_satisfied_at_l1_here() {
+    // The paper needed L2 for SHSEL(body) = false; our L1 maintenance is
+    // stronger (EXPERIMENTS.md F3 discusses the deviation), so the driver
+    // stops at L1 for this goal.
+    let src = barnes_hut(Sizes::default());
+    let a = analyzer(&src);
+    let lbodies = a.ir().pvar_id("Lbodies").unwrap();
+    let body = a.ir().types.selector_id("body").unwrap();
+    let outcome =
+        a.run_progressive(vec![Goal::NotShselInRegion { pvar: lbodies, sel: body }]);
+    assert!(outcome.satisfied_at.is_some());
+    assert!(outcome.satisfied_at.unwrap() <= Level::L2);
+}
+
+#[test]
+fn barnes_hut_parallel_goal_requires_l3() {
+    let src = barnes_hut(Sizes::default());
+    let a = analyzer(&src);
+    let ir = a.ir();
+    let b = ir.pvar_id("b").unwrap();
+    let force_loop = (0..ir.loops.len())
+        .rev()
+        .map(|i| psa::ir::LoopId(i as u32))
+        .find(|l| ir.loops[l.0 as usize].ipvars.contains(&b))
+        .unwrap();
+    let outcome = a.run_progressive(vec![Goal::LoopParallel { loop_id: force_loop }]);
+    assert_eq!(outcome.satisfied_at, Some(Level::L3));
+    // All three levels were attempted, in order, each producing a result.
+    assert_eq!(outcome.levels.len(), 3);
+    for (lv, expect) in outcome.levels.iter().zip(Level::ALL) {
+        assert_eq!(lv.level, expect);
+        assert!(lv.result.is_ok());
+    }
+    // The goal evaluation history: unmet, unmet, met.
+    assert_eq!(outcome.levels[0].goals_met, vec![false]);
+    assert_eq!(outcome.levels[1].goals_met, vec![false]);
+    assert_eq!(outcome.levels[2].goals_met, vec![true]);
+}
+
+#[test]
+fn combined_goals_escalate_to_the_strictest() {
+    let src = barnes_hut(Sizes::default());
+    let a = analyzer(&src);
+    let ir = a.ir();
+    let lbodies = ir.pvar_id("Lbodies").unwrap();
+    let body = ir.types.selector_id("body").unwrap();
+    let b = ir.pvar_id("b").unwrap();
+    let force_loop = (0..ir.loops.len())
+        .rev()
+        .map(|i| psa::ir::LoopId(i as u32))
+        .find(|l| ir.loops[l.0 as usize].ipvars.contains(&b))
+        .unwrap();
+    let outcome = a.run_progressive(vec![
+        Goal::NotShselInRegion { pvar: lbodies, sel: body },
+        Goal::LoopParallel { loop_id: force_loop },
+    ]);
+    assert_eq!(outcome.satisfied_at, Some(Level::L3), "the parallel goal dominates");
+}
+
+#[test]
+fn no_alias_goal() {
+    let src = sparse_matvec(Sizes::default());
+    let a = analyzer(&src);
+    let ir = a.ir();
+    let x = ir.pvar_id("x").unwrap();
+    let y = ir.pvar_id("y").unwrap();
+    let outcome = a.run_progressive(vec![Goal::NoAlias { p: x, q: y }]);
+    assert_eq!(
+        outcome.satisfied_at,
+        Some(Level::L1),
+        "input and output vectors never alias"
+    );
+}
+
+#[test]
+fn best_result_is_most_precise_attempted() {
+    let src = barnes_hut(Sizes::tiny());
+    let a = analyzer(&src);
+    let ir = a.ir();
+    let b = ir.pvar_id("b").unwrap();
+    let force_loop = (0..ir.loops.len())
+        .rev()
+        .map(|i| psa::ir::LoopId(i as u32))
+        .find(|l| ir.loops[l.0 as usize].ipvars.contains(&b))
+        .unwrap();
+    let outcome = a.run_progressive(vec![Goal::LoopParallel { loop_id: force_loop }]);
+    let best = outcome.best().expect("some level produced a result");
+    assert_eq!(best.level, Level::L3);
+}

@@ -1,0 +1,165 @@
+//! Property-based tests (proptest) on the core shape-graph invariants.
+
+use proptest::prelude::*;
+use psa::ir::PvarId;
+use psa::rsg::canon::{canonical_bytes, isomorphic};
+use psa::rsg::compress::compress;
+use psa::rsg::divide::divide;
+use psa::rsg::join::{compatible, join};
+use psa::rsg::prune::prune;
+use psa::rsg::subsume::subsumes;
+use psa::rsg::{builder, Level, Rsg, ShapeCtx};
+use psa_cfront::types::{SelectorId, StructId};
+
+/// A random but structurally valid RSG: a forest of lists and trees over one
+/// struct with two selectors, with a few pvars.
+fn arb_rsg() -> impl Strategy<Value = Rsg> {
+    (
+        2usize..6,           // list length
+        0usize..3,           // tree depth
+        any::<bool>(),       // second pvar bound?
+        any::<bool>(),       // extra cross link?
+    )
+        .prop_map(|(len, depth, second, cross)| {
+            let mut g = builder::singly_linked_list(len, 3, PvarId(0), SelectorId(0));
+            if depth > 0 {
+                // Attach a small tree under a second pvar.
+                let t = builder::binary_tree(depth, 1, PvarId(0), SelectorId(0), SelectorId(1));
+                // Splice tree nodes into g with fresh ids.
+                let mut map = std::collections::BTreeMap::new();
+                for n in t.node_ids() {
+                    map.insert(n, g.add_node(t.node(n).clone()));
+                }
+                for (a, s, b) in t.links() {
+                    g.add_link(map[&a], s, map[&b]);
+                }
+                if second {
+                    g.set_pl(PvarId(1), map[&t.pl(PvarId(0)).unwrap()]);
+                }
+            }
+            if cross {
+                // A benign extra possible link between the heads.
+                let ids: Vec<_> = g.node_ids().collect();
+                if ids.len() >= 2 {
+                    let (a, b) = (ids[0], ids[ids.len() - 1]);
+                    if g.node(a).ty == StructId(0) {
+                        g.add_link(a, SelectorId(1), b);
+                        g.node_mut(a).pos_selout.insert(SelectorId(1));
+                        g.node_mut(b).pos_selin.insert(SelectorId(1));
+                    }
+                }
+            }
+            g.gc();
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn canonical_form_is_reconstruction_invariant(g in arb_rsg()) {
+        // Rebuild the same graph with node ids permuted (reverse insertion).
+        let ids: Vec<_> = g.node_ids().collect();
+        let mut map = std::collections::BTreeMap::new();
+        let mut h = Rsg::empty(g.num_pvar_slots());
+        for &n in ids.iter().rev() {
+            map.insert(n, h.add_node(g.node(n).clone()));
+        }
+        for (a, s, b) in g.links() {
+            h.add_link(map[&a], s, map[&b]);
+        }
+        for (p, n) in g.pl_iter() {
+            h.set_pl(p, map[&n]);
+        }
+        prop_assert!(isomorphic(&g, &h));
+        prop_assert_eq!(canonical_bytes(&g), canonical_bytes(&h));
+    }
+
+    #[test]
+    fn compress_is_idempotent(g in arb_rsg()) {
+        let ctx = ShapeCtx::synthetic(3, 2);
+        for level in [Level::L1, Level::L2] {
+            let c1 = compress(&g, &ctx, level);
+            let c2 = compress(&c1, &ctx, level);
+            prop_assert!(isomorphic(&c1, &c2), "compress must be idempotent at {}", level);
+        }
+    }
+
+    #[test]
+    fn compress_never_increases_size(g in arb_rsg()) {
+        let ctx = ShapeCtx::synthetic(3, 2);
+        let c = compress(&g, &ctx, Level::L1);
+        prop_assert!(c.num_nodes() <= g.num_nodes());
+    }
+
+    #[test]
+    fn compressed_graph_subsumes_original(g in arb_rsg()) {
+        let ctx = ShapeCtx::synthetic(3, 2);
+        let c = compress(&g, &ctx, Level::L1);
+        prop_assert!(subsumes(&c, &g), "summarization only generalizes");
+    }
+
+    #[test]
+    fn prune_is_idempotent(g in arb_rsg()) {
+        if let Some(p1) = prune(&g) {
+            let p2 = prune(&p1).expect("pruned graph stays consistent");
+            prop_assert!(isomorphic(&p1, &p2));
+        }
+    }
+
+    #[test]
+    fn join_subsumes_both_inputs(a in arb_rsg(), b in arb_rsg()) {
+        let _ctx = ShapeCtx::synthetic(3, 2);
+        if compatible(&a, &b, Level::L1) {
+            let j = join(&a, &b, Level::L1);
+            prop_assert!(subsumes(&j, &a), "join must cover its first input");
+            prop_assert!(subsumes(&j, &b), "join must cover its second input");
+        }
+    }
+
+    #[test]
+    fn join_is_commutative_up_to_iso(a in arb_rsg(), b in arb_rsg()) {
+        if compatible(&a, &b, Level::L1) {
+            let ctx = ShapeCtx::synthetic(3, 2);
+            let ab = compress(&join(&a, &b, Level::L1), &ctx, Level::L1);
+            let ba = compress(&join(&b, &a, Level::L1), &ctx, Level::L1);
+            // Both joins must subsume both inputs; exact isomorphism is not
+            // guaranteed (greedy pairing), so check mutual subsumption of
+            // the inputs instead.
+            prop_assert!(subsumes(&ab, &a) && subsumes(&ab, &b));
+            prop_assert!(subsumes(&ba, &a) && subsumes(&ba, &b));
+        }
+    }
+
+    #[test]
+    fn subsumption_is_reflexive(g in arb_rsg()) {
+        prop_assert!(subsumes(&g, &g));
+    }
+
+    #[test]
+    fn divide_parts_are_subsumed(g in arb_rsg()) {
+        // Every divided part describes a subset of the original's
+        // configurations... conversely each part must be subsumed by the
+        // original graph (which may additionally describe others).
+        let parts = divide(&g, PvarId(0), SelectorId(0));
+        for part in &parts {
+            prop_assert!(
+                subsumes(&g, part),
+                "division only specializes; part must embed into the input"
+            );
+        }
+    }
+
+    #[test]
+    fn invariants_preserved_by_ops(g in arb_rsg()) {
+        let ctx = ShapeCtx::synthetic(3, 2);
+        compress(&g, &ctx, Level::L1).check_invariants(&ctx).unwrap();
+        if let Some(p) = prune(&g) {
+            p.check_invariants(&ctx).unwrap();
+        }
+        for part in divide(&g, PvarId(0), SelectorId(0)) {
+            part.check_invariants(&ctx).unwrap();
+        }
+    }
+}

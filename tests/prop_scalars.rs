@@ -1,0 +1,98 @@
+//! Property tests for the tracked-scalar lattice pieces: join intersection,
+//! subsumption direction, and canonical-form sensitivity.
+
+use proptest::prelude::*;
+use psa::ir::PvarId;
+use psa::rsg::canon::isomorphic;
+use psa::rsg::join::{compatible, join};
+use psa::rsg::subsume::subsumes;
+use psa::rsg::{builder, Level, Rsg, ShapeCtx};
+use psa_cfront::types::SelectorId;
+
+fn base_graph() -> Rsg {
+    builder::singly_linked_list(3, 1, PvarId(0), SelectorId(0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scalar_facts_affect_canonical_form(v in 0u32..4, k in -3i64..4) {
+        let plain = base_graph();
+        let mut flagged = base_graph();
+        flagged.set_scalar(v, k);
+        prop_assert!(!isomorphic(&plain, &flagged));
+        // And the fact round-trips.
+        prop_assert_eq!(flagged.scalar(v), Some(k));
+    }
+
+    #[test]
+    fn fewer_facts_subsume_more(v in 0u32..4, k in -3i64..4) {
+        let general = base_graph();
+        let mut specific = base_graph();
+        specific.set_scalar(v, k);
+        prop_assert!(subsumes(&general, &specific), "unknown covers known");
+        prop_assert!(!subsumes(&specific, &general), "known cannot cover unknown");
+    }
+
+    #[test]
+    fn different_facts_never_subsume(v in 0u32..4, k in -3i64..4) {
+        let mut a = base_graph();
+        a.set_scalar(v, k);
+        let mut b = base_graph();
+        b.set_scalar(v, k + 1);
+        prop_assert!(!subsumes(&a, &b));
+        prop_assert!(!subsumes(&b, &a));
+    }
+
+    #[test]
+    fn join_requires_equal_facts(v in 0u32..4, k in -3i64..4) {
+        let mut a = base_graph();
+        a.set_scalar(v, k);
+        let mut b = base_graph();
+        b.set_scalar(v, k);
+        prop_assert!(compatible(&a, &b, Level::L1));
+        let j = join(&a, &b, Level::L1);
+        prop_assert_eq!(j.scalar(v), Some(k), "agreed facts survive the join");
+
+        let mut c = base_graph();
+        c.set_scalar(v, k + 1);
+        prop_assert!(!compatible(&a, &c, Level::L1), "conflicting facts block join");
+    }
+
+    #[test]
+    fn intersect_scalars_is_the_lattice_join(
+        v1 in 0u32..3, k1 in -2i64..3, v2 in 0u32..3, k2 in -2i64..3
+    ) {
+        let mut a = Rsg::empty(1);
+        a.set_scalar(v1, k1);
+        a.set_scalar(v2, k2);
+        let mut b = Rsg::empty(1);
+        b.set_scalar(v1, k1);
+        let mut j = a.clone();
+        j.intersect_scalars(&b);
+        // Only facts present and equal in both survive. (When v1 == v2 the
+        // second set_scalar overwrote the first, so consult `a`'s actual
+        // final value.)
+        let a_final_v1 = a.scalar(v1).unwrap();
+        if a_final_v1 == k1 {
+            prop_assert_eq!(j.scalar(v1), Some(k1));
+        } else {
+            prop_assert_eq!(j.scalar(v1), None);
+        }
+        if v2 != v1 {
+            prop_assert_eq!(j.scalar(v2), None, "b lacks v2");
+        }
+    }
+
+    #[test]
+    fn clear_scalar_forgets(v in 0u32..4, k in -3i64..4) {
+        let mut g = Rsg::empty(2);
+        g.set_scalar(v, k);
+        g.clear_scalar(v);
+        prop_assert_eq!(g.scalar(v), None);
+        let ctx = ShapeCtx::synthetic(2, 1);
+        let _ = &ctx;
+        prop_assert!(isomorphic(&g, &Rsg::empty(2)));
+    }
+}

@@ -1,0 +1,226 @@
+//! Tests of the tracked-scalar (flag) extension: `ScalarConst`/`ScalarHavoc`
+//! statements and `ScalarEq` branch refinement keep flag-guarded loops
+//! precise — the `done = 1; while (done == 0)` pattern that real C codes
+//! (including the paper's Barnes-Hut before its stack transformation) use
+//! everywhere.
+
+use psa::core::api::{AnalysisOptions, Analyzer};
+use psa::core::queries;
+use psa::rsg::Level;
+
+fn analyzer(src: &str) -> Analyzer {
+    Analyzer::new(src, AnalysisOptions::default()).expect("lowers")
+}
+
+#[test]
+fn flag_statements_lowered() {
+    let src = r#"
+        struct node { int v; struct node *nxt; };
+        int main() {
+            int done;
+            struct node *p;
+            done = 0;
+            while (done == 0) {
+                p = (struct node *) malloc(sizeof(struct node));
+                done = 1;
+            }
+            return 0;
+        }
+    "#;
+    let a = analyzer(src);
+    let ir = a.ir();
+    assert!(ir.scalar_id("done").is_some(), "done is tracked");
+    assert!(ir
+        .stmts
+        .iter()
+        .any(|s| matches!(s.stmt, psa::ir::Stmt::ScalarConst(_, 1))));
+    assert!(ir.blocks.iter().any(|b| matches!(
+        b.term,
+        psa::ir::Terminator::Branch { cond: psa::ir::Cond::ScalarEq(_, 0), .. }
+    )));
+}
+
+#[test]
+fn flag_loop_exits_precisely() {
+    // After the loop, done == 1 in every configuration, and the loop body
+    // ran at least once — p is never NULL at exit.
+    let src = r#"
+        struct node { int v; struct node *nxt; };
+        int main() {
+            int done;
+            struct node *p;
+            done = 0;
+            while (done == 0) {
+                p = (struct node *) malloc(sizeof(struct node));
+                done = 1;
+            }
+            p->v = 1;
+            return 0;
+        }
+    "#;
+    let a = analyzer(src);
+    let res = a.run_at(Level::L1).unwrap();
+    let p = a.ir().pvar_id("p").unwrap();
+    assert!(
+        !queries::may_be_null(&res.exit, p),
+        "flag tracking proves the body executed"
+    );
+    // No NULL-dereference warning for p->v.
+    assert!(
+        !res.stats.warnings.iter().any(|w| w.contains("`p`")),
+        "{:?}",
+        res.stats.warnings
+    );
+}
+
+#[test]
+fn flag_version_of_insertion_loop_is_precise() {
+    // The `done`-flag variant of the Barnes-Hut insertion inner loop: with
+    // scalar tracking, the post-attach state (done == 1) cannot re-enter
+    // the loop, so the body list stays SHSEL(body)-free — matching the
+    // break-based variant.
+    let src = r#"
+        struct body { int m; struct body *nxt; };
+        struct cell { struct cell *child; struct cell *next; struct body *body; };
+        int main() {
+            struct body *Lbodies;
+            struct body *b;
+            struct cell *root;
+            struct cell *cur;
+            struct cell *c;
+            struct cell *q;
+            int i;
+            int done;
+            Lbodies = NULL;
+            for (i = 0; i < 6; i++) {
+                b = (struct body *) malloc(sizeof(struct body));
+                b->nxt = Lbodies;
+                Lbodies = b;
+            }
+            root = (struct cell *) malloc(sizeof(struct cell));
+            root->child = NULL;
+            root->next = NULL;
+            root->body = NULL;
+            b = Lbodies;
+            while (b != NULL) {
+                cur = root;
+                done = 0;
+                while (done == 0) {
+                    if (cur->child == NULL) {
+                        if (cur->body == NULL) {
+                            cur->body = b;
+                            done = 1;
+                        } else {
+                            c = (struct cell *) malloc(sizeof(struct cell));
+                            c->child = NULL;
+                            c->next = NULL;
+                            c->body = cur->body;
+                            cur->body = NULL;
+                            cur->child = c;
+                            q = (struct cell *) malloc(sizeof(struct cell));
+                            q->child = NULL;
+                            q->next = cur->child;
+                            q->body = NULL;
+                            cur->child = q;
+                        }
+                    } else {
+                        q = cur->child;
+                        while (q->next != NULL && i % 3 == 0) {
+                            q = q->next;
+                        }
+                        cur = q;
+                    }
+                }
+                b = b->nxt;
+            }
+            return 0;
+        }
+    "#;
+    let a = analyzer(src);
+    let res = a.run_at(Level::L2).unwrap();
+    let lbodies = a.ir().pvar_id("Lbodies").unwrap();
+    let body_sel = a.ir().types.selector_id("body").unwrap();
+    assert!(
+        !queries::shsel_in_region(&res.exit, lbodies, body_sel),
+        "flag tracking keeps the attach states out of the loop re-entry: \
+         no spurious SHSEL(body)"
+    );
+}
+
+#[test]
+fn havoc_forgets_flag_values() {
+    // A flag reassigned from arithmetic becomes unknown: both branches stay
+    // reachable.
+    let src = r#"
+        struct node { int v; struct node *nxt; };
+        int main() {
+            int flag;
+            int other;
+            struct node *p;
+            flag = 0;
+            flag = other + 1;
+            if (flag == 0) {
+                p = (struct node *) malloc(sizeof(struct node));
+            }
+            return 0;
+        }
+    "#;
+    let a = analyzer(src);
+    let res = a.run_at(Level::L1).unwrap();
+    let p = a.ir().pvar_id("p").unwrap();
+    // Both the allocated and the NULL outcome must survive.
+    assert!(queries::may_be_null(&res.exit, p));
+    assert!(res.exit.iter().any(|g| g.pl(p).is_some()));
+}
+
+#[test]
+fn contradictory_flag_paths_are_dead() {
+    let src = r#"
+        struct node { int v; struct node *nxt; };
+        int main() {
+            int flag;
+            struct node *p;
+            flag = 3;
+            if (flag == 4) {
+                /* dead: p stays NULL on every live path */
+                p = (struct node *) malloc(sizeof(struct node));
+            }
+            return 0;
+        }
+    "#;
+    let a = analyzer(src);
+    let res = a.run_at(Level::L1).unwrap();
+    let p = a.ir().pvar_id("p").unwrap();
+    assert!(queries::always_null(&res.exit, p), "the flag == 4 branch is dead");
+}
+
+#[test]
+fn scalar_flags_differentially_sound() {
+    for seed in [0u64, 1, 2, 3] {
+        let src = r#"
+            struct node { int v; struct node *nxt; };
+            int main() {
+                int done;
+                struct node *list;
+                struct node *p;
+                int i;
+                list = NULL;
+                done = 0;
+                while (done == 0) {
+                    p = (struct node *) malloc(sizeof(struct node));
+                    p->nxt = list;
+                    list = p;
+                    if (i > 3) {
+                        done = 1;
+                    }
+                    i = i + 1;
+                }
+                return 0;
+            }
+        "#;
+        let rep = psa::concrete::check_soundness(src, Level::L1, &[seed]);
+        assert!(rep.is_sound(), "seed {seed}: {:#?}", rep.violations);
+        let rep3 = psa::concrete::check_soundness(src, Level::L3, &[seed]);
+        assert!(rep3.is_sound(), "L3 seed {seed}: {:#?}", rep3.violations);
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration tests for the sparse-code suite (§5, Table 1 rows 1–3):
+//! all three sparse codes must be *accurately analyzed at L1* — the matrix
+//! headers are unshared list-of-list structures, the result structures are
+//! unaliased, and the analysis converges.
+
+use psa::codes::{sparse_lu, sparse_matmat, sparse_matvec, Sizes};
+use psa::core::api::{AnalysisOptions, Analyzer};
+use psa::core::queries::{self, ShapeClass};
+use psa::rsg::Level;
+
+fn analyzer(src: &str) -> Analyzer {
+    Analyzer::new(src, AnalysisOptions::at_level(Level::L1)).expect("code lowers")
+}
+
+#[test]
+fn matvec_l1_shapes() {
+    let a = analyzer(&sparse_matvec(Sizes::default()));
+    let res = a.run().expect("converges");
+    let ir = a.ir();
+
+    // The matrix A is an unshared list-of-lists.
+    let rep_a = queries::structure_report(&res.exit, ir.pvar_id("A").unwrap());
+    assert!(!rep_a.any_shared, "matrix rows/elements are unshared: {rep_a}");
+    assert!(rep_a.shared_selectors.is_empty());
+
+    // Vectors x and y are plain lists.
+    for v in ["x", "y"] {
+        let rep = queries::structure_report(&res.exit, ir.pvar_id(v).unwrap());
+        assert!(
+            matches!(rep.class, ShapeClass::List | ShapeClass::Empty),
+            "{v} must be a list, got {rep}"
+        );
+    }
+
+    // A and x never alias; y is freshly built.
+    assert!(!queries::may_alias(
+        &res.exit,
+        ir.pvar_id("A").unwrap(),
+        ir.pvar_id("x").unwrap()
+    ));
+}
+
+#[test]
+fn matmat_l1_shapes() {
+    let a = analyzer(&sparse_matmat(Sizes::default()));
+    let res = a.run().expect("converges");
+    let ir = a.ir();
+    for m in ["A", "B", "C"] {
+        let rep = queries::structure_report(&res.exit, ir.pvar_id(m).unwrap());
+        assert!(!rep.any_shared, "{m} must be unshared: {rep}");
+    }
+    // The three matrices are disjoint structures.
+    for (p, q) in [("A", "B"), ("A", "C"), ("B", "C")] {
+        assert!(!queries::may_alias(
+            &res.exit,
+            ir.pvar_id(p).unwrap(),
+            ir.pvar_id(q).unwrap()
+        ));
+    }
+}
+
+#[test]
+fn lu_l1_shapes() {
+    let a = analyzer(&sparse_lu(Sizes::default()));
+    let res = a.run().expect("converges");
+    let ir = a.ir();
+    let rep = queries::structure_report(&res.exit, ir.pvar_id("M").unwrap());
+    // Despite in-place updates and fill-in insertion, the column lists stay
+    // unshared.
+    assert!(!rep.any_shared, "LU matrix must stay unshared: {rep}");
+    assert!(rep.shared_selectors.is_empty());
+}
+
+#[test]
+fn sparse_codes_all_levels_converge() {
+    for (name, src) in psa::codes::table1_codes(Sizes::default()) {
+        if name == "Barnes-Hut" {
+            continue; // covered by its own test file
+        }
+        let a = analyzer(&src);
+        for level in Level::ALL {
+            let res = a.run_at(level).unwrap_or_else(|e| panic!("{name} at {level}: {e}"));
+            assert!(!res.exit.is_empty(), "{name} at {level} reaches exit");
+        }
+    }
+}
+
+#[test]
+fn l1_results_independent_of_loop_counts() {
+    // The fixed point abstracts loop counts away: two sizes produce the
+    // same exit RSRSG.
+    let a1 = analyzer(&sparse_matvec(Sizes { n: 5, m: 3 }));
+    let a2 = analyzer(&sparse_matvec(Sizes { n: 50, m: 20 }));
+    let r1 = a1.run().unwrap();
+    let r2 = a2.run().unwrap();
+    assert!(r1.exit.same_as(&r2.exit), "exit shape must not depend on sizes");
+}
+
+#[test]
+fn matvec_parallel_row_loop() {
+    // The outer product loop writes only the freshly allocated result
+    // node and the per-row accumulation: the parallelism client must not
+    // find cross-iteration conflicts.
+    let a = analyzer(&sparse_matvec(Sizes::default()));
+    let res = a.run().unwrap();
+    let ir = a.ir();
+    let reports = psa::core::parallel::loop_reports(ir, &res);
+    // Find the row loop: ipvars contain `r` and it has heap writes (the
+    // result vector appends).
+    let r = ir.pvar_id("r").unwrap();
+    let row_loop = reports
+        .iter()
+        .find(|rep| rep.ipvars.contains(&r) && !rep.heap_writes.is_empty())
+        .expect("row loop found");
+    assert!(
+        row_loop.parallelizable,
+        "row-wise Mat-Vec is the paper's canonical parallel loop: {:?}",
+        row_loop.reasons
+    );
+}
