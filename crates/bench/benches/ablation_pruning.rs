@@ -6,12 +6,12 @@
 //! `true`, which disables the aggressive rules).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use psa_cfront::types::SelectorId;
 use psa_core::semantics::{transfer_one, TransferCtx};
 use psa_core::stats::AnalysisStats;
 use psa_ir::{PtrStmt, PvarId};
 use psa_rsg::prune::prune;
 use psa_rsg::{builder, Level, Rsg, ShapeCtx};
-use psa_cfront::types::SelectorId;
 
 fn degrade_sharing(g: &Rsg) -> Rsg {
     let mut g = g.clone();

@@ -3,6 +3,7 @@
 //! materialization, and the full `x->nxt = NULL` statement semantics.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use psa_cfront::types::SelectorId;
 use psa_core::semantics::{transfer_one, TransferCtx};
 use psa_core::stats::AnalysisStats;
 use psa_ir::{PtrStmt, PvarId};
@@ -11,7 +12,6 @@ use psa_rsg::divide::divide;
 use psa_rsg::materialize::materialize;
 use psa_rsg::prune::prune;
 use psa_rsg::{builder, Level, ShapeCtx};
-use psa_cfront::types::SelectorId;
 
 fn fig1(c: &mut Criterion) {
     let nxt = SelectorId(0);

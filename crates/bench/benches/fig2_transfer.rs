@@ -4,13 +4,13 @@
 //! step in isolation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use psa_cfront::types::SelectorId;
 use psa_core::rsrsg::Rsrsg;
 use psa_core::semantics::{transfer_rsrsg, TransferCtx};
 use psa_core::stats::AnalysisStats;
 use psa_ir::{PtrStmt, PvarId};
 use psa_rsg::join::{compatible, join};
 use psa_rsg::{builder, Level, ShapeCtx};
-use psa_cfront::types::SelectorId;
 
 fn fig2(c: &mut Criterion) {
     let s0 = SelectorId(0);
@@ -32,7 +32,12 @@ fn fig2(c: &mut Criterion) {
         let tcx = TransferCtx::new(&ctx, level, &[]);
         b.iter(|| {
             let mut stats = AnalysisStats::default();
-            transfer_rsrsg(&set, &PtrStmt::Load(PvarId(1), PvarId(0), s0), &tcx, &mut stats)
+            transfer_rsrsg(
+                &set,
+                &PtrStmt::Load(PvarId(1), PvarId(0), s0),
+                &tcx,
+                &mut stats,
+            )
         })
     });
     group.bench_function("join_compatible_lists", |b| {

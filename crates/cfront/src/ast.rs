@@ -103,7 +103,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for the comparison operators (result is a C boolean).
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge
+        )
     }
 }
 
@@ -208,7 +211,13 @@ pub enum Stmt {
     /// `do body while (cond);`
     DoWhile(Box<Stmt>, Expr, Span),
     /// `for (init; cond; step) body` — any clause may be absent.
-    For(Option<Box<Stmt>>, Option<Expr>, Option<Expr>, Box<Stmt>, Span),
+    For(
+        Option<Box<Stmt>>,
+        Option<Expr>,
+        Option<Expr>,
+        Box<Stmt>,
+        Span,
+    ),
     /// `return e?;`
     Return(Option<Expr>, Span),
     /// `break;`

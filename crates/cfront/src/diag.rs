@@ -18,11 +18,21 @@ pub struct Span {
 
 impl Span {
     /// A span covering nothing, used for synthesized constructs.
-    pub const SYNTH: Span = Span { start: 0, end: 0, line: 0, col: 0 };
+    pub const SYNTH: Span = Span {
+        start: 0,
+        end: 0,
+        line: 0,
+        col: 0,
+    };
 
     /// Create a span from raw pieces.
     pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// The smallest span covering both `self` and `other`.
@@ -85,12 +95,20 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Construct an error diagnostic.
     pub fn error(span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Error, span, message: message.into() }
+        Diagnostic {
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+        }
     }
 
     /// Construct a warning diagnostic.
     pub fn warning(span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Warning, span, message: message.into() }
+        Diagnostic {
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+        }
     }
 }
 

@@ -17,7 +17,12 @@ struct Lexer<'a> {
 
 /// Lex `src` into a token vector terminated by [`TokenKind::Eof`].
 pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
-    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
     let mut out = Vec::new();
     loop {
         let tok = lx.next_token()?;
@@ -136,7 +141,10 @@ impl<'a> Lexer<'a> {
         let start = self.here();
         let c = match self.peek() {
             None => {
-                return Ok(Token { kind: TokenKind::Eof, span: self.span_from(start) });
+                return Ok(Token {
+                    kind: TokenKind::Eof,
+                    span: self.span_from(start),
+                });
             }
             Some(c) => c,
         };
@@ -220,7 +228,10 @@ impl<'a> Lexer<'a> {
                 ));
             }
         };
-        Ok(Token { kind, span: self.span_from(start) })
+        Ok(Token {
+            kind,
+            span: self.span_from(start),
+        })
     }
 
     fn ident_or_keyword(&mut self, start: (usize, u32, u32)) -> Token {
@@ -232,9 +243,11 @@ impl<'a> Lexer<'a> {
             }
         }
         let text = std::str::from_utf8(&self.src[start.0..self.pos]).unwrap();
-        let kind =
-            TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
-        Token { kind, span: self.span_from(start) }
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+        Token {
+            kind,
+            span: self.span_from(start),
+        }
     }
 
     fn number(&mut self, start: (usize, u32, u32)) -> Result<Token, Diagnostic> {
@@ -242,8 +255,7 @@ impl<'a> Lexer<'a> {
         while let Some(c) = self.peek() {
             if c.is_ascii_digit() {
                 self.bump();
-            } else if c == b'.' && !is_float && self.peek2().is_some_and(|d| d.is_ascii_digit())
-            {
+            } else if c == b'.' && !is_float && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
                 is_float = true;
                 self.bump();
             } else if (c == b'e' || c == b'E')
@@ -270,8 +282,10 @@ impl<'a> Lexer<'a> {
             }
         }
         let raw = std::str::from_utf8(&self.src[start.0..self.pos]).unwrap();
-        let clean: String =
-            raw.chars().filter(|c| !matches!(c, 'l' | 'L' | 'u' | 'U' | 'f' | 'F')).collect();
+        let clean: String = raw
+            .chars()
+            .filter(|c| !matches!(c, 'l' | 'L' | 'u' | 'U' | 'f' | 'F'))
+            .collect();
         let span = self.span_from(start);
         let kind = if is_float {
             let v = clean
@@ -308,7 +322,10 @@ impl<'a> Lexer<'a> {
                 Some(c) => text.push(c as char),
             }
         }
-        Ok(Token { kind: TokenKind::StrLit(text), span: self.span_from(start) })
+        Ok(Token {
+            kind: TokenKind::StrLit(text),
+            span: self.span_from(start),
+        })
     }
 
     fn char_lit(&mut self, start: (usize, u32, u32)) -> Result<Token, Diagnostic> {
@@ -334,7 +351,10 @@ impl<'a> Lexer<'a> {
                 "char literal must contain exactly one character",
             ));
         }
-        Ok(Token { kind: TokenKind::CharLit(c), span: self.span_from(start) })
+        Ok(Token {
+            kind: TokenKind::CharLit(c),
+            span: self.span_from(start),
+        })
     }
 }
 
@@ -445,20 +465,31 @@ mod tests {
     #[test]
     fn skips_comments_and_preprocessor() {
         let src = "#include <stdio.h>\n// line comment\nint /* block */ x;";
-        assert_eq!(kinds(src), vec![T::KwInt, T::Ident("x".into()), T::Semi, T::Eof]);
+        assert_eq!(
+            kinds(src),
+            vec![T::KwInt, T::Ident("x".into()), T::Semi, T::Eof]
+        );
     }
 
     #[test]
     fn multiline_define_is_skipped() {
         let src = "#define FOO \\\n  bar\nint x;";
-        assert_eq!(kinds(src), vec![T::KwInt, T::Ident("x".into()), T::Semi, T::Eof]);
+        assert_eq!(
+            kinds(src),
+            vec![T::KwInt, T::Ident("x".into()), T::Semi, T::Eof]
+        );
     }
 
     #[test]
     fn string_and_char_literals() {
         assert_eq!(
             kinds(r#""he\nllo" 'a' '\n'"#),
-            vec![T::StrLit("he\nllo".into()), T::CharLit(97), T::CharLit(10), T::Eof]
+            vec![
+                T::StrLit("he\nllo".into()),
+                T::CharLit(97),
+                T::CharLit(10),
+                T::Eof
+            ]
         );
     }
 

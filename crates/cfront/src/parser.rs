@@ -17,7 +17,11 @@ use std::collections::HashSet;
 /// Parse a complete translation unit.
 pub fn parse(src: &str) -> Result<Program, Diagnostic> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0, typedefs: HashSet::new() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        typedefs: HashSet::new(),
+    };
     p.program()
 }
 
@@ -64,7 +68,11 @@ impl Parser {
         } else {
             Err(Diagnostic::error(
                 self.span(),
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
             ))
         }
     }
@@ -132,7 +140,12 @@ impl Parser {
         } else {
             None
         };
-        Ok(Decl { name, ty, init, span })
+        Ok(Decl {
+            name,
+            ty,
+            init,
+            span,
+        })
     }
 
     fn typedef_def(&mut self) -> Result<TypedefDef, Diagnostic> {
@@ -142,7 +155,11 @@ impl Parser {
         let (ty, name, _) = self.declarator(base)?;
         self.expect(&TokenKind::Semi)?;
         self.typedefs.insert(name.clone());
-        Ok(TypedefDef { name, ty, span: start })
+        Ok(TypedefDef {
+            name,
+            ty,
+            span: start,
+        })
     }
 
     fn struct_def(&mut self) -> Result<StructDef, Diagnostic> {
@@ -155,7 +172,11 @@ impl Parser {
             let base = self.type_base()?;
             loop {
                 let (ty, fname, fspan) = self.declarator(base.clone())?;
-                fields.push(Field { name: fname, ty, span: fspan });
+                fields.push(Field {
+                    name: fname,
+                    ty,
+                    span: fspan,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -163,7 +184,11 @@ impl Parser {
             self.expect(&TokenKind::Semi)?;
         }
         self.expect(&TokenKind::Semi)?;
-        Ok(StructDef { name, fields, span: start })
+        Ok(StructDef {
+            name,
+            fields,
+            span: start,
+        })
     }
 
     fn function_def(
@@ -195,7 +220,13 @@ impl Parser {
         while !self.eat(&TokenKind::RBrace) {
             body.push(self.stmt()?);
         }
-        Ok(Function { name, ret, params, body, span })
+        Ok(Function {
+            name,
+            ret,
+            params,
+            body,
+            span,
+        })
     }
 
     // ---------------------------------------------------------- types
@@ -244,9 +275,7 @@ impl Parser {
                 let (name, _) = self.expect_ident()?;
                 Ok(TypeExpr::Struct(name))
             }
-            TokenKind::Ident(name) if self.typedefs.contains(&name) => {
-                Ok(TypeExpr::Named(name))
-            }
+            TokenKind::Ident(name) if self.typedefs.contains(&name) => Ok(TypeExpr::Named(name)),
             other => Err(Diagnostic::error(
                 t.span,
                 format!("expected a type, found {}", other.describe()),
@@ -369,7 +398,10 @@ impl Parser {
                             self.bump();
                             let neg = self.eat(&TokenKind::Minus);
                             let v = match self.bump() {
-                                Token { kind: TokenKind::IntLit(v), .. } => v,
+                                Token {
+                                    kind: TokenKind::IntLit(v),
+                                    ..
+                                } => v,
                                 t => {
                                     return Err(Diagnostic::error(
                                         t.span,
@@ -462,7 +494,12 @@ impl Parser {
             } else {
                 None
             };
-            decls.push(Stmt::Decl(Decl { name, ty, init, span: nspan }));
+            decls.push(Stmt::Decl(Decl {
+                name,
+                ty,
+                init,
+                span: nspan,
+            }));
             if !self.eat(&TokenKind::Comma) {
                 break;
             }
@@ -499,8 +536,7 @@ impl Parser {
                     _ => unreachable!(),
                 };
                 let rhs = self.expr_no_assign()?;
-                let sum =
-                    Expr::Binary(op, Box::new(lhs.clone()), Box::new(rhs), span);
+                let sum = Expr::Binary(op, Box::new(lhs.clone()), Box::new(rhs), span);
                 Ok(Expr::Assign(Box::new(lhs), Box::new(sum), span))
             }
             _ => Ok(lhs),
@@ -633,8 +669,11 @@ impl Parser {
             }
             TokenKind::PlusPlus | TokenKind::MinusMinus => {
                 // Prefix increment: ++x desugars to x = x + 1.
-                let op =
-                    if *self.peek() == TokenKind::PlusPlus { BinOp::Add } else { BinOp::Sub };
+                let op = if *self.peek() == TokenKind::PlusPlus {
+                    BinOp::Add
+                } else {
+                    BinOp::Sub
+                };
                 self.bump();
                 let e = self.unary()?;
                 let one = Expr::IntLit(1, span);
@@ -807,9 +846,7 @@ mod tests {
             Stmt::Expr(Expr::Assign(lhs, _, _)) => match &**lhs {
                 Expr::Member(inner, f2, true, _) => {
                     assert_eq!(f2, "prv");
-                    assert!(
-                        matches!(**inner, Expr::Member(_, ref f1, true, _) if f1 == "nxt")
-                    );
+                    assert!(matches!(**inner, Expr::Member(_, ref f1, true, _) if f1 == "nxt"));
                 }
                 other => panic!("expected member chain, got {other:?}"),
             },
@@ -917,7 +954,8 @@ mod tests {
 
     #[test]
     fn global_variables() {
-        let src = "struct node { int v; }; struct node *Lbodies; int N = 8; int main() { return 0; }";
+        let src =
+            "struct node { int v; }; struct node *Lbodies; int N = 8; int main() { return 0; }";
         let p = parse(src).unwrap();
         assert_eq!(p.globals.len(), 2);
         assert!(p.globals[0].ty.is_pointer());
@@ -961,6 +999,8 @@ mod tests {
     fn calls_with_string_args() {
         let p = parse_main(r#"printf("%d\n", 3);"#);
         let f = p.function("main").unwrap();
-        assert!(matches!(&f.body[0], Stmt::Expr(Expr::Call(n, args, _)) if n == "printf" && args.len() == 2));
+        assert!(
+            matches!(&f.body[0], Stmt::Expr(Expr::Call(n, args, _)) if n == "printf" && args.len() == 2)
+        );
     }
 }

@@ -131,7 +131,10 @@ impl TypeTable {
             }
             let id = StructId(table.structs.len() as u32);
             table.struct_ids.insert(s.name.clone(), id);
-            table.structs.push(StructInfo { name: s.name.clone(), fields: Vec::new() });
+            table.structs.push(StructInfo {
+                name: s.name.clone(),
+                fields: Vec::new(),
+            });
         }
         // Typedefs are resolved in order (they may reference earlier typedefs
         // and any struct).
@@ -160,7 +163,11 @@ impl TypeTable {
                 } else {
                     None
                 };
-                fields.push(FieldInfo { name: f.name.clone(), ty, selector });
+                fields.push(FieldInfo {
+                    name: f.name.clone(),
+                    ty,
+                    selector,
+                });
             }
             table.structs[sid.0 as usize].fields = fields;
         }
@@ -184,9 +191,10 @@ impl TypeTable {
             TypeExpr::Int => SemType::Int,
             TypeExpr::Double => SemType::Double,
             TypeExpr::Struct(name) => {
-                let id = self.struct_ids.get(name).ok_or_else(|| {
-                    Diagnostic::error(span, format!("unknown struct `{name}`"))
-                })?;
+                let id = self
+                    .struct_ids
+                    .get(name)
+                    .ok_or_else(|| Diagnostic::error(span, format!("unknown struct `{name}`")))?;
                 SemType::Struct(*id)
             }
             TypeExpr::Named(name) => self
@@ -194,9 +202,7 @@ impl TypeTable {
                 .get(name)
                 .cloned()
                 .ok_or_else(|| Diagnostic::error(span, format!("unknown type `{name}`")))?,
-            TypeExpr::Pointer(inner) => {
-                SemType::Pointer(Box::new(self.resolve(inner, span)?))
-            }
+            TypeExpr::Pointer(inner) => SemType::Pointer(Box::new(self.resolve(inner, span)?)),
         })
     }
 
@@ -249,7 +255,10 @@ impl TypeTable {
 
     /// Iterate `(id, info)` over all structs.
     pub fn iter_structs(&self) -> impl Iterator<Item = (StructId, &StructInfo)> {
-        self.structs.iter().enumerate().map(|(i, s)| (StructId(i as u32), s))
+        self.structs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StructId(i as u32), s))
     }
 }
 
@@ -280,8 +289,14 @@ mod tests {
         );
         let a = t.struct_id("a").unwrap();
         let b = t.struct_id("b").unwrap();
-        assert_eq!(t.selector_target(a, t.selector_id("to_b").unwrap()), Some(b));
-        assert_eq!(t.selector_target(b, t.selector_id("to_a").unwrap()), Some(a));
+        assert_eq!(
+            t.selector_target(a, t.selector_id("to_b").unwrap()),
+            Some(b)
+        );
+        assert_eq!(
+            t.selector_target(b, t.selector_id("to_a").unwrap()),
+            Some(a)
+        );
     }
 
     #[test]
@@ -293,8 +308,14 @@ mod tests {
         // One selector id `nxt`, used by both structs.
         assert_eq!(t.num_selectors(), 1);
         let sel = t.selector_id("nxt").unwrap();
-        assert_eq!(t.selector_target(t.struct_id("x").unwrap(), sel), Some(t.struct_id("x").unwrap()));
-        assert_eq!(t.selector_target(t.struct_id("y").unwrap(), sel), Some(t.struct_id("y").unwrap()));
+        assert_eq!(
+            t.selector_target(t.struct_id("x").unwrap(), sel),
+            Some(t.struct_id("x").unwrap())
+        );
+        assert_eq!(
+            t.selector_target(t.struct_id("y").unwrap(), sel),
+            Some(t.struct_id("y").unwrap())
+        );
     }
 
     #[test]
@@ -316,21 +337,24 @@ mod tests {
             "struct cell { struct cell *nxt; }; typedef struct cell *list;\n\
              int main() { return 0; }",
         );
-        let resolved = t.resolve(&TypeExpr::Named("list".into()), Span::SYNTH).unwrap();
+        let resolved = t
+            .resolve(&TypeExpr::Named("list".into()), Span::SYNTH)
+            .unwrap();
         assert_eq!(resolved.pointee_struct(), t.struct_id("cell"));
     }
 
     #[test]
     fn duplicate_struct_rejected() {
-        let p = parse("struct a { int v; }; struct a { int w; }; int main() { return 0; }")
-            .unwrap();
+        let p =
+            parse("struct a { int v; }; struct a { int w; }; int main() { return 0; }").unwrap();
         assert!(TypeTable::build(&p).is_err());
     }
 
     #[test]
     fn struct_by_value_field_rejected() {
-        let p = parse("struct a { int v; }; struct b { struct a inner; }; int main() { return 0; }")
-            .unwrap();
+        let p =
+            parse("struct a { int v; }; struct b { struct a inner; }; int main() { return 0; }")
+                .unwrap();
         assert!(TypeTable::build(&p).is_err());
     }
 

@@ -35,6 +35,7 @@ struct Flags {
     leak_report: bool,
     annotate: bool,
     json: bool,
+    stats: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -48,6 +49,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         leak_report: false,
         annotate: false,
         json: false,
+        stats: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -79,6 +81,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--leak-report" => f.leak_report = true,
             "--annotate" => f.annotate = true,
             "--json" => f.json = true,
+            "--stats" => f.stats = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 1;
@@ -101,8 +104,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let file = args.get(1).ok_or("ir needs a file")?;
             let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
             let flags = parse_flags(&args[2..])?;
-            let options =
-                AnalysisOptions { function: flags.function.clone(), ..Default::default() };
+            let options = AnalysisOptions {
+                function: flags.function.clone(),
+                ..Default::default()
+            };
             let analyzer = Analyzer::new(&src, options).map_err(|e| e.to_string())?;
             print!("{}", psa_ir::pretty::func(analyzer.ir()));
             Ok(())
@@ -133,9 +138,49 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage:\n  psa analyze <file.c> [--level L1|L2|L3|auto] [--function NAME] \
-     [--dot DIR] [--stmt-dump] [--parallel-report] [--leak-report] [--annotate] [--json]\n  psa ir <file.c> [--function NAME]\n  \
+     [--dot DIR] [--stmt-dump] [--parallel-report] [--leak-report] [--annotate] [--json] [--stats]\n  psa ir <file.c> [--function NAME]\n  \
      psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d> [flags]"
         .to_string()
+}
+
+fn print_op_stats(ops: &psa_core::stats::OpStats) {
+    println!("engine op statistics:");
+    println!(
+        "  inserts: {} calls ({} duplicates, {} subsumed, {} replaced members)",
+        ops.insert_calls, ops.insert_dups, ops.insert_subsumed, ops.insert_replaced
+    );
+    println!(
+        "  subsumption: {} queries — {} memo hits, {} fingerprint rejects, {} searches \
+         ({:.1}% avoided the search)",
+        ops.subsume_queries,
+        ops.subsume_cache_hits,
+        ops.subsume_prefilter_rejects,
+        ops.subsume_searches,
+        ops.cache_hit_rate() * 100.0
+    );
+    println!(
+        "  interner: {} distinct forms ({} hits, {} misses); memo table: {} pairs",
+        ops.interner_size, ops.intern_hits, ops.intern_misses, ops.cache_size
+    );
+    println!(
+        "  graph ops: {} joins, {} compress, {} prune, {} divide, {} materialize, \
+         {} forced widening joins, {} unions",
+        ops.join_calls,
+        ops.compress_calls,
+        ops.prune_calls,
+        ops.divide_calls,
+        ops.materialize_calls,
+        ops.widen_forced_joins,
+        ops.union_calls
+    );
+    println!("  peak RSRSG width: {} graphs", ops.peak_set_width);
+    println!(
+        "  time: intern {:.2?}, subsume {:.2?}, join {:.2?}, compress {:.2?}",
+        std::time::Duration::from_nanos(ops.intern_ns),
+        std::time::Duration::from_nanos(ops.subsume_ns),
+        std::time::Duration::from_nanos(ops.join_ns),
+        std::time::Duration::from_nanos(ops.compress_ns),
+    );
 }
 
 fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
@@ -165,7 +210,7 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
 
     if flags.json {
         let report = psa_core::report::build_report(analyzer.ir(), &result);
-        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+        println!("{}", report.to_json_string());
         return Ok(());
     }
 
@@ -183,6 +228,10 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
     );
     for w in &result.stats.warnings {
         println!("warning: {w}");
+    }
+
+    if flags.stats {
+        print_op_stats(&result.stats.ops);
     }
 
     // Per-pvar structure reports (program pvars only).

@@ -33,8 +33,15 @@ int main() {
 #[test]
 fn analyze_prints_summary() {
     let f = write_tmp("list.c", LIST);
-    let out = psa().args(["analyze", f.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = psa()
+        .args(["analyze", f.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("level L1"));
     assert!(stdout.contains("list: List") || stdout.contains("list:"));
@@ -49,9 +56,32 @@ fn analyze_json_is_valid() {
         .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
-    assert_eq!(v["function"], "main");
-    assert!(v["loops"].as_array().unwrap().len() >= 1);
+    let v = psa_core::json::Json::parse(stdout.trim()).expect("valid JSON");
+    assert_eq!(v.get("function").unwrap().as_str(), Some("main"));
+    assert!(!v.get("loops").unwrap().as_array().unwrap().is_empty());
+    // Op-level metrics ride along in the stats object.
+    let ops = v.get("stats").unwrap().get("ops").unwrap();
+    assert!(ops.get("insert_calls").unwrap().as_i64().unwrap() > 0);
+    assert!(ops.get("subsume_queries").unwrap().as_i64().unwrap() > 0);
+}
+
+#[test]
+fn stats_flag_prints_op_counters() {
+    let f = write_tmp("list_stats.c", LIST);
+    let out = psa()
+        .args(["analyze", f.to_str().unwrap(), "--stats"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("engine op statistics:"));
+    assert!(stdout.contains("subsumption:"));
+    assert!(stdout.contains("interner:"));
+    assert!(stdout.contains("peak RSRSG width:"));
 }
 
 #[test]
@@ -81,7 +111,12 @@ fn dot_export_writes_file() {
     let f = write_tmp("list_dot.c", LIST);
     let dir = std::env::temp_dir().join("psa-cli-tests").join("dots");
     let out = psa()
-        .args(["analyze", f.to_str().unwrap(), "--dot", dir.to_str().unwrap()])
+        .args([
+            "analyze",
+            f.to_str().unwrap(),
+            "--dot",
+            dir.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -92,7 +127,11 @@ fn dot_export_writes_file() {
 #[test]
 fn bench_code_builtin_runs() {
     let out = psa().args(["bench-code", "matvec"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("matvec"));
 }
@@ -111,7 +150,10 @@ fn unknown_flag_fails_cleanly() {
 #[test]
 fn parse_error_reports_location() {
     let f = write_tmp("bad.c", "int main() { struct nope *p; }");
-    let out = psa().args(["analyze", f.to_str().unwrap()]).output().unwrap();
+    let out = psa()
+        .args(["analyze", f.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("error"), "{err}");
@@ -124,10 +166,17 @@ fn annotate_emits_source_with_verdicts() {
         .args(["analyze", f.to_str().unwrap(), "--annotate"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("/* psa: loop"));
-    assert!(stdout.contains("p->nxt = list;"), "original source preserved");
+    assert!(
+        stdout.contains("p->nxt = list;"),
+        "original source preserved"
+    );
 }
 
 #[test]

@@ -10,9 +10,8 @@ use rand::{Rng, SeedableRng};
 pub fn list_program(n: usize, passes: usize) -> String {
     let mut traversals = String::new();
     for _ in 0..passes {
-        traversals.push_str(
-            "    p = list;\n    while (p != NULL) { p->v = p->v + 1; p = p->nxt; }\n",
-        );
+        traversals
+            .push_str("    p = list;\n    while (p != NULL) { p->v = p->v + 1; p = p->nxt; }\n");
     }
     format!(
         r#"
@@ -213,8 +212,8 @@ pub fn random_program(seed: u64, stmts: usize, pvars: usize) -> String {
     for k in 0..stmts {
         let x = &names[rng.gen_range(0..pvars)];
         let y = &names[rng.gen_range(0..pvars)];
-        let s = sels[rng.gen_range(0..2)];
-        let s2 = sels[rng.gen_range(0..2)];
+        let s = sels[rng.gen_range(0usize..2)];
+        let s2 = sels[rng.gen_range(0usize..2)];
         match rng.gen_range(0..12) {
             0 => emit(&mut body, depth, &format!("{x} = NULL;")),
             1 | 2 => emit(

@@ -473,9 +473,12 @@ mod tests {
     fn all_codes_lower() {
         for (name, src) in table1_codes(Sizes::default()) {
             let (p, t) = psa_cfront::parse_and_type(&src).unwrap();
-            let ir = psa_ir::lower_main(&p, &t)
-                .unwrap_or_else(|e| panic!("{name} fails to lower: {e}"));
-            assert!(ir.num_ptr_stmts() > 5, "{name} must contain pointer statements");
+            let ir =
+                psa_ir::lower_main(&p, &t).unwrap_or_else(|e| panic!("{name} fails to lower: {e}"));
+            assert!(
+                ir.num_ptr_stmts() > 5,
+                "{name} must contain pointer statements"
+            );
             assert!(!ir.loops.is_empty(), "{name} must contain loops");
         }
     }

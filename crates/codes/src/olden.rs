@@ -236,7 +236,11 @@ int main() {{
 
 /// All Olden-style codes as `(name, source)`.
 pub fn olden_codes(s: Sizes) -> Vec<(&'static str, String)> {
-    vec![("treeadd", treeadd(s)), ("power", power(s)), ("em3d", em3d(s))]
+    vec![
+        ("treeadd", treeadd(s)),
+        ("power", power(s)),
+        ("em3d", em3d(s)),
+    ]
 }
 
 #[cfg(test)]
@@ -246,12 +250,10 @@ mod tests {
     #[test]
     fn olden_codes_parse_and_lower_with_inlining() {
         for (name, src) in olden_codes(Sizes::default()) {
-            let (p, t) = psa_cfront::parse_and_type(&src)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let (p, t) = psa_cfront::parse_and_type(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
             let p2 = psa_ir::inline_program(&p, "main")
                 .unwrap_or_else(|e| panic!("{name}: inline: {e}"));
-            let ir = psa_ir::lower_main(&p2, &t)
-                .unwrap_or_else(|e| panic!("{name}: lower: {e}"));
+            let ir = psa_ir::lower_main(&p2, &t).unwrap_or_else(|e| panic!("{name}: lower: {e}"));
             assert!(ir.num_ptr_stmts() > 5, "{name}");
         }
     }

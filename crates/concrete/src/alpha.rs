@@ -39,10 +39,12 @@ pub fn alpha(state: &ConcreteState, num_pvars: usize) -> (Rsg, BTreeMap<Loc, Nod
         // Sharing.
         node.shared = in_refs.len() >= 2;
         for (&sel_count_sel, count) in
-            &in_refs.iter().fold(BTreeMap::<_, usize>::new(), |mut m, &(_, s)| {
-                *m.entry(s).or_default() += 1;
-                m
-            })
+            &in_refs
+                .iter()
+                .fold(BTreeMap::<_, usize>::new(), |mut m, &(_, s)| {
+                    *m.entry(s).or_default() += 1;
+                    m
+                })
         {
             if *count >= 2 {
                 node.shsel.insert(sel_count_sel);

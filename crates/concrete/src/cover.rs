@@ -86,10 +86,7 @@ pub fn violation(g: &Rsg, state: &ConcreteState, level: Level) -> Option<String>
                 // candidate of the target.
                 for (&sel, &v) in &obj.fields {
                     if let Some(t) = v {
-                        let ok = g
-                            .succs(n, sel)
-                            .into_iter()
-                            .any(|n2| cand[&t].contains(&n2));
+                        let ok = g.succs(n, sel).into_iter().any(|n2| cand[&t].contains(&n2));
                         if !ok {
                             return false;
                         }
@@ -108,7 +105,9 @@ pub fn violation(g: &Rsg, state: &ConcreteState, level: Level) -> Option<String>
                 true
             });
             if cs.is_empty() {
-                return Some(format!("location {l}: candidates emptied by link structure"));
+                return Some(format!(
+                    "location {l}: candidates emptied by link structure"
+                ));
             }
             if cs.len() != cand[&l].len() {
                 cand.insert(l, cs);
@@ -260,7 +259,10 @@ mod tests {
         );
         for n in [3, 4, 5, 8, 20] {
             let st = concrete_list(n);
-            assert!(covers(&summary, &st, Level::L1), "length {n} must be covered");
+            assert!(
+                covers(&summary, &st, Level::L1),
+                "length {n} must be covered"
+            );
         }
     }
 

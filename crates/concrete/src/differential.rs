@@ -52,7 +52,10 @@ pub fn check_soundness(src: &str, level: Level, seeds: &[u64]) -> DifferentialRe
         report.runs += 1;
         let exec = Interpreter::new(
             &ir,
-            InterpConfig { seed, ..Default::default() },
+            InterpConfig {
+                seed,
+                ..Default::default()
+            },
         )
         .run();
         if matches!(exec.outcome, ExecOutcome::NullDeref(_)) {

@@ -51,7 +51,13 @@ impl ConcreteState {
     pub fn alloc(&mut self, ty: StructId) -> Loc {
         let l = Loc(self.next);
         self.next += 1;
-        self.objects.insert(l, Object { ty, fields: BTreeMap::new() });
+        self.objects.insert(
+            l,
+            Object {
+                ty,
+                fields: BTreeMap::new(),
+            },
+        );
         l
     }
 
@@ -75,7 +81,11 @@ impl ConcreteState {
 
     /// Write pointer field `l.sel = v`.
     pub fn store(&mut self, l: Loc, sel: SelectorId, v: Option<Loc>) {
-        self.objects.get_mut(&l).expect("dangling location").fields.insert(sel, v);
+        self.objects
+            .get_mut(&l)
+            .expect("dangling location")
+            .fields
+            .insert(sel, v);
     }
 
     /// Read a pvar (None = NULL / uninitialized).

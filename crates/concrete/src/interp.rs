@@ -115,7 +115,10 @@ impl<'a> Interpreter<'a> {
                     }
                 }
                 if self.config.record_trace {
-                    trace.push(TracePoint { stmt: sid, state: state.clone() });
+                    trace.push(TracePoint {
+                        stmt: sid,
+                        state: state.clone(),
+                    });
                 }
             }
             let next = match b.term {
@@ -128,7 +131,11 @@ impl<'a> Interpreter<'a> {
                     };
                 }
                 Terminator::Goto(t) => t,
-                Terminator::Branch { cond, then_bb, else_bb } => {
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     let taken = match cond {
                         Cond::PtrNull(x) => state.pvar(x).is_none(),
                         Cond::PtrEq(x, y) => state.pvar(x) == state.pvar(y),
@@ -140,9 +147,7 @@ impl<'a> Interpreter<'a> {
                                 .or_insert_with(|| rng.gen_range(-2i64..3));
                             actual == k
                         }
-                        Cond::Opaque => {
-                            rng.gen_range(0..100) < self.config.opaque_then_percent
-                        }
+                        Cond::Opaque => rng.gen_range(0u8..100) < self.config.opaque_then_percent,
                     };
                     if taken {
                         then_bb
@@ -187,14 +192,20 @@ impl<'a> Interpreter<'a> {
             Stmt::ScalarHavoc(v, _) => {
                 // An arbitrary but fixed value per execution point keeps the
                 // run deterministic for a given seed.
-                let noise = (sid.0 as i64).wrapping_mul(31).wrapping_add(self.config.seed as i64);
+                let noise = (sid.0 as i64)
+                    .wrapping_mul(31)
+                    .wrapping_add(self.config.seed as i64);
                 state.ints.insert(*v, noise % 7);
                 return Ok(());
             }
             Stmt::ScalarStore(x, _) => {
                 // Writing a scalar field still requires the base to be
                 // non-NULL.
-                return if state.pvar(*x).is_some() { Ok(()) } else { Err(()) };
+                return if state.pvar(*x).is_some() {
+                    Ok(())
+                } else {
+                    Err(())
+                };
             }
             Stmt::Ptr(p) => *p,
         };
@@ -249,8 +260,14 @@ mod tests {
     fn run(src: &str, seed: u64) -> (FuncIr, ExecResult) {
         let (p, t) = parse_and_type(src).unwrap();
         let ir = lower_main(&p, &t).unwrap();
-        let res =
-            Interpreter::new(&ir, InterpConfig { seed, ..Default::default() }).run();
+        let res = Interpreter::new(
+            &ir,
+            InterpConfig {
+                seed,
+                ..Default::default()
+            },
+        )
+        .run();
         // Keep `ir` alive alongside the result for assertions.
         let ir2 = ir.clone();
         drop(ir);
@@ -368,7 +385,11 @@ mod tests {
         let ir = lower_main(&p, &t).unwrap();
         let res = Interpreter::new(
             &ir,
-            InterpConfig { max_steps: 200, record_trace: false, ..Default::default() },
+            InterpConfig {
+                max_steps: 200,
+                record_trace: false,
+                ..Default::default()
+            },
         )
         .run();
         assert_eq!(res.outcome, ExecOutcome::StepBudget);

@@ -25,4 +25,4 @@ pub mod interp;
 
 pub use differential::{check_soundness, DifferentialReport};
 pub use heap::{ConcreteState, Loc};
-pub use interp::{ExecOutcome, Interpreter, InterpConfig};
+pub use interp::{ExecOutcome, InterpConfig, Interpreter};

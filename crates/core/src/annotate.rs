@@ -45,7 +45,9 @@ pub fn loop_annotations(ir: &FuncIr, result: &AnalysisResult) -> Vec<Annotation>
 
     let mut out = Vec::new();
     for report in parallel::loop_reports(ir, result) {
-        let Some(&line) = anchor.get(&report.loop_id) else { continue };
+        let Some(&line) = anchor.get(&report.loop_id) else {
+            continue;
+        };
         let text = if report.parallelizable {
             if report.heap_writes.is_empty() {
                 format!(
@@ -82,8 +84,7 @@ pub fn annotate_source(src: &str, annotations: &[Annotation]) -> String {
     for (i, line) in src.lines().enumerate() {
         let lineno = (i + 1) as u32;
         if let Some(anns) = by_line.get(&lineno) {
-            let indent: String =
-                line.chars().take_while(|c| c.is_whitespace()).collect();
+            let indent: String = line.chars().take_while(|c| c.is_whitespace()).collect();
             for a in anns {
                 out.push_str(&indent);
                 out.push_str(&a.text);
@@ -142,7 +143,10 @@ int main() {
         }
         // The annotations are present and indented like their anchors.
         assert_eq!(annotated.matches("/* psa: loop").count(), 2);
-        assert!(annotated.contains("        /* psa: loop"), "body indentation kept");
+        assert!(
+            annotated.contains("        /* psa: loop"),
+            "body indentation kept"
+        );
     }
 
     #[test]
@@ -172,8 +176,15 @@ int main() {
         let a = Analyzer::new(src, AnalysisOptions::default()).unwrap();
         let res = a.run().unwrap();
         let anns = loop_annotations(a.ir(), &res);
-        let seq: Vec<_> = anns.iter().filter(|x| x.text.contains("sequential")).collect();
-        assert_eq!(seq.len(), 1, "the hub-writing traversal is sequential: {anns:?}");
+        let seq: Vec<_> = anns
+            .iter()
+            .filter(|x| x.text.contains("sequential"))
+            .collect();
+        assert_eq!(
+            seq.len(),
+            1,
+            "the hub-writing traversal is sequential: {anns:?}"
+        );
         assert!(seq[0].text.contains("shared"));
     }
 }

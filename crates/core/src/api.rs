@@ -38,12 +38,18 @@ impl Default for AnalysisOptions {
 impl AnalysisOptions {
     /// Options fixed at one level.
     pub fn at_level(level: Level) -> AnalysisOptions {
-        AnalysisOptions { level: Some(level), ..Default::default() }
+        AnalysisOptions {
+            level: Some(level),
+            ..Default::default()
+        }
     }
 
     /// Options for the progressive driver.
     pub fn progressive() -> AnalysisOptions {
-        AnalysisOptions { level: None, ..Default::default() }
+        AnalysisOptions {
+            level: None,
+            ..Default::default()
+        }
     }
 }
 
@@ -187,8 +193,10 @@ mod tests {
 
     #[test]
     fn missing_function_is_frontend_error() {
-        let opts =
-            AnalysisOptions { function: "nope".to_string(), ..AnalysisOptions::default() };
+        let opts = AnalysisOptions {
+            function: "nope".to_string(),
+            ..AnalysisOptions::default()
+        };
         assert!(matches!(analyze_source(SRC, opts), Err(Error::Frontend(_))));
     }
 

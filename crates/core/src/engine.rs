@@ -13,8 +13,11 @@
 //! "RSRSG associated with each sentence" — plus timing and structural-byte
 //! accounting for the Table 1 harness. Setting [`EngineConfig::parallel`]
 //! fans the per-graph statement transfers of large RSRSGs out across
-//! threads (crossbeam scoped threads); results are re-unioned in canonical
-//! order, so parallel and sequential runs produce identical RSRSGs.
+//! threads (std scoped threads); results are re-unioned in canonical
+//! order, so parallel and sequential runs produce identical RSRSGs. All
+//! paths — sequential, fan-out workers, and the progressive driver when it
+//! reuses one [`ShapeCtx`] — share the run-wide interner and subsumption
+//! memo of [`psa_rsg::intern::SharedTables`].
 
 use crate::rsrsg::Rsrsg;
 use crate::semantics::{
@@ -49,6 +52,12 @@ pub struct EngineConfig {
     /// (the paper's L1-imprecision emulation; see
     /// [`crate::semantics::TransferCtx::pessimistic_sharing`]).
     pub pessimistic_sharing: bool,
+    /// Memoize subsumption queries by interned canonical id and pre-filter
+    /// them with structural fingerprints (see [`psa_rsg::intern`]). Disable
+    /// to force every query through the raw backtracking search — the
+    /// reference behaviour the differential regression suite compares
+    /// against.
+    pub subsume_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +70,7 @@ impl Default for EngineConfig {
             widen_cap: 12,
             sharing_relaxation: true,
             pessimistic_sharing: false,
+            subsume_cache: true,
         }
     }
 }
@@ -68,7 +78,10 @@ impl Default for EngineConfig {
 impl EngineConfig {
     /// Config for a specific level with defaults otherwise.
     pub fn at_level(level: Level) -> EngineConfig {
-        EngineConfig { level, ..Default::default() }
+        EngineConfig {
+            level,
+            ..Default::default()
+        }
     }
 }
 
@@ -147,9 +160,26 @@ pub struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    /// Create an engine over a lowered function.
+    /// Create an engine over a lowered function with a fresh universe (and
+    /// fresh interner/memo tables, so op counters start at zero).
     pub fn new(ir: &'a FuncIr, config: EngineConfig) -> Engine<'a> {
-        Engine { ir, ctx: ShapeCtx::from_ir(ir), config }
+        let ctx = ShapeCtx::from_ir(ir);
+        Engine::with_shape_ctx(ir, config, ctx)
+    }
+
+    /// Create an engine reusing an existing universe. Because the
+    /// [`ShapeCtx`] carries the shared interner and subsumption memo, this
+    /// is how the progressive driver makes L2/L3 re-analysis hit the tables
+    /// populated at L1.
+    pub fn with_shape_ctx(ir: &'a FuncIr, config: EngineConfig, ctx: ShapeCtx) -> Engine<'a> {
+        let ctx = if config.subsume_cache || !ctx.tables.cache_enabled() {
+            ctx
+        } else {
+            ctx.with_tables(std::sync::Arc::new(
+                psa_rsg::intern::SharedTables::without_cache(),
+            ))
+        };
+        Engine { ir, ctx, config }
     }
 
     /// The analysis universe.
@@ -160,23 +190,25 @@ impl<'a> Engine<'a> {
     /// Run to the fixed point.
     pub fn run(&self) -> Result<AnalysisResult, AnalysisError> {
         let start = Instant::now();
+        let ops_start = self.ctx.tables.snapshot();
         let level = self.config.level;
         let nblocks = self.ir.blocks.len();
-        let mut stats = AnalysisStats::default();
-        stats.num_stmts = self.ir.stmts.len();
+        let mut stats = AnalysisStats {
+            num_stmts: self.ir.stmts.len(),
+            ..AnalysisStats::default()
+        };
 
         let mut block_in: Vec<Rsrsg> = vec![Rsrsg::new(); nblocks];
         let mut block_out: Vec<Rsrsg> = vec![Rsrsg::new(); nblocks];
         let mut after_stmt: Vec<Rsrsg> = vec![Rsrsg::new(); self.ir.stmts.len()];
         let mut exit = Rsrsg::new();
 
-        block_in[self.ir.entry.0 as usize] = Rsrsg::entry(self.ir.num_pvars());
+        block_in[self.ir.entry.0 as usize] = Rsrsg::entry(self.ir.num_pvars(), &self.ctx);
 
         // Process blocks in id order (lowering emits them roughly in
         // reverse post-order), which reaches loop fixed points with far
         // fewer re-transfers than LIFO.
-        let mut worklist: std::collections::BTreeSet<BlockId> =
-            std::collections::BTreeSet::new();
+        let mut worklist: std::collections::BTreeSet<BlockId> = std::collections::BTreeSet::new();
         worklist.insert(self.ir.entry);
         let mut on_list = vec![false; nblocks];
         on_list[self.ir.entry.0 as usize] = true;
@@ -196,12 +228,14 @@ impl<'a> Engine<'a> {
                 cur = self.transfer_stmt(&cur, sid, &mut stats)?;
                 cur.widen(&self.ctx, level, self.config.widen_cap);
                 if cur.len() > self.config.budget.max_graphs {
-                    return Err(AnalysisError::TooManyGraphs { stmt: sid, graphs: cur.len() });
+                    return Err(AnalysisError::TooManyGraphs {
+                        stmt: sid,
+                        graphs: cur.len(),
+                    });
                 }
                 stats.max_graphs_per_stmt = stats.max_graphs_per_stmt.max(cur.len());
                 for g in cur.iter() {
-                    stats.max_nodes_per_graph =
-                        stats.max_nodes_per_graph.max(g.num_nodes());
+                    stats.max_nodes_per_graph = stats.max_nodes_per_graph.max(g.num_nodes());
                 }
                 after_stmt[sid.0 as usize] = cur.clone();
             }
@@ -224,7 +258,11 @@ impl<'a> Engine<'a> {
             // Propagate along edges.
             let contributions: Vec<(BlockId, Rsrsg)> = match block.term {
                 Terminator::Goto(t) => vec![(t, cur.clone())],
-                Terminator::Branch { cond, then_bb, else_bb } => {
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     let t = refine_by_cond(&cur, &cond, true, &self.ctx, level);
                     let f = refine_by_cond(&cur, &cond, false, &self.ctx, level);
                     vec![(then_bb, t), (else_bb, f)]
@@ -266,7 +304,14 @@ impl<'a> Engine<'a> {
         stats.final_bytes = after_stmt.iter().map(|s| s.approx_bytes()).sum::<usize>()
             + block_in.iter().map(|s| s.approx_bytes()).sum::<usize>();
         stats.elapsed = start.elapsed();
-        Ok(AnalysisResult { level, after_stmt, block_in, exit, stats })
+        stats.ops = self.ctx.tables.snapshot().delta(&ops_start);
+        Ok(AnalysisResult {
+            level,
+            after_stmt,
+            block_in,
+            exit,
+            stats,
+        })
     }
 
     /// Transfer one statement over an RSRSG.
@@ -281,10 +326,22 @@ impl<'a> Engine<'a> {
         let ptr = match &info.stmt {
             Stmt::Scalar(_) | Stmt::ScalarStore(_, _) => return Ok(input.clone()),
             Stmt::ScalarConst(v, k) => {
-                return Ok(transfer_scalar(input, *v, Some(*k), &self.ctx, self.config.level));
+                return Ok(transfer_scalar(
+                    input,
+                    *v,
+                    Some(*k),
+                    &self.ctx,
+                    self.config.level,
+                ));
             }
             Stmt::ScalarHavoc(v, _) => {
-                return Ok(transfer_scalar(input, *v, None, &self.ctx, self.config.level));
+                return Ok(transfer_scalar(
+                    input,
+                    *v,
+                    None,
+                    &self.ctx,
+                    self.config.level,
+                ));
             }
             Stmt::Ptr(p) => *p,
         };
@@ -328,9 +385,11 @@ impl<'a> Engine<'a> {
             .min(graphs.len());
         let chunk = graphs.len().div_ceil(nthreads);
         let mut partials: Vec<(usize, Vec<psa_rsg::Rsg>, AnalysisStats)> =
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (i, slice) in graphs.chunks(chunk).enumerate() {
+                    // Workers share `ctx` by reference, and through it the
+                    // run-wide interner/memo tables (all `Sync`).
                     let tctx = TransferCtx {
                         ctx: tcx.ctx,
                         level: tcx.level,
@@ -338,7 +397,7 @@ impl<'a> Engine<'a> {
                         sharing_relaxation: tcx.sharing_relaxation,
                         pessimistic_sharing: tcx.pessimistic_sharing,
                     };
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let mut local_stats = AnalysisStats::default();
                         let mut outs = Vec::new();
                         for g in slice {
@@ -347,9 +406,11 @@ impl<'a> Engine<'a> {
                         (i, outs, local_stats)
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("crossbeam scope");
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
         partials.sort_by_key(|(i, _, _)| *i);
         let mut out = Rsrsg::new();
         for (_, outs, local_stats) in partials {
@@ -400,8 +461,14 @@ mod tests {
         let (ir, res) = analyze(LIST_BUILD, Level::L1);
         assert!(!res.exit.is_empty());
         // At exit: either list == NULL (zero iterations) or a list shape.
-        let has_null = res.exit.iter().any(|g| g.pl(ir.pvar_id("list").unwrap()).is_none());
-        let has_list = res.exit.iter().any(|g| g.pl(ir.pvar_id("list").unwrap()).is_some());
+        let has_null = res
+            .exit
+            .iter()
+            .any(|g| g.pl(ir.pvar_id("list").unwrap()).is_none());
+        let has_list = res
+            .exit
+            .iter()
+            .any(|g| g.pl(ir.pvar_id("list").unwrap()).is_some());
         assert!(has_null && has_list);
         // No graph at exit marks any node shared: a list is unaliased.
         for g in res.exit.iter() {
@@ -417,7 +484,11 @@ mod tests {
         let (_ir, res) = analyze(LIST_BUILD, Level::L1);
         // The summarized list must stay small regardless of the loop count.
         for g in res.exit.iter() {
-            assert!(g.num_nodes() <= 4, "compressed list has ≤ 4 nodes, got {}", g.num_nodes());
+            assert!(
+                g.num_nodes() <= 4,
+                "compressed list has ≤ 4 nodes, got {}",
+                g.num_nodes()
+            );
         }
         assert!(res.exit.len() <= 4);
     }
@@ -522,7 +593,9 @@ mod tests {
     fn parallel_and_sequential_agree() {
         let (p, t) = parse_and_type(LIST_BUILD).unwrap();
         let ir = lower_main(&p, &t).unwrap();
-        let seq = Engine::new(&ir, EngineConfig::at_level(Level::L1)).run().unwrap();
+        let seq = Engine::new(&ir, EngineConfig::at_level(Level::L1))
+            .run()
+            .unwrap();
         let par = Engine::new(
             &ir,
             EngineConfig {
@@ -546,7 +619,10 @@ mod tests {
         let ir = lower_main(&p, &t).unwrap();
         let cfg = EngineConfig {
             level: Level::L1,
-            budget: Budget { max_bytes: Some(512), ..Budget::default() },
+            budget: Budget {
+                max_bytes: Some(512),
+                ..Budget::default()
+            },
             ..Default::default()
         };
         match Engine::new(&ir, cfg).run() {

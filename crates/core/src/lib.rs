@@ -28,6 +28,7 @@
 pub mod annotate;
 pub mod api;
 pub mod engine;
+pub mod json;
 pub mod leaks;
 pub mod parallel;
 pub mod progressive;

@@ -71,9 +71,8 @@ pub fn loop_report(ir: &FuncIr, result: &AnalysisResult, l: LoopId) -> LoopRepor
         // `stats.revisits`. Sharing from outside the iteration space (e.g.
         // the Barnes-Hut octree referenced by the traversal stack) then
         // cannot produce a cross-iteration write conflict.
-        let cursor_write = result.level.use_touch()
-            && ipvars.contains(&x)
-            && !result.stats.revisits.contains(&x);
+        let cursor_write =
+            result.level.use_touch() && ipvars.contains(&x) && !result.stats.revisits.contains(&x);
         if cursor_write {
             continue;
         }
@@ -84,7 +83,8 @@ pub fn loop_report(ir: &FuncIr, result: &AnalysisResult, l: LoopId) -> LoopRepor
             if nd.shared {
                 reasons.push(format!(
                     "{}: writes through `{}` whose target may be shared",
-                    sid, ir.pvar_name(x)
+                    sid,
+                    ir.pvar_name(x)
                 ));
                 break;
             }
@@ -108,7 +108,11 @@ impl std::fmt::Display for LoopReport {
             f,
             "loop {}: {} (ipvars: {}, heap writes: {})",
             self.loop_id,
-            if self.parallelizable { "PARALLELIZABLE" } else { "sequential" },
+            if self.parallelizable {
+                "PARALLELIZABLE"
+            } else {
+                "sequential"
+            },
             self.ipvars.len(),
             self.heap_writes.len()
         )?;
@@ -130,7 +134,9 @@ mod tests {
     fn analyze(src: &str, level: Level) -> (FuncIr, AnalysisResult) {
         let (p, t) = parse_and_type(src).unwrap();
         let ir = lower_main(&p, &t).unwrap();
-        let res = Engine::new(&ir, EngineConfig::at_level(level)).run().unwrap();
+        let res = Engine::new(&ir, EngineConfig::at_level(level))
+            .run()
+            .unwrap();
         (ir, res)
     }
 

@@ -55,9 +55,7 @@ impl Goal {
             Goal::NotShselInRegion { pvar, sel } => {
                 !queries::shsel_in_region(&result.exit, pvar, sel)
             }
-            Goal::NotSharedInRegion { pvar } => {
-                !queries::shared_in_region(&result.exit, pvar)
-            }
+            Goal::NotSharedInRegion { pvar } => !queries::shared_in_region(&result.exit, pvar),
             Goal::LoopParallel { loop_id } => {
                 crate::parallel::loop_report(ir, result, loop_id).parallelizable
             }
@@ -78,7 +76,11 @@ impl Goal {
             }
             Goal::LoopParallel { loop_id } => format!("loop {loop_id} parallelizable"),
             Goal::NoAlias { p, q } => {
-                format!("`{}` and `{}` never alias", ir.pvar_name(p), ir.pvar_name(q))
+                format!(
+                    "`{}` and `{}` never alias",
+                    ir.pvar_name(p),
+                    ir.pvar_name(q)
+                )
             }
         }
     }
@@ -108,7 +110,10 @@ pub struct ProgressiveOutcome {
 impl ProgressiveOutcome {
     /// The most precise successful result.
     pub fn best(&self) -> Option<&AnalysisResult> {
-        self.levels.iter().rev().find_map(|l| l.result.as_ref().ok())
+        self.levels
+            .iter()
+            .rev()
+            .find_map(|l| l.result.as_ref().ok())
     }
 }
 
@@ -123,7 +128,11 @@ impl<'a> ProgressiveRunner<'a> {
     /// Create a runner with goals. An empty goal list means "L1 is always
     /// enough", mirroring the sparse codes of §5.
     pub fn new(ir: &'a FuncIr, goals: Vec<Goal>) -> ProgressiveRunner<'a> {
-        ProgressiveRunner { ir, goals, base_config: EngineConfig::default() }
+        ProgressiveRunner {
+            ir,
+            goals,
+            base_config: EngineConfig::default(),
+        }
     }
 
     /// Override the engine configuration template (level is set per stage).
@@ -133,20 +142,36 @@ impl<'a> ProgressiveRunner<'a> {
     }
 
     /// Run L1 → L2 → L3 until every goal is met.
+    ///
+    /// All levels share one [`psa_rsg::ShapeCtx`], and through it one
+    /// interner and subsumption memo: the canonical forms and subsumption
+    /// verdicts computed at L1 are re-hit when L2/L3 re-analyze the same
+    /// code (graph properties only grow with the level, so lower-level
+    /// shapes recur verbatim early in the higher-level fixed point).
     pub fn run(&self) -> ProgressiveOutcome {
-        let mut outcome = ProgressiveOutcome { levels: Vec::new(), satisfied_at: None };
+        let mut outcome = ProgressiveOutcome {
+            levels: Vec::new(),
+            satisfied_at: None,
+        };
         let mut level = Level::L1;
+        let shape = psa_rsg::ShapeCtx::from_ir(self.ir);
         loop {
-            let config = EngineConfig { level, ..self.base_config.clone() };
-            let result = Engine::new(self.ir, config).run();
+            let config = EngineConfig {
+                level,
+                ..self.base_config.clone()
+            };
+            let result = Engine::with_shape_ctx(self.ir, config, shape.clone()).run();
             let goals_met: Vec<bool> = match &result {
                 Ok(res) => self.goals.iter().map(|g| g.met(self.ir, res)).collect(),
                 Err(_) => Vec::new(),
             };
-            let all_met =
-                result.is_ok() && goals_met.iter().all(|&m| m) && !goals_met.is_empty()
-                    || (result.is_ok() && self.goals.is_empty());
-            outcome.levels.push(LevelOutcome { level, result, goals_met });
+            let all_met = result.is_ok() && goals_met.iter().all(|&m| m) && !goals_met.is_empty()
+                || (result.is_ok() && self.goals.is_empty());
+            outcome.levels.push(LevelOutcome {
+                level,
+                result,
+                goals_met,
+            });
             if all_met {
                 outcome.satisfied_at = Some(level);
                 return outcome;
@@ -217,8 +242,7 @@ mod tests {
         let (p, t) = parse_and_type(src).unwrap();
         let ir = lower_main(&p, &t).unwrap();
         let a = ir.pvar_id("a").unwrap();
-        let outcome =
-            ProgressiveRunner::new(&ir, vec![Goal::NotSharedInRegion { pvar: a }]).run();
+        let outcome = ProgressiveRunner::new(&ir, vec![Goal::NotSharedInRegion { pvar: a }]).run();
         assert_eq!(outcome.satisfied_at, None);
         assert_eq!(outcome.levels.len(), 3, "all three levels attempted");
         assert!(outcome.best().is_some());
@@ -230,7 +254,10 @@ mod tests {
         let ir = lower_main(&p, &t).unwrap();
         let list = ir.pvar_id("list").unwrap();
         let nxt = ir.types.selector_id("nxt").unwrap();
-        let g = Goal::NotShselInRegion { pvar: list, sel: nxt };
+        let g = Goal::NotShselInRegion {
+            pvar: list,
+            sel: nxt,
+        };
         assert!(g.describe(&ir).contains("nxt"));
         assert!(g.describe(&ir).contains("list"));
     }

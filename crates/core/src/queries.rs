@@ -67,7 +67,9 @@ pub fn shsel_in_region(rsrsg: &Rsrsg, p: PvarId, sel: SelectorId) -> bool {
 
 /// Does any node reachable from `p` have `SHARED`?
 pub fn shared_in_region(rsrsg: &Rsrsg, p: PvarId) -> bool {
-    rsrsg.iter().any(|g| region_of(g, p).into_iter().any(|n| g.node(n).shared))
+    rsrsg
+        .iter()
+        .any(|g| region_of(g, p).into_iter().any(|n| g.node(n).shared))
 }
 
 /// A coarse structural classification, **heuristic** — the paper never
@@ -150,8 +152,7 @@ pub fn structure_report(rsrsg: &Rsrsg, p: PvarId) -> StructureReport {
                     r.has_cycle_links |= !nd.cyclelinks.is_empty();
                     r.self_selector_cycle |= nd.cyclelinks.iter().any(|(a, b)| a == b);
                     r.has_summary |= nd.summary;
-                    let out_sels: SelSet =
-                        g.out_links(n).into_iter().map(|(s, _)| s).collect();
+                    let out_sels: SelSet = g.out_links(n).into_iter().map(|(s, _)| s).collect();
                     if out_sels.len() > 1 {
                         multi_out = true;
                     }
@@ -193,7 +194,11 @@ impl std::fmt::Display for StructureReport {
             self.has_cycle_links,
             self.has_summary,
             if self.may_be_null { ", may-null" } else { "" },
-            if self.always_null { ", always-null" } else { "" },
+            if self.always_null {
+                ", always-null"
+            } else {
+                ""
+            },
         )
     }
 }
@@ -280,7 +285,9 @@ mod tests {
         let a = ir.pvar_id("a").unwrap();
         let rep = structure_report(&res.exit, a);
         assert_eq!(rep.class, ShapeClass::Dag);
-        assert!(rep.shared_selectors.contains(ir.types.selector_id("nxt").unwrap()));
+        assert!(rep
+            .shared_selectors
+            .contains(ir.types.selector_id("nxt").unwrap()));
     }
 
     #[test]
@@ -345,7 +352,10 @@ mod tests {
         let list = ir.pvar_id("list").unwrap();
         let rep = structure_report(&res.exit, list);
         // SHSEL stays false for both selectors; CYCLELINKS present.
-        assert!(rep.shared_selectors.is_empty(), "no per-selector sharing in a DLL");
+        assert!(
+            rep.shared_selectors.is_empty(),
+            "no per-selector sharing in a DLL"
+        );
         assert!(rep.has_cycle_links);
         assert_eq!(rep.class, ShapeClass::DoublyLinked);
     }

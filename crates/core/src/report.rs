@@ -1,15 +1,21 @@
-//! Machine-readable analysis reports (serde/JSON) — the CLI's `--json`
-//! output and the format downstream tooling (e.g. a parallelizing code
-//! generator, the paper's stated end goal) would consume.
+//! Machine-readable analysis reports (JSON) — the CLI's `--json` output and
+//! the format downstream tooling (e.g. a parallelizing code generator, the
+//! paper's stated end goal) would consume.
+//!
+//! Serialization goes through the in-tree [`crate::json`] document model
+//! (the build environment has no registry access for `serde`); the emitted
+//! layout matches what `serde_json::to_string_pretty` produced, so existing
+//! consumers keep parsing.
 
 use crate::engine::AnalysisResult;
+use crate::json::Json;
 use crate::parallel;
 use crate::queries;
+use crate::stats::OpStats;
 use psa_ir::{FuncIr, PvarId};
-use serde::Serialize;
 
 /// Structure summary for one pointer variable.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PvarReport {
     /// Source name.
     pub name: String,
@@ -30,8 +36,29 @@ pub struct PvarReport {
     pub always_null: bool,
 }
 
+impl PvarReport {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("name", self.name.as_str());
+        j.set("class", self.class.as_str());
+        j.set("max_nodes", self.max_nodes);
+        j.set("any_shared", self.any_shared);
+        j.set(
+            "shared_selectors",
+            self.shared_selectors
+                .iter()
+                .map(String::as_str)
+                .collect::<Json>(),
+        );
+        j.set("has_cycle_links", self.has_cycle_links);
+        j.set("may_be_null", self.may_be_null);
+        j.set("always_null", self.always_null);
+        j
+    }
+}
+
 /// Verdict for one loop.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LoopVerdict {
     /// Loop index.
     pub loop_id: u32,
@@ -45,8 +72,26 @@ pub struct LoopVerdict {
     pub reasons: Vec<String>,
 }
 
+impl LoopVerdict {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("loop_id", self.loop_id);
+        j.set(
+            "ipvars",
+            self.ipvars.iter().map(String::as_str).collect::<Json>(),
+        );
+        j.set("heap_writes", self.heap_writes);
+        j.set("parallelizable", self.parallelizable);
+        j.set(
+            "reasons",
+            self.reasons.iter().map(String::as_str).collect::<Json>(),
+        );
+        j
+    }
+}
+
 /// Engine statistics, serializable subset.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct StatsReport {
     /// Level the analysis ran at.
     pub level: String,
@@ -64,10 +109,63 @@ pub struct StatsReport {
     pub max_nodes_per_graph: usize,
     /// Analysis warnings (possible NULL dereferences etc.).
     pub warnings: Vec<String>,
+    /// Op-level counters (interner, subsumption cache, graph ops).
+    pub ops: OpStats,
+}
+
+/// Render op-level counters as a JSON object (shared by the report and the
+/// CLI's `--stats` output).
+pub fn ops_to_json(ops: &OpStats) -> Json {
+    let mut j = Json::obj();
+    j.set("insert_calls", ops.insert_calls);
+    j.set("insert_dups", ops.insert_dups);
+    j.set("insert_subsumed", ops.insert_subsumed);
+    j.set("insert_replaced", ops.insert_replaced);
+    j.set("subsume_queries", ops.subsume_queries);
+    j.set("subsume_cache_hits", ops.subsume_cache_hits);
+    j.set("subsume_prefilter_rejects", ops.subsume_prefilter_rejects);
+    j.set("subsume_searches", ops.subsume_searches);
+    j.set("cache_hit_rate", ops.cache_hit_rate());
+    j.set("join_calls", ops.join_calls);
+    j.set("compress_calls", ops.compress_calls);
+    j.set("prune_calls", ops.prune_calls);
+    j.set("divide_calls", ops.divide_calls);
+    j.set("materialize_calls", ops.materialize_calls);
+    j.set("widen_forced_joins", ops.widen_forced_joins);
+    j.set("union_calls", ops.union_calls);
+    j.set("intern_hits", ops.intern_hits);
+    j.set("intern_misses", ops.intern_misses);
+    j.set("interner_size", ops.interner_size);
+    j.set("cache_size", ops.cache_size);
+    j.set("peak_set_width", ops.peak_set_width);
+    j.set("intern_ns", ops.intern_ns);
+    j.set("subsume_ns", ops.subsume_ns);
+    j.set("join_ns", ops.join_ns);
+    j.set("compress_ns", ops.compress_ns);
+    j
+}
+
+impl StatsReport {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("level", self.level.as_str());
+        j.set("elapsed_ms", self.elapsed_ms);
+        j.set("peak_bytes", self.peak_bytes);
+        j.set("iterations", self.iterations);
+        j.set("stmt_transfers", self.stmt_transfers);
+        j.set("max_graphs_per_stmt", self.max_graphs_per_stmt);
+        j.set("max_nodes_per_graph", self.max_nodes_per_graph);
+        j.set(
+            "warnings",
+            self.warnings.iter().map(String::as_str).collect::<Json>(),
+        );
+        j.set("ops", ops_to_json(&self.ops));
+        j
+    }
 }
 
 /// The full report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AnalysisReport {
     /// Analyzed function.
     pub function: String,
@@ -87,6 +185,50 @@ pub struct AnalysisReport {
     pub dead_statements: Vec<u32>,
     /// Potential leak sites: `(statement id, rendered, nodes dropped)`.
     pub leaks: Vec<(u32, String, usize)>,
+}
+
+impl AnalysisReport {
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("function", self.function.as_str());
+        j.set("stats", self.stats.to_json());
+        j.set("exit_graphs", self.exit_graphs);
+        j.set("exit_nodes", self.exit_nodes);
+        j.set("exit_links", self.exit_links);
+        j.set(
+            "pvars",
+            self.pvars.iter().map(|p| p.to_json()).collect::<Json>(),
+        );
+        j.set(
+            "loops",
+            self.loops.iter().map(|l| l.to_json()).collect::<Json>(),
+        );
+        j.set(
+            "dead_statements",
+            self.dead_statements.iter().copied().collect::<Json>(),
+        );
+        j.set(
+            "leaks",
+            self.leaks
+                .iter()
+                .map(|(sid, rendered, dropped)| {
+                    // Tuples serialize as arrays, mirroring serde.
+                    Json::Arr(vec![
+                        Json::Int(*sid as i128),
+                        Json::Str(rendered.clone()),
+                        Json::Int(*dropped as i128),
+                    ])
+                })
+                .collect::<Json>(),
+        );
+        j
+    }
+
+    /// Pretty-printed JSON (the CLI's `--json` payload).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
 }
 
 /// Build the report for a finished analysis.
@@ -120,7 +262,11 @@ pub fn build_report(ir: &FuncIr, result: &AnalysisResult) -> AnalysisReport {
         .into_iter()
         .map(|l| LoopVerdict {
             loop_id: l.loop_id.0,
-            ipvars: l.ipvars.iter().map(|p| ir.pvar_name(*p).to_string()).collect(),
+            ipvars: l
+                .ipvars
+                .iter()
+                .map(|p| ir.pvar_name(*p).to_string())
+                .collect(),
             heap_writes: l.heap_writes.len(),
             parallelizable: l.parallelizable,
             reasons: l.reasons,
@@ -138,6 +284,7 @@ pub fn build_report(ir: &FuncIr, result: &AnalysisResult) -> AnalysisReport {
             max_graphs_per_stmt: result.stats.max_graphs_per_stmt,
             max_nodes_per_graph: result.stats.max_nodes_per_graph,
             warnings: result.stats.warnings.clone(),
+            ops: result.stats.ops,
         },
         exit_graphs: result.exit.len(),
         exit_nodes: result.exit.total_nodes(),
@@ -182,9 +329,15 @@ mod tests {
         assert_eq!(rep.function, "main");
         assert!(rep.pvars.iter().any(|p| p.name == "list"));
         assert_eq!(rep.loops.len(), 2);
-        let json = serde_json::to_string_pretty(&rep).unwrap();
+        let json = rep.to_json_string();
         assert!(json.contains("\"function\": \"main\""));
         assert!(json.contains("\"parallelizable\""));
+        assert!(json.contains("\"subsume_queries\""));
+        // The payload round-trips through the in-tree parser.
+        let parsed = Json::parse(&json).unwrap();
+        assert_eq!(parsed.get("function").unwrap().as_str(), Some("main"));
+        let ops = parsed.get("stats").unwrap().get("ops").unwrap();
+        assert!(ops.get("insert_calls").unwrap().as_i64().unwrap() > 0);
     }
 
     #[test]

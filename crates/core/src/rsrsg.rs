@@ -7,19 +7,28 @@
 //! and exact duplicates (canonical-form equality) are dropped. The result is
 //! a set of pairwise-incompatible graphs, which both bounds the set and
 //! matches the paper's construction.
+//!
+//! Canonical forms are hash-consed through the run-wide
+//! [`psa_rsg::intern::Interner`] carried by [`ShapeCtx`]: members store a
+//! compact [`CanonEntry`] (id + shared bytes + fingerprint) instead of owned
+//! byte vectors, duplicate detection is an id comparison, and subsumption
+//! queries go through the fingerprint pre-filter and memo table of
+//! [`psa_rsg::intern::SharedTables`].
 
-use psa_rsg::canon::canonical_bytes;
 use psa_rsg::compress::compress;
+use psa_rsg::intern::CanonEntry;
 use psa_rsg::join::{compatible, join};
-use psa_rsg::subsume::subsumes;
 use psa_rsg::{Level, Rsg, ShapeCtx};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
 
-/// A reduced set of RSGs with canonical-form bookkeeping.
+/// A reduced set of RSGs with hash-consed canonical-form bookkeeping.
 #[derive(Debug, Clone, Default)]
 pub struct Rsrsg {
     graphs: Vec<Rsg>,
-    /// Canonical bytes of each graph, kept aligned with `graphs`.
-    canon: Vec<Vec<u8>>,
+    /// Interned canonical entry of each graph, kept aligned with `graphs`.
+    canon: Vec<CanonEntry>,
 }
 
 impl Rsrsg {
@@ -29,9 +38,9 @@ impl Rsrsg {
     }
 
     /// The initial RSRSG of a program entry: one empty heap.
-    pub fn entry(num_pvars: usize) -> Rsrsg {
+    pub fn entry(num_pvars: usize, ctx: &ShapeCtx) -> Rsrsg {
         let mut s = Rsrsg::new();
-        s.push_raw(Rsg::empty(num_pvars));
+        s.push_raw(Rsg::empty(num_pvars), ctx);
         s
     }
 
@@ -55,15 +64,22 @@ impl Rsrsg {
         self.graphs.iter()
     }
 
+    /// Whether an isomorphic graph is already a member.
+    fn contains_id(&self, e: &CanonEntry) -> bool {
+        self.canon.iter().any(|m| m.id == e.id)
+    }
+
     /// Insert without compatibility merging (caller guarantees reduction or
     /// does not care — e.g. the entry set).
-    pub fn push_raw(&mut self, g: Rsg) {
-        let c = canonical_bytes(&g);
-        if self.canon.contains(&c) {
+    pub fn push_raw(&mut self, g: Rsg, ctx: &ShapeCtx) {
+        let t = &ctx.tables;
+        t.metrics.push_raw_calls.fetch_add(1, Ordering::Relaxed);
+        let e = t.interner.intern(&g, &t.metrics);
+        if self.contains_id(&e) {
             return;
         }
         self.graphs.push(g);
-        self.canon.push(c);
+        self.canon.push(e);
     }
 
     /// Insert a graph, compressing it and JOINing with compatible members
@@ -74,43 +90,64 @@ impl Rsrsg {
     /// insertion of covered contributions a no-op, so the engine's
     /// accumulation reaches a fixed point instead of churning joined forms.
     pub fn insert(&mut self, g: Rsg, ctx: &ShapeCtx, level: Level) {
+        let t = &ctx.tables;
+        let m = &t.metrics;
+        m.insert_calls.fetch_add(1, Ordering::Relaxed);
+        let c0 = Instant::now();
         let mut pending = vec![compress(&g, ctx, level)];
+        m.compress_calls.fetch_add(1, Ordering::Relaxed);
+        m.compress_ns
+            .fetch_add(c0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         while let Some(cand) = pending.pop() {
-            let c = canonical_bytes(&cand);
-            if self.canon.contains(&c) {
+            let e = t.interner.intern(&cand, &t.metrics);
+            if self.contains_id(&e) {
+                m.insert_dups.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            if self.graphs.iter().any(|m| subsumes(m, &cand)) {
+            if self
+                .canon
+                .iter()
+                .zip(&self.graphs)
+                .any(|(me, mg)| t.subsumes_interned((me, mg), (&e, &cand)))
+            {
+                m.insert_subsumed.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
             // Drop members the candidate strictly generalizes.
             let mut i = 0;
             while i < self.graphs.len() {
-                if subsumes(&cand, &self.graphs[i]) {
+                if t.subsumes_interned((&e, &cand), (&self.canon[i], &self.graphs[i])) {
                     self.graphs.remove(i);
                     self.canon.remove(i);
+                    m.insert_replaced.fetch_add(1, Ordering::Relaxed);
                 } else {
                     i += 1;
                 }
             }
-            if let Some(i) = self
-                .graphs
-                .iter()
-                .position(|m| compatible(m, &cand, level))
-            {
+            if let Some(i) = self.graphs.iter().position(|m| compatible(m, &cand, level)) {
                 let member = self.graphs.remove(i);
                 self.canon.remove(i);
+                m.join_calls.fetch_add(1, Ordering::Relaxed);
+                m.compress_calls.fetch_add(1, Ordering::Relaxed);
+                let j0 = Instant::now();
                 let joined = compress(&join(&member, &cand, level), ctx, level);
+                m.join_ns
+                    .fetch_add(j0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 pending.push(joined);
             } else {
                 self.graphs.push(cand);
-                self.canon.push(c);
+                self.canon.push(e);
             }
         }
+        m.observe_width(self.graphs.len());
     }
 
     /// Union another RSRSG into this one. Returns true if this set changed.
     pub fn union_with(&mut self, other: &Rsrsg, ctx: &ShapeCtx, level: Level) -> bool {
+        ctx.tables
+            .metrics
+            .union_calls
+            .fetch_add(1, Ordering::Relaxed);
         let before = self.signature();
         for g in other.iter() {
             self.insert(g.clone(), ctx, level);
@@ -119,9 +156,12 @@ impl Rsrsg {
     }
 
     /// A canonical signature of the whole set (sorted member forms), used
-    /// for fixed-point detection.
-    pub fn signature(&self) -> Vec<Vec<u8>> {
-        let mut s = self.canon.clone();
+    /// for fixed-point detection. The entries are the canonical *bytes*
+    /// (shared, not copied), so signatures compare by content and stay
+    /// meaningful across different interners (e.g. cache-on vs. cache-off
+    /// engines in the differential suite).
+    pub fn signature(&self) -> Vec<Arc<[u8]>> {
+        let mut s: Vec<Arc<[u8]>> = self.canon.iter().map(|e| e.bytes.clone()).collect();
         s.sort();
         s
     }
@@ -221,15 +261,21 @@ impl Rsrsg {
             self.canon.remove(j);
             let a = self.graphs.remove(i);
             self.canon.remove(i);
+            ctx.tables
+                .metrics
+                .widen_forced_joins
+                .fetch_add(1, Ordering::Relaxed);
             let joined = compress(&join(&a, &b, level), ctx, level);
             self.insert(joined, ctx, level);
         }
     }
 
-    /// Approximate structural bytes of the whole set.
+    /// Approximate structural bytes of the whole set. Canonical bytes are
+    /// interner-shared, so they count a pointer-sized handle each rather
+    /// than their full length.
     pub fn approx_bytes(&self) -> usize {
         self.graphs.iter().map(|g| g.approx_bytes()).sum::<usize>()
-            + self.canon.iter().map(|c| c.len()).sum::<usize>()
+            + self.canon.len() * std::mem::size_of::<CanonEntry>()
     }
 
     /// Total node count across members (reporting).
@@ -246,8 +292,8 @@ impl Rsrsg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psa_ir::PvarId;
     use psa_cfront::types::SelectorId;
+    use psa_ir::PvarId;
     use psa_rsg::builder;
 
     fn sel(i: u32) -> SelectorId {
@@ -256,7 +302,8 @@ mod tests {
 
     #[test]
     fn entry_is_single_empty_graph() {
-        let s = Rsrsg::entry(3);
+        let ctx = ShapeCtx::synthetic(3, 1);
+        let s = Rsrsg::entry(3, &ctx);
         assert_eq!(s.len(), 1);
         assert_eq!(s.graphs()[0].num_nodes(), 0);
     }
@@ -269,6 +316,9 @@ mod tests {
         s.insert(g.clone(), &ctx, Level::L1);
         s.insert(g, &ctx, Level::L1);
         assert_eq!(s.len(), 1);
+        let snap = ctx.tables.snapshot();
+        assert_eq!(snap.insert_calls, 2);
+        assert_eq!(snap.insert_dups, 1, "second insert drops on id equality");
     }
 
     #[test]
@@ -276,8 +326,16 @@ mod tests {
         let ctx = ShapeCtx::synthetic(1, 1);
         // 4-list and 6-list compress to compatible shapes that join.
         let mut s = Rsrsg::new();
-        s.insert(builder::singly_linked_list(4, 1, PvarId(0), sel(0)), &ctx, Level::L1);
-        s.insert(builder::singly_linked_list(6, 1, PvarId(0), sel(0)), &ctx, Level::L1);
+        s.insert(
+            builder::singly_linked_list(4, 1, PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
+        s.insert(
+            builder::singly_linked_list(6, 1, PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
         assert_eq!(s.len(), 1, "compatible lists join into the 2+-list shape");
     }
 
@@ -286,8 +344,16 @@ mod tests {
         let ctx = ShapeCtx::synthetic(2, 1);
         // One graph binds p0, the other binds p1: different domains.
         let mut s = Rsrsg::new();
-        s.insert(builder::singly_linked_list(3, 2, PvarId(0), sel(0)), &ctx, Level::L1);
-        s.insert(builder::singly_linked_list(3, 2, PvarId(1), sel(0)), &ctx, Level::L1);
+        s.insert(
+            builder::singly_linked_list(3, 2, PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
+        s.insert(
+            builder::singly_linked_list(3, 2, PvarId(1), sel(0)),
+            &ctx,
+            Level::L1,
+        );
         assert_eq!(s.len(), 2);
     }
 
@@ -295,9 +361,17 @@ mod tests {
     fn union_reports_change() {
         let ctx = ShapeCtx::synthetic(2, 1);
         let mut a = Rsrsg::new();
-        a.insert(builder::singly_linked_list(3, 2, PvarId(0), sel(0)), &ctx, Level::L1);
+        a.insert(
+            builder::singly_linked_list(3, 2, PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
         let mut b = Rsrsg::new();
-        b.insert(builder::singly_linked_list(3, 2, PvarId(1), sel(0)), &ctx, Level::L1);
+        b.insert(
+            builder::singly_linked_list(3, 2, PvarId(1), sel(0)),
+            &ctx,
+            Level::L1,
+        );
         assert!(a.union_with(&b, &ctx, Level::L1));
         assert!(!a.union_with(&b, &ctx, Level::L1), "idempotent");
         assert_eq!(a.len(), 2);
@@ -318,11 +392,32 @@ mod tests {
     }
 
     #[test]
+    fn same_as_holds_across_interners() {
+        // Two contexts, two interners: signatures still compare by content.
+        let ctx1 = ShapeCtx::synthetic(1, 1);
+        let ctx2 = ShapeCtx::synthetic(1, 1);
+        let g = builder::singly_linked_list(3, 1, PvarId(0), sel(0));
+        let mut a = Rsrsg::new();
+        a.insert(g.clone(), &ctx1, Level::L1);
+        let mut b = Rsrsg::new();
+        b.insert(g, &ctx2, Level::L1);
+        assert!(a.same_as(&b));
+    }
+
+    #[test]
     fn filter_keeps_matching() {
         let ctx = ShapeCtx::synthetic(2, 1);
         let mut s = Rsrsg::new();
-        s.insert(builder::singly_linked_list(3, 2, PvarId(0), sel(0)), &ctx, Level::L1);
-        s.insert(builder::singly_linked_list(3, 2, PvarId(1), sel(0)), &ctx, Level::L1);
+        s.insert(
+            builder::singly_linked_list(3, 2, PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
+        s.insert(
+            builder::singly_linked_list(3, 2, PvarId(1), sel(0)),
+            &ctx,
+            Level::L1,
+        );
         let only_p0 = s.filter(|g| g.pl(PvarId(0)).is_some());
         assert_eq!(only_p0.len(), 1);
         let none = s.filter(|_| false);
@@ -333,10 +428,39 @@ mod tests {
     fn bytes_grow_with_members() {
         let ctx = ShapeCtx::synthetic(2, 1);
         let mut s = Rsrsg::new();
-        s.insert(builder::singly_linked_list(3, 2, PvarId(0), sel(0)), &ctx, Level::L1);
+        s.insert(
+            builder::singly_linked_list(3, 2, PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
         let one = s.approx_bytes();
-        s.insert(builder::singly_linked_list(3, 2, PvarId(1), sel(0)), &ctx, Level::L1);
+        s.insert(
+            builder::singly_linked_list(3, 2, PvarId(1), sel(0)),
+            &ctx,
+            Level::L1,
+        );
         assert!(s.approx_bytes() > one);
         assert!(s.total_nodes() >= 6);
+    }
+
+    #[test]
+    fn insert_metrics_count_subsume_traffic() {
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let mut s = Rsrsg::new();
+        for n in [3usize, 4, 5, 6] {
+            s.insert(
+                builder::singly_linked_list(n, 1, PvarId(0), sel(0)),
+                &ctx,
+                Level::L1,
+            );
+        }
+        let snap = ctx.tables.snapshot();
+        assert_eq!(snap.insert_calls, 4);
+        assert!(
+            snap.subsume_queries > 0,
+            "insertion issues subsumption queries"
+        );
+        assert!(snap.interner_size > 0);
+        assert!(snap.peak_set_width >= 1);
     }
 }

@@ -20,6 +20,7 @@ use psa_rsg::divide::divide;
 use psa_rsg::materialize::materialize;
 use psa_rsg::prune::prune;
 use psa_rsg::{Level, NodeId, Rsg, ShapeCtx};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-statement transfer context.
 pub struct TransferCtx<'a> {
@@ -57,6 +58,11 @@ impl<'a> TransferCtx<'a> {
     /// Should `x` be recorded in TOUCH sets here?
     fn touches(&self, x: PvarId) -> bool {
         self.level.use_touch() && self.active_ipvars.contains(&x)
+    }
+
+    /// Bump an op counter on the run-wide metrics tables.
+    fn count(&self, counter: impl Fn(&psa_rsg::intern::OpMetrics) -> &AtomicU64) {
+        counter(&self.ctx.tables.metrics).fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -157,6 +163,7 @@ fn store(
         return vec![];
     }
     let mut out = Vec::new();
+    tcx.count(|m| &m.divide_calls);
     for mut gd in divide(g, x, sel) {
         let n_x = gd.pl(x).expect("divide keeps x bound");
         // Remove the (unique) existing sel link, materializing its summary
@@ -165,6 +172,8 @@ fn store(
         debug_assert!(succs.len() <= 1, "divide leaves at most one sel target");
         if let Some(&t0) = succs.first() {
             let n_t = if gd.node(t0).summary {
+                tcx.count(|m| &m.materialize_calls);
+                tcx.count(|m| &m.prune_calls);
                 let m = materialize(&mut gd, n_x, sel, t0);
                 match prune(&gd) {
                     Some(p) => gd = p,
@@ -207,8 +216,7 @@ fn store(
                 let prior_in = gd.in_links(n_y);
                 gd.add_link(n_x, sel, n_y);
                 gd.node_mut(n_x).set_must_out(sel);
-                let other_sel =
-                    tcx.pessimistic_sharing || prior_in.iter().any(|&(_, s)| s == sel);
+                let other_sel = tcx.pessimistic_sharing || prior_in.iter().any(|&(_, s)| s == sel);
                 let any_other = tcx.pessimistic_sharing || !prior_in.is_empty();
                 {
                     let ny = gd.node_mut(n_y);
@@ -233,6 +241,7 @@ fn store(
         }
 
         gd.gc();
+        tcx.count(|m| &m.prune_calls);
         if let Some(mut p) = prune(&gd) {
             p.relax_sharing();
             out.push(p);
@@ -258,6 +267,7 @@ fn load(
         return vec![];
     }
     let mut out = Vec::new();
+    tcx.count(|m| &m.divide_calls);
     for mut gd in divide(g, y, sel) {
         let n_y = gd.pl(y).expect("divide keeps y bound");
         let succs = gd.succs(n_y, sel);
@@ -271,6 +281,8 @@ fn load(
             }
             Some(&t0) => {
                 let n_t: NodeId = if gd.node(t0).summary {
+                    tcx.count(|m| &m.materialize_calls);
+                    tcx.count(|m| &m.prune_calls);
                     let m = materialize(&mut gd, n_y, sel, t0);
                     match prune(&gd) {
                         Some(p) => gd = p,
@@ -291,6 +303,7 @@ fn load(
                     gd.node_mut(n_t).touch.insert(x);
                 }
                 gd.gc();
+                tcx.count(|m| &m.prune_calls);
                 if let Some(mut p) = prune(&gd) {
                     p.relax_sharing();
                     out.push(p);
@@ -465,7 +478,12 @@ mod tests {
         let b = g.add_fresh(StructId(0));
         g.set_pl(PvarId(0), a);
         g.set_pl(PvarId(1), b);
-        let out = run(&g, PtrStmt::Store(PvarId(0), sel(0), PvarId(1)), &ctx, Level::L1);
+        let out = run(
+            &g,
+            PtrStmt::Store(PvarId(0), sel(0), PvarId(1)),
+            &ctx,
+            Level::L1,
+        );
         assert_eq!(out.len(), 1);
         let o = &out[0];
         let na = o.pl(PvarId(0)).unwrap();
@@ -490,7 +508,12 @@ mod tests {
         g.add_link(b, sel(0), c);
         g.node_mut(b).set_must_out(sel(0));
         g.node_mut(c).set_must_in(sel(0));
-        let out = run(&g, PtrStmt::Store(PvarId(0), sel(0), PvarId(2)), &ctx, Level::L1);
+        let out = run(
+            &g,
+            PtrStmt::Store(PvarId(0), sel(0), PvarId(2)),
+            &ctx,
+            Level::L1,
+        );
         assert_eq!(out.len(), 1);
         let o = &out[0];
         let nc = o.pl(PvarId(2)).unwrap();
@@ -523,7 +546,12 @@ mod tests {
         g.add_link(a, sel(0), b);
         g.node_mut(a).set_must_out(sel(0));
         g.node_mut(b).set_must_in(sel(0));
-        let out = run(&g, PtrStmt::Store(PvarId(1), sel(1), PvarId(0)), &ctx, Level::L1);
+        let out = run(
+            &g,
+            PtrStmt::Store(PvarId(1), sel(1), PvarId(0)),
+            &ctx,
+            Level::L1,
+        );
         assert_eq!(out.len(), 1);
         let o = &out[0];
         let na = o.pl(PvarId(0)).unwrap();
@@ -564,7 +592,12 @@ mod tests {
         let g0 = builder::singly_linked_list(5, 2, PvarId(0), sel(0));
         let g = compress(&g0, &ctx, Level::L1);
         assert_eq!(g.num_nodes(), 3);
-        let out = run(&g, PtrStmt::Load(PvarId(1), PvarId(0), sel(0)), &ctx, Level::L1);
+        let out = run(
+            &g,
+            PtrStmt::Load(PvarId(1), PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
         assert_eq!(out.len(), 1);
         let o = &out[0];
         let n1 = o.pl(PvarId(1)).unwrap();
@@ -583,7 +616,12 @@ mod tests {
         let a = g.add_fresh(StructId(0));
         g.set_pl(PvarId(0), a);
         g.set_pl(PvarId(1), a);
-        let out = run(&g, PtrStmt::Load(PvarId(1), PvarId(0), sel(0)), &ctx, Level::L1);
+        let out = run(
+            &g,
+            PtrStmt::Load(PvarId(1), PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].pl(PvarId(1)), None);
     }
@@ -594,7 +632,12 @@ mod tests {
         let g = Rsg::empty(2);
         let t = tcx(&ctx, Level::L1, &[]);
         let mut stats = AnalysisStats::default();
-        let out = transfer_one(&g, &PtrStmt::Load(PvarId(1), PvarId(0), sel(0)), &t, &mut stats);
+        let out = transfer_one(
+            &g,
+            &PtrStmt::Load(PvarId(1), PvarId(0), sel(0)),
+            &t,
+            &mut stats,
+        );
         assert!(out.is_empty());
         assert_eq!(stats.warnings.len(), 1);
     }
@@ -607,21 +650,34 @@ mod tests {
         let mut stats = AnalysisStats::default();
         // L3: touch recorded.
         let t3 = tcx(&ctx, Level::L3, &ipvars);
-        let out = transfer_one(&g, &PtrStmt::Load(PvarId(1), PvarId(0), sel(0)), &t3, &mut stats);
+        let out = transfer_one(
+            &g,
+            &PtrStmt::Load(PvarId(1), PvarId(0), sel(0)),
+            &t3,
+            &mut stats,
+        );
         let o = &out[0];
         let n = o.pl(PvarId(1)).unwrap();
         assert!(o.node(n).touch.contains(PvarId(1)));
         // L2: not recorded.
         let t2 = tcx(&ctx, Level::L2, &ipvars);
-        let out2 =
-            transfer_one(&g, &PtrStmt::Load(PvarId(1), PvarId(0), sel(0)), &t2, &mut stats);
+        let out2 = transfer_one(
+            &g,
+            &PtrStmt::Load(PvarId(1), PvarId(0), sel(0)),
+            &t2,
+            &mut stats,
+        );
         let o2 = &out2[0];
         let n2 = o2.pl(PvarId(1)).unwrap();
         assert!(o2.node(n2).touch.is_empty());
         // L3 but not an ipvar: not recorded.
         let t3b = tcx(&ctx, Level::L3, &[]);
-        let out3 =
-            transfer_one(&g, &PtrStmt::Load(PvarId(1), PvarId(0), sel(0)), &t3b, &mut stats);
+        let out3 = transfer_one(
+            &g,
+            &PtrStmt::Load(PvarId(1), PvarId(0), sel(0)),
+            &t3b,
+            &mut stats,
+        );
         let o3 = &out3[0];
         let n3 = o3.pl(PvarId(1)).unwrap();
         assert!(o3.node(n3).touch.is_empty());
@@ -631,14 +687,17 @@ mod tests {
     fn refine_null_condition() {
         let ctx = ShapeCtx::synthetic(1, 1);
         let mut s = Rsrsg::new();
-        s.insert(builder::singly_linked_list(3, 1, PvarId(0), sel(0)), &ctx, Level::L1);
+        s.insert(
+            builder::singly_linked_list(3, 1, PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
         s.insert(Rsg::empty(1), &ctx, Level::L1);
         assert_eq!(s.len(), 2);
         let null_side = refine_by_cond(&s, &Cond::PtrNull(PvarId(0)), true, &ctx, Level::L1);
         assert_eq!(null_side.len(), 1);
         assert!(null_side.graphs()[0].pl(PvarId(0)).is_none());
-        let nonnull_side =
-            refine_by_cond(&s, &Cond::PtrNull(PvarId(0)), false, &ctx, Level::L1);
+        let nonnull_side = refine_by_cond(&s, &Cond::PtrNull(PvarId(0)), false, &ctx, Level::L1);
         assert_eq!(nonnull_side.len(), 1);
         assert!(nonnull_side.graphs()[0].pl(PvarId(0)).is_some());
     }
@@ -659,9 +718,21 @@ mod tests {
         let mut s = Rsrsg::new();
         s.insert(g1, &ctx, Level::L1);
         s.insert(g2, &ctx, Level::L1);
-        let eq = refine_by_cond(&s, &Cond::PtrEq(PvarId(0), PvarId(1)), true, &ctx, Level::L1);
+        let eq = refine_by_cond(
+            &s,
+            &Cond::PtrEq(PvarId(0), PvarId(1)),
+            true,
+            &ctx,
+            Level::L1,
+        );
         assert_eq!(eq.len(), 1);
-        let ne = refine_by_cond(&s, &Cond::PtrEq(PvarId(0), PvarId(1)), false, &ctx, Level::L1);
+        let ne = refine_by_cond(
+            &s,
+            &Cond::PtrEq(PvarId(0), PvarId(1)),
+            false,
+            &ctx,
+            Level::L1,
+        );
         assert_eq!(ne.len(), 1);
     }
 
@@ -694,8 +765,7 @@ mod tests {
             let mut next = Vec::new();
             for g in &cur {
                 for g1 in transfer_one(g, &PtrStmt::Malloc(p, StructId(0)), &t, &mut stats) {
-                    for g2 in transfer_one(&g1, &PtrStmt::Store(p, sel(0), l), &t, &mut stats)
-                    {
+                    for g2 in transfer_one(&g1, &PtrStmt::Store(p, sel(0), l), &t, &mut stats) {
                         for g3 in transfer_one(&g2, &PtrStmt::Copy(l, p), &t, &mut stats) {
                             next.push(g3);
                         }

@@ -8,7 +8,15 @@
 //! form) and track the peak. A configurable budget turns "peak exceeded"
 //! into the paper's "compiler runs out of memory" outcome (Sparse LU at
 //! L2/L3 on 128 MB).
+//!
+//! Beyond the paper's coarse numbers, each run carries [`OpStats`]: op-level
+//! counters and timings (insert/subsume/join/compress/prune calls, memo-hit
+//! vs. search fallbacks, interner occupancy, peak set widths) snapshotted
+//! from the run-wide [`psa_rsg::intern::SharedTables`]. They are deltas over
+//! the run, so a progressive driver sharing one table set still reports
+//! per-level numbers.
 
+pub use psa_rsg::intern::OpStats;
 use std::time::Duration;
 
 /// Counters collected during one engine run.
@@ -38,6 +46,9 @@ pub struct AnalysisStats {
     /// (e.g. a cyclic structure). The parallelism client requires the
     /// written cursor's loop to be revisit-free.
     pub revisits: std::collections::BTreeSet<psa_ir::PvarId>,
+    /// Op-level counters for this run (delta of the shared tables between
+    /// run start and end; gauges like interner size are end-of-run values).
+    pub ops: OpStats,
 }
 
 impl AnalysisStats {
@@ -69,19 +80,30 @@ pub struct Budget {
 
 impl Default for Budget {
     fn default() -> Self {
-        Budget { max_bytes: None, max_graphs: 512, max_iterations: 100_000 }
+        Budget {
+            max_bytes: None,
+            max_graphs: 512,
+            max_iterations: 100_000,
+        }
     }
 }
 
 impl Budget {
     /// The paper machine's budget: 128 MB.
     pub fn paper_128mb() -> Budget {
-        Budget { max_bytes: Some(128 * 1024 * 1024), ..Budget::default() }
+        Budget {
+            max_bytes: Some(128 * 1024 * 1024),
+            ..Budget::default()
+        }
     }
 
     /// A tight budget for tests.
     pub fn tiny() -> Budget {
-        Budget { max_bytes: Some(64 * 1024), max_graphs: 16, max_iterations: 2_000 }
+        Budget {
+            max_bytes: Some(64 * 1024),
+            max_graphs: 16,
+            max_iterations: 2_000,
+        }
     }
 }
 
@@ -91,7 +113,10 @@ mod tests {
 
     #[test]
     fn mib_conversion() {
-        let s = AnalysisStats { peak_bytes: 3 * 1024 * 1024, ..Default::default() };
+        let s = AnalysisStats {
+            peak_bytes: 3 * 1024 * 1024,
+            ..Default::default()
+        };
         assert!((s.peak_mib() - 3.0).abs() < 1e-9);
     }
 

@@ -87,7 +87,9 @@ impl PtrStmt {
     /// The pvar whose binding this statement (re)defines, if any.
     pub fn def(&self) -> Option<PvarId> {
         match *self {
-            PtrStmt::Nil(x) | PtrStmt::Malloc(x, _) | PtrStmt::Copy(x, _)
+            PtrStmt::Nil(x)
+            | PtrStmt::Malloc(x, _)
+            | PtrStmt::Copy(x, _)
             | PtrStmt::Load(x, _, _) => Some(x),
             PtrStmt::StoreNil(_, _) | PtrStmt::Store(_, _, _) => None,
         }
@@ -173,7 +175,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match *self {
             Terminator::Goto(b) => vec![b],
-            Terminator::Branch { then_bb, else_bb, .. } => {
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
                 if then_bb == else_bb {
                     vec![then_bb]
                 } else {
@@ -246,7 +250,10 @@ impl FuncIr {
 
     /// Pvar id by source name.
     pub fn pvar_id(&self, name: &str) -> Option<PvarId> {
-        self.pvars.iter().position(|p| p.name == name).map(|i| PvarId(i as u32))
+        self.pvars
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| PvarId(i as u32))
     }
 
     /// Pvar name by id.
@@ -261,7 +268,10 @@ impl FuncIr {
 
     /// Tracked scalar id by name.
     pub fn scalar_id(&self, name: &str) -> Option<ScalarId> {
-        self.scalars.iter().position(|s| s == name).map(|i| ScalarId(i as u32))
+        self.scalars
+            .iter()
+            .position(|s| s == name)
+            .map(|i| ScalarId(i as u32))
     }
 
     /// Pvar metadata by id.
@@ -292,12 +302,18 @@ impl FuncIr {
 
     /// Loops exited when control flows from `from` to `to` (empty if none).
     pub fn exited_loops(&self, from: BlockId, to: BlockId) -> &[LoopId] {
-        self.exit_edges.get(&(from, to)).map(|v| v.as_slice()).unwrap_or(&[])
+        self.exit_edges
+            .get(&(from, to))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Loops entered when control flows from `from` to `to` (empty if none).
     pub fn entered_loops(&self, from: BlockId, to: BlockId) -> &[LoopId] {
-        self.entry_edges.get(&(from, to)).map(|v| v.as_slice()).unwrap_or(&[])
+        self.entry_edges
+            .get(&(from, to))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// All loops enclosing a statement, innermost last.
@@ -318,7 +334,10 @@ impl FuncIr {
 
     /// Total number of pointer statements (for reporting).
     pub fn num_ptr_stmts(&self) -> usize {
-        self.stmts.iter().filter(|s| matches!(s.stmt, Stmt::Ptr(_))).count()
+        self.stmts
+            .iter()
+            .filter(|s| matches!(s.stmt, Stmt::Ptr(_)))
+            .count()
     }
 
     /// Basic structural sanity checks; used by tests and debug builds.

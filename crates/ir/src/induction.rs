@@ -94,7 +94,15 @@ fn tarjan(n: usize, adj: &[Vec<usize>]) -> Vec<usize> {
         on_stack: bool,
         visited: bool,
     }
-    let mut st = vec![VState { index: 0, lowlink: 0, on_stack: false, visited: false }; n];
+    let mut st = vec![
+        VState {
+            index: 0,
+            lowlink: 0,
+            on_stack: false,
+            visited: false
+        };
+        n
+    ];
     let mut stack: Vec<usize> = Vec::new();
     let mut scc_of = vec![usize::MAX; n];
     let mut next_index = 0usize;

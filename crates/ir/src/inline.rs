@@ -28,10 +28,13 @@ pub const MAX_INLINE_DEPTH: usize = 16;
 /// program whose entry function is call-free (except the intrinsic
 /// `malloc`/`free`/`printf` family).
 pub fn inline_program(program: &Program, entry: &str) -> Result<Program, Diagnostic> {
-    let f = program.function(entry).ok_or_else(|| {
-        Diagnostic::error(Span::SYNTH, format!("function `{entry}` not found"))
-    })?;
-    let mut ctx = Inliner { program, counter: 0 };
+    let f = program
+        .function(entry)
+        .ok_or_else(|| Diagnostic::error(Span::SYNTH, format!("function `{entry}` not found")))?;
+    let mut ctx = Inliner {
+        program,
+        counter: 0,
+    };
     let mut stack = vec![entry.to_string()];
     let body = ctx.inline_block(&f.body, &mut stack, 0)?;
     let mut out = program.clone();
@@ -47,8 +50,19 @@ pub fn inline_program(program: &Program, entry: &str) -> Result<Program, Diagnos
 fn is_intrinsic(name: &str) -> bool {
     matches!(
         name,
-        "malloc" | "calloc" | "free" | "printf" | "fprintf" | "puts" | "exit" | "srand"
-            | "rand" | "assert" | "sqrt" | "fabs" | "abs"
+        "malloc"
+            | "calloc"
+            | "free"
+            | "printf"
+            | "fprintf"
+            | "puts"
+            | "exit"
+            | "srand"
+            | "rand"
+            | "assert"
+            | "sqrt"
+            | "fabs"
+            | "abs"
     )
 }
 
@@ -87,7 +101,15 @@ impl<'a> Inliner<'a> {
             Stmt::Expr(Expr::Assign(lhs, rhs, span)) => {
                 if let Expr::Call(name, args, _) = &**rhs {
                     if self.inlinable(name) {
-                        self.expand_call(name, args, Some((**lhs).clone()), *span, stack, depth, out)?;
+                        self.expand_call(
+                            name,
+                            args,
+                            Some((**lhs).clone()),
+                            *span,
+                            stack,
+                            depth,
+                            out,
+                        )?;
                         return Ok(());
                     }
                 }
@@ -125,13 +147,22 @@ impl<'a> Inliner<'a> {
                     self.check_expr_callfree(c)?;
                 }
                 let b2 = self.inline_one(b, stack, depth)?;
-                out.push(Stmt::For(init2, c.clone(), step.clone(), Box::new(b2), *span));
+                out.push(Stmt::For(
+                    init2,
+                    c.clone(),
+                    step.clone(),
+                    Box::new(b2),
+                    *span,
+                ));
             }
             Stmt::Decl(d) => {
                 // An initializer that is a user call: split into decl + call.
                 if let Some(Expr::Call(name, args, span)) = &d.init {
                     if self.inlinable(name) {
-                        out.push(Stmt::Decl(Decl { init: None, ..d.clone() }));
+                        out.push(Stmt::Decl(Decl {
+                            init: None,
+                            ..d.clone()
+                        }));
                         let lhs = Expr::Ident(d.name.clone(), d.span);
                         self.expand_call(name, args, Some(lhs), *span, stack, depth, out)?;
                         return Ok(());
@@ -233,7 +264,9 @@ impl<'a> Inliner<'a> {
             bound.insert(p.name.clone(), rename(&p.name));
         }
         collect_decls(&callee.body, &mut |d: &Decl| {
-            bound.entry(d.name.clone()).or_insert_with(|| rename(&d.name));
+            bound
+                .entry(d.name.clone())
+                .or_insert_with(|| rename(&d.name));
         });
 
         // Parameter locals + argument assignments.
@@ -376,7 +409,10 @@ fn stmt_has_return(s: &Stmt, found: &mut bool) {
 fn rename_stmt(s: &Stmt, bound: &BTreeMap<String, String>) -> Stmt {
     match s {
         Stmt::Decl(d) => Stmt::Decl(Decl {
-            name: bound.get(&d.name).cloned().unwrap_or_else(|| d.name.clone()),
+            name: bound
+                .get(&d.name)
+                .cloned()
+                .unwrap_or_else(|| d.name.clone()),
             ty: d.ty.clone(),
             init: d.init.as_ref().map(|e| rename_expr(e, bound)),
             span: d.span,
@@ -408,9 +444,7 @@ fn rename_stmt(s: &Stmt, bound: &BTreeMap<String, String>) -> Stmt {
             Box::new(rename_stmt(b, bound)),
             *span,
         ),
-        Stmt::Return(e, span) => {
-            Stmt::Return(e.as_ref().map(|e| rename_expr(e, bound)), *span)
-        }
+        Stmt::Return(e, span) => Stmt::Return(e.as_ref().map(|e| rename_expr(e, bound)), *span),
         other => other.clone(),
     }
 }
@@ -441,9 +475,7 @@ fn rename_expr(e: &Expr, bound: &BTreeMap<String, String>) -> Expr {
             args.iter().map(|a| rename_expr(a, bound)).collect(),
             *span,
         ),
-        Expr::Cast(t, x, span) => {
-            Expr::Cast(t.clone(), Box::new(rename_expr(x, bound)), *span)
-        }
+        Expr::Cast(t, x, span) => Expr::Cast(t.clone(), Box::new(rename_expr(x, bound)), *span),
         Expr::Cond(c, a, b, span) => Expr::Cond(
             Box::new(rename_expr(c, bound)),
             Box::new(rename_expr(a, bound)),

@@ -36,9 +36,9 @@ pub fn lower_function(
     table: &TypeTable,
     name: &str,
 ) -> Result<FuncIr, LowerError> {
-    let func = program.function(name).ok_or_else(|| {
-        Diagnostic::error(Span::SYNTH, format!("function `{name}` not found"))
-    })?;
+    let func = program
+        .function(name)
+        .ok_or_else(|| Diagnostic::error(Span::SYNTH, format!("function `{name}` not found")))?;
     let mut lw = Lowerer::new(table.clone(), name.to_string());
 
     // Globals become top-level bindings.
@@ -117,7 +117,10 @@ struct Lowerer {
 
 impl Lowerer {
     fn new(table: TypeTable, name: String) -> Self {
-        let entry = Block { stmts: Vec::new(), term: Terminator::Return };
+        let entry = Block {
+            stmts: Vec::new(),
+            term: Terminator::Return,
+        };
         Lowerer {
             table,
             name,
@@ -141,7 +144,10 @@ impl Lowerer {
 
     fn new_block(&mut self) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(Block { stmts: Vec::new(), term: Terminator::Return });
+        self.blocks.push(Block {
+            stmts: Vec::new(),
+            term: Terminator::Return,
+        });
         id
     }
 
@@ -190,7 +196,11 @@ impl Lowerer {
 
     fn fresh_pvar(&mut self, name: String, pointee: StructId, is_temp: bool) -> PvarId {
         let id = PvarId(self.pvars.len() as u32);
-        self.pvars.push(PvarInfo { name, pointee, is_temp });
+        self.pvars.push(PvarInfo {
+            name,
+            pointee,
+            is_temp,
+        });
         id
     }
 
@@ -231,10 +241,12 @@ impl Lowerer {
     /// Record that edge `from -> to` exits every loop from the innermost one
     /// down to (and including) stack index `upto`.
     fn record_exit(&mut self, from: BlockId, to: BlockId, upto: usize) {
-        let exited: Vec<LoopId> =
-            self.loop_stack[upto..].iter().rev().map(|l| l.id).collect();
+        let exited: Vec<LoopId> = self.loop_stack[upto..].iter().rev().map(|l| l.id).collect();
         if !exited.is_empty() {
-            self.exit_edges.entry((from, to)).or_default().extend(exited);
+            self.exit_edges
+                .entry((from, to))
+                .or_default()
+                .extend(exited);
             let e = self.exit_edges.get_mut(&(from, to)).unwrap();
             e.sort_unstable();
             e.dedup();
@@ -254,7 +266,10 @@ impl Lowerer {
                         name.to_string()
                     };
                     let id = self.fresh_pvar(unique, sid, false);
-                    self.scopes.last_mut().unwrap().insert(name.to_string(), Binding::Ptr(id));
+                    self.scopes
+                        .last_mut()
+                        .unwrap()
+                        .insert(name.to_string(), Binding::Ptr(id));
                 } else {
                     // Pointers to scalars (int*, double*) carry no shape;
                     // they are untracked scalars.
@@ -286,7 +301,10 @@ impl Lowerer {
         } else {
             None
         };
-        self.scopes.last_mut().unwrap().insert(name.to_string(), Binding::Scalar(id));
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), Binding::Scalar(id));
     }
 
     // ----------------------------------------------------------- statements
@@ -356,7 +374,10 @@ impl Lowerer {
                 let pre = self.cur;
                 self.seal(Terminator::Goto(body_bb));
                 let lid = self.begin_loop(cond_bb, cond_bb, after);
-                self.entry_edges.entry((pre, body_bb)).or_default().push(lid);
+                self.entry_edges
+                    .entry((pre, body_bb))
+                    .or_default()
+                    .push(lid);
                 self.switch_to(body_bb);
                 self.lower_stmt(body)?;
                 self.seal(Terminator::Goto(cond_bb));
@@ -467,8 +488,17 @@ impl Lowerer {
         let id = LoopId(self.loops.len() as u32);
         let parent = self.loop_stack.last().map(|l| l.id);
         let depth = self.loop_stack.len() as u32;
-        self.loops.push(LoopInfo { parent, header, ipvars: Vec::new(), depth });
-        self.loop_stack.push(LoopCtx { id, continue_bb, break_bb });
+        self.loops.push(LoopInfo {
+            parent,
+            header,
+            ipvars: Vec::new(),
+            depth,
+        });
+        self.loop_stack.push(LoopCtx {
+            id,
+            continue_bb,
+            break_bb,
+        });
         id
     }
 
@@ -533,8 +563,9 @@ impl Lowerer {
                             self.finish_leaf_const(always, t, f);
                             return Ok(());
                         }
-                        (Operand::Pvar(p), Operand::Null)
-                        | (Operand::Null, Operand::Pvar(p)) => Cond::PtrNull(p),
+                        (Operand::Pvar(p), Operand::Null) | (Operand::Null, Operand::Pvar(p)) => {
+                            Cond::PtrNull(p)
+                        }
                         (Operand::Pvar(p), Operand::Pvar(q)) => Cond::PtrEq(p, q),
                     };
                     let (tt, ff) = if *op == BinOp::Eq { (t, f) } else { (f, t) };
@@ -552,7 +583,9 @@ impl Lowerer {
             }
             Expr::Ident(name, _) if matches!(self.lookup(name), Some(Binding::Ptr(_))) => {
                 // `while (p)` — true means non-NULL.
-                let Some(Binding::Ptr(p)) = self.lookup(name) else { unreachable!() };
+                let Some(Binding::Ptr(p)) = self.lookup(name) else {
+                    unreachable!()
+                };
                 self.finish_leaf(Cond::PtrNull(p), f, t);
                 Ok(())
             }
@@ -593,7 +626,11 @@ impl Lowerer {
 
     fn finish_leaf(&mut self, cond: Cond, t: BlockId, f: BlockId) {
         let temps = self.take_temps();
-        self.seal(Terminator::Branch { cond, then_bb: t, else_bb: f });
+        self.seal(Terminator::Branch {
+            cond,
+            then_bb: t,
+            else_bb: f,
+        });
         // Kill condition temps on both outgoing paths; `Nil` on an unbound
         // temp is a no-op, so shared targets are safe.
         if !temps.is_empty() {
@@ -631,9 +668,10 @@ impl Lowerer {
             Expr::Null(_) => true,
             Expr::IntLit(0, _) => false, // only NULL in explicit pointer context
             Expr::Ident(name, _) => matches!(self.lookup(name), Some(Binding::Ptr(_))),
-            Expr::Member(base, field, true, _) => {
-                self.member_selector(base, field).map(|s| s.is_some()).unwrap_or(false)
-            }
+            Expr::Member(base, field, true, _) => self
+                .member_selector(base, field)
+                .map(|s| s.is_some())
+                .unwrap_or(false),
             Expr::Cast(ty, _, _) => {
                 matches!(ty, TypeExpr::Pointer(_))
             }
@@ -667,7 +705,9 @@ impl Lowerer {
                 _ => Ok(None),
             },
             Expr::Member(base, field, true, _) => {
-                let Some(sid) = self.pointee_of(base)? else { return Ok(None) };
+                let Some(sid) = self.pointee_of(base)? else {
+                    return Ok(None);
+                };
                 let info = self.table.struct_info(sid);
                 match info.field(field) {
                     Some(f) => Ok(f.ty.pointee_struct()),
@@ -687,6 +727,7 @@ impl Lowerer {
 
     /// Lower a pointer-valued expression to an operand (pvar or NULL),
     /// emitting Load statements for chains.
+    #[allow(clippy::only_used_in_recursion)]
     fn lower_ptr_operand(&mut self, e: &Expr, span: Span) -> Result<Operand, Diagnostic> {
         match e {
             Expr::Null(_) | Expr::IntLit(0, _) => Ok(Operand::Null),
@@ -978,7 +1019,8 @@ impl Lowerer {
             entry_edges: self.entry_edges,
             types: self.table,
         };
-        ir.validate().map_err(|m| Diagnostic::error(Span::SYNTH, m))?;
+        ir.validate()
+            .map_err(|m| Diagnostic::error(Span::SYNTH, m))?;
         crate::induction::detect(&mut ir);
         Ok(ir)
     }
@@ -1082,7 +1124,11 @@ mod tests {
         let t0 = ir.pvar_id("@t0").unwrap();
         assert_eq!(
             ps,
-            vec![PtrStmt::Load(t0, x, nxt), PtrStmt::Load(z, t0, prv), PtrStmt::Nil(t0)]
+            vec![
+                PtrStmt::Load(t0, x, nxt),
+                PtrStmt::Load(z, t0, prv),
+                PtrStmt::Nil(t0)
+            ]
         );
     }
 
@@ -1110,9 +1156,10 @@ mod tests {
     fn while_null_test_condition() {
         let ir = lower("struct node *p; while (p != NULL) { p = p->nxt; }");
         let p = ir.pvar_id("p").unwrap();
-        let has_branch = ir.blocks.iter().any(|b| {
-            matches!(b.term, Terminator::Branch { cond: Cond::PtrNull(q), .. } if q == p)
-        });
+        let has_branch = ir
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Branch { cond: Cond::PtrNull(q), .. } if q == p));
         assert!(has_branch, "expected a PtrNull branch on p");
         assert_eq!(ir.loops.len(), 1);
     }
@@ -1126,9 +1173,11 @@ mod tests {
             .blocks
             .iter()
             .find_map(|b| match b.term {
-                Terminator::Branch { cond: Cond::PtrNull(q), then_bb, else_bb } if q == p => {
-                    Some((then_bb, else_bb))
-                }
+                Terminator::Branch {
+                    cond: Cond::PtrNull(q),
+                    then_bb,
+                    else_bb,
+                } if q == p => Some((then_bb, else_bb)),
                 _ => None,
             })
             .expect("branch");
@@ -1150,9 +1199,11 @@ mod tests {
             .blocks
             .iter()
             .find_map(|b| match b.term {
-                Terminator::Branch { cond: Cond::PtrNull(q), then_bb, else_bb } if q == t0 => {
-                    Some((then_bb, else_bb))
-                }
+                Terminator::Branch {
+                    cond: Cond::PtrNull(q),
+                    then_bb,
+                    else_bb,
+                } if q == t0 => Some((then_bb, else_bb)),
                 _ => None,
             })
             .expect("branch on temp");
@@ -1175,9 +1226,8 @@ mod tests {
 
     #[test]
     fn short_circuit_and() {
-        let ir = lower(
-            "struct node *p; int i; while (p != NULL && i < 3) { p = p->nxt; i = i + 1; }",
-        );
+        let ir =
+            lower("struct node *p; int i; while (p != NULL && i < 3) { p = p->nxt; i = i + 1; }");
         // Two leaf branches: PtrNull and Opaque.
         let mut kinds = Vec::new();
         for b in &ir.blocks {
@@ -1202,9 +1252,8 @@ mod tests {
 
     #[test]
     fn break_records_exit_edge() {
-        let ir = lower(
-            "struct node *p; while (p != NULL) { if (p->v == 0) { break; } p = p->nxt; }",
-        );
+        let ir =
+            lower("struct node *p; while (p != NULL) { if (p->v == 0) { break; } p = p->nxt; }");
         let exits: usize = ir.exit_edges.len();
         assert!(exits >= 2, "cond exit + break exit, got {exits}");
     }
@@ -1220,9 +1269,7 @@ mod tests {
         let inner_load = ir
             .stmts
             .iter()
-            .find(|s| {
-                matches!(s.stmt, Stmt::Ptr(PtrStmt::Load(a, b, _)) if a == b)
-            })
+            .find(|s| matches!(s.stmt, Stmt::Ptr(PtrStmt::Load(a, b, _)) if a == b))
             .expect("inner load");
         assert_eq!(inner_load.loops.len(), 2);
         assert_eq!(ir.loops[1].parent, Some(LoopId(0)));

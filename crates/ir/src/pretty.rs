@@ -8,11 +8,19 @@ pub fn ptr_stmt(ir: &FuncIr, s: &PtrStmt) -> String {
     match *s {
         PtrStmt::Nil(x) => format!("{} = NULL", ir.pvar_name(x)),
         PtrStmt::Malloc(x, t) => {
-            format!("{} = malloc(struct {})", ir.pvar_name(x), ir.types.struct_info(t).name)
+            format!(
+                "{} = malloc(struct {})",
+                ir.pvar_name(x),
+                ir.types.struct_info(t).name
+            )
         }
         PtrStmt::Copy(x, y) => format!("{} = {}", ir.pvar_name(x), ir.pvar_name(y)),
         PtrStmt::StoreNil(x, sel) => {
-            format!("{}->{} = NULL", ir.pvar_name(x), ir.types.selector_name(sel))
+            format!(
+                "{}->{} = NULL",
+                ir.pvar_name(x),
+                ir.types.selector_name(sel)
+            )
         }
         PtrStmt::Store(x, sel, y) => format!(
             "{}->{} = {}",
@@ -63,7 +71,11 @@ pub fn func(ir: &FuncIr) -> String {
             } else {
                 format!(
                     "  [{}]",
-                    info.loops.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(",")
+                    info.loops
+                        .iter()
+                        .map(|l| l.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
                 )
             };
             let _ = writeln!(out, "    {}: {}{}", sid, stmt(ir, &info.stmt), loops);
@@ -72,8 +84,18 @@ pub fn func(ir: &FuncIr) -> String {
             Terminator::Goto(t) => {
                 let _ = writeln!(out, "    goto {t}");
             }
-            Terminator::Branch { cond: c, then_bb, else_bb } => {
-                let _ = writeln!(out, "    if {} then {} else {}", cond(ir, &c), then_bb, else_bb);
+            Terminator::Branch {
+                cond: c,
+                then_bb,
+                else_bb,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "    if {} then {} else {}",
+                    cond(ir, &c),
+                    then_bb,
+                    else_bb
+                );
             }
             Terminator::Return => {
                 let _ = writeln!(out, "    return");

@@ -64,7 +64,12 @@ pub fn doubly_linked_list(
 /// links. Represents every DLL with two or more elements.
 ///
 /// Returns the graph and `(n1, n2, n3)`.
-pub fn fig1_dll(x: PvarId, num_pvars: usize, nxt: SelectorId, prv: SelectorId) -> (Rsg, [NodeId; 3]) {
+pub fn fig1_dll(
+    x: PvarId,
+    num_pvars: usize,
+    nxt: SelectorId,
+    prv: SelectorId,
+) -> (Rsg, [NodeId; 3]) {
     let mut g = Rsg::empty(num_pvars);
     let n1 = g.add_fresh(StructId(0));
     let n2 = g.add_fresh(StructId(0));
@@ -123,12 +128,7 @@ pub fn binary_tree(
     right: SelectorId,
 ) -> Rsg {
     let mut g = Rsg::empty(num_pvars);
-    fn build(
-        g: &mut Rsg,
-        depth: usize,
-        left: SelectorId,
-        right: SelectorId,
-    ) -> NodeId {
+    fn build(g: &mut Rsg, depth: usize, left: SelectorId, right: SelectorId) -> NodeId {
         let n = g.add_fresh(StructId(0));
         if depth > 0 {
             let l = build(g, depth - 1, left, right);

@@ -76,24 +76,32 @@ fn refine(g: &Rsg, ids: &[NodeId], init: &BTreeMap<NodeId, Vec<u8>>) -> BTreeMap
     // Convert initial byte colors to dense ints, assigned in sorted key
     // order so that color values are independent of node id order.
     let keys: std::collections::BTreeSet<&Vec<u8>> = ids.iter().map(|n| &init[n]).collect();
-    let palette: BTreeMap<&Vec<u8>, u32> =
-        keys.into_iter().enumerate().map(|(i, k)| (k, i as u32)).collect();
-    let mut color: BTreeMap<NodeId, u32> =
-        ids.iter().map(|&n| (n, palette[&init[&n]])).collect();
+    let palette: BTreeMap<&Vec<u8>, u32> = keys
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, i as u32))
+        .collect();
+    let mut color: BTreeMap<NodeId, u32> = ids.iter().map(|&n| (n, palette[&init[&n]])).collect();
     loop {
         let mut sigs: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
         for &n in ids {
             let mut sig = vec![color[&n]];
-            let mut outs: Vec<(u32, u32)> =
-                g.out_links(n).into_iter().map(|(s, b)| (s.0, color[&b])).collect();
+            let mut outs: Vec<(u32, u32)> = g
+                .out_links(n)
+                .into_iter()
+                .map(|(s, b)| (s.0, color[&b]))
+                .collect();
             outs.sort_unstable();
             sig.push(u32::MAX); // separator
             for (s, c) in outs {
                 sig.push(s);
                 sig.push(c);
             }
-            let mut ins: Vec<(u32, u32)> =
-                g.in_links(n).into_iter().map(|(a, s)| (s.0, color[&a])).collect();
+            let mut ins: Vec<(u32, u32)> = g
+                .in_links(n)
+                .into_iter()
+                .map(|(a, s)| (s.0, color[&a]))
+                .collect();
             ins.sort_unstable();
             sig.push(u32::MAX - 1);
             for (s, c) in ins {
@@ -104,13 +112,21 @@ fn refine(g: &Rsg, ids: &[NodeId], init: &BTreeMap<NodeId, Vec<u8>>) -> BTreeMap
         }
         let sig_keys: std::collections::BTreeSet<&Vec<u32>> =
             ids.iter().map(|n| &sigs[n]).collect();
-        let sig_palette: BTreeMap<&Vec<u32>, u32> =
-            sig_keys.into_iter().enumerate().map(|(i, k)| (k, i as u32)).collect();
+        let sig_palette: BTreeMap<&Vec<u32>, u32> = sig_keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, i as u32))
+            .collect();
         let next_color: BTreeMap<NodeId, u32> =
             ids.iter().map(|&n| (n, sig_palette[&sigs[&n]])).collect();
-        let old_classes = color.values().collect::<std::collections::BTreeSet<_>>().len();
-        let new_classes =
-            next_color.values().collect::<std::collections::BTreeSet<_>>().len();
+        let old_classes = color
+            .values()
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        let new_classes = next_color
+            .values()
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
         let stable = new_classes == old_classes;
         color = next_color;
         if stable {
@@ -121,8 +137,7 @@ fn refine(g: &Rsg, ids: &[NodeId], init: &BTreeMap<NodeId, Vec<u8>>) -> BTreeMap
 
 /// Full canonical coloring with individualization + backtracking.
 fn canonical_colors(g: &Rsg, ids: &[NodeId]) -> BTreeMap<NodeId, u32> {
-    let init: BTreeMap<NodeId, Vec<u8>> =
-        ids.iter().map(|&n| (n, initial_color(g, n))).collect();
+    let init: BTreeMap<NodeId, Vec<u8>> = ids.iter().map(|&n| (n, initial_color(g, n))).collect();
     best_coloring(g, ids, &init, 0)
 }
 
@@ -176,8 +191,11 @@ fn best_coloring(
 fn serialize(g: &Rsg, ids: &[NodeId], colors: &BTreeMap<NodeId, u32>) -> Vec<u8> {
     let mut order: Vec<NodeId> = ids.to_vec();
     order.sort_by_key(|n| colors[n]);
-    let rank: BTreeMap<NodeId, u32> =
-        order.iter().enumerate().map(|(i, &n)| (n, i as u32)).collect();
+    let rank: BTreeMap<NodeId, u32> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i as u32))
+        .collect();
     let mut out = Vec::with_capacity(order.len() * 48);
     out.extend_from_slice(&(order.len() as u32).to_le_bytes());
     for &n in &order {

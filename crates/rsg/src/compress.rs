@@ -200,13 +200,9 @@ fn compress_once(g: &Rsg, _ctx: &ShapeCtx, level: Level) -> (Rsg, bool) {
                     && n.selin.diff(view.may_in).is_empty()
                     && view.selout.diff(n.may_selout()).is_empty()
                     && n.selout.diff(view.may_out).is_empty();
-                let spath_ok = if !level.use_spath1() {
-                    true
-                } else if sp.one.is_empty() && view.one_empty_ok {
-                    true
-                } else {
-                    sp.one.iter().any(|x| view.one.contains(x))
-                };
+                let spath_ok = !level.use_spath1()
+                    || (sp.one.is_empty() && view.one_empty_ok)
+                    || sp.one.iter().any(|x| view.one.contains(x));
                 if refpat_ok && spath_ok {
                     view.members.push(id);
                     view.selin = view.selin.inter(n.selin);

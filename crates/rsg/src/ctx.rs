@@ -1,9 +1,11 @@
 //! Analysis context (type/selector/pvar universe) and the progressive
 //! compilation levels.
 
+use crate::intern::SharedTables;
 use crate::sets::SelSet;
 use psa_cfront::types::{SelectorId, StructId};
 use psa_ir::FuncIr;
+use std::sync::Arc;
 
 /// The three progressive compilation levels of §5.
 ///
@@ -80,6 +82,11 @@ pub struct ShapeCtx {
     pub selector_names: Vec<String>,
     /// Struct names, for rendering.
     pub struct_names: Vec<String>,
+    /// Run-wide hash-consing, subsumption-memo and metrics tables
+    /// (see [`crate::intern`]). Cloning a `ShapeCtx` shares the tables,
+    /// which is how the parallel fan-out path and the progressive
+    /// L1→L2→L3 driver reuse one interner.
+    pub tables: Arc<SharedTables>,
 }
 
 impl ShapeCtx {
@@ -120,6 +127,7 @@ impl ShapeCtx {
                 .map(|i| ir.types.selector_name(SelectorId(i as u32)).to_string())
                 .collect(),
             struct_names,
+            tables: Arc::new(SharedTables::new()),
         }
     }
 
@@ -139,7 +147,15 @@ impl ShapeCtx {
             pvar_is_temp: vec![false; num_pvars],
             selector_names: (0..num_selectors).map(|i| format!("s{i}")).collect(),
             struct_names: vec!["node".to_string()],
+            tables: Arc::new(SharedTables::new()),
         }
+    }
+
+    /// Replace the shared tables (e.g. to disable the subsumption cache
+    /// for a differential run). Does not affect other clones made earlier.
+    pub fn with_tables(mut self, tables: Arc<SharedTables>) -> ShapeCtx {
+        self.tables = tables;
+        self
     }
 
     /// The selectors declared by struct `t`.

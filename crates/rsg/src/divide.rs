@@ -89,7 +89,7 @@ mod tests {
     }
 
     #[test]
-    fn fig1_pruning_removes_contradicting_prv(){
+    fn fig1_pruning_removes_contradicting_prv() {
         // In the 2-element variant, <n3,prv,n1> must survive and the link
         // <n2,...> chain disappears; in the 3-element variant the link
         // <n3, prv, n1> is removed by NL_PRUNE (n1 does not nxt-point to n3
@@ -103,7 +103,10 @@ mod tests {
         let two = parts.iter().find(|p| p.num_nodes() == 2).unwrap();
         assert!(two.has_link(n1, sel(0), n3));
         assert!(two.has_link(n3, sel(1), n1));
-        assert!(!two.is_live(n2), "middle summary pruned in 2-element variant");
+        assert!(
+            !two.is_live(n2),
+            "middle summary pruned in 2-element variant"
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ pub fn rsg_to_dot(g: &Rsg, ctx: &ShapeCtx, name: &str) -> String {
             )
         };
         let peripheries = if nd.summary { 2 } else { 1 };
-        let _ = writeln!(out, "  n{} [label=\"{label}\", peripheries={peripheries}];", n.0);
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{label}\", peripheries={peripheries}];",
+            n.0
+        );
     }
     for (p, n) in g.pl_iter() {
         let pname = &ctx.pvar_names[p.0 as usize];
@@ -93,12 +97,20 @@ pub fn rsrsg_to_dot(graphs: &[Rsg], ctx: &ShapeCtx, name: &str) -> String {
         }
         for (p, n) in g.pl_iter() {
             let pname = &ctx.pvar_names[p.0 as usize];
-            let _ = writeln!(out, "    g{gi}pv{} [label=\"{pname}\", shape=plaintext];", p.0);
+            let _ = writeln!(
+                out,
+                "    g{gi}pv{} [label=\"{pname}\", shape=plaintext];",
+                p.0
+            );
             let _ = writeln!(out, "    g{gi}pv{} -> g{gi}n{};", p.0, n.0);
         }
         for (a, sel, b) in g.links() {
             let sname = &ctx.selector_names[sel.0 as usize];
-            let _ = writeln!(out, "    g{gi}n{} -> g{gi}n{} [label=\"{sname}\"];", a.0, b.0);
+            let _ = writeln!(
+                out,
+                "    g{gi}n{} -> g{gi}n{} [label=\"{sname}\"];",
+                a.0, b.0
+            );
         }
         let _ = writeln!(out, "  }}");
     }

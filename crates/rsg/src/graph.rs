@@ -156,7 +156,10 @@ impl Rsg {
 
     /// The pvars bound to node `n`, sorted.
     pub fn pvars_of(&self, n: NodeId) -> Vec<PvarId> {
-        self.pl_iter().filter(|&(_, m)| m == n).map(|(p, _)| p).collect()
+        self.pl_iter()
+            .filter(|&(_, m)| m == n)
+            .map(|(p, _)| p)
+            .collect()
     }
 
     // ------------------------------------------------------------- NL
@@ -205,7 +208,11 @@ impl Rsg {
 
     /// All incoming links of `b` (linear scan; graphs are small).
     pub fn in_links(&self, b: NodeId) -> Vec<(NodeId, SelectorId)> {
-        self.links.iter().filter(|&&(_, _, t)| t == b).map(|&(a, s, _)| (a, s)).collect()
+        self.links
+            .iter()
+            .filter(|&&(_, _, t)| t == b)
+            .map(|&(a, s, _)| (a, s))
+            .collect()
     }
 
     /// Incoming links of `b` through `sel`.
@@ -351,7 +358,7 @@ impl Rsg {
     pub fn structure_labels(&self) -> Vec<u32> {
         let n = self.nodes.len();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -446,8 +453,7 @@ impl Rsg {
         for b in ids {
             let must_in = self.node(b).selin;
             for s in must_in.iter() {
-                let witnessed =
-                    self.preds(b, s).into_iter().any(|a| present[a.0 as usize]);
+                let witnessed = self.preds(b, s).into_iter().any(|a| present[a.0 as usize]);
                 if !witnessed {
                     self.node_mut(b).weaken_in(s);
                 }
@@ -458,12 +464,7 @@ impl Rsg {
     /// Approximate structural size in bytes (nodes + links + PL), the unit
     /// of the Table 1 "Space" column.
     pub fn approx_bytes(&self) -> usize {
-        let node_bytes: usize = self
-            .nodes
-            .iter()
-            .flatten()
-            .map(|n| n.approx_bytes())
-            .sum();
+        let node_bytes: usize = self.nodes.iter().flatten().map(|n| n.approx_bytes()).sum();
         node_bytes
             + self.links.len() * std::mem::size_of::<(NodeId, SelectorId, NodeId)>()
             + self.pl.len() * std::mem::size_of::<Option<NodeId>>()
@@ -497,10 +498,7 @@ impl Rsg {
             }
             if let Some(target) = ctx.target_of(ta, sel) {
                 if self.node(b).ty != target {
-                    return Err(format!(
-                        "link <{a},{},{b}>: target type mismatch",
-                        sel.0
-                    ));
+                    return Err(format!("link <{a},{},{b}>: target type mismatch", sel.0));
                 }
             }
         }
@@ -726,7 +724,10 @@ mod presence_tests {
             .into_iter()
             .find(|&t| t != mid)
             .expect("tail");
-        assert!(!present[tail.0 as usize], "beyond a summary nothing is definite");
+        assert!(
+            !present[tail.0 as usize],
+            "beyond a summary nothing is definite"
+        );
     }
 
     #[test]
@@ -743,7 +744,10 @@ mod presence_tests {
         g.node_mut(c).pos_selin.insert(sel(0));
         let present = g.present_nodes();
         assert!(present[a.0 as usize]);
-        assert!(!present[b.0 as usize], "two alternatives: neither is definite");
+        assert!(
+            !present[b.0 as usize],
+            "two alternatives: neither is definite"
+        );
         assert!(!present[c.0 as usize]);
     }
 

@@ -1,0 +1,614 @@
+//! Hash-consed canonical-form interning and memoized subsumption.
+//!
+//! The fixed-point engine re-serializes candidate graphs, scans member
+//! lists linearly, and re-runs the backtracking embedding search
+//! ([`crate::subsume::subsumes`]) for the same graph pairs on every
+//! worklist revisit. This module removes all three costs, the same
+//! canonical-form sharing and cheap pre-filtering that Predator and
+//! Marron's structural analysis credit for their scalability:
+//!
+//! * [`Interner`] — a run-wide table mapping canonical bytes to a compact
+//!   [`CanonId`], so duplicate detection is a hash lookup and RSRSGs store
+//!   `u32` ids plus shared `Arc<[u8]>` bytes instead of owned byte vectors;
+//! * [`Fingerprint`] — a constant-size structural summary (pvar domain,
+//!   node type/touch blooms, link selector set, scalar facts) whose
+//!   [`Fingerprint::may_subsume`] is a **necessary** condition for
+//!   subsumption, rejecting most pairs in a few word operations before the
+//!   exponential search ever runs;
+//! * [`SubsumeCache`] — a `(CanonId, CanonId) → bool` memo table, so a
+//!   subsumption query for a pair of canonical forms runs the backtracking
+//!   search at most once per analysis run;
+//! * [`OpMetrics`] / [`OpStats`] — atomic op-level counters and timings
+//!   (insert/subsume/join/compress/prune calls, cache hits vs. search
+//!   fallbacks, interner size, peak set widths) that the engine snapshots
+//!   into its per-run statistics;
+//! * [`SharedTables`] — the bundle of all three, carried by
+//!   [`crate::ShapeCtx`] behind an `Arc` so the engine worklist, the
+//!   scoped-thread fan-out path and the progressive L1→L2→L3 driver all
+//!   share one table set.
+//!
+//! Everything is guarded by `std::sync` primitives (the build environment
+//! has no registry access for `parking_lot`); contention is negligible
+//! because the critical sections are single hash-map operations.
+
+use crate::canon::canonical_bytes;
+use crate::graph::Rsg;
+use crate::subsume::subsumes;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Compact identifier of an interned canonical form. Equal ids ⇔ equal
+/// canonical bytes ⇔ isomorphic graphs (within one [`Interner`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonId(pub u32);
+
+/// A constant-size structural summary of an RSG, derived only from
+/// isomorphism-invariant data so all graphs sharing a [`CanonId`] share the
+/// fingerprint.
+///
+/// The `*_bloom` fields are 64-bit Bloom filters (one hash, one bit per
+/// element). Bloom containment is implied by set containment, so the
+/// subset checks in [`Fingerprint::may_subsume`] stay *necessary*
+/// conditions: a `false` answer proves `subsumes` would return `false`,
+/// while `true` means "run the real search".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fingerprint {
+    /// Exact hash of the ordered pvar domain (`PL` keys). Subsumption
+    /// requires identical domains.
+    dom_hash: u64,
+    /// Bloom over `(TYPE, TOUCH)` of every node. An embedding maps each
+    /// specific node onto a general node with equal type and touch set.
+    node_bloom: u64,
+    /// Bloom over `(TYPE, TOUCH)` of summary nodes only: a specific
+    /// summary node needs a general *summary* host.
+    summary_bloom: u64,
+    /// Bloom over the selector ids occurring on NL links: every specific
+    /// link needs a same-selector general link.
+    link_bloom: u64,
+    /// Bloom over `(var, value)` scalar facts: every fact the general
+    /// graph promises must hold in the specific graph.
+    scalar_bloom: u64,
+    /// Node count.
+    num_nodes: u32,
+    /// Summary-node count. With zero general summary nodes the embedding
+    /// is injective, so the specific graph cannot be larger.
+    num_summary: u32,
+}
+
+fn mix(h: u64) -> u64 {
+    // splitmix64 finalizer: cheap, well-distributed.
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn bloom_bit(h: u64) -> u64 {
+    1u64 << (mix(h) & 63)
+}
+
+impl Fingerprint {
+    /// Compute the fingerprint of a graph.
+    pub fn of(g: &Rsg) -> Fingerprint {
+        let mut fp = Fingerprint::default();
+        let mut dom: u64 = 0xcbf2_9ce4_8422_2325;
+        for (p, _) in g.pl_iter() {
+            dom = mix(dom ^ (p.0 as u64 + 1));
+        }
+        fp.dom_hash = dom;
+        for n in g.node_ids() {
+            let nd = g.node(n);
+            let mut key = nd.ty.0 as u64 + 1;
+            for t in nd.touch.iter() {
+                key = mix(key ^ (t.0 as u64 + 0x1000));
+            }
+            fp.node_bloom |= bloom_bit(key);
+            fp.num_nodes += 1;
+            if nd.summary {
+                fp.summary_bloom |= bloom_bit(key);
+                fp.num_summary += 1;
+            }
+        }
+        for (_, s, _) in g.links() {
+            fp.link_bloom |= bloom_bit(s.0 as u64 + 0x2000);
+        }
+        for (v, k) in g.scalars() {
+            fp.scalar_bloom |= bloom_bit(mix(*v as u64 + 0x3000) ^ *k as u64);
+        }
+        fp
+    }
+
+    /// Necessary condition for `subsumes(general, specific)`: `false`
+    /// proves the embedding search would fail, `true` is inconclusive.
+    pub fn may_subsume(general: &Fingerprint, specific: &Fingerprint) -> bool {
+        // Pvar domains must agree exactly.
+        general.dom_hash == specific.dom_hash
+            // Every specific (TYPE, TOUCH) class needs a general host.
+            && specific.node_bloom & !general.node_bloom == 0
+            // Specific summary nodes need general summary hosts.
+            && specific.summary_bloom & !general.summary_bloom == 0
+            // Every specific link selector must exist in the general graph.
+            && specific.link_bloom & !general.link_bloom == 0
+            // Every general scalar promise must hold in the specific graph.
+            && general.scalar_bloom & !specific.scalar_bloom == 0
+            // Without summary hosts the embedding is injective.
+            && (general.num_summary > 0 || specific.num_nodes <= general.num_nodes)
+    }
+}
+
+/// One interned canonical form: the id, the shared serialized bytes and the
+/// precomputed fingerprint. Cloning is two `Arc` bumps and a `memcpy`.
+#[derive(Debug, Clone)]
+pub struct CanonEntry {
+    /// Compact id, unique per canonical form within one interner.
+    pub id: CanonId,
+    /// The canonical serialization (shared, immutable).
+    pub bytes: Arc<[u8]>,
+    /// Structural summary for subsumption pre-filtering.
+    pub fp: Fingerprint,
+}
+
+#[derive(Debug, Default)]
+struct InternerInner {
+    map: HashMap<Arc<[u8]>, u32>,
+    entries: Vec<(Arc<[u8]>, Fingerprint)>,
+}
+
+/// Run-wide hash-consing table for canonical forms.
+#[derive(Debug, Default)]
+pub struct Interner {
+    inner: Mutex<InternerInner>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A panicking worker thread must not wedge the whole analysis: the
+    // tables hold plain data that stays consistent per operation.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Intern a graph: serialize to canonical form, return the existing
+    /// entry or mint a fresh id. `metrics` records hit/miss and time.
+    pub fn intern(&self, g: &Rsg, metrics: &OpMetrics) -> CanonEntry {
+        let start = Instant::now();
+        let bytes = canonical_bytes(g);
+        let entry = {
+            let mut inner = lock(&self.inner);
+            if let Some(&id) = inner.map.get(bytes.as_slice()) {
+                metrics.intern_hits.fetch_add(1, Ordering::Relaxed);
+                let (arc, fp) = &inner.entries[id as usize];
+                CanonEntry {
+                    id: CanonId(id),
+                    bytes: arc.clone(),
+                    fp: *fp,
+                }
+            } else {
+                metrics.intern_misses.fetch_add(1, Ordering::Relaxed);
+                let id = inner.entries.len() as u32;
+                let fp = Fingerprint::of(g);
+                let arc: Arc<[u8]> = bytes.into();
+                inner.entries.push((arc.clone(), fp));
+                inner.map.insert(arc.clone(), id);
+                CanonEntry {
+                    id: CanonId(id),
+                    bytes: arc,
+                    fp,
+                }
+            }
+        };
+        metrics
+            .intern_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        entry
+    }
+
+    /// Number of distinct canonical forms interned so far.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).entries.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The canonical bytes of an interned id.
+    ///
+    /// # Panics
+    /// If `id` was not minted by this interner.
+    pub fn bytes(&self, id: CanonId) -> Arc<[u8]> {
+        lock(&self.inner).entries[id.0 as usize].0.clone()
+    }
+
+    /// The fingerprint of an interned id.
+    ///
+    /// # Panics
+    /// If `id` was not minted by this interner.
+    pub fn fingerprint(&self, id: CanonId) -> Fingerprint {
+        lock(&self.inner).entries[id.0 as usize].1
+    }
+}
+
+/// Memo table for subsumption queries between interned forms.
+#[derive(Debug, Default)]
+pub struct SubsumeCache {
+    map: Mutex<HashMap<u64, bool>>,
+}
+
+fn pair_key(a: CanonId, b: CanonId) -> u64 {
+    ((a.0 as u64) << 32) | b.0 as u64
+}
+
+impl SubsumeCache {
+    /// An empty cache.
+    pub fn new() -> SubsumeCache {
+        SubsumeCache::default()
+    }
+
+    /// The memoized answer for `subsumes(general, specific)`, if any.
+    pub fn lookup(&self, general: CanonId, specific: CanonId) -> Option<bool> {
+        lock(&self.map).get(&pair_key(general, specific)).copied()
+    }
+
+    /// Record an answer.
+    pub fn store(&self, general: CanonId, specific: CanonId, value: bool) {
+        lock(&self.map).insert(pair_key(general, specific), value);
+    }
+
+    /// Number of memoized pairs.
+    pub fn len(&self) -> usize {
+        lock(&self.map).len()
+    }
+
+    /// True when no pair has been memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+macro_rules! op_metrics {
+    ($(#[$sdoc:meta])* struct, snapshot: $(#[$ssdoc:meta])* snapstruct,
+     $( $(#[$doc:meta])* $field:ident ),+ $(,)?) => {
+        $(#[$sdoc])*
+        #[derive(Debug, Default)]
+        pub struct OpMetrics {
+            $( $(#[$doc])* pub $field: AtomicU64, )+
+        }
+
+        $(#[$ssdoc])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct OpStats {
+            $( $(#[$doc])* pub $field: u64, )+
+        }
+
+        impl OpMetrics {
+            /// A point-in-time copy of every counter.
+            pub fn snapshot(&self) -> OpStats {
+                OpStats {
+                    $( $field: self.$field.load(Ordering::Relaxed), )+
+                }
+            }
+        }
+
+        impl OpStats {
+            /// Counter-wise difference `self - earlier` (gauges excluded;
+            /// see [`OpStats::delta`] for the fixups).
+            fn delta_raw(&self, earlier: &OpStats) -> OpStats {
+                OpStats {
+                    $( $field: self.$field.saturating_sub(earlier.$field), )+
+                }
+            }
+        }
+    };
+}
+
+op_metrics! {
+    /// Atomic op-level counters for one analysis run (or several runs
+    /// sharing tables, in the progressive driver). All counters use
+    /// relaxed ordering: they are statistics, not synchronization.
+    struct,
+    snapshot:
+    /// Plain-data snapshot of [`OpMetrics`], also used as a delta between
+    /// two snapshots. `*_ns` fields are cumulative nanoseconds; `peak_*`
+    /// and `interner_*` fields are gauges.
+    snapstruct,
+    /// `Rsrsg::insert` calls.
+    insert_calls,
+    /// Candidates dropped because their canonical id was already a member.
+    insert_dups,
+    /// Candidates dropped because an existing member subsumes them.
+    insert_subsumed,
+    /// Members replaced because the candidate subsumes them.
+    insert_replaced,
+    /// `Rsrsg::push_raw` calls.
+    push_raw_calls,
+    /// Subsumption queries issued (cached or not).
+    subsume_queries,
+    /// Queries answered from the memo table.
+    subsume_cache_hits,
+    /// Queries rejected by the fingerprint pre-filter (no search run).
+    subsume_prefilter_rejects,
+    /// Queries that fell through to the backtracking embedding search.
+    subsume_searches,
+    /// JOIN operations performed by insertion and widening.
+    join_calls,
+    /// COMPRESS operations.
+    compress_calls,
+    /// PRUNE operations.
+    prune_calls,
+    /// DIVIDE operations.
+    divide_calls,
+    /// Materializations (focus steps).
+    materialize_calls,
+    /// Forced joins performed by the widening operator.
+    widen_forced_joins,
+    /// Union operations between RSRSGs.
+    union_calls,
+    /// Canonicalization lookups that found an existing entry.
+    intern_hits,
+    /// Canonicalization lookups that minted a fresh entry.
+    intern_misses,
+    /// Gauge: distinct canonical forms interned (set at snapshot time).
+    interner_size,
+    /// Gauge: memoized subsumption pairs (set at snapshot time).
+    cache_size,
+    /// Gauge: widest RSRSG (graph count) seen by any insert.
+    peak_set_width,
+    /// Nanoseconds spent canonicalizing + interning.
+    intern_ns,
+    /// Nanoseconds spent in subsumption (pre-filter, memo and search).
+    subsume_ns,
+    /// Nanoseconds spent in JOIN + the COMPRESS that follows it.
+    join_ns,
+    /// Nanoseconds spent in COMPRESS during insertion.
+    compress_ns,
+}
+
+impl OpMetrics {
+    /// Raise `peak_set_width` to at least `width`.
+    pub fn observe_width(&self, width: usize) {
+        self.peak_set_width
+            .fetch_max(width as u64, Ordering::Relaxed);
+    }
+}
+
+impl OpStats {
+    /// The difference between two snapshots, with gauge fields
+    /// (`interner_size`, `cache_size`, `peak_set_width`) taken from the
+    /// later snapshot instead of subtracted.
+    pub fn delta(&self, earlier: &OpStats) -> OpStats {
+        let mut d = self.delta_raw(earlier);
+        d.interner_size = self.interner_size;
+        d.cache_size = self.cache_size;
+        d.peak_set_width = self.peak_set_width;
+        d
+    }
+
+    /// Fraction of subsumption queries answered without the backtracking
+    /// search (memo hits + pre-filter rejects); 0.0 when none were issued.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.subsume_queries == 0 {
+            return 0.0;
+        }
+        (self.subsume_cache_hits + self.subsume_prefilter_rejects) as f64
+            / self.subsume_queries as f64
+    }
+
+    /// Fraction of queries answered from the memo table alone.
+    pub fn memo_hit_rate(&self) -> f64 {
+        if self.subsume_queries == 0 {
+            return 0.0;
+        }
+        self.subsume_cache_hits as f64 / self.subsume_queries as f64
+    }
+}
+
+/// The run-wide bundle: interner + subsumption memo + metrics, shared by
+/// every RSRSG operation of an analysis via [`crate::ShapeCtx`].
+#[derive(Debug)]
+pub struct SharedTables {
+    /// Canonical-form interner.
+    pub interner: Interner,
+    /// Subsumption memo table.
+    pub cache: SubsumeCache,
+    /// Op-level counters.
+    pub metrics: OpMetrics,
+    cache_enabled: bool,
+}
+
+impl Default for SharedTables {
+    fn default() -> Self {
+        SharedTables::new()
+    }
+}
+
+impl SharedTables {
+    /// Tables with memoization and pre-filtering enabled (the default).
+    pub fn new() -> SharedTables {
+        SharedTables {
+            interner: Interner::new(),
+            cache: SubsumeCache::new(),
+            metrics: OpMetrics::default(),
+            cache_enabled: true,
+        }
+    }
+
+    /// Tables that intern (storage still needs ids) but answer every
+    /// subsumption query with the raw backtracking search — the reference
+    /// behaviour the differential regression suite compares against.
+    pub fn without_cache() -> SharedTables {
+        SharedTables {
+            cache_enabled: false,
+            ..SharedTables::new()
+        }
+    }
+
+    /// Is memoization/pre-filtering active?
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// `subsumes(general, specific)` through the fingerprint pre-filter
+    /// and memo table. With the cache disabled this is exactly the raw
+    /// search (plus counters), which is what makes cache-on/cache-off runs
+    /// comparable bit-for-bit.
+    pub fn subsumes_interned(
+        &self,
+        general: (&CanonEntry, &Rsg),
+        specific: (&CanonEntry, &Rsg),
+    ) -> bool {
+        let m = &self.metrics;
+        m.subsume_queries.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let result = if !self.cache_enabled {
+            m.subsume_searches.fetch_add(1, Ordering::Relaxed);
+            subsumes(general.1, specific.1)
+        } else if let Some(hit) = self.cache.lookup(general.0.id, specific.0.id) {
+            m.subsume_cache_hits.fetch_add(1, Ordering::Relaxed);
+            hit
+        } else if !Fingerprint::may_subsume(&general.0.fp, &specific.0.fp) {
+            m.subsume_prefilter_rejects.fetch_add(1, Ordering::Relaxed);
+            false
+        } else {
+            m.subsume_searches.fetch_add(1, Ordering::Relaxed);
+            let r = subsumes(general.1, specific.1);
+            self.cache.store(general.0.id, specific.0.id, r);
+            r
+        };
+        m.subsume_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        result
+    }
+
+    /// Snapshot every counter, refreshing the size gauges first.
+    pub fn snapshot(&self) -> OpStats {
+        self.metrics
+            .interner_size
+            .store(self.interner.len() as u64, Ordering::Relaxed);
+        self.metrics
+            .cache_size
+            .store(self.cache.len() as u64, Ordering::Relaxed);
+        self.metrics.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use psa_cfront::types::SelectorId;
+    use psa_ir::PvarId;
+
+    fn sll(n: usize) -> Rsg {
+        builder::singly_linked_list(n, 2, PvarId(0), SelectorId(0))
+    }
+
+    #[test]
+    fn interning_dedups_isomorphic_graphs() {
+        let t = SharedTables::new();
+        let a = t.interner.intern(&sll(3), &t.metrics);
+        let b = t.interner.intern(&sll(3), &t.metrics);
+        let c = t.interner.intern(&sll(4), &t.metrics);
+        assert_eq!(a.id, b.id);
+        assert_ne!(a.id, c.id);
+        assert_eq!(t.interner.len(), 2);
+        assert_eq!(a.bytes, b.bytes);
+        let snap = t.snapshot();
+        assert_eq!(snap.intern_hits, 1);
+        assert_eq!(snap.intern_misses, 2);
+        assert_eq!(snap.interner_size, 2);
+    }
+
+    #[test]
+    fn interned_bytes_match_canonical_bytes() {
+        let t = SharedTables::new();
+        let g = sll(5);
+        let e = t.interner.intern(&g, &t.metrics);
+        assert_eq!(&e.bytes[..], canonical_bytes(&g).as_slice());
+        assert_eq!(t.interner.bytes(e.id), e.bytes);
+        assert_eq!(t.interner.fingerprint(e.id), e.fp);
+    }
+
+    #[test]
+    fn fingerprint_prefilter_is_necessary_not_sufficient() {
+        // Different domains: prefilter must reject, matching subsumes.
+        let a = builder::singly_linked_list(3, 2, PvarId(0), SelectorId(0));
+        let b = builder::singly_linked_list(3, 2, PvarId(1), SelectorId(0));
+        let fa = Fingerprint::of(&a);
+        let fb = Fingerprint::of(&b);
+        assert!(!Fingerprint::may_subsume(&fa, &fb));
+        assert!(!subsumes(&a, &b));
+        // Equal graphs: prefilter passes and subsumes agrees.
+        assert!(Fingerprint::may_subsume(&fa, &fa));
+        assert!(subsumes(&a, &a));
+    }
+
+    #[test]
+    fn prefilter_never_rejects_true_subsumption() {
+        use crate::compress::compress;
+        use crate::{Level, ShapeCtx};
+        let ctx = ShapeCtx::synthetic(2, 2);
+        for n in [1usize, 2, 3, 5, 8] {
+            let g = sll(n);
+            let c = compress(&g, &ctx, Level::L1);
+            if subsumes(&c, &g) {
+                assert!(
+                    Fingerprint::may_subsume(&Fingerprint::of(&c), &Fingerprint::of(&g)),
+                    "prefilter rejected a true subsumption (n = {n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subsume_cache_memoizes() {
+        let t = SharedTables::new();
+        let g = sll(3);
+        let e = t.interner.intern(&g, &t.metrics);
+        assert!(t.subsumes_interned((&e, &g), (&e, &g)));
+        assert_eq!(t.cache.lookup(e.id, e.id), Some(true));
+        // Second query: a memo hit, no new search.
+        assert!(t.subsumes_interned((&e, &g), (&e, &g)));
+        let s = t.snapshot();
+        assert_eq!(s.subsume_queries, 2);
+        assert_eq!(s.subsume_searches, 1);
+        assert_eq!(s.subsume_cache_hits, 1);
+        assert!(s.cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn disabled_cache_always_searches() {
+        let t = SharedTables::without_cache();
+        assert!(!t.cache_enabled());
+        let g = sll(3);
+        let e = t.interner.intern(&g, &t.metrics);
+        assert!(t.subsumes_interned((&e, &g), (&e, &g)));
+        assert!(t.subsumes_interned((&e, &g), (&e, &g)));
+        let s = t.snapshot();
+        assert_eq!(s.subsume_searches, 2);
+        assert_eq!(s.subsume_cache_hits, 0);
+        assert!(t.cache.is_empty());
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters_keeps_gauges() {
+        let t = SharedTables::new();
+        let g = sll(2);
+        let e = t.interner.intern(&g, &t.metrics);
+        let first = t.snapshot();
+        let _ = t.subsumes_interned((&e, &g), (&e, &g));
+        t.metrics.observe_width(7);
+        let second = t.snapshot();
+        let d = second.delta(&first);
+        assert_eq!(d.subsume_queries, 1);
+        assert_eq!(d.interner_size, 1, "gauge comes from the later snapshot");
+        assert_eq!(d.peak_set_width, 7);
+    }
+}

@@ -118,9 +118,13 @@ pub fn join(g1: &Rsg, g2: &Rsg, level: Level) -> Rsg {
     }
 
     // 2. Merge pairs: same-pvar targets always; then greedy C_NODES pairs.
-    let total = combined.node_ids().map(|n| n.0 as usize + 1).max().unwrap_or(0);
+    let total = combined
+        .node_ids()
+        .map(|n| n.0 as usize + 1)
+        .max()
+        .unwrap_or(0);
     let mut uf: Vec<usize> = (0..total).collect();
-    fn find(uf: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(uf: &mut [usize], mut x: usize) -> usize {
         while uf[x] != x {
             uf[x] = uf[uf[x]];
             x = uf[x];
@@ -136,7 +140,11 @@ pub fn join(g1: &Rsg, g2: &Rsg, level: Level) -> Rsg {
     };
     for (p, n1) in g1.pl_iter() {
         if let Some(n2) = g2.pl(p) {
-            union(&mut uf, m1[n1.0 as usize].unwrap(), m2[n2.0 as usize].unwrap());
+            union(
+                &mut uf,
+                m1[n1.0 as usize].unwrap(),
+                m2[n2.0 as usize].unwrap(),
+            );
         }
     }
     let sp1 = spath::spaths(g1);

@@ -32,6 +32,7 @@ pub mod ctx;
 pub mod divide;
 pub mod dot;
 pub mod graph;
+pub mod intern;
 pub mod join;
 pub mod materialize;
 pub mod node;
@@ -43,5 +44,6 @@ pub mod subsume;
 
 pub use ctx::{Level, ShapeCtx};
 pub use graph::Rsg;
+pub use intern::{CanonEntry, CanonId, OpStats, SharedTables};
 pub use node::{Node, NodeId};
 pub use sets::{CycleSet, SelSet, TouchSet};

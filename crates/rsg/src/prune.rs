@@ -165,7 +165,10 @@ mod tests {
         let a = g.add_fresh(StructId(0));
         g.set_pl(PvarId(0), a);
         g.node_mut(a).set_must_out(sel(0));
-        assert!(prune(&g).is_none(), "pvar-pointed node pruned => graph impossible");
+        assert!(
+            prune(&g).is_none(),
+            "pvar-pointed node pruned => graph impossible"
+        );
     }
 
     #[test]
@@ -217,10 +220,7 @@ mod tests {
         // n3 not shared by sel0.
         assert!(!g.node(n3).shsel.contains(sel(0)));
         let p = prune(&g).expect("consistent");
-        let n3_live: Vec<_> = p
-            .node_ids()
-            .filter(|&n| p.in_links(n).len() == 1)
-            .collect();
+        let n3_live: Vec<_> = p.node_ids().filter(|&n| p.in_links(n).len() == 1).collect();
         assert_eq!(p.num_links(), 1);
         assert!(!n3_live.is_empty());
         // The surviving link comes from n1 (the definite one).
@@ -263,7 +263,11 @@ mod tests {
         g.node_mut(n3).pos_selin.insert(sel(0));
         g.node_mut(n3).summary = true;
         let p = prune(&g).expect("consistent");
-        assert_eq!(p.num_links(), 2, "summary target may hold distinct locations");
+        assert_eq!(
+            p.num_links(),
+            2,
+            "summary target may hold distinct locations"
+        );
     }
 
     #[test]

@@ -17,15 +17,27 @@ pub fn node_line(g: &Rsg, ctx: &ShapeCtx, n: NodeId) -> String {
         if nd.summary { " (summary)" } else { "" }
     );
     let sel_names = |s: crate::sets::SelSet| -> String {
-        let v: Vec<&str> =
-            s.iter().map(|x| ctx.selector_names[x.0 as usize].as_str()).collect();
+        let v: Vec<&str> = s
+            .iter()
+            .map(|x| ctx.selector_names[x.0 as usize].as_str())
+            .collect();
         v.join(",")
     };
     if !nd.selin.is_empty() || !nd.pos_selin.is_empty() {
-        let _ = write!(out, " in[{};{}]", sel_names(nd.selin), sel_names(nd.pos_selin));
+        let _ = write!(
+            out,
+            " in[{};{}]",
+            sel_names(nd.selin),
+            sel_names(nd.pos_selin)
+        );
     }
     if !nd.selout.is_empty() || !nd.pos_selout.is_empty() {
-        let _ = write!(out, " out[{};{}]", sel_names(nd.selout), sel_names(nd.pos_selout));
+        let _ = write!(
+            out,
+            " out[{};{}]",
+            sel_names(nd.selout),
+            sel_names(nd.pos_selout)
+        );
     }
     if nd.shared {
         let _ = write!(out, " SHARED");
@@ -47,8 +59,11 @@ pub fn node_line(g: &Rsg, ctx: &ShapeCtx, n: NodeId) -> String {
         let _ = write!(out, " cyc{}", pairs.join(""));
     }
     if !nd.touch.is_empty() {
-        let names: Vec<&str> =
-            nd.touch.iter().map(|p| ctx.pvar_names[p.0 as usize].as_str()).collect();
+        let names: Vec<&str> = nd
+            .touch
+            .iter()
+            .map(|p| ctx.pvar_names[p.0 as usize].as_str())
+            .collect();
         let _ = write!(out, " touch[{}]", names.join(","));
     }
     out

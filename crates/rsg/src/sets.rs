@@ -290,7 +290,10 @@ mod tests {
         c.insert(s(1), s(0));
         assert_eq!(c.len(), 2);
         assert!(c.contains(s(0), s(1)));
-        assert_eq!(c.iter().collect::<Vec<_>>(), vec![(s(0), s(1)), (s(1), s(0))]);
+        assert_eq!(
+            c.iter().collect::<Vec<_>>(),
+            vec![(s(0), s(1)), (s(1), s(0))]
+        );
     }
 
     #[test]

@@ -153,6 +153,7 @@ pub fn subsumes(general: &Rsg, specific: &Rsg) -> bool {
         true
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn search(
         general: &Rsg,
         specific: &Rsg,
@@ -178,8 +179,17 @@ pub fn subsumes(general: &Rsg, specific: &Rsg) -> bool {
             }
             if consistent(general, specific, s_ids, assign, idx, gn, index_of) {
                 assign[idx] = Some(gn);
-                if search(general, specific, s_ids, cand, order, assign, depth + 1, index_of, budget)
-                {
+                if search(
+                    general,
+                    specific,
+                    s_ids,
+                    cand,
+                    order,
+                    assign,
+                    depth + 1,
+                    index_of,
+                    budget,
+                ) {
                     return true;
                 }
                 assign[idx] = None;
@@ -248,7 +258,10 @@ mod tests {
         );
         for n in [4, 5, 6, 9] {
             let concrete = builder::singly_linked_list(n, 1, PvarId(0), sel(0));
-            assert!(subsumes(&summary, &concrete), "summary must cover length {n}");
+            assert!(
+                subsumes(&summary, &concrete),
+                "summary must cover length {n}"
+            );
         }
         // But not the 1-element list (its node has no out-link while every
         // summary path requires the head to point onward).
@@ -265,7 +278,10 @@ mod tests {
             Level::L1,
         );
         let concrete = builder::singly_linked_list(4, 1, PvarId(0), sel(0));
-        assert!(!subsumes(&concrete, &summary), "a concrete list cannot cover a summary");
+        assert!(
+            !subsumes(&concrete, &summary),
+            "a concrete list cannot cover a summary"
+        );
     }
 
     #[test]
@@ -308,7 +324,10 @@ mod tests {
         spec.node_mut(b1).set_must_out(sel(0));
         spec.node_mut(b2).set_must_in(sel(0));
         assert!(subsumes(&gen, &spec));
-        assert!(!subsumes(&spec, &gen), "must-out promise cannot cover a maybe");
+        assert!(
+            !subsumes(&spec, &gen),
+            "must-out promise cannot cover a maybe"
+        );
     }
 
     #[test]
@@ -318,8 +337,14 @@ mod tests {
         for n in weak.node_ids().collect::<Vec<_>>() {
             weak.node_mut(n).cyclelinks = crate::sets::CycleSet::new();
         }
-        assert!(subsumes(&weak, &dll), "promising fewer cycle pairs is weaker");
-        assert!(!subsumes(&dll, &weak), "cycle promises cannot cover their absence");
+        assert!(
+            subsumes(&weak, &dll),
+            "promising fewer cycle pairs is weaker"
+        );
+        assert!(
+            !subsumes(&dll, &weak),
+            "cycle promises cannot cover their absence"
+        );
     }
 
     #[test]

@@ -47,8 +47,8 @@ int main() {
 "#;
 
 fn main() {
-    let analyzer = Analyzer::new(SRC, AnalysisOptions::at_level(Level::L1))
-        .expect("program lowers");
+    let analyzer =
+        Analyzer::new(SRC, AnalysisOptions::at_level(Level::L1)).expect("program lowers");
     let result = analyzer.run().expect("analysis converges");
     let annotations = loop_annotations(analyzer.ir(), &result);
     println!("{}", annotate_source(SRC, &annotations));
@@ -57,6 +57,12 @@ fn main() {
         .iter()
         .filter(|a| a.text.contains("PARALLELIZABLE"))
         .count();
-    println!("/* {parallel} of {} loops proven parallelizable */", annotations.len());
-    assert!(parallel >= 3, "builders and the scaling traversals are independent");
+    println!(
+        "/* {parallel} of {} loops proven parallelizable */",
+        annotations.len()
+    );
+    assert!(
+        parallel >= 3,
+        "builders and the scaling traversals are independent"
+    );
 }

@@ -17,12 +17,10 @@ use psa::codes::{barnes_hut, Sizes};
 use psa::core::api::{AnalysisOptions, Analyzer};
 use psa::core::progressive::Goal;
 use psa::core::{parallel, queries};
-use psa::rsg::Level;
 
 fn main() {
     let src = barnes_hut(Sizes::default());
-    let analyzer =
-        Analyzer::new(&src, AnalysisOptions::progressive()).expect("Barnes-Hut lowers");
+    let analyzer = Analyzer::new(&src, AnalysisOptions::progressive()).expect("Barnes-Hut lowers");
     let ir = analyzer.ir();
     let lbodies = ir.pvar_id("Lbodies").unwrap();
     let body_sel = ir.types.selector_id("body").unwrap();
@@ -37,8 +35,13 @@ fn main() {
         .expect("force loop");
 
     let goals = vec![
-        Goal::NotShselInRegion { pvar: lbodies, sel: body_sel },
-        Goal::LoopParallel { loop_id: force_loop },
+        Goal::NotShselInRegion {
+            pvar: lbodies,
+            sel: body_sel,
+        },
+        Goal::LoopParallel {
+            loop_id: force_loop,
+        },
     ];
     println!("running progressive analysis with goals:");
     for g in &goals {

@@ -32,7 +32,10 @@ fn main() {
 
     // Fig. 1(b,c): DIVIDE on (x, nxt) + PRUNE.
     let parts = divide(&g, x, nxt);
-    println!("== Fig. 1(b,c): division into {} graphs, pruned:", parts.len());
+    println!(
+        "== Fig. 1(b,c): division into {} graphs, pruned:",
+        parts.len()
+    );
     for (i, p) in parts.iter().enumerate() {
         println!("-- rsg''{}:", i + 1);
         println!("{}", dot::rsg_to_dot(p, &ctx, &format!("fig1c_{i}")));
@@ -51,7 +54,10 @@ fn main() {
     let tcx = TransferCtx::new(&ctx, Level::L1, &[]);
     let mut stats = AnalysisStats::default();
     let out = transfer_one(&g, &PtrStmt::StoreNil(x, nxt), &tcx, &mut stats);
-    println!("== Fig. 1(e): final graphs after x->nxt = NULL ({} graphs):", out.len());
+    println!(
+        "== Fig. 1(e): final graphs after x->nxt = NULL ({} graphs):",
+        out.len()
+    );
     for (i, p) in out.iter().enumerate() {
         println!("-- rsg{}:", i + 1);
         println!("{}", dot::rsg_to_dot(p, &ctx, &format!("fig1e_{i}")));

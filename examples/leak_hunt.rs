@@ -40,8 +40,7 @@ int main() {
 "#;
 
 fn main() {
-    let analyzer =
-        Analyzer::new(LEAKY, AnalysisOptions::default()).expect("program lowers");
+    let analyzer = Analyzer::new(LEAKY, AnalysisOptions::default()).expect("program lowers");
     let result = analyzer.run().expect("analysis converges");
 
     let report = leak_report(analyzer.ir(), &result);
@@ -56,7 +55,10 @@ fn main() {
         "dropping the build cursor orphans the chain: {report}"
     );
     assert!(
-        !report.leaks.iter().any(|l| l.rendered.contains("list = tmp")),
+        !report
+            .leaks
+            .iter()
+            .any(|l| l.rendered.contains("list = tmp")),
         "the traversal itself leaks nothing while p is alive"
     );
     println!("\n(`p = NULL` drops the last reference — no free() anywhere)");

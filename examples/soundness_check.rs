@@ -20,7 +20,10 @@ fn main() {
         ("list(12) x2 passes".into(), generators::list_program(12, 2)),
         ("dll(10)".into(), generators::dll_program(10)),
         ("tree(10)".into(), generators::tree_program(10)),
-        ("list-of-lists(4x3)".into(), generators::list_of_lists_program(4, 3)),
+        (
+            "list-of-lists(4x3)".into(),
+            generators::list_of_lists_program(4, 3),
+        ),
         ("sparse matvec (tiny)".into(), sparse_matvec(Sizes::tiny())),
     ];
 
@@ -32,7 +35,11 @@ fn main() {
                 rep.runs,
                 rep.checked_points,
                 rep.crashed_runs,
-                if rep.is_sound() { "SOUND" } else { "VIOLATIONS" }
+                if rep.is_sound() {
+                    "SOUND"
+                } else {
+                    "VIOLATIONS"
+                }
             );
             for v in &rep.violations {
                 println!("    {v}");

@@ -26,12 +26,18 @@ fn main() {
         ..Budget::default()
     };
     println!("Table 1 reproduction (budget {budget_mb} MB structural bytes)\n");
-    println!("{:<12} {:>4} {:>12} {:>12} {:>8} {:>7}", "code", "lvl", "time", "space", "iters", "graphs");
+    println!(
+        "{:<12} {:>4} {:>12} {:>12} {:>8} {:>7}",
+        "code", "lvl", "time", "space", "iters", "graphs"
+    );
 
     for (name, src) in table1_codes(Sizes::default()) {
         let analyzer = Analyzer::new(
             &src,
-            AnalysisOptions { budget, ..AnalysisOptions::default() },
+            AnalysisOptions {
+                budget,
+                ..AnalysisOptions::default()
+            },
         )
         .unwrap_or_else(|e| panic!("{name}: {e}"));
         for level in Level::ALL {

@@ -136,5 +136,8 @@ fn stack_and_tree_regions_disjoint_from_bodies_list_spine() {
     let lbodies = ir.pvar_id("Lbodies").unwrap();
     assert!(!queries::may_alias(&res.exit, root, lbodies));
     let top = ir.pvar_id("top").unwrap();
-    assert!(queries::always_null(&res.exit, top), "stack fully popped at exit");
+    assert!(
+        queries::always_null(&res.exit, top),
+        "stack fully popped at exit"
+    );
 }

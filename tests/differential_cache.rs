@@ -1,0 +1,127 @@
+//! Differential regression suite for the subsumption cache (ISSUE
+//! satellite): the memoized/pre-filtered subsumption path must be
+//! *observationally identical* to the raw backtracking search. Random
+//! programs are analyzed twice — cache on and cache off — and every
+//! per-statement RSRSG must have bit-identical canonical signatures.
+//!
+//! Signatures are canonical bytes (content-compared `Arc<[u8]>`s), so the
+//! comparison is independent of which interner minted them.
+
+use psa::codes::generators::{dll_program, random_program};
+use psa::core::engine::{Engine, EngineConfig};
+use psa::ir::lower_main;
+use psa::rsg::Level;
+
+fn run_pair(src: &str, level: Level) {
+    let (p, t) = psa::cfront::parse_and_type(src).expect("generated program parses");
+    let ir = lower_main(&p, &t).expect("generated program lowers");
+    let cached = Engine::new(
+        &ir,
+        EngineConfig {
+            level,
+            subsume_cache: true,
+            ..Default::default()
+        },
+    )
+    .run();
+    let raw = Engine::new(
+        &ir,
+        EngineConfig {
+            level,
+            subsume_cache: false,
+            ..Default::default()
+        },
+    )
+    .run();
+    match (cached, raw) {
+        (Ok(c), Ok(r)) => {
+            assert!(
+                c.exit.same_as(&r.exit),
+                "exit RSRSG diverged at {level}\nprogram:\n{src}"
+            );
+            for (i, (a, b)) in c.after_stmt.iter().zip(&r.after_stmt).enumerate() {
+                assert_eq!(
+                    a.signature(),
+                    b.signature(),
+                    "statement {i} RSRSG diverged at {level}\nprogram:\n{src}"
+                );
+            }
+            for (a, b) in c.block_in.iter().zip(&r.block_in) {
+                assert!(a.same_as(b), "block input diverged at {level}");
+            }
+            // The cached run must actually have exercised the cache paths
+            // the raw run bypassed.
+            assert_eq!(r.stats.ops.subsume_cache_hits, 0);
+            assert_eq!(r.stats.ops.subsume_prefilter_rejects, 0);
+            assert_eq!(
+                c.stats.ops.subsume_queries, r.stats.ops.subsume_queries,
+                "same fixed point must issue the same queries"
+            );
+        }
+        (Err(ce), Err(re)) => assert_eq!(ce, re, "both runs must fail identically"),
+        (c, r) => panic!(
+            "cache-on and cache-off runs disagree on success: {:?} vs {:?}\nprogram:\n{src}",
+            c.map(|_| ()),
+            r.map(|_| ())
+        ),
+    }
+}
+
+#[test]
+fn random_programs_identical_with_and_without_cache_l1() {
+    for seed in 0u64..12 {
+        let src = random_program(seed, 20, 4);
+        run_pair(&src, Level::L1);
+    }
+}
+
+#[test]
+fn random_programs_identical_with_and_without_cache_l3() {
+    for seed in 0u64..6 {
+        let src = random_program(seed, 16, 3);
+        run_pair(&src, Level::L3);
+    }
+}
+
+#[test]
+fn dll_identical_with_and_without_cache_all_levels() {
+    let src = dll_program(8);
+    for level in Level::ALL {
+        run_pair(&src, level);
+    }
+}
+
+#[test]
+fn paper_codes_identical_with_and_without_cache() {
+    let sizes = psa::codes::Sizes::tiny();
+    for src in [
+        psa::codes::sparse_matvec(sizes),
+        psa::codes::sparse_lu(sizes),
+        psa::codes::barnes_hut(sizes),
+    ] {
+        run_pair(&src, Level::L1);
+    }
+}
+
+#[test]
+fn cached_run_actually_hits_the_cache() {
+    // A loopy program revisits blocks, so the same (general, specific)
+    // canonical pairs recur and must be answered from the memo table.
+    let src = dll_program(8);
+    let (p, t) = psa::cfront::parse_and_type(&src).unwrap();
+    let ir = lower_main(&p, &t).unwrap();
+    let res = Engine::new(&ir, EngineConfig::at_level(Level::L1))
+        .run()
+        .unwrap();
+    let ops = &res.stats.ops;
+    assert!(ops.subsume_queries > 0);
+    assert!(
+        ops.subsume_cache_hits + ops.subsume_prefilter_rejects > 0,
+        "fixed-point iteration must re-ask known pairs: {ops:?}"
+    );
+    assert!(
+        ops.cache_hit_rate() > 0.5,
+        "most queries should skip the search on a loopy program, got {:.2}",
+        ops.cache_hit_rate()
+    );
+}

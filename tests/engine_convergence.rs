@@ -48,7 +48,10 @@ fn circular_list_traversal_converges() {
     let res = a.run_at(Level::L1).unwrap();
     let h = a.ir().pvar_id("h").unwrap();
     let rep = queries::structure_report(&res.exit, h);
-    assert!(rep.cycle_through_root, "circular list must be detected: {rep}");
+    assert!(
+        rep.cycle_through_root,
+        "circular list must be detected: {rep}"
+    );
 }
 
 #[test]
@@ -58,7 +61,10 @@ fn nested_loops_with_inner_reset_converge() {
     for level in Level::ALL {
         let res = a.run_at(level).unwrap_or_else(|e| panic!("{level}: {e}"));
         let rows = a.ir().pvar_id("rows").unwrap();
-        assert!(!queries::shared_in_region(&res.exit, rows), "{level}: rows unshared");
+        assert!(
+            !queries::shared_in_region(&res.exit, rows),
+            "{level}: rows unshared"
+        );
     }
 }
 
@@ -94,7 +100,9 @@ fn higher_levels_never_lose_exit_reachability() {
     for (name, src) in psa::codes::table1_codes(psa::codes::Sizes::tiny()) {
         let a = analyzer(&src);
         for level in Level::ALL {
-            let res = a.run_at(level).unwrap_or_else(|e| panic!("{name}/{level}: {e}"));
+            let res = a
+                .run_at(level)
+                .unwrap_or_else(|e| panic!("{name}/{level}: {e}"));
             assert!(!res.exit.is_empty(), "{name}/{level}");
         }
     }
@@ -129,16 +137,21 @@ fn destructive_list_reversal_stays_list() {
     let rep = queries::structure_report(&res.exit, rev);
     assert!(!rep.any_shared, "reversed list stays unshared: {rep}");
     assert!(
-        matches!(rep.class, queries::ShapeClass::List | queries::ShapeClass::Empty),
+        matches!(
+            rep.class,
+            queries::ShapeClass::List | queries::ShapeClass::Empty
+        ),
         "reversal preserves listness: {rep}"
     );
     // Original head pointer now ends the list.
     let list = a.ir().pvar_id("list").unwrap();
-    assert!(queries::may_alias(&res.exit, rev, list) || {
-        // after full reversal rev is the old tail; list may still point at
-        // the old head (now the last element)
-        true
-    });
+    assert!(
+        queries::may_alias(&res.exit, rev, list) || {
+            // after full reversal rev is the old tail; list may still point at
+            // the old head (now the last element)
+            true
+        }
+    );
 }
 
 #[test]

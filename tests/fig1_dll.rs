@@ -19,7 +19,11 @@ fn fig1b_division_produces_two_graphs() {
     let parts = divide(&g, X, NXT);
     assert_eq!(parts.len(), 2);
     for p in &parts {
-        assert_eq!(p.succs(n1, NXT).len(), 1, "single x->nxt target per divided graph");
+        assert_eq!(
+            p.succs(n1, NXT).len(),
+            1,
+            "single x->nxt target per divided graph"
+        );
     }
 }
 
@@ -29,7 +33,10 @@ fn fig1c_pruning_matches_paper() {
     let parts = divide(&g, X, NXT);
 
     // rsg''1: the 3-node variant (x -> n1 -> summary n2 -> n3).
-    let three = parts.iter().find(|p| p.num_nodes() == 3).expect("3-node variant");
+    let three = parts
+        .iter()
+        .find(|p| p.num_nodes() == 3)
+        .expect("3-node variant");
     // "we can safely remove the link <n3, prv, n1>".
     assert!(!three.has_link(n3, PRV, n1));
     // The rest of the DLL skeleton survives.
@@ -41,7 +48,10 @@ fn fig1c_pruning_matches_paper() {
     // rsg''2: the 2-element variant. "<n2,nxt,n3> should be removed […]
     // this implies the elimination of <n3,prv,n2> […] node n2 cannot be
     // reached and is therefore removed."
-    let two = parts.iter().find(|p| p.num_nodes() == 2).expect("2-node variant");
+    let two = parts
+        .iter()
+        .find(|p| p.num_nodes() == 2)
+        .expect("2-node variant");
     assert!(!two.is_live(n2));
     assert!(two.has_link(n1, NXT, n3));
     assert!(two.has_link(n3, PRV, n1));
@@ -113,8 +123,7 @@ fn fig1_equivalent_from_source() {
             return 0;
         }
     "#;
-    let analyzer =
-        psa::core::Analyzer::new(src, psa::core::AnalysisOptions::default()).unwrap();
+    let analyzer = psa::core::Analyzer::new(src, psa::core::AnalysisOptions::default()).unwrap();
     let res = analyzer.run().unwrap();
     let ir = analyzer.ir();
     let list = ir.pvar_id("list").unwrap();

@@ -2,13 +2,12 @@
 //! reporting quality, and normalization fidelity on awkward-but-legal
 //! inputs.
 
-use psa::core::api::{AnalysisOptions, Analyzer};
 use psa::core::api::Error;
+use psa::core::api::{AnalysisOptions, Analyzer};
 use psa::rsg::Level;
 
 fn analyze(src: &str) -> Result<(), String> {
-    let a = Analyzer::new(src, AnalysisOptions::at_level(Level::L1))
-        .map_err(|e| e.to_string())?;
+    let a = Analyzer::new(src, AnalysisOptions::at_level(Level::L1)).map_err(|e| e.to_string())?;
     a.run().map(|_| ()).map_err(|e| e.to_string())
 }
 
@@ -130,16 +129,11 @@ fn errors_are_informative() {
     let e = analyze("struct a { struct nope *p; }; int main() { return 0; }").unwrap_err();
     assert!(e.contains("unknown struct"), "{e}");
     // Struct by value.
-    let e = analyze(
-        "struct a { int v; }; int main() { struct a x; return 0; }",
-    )
-    .unwrap_err();
+    let e = analyze("struct a { int v; }; int main() { struct a x; return 0; }").unwrap_err();
     assert!(e.contains("struct value") || e.contains("pointers"), "{e}");
     // Unknown call with pointer argument.
-    let e = analyze(
-        "struct a { struct a *n; }; int main() { struct a *p; frob(p); return 0; }",
-    )
-    .unwrap_err();
+    let e = analyze("struct a { struct a *n; }; int main() { struct a *p; frob(p); return 0; }")
+        .unwrap_err();
     assert!(e.contains("inline"), "{e}");
 }
 

@@ -1,0 +1,132 @@
+//! Golden tests pinning the canonical byte encoding (ISSUE satellite).
+//!
+//! The interner keys storage, duplicate detection and the subsumption memo
+//! on `canonical_bytes`, and the differential suites compare RSRSGs by
+//! those bytes across engines. An accidental change to the encoding would
+//! silently invalidate every persisted id and golden signature, so this
+//! suite pins an FNV-1a hash of the encoding for a small fixed corpus. If
+//! a test here fails after an *intentional* encoding change, regenerate the
+//! constants with `cargo test --test golden_canon -- --nocapture` (each
+//! failure prints the new hash) and mention the format break in DESIGN.md.
+
+use psa::ir::PvarId;
+use psa::rsg::canon::canonical_bytes;
+use psa::rsg::{builder, Rsg};
+use psa_cfront::types::SelectorId;
+
+/// FNV-1a, 64-bit: stable, dependency-free, good enough to pin bytes.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn check(name: &str, g: &Rsg, expected: u64) {
+    let bytes = canonical_bytes(g);
+    let got = fnv64(&bytes);
+    assert_eq!(
+        got,
+        expected,
+        "{name}: canonical encoding changed \
+         (got 0x{got:016x}, pinned 0x{expected:016x}, {} bytes)",
+        bytes.len()
+    );
+}
+
+const P0: PvarId = PvarId(0);
+const NXT: SelectorId = SelectorId(0);
+const PRV: SelectorId = SelectorId(1);
+
+#[test]
+fn golden_singly_linked_lists() {
+    check(
+        "sll(1)",
+        &builder::singly_linked_list(1, 2, P0, NXT),
+        0x2918a012a5414643,
+    );
+    check(
+        "sll(2)",
+        &builder::singly_linked_list(2, 2, P0, NXT),
+        0xdd4b54469129ee79,
+    );
+    check(
+        "sll(3)",
+        &builder::singly_linked_list(3, 2, P0, NXT),
+        0xf3ece9c69e105fde,
+    );
+}
+
+#[test]
+fn golden_circular_list() {
+    check(
+        "circ(3)",
+        &builder::circular_list(3, 2, P0, NXT),
+        0xad783ba353bec39f,
+    );
+}
+
+#[test]
+fn golden_doubly_linked_list() {
+    check(
+        "dll(3)",
+        &builder::doubly_linked_list(3, 2, P0, NXT, PRV),
+        0xeefba85efc0488a1,
+    );
+}
+
+#[test]
+fn golden_fig1_dll() {
+    let (g, _) = builder::fig1_dll(P0, 3, NXT, PRV);
+    check("fig1", &g, 0xf86a52783ac33876);
+}
+
+#[test]
+fn golden_binary_tree() {
+    check(
+        "tree(2)",
+        &builder::binary_tree(2, 2, P0, NXT, PRV),
+        0x98ef7d2895e6b6ad,
+    );
+}
+
+#[test]
+fn golden_shared_hub() {
+    // Two list heads converging on one shared hub node — exercises the
+    // shared/touch encoding that plain lists do not.
+    let mut g = builder::singly_linked_list(2, 3, P0, NXT);
+    let hub = g.pl(P0).unwrap();
+    let spoke = builder::singly_linked_list(2, 3, PvarId(1), NXT);
+    let mut map = std::collections::BTreeMap::new();
+    for n in spoke.node_ids() {
+        map.insert(n, g.add_node(spoke.node(n).clone()));
+    }
+    for (a, s, b) in spoke.links() {
+        g.add_link(map[&a], s, map[&b]);
+    }
+    g.set_pl(PvarId(1), map[&spoke.pl(PvarId(1)).unwrap()]);
+    // Point the tail of the second list at the first list's head.
+    let tail = map[&spoke.node_ids().last().unwrap()];
+    g.add_link(tail, NXT, hub);
+    g.node_mut(tail).pos_selout.insert(NXT);
+    g.node_mut(hub).pos_selin.insert(NXT);
+    check("hub", &g, 0x8dae4b535b1bb4e7);
+}
+
+#[test]
+fn golden_empty_graph() {
+    check("empty", &Rsg::empty(2), 0x61a576248d9a487d);
+}
+
+#[test]
+fn encoding_depends_on_pvar_bindings() {
+    // Sanity for the pins above: moving a pvar changes the bytes even when
+    // the underlying store graph is identical.
+    let a = builder::singly_linked_list(2, 2, P0, NXT);
+    let mut b = a.clone();
+    let head = b.pl(P0).unwrap();
+    b.set_pl(PvarId(1), head);
+    assert_ne!(fnv64(&canonical_bytes(&a)), fnv64(&canonical_bytes(&b)));
+}

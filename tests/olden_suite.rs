@@ -30,8 +30,14 @@ fn treeadd_inlines_and_stays_tree() {
     let rep = queries::structure_report(&res.exit, root);
     let l = ir.types.selector_id("l").unwrap();
     let r = ir.types.selector_id("r").unwrap();
-    assert!(!rep.shared_selectors.contains(l), "left children unshared: {rep}");
-    assert!(!rep.shared_selectors.contains(r), "right children unshared: {rep}");
+    assert!(
+        !rep.shared_selectors.contains(l),
+        "left children unshared: {rep}"
+    );
+    assert!(
+        !rep.shared_selectors.contains(r),
+        "right children unshared: {rep}"
+    );
 
     // Right after construction (before the stack walk touches it), the
     // structure is a clean unshared tree: inspect the RSRSG at the last
@@ -39,9 +45,11 @@ fn treeadd_inlines_and_stays_tree() {
     let walk_start = ir
         .stmts
         .iter()
-        .position(|st| matches!(&st.stmt, psa::ir::Stmt::Ptr(psa::ir::PtrStmt::Malloc(p, t))
+        .position(|st| {
+            matches!(&st.stmt, psa::ir::Stmt::Ptr(psa::ir::PtrStmt::Malloc(p, t))
             if ir.pvar_name(*p) == "top"
-                && ir.types.struct_info(*t).name == "stk"))
+                && ir.types.struct_info(*t).name == "stk")
+        })
         .expect("stack creation found");
     let before_walk = res.at(psa::ir::StmtId(walk_start as u32 - 1));
     let rep2 = queries::structure_report(before_walk, root);
@@ -66,7 +74,11 @@ fn power_hierarchy_unshared() {
         .collect();
     assert!(!update_loops.is_empty());
     for l in update_loops {
-        assert!(l.parallelizable, "branch updates are independent: {:?}", l.reasons);
+        assert!(
+            l.parallelizable,
+            "branch updates are independent: {:?}",
+            l.reasons
+        );
     }
 }
 
@@ -90,7 +102,9 @@ fn olden_codes_converge_at_all_levels() {
     for (name, src) in psa::codes::olden::olden_codes(Sizes::default()) {
         let a = analyzer(&src);
         for level in Level::ALL {
-            let res = a.run_at(level).unwrap_or_else(|e| panic!("{name}/{level}: {e}"));
+            let res = a
+                .run_at(level)
+                .unwrap_or_else(|e| panic!("{name}/{level}: {e}"));
             assert!(!res.exit.is_empty(), "{name}/{level}");
         }
     }
@@ -115,7 +129,10 @@ fn olden_codes_differentially_sound() {
         for seed in [1u64, 2] {
             let exec = psa::concrete::Interpreter::new(
                 &ir,
-                psa::concrete::InterpConfig { seed, ..Default::default() },
+                psa::concrete::InterpConfig {
+                    seed,
+                    ..Default::default()
+                },
             )
             .run();
             for point in &exec.trace {

@@ -28,7 +28,11 @@ fn sparse_codes_satisfied_at_l1() {
             Some(Level::L1),
             "{name} must not escalate beyond L1"
         );
-        assert_eq!(outcome.levels.len(), 1, "{name}: exactly one level attempted");
+        assert_eq!(
+            outcome.levels.len(),
+            1,
+            "{name}: exactly one level attempted"
+        );
     }
 }
 
@@ -41,8 +45,10 @@ fn barnes_hut_shsel_goal_satisfied_at_l1_here() {
     let a = analyzer(&src);
     let lbodies = a.ir().pvar_id("Lbodies").unwrap();
     let body = a.ir().types.selector_id("body").unwrap();
-    let outcome =
-        a.run_progressive(vec![Goal::NotShselInRegion { pvar: lbodies, sel: body }]);
+    let outcome = a.run_progressive(vec![Goal::NotShselInRegion {
+        pvar: lbodies,
+        sel: body,
+    }]);
     assert!(outcome.satisfied_at.is_some());
     assert!(outcome.satisfied_at.unwrap() <= Level::L2);
 }
@@ -58,7 +64,9 @@ fn barnes_hut_parallel_goal_requires_l3() {
         .map(|i| psa::ir::LoopId(i as u32))
         .find(|l| ir.loops[l.0 as usize].ipvars.contains(&b))
         .unwrap();
-    let outcome = a.run_progressive(vec![Goal::LoopParallel { loop_id: force_loop }]);
+    let outcome = a.run_progressive(vec![Goal::LoopParallel {
+        loop_id: force_loop,
+    }]);
     assert_eq!(outcome.satisfied_at, Some(Level::L3));
     // All three levels were attempted, in order, each producing a result.
     assert_eq!(outcome.levels.len(), 3);
@@ -86,10 +94,19 @@ fn combined_goals_escalate_to_the_strictest() {
         .find(|l| ir.loops[l.0 as usize].ipvars.contains(&b))
         .unwrap();
     let outcome = a.run_progressive(vec![
-        Goal::NotShselInRegion { pvar: lbodies, sel: body },
-        Goal::LoopParallel { loop_id: force_loop },
+        Goal::NotShselInRegion {
+            pvar: lbodies,
+            sel: body,
+        },
+        Goal::LoopParallel {
+            loop_id: force_loop,
+        },
     ]);
-    assert_eq!(outcome.satisfied_at, Some(Level::L3), "the parallel goal dominates");
+    assert_eq!(
+        outcome.satisfied_at,
+        Some(Level::L3),
+        "the parallel goal dominates"
+    );
 }
 
 #[test]
@@ -118,7 +135,9 @@ fn best_result_is_most_precise_attempted() {
         .map(|i| psa::ir::LoopId(i as u32))
         .find(|l| ir.loops[l.0 as usize].ipvars.contains(&b))
         .unwrap();
-    let outcome = a.run_progressive(vec![Goal::LoopParallel { loop_id: force_loop }]);
+    let outcome = a.run_progressive(vec![Goal::LoopParallel {
+        loop_id: force_loop,
+    }]);
     let best = outcome.best().expect("some level produced a result");
     assert_eq!(best.level, Level::L3);
 }

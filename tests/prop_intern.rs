@@ -1,0 +1,157 @@
+//! Property-based tests for the canonical-form interner and the memoized
+//! subsumption front-end (ISSUE satellite): interning must be a bijection
+//! between canonical byte strings and ids, invariant under graph
+//! renumbering, and the memo/pre-filter path must agree with the raw
+//! backtracking search on every pair.
+
+use proptest::prelude::*;
+use psa::ir::PvarId;
+use psa::rsg::canon::canonical_bytes;
+use psa::rsg::compress::compress;
+use psa::rsg::intern::{Fingerprint, SharedTables};
+use psa::rsg::subsume::subsumes;
+use psa::rsg::{builder, Level, Rsg, ShapeCtx};
+use psa_cfront::types::{SelectorId, StructId};
+
+/// Random structurally valid RSG: a list with an optional tree spliced in,
+/// mirroring `tests/prop_rsg.rs`.
+fn arb_rsg() -> impl Strategy<Value = Rsg> {
+    (2usize..6, 0usize..3, any::<bool>()).prop_map(|(len, depth, second)| {
+        let mut g = builder::singly_linked_list(len, 3, PvarId(0), SelectorId(0));
+        if depth > 0 {
+            let t = builder::binary_tree(depth, 1, PvarId(0), SelectorId(0), SelectorId(1));
+            let mut map = std::collections::BTreeMap::new();
+            for n in t.node_ids() {
+                map.insert(n, g.add_node(t.node(n).clone()));
+            }
+            for (a, s, b) in t.links() {
+                g.add_link(map[&a], s, map[&b]);
+            }
+            if second {
+                g.set_pl(PvarId(1), map[&t.pl(PvarId(0)).unwrap()]);
+            }
+        }
+        g.gc();
+        g
+    })
+}
+
+/// The same graph rebuilt with node ids permuted (reverse insertion order).
+fn renumbered(g: &Rsg) -> Rsg {
+    let ids: Vec<_> = g.node_ids().collect();
+    let mut map = std::collections::BTreeMap::new();
+    let mut h = Rsg::empty(g.num_pvar_slots());
+    for &n in ids.iter().rev() {
+        map.insert(n, h.add_node(g.node(n).clone()));
+    }
+    for (a, s, b) in g.links() {
+        h.add_link(map[&a], s, map[&b]);
+    }
+    for (p, n) in g.pl_iter() {
+        h.set_pl(p, map[&n]);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn intern_roundtrips_canonical_bytes(g in arb_rsg()) {
+        let t = SharedTables::new();
+        let e = t.interner.intern(&g, &t.metrics);
+        prop_assert_eq!(&e.bytes[..], &canonical_bytes(&g)[..]);
+        prop_assert_eq!(&t.interner.bytes(e.id)[..], &e.bytes[..]);
+        prop_assert_eq!(t.interner.fingerprint(e.id), e.fp);
+    }
+
+    #[test]
+    fn isomorphic_graphs_intern_to_the_same_id(g in arb_rsg()) {
+        let t = SharedTables::new();
+        let a = t.interner.intern(&g, &t.metrics);
+        let b = t.interner.intern(&renumbered(&g), &t.metrics);
+        prop_assert_eq!(a.id, b.id);
+        prop_assert_eq!(a.fp, b.fp);
+        prop_assert_eq!(t.interner.len(), 1);
+        let s = t.snapshot();
+        prop_assert_eq!(s.intern_misses, 1);
+        prop_assert_eq!(s.intern_hits, 1);
+    }
+
+    #[test]
+    fn distinct_canonical_forms_get_distinct_ids(a in arb_rsg(), b in arb_rsg()) {
+        let t = SharedTables::new();
+        let ea = t.interner.intern(&a, &t.metrics);
+        let eb = t.interner.intern(&b, &t.metrics);
+        prop_assert_eq!(ea.id == eb.id, ea.bytes == eb.bytes);
+        prop_assert!(t.interner.len() <= 2);
+    }
+
+    #[test]
+    fn fingerprint_is_a_sound_prefilter(a in arb_rsg(), b in arb_rsg()) {
+        // The pre-filter may only reject pairs the raw search also rejects:
+        // subsumes(a, b) must imply may_subsume(fp(a), fp(b)).
+        let (fa, fb) = (Fingerprint::of(&a), Fingerprint::of(&b));
+        if subsumes(&a, &b) {
+            prop_assert!(Fingerprint::may_subsume(&fa, &fb));
+        }
+        if subsumes(&b, &a) {
+            prop_assert!(Fingerprint::may_subsume(&fb, &fa));
+        }
+    }
+
+    #[test]
+    fn memoized_path_agrees_with_raw_search(a in arb_rsg(), b in arb_rsg()) {
+        let ctx = ShapeCtx::synthetic(3, 2);
+        let (a, b) = (compress(&a, &ctx, Level::L1), compress(&b, &ctx, Level::L1));
+        let t = SharedTables::new();
+        let ea = t.interner.intern(&a, &t.metrics);
+        let eb = t.interner.intern(&b, &t.metrics);
+        let expect = subsumes(&a, &b);
+        // First query computes (or pre-filter rejects), second must be served
+        // without a fresh search; both agree with the reference.
+        prop_assert_eq!(t.subsumes_interned((&ea, &a), (&eb, &b)), expect);
+        let searches_after_first = t.snapshot().subsume_searches;
+        prop_assert_eq!(t.subsumes_interned((&ea, &a), (&eb, &b)), expect);
+        let s = t.snapshot();
+        prop_assert_eq!(s.subsume_searches, searches_after_first);
+        prop_assert_eq!(s.subsume_queries, 2);
+        prop_assert!(s.subsume_cache_hits + s.subsume_prefilter_rejects >= 1);
+    }
+
+    #[test]
+    fn self_subsumption_is_cached_true(g in arb_rsg()) {
+        let ctx = ShapeCtx::synthetic(3, 2);
+        let g = compress(&g, &ctx, Level::L1);
+        let t = SharedTables::new();
+        let e = t.interner.intern(&g, &t.metrics);
+        prop_assert!(t.subsumes_interned((&e, &g), (&e, &g)));
+        prop_assert_eq!(t.cache.lookup(e.id, e.id), Some(true));
+        prop_assert!(t.subsumes_interned((&e, &g), (&e, &g)));
+        prop_assert_eq!(t.snapshot().subsume_cache_hits, 1);
+    }
+}
+
+#[test]
+fn interner_is_shared_across_shape_ctx_clones() {
+    let ctx = ShapeCtx::synthetic(3, 2);
+    let clone = ctx.clone();
+    let g = builder::singly_linked_list(3, 2, PvarId(0), SelectorId(0));
+    let a = ctx.tables.interner.intern(&g, &ctx.tables.metrics);
+    let b = clone.tables.interner.intern(&g, &clone.tables.metrics);
+    assert_eq!(a.id, b.id);
+    assert_eq!(ctx.tables.interner.len(), 1);
+    assert_eq!(ctx.tables.snapshot().intern_hits, 1);
+}
+
+#[test]
+fn fingerprint_distinguishes_node_types() {
+    // Same shape, different struct type: dom hashes differ only via the
+    // node-kind keys, and neither direction may pass as equal-domain.
+    let a = builder::singly_linked_list(3, 2, PvarId(0), SelectorId(0));
+    let mut b = a.clone();
+    for n in b.node_ids().collect::<Vec<_>>() {
+        b.node_mut(n).ty = StructId(7);
+    }
+    assert_ne!(Fingerprint::of(&a), Fingerprint::of(&b));
+}

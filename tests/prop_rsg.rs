@@ -15,10 +15,10 @@ use psa_cfront::types::{SelectorId, StructId};
 /// struct with two selectors, with a few pvars.
 fn arb_rsg() -> impl Strategy<Value = Rsg> {
     (
-        2usize..6,           // list length
-        0usize..3,           // tree depth
-        any::<bool>(),       // second pvar bound?
-        any::<bool>(),       // extra cross link?
+        2usize..6,     // list length
+        0usize..3,     // tree depth
+        any::<bool>(), // second pvar bound?
+        any::<bool>(), // extra cross link?
     )
         .prop_map(|(len, depth, second, cross)| {
             let mut g = builder::singly_linked_list(len, 3, PvarId(0), SelectorId(0));

@@ -51,12 +51,11 @@ fn paper_codes_differentially_sound_at_l1() {
         ("lu", psa::codes::sparse_lu(sizes)),
         ("barnes-hut", psa::codes::barnes_hut(sizes)),
     ] {
-        let rep = check_soundness(&src, Level::L1, &[1, 2]);
-        assert!(
-            rep.is_sound(),
-            "{name}: {:#?}",
-            rep.violations
-        );
+        // Several seeds: opaque loop bounds are coin flips, so any single
+        // execution may exit the build loops immediately and leave too few
+        // trace points to be meaningful.
+        let rep = check_soundness(&src, Level::L1, &[1, 2, 3, 6, 12]);
+        assert!(rep.is_sound(), "{name}: {:#?}", rep.violations);
         assert!(rep.checked_points > 20, "{name}: trace too short");
     }
 }

@@ -90,14 +90,22 @@ fn widening_merges_same_signature_variants() {
     let before = s.len();
     s.widen(&ctx, Level::L1, 1);
     assert!(s.len() <= before);
-    assert_eq!(s.len(), 1, "same-signature graphs force-join under pressure");
+    assert_eq!(
+        s.len(),
+        1,
+        "same-signature graphs force-join under pressure"
+    );
 }
 
 #[test]
 fn filter_and_map_preserve_reduction() {
     let ctx = ShapeCtx::synthetic(2, 1);
     let mut s = Rsrsg::new();
-    s.insert(builder::singly_linked_list(3, 2, PvarId(0), sel(0)), &ctx, Level::L1);
+    s.insert(
+        builder::singly_linked_list(3, 2, PvarId(0), sel(0)),
+        &ctx,
+        Level::L1,
+    );
     s.insert(Rsg::empty(2), &ctx, Level::L1);
     let bound = s.filter(|g| g.pl(PvarId(0)).is_some());
     assert_eq!(bound.len(), 1);
@@ -148,5 +156,9 @@ fn distinct_flag_values_coexist_when_not_subsumed() {
     let mut s = Rsrsg::new();
     s.insert(a, &ctx, Level::L1);
     s.insert(b, &ctx, Level::L1);
-    assert_eq!(s.len(), 2, "different flag values keep configurations apart");
+    assert_eq!(
+        s.len(),
+        2,
+        "different flag values keep configurations apart"
+    );
 }

@@ -36,7 +36,10 @@ fn flag_statements_lowered() {
         .any(|s| matches!(s.stmt, psa::ir::Stmt::ScalarConst(_, 1))));
     assert!(ir.blocks.iter().any(|b| matches!(
         b.term,
-        psa::ir::Terminator::Branch { cond: psa::ir::Cond::ScalarEq(_, 0), .. }
+        psa::ir::Terminator::Branch {
+            cond: psa::ir::Cond::ScalarEq(_, 0),
+            ..
+        }
     )));
 }
 
@@ -191,7 +194,10 @@ fn contradictory_flag_paths_are_dead() {
     let a = analyzer(src);
     let res = a.run_at(Level::L1).unwrap();
     let p = a.ir().pvar_id("p").unwrap();
-    assert!(queries::always_null(&res.exit, p), "the flag == 4 branch is dead");
+    assert!(
+        queries::always_null(&res.exit, p),
+        "the flag == 4 branch is dead"
+    );
 }
 
 #[test]

@@ -20,7 +20,10 @@ fn matvec_l1_shapes() {
 
     // The matrix A is an unshared list-of-lists.
     let rep_a = queries::structure_report(&res.exit, ir.pvar_id("A").unwrap());
-    assert!(!rep_a.any_shared, "matrix rows/elements are unshared: {rep_a}");
+    assert!(
+        !rep_a.any_shared,
+        "matrix rows/elements are unshared: {rep_a}"
+    );
     assert!(rep_a.shared_selectors.is_empty());
 
     // Vectors x and y are plain lists.
@@ -79,7 +82,9 @@ fn sparse_codes_all_levels_converge() {
         }
         let a = analyzer(&src);
         for level in Level::ALL {
-            let res = a.run_at(level).unwrap_or_else(|e| panic!("{name} at {level}: {e}"));
+            let res = a
+                .run_at(level)
+                .unwrap_or_else(|e| panic!("{name} at {level}: {e}"));
             assert!(!res.exit.is_empty(), "{name} at {level} reaches exit");
         }
     }
@@ -93,7 +98,10 @@ fn l1_results_independent_of_loop_counts() {
     let a2 = analyzer(&sparse_matvec(Sizes { n: 50, m: 20 }));
     let r1 = a1.run().unwrap();
     let r2 = a2.run().unwrap();
-    assert!(r1.exit.same_as(&r2.exit), "exit shape must not depend on sizes");
+    assert!(
+        r1.exit.same_as(&r2.exit),
+        "exit shape must not depend on sizes"
+    );
 }
 
 #[test]
