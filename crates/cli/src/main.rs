@@ -163,6 +163,23 @@ fn print_op_stats(ops: &psa_core::stats::OpStats) {
         ops.interner_size, ops.intern_hits, ops.intern_misses, ops.cache_size
     );
     println!(
+        "  transfer memo: {} queries — {} hits, {} misses ({:.1}% hit rate); {} entries",
+        ops.transfer_queries,
+        ops.transfer_memo_hits,
+        ops.transfer_memo_misses,
+        ops.transfer_memo_hit_rate() * 100.0,
+        ops.transfer_cache_size
+    );
+    println!(
+        "  delta worklist: {} stmt replays, {} suffix extends, {} full re-transfers; \
+         {} graphs reused, {} transferred",
+        ops.delta_stmt_hits,
+        ops.delta_stmt_extends,
+        ops.delta_stmt_fulls,
+        ops.delta_graphs_reused,
+        ops.delta_graphs_transferred
+    );
+    println!(
         "  graph ops: {} joins, {} compress, {} prune, {} divide, {} materialize, \
          {} forced widening joins, {} unions",
         ops.join_calls,
@@ -175,11 +192,12 @@ fn print_op_stats(ops: &psa_core::stats::OpStats) {
     );
     println!("  peak RSRSG width: {} graphs", ops.peak_set_width);
     println!(
-        "  time: intern {:.2?}, subsume {:.2?}, join {:.2?}, compress {:.2?}",
+        "  time: intern {:.2?}, subsume {:.2?}, join {:.2?}, compress {:.2?}, transfer {:.2?}",
         std::time::Duration::from_nanos(ops.intern_ns),
         std::time::Duration::from_nanos(ops.subsume_ns),
         std::time::Duration::from_nanos(ops.join_ns),
         std::time::Duration::from_nanos(ops.compress_ns),
+        std::time::Duration::from_nanos(ops.transfer_ns),
     );
 }
 

@@ -144,10 +144,14 @@ impl<'a> ProgressiveRunner<'a> {
     /// Run L1 → L2 → L3 until every goal is met.
     ///
     /// All levels share one [`psa_rsg::ShapeCtx`], and through it one
-    /// interner and subsumption memo: the canonical forms and subsumption
-    /// verdicts computed at L1 are re-hit when L2/L3 re-analyze the same
-    /// code (graph properties only grow with the level, so lower-level
-    /// shapes recur verbatim early in the higher-level fixed point).
+    /// interner, subsumption memo, and transfer memo: the canonical forms
+    /// and subsumption verdicts computed at L1 are re-hit when L2/L3
+    /// re-analyze the same code (graph properties only grow with the level,
+    /// so lower-level shapes recur verbatim early in the higher-level fixed
+    /// point). Transfer memo entries are keyed by a config epoch that
+    /// includes the level — a transfer is only replayed at the level that
+    /// computed it — but a re-run at the *same* level (e.g. a goal re-check)
+    /// answers every transfer from the cache.
     pub fn run(&self) -> ProgressiveOutcome {
         let mut outcome = ProgressiveOutcome {
             levels: Vec::new(),

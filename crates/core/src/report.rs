@@ -135,13 +135,24 @@ pub fn ops_to_json(ops: &OpStats) -> Json {
     j.set("union_calls", ops.union_calls);
     j.set("intern_hits", ops.intern_hits);
     j.set("intern_misses", ops.intern_misses);
+    j.set("transfer_queries", ops.transfer_queries);
+    j.set("transfer_memo_hits", ops.transfer_memo_hits);
+    j.set("transfer_memo_misses", ops.transfer_memo_misses);
+    j.set("transfer_memo_hit_rate", ops.transfer_memo_hit_rate());
+    j.set("delta_stmt_hits", ops.delta_stmt_hits);
+    j.set("delta_stmt_extends", ops.delta_stmt_extends);
+    j.set("delta_stmt_fulls", ops.delta_stmt_fulls);
+    j.set("delta_graphs_reused", ops.delta_graphs_reused);
+    j.set("delta_graphs_transferred", ops.delta_graphs_transferred);
     j.set("interner_size", ops.interner_size);
     j.set("cache_size", ops.cache_size);
+    j.set("transfer_cache_size", ops.transfer_cache_size);
     j.set("peak_set_width", ops.peak_set_width);
     j.set("intern_ns", ops.intern_ns);
     j.set("subsume_ns", ops.subsume_ns);
     j.set("join_ns", ops.join_ns);
     j.set("compress_ns", ops.compress_ns);
+    j.set("transfer_ns", ops.transfer_ns);
     j
 }
 

@@ -16,7 +16,7 @@
 //! [`psa_rsg::intern::SharedTables`].
 
 use psa_rsg::compress::compress;
-use psa_rsg::intern::CanonEntry;
+use psa_rsg::intern::{CanonEntry, CanonId};
 use psa_rsg::join::{compatible, join};
 use psa_rsg::{Level, Rsg, ShapeCtx};
 use std::sync::atomic::Ordering;
@@ -94,12 +94,41 @@ impl Rsrsg {
         let m = &t.metrics;
         m.insert_calls.fetch_add(1, Ordering::Relaxed);
         let c0 = Instant::now();
-        let mut pending = vec![compress(&g, ctx, level)];
+        let cand = compress(&g, ctx, level);
         m.compress_calls.fetch_add(1, Ordering::Relaxed);
         m.compress_ns
             .fetch_add(c0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        while let Some(cand) = pending.pop() {
-            let e = t.interner.intern(&cand, &t.metrics);
+        self.reduce_in(cand, None, ctx, level);
+    }
+
+    /// [`Rsrsg::insert`] for a graph that is already compressed and interned
+    /// — e.g. a memoized transfer output materialized from the interner.
+    /// Skips the initial COMPRESS (insert's pending loop starts with
+    /// `compress(g)`, and compression is idempotent) and reuses the known
+    /// canonical entry instead of re-interning.
+    pub fn insert_compressed(&mut self, g: Rsg, e: CanonEntry, ctx: &ShapeCtx, level: Level) {
+        ctx.tables
+            .metrics
+            .insert_calls
+            .fetch_add(1, Ordering::Relaxed);
+        self.reduce_in(g, Some(e), ctx, level);
+    }
+
+    /// The reduction loop shared by [`Rsrsg::insert`] and
+    /// [`Rsrsg::insert_compressed`]: JOIN with compatible members, drop
+    /// subsumed candidates, replace subsumed members, until reduced.
+    fn reduce_in(
+        &mut self,
+        first: Rsg,
+        first_entry: Option<CanonEntry>,
+        ctx: &ShapeCtx,
+        level: Level,
+    ) {
+        let t = &ctx.tables;
+        let m = &t.metrics;
+        let mut pending: Vec<(Rsg, Option<CanonEntry>)> = vec![(first, first_entry)];
+        while let Some((cand, known)) = pending.pop() {
+            let e = known.unwrap_or_else(|| t.interner.intern(&cand, &t.metrics));
             if self.contains_id(&e) {
                 m.insert_dups.fetch_add(1, Ordering::Relaxed);
                 continue;
@@ -133,7 +162,7 @@ impl Rsrsg {
                 let joined = compress(&join(&member, &cand, level), ctx, level);
                 m.join_ns
                     .fetch_add(j0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                pending.push(joined);
+                pending.push((joined, None));
             } else {
                 self.graphs.push(cand);
                 self.canon.push(e);
@@ -153,6 +182,34 @@ impl Rsrsg {
             self.insert(g.clone(), ctx, level);
         }
         self.signature() != before
+    }
+
+    /// Interned canonical ids of the members, **in member order** (not
+    /// sorted). The engine's delta worklist relies on this order: a set that
+    /// only grew by appends has its old id vector as a strict prefix.
+    pub fn canon_ids(&self) -> Vec<CanonId> {
+        self.canon.iter().map(|e| e.id).collect()
+    }
+
+    /// Interned canonical entries, aligned with [`Rsrsg::graphs`].
+    pub fn canon_entries(&self) -> &[CanonEntry] {
+        &self.canon
+    }
+
+    /// Rebuild a set from interned ids by cloning each id's representative
+    /// graph out of the run-wide interner. The ids must come from
+    /// [`Rsrsg::canon_ids`] of a reduced set — membership is restored
+    /// verbatim (same order), no reduction is re-run. Representatives are
+    /// isomorphic to (possibly relabelings of) the graphs that produced the
+    /// ids; every downstream operation is isomorphism-invariant.
+    pub fn from_interned(ids: &[CanonId], ctx: &ShapeCtx) -> Rsrsg {
+        let mut s = Rsrsg::new();
+        for &id in ids {
+            let (e, g) = ctx.tables.interner.resolve(id);
+            s.graphs.push((*g).clone());
+            s.canon.push(e);
+        }
+        s
     }
 
     /// A canonical signature of the whole set (sorted member forms), used
@@ -441,6 +498,45 @@ mod tests {
         );
         assert!(s.approx_bytes() > one);
         assert!(s.total_nodes() >= 6);
+    }
+
+    #[test]
+    fn from_interned_round_trips() {
+        let ctx = ShapeCtx::synthetic(2, 1);
+        let mut s = Rsrsg::new();
+        s.insert(
+            builder::singly_linked_list(3, 2, PvarId(0), sel(0)),
+            &ctx,
+            Level::L1,
+        );
+        s.insert(
+            builder::singly_linked_list(3, 2, PvarId(1), sel(0)),
+            &ctx,
+            Level::L1,
+        );
+        let ids = s.canon_ids();
+        assert_eq!(ids.len(), 2);
+        let back = Rsrsg::from_interned(&ids, &ctx);
+        assert!(back.same_as(&s));
+        assert_eq!(back.canon_ids(), ids, "member order is preserved");
+    }
+
+    #[test]
+    fn insert_compressed_matches_insert() {
+        // insert(g) == insert_compressed(compress(g)) for any g: the pending
+        // loop starts from the compressed form either way.
+        let ctx1 = ShapeCtx::synthetic(1, 1);
+        let ctx2 = ShapeCtx::synthetic(1, 1);
+        let mut a = Rsrsg::new();
+        let mut b = Rsrsg::new();
+        for n in [3usize, 4, 5, 6] {
+            let g = builder::singly_linked_list(n, 1, PvarId(0), sel(0));
+            a.insert(g.clone(), &ctx1, Level::L1);
+            let c = psa_rsg::compress::compress(&g, &ctx2, Level::L1);
+            let e = ctx2.tables.interner.intern(&c, &ctx2.tables.metrics);
+            b.insert_compressed(c, e, &ctx2, Level::L1);
+        }
+        assert!(a.same_as(&b));
     }
 
     #[test]

@@ -16,11 +16,15 @@ use crate::rsrsg::Rsrsg;
 use crate::stats::AnalysisStats;
 use psa_cfront::types::SelectorId;
 use psa_ir::{Cond, PtrStmt, PvarId};
+use psa_rsg::compress::compress;
 use psa_rsg::divide::divide;
+use psa_rsg::intern::{CanonEntry, TransferOutcome};
 use psa_rsg::materialize::materialize;
 use psa_rsg::prune::prune;
 use psa_rsg::{Level, NodeId, Rsg, ShapeCtx};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Per-statement transfer context.
 pub struct TransferCtx<'a> {
@@ -80,6 +84,113 @@ pub fn transfer_rsrsg(
         }
     }
     out
+}
+
+/// One statement's per-graph abstract action, as the memoized transfer
+/// layer sees it. Identity statements (`Stmt::Scalar`, `Stmt::ScalarStore`)
+/// never reach this layer — the engine passes the input set through
+/// unchanged.
+#[derive(Debug, Clone, Copy)]
+pub enum GraphAction<'a> {
+    /// Pointer statement: the divide → prune → materialize → relaxation
+    /// pipeline of Fig. 2.
+    Ptr(&'a PtrStmt),
+    /// Tracked-scalar update: set the scalar to a known constant, or clear
+    /// it (havoc).
+    Scalar(psa_ir::ScalarId, Option<i64>),
+}
+
+impl GraphAction<'_> {
+    /// The raw per-graph transfer (uncompressed outputs). Mirrors
+    /// [`transfer_one`] for pointer statements and the per-graph body of
+    /// [`transfer_scalar`] for scalar updates.
+    fn apply(&self, g: &Rsg, tcx: &TransferCtx<'_>, stats: &mut AnalysisStats) -> Vec<Rsg> {
+        match *self {
+            GraphAction::Ptr(stmt) => transfer_one(g, stmt, tcx, stats),
+            GraphAction::Scalar(var, value) => {
+                let mut g = g.clone();
+                match value {
+                    Some(k) => g.set_scalar(var.0, k),
+                    None => g.clear_scalar(var.0),
+                }
+                vec![g]
+            }
+        }
+    }
+}
+
+/// Memoized per-graph transfer: the tentpole's `(config-epoch, stmt,
+/// CanonId) → interned outputs` map.
+///
+/// Outputs are compressed and interned *here*, so a memo hit materializes
+/// representative graphs straight from the interner and the caller inserts
+/// them through [`Rsrsg::insert_compressed`], skipping both the pipeline
+/// and the COMPRESS. Warnings and revisits observed on the miss are stored
+/// in the [`TransferOutcome`] and replayed verbatim on every hit —
+/// `AnalysisStats::warn` deduplicates and `revisits` is a set, so replay is
+/// exactly what a recompute would have reported.
+#[allow(clippy::too_many_arguments)]
+pub fn transfer_one_cached(
+    g: &Rsg,
+    e: &CanonEntry,
+    action: &GraphAction<'_>,
+    sid: u32,
+    epoch: u32,
+    use_cache: bool,
+    tcx: &TransferCtx<'_>,
+    stats: &mut AnalysisStats,
+) -> Vec<(Rsg, CanonEntry)> {
+    let t = &tcx.ctx.tables;
+    let m = &t.metrics;
+    if use_cache {
+        m.transfer_queries.fetch_add(1, Ordering::Relaxed);
+        if let Some(hit) = t.transfer.lookup(epoch, sid, e.id) {
+            m.transfer_memo_hits.fetch_add(1, Ordering::Relaxed);
+            for w in &hit.warnings {
+                stats.warn(w.clone());
+            }
+            stats.revisits.extend(hit.revisits.iter().copied());
+            return hit
+                .outs
+                .iter()
+                .map(|&id| {
+                    let (oe, og) = t.interner.resolve(id);
+                    ((*og).clone(), oe)
+                })
+                .collect();
+        }
+        m.transfer_memo_misses.fetch_add(1, Ordering::Relaxed);
+    }
+    let t0 = Instant::now();
+    let mut scratch = AnalysisStats::default();
+    let raw = action.apply(g, tcx, &mut scratch);
+    let outs: Vec<(Rsg, CanonEntry)> = raw
+        .into_iter()
+        .map(|o| {
+            let c0 = Instant::now();
+            let c = compress(&o, tcx.ctx, tcx.level);
+            m.compress_calls.fetch_add(1, Ordering::Relaxed);
+            m.compress_ns
+                .fetch_add(c0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let oe = t.interner.intern(&c, m);
+            (c, oe)
+        })
+        .collect();
+    m.transfer_ns
+        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    if use_cache {
+        let outcome = TransferOutcome {
+            outs: outs.iter().map(|(_, oe)| oe.id).collect(),
+            warnings: scratch.warnings.clone(),
+            revisits: scratch.revisits.iter().copied().collect(),
+        };
+        t.transfer.store(epoch, sid, e.id, Arc::new(outcome));
+    }
+    for w in scratch.warnings {
+        stats.warn(w);
+    }
+    stats.revisits.extend(scratch.revisits);
+    outs
 }
 
 /// Transfer one pointer statement over one RSG, producing the set of

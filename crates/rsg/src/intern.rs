@@ -9,7 +9,18 @@
 //!
 //! * [`Interner`] — a run-wide table mapping canonical bytes to a compact
 //!   [`CanonId`], so duplicate detection is a hash lookup and RSRSGs store
-//!   `u32` ids plus shared `Arc<[u8]>` bytes instead of owned byte vectors;
+//!   `u32` ids plus shared `Arc<[u8]>` bytes instead of owned byte vectors.
+//!   Each entry also retains an `Arc<Rsg>` representative of its canonical
+//!   form, so an id can be resolved back into a graph — this is what lets
+//!   the engine keep its per-statement state as id vectors and the
+//!   transfer memo return interned output ids;
+//! * [`TransferCache`] — a `(config-epoch, statement, CanonId) → outputs`
+//!   memo for abstract statement transfer. Transfer is deterministic per
+//!   input graph, so any graph already transferred under a statement (in a
+//!   previous worklist iteration, by another fan-out worker, or by an
+//!   earlier engine run sharing the tables) is answered by lookup. Entries
+//!   record the diagnostics (warnings, TOUCH revisits) the original
+//!   transfer produced so a hit replays them;
 //! * [`Fingerprint`] — a constant-size structural summary (pvar domain,
 //!   node type/touch blooms, link selector set, scalar facts) whose
 //!   [`Fingerprint::may_subsume`] is a **necessary** condition for
@@ -153,7 +164,7 @@ pub struct CanonEntry {
 #[derive(Debug, Default)]
 struct InternerInner {
     map: HashMap<Arc<[u8]>, u32>,
-    entries: Vec<(Arc<[u8]>, Fingerprint)>,
+    entries: Vec<(Arc<[u8]>, Fingerprint, Arc<Rsg>)>,
 }
 
 /// Run-wide hash-consing table for canonical forms.
@@ -183,7 +194,7 @@ impl Interner {
             let mut inner = lock(&self.inner);
             if let Some(&id) = inner.map.get(bytes.as_slice()) {
                 metrics.intern_hits.fetch_add(1, Ordering::Relaxed);
-                let (arc, fp) = &inner.entries[id as usize];
+                let (arc, fp, _) = &inner.entries[id as usize];
                 CanonEntry {
                     id: CanonId(id),
                     bytes: arc.clone(),
@@ -194,7 +205,7 @@ impl Interner {
                 let id = inner.entries.len() as u32;
                 let fp = Fingerprint::of(g);
                 let arc: Arc<[u8]> = bytes.into();
-                inner.entries.push((arc.clone(), fp));
+                inner.entries.push((arc.clone(), fp, Arc::new(g.clone())));
                 inner.map.insert(arc.clone(), id);
                 CanonEntry {
                     id: CanonId(id),
@@ -234,6 +245,47 @@ impl Interner {
     pub fn fingerprint(&self, id: CanonId) -> Fingerprint {
         lock(&self.inner).entries[id.0 as usize].1
     }
+
+    /// The representative graph of an interned id: the exact graph that
+    /// first minted the entry (isomorphic to every later graph interning to
+    /// the same id). Shared, immutable.
+    ///
+    /// # Panics
+    /// If `id` was not minted by this interner.
+    pub fn graph(&self, id: CanonId) -> Arc<Rsg> {
+        lock(&self.inner).entries[id.0 as usize].2.clone()
+    }
+
+    /// The full [`CanonEntry`] of an interned id.
+    ///
+    /// # Panics
+    /// If `id` was not minted by this interner.
+    pub fn entry(&self, id: CanonId) -> CanonEntry {
+        let inner = lock(&self.inner);
+        let (bytes, fp, _) = &inner.entries[id.0 as usize];
+        CanonEntry {
+            id,
+            bytes: bytes.clone(),
+            fp: *fp,
+        }
+    }
+
+    /// Resolve an id into `(entry, graph)` with a single lock acquisition.
+    ///
+    /// # Panics
+    /// If `id` was not minted by this interner.
+    pub fn resolve(&self, id: CanonId) -> (CanonEntry, Arc<Rsg>) {
+        let inner = lock(&self.inner);
+        let (bytes, fp, g) = &inner.entries[id.0 as usize];
+        (
+            CanonEntry {
+                id,
+                bytes: bytes.clone(),
+                fp: *fp,
+            },
+            g.clone(),
+        )
+    }
 }
 
 /// Memo table for subsumption queries between interned forms.
@@ -268,6 +320,62 @@ impl SubsumeCache {
     }
 
     /// True when no pair has been memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The memoized outcome of transferring one interned graph through one
+/// statement: the interned ids of the (compressed) output graphs, plus the
+/// diagnostics the transfer emitted, replayed on every hit so a memoized
+/// run reports the same warnings and TOUCH revisits as a cold one.
+#[derive(Debug, Clone, Default)]
+pub struct TransferOutcome {
+    /// Interned ids of the compressed output graphs, in production order.
+    pub outs: Vec<CanonId>,
+    /// Diagnostics emitted while computing the outputs (e.g. possible NULL
+    /// dereference on a crashing configuration).
+    pub warnings: Vec<String>,
+    /// Induction pvars whose TOUCH mark was re-visited during the transfer.
+    pub revisits: Vec<psa_ir::PvarId>,
+}
+
+/// Memo key: which configuration epoch, which statement, which input graph.
+type TransferKey = (u32, u32, CanonId);
+
+/// Memo table for per-statement abstract transfer, keyed
+/// `(config-epoch, statement, input CanonId)`. The epoch (see
+/// [`SharedTables::epoch_for`]) isolates engine configurations that give
+/// the transfer function different semantics — compilation level and the
+/// sharing ablation flags — so one table set can serve a progressive
+/// L1→L2→L3 driver without cross-level contamination.
+#[derive(Debug, Default)]
+pub struct TransferCache {
+    map: Mutex<HashMap<TransferKey, Arc<TransferOutcome>>>,
+}
+
+impl TransferCache {
+    /// An empty cache.
+    pub fn new() -> TransferCache {
+        TransferCache::default()
+    }
+
+    /// The memoized outcome, if any.
+    pub fn lookup(&self, epoch: u32, stmt: u32, input: CanonId) -> Option<Arc<TransferOutcome>> {
+        lock(&self.map).get(&(epoch, stmt, input)).cloned()
+    }
+
+    /// Record an outcome.
+    pub fn store(&self, epoch: u32, stmt: u32, input: CanonId, outcome: Arc<TransferOutcome>) {
+        lock(&self.map).insert((epoch, stmt, input), outcome);
+    }
+
+    /// Number of memoized (epoch, stmt, graph) triples.
+    pub fn len(&self) -> usize {
+        lock(&self.map).len()
+    }
+
+    /// True when nothing has been memoized.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -355,14 +463,38 @@ op_metrics! {
     intern_hits,
     /// Canonicalization lookups that minted a fresh entry.
     intern_misses,
+    /// Per-graph transfer memo lookups issued (hits + misses).
+    transfer_queries,
+    /// Per-graph transfers answered from the memo table.
+    transfer_memo_hits,
+    /// Per-graph transfers computed (and memoized when caching is on).
+    transfer_memo_misses,
+    /// Statement transfers answered whole from the delta cache (input
+    /// CanonId vector unchanged since the statement's last visit).
+    delta_stmt_hits,
+    /// Statement transfers where only the new suffix of the input was
+    /// re-transferred onto the cached output (delta decomposition).
+    delta_stmt_extends,
+    /// Statement transfers that fell back to a full re-transfer (input
+    /// reordered by widening/joins, TOUCH adjustments, or first visit).
+    delta_stmt_fulls,
+    /// Input graphs whose transfer was skipped by the delta decomposition
+    /// (covered by the cached prefix output).
+    delta_graphs_reused,
+    /// Input graphs actually transferred (cold or delta suffix).
+    delta_graphs_transferred,
     /// Gauge: distinct canonical forms interned (set at snapshot time).
     interner_size,
     /// Gauge: memoized subsumption pairs (set at snapshot time).
     cache_size,
+    /// Gauge: memoized transfer triples (set at snapshot time).
+    transfer_cache_size,
     /// Gauge: widest RSRSG (graph count) seen by any insert.
     peak_set_width,
     /// Nanoseconds spent canonicalizing + interning.
     intern_ns,
+    /// Nanoseconds spent in per-graph transfer (lookup or compute).
+    transfer_ns,
     /// Nanoseconds spent in subsumption (pre-filter, memo and search).
     subsume_ns,
     /// Nanoseconds spent in JOIN + the COMPRESS that follows it.
@@ -381,12 +513,14 @@ impl OpMetrics {
 
 impl OpStats {
     /// The difference between two snapshots, with gauge fields
-    /// (`interner_size`, `cache_size`, `peak_set_width`) taken from the
-    /// later snapshot instead of subtracted.
+    /// (`interner_size`, `cache_size`, `transfer_cache_size`,
+    /// `peak_set_width`) taken from the later snapshot instead of
+    /// subtracted.
     pub fn delta(&self, earlier: &OpStats) -> OpStats {
         let mut d = self.delta_raw(earlier);
         d.interner_size = self.interner_size;
         d.cache_size = self.cache_size;
+        d.transfer_cache_size = self.transfer_cache_size;
         d.peak_set_width = self.peak_set_width;
         d
     }
@@ -408,6 +542,15 @@ impl OpStats {
         }
         self.subsume_cache_hits as f64 / self.subsume_queries as f64
     }
+
+    /// Fraction of per-graph transfer queries answered from the transfer
+    /// memo; 0.0 when none were issued.
+    pub fn transfer_memo_hit_rate(&self) -> f64 {
+        if self.transfer_queries == 0 {
+            return 0.0;
+        }
+        self.transfer_memo_hits as f64 / self.transfer_queries as f64
+    }
 }
 
 /// The run-wide bundle: interner + subsumption memo + metrics, shared by
@@ -418,9 +561,15 @@ pub struct SharedTables {
     pub interner: Interner,
     /// Subsumption memo table.
     pub cache: SubsumeCache,
+    /// Per-statement transfer memo table.
+    pub transfer: TransferCache,
     /// Op-level counters.
     pub metrics: OpMetrics,
     cache_enabled: bool,
+    /// Registry of configuration epochs: a caller-supplied configuration
+    /// key (level + semantic flags) maps to a compact epoch id used in
+    /// transfer-memo keys.
+    epochs: Mutex<HashMap<u64, u32>>,
 }
 
 impl Default for SharedTables {
@@ -435,9 +584,23 @@ impl SharedTables {
         SharedTables {
             interner: Interner::new(),
             cache: SubsumeCache::new(),
+            transfer: TransferCache::new(),
             metrics: OpMetrics::default(),
             cache_enabled: true,
+            epochs: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The epoch id for a configuration key, minting a fresh one for keys
+    /// never seen by these tables. Transfer-memo entries are keyed by
+    /// epoch, so two engine configurations with different transfer
+    /// semantics (level, sharing flags) sharing one table set never read
+    /// each other's entries, while identical configurations (e.g. repeated
+    /// runs at one level) share everything.
+    pub fn epoch_for(&self, config_key: u64) -> u32 {
+        let mut epochs = lock(&self.epochs);
+        let next = epochs.len() as u32;
+        *epochs.entry(config_key).or_insert(next)
     }
 
     /// Tables that intern (storage still needs ids) but answer every
@@ -495,6 +658,9 @@ impl SharedTables {
         self.metrics
             .cache_size
             .store(self.cache.len() as u64, Ordering::Relaxed);
+        self.metrics
+            .transfer_cache_size
+            .store(self.transfer.len() as u64, Ordering::Relaxed);
         self.metrics.snapshot()
     }
 }
@@ -595,6 +761,53 @@ mod tests {
         assert_eq!(s.subsume_searches, 2);
         assert_eq!(s.subsume_cache_hits, 0);
         assert!(t.cache.is_empty());
+    }
+
+    #[test]
+    fn interner_resolves_ids_to_graphs() {
+        let t = SharedTables::new();
+        let g = sll(4);
+        let e = t.interner.intern(&g, &t.metrics);
+        let back = t.interner.graph(e.id);
+        assert_eq!(canonical_bytes(&back), canonical_bytes(&g));
+        let (entry, graph) = t.interner.resolve(e.id);
+        assert_eq!(entry.id, e.id);
+        assert_eq!(entry.bytes, e.bytes);
+        assert_eq!(canonical_bytes(&graph), canonical_bytes(&g));
+        assert_eq!(t.interner.entry(e.id).id, e.id);
+    }
+
+    #[test]
+    fn transfer_cache_roundtrip() {
+        let t = SharedTables::new();
+        let g = sll(3);
+        let e = t.interner.intern(&g, &t.metrics);
+        assert!(t.transfer.lookup(0, 7, e.id).is_none());
+        let outcome = Arc::new(TransferOutcome {
+            outs: vec![e.id],
+            warnings: vec!["w".into()],
+            revisits: vec![PvarId(0)],
+        });
+        t.transfer.store(0, 7, e.id, outcome.clone());
+        let hit = t.transfer.lookup(0, 7, e.id).unwrap();
+        assert_eq!(hit.outs, vec![e.id]);
+        assert_eq!(hit.warnings, vec!["w".to_string()]);
+        // Other epochs and statements do not alias.
+        assert!(t.transfer.lookup(1, 7, e.id).is_none());
+        assert!(t.transfer.lookup(0, 8, e.id).is_none());
+        assert_eq!(t.transfer.len(), 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.transfer_cache_size, 1);
+    }
+
+    #[test]
+    fn epochs_are_stable_per_key() {
+        let t = SharedTables::new();
+        let a = t.epoch_for(10);
+        let b = t.epoch_for(20);
+        assert_ne!(a, b);
+        assert_eq!(t.epoch_for(10), a);
+        assert_eq!(t.epoch_for(20), b);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Machine-readable fixpoint benchmark: the incremental engine (transfer
+//! memo + delta worklist + interned state) vs the recompute-everything
+//! baseline, per code and level, written to `BENCH_fixpoint.json` so the
+//! perf trajectory is tracked from PR 2 on.
+//!
+//! ```text
+//! cargo run --release --example bench_report            # full sizes
+//! cargo run --release --example bench_report -- --quick # CI smoke sizes
+//! ```
+
+use psa::core::engine::{AnalysisResult, Engine, EngineConfig};
+use psa::core::json::Json;
+use psa::core::report::ops_to_json;
+use psa::ir::{lower_main, FuncIr};
+use psa::rsg::Level;
+use std::time::{Duration, Instant};
+
+fn ir_for(src: &str) -> FuncIr {
+    let (p, t) = psa::cfront::parse_and_type(src).expect("parse");
+    lower_main(&p, &t).expect("lower")
+}
+
+/// Best-of-N wall time plus the (deterministic) run result. Each rep uses a
+/// fresh engine and fresh tables, so the memo never carries across reps —
+/// this times a cold run, the configuration the fixpoint always starts in.
+fn time_run(
+    ir: &FuncIr,
+    level: Level,
+    incremental: bool,
+    reps: usize,
+) -> (
+    Duration,
+    Result<AnalysisResult, psa::core::engine::AnalysisError>,
+) {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..reps {
+        let cfg = EngineConfig {
+            level,
+            transfer_cache: incremental,
+            delta_transfer: incremental,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let res = Engine::new(ir, cfg).run();
+        best = best.min(start.elapsed());
+        out = Some(res);
+    }
+    (best, out.unwrap())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes = if quick {
+        psa::codes::Sizes::tiny()
+    } else {
+        psa::codes::Sizes::default()
+    };
+    let reps = if quick { 1 } else { 3 };
+    let codes = [
+        ("barnes-hut", psa::codes::barnes_hut(sizes)),
+        ("sparse-lu", psa::codes::sparse_lu(sizes)),
+        (
+            "dll",
+            psa::codes::generators::dll_program(if quick { 6 } else { 12 }),
+        ),
+    ];
+
+    println!(
+        "{:<12} {:<4} {:>12} {:>12} {:>8} {:>9} {:>22} {:>12}",
+        "code",
+        "lvl",
+        "incremental",
+        "baseline",
+        "speedup",
+        "hit-rate",
+        "delta(hit/ext/full)",
+        "peak-bytes"
+    );
+    let mut rows: Vec<Json> = Vec::new();
+    for (name, src) in &codes {
+        let ir = ir_for(src);
+        for level in Level::ALL {
+            let (incr, res_incr) = time_run(&ir, level, true, reps);
+            let (base, res_base) = time_run(&ir, level, false, reps);
+            let mut row = Json::obj();
+            row.set("code", *name);
+            row.set("level", level.to_string());
+            match (&res_incr, &res_base) {
+                (Ok(a), Ok(b)) => {
+                    assert!(a.exit.same_as(&b.exit), "differential violation");
+                    let ops = &a.stats.ops;
+                    let speedup = base.as_secs_f64() / incr.as_secs_f64();
+                    println!(
+                        "{:<12} {:<4} {:>12.2?} {:>12.2?} {:>7.2}x {:>8.1}% {:>10}/{:>4}/{:>5} {:>12}",
+                        name,
+                        level.to_string(),
+                        incr,
+                        base,
+                        speedup,
+                        ops.transfer_memo_hit_rate() * 100.0,
+                        ops.delta_stmt_hits,
+                        ops.delta_stmt_extends,
+                        ops.delta_stmt_fulls,
+                        a.stats.peak_bytes
+                    );
+                    row.set("wall_ms_incremental", incr.as_secs_f64() * 1e3);
+                    row.set("wall_ms_baseline", base.as_secs_f64() * 1e3);
+                    row.set("speedup", speedup);
+                    row.set("iterations", a.stats.iterations as u64);
+                    row.set("peak_bytes_incremental", a.stats.peak_bytes as u64);
+                    row.set("peak_bytes_baseline", b.stats.peak_bytes as u64);
+                    row.set("ops", ops_to_json(ops));
+                }
+                (ri, rb) => {
+                    // e.g. the paper's Sparse LU out-of-memory outcome under
+                    // a byte budget — record that both engines agree.
+                    println!(
+                        "{:<12} {:<4} incremental err={} baseline err={}",
+                        name,
+                        level.to_string(),
+                        ri.is_err(),
+                        rb.is_err()
+                    );
+                    row.set("failed", true);
+                    row.set("agree", ri.is_err() == rb.is_err());
+                }
+            }
+            rows.push(row);
+        }
+    }
+
+    let mut root = Json::obj();
+    root.set("benchmark", "fixpoint");
+    root.set("quick", quick);
+    root.set("reps", reps as u64);
+    root.set("rows", rows);
+    std::fs::write("BENCH_fixpoint.json", root.pretty()).expect("write BENCH_fixpoint.json");
+    println!("\nwrote BENCH_fixpoint.json");
+}

@@ -1,0 +1,229 @@
+//! Differential regression suite for the transfer memo and the delta
+//! worklist (ISSUE satellite): the memoized, delta-driven incremental
+//! fixpoint must be *observationally identical* to the recompute-everything
+//! reference. Programs are analyzed with each feature combination and every
+//! per-statement RSRSG must have bit-identical canonical signatures.
+//!
+//! Signatures are canonical bytes (content-compared `Arc<[u8]>`s), so the
+//! comparison is independent of which interner minted them — and in
+//! particular independent of which isomorphic representative the interner
+//! retained for a canonical form.
+
+use proptest::prelude::*;
+use psa::codes::generators::{dll_program, random_program};
+use psa::core::engine::{AnalysisResult, Engine, EngineConfig};
+use psa::ir::{lower_main, FuncIr};
+use psa::rsg::Level;
+
+fn lower(src: &str) -> FuncIr {
+    let (p, t) = psa::cfront::parse_and_type(src).expect("generated program parses");
+    lower_main(&p, &t).expect("generated program lowers")
+}
+
+fn run(
+    ir: &FuncIr,
+    level: Level,
+    transfer_cache: bool,
+    delta_transfer: bool,
+) -> Result<AnalysisResult, psa::core::engine::AnalysisError> {
+    Engine::new(
+        ir,
+        EngineConfig {
+            level,
+            transfer_cache,
+            delta_transfer,
+            ..Default::default()
+        },
+    )
+    .run()
+}
+
+/// Assert two runs are observationally identical: same success/failure,
+/// same exit set, same per-statement and per-block signatures, same
+/// warnings and revisits.
+fn assert_identical(
+    a: &Result<AnalysisResult, psa::core::engine::AnalysisError>,
+    b: &Result<AnalysisResult, psa::core::engine::AnalysisError>,
+    what: &str,
+    src: &str,
+    level: Level,
+) {
+    match (a, b) {
+        (Ok(x), Ok(y)) => {
+            assert!(
+                x.exit.same_as(&y.exit),
+                "{what}: exit RSRSG diverged at {level}\nprogram:\n{src}"
+            );
+            for (i, (s, r)) in x.after_stmt.iter().zip(&y.after_stmt).enumerate() {
+                assert_eq!(
+                    s.signature(),
+                    r.signature(),
+                    "{what}: statement {i} RSRSG diverged at {level}\nprogram:\n{src}"
+                );
+            }
+            for (s, r) in x.block_in.iter().zip(&y.block_in) {
+                assert!(s.same_as(r), "{what}: block input diverged at {level}");
+            }
+            assert_eq!(
+                x.stats.warnings, y.stats.warnings,
+                "{what}: warnings diverged at {level}\nprogram:\n{src}"
+            );
+            assert_eq!(
+                x.stats.revisits, y.stats.revisits,
+                "{what}: revisits diverged at {level}\nprogram:\n{src}"
+            );
+        }
+        (Err(xe), Err(ye)) => assert_eq!(xe, ye, "{what}: both runs must fail identically"),
+        (x, y) => panic!(
+            "{what}: runs disagree on success at {level}: {:?} vs {:?}\nprogram:\n{src}",
+            x.as_ref().map(|_| ()),
+            y.as_ref().map(|_| ())
+        ),
+    }
+}
+
+/// Reference (both features off) vs memo-only, delta-only, and both.
+fn run_quad(src: &str, level: Level) {
+    let ir = lower(src);
+    let reference = run(&ir, level, false, false);
+    for (memo, delta, what) in [
+        (true, false, "transfer memo"),
+        (false, true, "delta worklist"),
+        (true, true, "memo + delta"),
+    ] {
+        let incremental = run(&ir, level, memo, delta);
+        assert_identical(&incremental, &reference, what, src, level);
+    }
+    // The reference run must not have touched the incremental paths.
+    if let Ok(r) = &reference {
+        assert_eq!(r.stats.ops.transfer_queries, 0);
+        assert_eq!(r.stats.ops.delta_stmt_hits, 0);
+        assert_eq!(r.stats.ops.delta_stmt_extends, 0);
+        assert_eq!(r.stats.ops.delta_stmt_fulls, 0);
+    }
+}
+
+#[test]
+fn random_programs_identical_memo_and_delta_l1() {
+    for seed in 0u64..12 {
+        let src = random_program(seed, 20, 4);
+        run_quad(&src, Level::L1);
+    }
+}
+
+#[test]
+fn random_programs_identical_memo_and_delta_l3() {
+    for seed in 0u64..6 {
+        let src = random_program(seed, 16, 3);
+        run_quad(&src, Level::L3);
+    }
+}
+
+#[test]
+fn dll_identical_memo_and_delta_all_levels() {
+    let src = dll_program(8);
+    for level in Level::ALL {
+        run_quad(&src, level);
+    }
+}
+
+#[test]
+fn paper_codes_identical_memo_and_delta_all_levels() {
+    let sizes = psa::codes::Sizes::tiny();
+    for src in [
+        psa::codes::sparse_matvec(sizes),
+        psa::codes::sparse_lu(sizes),
+        psa::codes::barnes_hut(sizes),
+    ] {
+        for level in Level::ALL {
+            run_quad(&src, level);
+        }
+    }
+}
+
+#[test]
+fn memoized_run_actually_hits_the_memo() {
+    // A loopy program re-transfers statements whose inputs recur, so the
+    // transfer memo must answer them without re-running the pipeline, and
+    // statements whose inputs did not change at all must be replayed by the
+    // delta worklist.
+    let src = dll_program(8);
+    let ir = lower(&src);
+    let res = run(&ir, Level::L1, true, true).unwrap();
+    let ops = &res.stats.ops;
+    assert!(ops.transfer_queries > 0, "{ops:?}");
+    assert!(
+        ops.transfer_memo_hits > 0,
+        "fixed-point iteration must re-transfer known graphs: {ops:?}"
+    );
+    assert_eq!(
+        ops.transfer_queries,
+        ops.transfer_memo_hits + ops.transfer_memo_misses,
+        "{ops:?}"
+    );
+    assert!(
+        ops.transfer_memo_hit_rate() > 0.3,
+        "a loopy program should answer a fair share of transfers from the \
+         memo, got {:.2}",
+        ops.transfer_memo_hit_rate()
+    );
+    assert!(
+        ops.delta_stmt_hits > 0,
+        "unchanged statement inputs must be replayed: {ops:?}"
+    );
+    assert!(ops.transfer_cache_size > 0, "{ops:?}");
+}
+
+#[test]
+fn progressive_rerun_at_same_level_answers_from_the_memo() {
+    // Two engines over one ShapeCtx at the same level and config: the
+    // second run's transfers are all answered by the memo populated by the
+    // first (the progressive L1→L3 re-run scenario, collapsed to one
+    // level).
+    let src = dll_program(8);
+    let ir = lower(&src);
+    let ctx = psa::rsg::ShapeCtx::from_ir(&ir);
+    let cfg = EngineConfig::at_level(Level::L1);
+    let first = Engine::with_shape_ctx(&ir, cfg.clone(), ctx.clone())
+        .run()
+        .unwrap();
+    let second = Engine::with_shape_ctx(&ir, cfg, ctx).run().unwrap();
+    assert!(first.exit.same_as(&second.exit));
+    assert!(first.stats.ops.transfer_memo_misses > 0);
+    assert_eq!(
+        second.stats.ops.transfer_memo_misses, 0,
+        "a same-config re-run must answer every transfer from the memo: {:?}",
+        second.stats.ops
+    );
+    assert!(second.stats.ops.transfer_memo_hits > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Delta re-transfer equals full re-transfer on arbitrary programs:
+    /// the prefix-fold decomposition may never change the fixed point.
+    #[test]
+    fn delta_equals_full_on_random_programs(
+        seed in 0u64..1u64 << 32,
+        stmts in 8usize..18,
+        pvars in 2usize..4,
+        l3 in any::<bool>(),
+    ) {
+        let src = random_program(seed, stmts, pvars);
+        let level = if l3 { Level::L3 } else { Level::L1 };
+        let ir = lower(&src);
+        let full = run(&ir, level, true, false);
+        let delta = run(&ir, level, true, true);
+        match (&delta, &full) {
+            (Ok(d), Ok(f)) => {
+                prop_assert!(d.exit.same_as(&f.exit), "exit diverged\n{src}");
+                for (s, r) in d.after_stmt.iter().zip(&f.after_stmt) {
+                    prop_assert_eq!(s.signature(), r.signature(), "stmt diverged\n{}", src);
+                }
+            }
+            (Err(de), Err(fe)) => prop_assert_eq!(de, fe),
+            _ => prop_assert!(false, "runs disagree on success\n{src}"),
+        }
+    }
+}

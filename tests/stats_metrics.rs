@@ -22,6 +22,7 @@ fn counters_only(ops: &OpStats) -> OpStats {
         subsume_ns: 0,
         join_ns: 0,
         compress_ns: 0,
+        transfer_ns: 0,
         ..*ops
     }
 }
