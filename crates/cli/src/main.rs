@@ -199,6 +199,12 @@ fn print_op_stats(ops: &psa_core::stats::OpStats) {
         std::time::Duration::from_nanos(ops.compress_ns),
         std::time::Duration::from_nanos(ops.transfer_ns),
     );
+    println!(
+        "        prune {:.2?}, divide {:.2?}, canon {:.2?}",
+        std::time::Duration::from_nanos(ops.prune_ns),
+        std::time::Duration::from_nanos(ops.divide_ns),
+        std::time::Duration::from_nanos(ops.canon_ns),
+    );
 }
 
 fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {

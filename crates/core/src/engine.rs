@@ -64,6 +64,11 @@ pub struct EngineConfig {
     /// (the paper's L1-imprecision emulation; see
     /// [`crate::semantics::TransferCtx::pessimistic_sharing`]).
     pub pessimistic_sharing: bool,
+    /// Route every PRUNE through the whole-graph rescan reference
+    /// implementation instead of the seeded worklist. Output-identical by
+    /// construction; kept as the differential-testing baseline (see
+    /// [`psa_rsg::prune::prune_reference`]).
+    pub reference_prune: bool,
     /// Memoize subsumption queries by interned canonical id and pre-filter
     /// them with structural fingerprints (see [`psa_rsg::intern`]). Disable
     /// to force every query through the raw backtracking search — the
@@ -99,6 +104,7 @@ impl Default for EngineConfig {
             widen_cap: 12,
             sharing_relaxation: true,
             pessimistic_sharing: false,
+            reference_prune: false,
             subsume_cache: true,
             transfer_cache: true,
             delta_transfer: true,
@@ -458,6 +464,7 @@ impl<'a> Engine<'a> {
             active_ipvars: &active,
             sharing_relaxation: self.config.sharing_relaxation,
             pessimistic_sharing: self.config.pessimistic_sharing,
+            reference_prune: self.config.reference_prune,
         };
 
         // Reference path: both incremental features off reproduces the
@@ -573,6 +580,7 @@ impl<'a> Engine<'a> {
                         active_ipvars: tcx.active_ipvars,
                         sharing_relaxation: tcx.sharing_relaxation,
                         pessimistic_sharing: tcx.pessimistic_sharing,
+                        reference_prune: tcx.reference_prune,
                     };
                     handles.push(scope.spawn(move || {
                         let mut claimed = Vec::new();
@@ -654,6 +662,7 @@ impl<'a> Engine<'a> {
                     active_ipvars: tcx.active_ipvars,
                     sharing_relaxation: tcx.sharing_relaxation,
                     pessimistic_sharing: tcx.pessimistic_sharing,
+                    reference_prune: tcx.reference_prune,
                 };
                 handles.push(scope.spawn(move || {
                     let mut claimed = Vec::new();

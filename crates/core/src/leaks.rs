@@ -85,7 +85,7 @@ pub fn leak_report(ir: &FuncIr, result: &AnalysisResult) -> LeakReport {
                         let new_root = match info.stmt {
                             Stmt::Ptr(PtrStmt::Copy(_, y)) => g.pl(y),
                             Stmt::Ptr(PtrStmt::Load(_, y, sel)) => {
-                                g.pl(y).and_then(|ny| g.succs(ny, sel).first().copied())
+                                g.pl(y).and_then(|ny| g.succs(ny, sel).first())
                             }
                             _ => None,
                         };

@@ -17,7 +17,7 @@ pub fn reachable_from(g: &Rsg, start: NodeId) -> Vec<NodeId> {
     let mut seen = vec![start];
     let mut stack = vec![start];
     while let Some(n) = stack.pop() {
-        for (_, b) in g.out_links(n) {
+        for &(_, b) in g.out_links(n) {
             if !seen.contains(&b) {
                 seen.push(b);
                 stack.push(b);
@@ -152,13 +152,13 @@ pub fn structure_report(rsrsg: &Rsrsg, p: PvarId) -> StructureReport {
                     r.has_cycle_links |= !nd.cyclelinks.is_empty();
                     r.self_selector_cycle |= nd.cyclelinks.iter().any(|(a, b)| a == b);
                     r.has_summary |= nd.summary;
-                    let out_sels: SelSet = g.out_links(n).into_iter().map(|(s, _)| s).collect();
+                    let out_sels: SelSet = g.out_links(n).iter().map(|&(s, _)| s).collect();
                     if out_sels.len() > 1 {
                         multi_out = true;
                     }
                 }
                 // Root cycle: can we come back to the root?
-                for (_, b) in g.out_links(root) {
+                for &(_, b) in g.out_links(root) {
                     if reachable_from(g, b).contains(&root) {
                         r.cycle_through_root = true;
                     }
@@ -370,7 +370,7 @@ mod tests {
                 // Every link target within the region is itself in the
                 // region.
                 for &n in &region {
-                    for (_, b) in g.out_links(n) {
+                    for &(_, b) in g.out_links(n) {
                         assert!(region.contains(&b));
                     }
                 }

@@ -153,6 +153,9 @@ pub fn ops_to_json(ops: &OpStats) -> Json {
     j.set("join_ns", ops.join_ns);
     j.set("compress_ns", ops.compress_ns);
     j.set("transfer_ns", ops.transfer_ns);
+    j.set("prune_ns", ops.prune_ns);
+    j.set("divide_ns", ops.divide_ns);
+    j.set("canon_ns", ops.canon_ns);
     j
 }
 

@@ -17,10 +17,11 @@ use crate::stats::AnalysisStats;
 use psa_cfront::types::SelectorId;
 use psa_ir::{Cond, PtrStmt, PvarId};
 use psa_rsg::compress::compress;
-use psa_rsg::divide::divide;
+use psa_rsg::divide::divide_with;
 use psa_rsg::intern::{CanonEntry, TransferOutcome};
 use psa_rsg::materialize::materialize;
-use psa_rsg::prune::prune;
+use psa_rsg::prune::prune_with;
+use psa_rsg::scratch;
 use psa_rsg::{Level, NodeId, Rsg, ShapeCtx};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -43,6 +44,10 @@ pub struct TransferCtx<'a> {
     /// its L1 — stale `true` flags block the aggressive pruning of §4.2 and
     /// inflate the RSRSGs (the Barnes-Hut inversion mechanism of Table 1).
     pub pessimistic_sharing: bool,
+    /// Route every PRUNE through the whole-graph rescan reference
+    /// implementation instead of the worklist (differential-testing knob;
+    /// see [`psa_rsg::prune::prune_reference`]).
+    pub reference_prune: bool,
 }
 
 impl<'a> TransferCtx<'a> {
@@ -54,6 +59,7 @@ impl<'a> TransferCtx<'a> {
             active_ipvars,
             sharing_relaxation: true,
             pessimistic_sharing: false,
+            reference_prune: false,
         }
     }
 }
@@ -67,6 +73,30 @@ impl<'a> TransferCtx<'a> {
     /// Bump an op counter on the run-wide metrics tables.
     fn count(&self, counter: impl Fn(&psa_rsg::intern::OpMetrics) -> &AtomicU64) {
         counter(&self.ctx.tables.metrics).fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accumulate elapsed wall time since `t0` into a cumulative-ns gauge.
+    fn add_ns(&self, field: impl Fn(&psa_rsg::intern::OpMetrics) -> &AtomicU64, t0: Instant) {
+        field(&self.ctx.tables.metrics)
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Prune through the configured implementation, timing it.
+    fn prune(&self, g: &Rsg) -> Option<Rsg> {
+        self.count(|m| &m.prune_calls);
+        let t0 = Instant::now();
+        let out = prune_with(g, self.reference_prune);
+        self.add_ns(|m| &m.prune_ns, t0);
+        out
+    }
+
+    /// Divide through the configured prune implementation, timing it.
+    fn divide(&self, g: &Rsg, x: PvarId, sel: SelectorId) -> Vec<Rsg> {
+        self.count(|m| &m.divide_calls);
+        let t0 = Instant::now();
+        let out = divide_with(g, x, sel, self.reference_prune);
+        self.add_ns(|m| &m.divide_ns, t0);
+        out
     }
 }
 
@@ -274,19 +304,20 @@ fn store(
         return vec![];
     }
     let mut out = Vec::new();
-    tcx.count(|m| &m.divide_calls);
-    for mut gd in divide(g, x, sel) {
+    for mut gd in tcx.divide(g, x, sel) {
         let n_x = gd.pl(x).expect("divide keeps x bound");
         // Remove the (unique) existing sel link, materializing its summary
         // target first so the removal is a strong update on one location.
-        let succs = gd.succs(n_x, sel);
-        debug_assert!(succs.len() <= 1, "divide leaves at most one sel target");
-        if let Some(&t0) = succs.first() {
+        debug_assert!(
+            gd.succs(n_x, sel).len() <= 1,
+            "divide leaves at most one sel target"
+        );
+        let t0_opt = gd.succs(n_x, sel).first();
+        if let Some(t0) = t0_opt {
             let n_t = if gd.node(t0).summary {
                 tcx.count(|m| &m.materialize_calls);
-                tcx.count(|m| &m.prune_calls);
                 let m = materialize(&mut gd, n_x, sel, t0);
-                match prune(&gd) {
+                match tcx.prune(&gd) {
                     Some(p) => gd = p,
                     None => continue,
                 }
@@ -306,10 +337,10 @@ fn store(
                 nx.cyclelinks.drop_first(sel);
             }
             if gd.is_live(n_t) {
-                let remaining = gd.preds(n_t, sel);
+                let remaining_empty = gd.preds(n_t, sel).is_empty();
                 let nt = gd.node_mut(n_t);
                 nt.cyclelinks.drop_second(sel);
-                if remaining.is_empty() {
+                if remaining_empty {
                     nt.clear_in(sel);
                 } else {
                     nt.weaken_in(sel);
@@ -323,12 +354,13 @@ fn store(
         // The write part of `x->sel = y`.
         if let Some(y) = y {
             if let Some(n_y) = gd.pl(y) {
-                // Does the target already carry other references?
-                let prior_in = gd.in_links(n_y);
+                // Does the target already carry other references? (Checked
+                // against the in-links as they stood *before* the new link.)
+                let other_sel =
+                    tcx.pessimistic_sharing || gd.in_links(n_y).iter().any(|&(_, s)| s == sel);
+                let any_other = tcx.pessimistic_sharing || !gd.in_links(n_y).is_empty();
                 gd.add_link(n_x, sel, n_y);
                 gd.node_mut(n_x).set_must_out(sel);
-                let other_sel = tcx.pessimistic_sharing || prior_in.iter().any(|&(_, s)| s == sel);
-                let any_other = tcx.pessimistic_sharing || !prior_in.is_empty();
                 {
                     let ny = gd.node_mut(n_y);
                     ny.set_must_in(sel);
@@ -340,20 +372,25 @@ fn store(
                     }
                 }
                 // CYCLELINKS: if y definitely points back at x through some
-                // s2, assert the cycle pair on both ends.
-                for (s2, b) in gd.out_links(n_y) {
-                    if b == n_x && gd.is_definite_link(n_y, s2, n_x) {
-                        gd.node_mut(n_x).cyclelinks.insert(sel, s2);
-                        gd.node_mut(n_y).cyclelinks.insert(s2, sel);
-                    }
+                // s2, assert the cycle pair on both ends. The cyclelink
+                // inserts do not affect presence or link structure, so the
+                // definite-link predicate can be evaluated up front against
+                // one shared presence snapshot.
+                let present = gd.present_nodes();
+                let mut back = scratch::out_buf();
+                back.extend(gd.out_links(n_y).iter().copied().filter(|&(s2, b)| {
+                    b == n_x && gd.is_definite_link_with(&present, n_y, s2, n_x)
+                }));
+                for &(s2, _) in back.iter() {
+                    gd.node_mut(n_x).cyclelinks.insert(sel, s2);
+                    gd.node_mut(n_y).cyclelinks.insert(s2, sel);
                 }
             }
             // Storing NULL into the field was already handled above.
         }
 
         gd.gc();
-        tcx.count(|m| &m.prune_calls);
-        if let Some(mut p) = prune(&gd) {
+        if let Some(mut p) = tcx.prune(&gd) {
             p.relax_sharing();
             out.push(p);
         }
@@ -378,24 +415,22 @@ fn load(
         return vec![];
     }
     let mut out = Vec::new();
-    tcx.count(|m| &m.divide_calls);
-    for mut gd in divide(g, y, sel) {
+    for mut gd in tcx.divide(g, y, sel) {
         let n_y = gd.pl(y).expect("divide keeps y bound");
-        let succs = gd.succs(n_y, sel);
-        debug_assert!(succs.len() <= 1);
-        match succs.first() {
+        debug_assert!(gd.succs(n_y, sel).len() <= 1);
+        let t0_opt = gd.succs(n_y, sel).first();
+        match t0_opt {
             None => {
                 // y->sel == NULL in this variant: x becomes NULL.
                 gd.clear_pl(x);
                 gd.gc();
                 out.push(gd);
             }
-            Some(&t0) => {
+            Some(t0) => {
                 let n_t: NodeId = if gd.node(t0).summary {
                     tcx.count(|m| &m.materialize_calls);
-                    tcx.count(|m| &m.prune_calls);
                     let m = materialize(&mut gd, n_y, sel, t0);
-                    match prune(&gd) {
+                    match tcx.prune(&gd) {
                         Some(p) => gd = p,
                         None => continue,
                     }
@@ -414,8 +449,7 @@ fn load(
                     gd.node_mut(n_t).touch.insert(x);
                 }
                 gd.gc();
-                tcx.count(|m| &m.prune_calls);
-                if let Some(mut p) = prune(&gd) {
+                if let Some(mut p) = tcx.prune(&gd) {
                     p.relax_sharing();
                     out.push(p);
                 }

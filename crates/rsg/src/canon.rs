@@ -13,6 +13,26 @@
 //! serialization wins. RSGs are small (tens of nodes) and, after COMPRESS,
 //! contain pairwise property-distinct nodes, so backtracking almost never
 //! triggers.
+//!
+//! # The hash-color fast path
+//!
+//! The exact refinement carries full byte/`Vec<u32>` signatures through
+//! `BTreeMap` palettes — correct, but allocation-heavy, and it dominates
+//! interning time. [`canonical_bytes`] therefore first runs the same
+//! refinement over **u64 hash colors** (splitmix-style mixing of the
+//! initial color bytes, then of the sorted neighbor color multisets):
+//!
+//! * if the hash partition becomes **discrete** (all `n` hashes distinct),
+//!   ordering nodes by hash is an isomorphism-invariant total order —
+//!   hashes are computed from ids only through id-independent inputs — so
+//!   serialization under the hash ranks is canonical. A u64 collision can
+//!   only *merge* classes, never split them, so a collision can never
+//!   smuggle a non-discrete partition through this gate;
+//! * if refinement **stalls** (class count stops growing, whether from a
+//!   genuine symmetry or a hash collision), we fall back to the exact
+//!   byte-color refinement with individualization above. Stalling is itself
+//!   isomorphism-invariant, so isomorphic graphs always take the same path
+//!   and compare equal.
 
 use crate::graph::Rsg;
 use crate::node::NodeId;
@@ -88,8 +108,8 @@ fn refine(g: &Rsg, ids: &[NodeId], init: &BTreeMap<NodeId, Vec<u8>>) -> BTreeMap
             let mut sig = vec![color[&n]];
             let mut outs: Vec<(u32, u32)> = g
                 .out_links(n)
-                .into_iter()
-                .map(|(s, b)| (s.0, color[&b]))
+                .iter()
+                .map(|&(s, b)| (s.0, color[&b]))
                 .collect();
             outs.sort_unstable();
             sig.push(u32::MAX); // separator
@@ -99,8 +119,8 @@ fn refine(g: &Rsg, ids: &[NodeId], init: &BTreeMap<NodeId, Vec<u8>>) -> BTreeMap
             }
             let mut ins: Vec<(u32, u32)> = g
                 .in_links(n)
-                .into_iter()
-                .map(|(a, s)| (s.0, color[&a]))
+                .iter()
+                .map(|&(a, s)| (s.0, color[&a]))
                 .collect();
             ins.sort_unstable();
             sig.push(u32::MAX - 1);
@@ -135,10 +155,101 @@ fn refine(g: &Rsg, ids: &[NodeId], init: &BTreeMap<NodeId, Vec<u8>>) -> BTreeMap
     }
 }
 
-/// Full canonical coloring with individualization + backtracking.
+/// Full canonical coloring: WL hash-color fast path first, exact
+/// refinement with individualization + backtracking on stall/collision.
 fn canonical_colors(g: &Rsg, ids: &[NodeId]) -> BTreeMap<NodeId, u32> {
     let init: BTreeMap<NodeId, Vec<u8>> = ids.iter().map(|&n| (n, initial_color(g, n))).collect();
+    if let Some(colors) = wl_hash_colors(g, ids, &init) {
+        return colors;
+    }
     best_coloring(g, ids, &init, 0)
+}
+
+/// Splitmix64 finalizer: the avalanche mixer used for hash colors.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the initial color bytes, avalanched.
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    mix(h)
+}
+
+/// WL refinement over u64 hash colors. Returns the discrete coloring as
+/// hash ranks, or `None` when the partition stalls before discreteness
+/// (genuine symmetry or hash collision) — the caller then runs the exact
+/// path.
+fn wl_hash_colors(
+    g: &Rsg,
+    ids: &[NodeId],
+    init: &BTreeMap<NodeId, Vec<u8>>,
+) -> Option<BTreeMap<NodeId, u32>> {
+    let n = ids.len();
+    let cap = ids.iter().map(|id| id.0 as usize + 1).max().unwrap_or(0);
+    let mut h = vec![0u64; cap];
+    for &id in ids {
+        h[id.0 as usize] = hash_bytes(&init[&id]);
+    }
+    let count_classes = |h: &[u64]| -> usize {
+        let mut seen: Vec<u64> = ids.iter().map(|id| h[id.0 as usize]).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    };
+    let mut classes = count_classes(&h);
+    let mut sig: Vec<u64> = Vec::new();
+    while classes < n {
+        let mut next = vec![0u64; cap];
+        for &id in ids {
+            sig.clear();
+            for &(s, b) in g.out_links(id) {
+                sig.push(mix(0xA11C_E5ED ^ (u64::from(s.0) << 1)) ^ h[b.0 as usize]);
+            }
+            // Out entries are sorted by (sel, target id); re-sort by hash so
+            // the fold is independent of node ids.
+            sig.sort_unstable();
+            let mut acc = h[id.0 as usize];
+            for &v in &sig {
+                acc = mix(acc ^ v);
+            }
+            sig.clear();
+            for &(a, s) in g.in_links(id) {
+                sig.push(mix(0xB0B5_1ED5 ^ (u64::from(s.0) << 1)) ^ h[a.0 as usize]);
+            }
+            sig.sort_unstable();
+            for &v in &sig {
+                acc = mix(acc ^ v);
+            }
+            next[id.0 as usize] = acc;
+        }
+        let next_classes = count_classes(&next);
+        if next_classes <= classes {
+            // Stalled short of discreteness — or a collision merged classes
+            // (refinement with the old color folded in can otherwise only
+            // split). Either way the exact path decides.
+            return None;
+        }
+        h = next;
+        classes = next_classes;
+    }
+    // Discrete: rank nodes by hash value.
+    let mut order: Vec<NodeId> = ids.to_vec();
+    order.sort_unstable_by_key(|id| h[id.0 as usize]);
+    Some(
+        order
+            .into_iter()
+            .enumerate()
+            .map(|(i, id)| (id, i as u32))
+            .collect(),
+    )
 }
 
 const MAX_INDIVIDUALIZE_DEPTH: usize = 8;

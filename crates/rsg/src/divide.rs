@@ -10,7 +10,7 @@
 //! pruned; contradictory outputs are dropped.
 
 use crate::graph::Rsg;
-use crate::prune::prune;
+use crate::prune::prune_with;
 use psa_cfront::types::SelectorId;
 use psa_ir::PvarId;
 
@@ -20,6 +20,14 @@ use psa_ir::PvarId;
 /// is unbound (NULL) the input graph is returned unchanged — the caller
 /// decides how to treat the null dereference.
 pub fn divide(g: &Rsg, x: PvarId, sel: SelectorId) -> Vec<Rsg> {
+    divide_with(g, x, sel, false)
+}
+
+/// [`divide`] with an explicit PRUNE implementation choice:
+/// `reference_prune` routes every post-division prune through the rescan
+/// reference path (see [`crate::prune::prune_reference`]) instead of the
+/// worklist — the knob the differential suites flip.
+pub fn divide_with(g: &Rsg, x: PvarId, sel: SelectorId, reference_prune: bool) -> Vec<Rsg> {
     let Some(n) = g.pl(x) else {
         return vec![g.clone()];
     };
@@ -27,9 +35,9 @@ pub fn divide(g: &Rsg, x: PvarId, sel: SelectorId) -> Vec<Rsg> {
     let must = g.node(n).selout.contains(sel);
     let mut out = Vec::with_capacity(succs.len() + 1);
 
-    for &target in &succs {
+    for target in succs {
         let mut gi = g.clone();
-        for &other in &succs {
+        for other in succs {
             if other != target {
                 gi.remove_link(n, sel, other);
             }
@@ -39,7 +47,7 @@ pub fn divide(g: &Rsg, x: PvarId, sel: SelectorId) -> Vec<Rsg> {
         if !gi.node(target).summary {
             gi.node_mut(target).set_must_in(sel);
         }
-        if let Some(p) = prune(&gi) {
+        if let Some(p) = prune_with(&gi, reference_prune) {
             out.push(p);
         }
     }
@@ -47,11 +55,11 @@ pub fn divide(g: &Rsg, x: PvarId, sel: SelectorId) -> Vec<Rsg> {
     if !must {
         // The x->sel == NULL variant.
         let mut gn = g.clone();
-        for &other in &succs {
+        for other in succs {
             gn.remove_link(n, sel, other);
         }
         gn.node_mut(n).clear_out(sel);
-        if let Some(p) = prune(&gn) {
+        if let Some(p) = prune_with(&gn, reference_prune) {
             out.push(p);
         }
     }

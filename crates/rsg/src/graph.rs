@@ -1,11 +1,207 @@
 //! The RSG graph: nodes, pvar references (PL) and selector links (NL).
+//!
+//! NL links are stored as **per-node indexed adjacency**: every node slot
+//! carries a sorted out-link list (`(sel, target)` order) and a sorted
+//! in-link list (`(source, sel)` order), kept mirror-consistent by
+//! [`Rsg::add_link`] / [`Rsg::remove_link`]. The accessors
+//! ([`Rsg::succs`], [`Rsg::preds`], [`Rsg::out_links`], [`Rsg::in_links`])
+//! borrow directly from those lists in O(degree), so the kernels that
+//! dominate the fixpoint (COMPRESS, PRUNE, DIVIDE, JOIN, subsumption) never
+//! pay an O(total-links) scan or allocate a `Vec` just to look at a
+//! neighborhood. Kernels that genuinely need owned collections draw reusable
+//! buffers from [`crate::scratch`].
 
 use crate::ctx::ShapeCtx;
 use crate::node::{Node, NodeId};
 use crate::sets::SelSet;
 use psa_cfront::types::{SelectorId, StructId};
 use psa_ir::PvarId;
-use std::collections::BTreeSet;
+
+/// Per-node adjacency mirrors. `out` is sorted by `(sel, target)`, `inn` by
+/// `(source, sel)`; each NL link `<a, s, b>` appears exactly once in
+/// `adj[a].out` and once in `adj[b].inn` (twice in the same slot for
+/// self-links).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Adj {
+    out: Vec<(SelectorId, NodeId)>,
+    inn: Vec<(NodeId, SelectorId)>,
+}
+
+/// A borrowed view of the `sel`-successors of a node: a contiguous,
+/// ascending sub-slice of its out-link list. `Copy`, so it can be passed
+/// around freely; dereference into node ids via [`Succs::iter`],
+/// indexing, or the `Option` helpers.
+#[derive(Clone, Copy)]
+pub struct Succs<'a>(&'a [(SelectorId, NodeId)]);
+
+impl<'a> Succs<'a> {
+    /// Number of successors.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when there is no successor.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The smallest successor, if any.
+    pub fn first(&self) -> Option<NodeId> {
+        self.0.first().map(|&(_, b)| b)
+    }
+
+    /// The successor, if there is **exactly one**.
+    pub fn unique(&self) -> Option<NodeId> {
+        match self.0 {
+            [(_, b)] => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Is `n` among the successors?
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.0.iter().any(|&(_, b)| b == n)
+    }
+
+    /// Iterate the successor ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.0.iter().map(|&(_, b)| b)
+    }
+
+    /// Owned copy of the successor ids.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+}
+
+impl std::ops::Index<usize> for Succs<'_> {
+    type Output = NodeId;
+    fn index(&self, i: usize) -> &NodeId {
+        &self.0[i].1
+    }
+}
+
+impl<'a> IntoIterator for Succs<'a> {
+    type Item = NodeId;
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (SelectorId, NodeId)>,
+        fn(&(SelectorId, NodeId)) -> NodeId,
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().map(|&(_, b)| b)
+    }
+}
+
+impl std::fmt::Debug for Succs<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq<Vec<NodeId>> for Succs<'_> {
+    fn eq(&self, other: &Vec<NodeId>) -> bool {
+        self.iter().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<Succs<'_>> for Vec<NodeId> {
+    fn eq(&self, other: &Succs<'_>) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq for Succs<'_> {
+    fn eq(&self, other: &Succs<'_>) -> bool {
+        self.0 == other.0
+    }
+}
+
+/// A borrowed view of the `sel`-predecessors of a node: a filter over its
+/// in-link list (sorted by source, so ids come out ascending).
+#[derive(Clone, Copy)]
+pub struct Preds<'a> {
+    inn: &'a [(NodeId, SelectorId)],
+    sel: SelectorId,
+}
+
+/// Iterator over [`Preds`].
+pub struct PredsIter<'a> {
+    inner: std::slice::Iter<'a, (NodeId, SelectorId)>,
+    sel: SelectorId,
+}
+
+impl Iterator for PredsIter<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        for &(a, s) in self.inner.by_ref() {
+            if s == self.sel {
+                return Some(a);
+            }
+        }
+        None
+    }
+}
+
+impl<'a> Preds<'a> {
+    /// Iterate the predecessor ids in ascending order.
+    pub fn iter(&self) -> PredsIter<'a> {
+        PredsIter {
+            inner: self.inn.iter(),
+            sel: self.sel,
+        }
+    }
+
+    /// True when there is no predecessor through the selector.
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+
+    /// Number of predecessors.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// The smallest predecessor, if any.
+    pub fn first(&self) -> Option<NodeId> {
+        self.iter().next()
+    }
+
+    /// Is `n` among the predecessors?
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.iter().any(|a| a == n)
+    }
+
+    /// Owned copy of the predecessor ids.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for Preds<'a> {
+    type Item = NodeId;
+    type IntoIter = PredsIter<'a>;
+    fn into_iter(self) -> PredsIter<'a> {
+        self.iter()
+    }
+}
+
+impl std::fmt::Debug for Preds<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq<Vec<NodeId>> for Preds<'_> {
+    fn eq(&self, other: &Vec<NodeId>) -> bool {
+        self.iter().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<Preds<'_>> for Vec<NodeId> {
+    fn eq(&self, other: &Preds<'_>) -> bool {
+        other == self
+    }
+}
 
 /// A Reference Shape Graph.
 ///
@@ -18,12 +214,16 @@ use std::collections::BTreeSet;
 ///   with any location not pointed to by the same pvar;
 /// * NL links are *may* information; the node property must-sets
 ///   (`selin`/`selout`/`cyclelinks`) carry the *must* information that
-///   pruning exploits.
+///   pruning exploits;
+/// * **adjacency mirrors** — `adj[a].out` and `adj[b].inn` record exactly
+///   the same link set, each list sorted; `num_links` counts the links.
+///   [`Rsg::check_invariants`] verifies the mirrors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rsg {
     nodes: Vec<Option<Node>>,
     pl: Vec<Option<NodeId>>,
-    links: BTreeSet<(NodeId, SelectorId, NodeId)>,
+    adj: Vec<Adj>,
+    num_links: usize,
     /// Known constant values of tracked scalar (flag) variables: an entry
     /// `v ↦ k` asserts that in **every** configuration this graph
     /// represents, scalar `v` holds `k`. Maintained by the engine from
@@ -38,7 +238,8 @@ impl Rsg {
         Rsg {
             nodes: Vec::new(),
             pl: vec![None; num_pvars],
-            links: BTreeSet::new(),
+            adj: Vec::new(),
+            num_links: 0,
             scalars: std::collections::BTreeMap::new(),
         }
     }
@@ -77,6 +278,7 @@ impl Rsg {
     pub fn add_node(&mut self, node: Node) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Some(node));
+        self.adj.push(Adj::default());
         id
     }
 
@@ -100,8 +302,28 @@ impl Rsg {
 
     /// Remove a node together with its links and pvar references.
     pub fn remove_node(&mut self, id: NodeId) {
+        let adj = std::mem::take(&mut self.adj[id.0 as usize]);
+        // Every removed link appears in `out` except pure in-links from
+        // other nodes; a self-link sits in both lists but is one link.
+        self.num_links -= adj.out.len();
+        for &(s, b) in &adj.out {
+            if b != id {
+                let inn = &mut self.adj[b.0 as usize].inn;
+                if let Ok(pos) = inn.binary_search(&(id, s)) {
+                    inn.remove(pos);
+                }
+            }
+        }
+        for &(a, s) in &adj.inn {
+            if a != id {
+                self.num_links -= 1;
+                let out = &mut self.adj[a.0 as usize].out;
+                if let Ok(pos) = out.binary_search(&(s, id)) {
+                    out.remove(pos);
+                }
+            }
+        }
         self.nodes[id.0 as usize] = None;
-        self.links.retain(|&(a, _, b)| a != id && b != id);
         for slot in self.pl.iter_mut() {
             if *slot == Some(id) {
                 *slot = None;
@@ -167,61 +389,85 @@ impl Rsg {
     /// Add link `<a, sel, b>`; returns true if it was new.
     pub fn add_link(&mut self, a: NodeId, sel: SelectorId, b: NodeId) -> bool {
         debug_assert!(self.is_live(a) && self.is_live(b));
-        self.links.insert((a, sel, b))
+        let out = &mut self.adj[a.0 as usize].out;
+        match out.binary_search(&(sel, b)) {
+            Ok(_) => false,
+            Err(pos) => {
+                out.insert(pos, (sel, b));
+                let inn = &mut self.adj[b.0 as usize].inn;
+                let ipos = inn
+                    .binary_search(&(a, sel))
+                    .expect_err("out/in mirrors out of sync");
+                inn.insert(ipos, (a, sel));
+                self.num_links += 1;
+                true
+            }
+        }
     }
 
     /// Remove link `<a, sel, b>`; returns true if it existed.
     pub fn remove_link(&mut self, a: NodeId, sel: SelectorId, b: NodeId) -> bool {
-        self.links.remove(&(a, sel, b))
+        let out = &mut self.adj[a.0 as usize].out;
+        match out.binary_search(&(sel, b)) {
+            Ok(pos) => {
+                out.remove(pos);
+                let inn = &mut self.adj[b.0 as usize].inn;
+                let ipos = inn
+                    .binary_search(&(a, sel))
+                    .expect("out/in mirrors out of sync");
+                inn.remove(ipos);
+                self.num_links -= 1;
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Does link `<a, sel, b>` exist?
     pub fn has_link(&self, a: NodeId, sel: SelectorId, b: NodeId) -> bool {
-        self.links.contains(&(a, sel, b))
+        self.adj[a.0 as usize].out.binary_search(&(sel, b)).is_ok()
     }
 
-    /// All links, sorted.
+    /// All links, sorted by `(source, sel, target)`.
     pub fn links(&self) -> impl Iterator<Item = (NodeId, SelectorId, NodeId)> + '_ {
-        self.links.iter().copied()
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(i, adj)| adj.out.iter().map(move |&(s, b)| (NodeId(i as u32), s, b)))
     }
 
     /// Number of links.
     pub fn num_links(&self) -> usize {
-        self.links.len()
+        self.num_links
     }
 
-    /// Targets of `a` through `sel`, sorted.
-    pub fn succs(&self, a: NodeId, sel: SelectorId) -> Vec<NodeId> {
-        self.links
-            .range((a, sel, NodeId(0))..=(a, sel, NodeId(u32::MAX)))
-            .map(|&(_, _, b)| b)
-            .collect()
+    /// Targets of `a` through `sel`, ascending — a borrowed O(degree) view.
+    pub fn succs(&self, a: NodeId, sel: SelectorId) -> Succs<'_> {
+        let out = &self.adj[a.0 as usize].out;
+        let lo = out.partition_point(|&(s, _)| s < sel);
+        let hi = lo + out[lo..].partition_point(|&(s, _)| s == sel);
+        Succs(&out[lo..hi])
     }
 
-    /// All outgoing links of `a`, sorted.
-    pub fn out_links(&self, a: NodeId) -> Vec<(SelectorId, NodeId)> {
-        self.links
-            .range((a, SelectorId(0), NodeId(0))..=(a, SelectorId(u32::MAX), NodeId(u32::MAX)))
-            .map(|&(_, s, b)| (s, b))
-            .collect()
+    /// All outgoing links of `a`, sorted by `(sel, target)` — a borrowed
+    /// slice of the adjacency list.
+    pub fn out_links(&self, a: NodeId) -> &[(SelectorId, NodeId)] {
+        &self.adj[a.0 as usize].out
     }
 
-    /// All incoming links of `b` (linear scan; graphs are small).
-    pub fn in_links(&self, b: NodeId) -> Vec<(NodeId, SelectorId)> {
-        self.links
-            .iter()
-            .filter(|&&(_, _, t)| t == b)
-            .map(|&(a, s, _)| (a, s))
-            .collect()
+    /// All incoming links of `b`, sorted by `(source, sel)` — a borrowed
+    /// slice of the adjacency list.
+    pub fn in_links(&self, b: NodeId) -> &[(NodeId, SelectorId)] {
+        &self.adj[b.0 as usize].inn
     }
 
-    /// Incoming links of `b` through `sel`.
-    pub fn preds(&self, b: NodeId, sel: SelectorId) -> Vec<NodeId> {
-        self.links
-            .iter()
-            .filter(|&&(_, s, t)| t == b && s == sel)
-            .map(|&(a, _, _)| a)
-            .collect()
+    /// Incoming links of `b` through `sel`, ascending — a borrowed
+    /// O(in-degree) view.
+    pub fn preds(&self, b: NodeId, sel: SelectorId) -> Preds<'_> {
+        Preds {
+            inn: &self.adj[b.0 as usize].inn,
+            sel,
+        }
     }
 
     /// Nodes **definitely present** in every configuration the graph
@@ -247,8 +493,7 @@ impl Rsg {
                 continue; // cannot single out which location holds the link
             }
             for sel in na.selout.iter() {
-                let succs = self.succs(a, sel);
-                if let [b] = succs[..] {
+                if let Some(b) = self.succs(a, sel).unique() {
                     if !present[b.0 as usize] {
                         present[b.0 as usize] = true;
                         stack.push(b);
@@ -281,7 +526,7 @@ impl Rsg {
         present[a.0 as usize]
             && !na.summary
             && na.selout.contains(sel)
-            && self.succs(a, sel) == vec![b]
+            && self.succs(a, sel).unique() == Some(b)
     }
 
     // ------------------------------------------------------- maintenance
@@ -298,13 +543,21 @@ impl Rsg {
     /// no care: a survivor linking *to* a node makes that node reachable, so
     /// survivor→garbage links cannot exist.)
     pub fn gc(&mut self) -> usize {
+        self.gc_track(&mut Vec::new())
+    }
+
+    /// [`Rsg::gc`], additionally appending every surviving node whose
+    /// in-links or must-in claims were touched by the collection (the
+    /// targets of garbage-held crossing links) to `touched` — the seed set
+    /// the worklist PRUNE uses to avoid a whole-graph rescan.
+    pub fn gc_track(&mut self, touched: &mut Vec<NodeId>) -> usize {
         let mut reachable = vec![false; self.nodes.len()];
         let mut stack: Vec<NodeId> = self.pl.iter().flatten().copied().collect();
         for &n in &stack {
             reachable[n.0 as usize] = true;
         }
         while let Some(n) = stack.pop() {
-            for (_, b) in self.out_links(n) {
+            for &(_, b) in self.out_links(n) {
                 if !reachable[b.0 as usize] {
                     reachable[b.0 as usize] = true;
                     stack.push(b);
@@ -318,18 +571,26 @@ impl Rsg {
         if dead.is_empty() {
             return 0;
         }
-        // Weaken survivors that lose garbage-held in-links.
-        let crossing: Vec<(SelectorId, NodeId)> = self
-            .links
-            .iter()
-            .filter(|&&(a, _, b)| !reachable[a.0 as usize] && reachable[b.0 as usize])
-            .map(|&(_, s, b)| (s, b))
-            .collect();
-        for n in &dead {
-            self.nodes[n.0 as usize] = None;
+        // Links from garbage into survivors: the survivors lose in-links
+        // and may need their must-in claims weakened.
+        let mut crossing: Vec<(SelectorId, NodeId)> = Vec::new();
+        for &d in &dead {
+            let adj = std::mem::take(&mut self.adj[d.0 as usize]);
+            self.num_links -= adj.out.len();
+            for &(s, b) in &adj.out {
+                if reachable[b.0 as usize] {
+                    crossing.push((s, b));
+                    let inn = &mut self.adj[b.0 as usize].inn;
+                    if let Ok(pos) = inn.binary_search(&(d, s)) {
+                        inn.remove(pos);
+                    }
+                }
+                // Garbage targets lose their whole adjacency anyway; and
+                // survivor→garbage links cannot exist (see above), so no
+                // out-list of a survivor needs cleaning.
+            }
+            self.nodes[d.0 as usize] = None;
         }
-        self.links
-            .retain(|&(a, _, b)| reachable[a.0 as usize] && reachable[b.0 as usize]);
         if !crossing.is_empty() {
             // A surviving must-in claim needs a *definite* witness: remaining
             // may-links through the same selector can be alternatives from
@@ -337,15 +598,18 @@ impl Rsg {
             // this configuration's only reference (found by the differential
             // harness on Barnes-Hut: popping the traversal stack).
             let present = self.present_nodes();
-            for (s, b) in crossing {
+            for &(s, b) in &crossing {
                 let witnessed = self
                     .preds(b, s)
-                    .into_iter()
+                    .iter()
                     .any(|a| self.is_definite_link_with(&present, a, s, b));
                 if !witnessed {
                     self.node_mut(b).weaken_in(s);
                 }
             }
+            touched.extend(crossing.iter().map(|&(_, b)| b));
+            touched.sort_unstable();
+            touched.dedup();
         }
         dead.len()
     }
@@ -365,7 +629,7 @@ impl Rsg {
             }
             x
         }
-        for &(a, _, b) in &self.links {
+        for (a, _, b) in self.links() {
             let ra = find(&mut parent, a.0 as usize);
             let rb = find(&mut parent, b.0 as usize);
             if ra != rb {
@@ -403,29 +667,29 @@ impl Rsg {
             if self.node(id).summary {
                 continue;
             }
-            let in_links = self.in_links(id);
             let mut new_shsel = self.node(id).shsel;
             let mut provable_total = 0usize; // ≥2 means "cannot relax shared"
             let mut unknown = false;
             // Consider every selector that is flagged shared or has in-links.
-            let relevant: SelSet = in_links
+            let relevant: SelSet = self
+                .in_links(id)
                 .iter()
                 .map(|&(_, s)| s)
                 .collect::<SelSet>()
                 .union(new_shsel);
             for sel in relevant.iter() {
-                let sources: Vec<NodeId> = in_links
-                    .iter()
-                    .filter(|&&(_, s)| s == sel)
-                    .map(|&(a, _)| a)
-                    .collect();
-                if sources.is_empty() {
-                    new_shsel.remove(sel);
-                } else if sources.len() == 1 && !self.node(sources[0]).summary {
-                    new_shsel.remove(sel);
-                    provable_total += 1;
-                } else {
-                    unknown = true;
+                let mut sources = self.preds(id, sel).iter();
+                match (sources.next(), sources.next()) {
+                    (None, _) => {
+                        new_shsel.remove(sel);
+                    }
+                    (Some(a), None) if !self.node(a).summary => {
+                        new_shsel.remove(sel);
+                        provable_total += 1;
+                    }
+                    _ => {
+                        unknown = true;
+                    }
                 }
             }
             let node = self.node_mut(id);
@@ -453,7 +717,7 @@ impl Rsg {
         for b in ids {
             let must_in = self.node(b).selin;
             for s in must_in.iter() {
-                let witnessed = self.preds(b, s).into_iter().any(|a| present[a.0 as usize]);
+                let witnessed = self.preds(b, s).iter().any(|a| present[a.0 as usize]);
                 if !witnessed {
                     self.node_mut(b).weaken_in(s);
                 }
@@ -466,13 +730,14 @@ impl Rsg {
     pub fn approx_bytes(&self) -> usize {
         let node_bytes: usize = self.nodes.iter().flatten().map(|n| n.approx_bytes()).sum();
         node_bytes
-            + self.links.len() * std::mem::size_of::<(NodeId, SelectorId, NodeId)>()
+            + self.num_links * std::mem::size_of::<(NodeId, SelectorId, NodeId)>()
             + self.pl.len() * std::mem::size_of::<Option<NodeId>>()
             + self.scalars.len() * std::mem::size_of::<(u32, i64)>()
     }
 
     /// Debug invariant check: PL targets live and singular, link endpoints
-    /// live, link selectors declared by the source node's type.
+    /// live, link selectors declared by the source node's type, adjacency
+    /// mirrors sorted and consistent, link counter exact.
     pub fn check_invariants(&self, ctx: &ShapeCtx) -> Result<(), String> {
         for (p, n) in self.pl_iter() {
             if !self.is_live(n) {
@@ -501,6 +766,46 @@ impl Rsg {
                     return Err(format!("link <{a},{},{b}>: target type mismatch", sel.0));
                 }
             }
+        }
+        self.check_adjacency()
+    }
+
+    /// Verify the adjacency mirrors: both lists sorted and duplicate-free,
+    /// every out entry mirrored by an in entry and vice versa, `num_links`
+    /// equal to the total out-degree.
+    pub fn check_adjacency(&self) -> Result<(), String> {
+        if self.adj.len() != self.nodes.len() {
+            return Err("adjacency table length != node table length".into());
+        }
+        let mut total = 0usize;
+        for (i, adj) in self.adj.iter().enumerate() {
+            let id = NodeId(i as u32);
+            if self.nodes[i].is_none() && (!adj.out.is_empty() || !adj.inn.is_empty()) {
+                return Err(format!("dead node {id} still has adjacency"));
+            }
+            if !adj.out.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("out-links of {id} not strictly sorted"));
+            }
+            if !adj.inn.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("in-links of {id} not strictly sorted"));
+            }
+            total += adj.out.len();
+            for &(s, b) in &adj.out {
+                if self.adj[b.0 as usize].inn.binary_search(&(id, s)).is_err() {
+                    return Err(format!("link <{id},{},{b}> missing its in-mirror", s.0));
+                }
+            }
+            for &(a, s) in &adj.inn {
+                if self.adj[a.0 as usize].out.binary_search(&(s, id)).is_err() {
+                    return Err(format!("in-link <{a},{},{id}> missing its out-mirror", s.0));
+                }
+            }
+        }
+        if total != self.num_links {
+            return Err(format!(
+                "num_links counter {} != actual link count {total}",
+                self.num_links
+            ));
         }
         Ok(())
     }
@@ -541,6 +846,23 @@ mod tests {
         assert!(g.remove_link(a, sel(0), b));
         assert!(!g.remove_link(a, sel(0), b));
         assert_eq!(g.num_links(), 0);
+        assert!(g.check_adjacency().is_ok());
+    }
+
+    #[test]
+    fn self_links_count_once() {
+        let mut g = Rsg::empty(1);
+        let a = g.add_fresh(StructId(0));
+        g.set_pl(PvarId(0), a);
+        assert!(g.add_link(a, sel(0), a));
+        assert!(!g.add_link(a, sel(0), a));
+        assert_eq!(g.num_links(), 1);
+        assert_eq!(g.succs(a, sel(0)), vec![a]);
+        assert_eq!(g.preds(a, sel(0)), vec![a]);
+        assert!(g.check_adjacency().is_ok());
+        g.remove_node(a);
+        assert_eq!(g.num_links(), 0);
+        assert!(g.check_adjacency().is_ok());
     }
 
     #[test]
@@ -552,6 +874,25 @@ mod tests {
         assert_eq!(g.num_links(), 0);
         assert_eq!(g.pl(PvarId(1)), None);
         assert_eq!(g.pl(PvarId(0)), Some(a));
+        assert!(g.check_adjacency().is_ok());
+    }
+
+    #[test]
+    fn links_iterate_in_global_sorted_order() {
+        let mut g = Rsg::empty(1);
+        let a = g.add_fresh(StructId(0));
+        let b = g.add_fresh(StructId(0));
+        let c = g.add_fresh(StructId(0));
+        g.set_pl(PvarId(0), a);
+        g.add_link(b, sel(1), c);
+        g.add_link(a, sel(1), b);
+        g.add_link(a, sel(0), c);
+        g.add_link(b, sel(0), a);
+        let got: Vec<_> = g.links().collect();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(got, sorted);
+        assert_eq!(got.len(), g.num_links());
     }
 
     #[test]
@@ -563,6 +904,7 @@ mod tests {
         assert_eq!(g.gc(), 2);
         assert!(!g.is_live(orphan));
         assert_eq!(g.num_nodes(), 2);
+        assert!(g.check_adjacency().is_ok());
     }
 
     #[test]
@@ -576,6 +918,19 @@ mod tests {
         assert_eq!(g.gc(), 1);
         assert!(g.is_live(a));
         assert!(!g.is_live(b));
+        assert!(g.check_adjacency().is_ok());
+    }
+
+    #[test]
+    fn gc_track_reports_crossing_targets() {
+        let mut g = Rsg::empty(1);
+        let a = g.add_fresh(StructId(0));
+        let b = g.add_fresh(StructId(0));
+        g.add_link(b, sel(0), a);
+        g.set_pl(PvarId(0), a);
+        let mut touched = Vec::new();
+        assert_eq!(g.gc_track(&mut touched), 1);
+        assert_eq!(touched, vec![a], "survivor that lost an in-link");
     }
 
     #[test]

@@ -190,6 +190,9 @@ impl Interner {
     pub fn intern(&self, g: &Rsg, metrics: &OpMetrics) -> CanonEntry {
         let start = Instant::now();
         let bytes = canonical_bytes(g);
+        metrics
+            .canon_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let entry = {
             let mut inner = lock(&self.inner);
             if let Some(&id) = inner.map.get(bytes.as_slice()) {
@@ -501,6 +504,13 @@ op_metrics! {
     join_ns,
     /// Nanoseconds spent in COMPRESS during insertion.
     compress_ns,
+    /// Nanoseconds spent in PRUNE (worklist or reference).
+    prune_ns,
+    /// Nanoseconds spent in DIVIDE (including its internal prunes).
+    divide_ns,
+    /// Nanoseconds spent computing canonical byte encodings (a subset of
+    /// `intern_ns`).
+    canon_ns,
 }
 
 impl OpMetrics {

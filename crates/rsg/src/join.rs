@@ -205,15 +205,18 @@ pub fn join(g1: &Rsg, g2: &Rsg, level: Level) -> Rsg {
             // Fold MERGE_NODES pairwise over the combined graph (whose NL is
             // the union, giving the conservative cyclelinks rule the right
             // visibility). Cross-graph merges are summaries only if a member
-            // already was one.
+            // already was one. The fold mutates only this group's own
+            // accumulator node and `merge_nodes` reads only the two merged
+            // nodes plus the (unchanged) adjacency, so folding in place on
+            // `combined` is exact — groups are disjoint and never observe
+            // another group's accumulator.
             let acc_id = members[0];
-            let mut scratch = combined.clone();
             for &m in &members[1..] {
-                let summary = scratch.node(acc_id).summary || scratch.node(m).summary;
-                let merged = merge_nodes(&scratch, acc_id, m, summary);
-                *scratch.node_mut(acc_id) = merged;
+                let summary = combined.node(acc_id).summary || combined.node(m).summary;
+                let merged = merge_nodes(&combined, acc_id, m, summary);
+                *combined.node_mut(acc_id) = merged;
             }
-            out.add_node(scratch.node(acc_id).clone())
+            out.add_node(combined.node(acc_id).clone())
         };
         for &m in members {
             final_map[m.0 as usize] = Some(new_id);

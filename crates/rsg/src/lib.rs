@@ -38,6 +38,7 @@ pub mod materialize;
 pub mod node;
 pub mod prune;
 pub mod render;
+pub mod scratch;
 pub mod sets;
 pub mod spath;
 pub mod subsume;

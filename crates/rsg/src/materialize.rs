@@ -22,6 +22,7 @@
 
 use crate::graph::Rsg;
 use crate::node::NodeId;
+use crate::scratch;
 use psa_cfront::types::SelectorId;
 
 /// Materialize the target of `<n_y, sel, n_s>` out of summary node `n_s`.
@@ -45,10 +46,13 @@ pub fn materialize(g: &mut Rsg, n_y: NodeId, sel: SelectorId, n_s: NodeId) -> No
     g.remove_link(n_y, sel, n_s);
     g.add_link(n_y, sel, n_m);
 
-    // Distribute n_s's links.
-    let outs = g.out_links(n_s);
-    let ins = g.in_links(n_s);
-    for (s, b) in outs {
+    // Distribute n_s's links. The accessors borrow the graph we are about
+    // to mutate, so snapshot the neighborhood into pooled scratch buffers.
+    let mut outs = scratch::out_buf();
+    outs.extend_from_slice(g.out_links(n_s));
+    let mut ins = scratch::in_buf();
+    ins.extend_from_slice(g.in_links(n_s));
+    for &(s, b) in outs.iter() {
         if b == n_s {
             // Self link: unroll every combination. The extracted location
             // may point to a sibling still in the summary…
@@ -63,7 +67,7 @@ pub fn materialize(g: &mut Rsg, n_y: NodeId, sel: SelectorId, n_s: NodeId) -> No
             g.add_link(n_m, s, b);
         }
     }
-    for (a, s) in ins {
+    for &(a, s) in ins.iter() {
         if a == n_s {
             continue; // handled by the self-link unrolling above
         }

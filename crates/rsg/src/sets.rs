@@ -4,9 +4,17 @@ use psa_cfront::types::SelectorId;
 use psa_ir::PvarId;
 use std::fmt;
 
-/// A set of selectors as a 64-bit mask. The analysis asserts at context
-/// construction that a program declares at most 64 distinct selector names,
-/// which is far beyond any code in the paper (Barnes-Hut uses 7).
+/// A set of selectors as a 64-bit mask.
+///
+/// Only selector ids `< 64` are representable. [`ShapeCtx`] construction
+/// asserts — once, up front — that the program declares at most 64 distinct
+/// selector names (far beyond any code in the paper; Barnes-Hut uses 7), so
+/// in-range ids are an analysis-wide invariant rather than a per-operation
+/// one. The operations here are nevertheless **total**: an out-of-range id
+/// is never a member, inserting it is a no-op, and removing it is a no-op —
+/// no shift overflow, no debug/release divergence.
+///
+/// [`ShapeCtx`]: crate::ctx::ShapeCtx
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct SelSet(pub u64);
 
@@ -14,25 +22,33 @@ impl SelSet {
     /// The empty set.
     pub const EMPTY: SelSet = SelSet(0);
 
-    /// Set containing a single selector.
+    /// The mask bit for `s`, or 0 when `s` is out of range.
+    fn bit(s: SelectorId) -> u64 {
+        if s.0 < 64 {
+            1 << s.0
+        } else {
+            0
+        }
+    }
+
+    /// Set containing a single selector (empty when `s` is unrepresentable).
     pub fn single(s: SelectorId) -> SelSet {
-        debug_assert!(s.0 < 64);
-        SelSet(1 << s.0)
+        SelSet(Self::bit(s))
     }
 
-    /// Membership test.
+    /// Membership test. Out-of-range ids are never members.
     pub fn contains(self, s: SelectorId) -> bool {
-        self.0 & (1 << s.0) != 0
+        self.0 & Self::bit(s) != 0
     }
 
-    /// Insert a selector.
+    /// Insert a selector (no-op when out of range).
     pub fn insert(&mut self, s: SelectorId) {
-        self.0 |= 1 << s.0;
+        self.0 |= Self::bit(s);
     }
 
-    /// Remove a selector.
+    /// Remove a selector (no-op when out of range).
     pub fn remove(&mut self, s: SelectorId) {
-        self.0 &= !(1 << s.0);
+        self.0 &= !Self::bit(s);
     }
 
     /// Set union.
@@ -265,6 +281,22 @@ mod tests {
         assert_eq!(a.iter().collect::<Vec<_>>(), vec![s(0), s(3)]);
         a.remove(s(3));
         assert_eq!(a, SelSet::single(s(0)));
+    }
+
+    #[test]
+    fn selset_total_beyond_width() {
+        // Ids ≥ 64 are unrepresentable but every operation stays total:
+        // never a member, insert/remove are no-ops, no shift overflow.
+        let mut a: SelSet = [s(0), s(63)].into_iter().collect();
+        for big in [64, 65, 1000, u32::MAX] {
+            assert!(!a.contains(s(big)));
+            a.insert(s(big));
+            assert_eq!(a.len(), 2, "insert of id {big} must be a no-op");
+            a.remove(s(big));
+            assert_eq!(a.len(), 2);
+            assert_eq!(SelSet::single(s(big)), SelSet::EMPTY);
+        }
+        assert!(a.contains(s(63)));
     }
 
     #[test]

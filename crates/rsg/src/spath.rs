@@ -40,7 +40,7 @@ pub fn spaths(g: &Rsg) -> Vec<SPath> {
     let mut out = vec![SPath::default(); cap];
     for (p, n) in g.pl_iter() {
         out[n.0 as usize].zero.push(p);
-        for (sel, b) in g.out_links(n) {
+        for &(sel, b) in g.out_links(n) {
             out[b.0 as usize].one.push((p, sel));
         }
     }

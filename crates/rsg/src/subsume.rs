@@ -73,37 +73,45 @@ pub fn subsumes(general: &Rsg, specific: &Rsg) -> bool {
     // Arc-consistency prepass: a candidate must be able to simulate every
     // link of the specific node with *some* candidate of the neighbour.
     // Cheap, and it usually collapses the search space to (near) singleton
-    // candidate sets.
+    // candidate sets. The filter for node `i` reads the candidate sets —
+    // including `cand[i]` itself for self-links — before any of this
+    // node's removals apply, so survivors are collected into a pooled side
+    // buffer first instead of snapshotting the whole table per node.
     let index_of_ac = |n: NodeId| s_ids.binary_search(&n).expect("specific node");
+    let mut kept = crate::scratch::node_buf();
     loop {
         let mut changed = false;
         for (i, &sn) in s_ids.iter().enumerate() {
             let outs = specific.out_links(sn);
             let ins = specific.in_links(sn);
-            let before = cand[i].len();
-            let snapshot = cand.clone();
-            cand[i].retain(|&gn| {
+            kept.clear();
+            kept.extend(cand[i].iter().copied().filter(|&gn| {
                 outs.iter().all(|&(sel, t)| {
                     general
                         .succs(gn, sel)
                         .iter()
-                        .any(|gt| snapshot[index_of_ac(t)].contains(gt))
+                        .any(|gt| cand[index_of_ac(t)].contains(&gt))
                 }) && ins.iter().all(|&(f, sel)| {
                     general
                         .preds(gn, sel)
                         .iter()
-                        .any(|gf| snapshot[index_of_ac(f)].contains(gf))
+                        .any(|gf| cand[index_of_ac(f)].contains(&gf))
                 })
-            });
-            if cand[i].is_empty() {
+            }));
+            if kept.is_empty() {
                 return false;
             }
-            changed |= cand[i].len() != before;
+            if kept.len() != cand[i].len() {
+                changed = true;
+                cand[i].clear();
+                cand[i].extend_from_slice(&kept);
+            }
         }
         if !changed {
             break;
         }
     }
+    drop(kept);
 
     // Backtracking assignment with link-consistency checks against already
     // assigned neighbours. Order nodes by candidate count (most constrained
@@ -132,7 +140,7 @@ pub fn subsumes(general: &Rsg, specific: &Rsg) -> bool {
             }
         }
         // Links to/from already-assigned specifics must be simulated.
-        for (sel, t) in specific.out_links(sn) {
+        for &(sel, t) in specific.out_links(sn) {
             if let Some(gt) = assign[index_of(t)] {
                 if !general.has_link(gn, sel, gt) {
                     return false;
@@ -141,7 +149,7 @@ pub fn subsumes(general: &Rsg, specific: &Rsg) -> bool {
                 return false; // no possible target at all
             }
         }
-        for (f, sel) in specific.in_links(sn) {
+        for &(f, sel) in specific.in_links(sn) {
             if let Some(gf) = assign[index_of(f)] {
                 if !general.has_link(gf, sel, gn) {
                     return false;

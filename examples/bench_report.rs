@@ -7,6 +7,10 @@
 //! cargo run --release --example bench_report            # full sizes
 //! cargo run --release --example bench_report -- --quick # CI smoke sizes
 //! ```
+//!
+//! `--quick` writes `BENCH_fixpoint_quick.json` instead, so the committed
+//! quick reference survives a CI run and `scripts/bench_diff` always
+//! compares reports produced at the same sizes.
 
 use psa::core::engine::{AnalysisResult, Engine, EngineConfig};
 use psa::core::json::Json;
@@ -135,6 +139,11 @@ fn main() {
     root.set("quick", quick);
     root.set("reps", reps as u64);
     root.set("rows", rows);
-    std::fs::write("BENCH_fixpoint.json", root.pretty()).expect("write BENCH_fixpoint.json");
-    println!("\nwrote BENCH_fixpoint.json");
+    let path = if quick {
+        "BENCH_fixpoint_quick.json"
+    } else {
+        "BENCH_fixpoint.json"
+    };
+    std::fs::write(path, root.pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nwrote {path}");
 }

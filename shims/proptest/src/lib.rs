@@ -3,8 +3,9 @@
 //! The build environment has no registry access, so the workspace vendors
 //! the slice of the proptest API its property tests use: the `proptest!`
 //! macro over `arg in strategy` parameter lists, integer-range and tuple
-//! strategies, `any::<bool>()`, `Strategy::prop_map`, `ProptestConfig`,
-//! and the `prop_assert*` macros.
+//! strategies, `any::<bool>()`, `Strategy::prop_map`, [`Just`],
+//! [`prop_oneof!`], [`collection::vec`], `ProptestConfig`, and the
+//! `prop_assert*` macros.
 //!
 //! Semantics differ from real proptest in two deliberate ways: cases are
 //! drawn from a per-test deterministic PRNG (seeded from the test name), and
@@ -90,6 +91,104 @@ pub trait Strategy {
         Self: Sized,
     {
         Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (used by [`prop_oneof!`] to mix arms of
+    /// different concrete types).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A weighted union of type-erased strategies (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms. Weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(arms.iter().any(|&(w, _)| w > 0), "all-zero union weights");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|&(w, _)| u64::from(w)).sum();
+        let mut pick = rng.next_u64() % total;
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// Weighted choice between strategies: `prop_oneof![2 => a, 1 => b]`, or
+/// unweighted `prop_oneof![a, b]`. All arms must generate the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+/// Collection strategies (subset: `vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` of `elem`-generated values with a length drawn from `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
     }
 }
 
@@ -193,8 +292,8 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 /// Everything the tests import.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, ProptestConfig,
-        Strategy, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
     };
 }
 
@@ -268,6 +367,25 @@ mod tests {
         #[test]
         fn tuples_and_map(v in (0usize..4, any::<bool>()).prop_map(|(n, b)| if b { n } else { 0 })) {
             prop_assert!(v < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn oneof_and_collection(v in crate::collection::vec(prop_oneof![3 => (0u8..4).prop_map(|x| x), 1 => Just(9u8)], 1..10)) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|&x| x < 4 || x == 9));
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weights() {
+        let u = prop_oneof![0 => Just(1u8), 1 => Just(2u8)];
+        let mut rng = TestRng::deterministic("weights");
+        for _ in 0..32 {
+            assert_eq!(u.generate(&mut rng), 2);
         }
     }
 

@@ -1,0 +1,96 @@
+//! Differential regression suite for the worklist PRUNE (ISSUE 3
+//! satellite): the seeded-worklist implementation must be *observationally
+//! identical* to the whole-graph rescan reference. Each program is analyzed
+//! twice — `reference_prune` off and on — and the exit RSRSG, every
+//! per-statement RSRSG and the reported warnings must match bit for bit.
+
+use psa::codes::generators::{dll_program, random_program};
+use psa::core::engine::{Engine, EngineConfig};
+use psa::ir::lower_main;
+use psa::rsg::Level;
+
+fn run_pair(src: &str, level: Level) {
+    let (p, t) = psa::cfront::parse_and_type(src).expect("program parses");
+    let ir = lower_main(&p, &t).expect("program lowers");
+    let worklist = Engine::new(
+        &ir,
+        EngineConfig {
+            level,
+            reference_prune: false,
+            ..Default::default()
+        },
+    )
+    .run();
+    let reference = Engine::new(
+        &ir,
+        EngineConfig {
+            level,
+            reference_prune: true,
+            ..Default::default()
+        },
+    )
+    .run();
+    match (worklist, reference) {
+        (Ok(w), Ok(r)) => {
+            assert!(
+                w.exit.same_as(&r.exit),
+                "exit RSRSG diverged at {level}\nprogram:\n{src}"
+            );
+            for (i, (a, b)) in w.after_stmt.iter().zip(&r.after_stmt).enumerate() {
+                assert_eq!(
+                    a.signature(),
+                    b.signature(),
+                    "statement {i} RSRSG diverged at {level}\nprogram:\n{src}"
+                );
+            }
+            for (a, b) in w.block_in.iter().zip(&r.block_in) {
+                assert!(a.same_as(b), "block input diverged at {level}");
+            }
+            assert_eq!(
+                w.stats.warnings, r.stats.warnings,
+                "warnings diverged at {level}\nprogram:\n{src}"
+            );
+            assert_eq!(
+                w.stats.ops.prune_calls, r.stats.ops.prune_calls,
+                "same fixed point must prune the same number of times"
+            );
+        }
+        (Err(we), Err(re)) => assert_eq!(we, re, "both runs must fail identically"),
+        (w, r) => panic!(
+            "worklist and reference runs disagree on success: {:?} vs {:?}\nprogram:\n{src}",
+            w.map(|_| ()),
+            r.map(|_| ())
+        ),
+    }
+}
+
+/// The paper codes at CI smoke sizes, all three levels.
+#[test]
+fn paper_codes_identical_under_both_prunes() {
+    let sizes = psa::codes::Sizes::tiny();
+    let codes = [
+        ("barnes-hut", psa::codes::barnes_hut(sizes)),
+        ("sparse-lu", psa::codes::sparse_lu(sizes)),
+        ("dll", dll_program(6)),
+    ];
+    for (name, src) in &codes {
+        for level in Level::ALL {
+            eprintln!("differential prune: {name} at {level}");
+            run_pair(src, level);
+        }
+    }
+}
+
+#[test]
+fn random_programs_identical_under_both_prunes_l1() {
+    for seed in 0u64..10 {
+        run_pair(&random_program(seed, 20, 4), Level::L1);
+    }
+}
+
+#[test]
+fn random_programs_identical_under_both_prunes_l3() {
+    for seed in 100u64..105 {
+        run_pair(&random_program(seed, 16, 3), Level::L3);
+    }
+}

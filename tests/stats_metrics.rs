@@ -23,6 +23,9 @@ fn counters_only(ops: &OpStats) -> OpStats {
         join_ns: 0,
         compress_ns: 0,
         transfer_ns: 0,
+        prune_ns: 0,
+        divide_ns: 0,
+        canon_ns: 0,
         ..*ops
     }
 }
