@@ -21,17 +21,39 @@ pub fn parse(src: &str) -> Result<Program, Diagnostic> {
         tokens,
         pos: 0,
         typedefs: HashSet::new(),
+        depth: 0,
     };
     p.program()
 }
+
+/// Nesting ceiling for recursive productions (blocks, expressions). Deeper
+/// input — e.g. a pathological 10k-deep parenthesized expression — would
+/// overflow the process stack; instead it is rejected with a diagnostic.
+const MAX_NESTING: usize = 256;
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     typedefs: HashSet<String>,
+    depth: usize,
 }
 
 impl Parser {
+    fn enter(&mut self) -> Result<(), Diagnostic> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING {
+            return Err(Diagnostic::error(
+                self.span(),
+                format!("nesting too deep (more than {MAX_NESTING} levels)"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
     fn peek(&self) -> &TokenKind {
         &self.tokens[self.pos].kind
     }
@@ -312,6 +334,13 @@ impl Parser {
     // ---------------------------------------------------------- statements
 
     fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        self.enter()?;
+        let r = self.stmt_inner();
+        self.leave();
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, Diagnostic> {
         let span = self.span();
         match self.peek().clone() {
             TokenKind::Semi => {
@@ -645,6 +674,13 @@ impl Parser {
     }
 
     fn unary(&mut self) -> Result<Expr, Diagnostic> {
+        self.enter()?;
+        let r = self.unary_inner();
+        self.leave();
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, Diagnostic> {
         let span = self.span();
         match self.peek().clone() {
             TokenKind::Minus => {
@@ -806,6 +842,36 @@ mod tests {
              int main() {{ {body} return 0; }}"
         );
         parse(&src).expect("parse")
+    }
+
+    #[test]
+    fn deep_paren_expression_errors_instead_of_overflowing() {
+        // A ~10k-deep parenthesized expression must come back as a
+        // diagnostic, not blow the process stack.
+        let deep = format!("int x; x = {}1{};", "(".repeat(10_000), ")".repeat(10_000));
+        let src = format!("int main() {{ {deep} return 0; }}");
+        let err = parse(&src).expect_err("deep nesting must be rejected");
+        assert!(
+            err.to_string().contains("nesting too deep"),
+            "unexpected diagnostic: {err}"
+        );
+    }
+
+    #[test]
+    fn deep_block_nesting_errors_instead_of_overflowing() {
+        let src = format!(
+            "int main() {{ {} {} return 0; }}",
+            "{".repeat(10_000),
+            "}".repeat(10_000)
+        );
+        let err = parse(&src).expect_err("deep blocks must be rejected");
+        assert!(err.to_string().contains("nesting too deep"));
+    }
+
+    #[test]
+    fn moderate_nesting_still_parses() {
+        let expr = format!("{}1{}", "(".repeat(100), ")".repeat(100));
+        parse_main(&format!("int x; x = {expr};"));
     }
 
     #[test]

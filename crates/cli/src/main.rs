@@ -3,12 +3,19 @@
 //! ```text
 //! psa analyze <file.c> [--level L1|L2|L3|auto] [--function main]
 //!             [--dot DIR] [--stmt-dump] [--parallel-report]
+//!             [--budget-nodes N] [--budget-rsgs N] [--budget-ms N]
 //! psa ir <file.c> [--function main]
 //! psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d> [--level ...]
 //! ```
+//!
+//! Budget flags degrade gracefully: `--budget-nodes` forces coarser
+//! summarization instead of failing, while `--budget-rsgs` / `--budget-ms`
+//! stop the fixed point early and report the partial result before exiting
+//! with a nonzero status.
 
 use psa_core::api::{AnalysisOptions, Analyzer};
 use psa_core::engine::AnalysisResult;
+use psa_core::stats::Budget;
 use psa_core::{parallel, queries};
 use psa_rsg::dot;
 use psa_rsg::Level;
@@ -36,6 +43,15 @@ struct Flags {
     annotate: bool,
     json: bool,
     stats: bool,
+    budget: Budget,
+}
+
+fn parse_count(args: &[String], i: usize, flag: &str) -> Result<usize, String> {
+    let v = args
+        .get(i)
+        .ok_or_else(|| format!("{flag} needs a number"))?;
+    v.parse::<usize>()
+        .map_err(|_| format!("{flag}: `{v}` is not a number"))
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -50,6 +66,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         annotate: false,
         json: false,
         stats: false,
+        budget: Budget::default(),
     };
     let mut i = 0;
     while i < args.len() {
@@ -75,6 +92,19 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--dot" => {
                 i += 1;
                 f.dot_dir = Some(args.get(i).ok_or("--dot needs a directory")?.clone());
+            }
+            "--budget-nodes" => {
+                i += 1;
+                f.budget.max_nodes = Some(parse_count(args, i, "--budget-nodes")?);
+            }
+            "--budget-rsgs" => {
+                i += 1;
+                f.budget.max_rsgs = Some(parse_count(args, i, "--budget-rsgs")?);
+            }
+            "--budget-ms" => {
+                i += 1;
+                let ms = parse_count(args, i, "--budget-ms")?;
+                f.budget.deadline = Some(std::time::Duration::from_millis(ms as u64));
             }
             "--stmt-dump" => f.stmt_dump = true,
             "--parallel-report" => f.parallel_report = true,
@@ -138,7 +168,8 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage:\n  psa analyze <file.c> [--level L1|L2|L3|auto] [--function NAME] \
-     [--dot DIR] [--stmt-dump] [--parallel-report] [--leak-report] [--annotate] [--json] [--stats]\n  psa ir <file.c> [--function NAME]\n  \
+     [--dot DIR] [--stmt-dump] [--parallel-report] [--leak-report] [--annotate] [--json] [--stats]\n  \
+     \x20            [--budget-nodes N] [--budget-rsgs N] [--budget-ms N]\n  psa ir <file.c> [--function NAME]\n  \
      psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d> [flags]"
         .to_string()
 }
@@ -211,6 +242,7 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
     let options = AnalysisOptions {
         function: flags.function.clone(),
         level: flags.level,
+        budget: flags.budget,
         ..Default::default()
     };
     let analyzer = Analyzer::new(src, options).map_err(|e| e.to_string())?;
@@ -232,15 +264,23 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
         analyzer.run().map_err(|e| e.to_string())?
     };
 
+    // Soft budget caps yield a *partial* result: report everything we have,
+    // then exit nonzero (but cleanly — no panic) so scripts notice.
+    let stopped = result.stopped;
+    let finish = |stopped: Option<psa_core::BudgetKind>| match stopped {
+        Some(which) => Err(format!("analysis stopped early: {which}")),
+        None => Ok(()),
+    };
+
     if flags.json {
         let report = psa_core::report::build_report(analyzer.ir(), &result);
         println!("{}", report.to_json_string());
-        return Ok(());
+        return finish(stopped);
     }
 
     println!(
         "{name}: level {} — {} statements, {} iterations, {:.2?} wall, \
-         peak {:.2} MiB, exit RSRSG: {} graphs / {} nodes / {} links",
+         peak {:.2} MiB, exit RSRSG: {} graphs / {} nodes / {} links{}",
         result.level,
         result.stats.num_stmts,
         result.stats.iterations,
@@ -249,13 +289,36 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
         result.exit.len(),
         result.exit.total_nodes(),
         result.exit.total_links(),
+        if result.any_degraded() {
+            " [degraded]"
+        } else {
+            ""
+        },
     );
     for w in &result.stats.warnings {
         println!("warning: {w}");
     }
+    if result.any_degraded() {
+        let stmts: Vec<String> = result.degraded_stmts().map(|s| s.to_string()).collect();
+        println!(
+            "degraded statements ({}): {}",
+            stmts.len(),
+            stmts.join(", ")
+        );
+    }
+    if let Some(which) = stopped {
+        println!("partial result: budget cap hit — {which}");
+    }
 
     if flags.stats {
         print_op_stats(&result.stats.ops);
+        println!(
+            "  budget: degraded {} statements, stopped: {}",
+            result.degraded_stmts().count(),
+            stopped
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "no".to_string())
+        );
     }
 
     // Per-pvar structure reports (program pvars only).
@@ -309,5 +372,5 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
         std::fs::write(&path, dot_text).map_err(|e| format!("{path}: {e}"))?;
         println!("wrote {path}");
     }
-    Ok(())
+    finish(stopped)
 }

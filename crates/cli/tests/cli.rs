@@ -148,6 +148,74 @@ fn unknown_flag_fails_cleanly() {
 }
 
 #[test]
+fn budget_deadline_exits_nonzero_with_partial_report() {
+    let out = psa()
+        .args(["bench-code", "lu", "--budget-ms", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "partial result must exit nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stdout.contains("partial result"),
+        "partial report still printed: {stdout}"
+    );
+    assert!(stderr.contains("stopped early"), "{stderr}");
+    assert!(
+        !stderr.contains("panicked") && !stdout.contains("panicked"),
+        "cancellation must be panic-free"
+    );
+}
+
+#[test]
+fn budget_nodes_degrades_but_succeeds() {
+    let out = psa()
+        .args([
+            "bench-code",
+            "treeadd",
+            "--level",
+            "L2",
+            "--budget-nodes",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "forced summarization completes: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[degraded]"), "{stdout}");
+    assert!(stdout.contains("degraded statements"), "{stdout}");
+}
+
+#[test]
+fn budget_json_carries_degradation_fields() {
+    let out = psa()
+        .args(["bench-code", "matvec", "--budget-rsgs", "1", "--json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "soft stop still exits nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v = psa_core::json::Json::parse(stdout.trim()).expect("valid JSON");
+    let stats = v.get("stats").unwrap();
+    assert_eq!(stats.get("degraded").unwrap().as_bool(), Some(true));
+    assert!(stats.get("stopped").unwrap().as_str().is_some());
+}
+
+#[test]
+fn budget_flag_rejects_garbage_value() {
+    let f = write_tmp("list_badbudget.c", LIST);
+    let out = psa()
+        .args(["analyze", f.to_str().unwrap(), "--budget-ms", "soon"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not a number"));
+}
+
+#[test]
 fn parse_error_reports_location() {
     let f = write_tmp("bad.c", "int main() { struct nope *p; }");
     let out = psa()

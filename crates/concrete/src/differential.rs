@@ -36,17 +36,36 @@ impl DifferentialReport {
 /// errors are surfaced as a violation entry instead, so budget-limited runs
 /// do not silently pass.
 pub fn check_soundness(src: &str, level: Level, seeds: &[u64]) -> DifferentialReport {
+    check_soundness_with(src, EngineConfig::at_level(level), seeds)
+}
+
+/// [`check_soundness`] with full control over the engine configuration —
+/// used to validate that budget-degraded (forced-summarization) results are
+/// still sound over-approximations.
+///
+/// A *cancelled* (partial) result has not reached its fixed point and
+/// under-approximates by construction; it is reported as a violation rather
+/// than checked, so a budget that stops the engine cannot masquerade as a
+/// soundness pass.
+pub fn check_soundness_with(src: &str, config: EngineConfig, seeds: &[u64]) -> DifferentialReport {
+    let level = config.level;
     let (program, table) = psa_cfront::parse_and_type(src).expect("differential input parses");
     let ir = psa_ir::lower_main(&program, &table).expect("differential input lowers");
     let mut report = DifferentialReport::default();
 
-    let result = match Engine::new(&ir, EngineConfig::at_level(level)).run() {
+    let result = match Engine::new(&ir, config).run() {
         Ok(r) => r,
         Err(e) => {
             report.violations.push(format!("analysis failed: {e}"));
             return report;
         }
     };
+    if let Some(which) = result.stopped {
+        report
+            .violations
+            .push(format!("analysis stopped early: {which}"));
+        return report;
+    }
 
     for &seed in seeds {
         report.runs += 1;
@@ -152,6 +171,36 @@ mod tests {
         assert!(rep.is_sound(), "{:#?}", rep.violations);
         assert_eq!(rep.crashed_runs, 1);
         assert!(rep.checked_points >= 2);
+    }
+
+    #[test]
+    fn node_capped_degraded_result_is_still_sound() {
+        // Forced summarization coarsens the RSGs but must keep them
+        // over-approximations of every concrete state.
+        let config = EngineConfig {
+            budget: psa_core::stats::Budget {
+                max_nodes: Some(3),
+                ..psa_core::stats::Budget::default()
+            },
+            ..EngineConfig::at_level(Level::L2)
+        };
+        let rep = check_soundness_with(LIST, config, &[1, 2, 3]);
+        assert!(rep.is_sound(), "{:#?}", rep.violations);
+        assert!(rep.checked_points > 10);
+    }
+
+    #[test]
+    fn cancelled_partial_result_reports_not_passes() {
+        let config = EngineConfig {
+            budget: psa_core::stats::Budget {
+                deadline: Some(std::time::Duration::ZERO),
+                ..psa_core::stats::Budget::default()
+            },
+            ..EngineConfig::at_level(Level::L1)
+        };
+        let rep = check_soundness_with(LIST, config, &[1]);
+        assert!(!rep.is_sound(), "partial result must not pass as sound");
+        assert!(rep.violations[0].contains("stopped early"));
     }
 
     #[test]

@@ -23,6 +23,6 @@ pub mod differential;
 pub mod heap;
 pub mod interp;
 
-pub use differential::{check_soundness, DifferentialReport};
+pub use differential::{check_soundness, check_soundness_with, DifferentialReport};
 pub use heap::{ConcreteState, Loc};
 pub use interp::{ExecOutcome, InterpConfig, Interpreter};

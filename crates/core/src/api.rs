@@ -53,7 +53,13 @@ impl AnalysisOptions {
     }
 }
 
-/// Errors spanning frontend and analysis.
+/// Errors spanning frontend and analysis — the full error taxonomy as the
+/// CLI sees it: `Frontend` for parse/type/lowering diagnostics (upstream of
+/// the engine), `Analysis` for engine failures
+/// ([`AnalysisError::BudgetExceeded`] on a hard cap,
+/// [`AnalysisError::Internal`] for a contained panic). Soft degradation
+/// caps are *not* errors: they return `Ok` with
+/// [`AnalysisResult::stopped`] set; see [`Budget`].
 #[derive(Debug)]
 pub enum Error {
     /// Parse/type/lowering problem.
@@ -198,6 +204,20 @@ mod tests {
             ..AnalysisOptions::default()
         };
         assert!(matches!(analyze_source(SRC, opts), Err(Error::Frontend(_))));
+    }
+
+    #[test]
+    fn deadline_budget_threads_through_api() {
+        let opts = AnalysisOptions {
+            budget: Budget {
+                deadline: Some(std::time::Duration::ZERO),
+                ..Budget::default()
+            },
+            ..AnalysisOptions::default()
+        };
+        let res = analyze_source(SRC, opts).unwrap();
+        assert!(!res.is_complete(), "zero deadline yields a partial result");
+        assert!(res.stopped.is_some());
     }
 
     #[test]

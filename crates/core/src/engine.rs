@@ -122,44 +122,127 @@ impl EngineConfig {
     }
 }
 
-/// Why an analysis run failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum AnalysisError {
-    /// The structural-byte budget was exceeded (the paper's "compiler runs
-    /// out of memory").
-    OutOfMemory {
+/// Which budget cap tripped — carried both by the hard-cap error
+/// ([`AnalysisError::BudgetExceeded`]) and by the degradation marker
+/// ([`AnalysisResult::stopped`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// Peak structural bytes exceeded [`Budget::max_bytes`] (the paper's
+    /// "compiler runs out of memory").
+    Bytes {
         /// Peak bytes when the budget tripped.
         peak_bytes: usize,
         /// The configured limit.
         limit: usize,
     },
-    /// A statement's RSRSG exceeded the graph-count budget.
-    TooManyGraphs {
-        /// Where it happened.
-        stmt: StmtId,
+    /// A statement's RSRSG exceeded the hard graph-count cap
+    /// [`Budget::max_graphs`].
+    Graphs {
         /// How many graphs accumulated.
         graphs: usize,
+        /// The configured limit.
+        limit: usize,
     },
-    /// The iteration budget was exhausted before a fixed point.
-    NoConvergence {
+    /// The iteration budget [`Budget::max_iterations`] was exhausted
+    /// before a fixed point.
+    Iterations {
         /// Iterations executed.
         iterations: usize,
     },
+    /// A statement's RSRSG reached the soft cap [`Budget::max_rsgs`].
+    Rsgs {
+        /// How many graphs accumulated.
+        graphs: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The shared interner/memo tables grew past
+    /// [`Budget::max_table_bytes`].
+    TableBytes {
+        /// Approximate table bytes when the cap tripped.
+        bytes: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The wall-clock [`Budget::deadline`] passed.
+    Deadline {
+        /// The configured deadline in milliseconds.
+        limit_ms: u64,
+    },
+}
+
+impl std::fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetKind::Bytes { peak_bytes, limit } => write!(
+                f,
+                "out of memory: peak {peak_bytes} bytes exceeds budget {limit} bytes"
+            ),
+            BudgetKind::Graphs { graphs, limit } => {
+                write!(f, "RSRSG grew to {graphs} graphs (limit {limit})")
+            }
+            BudgetKind::Iterations { iterations } => {
+                write!(f, "no fixed point after {iterations} iterations")
+            }
+            BudgetKind::Rsgs { graphs, limit } => {
+                write!(f, "RSRSG reached {graphs} graphs (soft cap {limit})")
+            }
+            BudgetKind::TableBytes { bytes, limit } => {
+                write!(f, "shared tables reached ~{bytes} bytes (cap {limit})")
+            }
+            BudgetKind::Deadline { limit_ms } => {
+                write!(f, "wall-clock deadline of {limit_ms} ms passed")
+            }
+        }
+    }
+}
+
+/// Why an analysis run failed. Soft degradation caps never produce this —
+/// they return `Ok` with [`AnalysisResult::stopped`] set; see [`Budget`].
+/// Frontend (parse/type) failures live in [`crate::api::Error::Frontend`],
+/// upstream of the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// A hard budget cap tripped.
+    BudgetExceeded {
+        /// Which cap, with its observed and configured values.
+        which: BudgetKind,
+        /// The statement being transferred, when the cap is per-statement.
+        at_stmt: Option<StmtId>,
+    },
+    /// The engine panicked; the panic was contained at the `run()` boundary
+    /// and converted (shared tables recover from poisoning, so a later run
+    /// on the same [`ShapeCtx`] is still possible).
+    Internal {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl AnalysisError {
+    /// Constructor for hard-cap errors.
+    fn budget(which: BudgetKind, at_stmt: Option<StmtId>) -> AnalysisError {
+        AnalysisError::BudgetExceeded { which, at_stmt }
+    }
 }
 
 impl std::fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AnalysisError::OutOfMemory { peak_bytes, limit } => write!(
-                f,
-                "out of memory: peak {} bytes exceeds budget {} bytes",
-                peak_bytes, limit
-            ),
-            AnalysisError::TooManyGraphs { stmt, graphs } => {
-                write!(f, "RSRSG at {stmt} grew to {graphs} graphs")
+            AnalysisError::BudgetExceeded {
+                which,
+                at_stmt: Some(s),
+            } => {
+                write!(f, "budget exceeded at {s}: {which}")
             }
-            AnalysisError::NoConvergence { iterations } => {
-                write!(f, "no fixed point after {iterations} iterations")
+            AnalysisError::BudgetExceeded {
+                which,
+                at_stmt: None,
+            } => {
+                write!(f, "budget exceeded: {which}")
+            }
+            AnalysisError::Internal { message } => {
+                write!(f, "internal analysis error: {message}")
             }
         }
     }
@@ -167,7 +250,11 @@ impl std::fmt::Display for AnalysisError {
 
 impl std::error::Error for AnalysisError {}
 
-/// The product of a successful run: per-statement RSRSGs plus statistics.
+/// The product of a run: per-statement RSRSGs plus statistics. A run under
+/// degradation caps may be **partial**: [`AnalysisResult::stopped`] records
+/// the cap that cancelled remaining work, and
+/// [`AnalysisResult::degraded`] marks the statements whose RSRSGs were
+/// force-summarized (sound but coarser) or left stale by the cancellation.
 #[derive(Debug, Clone)]
 pub struct AnalysisResult {
     /// Level the analysis ran at.
@@ -180,12 +267,43 @@ pub struct AnalysisResult {
     pub exit: Rsrsg,
     /// Statistics of the run.
     pub stats: AnalysisStats,
+    /// Per-statement degradation marks (indexed by [`StmtId`], sticky):
+    /// `true` when the statement's RSRSG was force-summarized under
+    /// [`Budget::max_nodes`], or when a cancellation left the statement's
+    /// state possibly stale (its block was still pending re-transfer).
+    pub degraded: Vec<bool>,
+    /// `Some` when a degradation cap (RSG count, table bytes, deadline)
+    /// cancelled remaining work: the fixed point was *not* reached and the
+    /// per-point RSRSGs are a partial under-approximation of it. `None`
+    /// means the fixed point completed (forced summarization under the node
+    /// cap still completes — check [`AnalysisResult::degraded`]).
+    pub stopped: Option<BudgetKind>,
 }
 
 impl AnalysisResult {
     /// RSRSG after statement `s`.
     pub fn at(&self, s: StmtId) -> &Rsrsg {
         &self.after_stmt[s.0 as usize]
+    }
+
+    /// True when the fixed point completed (no cancellation; forced
+    /// summarization may still have coarsened statements).
+    pub fn is_complete(&self) -> bool {
+        self.stopped.is_none()
+    }
+
+    /// True when any statement carries a degradation mark.
+    pub fn any_degraded(&self) -> bool {
+        self.degraded.iter().any(|&d| d)
+    }
+
+    /// The statements marked degraded.
+    pub fn degraded_stmts(&self) -> impl Iterator<Item = StmtId> + '_ {
+        self.degraded
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| StmtId(i as u32))
     }
 }
 
@@ -248,8 +366,35 @@ impl<'a> Engine<'a> {
         h
     }
 
-    /// Run to the fixed point.
+    /// Run to the fixed point (or to a budget cap; see [`Budget`]).
+    ///
+    /// Panic-free: any panic on the analysis path — including one raised on
+    /// a fan-out worker thread — is contained here and converted to
+    /// [`AnalysisError::Internal`]. The shared tables recover from mutex
+    /// poisoning ([`psa_rsg::lock_recover`]) and the cancellation token is
+    /// reset on entry, so a failed run never poisons a later run on the
+    /// same [`ShapeCtx`].
     pub fn run(&self) -> Result<AnalysisResult, AnalysisError> {
+        self.ctx.tables.cancel.reset();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_inner())) {
+            Ok(r) => r,
+            Err(payload) => {
+                // A worker panic may have set the token to stop its peers;
+                // clear it so the tables stay usable.
+                self.ctx.tables.cancel.reset();
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(AnalysisError::Internal { message })
+            }
+        }
+    }
+
+    fn run_inner(&self) -> Result<AnalysisResult, AnalysisError> {
         let start = Instant::now();
         let ops_start = self.ctx.tables.snapshot();
         let level = self.config.level;
@@ -260,6 +405,17 @@ impl<'a> Engine<'a> {
             num_stmts: nstmts,
             ..AnalysisStats::default()
         };
+
+        // Degradation state. With no degradation cap set (the default),
+        // `deadline` is `None`, the cancellation token is never raised, and
+        // every check below is a no-op — the run is bit-identical to one
+        // without the budget layer.
+        let budget = self.config.budget;
+        let deadline: Option<(Instant, u64)> =
+            budget.deadline.map(|d| (start + d, d.as_millis() as u64));
+        let cancel = &self.ctx.tables.cancel;
+        let mut degraded = vec![false; nstmts];
+        let mut stopped: Option<BudgetKind> = None;
 
         // Engine state is interned: per-point vectors of canonical ids
         // instead of deep-cloned RSRSGs. Graphs are materialized from the
@@ -308,8 +464,34 @@ impl<'a> Engine<'a> {
             let bi = b.0 as usize;
             on_list[bi] = false;
             iterations += 1;
-            if iterations > self.config.budget.max_iterations {
-                return Err(AnalysisError::NoConvergence { iterations });
+            if iterations > budget.max_iterations {
+                return Err(AnalysisError::budget(
+                    BudgetKind::Iterations { iterations },
+                    None,
+                ));
+            }
+
+            // Degradation checks at the block boundary: table bytes and the
+            // wall-clock deadline (also polled per statement below).
+            if stopped.is_none() {
+                if let Some(limit) = budget.max_table_bytes {
+                    let bytes = self.ctx.tables.approx_table_bytes();
+                    if bytes > limit {
+                        stopped = Some(BudgetKind::TableBytes { bytes, limit });
+                    }
+                }
+            }
+            if stopped.is_none() {
+                if let Some((dl, limit_ms)) = deadline {
+                    if Instant::now() >= dl {
+                        stopped = Some(BudgetKind::Deadline { limit_ms });
+                    }
+                }
+            }
+            if stopped.is_some() {
+                cancel.cancel();
+                worklist.insert(b); // this block's statements are stale too
+                break;
             }
 
             // Transfer the block.
@@ -317,12 +499,49 @@ impl<'a> Engine<'a> {
             let block = self.ir.block(b);
             for &sid in &block.stmts {
                 let si = sid.0 as usize;
-                cur = self.transfer_stmt_incremental(cur, sid, epoch, &mut deltas[si], &mut stats);
-                if cur.len() > self.config.budget.max_graphs {
-                    return Err(AnalysisError::TooManyGraphs {
-                        stmt: sid,
-                        graphs: cur.len(),
-                    });
+                cur = self.transfer_stmt_incremental(
+                    cur,
+                    sid,
+                    epoch,
+                    deadline.map(|(dl, _)| dl),
+                    &mut deltas[si],
+                    &mut stats,
+                );
+                // Node cap: forced summarization keeps the fixed point
+                // going with sound-but-coarser graphs; mark the statement.
+                if let Some(cap) = budget.max_nodes {
+                    if cur.force_summarize(&self.ctx, level, cap) {
+                        degraded[si] = true;
+                    }
+                }
+                if cur.len() > budget.max_graphs {
+                    return Err(AnalysisError::budget(
+                        BudgetKind::Graphs {
+                            graphs: cur.len(),
+                            limit: budget.max_graphs,
+                        },
+                        Some(sid),
+                    ));
+                }
+                // Soft caps: record the partial state, cancel the rest.
+                if stopped.is_none() {
+                    if let Some(limit) = budget.max_rsgs {
+                        if cur.len() > limit {
+                            stopped = Some(BudgetKind::Rsgs {
+                                graphs: cur.len(),
+                                limit,
+                            });
+                        }
+                    }
+                }
+                if stopped.is_none() {
+                    if let Some((dl, limit_ms)) = deadline {
+                        // The fan-out workers raise the token when they see
+                        // the deadline mid-statement; attribute it here.
+                        if cancel.is_cancelled() || Instant::now() >= dl {
+                            stopped = Some(BudgetKind::Deadline { limit_ms });
+                        }
+                    }
                 }
                 stats.max_graphs_per_stmt = stats.max_graphs_per_stmt.max(cur.len());
                 for g in cur.iter() {
@@ -330,6 +549,11 @@ impl<'a> Engine<'a> {
                 }
                 charge(&mut stmt_bytes[si], &mut live_stmt, cur.approx_bytes());
                 after_ids[si] = cur.canon_ids();
+                if stopped.is_some() {
+                    degraded[si] = true;
+                    cancel.cancel();
+                    break;
+                }
             }
             charge(&mut out_bytes[bi], &mut live_out, cur.approx_bytes());
             block_out_ids[bi] = cur.canon_ids();
@@ -338,13 +562,20 @@ impl<'a> Engine<'a> {
             // same program point as the former rescan.
             let live = live_in + live_out + live_stmt;
             stats.peak_bytes = stats.peak_bytes.max(live);
-            if let Some(limit) = self.config.budget.max_bytes {
+            if let Some(limit) = budget.max_bytes {
                 if live > limit {
-                    return Err(AnalysisError::OutOfMemory {
-                        peak_bytes: live,
-                        limit,
-                    });
+                    return Err(AnalysisError::budget(
+                        BudgetKind::Bytes {
+                            peak_bytes: live,
+                            limit,
+                        },
+                        None,
+                    ));
                 }
+            }
+            if stopped.is_some() {
+                worklist.insert(b); // statements past the stop point are stale
+                break;
             }
 
             // Propagate along edges.
@@ -395,6 +626,18 @@ impl<'a> Engine<'a> {
             }
         }
 
+        if stopped.is_some() {
+            // Every block still awaiting (re-)transfer has possibly-stale
+            // per-statement state: mark it so the report shows exactly
+            // which program points the partial result cannot vouch for.
+            for b in &worklist {
+                for &sid in &self.ir.block(*b).stmts {
+                    degraded[sid.0 as usize] = true;
+                }
+            }
+            cancel.reset();
+        }
+
         stats.iterations = iterations;
         stats.final_bytes = live_stmt + live_in;
         // Materialize the public per-point RSRSGs once, from the interner.
@@ -414,6 +657,8 @@ impl<'a> Engine<'a> {
             block_in,
             exit,
             stats,
+            degraded,
+            stopped,
         })
     }
 
@@ -430,11 +675,13 @@ impl<'a> Engine<'a> {
     /// post-widening output. Anything else — widening, TOUCH edge
     /// adjustments, or joins having removed/reordered members — fails the
     /// prefix check and falls back to a full re-transfer.
+    #[allow(clippy::too_many_arguments)]
     fn transfer_stmt_incremental(
         &self,
         cur: Rsrsg,
         sid: StmtId,
         epoch: u32,
+        deadline: Option<Instant>,
         cache: &mut Option<StmtDelta>,
         stats: &mut AnalysisStats,
     ) -> Rsrsg {
@@ -465,6 +712,7 @@ impl<'a> Engine<'a> {
             sharing_relaxation: self.config.sharing_relaxation,
             pessimistic_sharing: self.config.pessimistic_sharing,
             reference_prune: self.config.reference_prune,
+            deadline,
         };
 
         // Reference path: both incremental features off reproduces the
@@ -581,10 +829,24 @@ impl<'a> Engine<'a> {
                         sharing_relaxation: tcx.sharing_relaxation,
                         pessimistic_sharing: tcx.pessimistic_sharing,
                         reference_prune: tcx.reference_prune,
+                        deadline: tcx.deadline,
                     };
                     handles.push(scope.spawn(move || {
+                        let cancel = &tctx.ctx.tables.cancel;
                         let mut claimed = Vec::new();
                         loop {
+                            // Honor cooperative cancellation between claims:
+                            // a tripped budget or a panicked peer stops the
+                            // fan-out without abandoning claimed results.
+                            if cancel.is_cancelled() {
+                                break;
+                            }
+                            if let Some(dl) = tctx.deadline {
+                                if Instant::now() >= dl {
+                                    cancel.cancel();
+                                    break;
+                                }
+                            }
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= graphs.len() {
                                 break;
@@ -607,7 +869,16 @@ impl<'a> Engine<'a> {
                 }
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("worker panicked"))
+                    .flat_map(|h| match h.join() {
+                        Ok(claimed) => claimed,
+                        Err(payload) => {
+                            // Stop the remaining workers, then re-raise so
+                            // the catch_unwind at the `run()` boundary turns
+                            // this into `AnalysisError::Internal`.
+                            tcx.ctx.tables.cancel.cancel();
+                            std::panic::resume_unwind(payload)
+                        }
+                    })
                     .collect()
             });
             partials.sort_by_key(|(i, _, _)| *i);
@@ -621,7 +892,17 @@ impl<'a> Engine<'a> {
                 }
             }
         } else {
+            let cancel = &self.ctx.tables.cancel;
             for (g, e) in graphs.iter().zip(entries) {
+                if cancel.is_cancelled() {
+                    break;
+                }
+                if let Some(dl) = tcx.deadline {
+                    if Instant::now() >= dl {
+                        cancel.cancel();
+                        break;
+                    }
+                }
                 for (og, oe) in
                     transfer_one_cached(g, e, action, sid.0, epoch, use_memo, tcx, stats)
                 {
@@ -663,10 +944,21 @@ impl<'a> Engine<'a> {
                     sharing_relaxation: tcx.sharing_relaxation,
                     pessimistic_sharing: tcx.pessimistic_sharing,
                     reference_prune: tcx.reference_prune,
+                    deadline: tcx.deadline,
                 };
                 handles.push(scope.spawn(move || {
+                    let cancel = &tctx.ctx.tables.cancel;
                     let mut claimed = Vec::new();
                     loop {
+                        if cancel.is_cancelled() {
+                            break;
+                        }
+                        if let Some(dl) = tctx.deadline {
+                            if Instant::now() >= dl {
+                                cancel.cancel();
+                                break;
+                            }
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= graphs.len() {
                             break;
@@ -680,7 +972,13 @@ impl<'a> Engine<'a> {
             }
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("worker panicked"))
+                .flat_map(|h| match h.join() {
+                    Ok(claimed) => claimed,
+                    Err(payload) => {
+                        tcx.ctx.tables.cancel.cancel();
+                        std::panic::resume_unwind(payload)
+                    }
+                })
                 .collect()
         });
         partials.sort_by_key(|(i, _, _)| *i);
@@ -912,8 +1210,131 @@ mod tests {
             ..Default::default()
         };
         match Engine::new(&ir, cfg).run() {
-            Err(AnalysisError::OutOfMemory { .. }) => {}
-            other => panic!("expected OutOfMemory, got {other:?}"),
+            Err(AnalysisError::BudgetExceeded {
+                which: BudgetKind::Bytes { .. },
+                at_stmt: None,
+            }) => {}
+            other => panic!("expected BudgetExceeded(Bytes), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_graph_cap_names_statement() {
+        let (p, t) = parse_and_type(LIST_BUILD).unwrap();
+        let ir = lower_main(&p, &t).unwrap();
+        let cfg = EngineConfig {
+            level: Level::L1,
+            budget: Budget {
+                max_graphs: 1,
+                ..Budget::default()
+            },
+            ..Default::default()
+        };
+        match Engine::new(&ir, cfg).run() {
+            Err(AnalysisError::BudgetExceeded {
+                which: BudgetKind::Graphs { limit: 1, .. },
+                at_stmt: Some(_),
+            }) => {}
+            other => panic!("expected BudgetExceeded(Graphs), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_cap_degrades_but_completes() {
+        let (p, t) = parse_and_type(LIST_BUILD).unwrap();
+        let ir = lower_main(&p, &t).unwrap();
+        let cfg = EngineConfig {
+            level: Level::L2,
+            budget: Budget {
+                max_nodes: Some(3),
+                ..Budget::default()
+            },
+            ..Default::default()
+        };
+        let res = Engine::new(&ir, cfg).run().unwrap();
+        assert!(res.is_complete(), "forced summarization never cancels");
+        assert!(res.any_degraded(), "a 3-node cap must coarsen the L2 list");
+        assert!(!res.exit.is_empty());
+        for s in &res.after_stmt {
+            for g in s.iter() {
+                assert!(g.num_nodes() <= 3, "statement RSGs stay under the cap");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_deadline_returns_partial_without_poisoning() {
+        let (p, t) = parse_and_type(LIST_BUILD).unwrap();
+        let ir = lower_main(&p, &t).unwrap();
+        let cfg = EngineConfig {
+            level: Level::L1,
+            budget: Budget {
+                deadline: Some(std::time::Duration::ZERO),
+                ..Budget::default()
+            },
+            ..Default::default()
+        };
+        let engine = Engine::new(&ir, cfg);
+        let res = engine.run().unwrap();
+        assert!(matches!(res.stopped, Some(BudgetKind::Deadline { .. })));
+        assert!(res.any_degraded(), "pending statements are marked stale");
+        // The shared tables survive the cancellation: a fresh engine on the
+        // same ShapeCtx (progressive-driver style) completes normally.
+        let full =
+            Engine::with_shape_ctx(&ir, EngineConfig::at_level(Level::L1), engine.ctx().clone())
+                .run()
+                .unwrap();
+        assert!(full.is_complete());
+        assert!(!full.any_degraded());
+        assert!(!full.exit.is_empty());
+    }
+
+    #[test]
+    fn rsg_cap_stops_softly() {
+        let (p, t) = parse_and_type(LIST_BUILD).unwrap();
+        let ir = lower_main(&p, &t).unwrap();
+        let cfg = EngineConfig {
+            level: Level::L1,
+            budget: Budget {
+                max_rsgs: Some(1),
+                ..Budget::default()
+            },
+            ..Default::default()
+        };
+        let res = Engine::new(&ir, cfg).run().unwrap();
+        assert!(matches!(
+            res.stopped,
+            Some(BudgetKind::Rsgs { limit: 1, .. })
+        ));
+        assert!(res.any_degraded());
+    }
+
+    #[test]
+    fn budgets_unset_results_match_reference() {
+        // The budget layer must be inert when no degradation cap is set.
+        let (p, t) = parse_and_type(LIST_BUILD).unwrap();
+        let ir = lower_main(&p, &t).unwrap();
+        let plain = Engine::new(&ir, EngineConfig::at_level(Level::L2))
+            .run()
+            .unwrap();
+        assert!(plain.is_complete());
+        assert!(!plain.any_degraded());
+        let huge_caps = EngineConfig {
+            level: Level::L2,
+            budget: Budget {
+                max_nodes: Some(1 << 20),
+                max_rsgs: Some(1 << 20),
+                max_table_bytes: Some(1 << 40),
+                deadline: Some(std::time::Duration::from_secs(3600)),
+                ..Budget::default()
+            },
+            ..Default::default()
+        };
+        let capped = Engine::new(&ir, huge_caps).run().unwrap();
+        assert!(capped.is_complete());
+        assert!(plain.exit.same_as(&capped.exit));
+        for (a, b) in plain.after_stmt.iter().zip(&capped.after_stmt) {
+            assert!(a.same_as(b));
         }
     }
 

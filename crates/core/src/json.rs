@@ -287,6 +287,19 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Four hex digits starting at byte offset `at` (does not advance).
+    fn hex4(&self, at: usize) -> Result<u32, ParseError> {
+        let hex = self
+            .bytes
+            .get(at..at + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        if !hex.iter().all(|b| b.is_ascii_hexdigit()) {
+            return Err(self.err("bad \\u escape"));
+        }
+        let hex = std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+        u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))
+    }
+
     fn expect(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
@@ -395,22 +408,40 @@ impl<'a> Parser<'a> {
                         Some(b'b') => s.push('\u{8}'),
                         Some(b'f') => s.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let hex =
-                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
-                            let cp = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            // Surrogates are not paired (the printer never
-                            // emits them); map to the replacement char.
-                            s.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                            let hi = self.hex4(self.pos + 1)?;
                             self.pos += 4;
+                            match hi {
+                                0xD800..=0xDBFF => {
+                                    // High surrogate: combine with a
+                                    // following `\uDC00`–`\uDFFF` escape; a
+                                    // lone half decodes to U+FFFD.
+                                    let lo = if self.bytes.get(self.pos + 1) == Some(&b'\\')
+                                        && self.bytes.get(self.pos + 2) == Some(&b'u')
+                                    {
+                                        self.hex4(self.pos + 3).ok()
+                                    } else {
+                                        None
+                                    };
+                                    match lo {
+                                        Some(lo @ 0xDC00..=0xDFFF) => {
+                                            let cp =
+                                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                            s.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                                            self.pos += 6;
+                                        }
+                                        _ => s.push('\u{FFFD}'),
+                                    }
+                                }
+                                0xDC00..=0xDFFF => s.push('\u{FFFD}'),
+                                cp => s.push(char::from_u32(cp).unwrap_or('\u{FFFD}')),
+                            }
                         }
                         _ => return Err(self.err("bad escape")),
                     }
                     self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("bare control character in string"));
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar (input is a &str, so the
@@ -529,5 +560,55 @@ mod tests {
         assert!(text.contains("\\t"));
         assert!(text.contains("\\u0001"));
         assert_eq!(Json::parse(&text).unwrap(), j);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // U+1F600 and U+1D11E spelled as UTF-16 escape pairs.
+        assert_eq!(
+            Json::parse(r#""\uD83D\uDE00""#).unwrap(),
+            Json::Str("\u{1F600}".to_string())
+        );
+        assert_eq!(
+            Json::parse(r#""a \uD834\uDD1E b""#).unwrap(),
+            Json::Str("a \u{1D11E} b".to_string())
+        );
+        // Consecutive pairs must not consume each other's halves.
+        assert_eq!(
+            Json::parse(r#""\uD83D\uDE00\uD83D\uDE01""#).unwrap(),
+            Json::Str("\u{1F600}\u{1F601}".to_string())
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_become_replacement_char() {
+        // High half with no continuation, low half alone, high half
+        // followed by a BMP escape: each bad half is one U+FFFD and the
+        // rest of the string is preserved.
+        assert_eq!(
+            Json::parse(r#""\uD800""#).unwrap(),
+            Json::Str("\u{FFFD}".to_string())
+        );
+        assert_eq!(
+            Json::parse(r#""x\uDC00y""#).unwrap(),
+            Json::Str("x\u{FFFD}y".to_string())
+        );
+        assert_eq!(
+            Json::parse(r#""\uD800A""#).unwrap(),
+            Json::Str("\u{FFFD}A".to_string())
+        );
+    }
+
+    #[test]
+    fn bare_control_characters_rejected() {
+        // Raw control bytes inside a string are invalid JSON; their
+        // escaped spellings are fine.
+        assert!(Json::parse("\"a\u{1}b\"").is_err());
+        assert!(Json::parse("\"a\tb\"").is_err());
+        assert!(Json::parse("\"a\nb\"").is_err());
+        assert_eq!(
+            Json::parse(r#""a\tb""#).unwrap(),
+            Json::Str("a\tb".to_string())
+        );
     }
 }

@@ -39,7 +39,7 @@ pub mod semantics;
 pub mod stats;
 
 pub use api::{analyze_source, AnalysisOptions, Analyzer};
-pub use engine::{AnalysisError, AnalysisResult, Engine, EngineConfig};
+pub use engine::{AnalysisError, AnalysisResult, BudgetKind, Engine, EngineConfig};
 pub use progressive::{Goal, ProgressiveOutcome, ProgressiveRunner};
 pub use rsrsg::Rsrsg;
-pub use stats::AnalysisStats;
+pub use stats::{AnalysisBudget, AnalysisStats, Budget};

@@ -108,12 +108,21 @@ pub struct ProgressiveOutcome {
 }
 
 impl ProgressiveOutcome {
-    /// The most precise successful result.
+    /// The most precise successful result. Complete results win over
+    /// partial (budget-cancelled) ones regardless of level; a partial
+    /// result is returned only when no level completed.
     pub fn best(&self) -> Option<&AnalysisResult> {
         self.levels
             .iter()
             .rev()
-            .find_map(|l| l.result.as_ref().ok())
+            .filter_map(|l| l.result.as_ref().ok())
+            .find(|r| r.is_complete())
+            .or_else(|| {
+                self.levels
+                    .iter()
+                    .rev()
+                    .find_map(|l| l.result.as_ref().ok())
+            })
     }
 }
 
@@ -165,12 +174,17 @@ impl<'a> ProgressiveRunner<'a> {
                 ..self.base_config.clone()
             };
             let result = Engine::with_shape_ctx(self.ir, config, shape.clone()).run();
+            // A cancelled (partial) result has not reached the fixed point:
+            // its RSRSGs under-approximate the real one, so goals must not
+            // be evaluated against it — the driver escalates instead.
+            let complete = matches!(&result, Ok(res) if res.is_complete());
             let goals_met: Vec<bool> = match &result {
-                Ok(res) => self.goals.iter().map(|g| g.met(self.ir, res)).collect(),
-                Err(_) => Vec::new(),
+                Ok(res) if complete => self.goals.iter().map(|g| g.met(self.ir, res)).collect(),
+                _ => Vec::new(),
             };
-            let all_met = result.is_ok() && goals_met.iter().all(|&m| m) && !goals_met.is_empty()
-                || (result.is_ok() && self.goals.is_empty());
+            let all_met = complete
+                && (self.goals.is_empty()
+                    || (!goals_met.is_empty() && goals_met.iter().all(|&m| m)));
             outcome.levels.push(LevelOutcome {
                 level,
                 result,
@@ -250,6 +264,26 @@ mod tests {
         assert_eq!(outcome.satisfied_at, None);
         assert_eq!(outcome.levels.len(), 3, "all three levels attempted");
         assert!(outcome.best().is_some());
+    }
+
+    #[test]
+    fn partial_results_do_not_satisfy_goals() {
+        // A zero deadline cancels every level: no level may claim the
+        // goals are met (even the empty goal list), and best() surfaces a
+        // partial result only because nothing completed.
+        let (p, t) = parse_and_type(SLL).unwrap();
+        let ir = lower_main(&p, &t).unwrap();
+        let cfg = EngineConfig {
+            budget: crate::stats::Budget {
+                deadline: Some(std::time::Duration::ZERO),
+                ..crate::stats::Budget::default()
+            },
+            ..EngineConfig::default()
+        };
+        let outcome = ProgressiveRunner::new(&ir, vec![]).with_config(cfg).run();
+        assert_eq!(outcome.satisfied_at, None);
+        assert_eq!(outcome.levels.len(), 3, "driver escalates past partials");
+        assert!(outcome.best().is_some_and(|r| !r.is_complete()));
     }
 
     #[test]

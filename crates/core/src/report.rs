@@ -111,6 +111,13 @@ pub struct StatsReport {
     pub warnings: Vec<String>,
     /// Op-level counters (interner, subsumption cache, graph ops).
     pub ops: OpStats,
+    /// True when any statement was degraded (forced summarization or
+    /// budget cancellation); see [`AnalysisResult::degraded`].
+    pub degraded: bool,
+    /// Statement ids marked degraded.
+    pub degraded_stmts: Vec<u32>,
+    /// Human-readable budget cap that cancelled the run, when partial.
+    pub stopped: Option<String>,
 }
 
 /// Render op-level counters as a JSON object (shared by the report and the
@@ -173,6 +180,19 @@ impl StatsReport {
             "warnings",
             self.warnings.iter().map(String::as_str).collect::<Json>(),
         );
+        j.set("degraded", self.degraded);
+        j.set(
+            "degraded_stmts",
+            self.degraded_stmts.iter().copied().collect::<Json>(),
+        );
+        match &self.stopped {
+            Some(s) => {
+                j.set("stopped", s.as_str());
+            }
+            None => {
+                j.set("stopped", Json::Null);
+            }
+        }
         j.set("ops", ops_to_json(&self.ops));
         j
     }
@@ -299,6 +319,9 @@ pub fn build_report(ir: &FuncIr, result: &AnalysisResult) -> AnalysisReport {
             max_nodes_per_graph: result.stats.max_nodes_per_graph,
             warnings: result.stats.warnings.clone(),
             ops: result.stats.ops,
+            degraded: result.any_degraded(),
+            degraded_stmts: result.degraded_stmts().map(|s| s.0).collect(),
+            stopped: result.stopped.map(|k| k.to_string()),
         },
         exit_graphs: result.exit.len(),
         exit_nodes: result.exit.total_nodes(),
@@ -352,6 +375,38 @@ mod tests {
         assert_eq!(parsed.get("function").unwrap().as_str(), Some("main"));
         let ops = parsed.get("stats").unwrap().get("ops").unwrap();
         assert!(ops.get("insert_calls").unwrap().as_i64().unwrap() > 0);
+    }
+
+    #[test]
+    fn report_marks_degraded_statements() {
+        let a = Analyzer::new(
+            SRC,
+            AnalysisOptions {
+                budget: crate::stats::Budget {
+                    max_nodes: Some(2),
+                    ..crate::stats::Budget::default()
+                },
+                ..AnalysisOptions::default()
+            },
+        )
+        .unwrap();
+        let res = a.run().unwrap();
+        assert!(res.is_complete(), "node cap degrades without cancelling");
+        let rep = build_report(a.ir(), &res);
+        assert!(rep.stats.degraded);
+        assert!(!rep.stats.degraded_stmts.is_empty());
+        assert!(rep.stats.stopped.is_none());
+        let json = rep.to_json_string();
+        assert!(json.contains("\"degraded\": true"));
+        assert!(json.contains("\"stopped\": null"));
+        let parsed = Json::parse(&json).unwrap();
+        let stats = parsed.get("stats").unwrap();
+        assert!(!stats
+            .get("degraded_stmts")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

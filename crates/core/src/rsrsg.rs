@@ -327,6 +327,28 @@ impl Rsrsg {
         }
     }
 
+    /// Forced summarization under a node budget: any member above
+    /// `max_nodes` is re-compressed with relaxed compatibility
+    /// ([`psa_rsg::compress::force_compress`], k-limiting) and the whole set
+    /// re-reduced. Returns `true` when any member was coarsened — the
+    /// caller marks the statement degraded. Sound: force-compression only
+    /// widens each member, and re-insertion only joins.
+    pub fn force_summarize(&mut self, ctx: &ShapeCtx, level: Level, max_nodes: usize) -> bool {
+        if self.graphs.iter().all(|g| g.num_nodes() <= max_nodes) {
+            return false;
+        }
+        let old = std::mem::take(self);
+        for (g, e) in old.graphs.into_iter().zip(old.canon) {
+            if g.num_nodes() <= max_nodes {
+                self.insert_compressed(g, e, ctx, level);
+            } else {
+                let coarse = psa_rsg::compress::force_compress(&g, ctx, level, max_nodes);
+                self.insert(coarse, ctx, level);
+            }
+        }
+        true
+    }
+
     /// Approximate structural bytes of the whole set. Canonical bytes are
     /// interner-shared, so they count a pointer-sized handle each rather
     /// than their full length.
@@ -537,6 +559,22 @@ mod tests {
             b.insert_compressed(c, e, &ctx2, Level::L1);
         }
         assert!(a.same_as(&b));
+    }
+
+    #[test]
+    fn force_summarize_caps_node_counts() {
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let mut s = Rsrsg::new();
+        s.insert(
+            builder::singly_linked_list(6, 1, PvarId(0), sel(0)),
+            &ctx,
+            Level::L2,
+        );
+        // L2's C_SPATH1 keeps per-hop precision: more than 3 nodes survive.
+        assert!(s.iter().any(|g| g.num_nodes() > 3));
+        assert!(s.force_summarize(&ctx, Level::L2, 3));
+        assert!(s.iter().all(|g| g.num_nodes() <= 3));
+        assert!(!s.force_summarize(&ctx, Level::L2, 3), "second pass no-op");
     }
 
     #[test]

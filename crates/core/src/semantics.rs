@@ -48,10 +48,14 @@ pub struct TransferCtx<'a> {
     /// implementation instead of the worklist (differential-testing knob;
     /// see [`psa_rsg::prune::prune_reference`]).
     pub reference_prune: bool,
+    /// Wall-clock point after which the per-graph fold loops cancel
+    /// remaining work via the shared [`psa_rsg::CancelToken`]; `None` (the
+    /// default) disables the check entirely.
+    pub deadline: Option<Instant>,
 }
 
 impl<'a> TransferCtx<'a> {
-    /// A default-configured context (relaxation on).
+    /// A default-configured context (relaxation on, no deadline).
     pub fn new(ctx: &'a ShapeCtx, level: Level, active_ipvars: &'a [PvarId]) -> Self {
         TransferCtx {
             ctx,
@@ -60,6 +64,7 @@ impl<'a> TransferCtx<'a> {
             sharing_relaxation: true,
             pessimistic_sharing: false,
             reference_prune: false,
+            deadline: None,
         }
     }
 }
@@ -100,15 +105,27 @@ impl<'a> TransferCtx<'a> {
     }
 }
 
-/// Transfer one pointer statement over a whole RSRSG.
+/// Transfer one pointer statement over a whole RSRSG. Honors cooperative
+/// cancellation and the deadline between member graphs, like the engine's
+/// memoized fold (see [`crate::stats::Budget`]).
 pub fn transfer_rsrsg(
     input: &Rsrsg,
     stmt: &PtrStmt,
     tcx: &TransferCtx<'_>,
     stats: &mut AnalysisStats,
 ) -> Rsrsg {
+    let cancel = &tcx.ctx.tables.cancel;
     let mut out = Rsrsg::new();
     for g in input.iter() {
+        if cancel.is_cancelled() {
+            break;
+        }
+        if let Some(dl) = tcx.deadline {
+            if Instant::now() >= dl {
+                cancel.cancel();
+                break;
+            }
+        }
         for gi in transfer_one(g, stmt, tcx, stats) {
             out.insert(gi, tcx.ctx, tcx.level);
         }

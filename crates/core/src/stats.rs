@@ -67,6 +67,20 @@ impl AnalysisStats {
 }
 
 /// Resource budgets for one engine run.
+///
+/// Two families with different failure modes:
+///
+/// * **Hard caps** (`max_bytes`, `max_graphs`, `max_iterations`) abort the
+///   run with [`AnalysisError::BudgetExceeded`](crate::AnalysisError) —
+///   the paper's "compiler runs out of memory" outcome.
+/// * **Degradation caps** (`max_nodes`, `max_rsgs`, `max_table_bytes`,
+///   `deadline`) never abort. `max_nodes` triggers forced summarization
+///   (sound but coarser graphs, statements marked degraded); the others
+///   cancel remaining work cooperatively and return a partial result with
+///   [`AnalysisResult::stopped`](crate::AnalysisResult) set.
+///
+/// All new caps default to `None`/unset, in which case the engine's
+/// behaviour (and its output, bit for bit) is unchanged.
 #[derive(Debug, Clone, Copy)]
 pub struct Budget {
     /// Abort when peak structural bytes exceed this.
@@ -76,7 +90,23 @@ pub struct Budget {
     /// Abort after this many block-transfer iterations (non-convergence
     /// safety net; the property space is finite so this should not trigger).
     pub max_iterations: usize,
+    /// Force-summarize any RSG above this many nodes (k-limiting COMPRESS
+    /// with relaxed compatibility); the affected statement is marked
+    /// degraded but the fixed point still completes.
+    pub max_nodes: Option<usize>,
+    /// Cancel remaining work when a statement's RSRSG reaches this many
+    /// graphs (softer than `max_graphs`: partial result, not an error).
+    pub max_rsgs: Option<usize>,
+    /// Cancel remaining work when the shared interner/memo tables exceed
+    /// approximately this many bytes.
+    pub max_table_bytes: Option<usize>,
+    /// Cancel remaining work after this much wall-clock time.
+    pub deadline: Option<Duration>,
 }
+
+/// The budget layer's public name in the ISSUE/API surface; `Budget` is the
+/// historical in-tree name.
+pub type AnalysisBudget = Budget;
 
 impl Default for Budget {
     fn default() -> Self {
@@ -84,6 +114,10 @@ impl Default for Budget {
             max_bytes: None,
             max_graphs: 512,
             max_iterations: 100_000,
+            max_nodes: None,
+            max_rsgs: None,
+            max_table_bytes: None,
+            deadline: None,
         }
     }
 }
@@ -103,7 +137,18 @@ impl Budget {
             max_bytes: Some(64 * 1024),
             max_graphs: 16,
             max_iterations: 2_000,
+            ..Budget::default()
         }
+    }
+
+    /// True when any degradation cap (node/RSG/table-byte/deadline) is set;
+    /// when false the engine takes none of the degradation paths and its
+    /// output is bit-identical to a budget-less run.
+    pub fn any_degradation_cap(&self) -> bool {
+        self.max_nodes.is_some()
+            || self.max_rsgs.is_some()
+            || self.max_table_bytes.is_some()
+            || self.deadline.is_some()
     }
 }
 
@@ -133,5 +178,21 @@ mod tests {
     fn budget_presets() {
         assert_eq!(Budget::paper_128mb().max_bytes, Some(128 * 1024 * 1024));
         assert!(Budget::tiny().max_graphs < Budget::default().max_graphs);
+    }
+
+    #[test]
+    fn degradation_caps_default_unset() {
+        let b = Budget::default();
+        assert!(!b.any_degradation_cap());
+        assert!(Budget {
+            deadline: Some(Duration::from_millis(1)),
+            ..b
+        }
+        .any_degradation_cap());
+        assert!(Budget {
+            max_nodes: Some(8),
+            ..b
+        }
+        .any_degradation_cap());
     }
 }

@@ -278,6 +278,119 @@ pub fn compress(g: &Rsg, ctx: &ShapeCtx, level: Level) -> Rsg {
     }
 }
 
+/// Forced summarization (k-limiting): COMPRESS with the `C_NODES_RSG`
+/// compatibility relaxed to the merge preconditions alone — equal TYPE and
+/// TOUCH — so the node count falls under a budget cap even when the precise
+/// predicate keeps nodes apart. Pvar-pointed nodes stay singular (their PL
+/// precision drives DIVIDE/materialization); everything else of one
+/// (TYPE, TOUCH) class collapses into a single summary node. The result is
+/// sound but coarser: may-sets union, must-sets intersect, SHARED/SHSEL
+/// take the OR, CYCLELINKS keep only pairs no member can contradict.
+///
+/// Best effort: if the graph still exceeds `max_nodes` after the
+/// (TYPE, TOUCH) round, TOUCH equality is relaxed too (touch sets union).
+/// The reachable floor is one singleton per pvar-pointed node plus one
+/// summary per struct type; a graph still over the cap at that floor is
+/// returned anyway.
+pub fn force_compress(g: &Rsg, ctx: &ShapeCtx, level: Level, max_nodes: usize) -> Rsg {
+    let mut cur = compress(g, ctx, level);
+    // Escalating relaxation rounds, each widening the set of mergeable
+    // nodes: round 0 is the documented k-limit (non-pointed nodes of one
+    // (TYPE, TOUCH) class); round 1 drops TOUCH equality, unioning the
+    // touch sets (conservative for the may-reading the parallelism client
+    // makes of TOUCH). Pvar-pointed nodes always stay singular — the
+    // representation's singularity invariant forbids a pvar pointing at a
+    // summary node — so the reachable floor is one singleton per pointed
+    // node plus one summary per struct type.
+    for round in 0..=1u8 {
+        if cur.num_nodes() <= max_nodes {
+            return cur;
+        }
+        if let Some(next) = force_round(&cur, round) {
+            // Coarsening can expose ordinary compatibilities; re-establish
+            // the normal COMPRESS fixpoint on the coarsened graph.
+            cur = compress(&next, ctx, level);
+        }
+    }
+    cur
+}
+
+/// One relaxation round of [`force_compress`]; `None` when nothing merged.
+fn force_round(cur: &Rsg, round: u8) -> Option<Rsg> {
+    let pointed: std::collections::BTreeSet<NodeId> = cur.pl_iter().map(|(_, n)| n).collect();
+    let mut parts: std::collections::BTreeMap<(u32, Vec<u32>), Vec<NodeId>> =
+        std::collections::BTreeMap::new();
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
+    for id in cur.node_ids() {
+        if pointed.contains(&id) {
+            groups.push(vec![id]);
+        } else {
+            let n = cur.node(id);
+            let touch_key: Vec<u32> = if round == 0 {
+                n.touch.iter().map(|p| p.0).collect()
+            } else {
+                Vec::new()
+            };
+            parts.entry((n.ty.0, touch_key)).or_default().push(id);
+        }
+    }
+    let mut merged_any = false;
+    for (_, members) in parts {
+        merged_any |= members.len() >= 2;
+        groups.push(members);
+    }
+    if !merged_any {
+        return None;
+    }
+
+    // Round 1 merges nodes with differing TOUCH: pre-union each group's
+    // touch sets so the MERGE_NODES preconditions hold. TOUCH is
+    // may-information to its clients (a larger set only withholds
+    // parallelization), so the union is a sound widening.
+    let mut src = cur.clone();
+    if round >= 1 {
+        for grp in &groups {
+            if grp.len() < 2 {
+                continue;
+            }
+            let mut union = src.node(grp[0]).touch.clone();
+            for &m in &grp[1..] {
+                for p in src.node(m).touch.iter().collect::<Vec<_>>() {
+                    union.insert(p);
+                }
+            }
+            for &m in grp {
+                src.node_mut(m).touch = union.clone();
+            }
+        }
+    }
+
+    let cap = src.node_ids().map(|n| n.0 as usize + 1).max().unwrap_or(0);
+    let mut map: Vec<Option<NodeId>> = vec![None; cap];
+    let mut out = Rsg::empty(src.num_pvar_slots());
+    for grp in &groups {
+        let new_id = if grp.len() == 1 {
+            out.add_node(src.node(grp[0]).clone())
+        } else {
+            out.add_node(merge_group(&src, grp))
+        };
+        for &old in grp {
+            map[old.0 as usize] = Some(new_id);
+        }
+    }
+    for (p, n) in src.pl_iter() {
+        out.set_pl(p, map[n.0 as usize].expect("mapped"));
+    }
+    for (a, sel, b) in src.links() {
+        out.add_link(
+            map[a.0 as usize].expect("mapped"),
+            sel,
+            map[b.0 as usize].expect("mapped"),
+        );
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +538,71 @@ mod tests {
         let c2 = compress(&c1, &ctx, Level::L1);
         assert_eq!(c1.num_nodes(), c2.num_nodes());
         assert_eq!(c1.num_links(), c2.num_links());
+    }
+
+    #[test]
+    fn force_compress_noop_under_cap() {
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let g = list4();
+        let normal = compress(&g, &ctx, Level::L1);
+        let forced = force_compress(&g, &ctx, Level::L1, 8);
+        assert_eq!(forced.num_nodes(), normal.num_nodes());
+        assert_eq!(forced.num_links(), normal.num_links());
+    }
+
+    #[test]
+    fn force_compress_collapses_below_spath_precision() {
+        let ctx = ShapeCtx::synthetic(1, 1);
+        let g = list4();
+        // L2 keeps 4 nodes apart (C_SPATH1); the relaxed merge collapses
+        // all non-pvar-pointed nodes of the single list type into one
+        // summary, leaving head + summary.
+        let normal = compress(&g, &ctx, Level::L2);
+        assert_eq!(normal.num_nodes(), 4);
+        let forced = force_compress(&g, &ctx, Level::L2, 3);
+        assert!(forced.num_nodes() <= 3);
+        forced.check_invariants(&ctx).unwrap();
+        // The coarsened graph still covers the precise one.
+        assert!(crate::subsume::subsumes(&forced, &normal));
+    }
+
+    #[test]
+    fn force_compress_keeps_pvar_pointed_nodes_singular() {
+        let ctx = ShapeCtx::synthetic(2, 1);
+        let mut g = builder::singly_linked_list(4, 2, PvarId(0), sel(0));
+        let tail = g.node_ids().last().unwrap();
+        g.set_pl(PvarId(1), tail);
+        // Cap 3 is reachable: p0's head, p1's tail, collapsed middles.
+        let forced3 = force_compress(&g, &ctx, Level::L2, 3);
+        assert_eq!(forced3.num_nodes(), 3);
+        forced3.check_invariants(&ctx).unwrap();
+        // Cap 2 is *not* reachable — the singularity invariant keeps both
+        // pointed nodes singular; best effort returns the 3-node floor.
+        let forced2 = force_compress(&g, &ctx, Level::L2, 2);
+        assert_eq!(forced2.num_nodes(), 3);
+        forced2.check_invariants(&ctx).unwrap();
+    }
+
+    #[test]
+    fn force_compress_escalates_past_touch_differences() {
+        // Two non-pointed nodes of one type whose TOUCH sets differ: the
+        // (TYPE, TOUCH) round keeps them apart, the TYPE-only round merges
+        // them with unioned touch.
+        let ctx = ShapeCtx::synthetic(2, 1);
+        let mut g = builder::singly_linked_list(4, 2, PvarId(0), sel(0));
+        let ids: Vec<_> = g.node_ids().collect();
+        g.node_mut(ids[1]).touch.insert(PvarId(1));
+        let forced = force_compress(&g, &ctx, Level::L3, 2);
+        assert_eq!(forced.num_nodes(), 2, "head + one per-type summary");
+        forced.check_invariants(&ctx).unwrap();
+        let summary = forced
+            .node_ids()
+            .find(|&n| forced.node(n).summary)
+            .expect("summary node");
+        assert!(
+            forced.node(summary).touch.contains(PvarId(1)),
+            "touch sets union when the TYPE-only round merges"
+        );
     }
 
     #[test]

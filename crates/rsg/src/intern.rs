@@ -46,7 +46,7 @@ use crate::canon::canonical_bytes;
 use crate::graph::Rsg;
 use crate::subsume::subsumes;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
@@ -171,12 +171,49 @@ struct InternerInner {
 #[derive(Debug, Default)]
 pub struct Interner {
     inner: Mutex<InternerInner>,
+    /// Approximate retained bytes (canonical serializations plus
+    /// representative graphs), maintained on mint so budget checks never
+    /// walk the table.
+    bytes: AtomicU64,
 }
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    // A panicking worker thread must not wedge the whole analysis: the
-    // tables hold plain data that stays consistent per operation.
+/// Lock a mutex, recovering from poisoning. A panicking worker thread must
+/// not wedge the whole analysis: every critical section in the shared
+/// tables is a single map operation, so the protected data stays consistent
+/// even when the panic unwound through it. All lock sites in the analysis —
+/// here and in downstream crates — go through this one helper so the
+/// recovery policy cannot drift per call site.
+pub fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Cooperative cancellation token shared by the engine worklist, the
+/// parallel fan-out workers, and the statement-transfer fold loops. Raised
+/// when a soft resource budget (RSGs per statement, table bytes, deadline)
+/// trips or when a fan-out worker panics; every loop that honors it stops
+/// claiming work and lets the engine surface a partial, `degraded`-marked
+/// result instead of running on.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    flag: AtomicBool,
+}
+
+impl CancelToken {
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Clear the token (the engine resets it at run start, so a cancelled
+    /// run does not poison later runs sharing the same tables).
+    pub fn reset(&self) {
+        self.flag.store(false, Ordering::Relaxed);
+    }
 }
 
 impl Interner {
@@ -194,7 +231,7 @@ impl Interner {
             .canon_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let entry = {
-            let mut inner = lock(&self.inner);
+            let mut inner = lock_recover(&self.inner);
             if let Some(&id) = inner.map.get(bytes.as_slice()) {
                 metrics.intern_hits.fetch_add(1, Ordering::Relaxed);
                 let (arc, fp, _) = &inner.entries[id as usize];
@@ -208,6 +245,10 @@ impl Interner {
                 let id = inner.entries.len() as u32;
                 let fp = Fingerprint::of(g);
                 let arc: Arc<[u8]> = bytes.into();
+                // Canonical bytes are stored twice (entries + map key arc is
+                // shared, so count once) plus the representative graph.
+                let minted = arc.len() as u64 + g.approx_bytes() as u64;
+                self.bytes.fetch_add(minted, Ordering::Relaxed);
                 inner.entries.push((arc.clone(), fp, Arc::new(g.clone())));
                 inner.map.insert(arc.clone(), id);
                 CanonEntry {
@@ -225,7 +266,13 @@ impl Interner {
 
     /// Number of distinct canonical forms interned so far.
     pub fn len(&self) -> usize {
-        lock(&self.inner).entries.len()
+        lock_recover(&self.inner).entries.len()
+    }
+
+    /// Approximate retained bytes (canonical encodings + representative
+    /// graphs). Lock-free: reads the counter maintained on mint.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed) as usize
     }
 
     /// True when nothing has been interned.
@@ -238,7 +285,7 @@ impl Interner {
     /// # Panics
     /// If `id` was not minted by this interner.
     pub fn bytes(&self, id: CanonId) -> Arc<[u8]> {
-        lock(&self.inner).entries[id.0 as usize].0.clone()
+        lock_recover(&self.inner).entries[id.0 as usize].0.clone()
     }
 
     /// The fingerprint of an interned id.
@@ -246,7 +293,7 @@ impl Interner {
     /// # Panics
     /// If `id` was not minted by this interner.
     pub fn fingerprint(&self, id: CanonId) -> Fingerprint {
-        lock(&self.inner).entries[id.0 as usize].1
+        lock_recover(&self.inner).entries[id.0 as usize].1
     }
 
     /// The representative graph of an interned id: the exact graph that
@@ -256,7 +303,7 @@ impl Interner {
     /// # Panics
     /// If `id` was not minted by this interner.
     pub fn graph(&self, id: CanonId) -> Arc<Rsg> {
-        lock(&self.inner).entries[id.0 as usize].2.clone()
+        lock_recover(&self.inner).entries[id.0 as usize].2.clone()
     }
 
     /// The full [`CanonEntry`] of an interned id.
@@ -264,7 +311,7 @@ impl Interner {
     /// # Panics
     /// If `id` was not minted by this interner.
     pub fn entry(&self, id: CanonId) -> CanonEntry {
-        let inner = lock(&self.inner);
+        let inner = lock_recover(&self.inner);
         let (bytes, fp, _) = &inner.entries[id.0 as usize];
         CanonEntry {
             id,
@@ -278,7 +325,7 @@ impl Interner {
     /// # Panics
     /// If `id` was not minted by this interner.
     pub fn resolve(&self, id: CanonId) -> (CanonEntry, Arc<Rsg>) {
-        let inner = lock(&self.inner);
+        let inner = lock_recover(&self.inner);
         let (bytes, fp, g) = &inner.entries[id.0 as usize];
         (
             CanonEntry {
@@ -309,17 +356,19 @@ impl SubsumeCache {
 
     /// The memoized answer for `subsumes(general, specific)`, if any.
     pub fn lookup(&self, general: CanonId, specific: CanonId) -> Option<bool> {
-        lock(&self.map).get(&pair_key(general, specific)).copied()
+        lock_recover(&self.map)
+            .get(&pair_key(general, specific))
+            .copied()
     }
 
     /// Record an answer.
     pub fn store(&self, general: CanonId, specific: CanonId, value: bool) {
-        lock(&self.map).insert(pair_key(general, specific), value);
+        lock_recover(&self.map).insert(pair_key(general, specific), value);
     }
 
     /// Number of memoized pairs.
     pub fn len(&self) -> usize {
-        lock(&self.map).len()
+        lock_recover(&self.map).len()
     }
 
     /// True when no pair has been memoized.
@@ -365,17 +414,17 @@ impl TransferCache {
 
     /// The memoized outcome, if any.
     pub fn lookup(&self, epoch: u32, stmt: u32, input: CanonId) -> Option<Arc<TransferOutcome>> {
-        lock(&self.map).get(&(epoch, stmt, input)).cloned()
+        lock_recover(&self.map).get(&(epoch, stmt, input)).cloned()
     }
 
     /// Record an outcome.
     pub fn store(&self, epoch: u32, stmt: u32, input: CanonId, outcome: Arc<TransferOutcome>) {
-        lock(&self.map).insert((epoch, stmt, input), outcome);
+        lock_recover(&self.map).insert((epoch, stmt, input), outcome);
     }
 
     /// Number of memoized (epoch, stmt, graph) triples.
     pub fn len(&self) -> usize {
-        lock(&self.map).len()
+        lock_recover(&self.map).len()
     }
 
     /// True when nothing has been memoized.
@@ -575,6 +624,10 @@ pub struct SharedTables {
     pub transfer: TransferCache,
     /// Op-level counters.
     pub metrics: OpMetrics,
+    /// Cooperative cancellation flag, observed by the engine worklist and
+    /// the parallel fan-out workers. Reset by each `Engine::run` so one
+    /// cancelled run does not poison the next run sharing these tables.
+    pub cancel: CancelToken,
     cache_enabled: bool,
     /// Registry of configuration epochs: a caller-supplied configuration
     /// key (level + semantic flags) maps to a compact epoch id used in
@@ -596,9 +649,23 @@ impl SharedTables {
             cache: SubsumeCache::new(),
             transfer: TransferCache::new(),
             metrics: OpMetrics::default(),
+            cancel: CancelToken::default(),
             cache_enabled: true,
             epochs: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Approximate bytes retained by the shared tables: interned canonical
+    /// forms and representative graphs, plus a flat per-entry estimate for
+    /// the subsumption and transfer memos. Used by the table-byte budget;
+    /// an estimate, not an allocator measurement.
+    pub fn approx_table_bytes(&self) -> usize {
+        // HashMap entry overhead plus key/value payload, flat-rated.
+        const SUBSUME_ENTRY_BYTES: usize = 32;
+        const TRANSFER_ENTRY_BYTES: usize = 96;
+        self.interner.approx_bytes()
+            + self.cache.len() * SUBSUME_ENTRY_BYTES
+            + self.transfer.len() * TRANSFER_ENTRY_BYTES
     }
 
     /// The epoch id for a configuration key, minting a fresh one for keys
@@ -608,7 +675,7 @@ impl SharedTables {
     /// each other's entries, while identical configurations (e.g. repeated
     /// runs at one level) share everything.
     pub fn epoch_for(&self, config_key: u64) -> u32 {
-        let mut epochs = lock(&self.epochs);
+        let mut epochs = lock_recover(&self.epochs);
         let next = epochs.len() as u32;
         *epochs.entry(config_key).or_insert(next)
     }

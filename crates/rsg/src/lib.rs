@@ -45,6 +45,6 @@ pub mod subsume;
 
 pub use ctx::{Level, ShapeCtx};
 pub use graph::Rsg;
-pub use intern::{CanonEntry, CanonId, OpStats, SharedTables};
+pub use intern::{lock_recover, CancelToken, CanonEntry, CanonId, OpStats, SharedTables};
 pub use node::{Node, NodeId};
 pub use sets::{CycleSet, SelSet, TouchSet};

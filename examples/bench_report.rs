@@ -114,6 +114,7 @@ fn main() {
                     row.set("iterations", a.stats.iterations as u64);
                     row.set("peak_bytes_incremental", a.stats.peak_bytes as u64);
                     row.set("peak_bytes_baseline", b.stats.peak_bytes as u64);
+                    row.set("degraded", a.any_degraded());
                     row.set("ops", ops_to_json(ops));
                 }
                 (ri, rb) => {

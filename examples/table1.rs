@@ -53,7 +53,10 @@ fn main() {
                         res.stats.max_graphs_per_stmt,
                     );
                 }
-                Err(AnalysisError::OutOfMemory { peak_bytes, .. }) => {
+                Err(AnalysisError::BudgetExceeded {
+                    which: psa_core::BudgetKind::Bytes { peak_bytes, .. },
+                    ..
+                }) => {
                     println!(
                         "{:<12} {:>4} {:>12} {:>11.2}M {:>8} {:>7}",
                         name,

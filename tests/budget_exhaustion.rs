@@ -1,0 +1,200 @@
+//! Budget-exhaustion behaviour end to end: every cap trips individually,
+//! degraded output stays sound, cancellation leaves no poisoned shared
+//! state, and — crucially — an *unset* budget is perfectly inert (results
+//! bit-identical to an unbudgeted run on the paper codes).
+
+use psa::codes::{barnes_hut, sparse_lu, sparse_matvec, table1_codes, Sizes};
+use psa::core::api::{AnalysisOptions, Analyzer};
+use psa::core::engine::{AnalysisError, BudgetKind, Engine, EngineConfig};
+use psa::core::stats::Budget;
+use psa::rsg::Level;
+use std::time::Duration;
+
+fn analyzer_with_budget(src: &str, budget: Budget) -> Analyzer {
+    Analyzer::new(
+        src,
+        AnalysisOptions {
+            budget,
+            ..AnalysisOptions::default()
+        },
+    )
+    .expect("paper code lowers")
+}
+
+/// With no degradation cap set, the budget layer must not perturb the
+/// analysis: exit and per-statement RSRSGs are identical to a plain run on
+/// every paper code.
+#[test]
+fn unset_budgets_are_bit_identical_on_paper_codes() {
+    for (name, src) in table1_codes(Sizes::default()) {
+        let plain = Analyzer::new(&src, AnalysisOptions::default())
+            .expect("lowers")
+            .run_at(Level::L1)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let huge = Budget {
+            max_nodes: Some(1 << 20),
+            max_rsgs: Some(1 << 20),
+            max_table_bytes: Some(1 << 40),
+            deadline: Some(Duration::from_secs(3600)),
+            ..Budget::default()
+        };
+        let capped = analyzer_with_budget(&src, huge)
+            .run_at(Level::L1)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(capped.is_complete(), "{name}");
+        assert!(!capped.any_degraded(), "{name}");
+        assert!(plain.exit.same_as(&capped.exit), "{name}: exit differs");
+        for (i, (a, b)) in plain.after_stmt.iter().zip(&capped.after_stmt).enumerate() {
+            assert!(a.same_as(b), "{name}: after_stmt[{i}] differs");
+        }
+    }
+}
+
+/// Barnes-Hut at L3 under a low node cap: the run completes (no panic, no
+/// cancellation), the affected statements are marked degraded, and every
+/// retained RSG either respects the cap or sits at the sound k-limiting
+/// floor — pvar-pointed singletons (the singularity invariant forbids
+/// merging them) plus at most one summary per struct type.
+#[test]
+fn barnes_hut_l3_completes_under_node_cap() {
+    const CAP: usize = 6;
+    let budget = Budget {
+        max_nodes: Some(CAP),
+        ..Budget::default()
+    };
+    let res = analyzer_with_budget(&barnes_hut(Sizes::default()), budget)
+        .run_at(Level::L3)
+        .expect("node cap degrades, never errors");
+    assert!(res.is_complete(), "forced summarization must not cancel");
+    assert!(
+        res.any_degraded(),
+        "a {CAP}-node cap must coarsen the octree"
+    );
+    assert!(!res.exit.is_empty());
+    let mut over_cap_at_floor = 0usize;
+    for (i, s) in res.after_stmt.iter().enumerate() {
+        for g in s.iter() {
+            if g.num_nodes() <= CAP {
+                continue;
+            }
+            // Over the cap: no further sound merge may exist, i.e. all
+            // non-pointed nodes carry pairwise-distinct struct types.
+            over_cap_at_floor += 1;
+            let pointed: std::collections::BTreeSet<_> = g.pl_iter().map(|(_, n)| n).collect();
+            let mut seen_types = std::collections::BTreeSet::new();
+            for n in g.node_ids() {
+                if pointed.contains(&n) {
+                    continue;
+                }
+                assert!(
+                    seen_types.insert(g.node(n).ty),
+                    "after_stmt[{i}]: an over-cap RSG ({} nodes, cap {CAP}) still \
+                     holds two mergeable non-pointed nodes",
+                    g.num_nodes()
+                );
+            }
+        }
+    }
+    // The cap must have had teeth somewhere.
+    assert!(
+        res.degraded_stmts().count() > 0 || over_cap_at_floor > 0,
+        "cap never tripped"
+    );
+}
+
+/// A 1 ms deadline on sparse LU yields a partial result, not an error and
+/// not a panic.
+#[test]
+fn sparse_lu_millisecond_deadline_returns_partial() {
+    let budget = Budget {
+        deadline: Some(Duration::from_millis(1)),
+        ..Budget::default()
+    };
+    let res = analyzer_with_budget(&sparse_lu(Sizes::default()), budget)
+        .run_at(Level::L2)
+        .expect("deadline is a soft cap");
+    // The deadline fires somewhere inside the fixed point on any realistic
+    // machine; if the box is impossibly fast the result is simply complete.
+    if let Some(which) = res.stopped {
+        assert!(matches!(which, BudgetKind::Deadline { limit_ms: 1 }));
+        assert!(res.any_degraded(), "pending statements are marked");
+    }
+}
+
+#[test]
+fn rsg_cap_stops_matvec_softly() {
+    let budget = Budget {
+        max_rsgs: Some(1),
+        ..Budget::default()
+    };
+    let res = analyzer_with_budget(&sparse_matvec(Sizes::default()), budget)
+        .run_at(Level::L1)
+        .expect("RSG cap is a soft cap");
+    assert!(matches!(
+        res.stopped,
+        Some(BudgetKind::Rsgs { limit: 1, .. })
+    ));
+    assert!(res.any_degraded());
+}
+
+#[test]
+fn table_bytes_cap_stops_softly() {
+    let budget = Budget {
+        max_table_bytes: Some(1),
+        ..Budget::default()
+    };
+    let res = analyzer_with_budget(&sparse_matvec(Sizes::default()), budget)
+        .run_at(Level::L1)
+        .expect("table-bytes cap is a soft cap");
+    assert!(matches!(
+        res.stopped,
+        Some(BudgetKind::TableBytes { limit: 1, .. })
+    ));
+}
+
+/// The hard byte cap stays an error (Table 1's OOM semantics), now through
+/// the typed taxonomy.
+#[test]
+fn hard_byte_cap_is_a_typed_error() {
+    let budget = Budget {
+        max_bytes: Some(1),
+        ..Budget::default()
+    };
+    let err = analyzer_with_budget(&sparse_matvec(Sizes::default()), budget)
+        .run_at(Level::L1)
+        .expect_err("1 structural byte cannot hold an RSRSG");
+    assert!(matches!(
+        err,
+        AnalysisError::BudgetExceeded {
+            which: BudgetKind::Bytes { limit: 1, .. },
+            ..
+        }
+    ));
+}
+
+/// Deadline cancellation leaves the shared tables usable: a fresh engine on
+/// the same `ShapeCtx` (exactly what the progressive driver does) reaches
+/// the full fixed point afterwards.
+#[test]
+fn deadline_cancellation_leaves_shared_state_clean() {
+    let (program, table) = psa::cfront::parse_and_type(&sparse_matvec(Sizes::default())).unwrap();
+    let program = psa::ir::inline_program(&program, "main").unwrap();
+    let ir = psa::ir::lower_function(&program, &table, "main").unwrap();
+    let cancelled_cfg = EngineConfig {
+        budget: Budget {
+            deadline: Some(Duration::ZERO),
+            ..Budget::default()
+        },
+        ..EngineConfig::at_level(Level::L1)
+    };
+    let engine = Engine::new(&ir, cancelled_cfg);
+    let partial = engine.run().unwrap();
+    assert!(matches!(partial.stopped, Some(BudgetKind::Deadline { .. })));
+
+    let full = Engine::with_shape_ctx(&ir, EngineConfig::at_level(Level::L1), engine.ctx().clone())
+        .run()
+        .unwrap();
+    assert!(full.is_complete());
+    assert!(!full.any_degraded());
+    assert!(!full.exit.is_empty());
+}
