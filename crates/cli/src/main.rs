@@ -4,6 +4,7 @@
 //! psa analyze <file.c> [--level L1|L2|L3|auto] [--function main]
 //!             [--dot DIR] [--stmt-dump] [--parallel-report]
 //!             [--budget-nodes N] [--budget-rsgs N] [--budget-ms N]
+//!             [--trace FILE]
 //! psa ir <file.c> [--function main]
 //! psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d> [--level ...]
 //! ```
@@ -12,6 +13,12 @@
 //! summarization instead of failing, while `--budget-rsgs` / `--budget-ms`
 //! stop the fixed point early and report the partial result before exiting
 //! with a nonzero status.
+//!
+//! `--trace FILE` records a run-wide event journal (statement transfers,
+//! graph kernels, cache traffic, budget events) and writes it as Chrome
+//! trace JSON loadable in Perfetto / `chrome://tracing`; the CLI summary
+//! then includes a compact text timeline, `--stats` gains latency
+//! histograms, and the `--json` report gains a `"trace"` section.
 
 use psa_core::api::{AnalysisOptions, Analyzer};
 use psa_core::engine::AnalysisResult;
@@ -44,6 +51,7 @@ struct Flags {
     json: bool,
     stats: bool,
     budget: Budget,
+    trace: Option<String>,
 }
 
 fn parse_count(args: &[String], i: usize, flag: &str) -> Result<usize, String> {
@@ -67,6 +75,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         json: false,
         stats: false,
         budget: Budget::default(),
+        trace: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -105,6 +114,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 i += 1;
                 let ms = parse_count(args, i, "--budget-ms")?;
                 f.budget.deadline = Some(std::time::Duration::from_millis(ms as u64));
+            }
+            "--trace" => {
+                i += 1;
+                f.trace = Some(args.get(i).ok_or("--trace needs an output file")?.clone());
             }
             "--stmt-dump" => f.stmt_dump = true,
             "--parallel-report" => f.parallel_report = true,
@@ -169,7 +182,7 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  psa analyze <file.c> [--level L1|L2|L3|auto] [--function NAME] \
      [--dot DIR] [--stmt-dump] [--parallel-report] [--leak-report] [--annotate] [--json] [--stats]\n  \
-     \x20            [--budget-nodes N] [--budget-rsgs N] [--budget-ms N]\n  psa ir <file.c> [--function NAME]\n  \
+     \x20            [--budget-nodes N] [--budget-rsgs N] [--budget-ms N] [--trace FILE]\n  psa ir <file.c> [--function NAME]\n  \
      psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d> [flags]"
         .to_string()
 }
@@ -243,6 +256,7 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
         function: flags.function.clone(),
         level: flags.level,
         budget: flags.budget,
+        trace: flags.trace.is_some(),
         ..Default::default()
     };
     let analyzer = Analyzer::new(src, options).map_err(|e| e.to_string())?;
@@ -264,6 +278,22 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
         analyzer.run().map_err(|e| e.to_string())?
     };
 
+    // Drain the journal once (after every run, so progressive timelines
+    // span all levels) and write the Chrome trace before any report path.
+    let trace_events = match &flags.trace {
+        Some(path) => {
+            let events = analyzer.trace_events();
+            // Streamed, not built as a `Json` tree: big runs journal
+            // hundreds of thousands of events.
+            let mut doc = String::new();
+            psa_core::trace::chrome_trace_write(&events, &mut doc);
+            std::fs::write(path, doc).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("psa: wrote trace with {} events to {path}", events.len());
+            Some(events)
+        }
+        None => None,
+    };
+
     // Soft budget caps yield a *partial* result: report everything we have,
     // then exit nonzero (but cleanly — no panic) so scripts notice.
     let stopped = result.stopped;
@@ -273,7 +303,10 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
     };
 
     if flags.json {
-        let report = psa_core::report::build_report(analyzer.ir(), &result);
+        let mut report = psa_core::report::build_report(analyzer.ir(), &result);
+        if let Some(events) = &trace_events {
+            report.trace = Some(psa_core::trace::summarize(events, Some(analyzer.ir())));
+        }
         println!("{}", report.to_json_string());
         return finish(stopped);
     }
@@ -310,6 +343,10 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
         println!("partial result: budget cap hit — {which}");
     }
 
+    if let Some(events) = &trace_events {
+        print!("{}", psa_core::trace::render_timeline(events, 64));
+    }
+
     if flags.stats {
         print_op_stats(&result.stats.ops);
         println!(
@@ -319,6 +356,12 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
                 .map(|k| k.to_string())
                 .unwrap_or_else(|| "no".to_string())
         );
+        if let Some(events) = &trace_events {
+            print!(
+                "{}",
+                psa_core::trace::summarize(events, Some(analyzer.ir())).render()
+            );
+        }
     }
 
     // Per-pvar structure reports (program pvars only).

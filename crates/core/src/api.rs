@@ -21,6 +21,10 @@ pub struct AnalysisOptions {
     /// Inline user-function calls before lowering (the paper's manual
     /// preprocessing, automated). Programs without calls are unaffected.
     pub inline: bool,
+    /// Record a run-wide trace journal ([`psa_rsg::trace::Tracer`]);
+    /// retrieve it with [`Analyzer::trace_events`]. Off by default:
+    /// disabled tracing leaves every analysis output bit-identical.
+    pub trace: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -31,6 +35,7 @@ impl Default for AnalysisOptions {
             budget: Budget::default(),
             parallel: false,
             inline: true,
+            trace: false,
         }
     }
 }
@@ -92,9 +97,14 @@ impl From<AnalysisError> for Error {
 }
 
 /// A prepared analyzer: parsed, typed, lowered; ready to run at any level.
+///
+/// All runs of one `Analyzer` share one [`ShapeCtx`] (and through it one
+/// interner, memo table set and trace journal), so a `--trace` session
+/// covering several levels lands in a single timeline.
 pub struct Analyzer {
     ir: FuncIr,
     options: AnalysisOptions,
+    shape: ShapeCtx,
 }
 
 impl Analyzer {
@@ -108,7 +118,11 @@ impl Analyzer {
             program
         };
         let ir = lower_function(&program, &table, &options.function)?;
-        Ok(Analyzer { ir, options })
+        let shape = ShapeCtx::from_ir(&ir);
+        if options.trace {
+            shape.tables.tracer.enable();
+        }
+        Ok(Analyzer { ir, options, shape })
     }
 
     /// The lowered function.
@@ -116,9 +130,15 @@ impl Analyzer {
         &self.ir
     }
 
-    /// The analysis universe.
+    /// The analysis universe shared by every run of this analyzer.
     pub fn shape_ctx(&self) -> ShapeCtx {
-        ShapeCtx::from_ir(&self.ir)
+        self.shape.clone()
+    }
+
+    /// Drain the trace journal recorded so far (empty unless
+    /// [`AnalysisOptions::trace`] was set), sorted by start time.
+    pub fn trace_events(&self) -> Vec<psa_rsg::TraceEvent> {
+        self.shape.tables.tracer.drain()
     }
 
     fn engine_config(&self, level: Level) -> EngineConfig {
@@ -132,7 +152,7 @@ impl Analyzer {
 
     /// Run at a fixed level.
     pub fn run_at(&self, level: Level) -> Result<AnalysisResult, AnalysisError> {
-        Engine::new(&self.ir, self.engine_config(level)).run()
+        Engine::with_shape_ctx(&self.ir, self.engine_config(level), self.shape.clone()).run()
     }
 
     /// Run at the configured level (default `L1`).
@@ -140,10 +160,12 @@ impl Analyzer {
         self.run_at(self.options.level.unwrap_or(Level::L1))
     }
 
-    /// Run the progressive driver with client goals.
+    /// Run the progressive driver with client goals. The driver records
+    /// into this analyzer's trace journal, so one timeline spans L1→L3.
     pub fn run_progressive(&self, goals: Vec<Goal>) -> ProgressiveOutcome {
         ProgressiveRunner::new(&self.ir, goals)
             .with_config(self.engine_config(Level::L1))
+            .with_shape_ctx(self.shape.clone())
             .run()
     }
 }

@@ -35,7 +35,8 @@ use crate::semantics::{
 };
 use crate::stats::{AnalysisStats, Budget};
 use psa_ir::{BlockId, FuncIr, Stmt, StmtId, Terminator};
-use psa_rsg::intern::{CanonEntry, CanonId};
+use psa_rsg::intern::{CancelCause, CanonEntry, CanonId};
+use psa_rsg::trace::TraceKind;
 use psa_rsg::{Level, Rsg, ShapeCtx};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -414,6 +415,7 @@ impl<'a> Engine<'a> {
         let deadline: Option<(Instant, u64)> =
             budget.deadline.map(|d| (start + d, d.as_millis() as u64));
         let cancel = &self.ctx.tables.cancel;
+        let tracer = &self.ctx.tables.tracer;
         let mut degraded = vec![false; nstmts];
         let mut stopped: Option<BudgetKind> = None;
 
@@ -464,6 +466,7 @@ impl<'a> Engine<'a> {
             let bi = b.0 as usize;
             on_list[bi] = false;
             iterations += 1;
+            tracer.instant(TraceKind::WorklistIter, b.0 as u64, iterations as u64);
             if iterations > budget.max_iterations {
                 return Err(AnalysisError::budget(
                     BudgetKind::Iterations { iterations },
@@ -488,8 +491,8 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
-            if stopped.is_some() {
-                cancel.cancel();
+            if let Some(which) = &stopped {
+                self.raise_cancel(which);
                 worklist.insert(b); // this block's statements are stale too
                 break;
             }
@@ -499,6 +502,8 @@ impl<'a> Engine<'a> {
             let block = self.ir.block(b);
             for &sid in &block.stmts {
                 let si = sid.0 as usize;
+                let span_t0 = tracer.enabled().then(Instant::now);
+                let in_width = cur.len();
                 cur = self.transfer_stmt_incremental(
                     cur,
                     sid,
@@ -507,11 +512,15 @@ impl<'a> Engine<'a> {
                     &mut deltas[si],
                     &mut stats,
                 );
+                if let Some(t0) = span_t0 {
+                    tracer.span_since(TraceKind::StmtTransfer, t0, sid.0 as u64, in_width as u64);
+                }
                 // Node cap: forced summarization keeps the fixed point
                 // going with sound-but-coarser graphs; mark the statement.
                 if let Some(cap) = budget.max_nodes {
                     if cur.force_summarize(&self.ctx, level, cap) {
                         degraded[si] = true;
+                        tracer.instant(TraceKind::ForceCompress, sid.0 as u64, 0);
                     }
                 }
                 if cur.len() > budget.max_graphs {
@@ -535,10 +544,34 @@ impl<'a> Engine<'a> {
                     }
                 }
                 if stopped.is_none() {
+                    // The fold loops and fan-out workers raise the token
+                    // when a cap trips mid-statement; recover the recorded
+                    // cause instead of blaming whichever cap is polled
+                    // first (the deadline, historically).
+                    match cancel.cause() {
+                        Some(CancelCause::TableBytes) => {
+                            stopped = Some(BudgetKind::TableBytes {
+                                bytes: self.ctx.tables.approx_table_bytes(),
+                                limit: budget.max_table_bytes.unwrap_or(0),
+                            });
+                        }
+                        Some(CancelCause::Rsgs) => {
+                            stopped = Some(BudgetKind::Rsgs {
+                                graphs: cur.len(),
+                                limit: budget.max_rsgs.unwrap_or(0),
+                            });
+                        }
+                        Some(CancelCause::Deadline) => {
+                            if let Some((_, limit_ms)) = deadline {
+                                stopped = Some(BudgetKind::Deadline { limit_ms });
+                            }
+                        }
+                        Some(CancelCause::External) | None => {}
+                    }
+                }
+                if stopped.is_none() {
                     if let Some((dl, limit_ms)) = deadline {
-                        // The fan-out workers raise the token when they see
-                        // the deadline mid-statement; attribute it here.
-                        if cancel.is_cancelled() || Instant::now() >= dl {
+                        if Instant::now() >= dl {
                             stopped = Some(BudgetKind::Deadline { limit_ms });
                         }
                     }
@@ -549,9 +582,9 @@ impl<'a> Engine<'a> {
                 }
                 charge(&mut stmt_bytes[si], &mut live_stmt, cur.approx_bytes());
                 after_ids[si] = cur.canon_ids();
-                if stopped.is_some() {
+                if let Some(which) = &stopped {
                     degraded[si] = true;
-                    cancel.cancel();
+                    self.raise_cancel(which);
                     break;
                 }
             }
@@ -651,6 +684,12 @@ impl<'a> Engine<'a> {
             .collect();
         stats.elapsed = start.elapsed();
         stats.ops = self.ctx.tables.snapshot().delta(&ops_start);
+        tracer.span_since(
+            TraceKind::Run,
+            start,
+            crate::trace::level_ordinal(level),
+            iterations as u64,
+        );
         Ok(AnalysisResult {
             level,
             after_stmt,
@@ -660,6 +699,23 @@ impl<'a> Engine<'a> {
             degraded,
             stopped,
         })
+    }
+
+    /// Raise the cancellation token with the cause matching a tripped
+    /// budget cap, journaling one `Cancel` event on the first raise.
+    fn raise_cancel(&self, which: &BudgetKind) {
+        let cause = match which {
+            BudgetKind::TableBytes { .. } => CancelCause::TableBytes,
+            BudgetKind::Rsgs { .. } => CancelCause::Rsgs,
+            BudgetKind::Deadline { .. } => CancelCause::Deadline,
+            _ => CancelCause::External,
+        };
+        if self.ctx.tables.cancel.cancel_with(cause) {
+            self.ctx
+                .tables
+                .tracer
+                .instant(TraceKind::Cancel, cause.code() as u64, 0);
+        }
     }
 
     /// Transfer one statement over an RSRSG and apply widening, consulting
@@ -713,6 +769,8 @@ impl<'a> Engine<'a> {
             pessimistic_sharing: self.config.pessimistic_sharing,
             reference_prune: self.config.reference_prune,
             deadline,
+            table_bytes_limit: self.config.budget.max_table_bytes,
+            stmt: sid.0,
         };
 
         // Reference path: both incremental features off reproduces the
@@ -830,22 +888,17 @@ impl<'a> Engine<'a> {
                         pessimistic_sharing: tcx.pessimistic_sharing,
                         reference_prune: tcx.reference_prune,
                         deadline: tcx.deadline,
+                        table_bytes_limit: tcx.table_bytes_limit,
+                        stmt: tcx.stmt,
                     };
                     handles.push(scope.spawn(move || {
-                        let cancel = &tctx.ctx.tables.cancel;
                         let mut claimed = Vec::new();
                         loop {
                             // Honor cooperative cancellation between claims:
                             // a tripped budget or a panicked peer stops the
                             // fan-out without abandoning claimed results.
-                            if cancel.is_cancelled() {
+                            if tctx.should_stop() {
                                 break;
-                            }
-                            if let Some(dl) = tctx.deadline {
-                                if Instant::now() >= dl {
-                                    cancel.cancel();
-                                    break;
-                                }
                             }
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= graphs.len() {
@@ -892,16 +945,9 @@ impl<'a> Engine<'a> {
                 }
             }
         } else {
-            let cancel = &self.ctx.tables.cancel;
             for (g, e) in graphs.iter().zip(entries) {
-                if cancel.is_cancelled() {
+                if tcx.should_stop() {
                     break;
-                }
-                if let Some(dl) = tcx.deadline {
-                    if Instant::now() >= dl {
-                        cancel.cancel();
-                        break;
-                    }
                 }
                 for (og, oe) in
                     transfer_one_cached(g, e, action, sid.0, epoch, use_memo, tcx, stats)
@@ -945,19 +991,14 @@ impl<'a> Engine<'a> {
                     pessimistic_sharing: tcx.pessimistic_sharing,
                     reference_prune: tcx.reference_prune,
                     deadline: tcx.deadline,
+                    table_bytes_limit: tcx.table_bytes_limit,
+                    stmt: tcx.stmt,
                 };
                 handles.push(scope.spawn(move || {
-                    let cancel = &tctx.ctx.tables.cancel;
                     let mut claimed = Vec::new();
                     loop {
-                        if cancel.is_cancelled() {
+                        if tctx.should_stop() {
                             break;
-                        }
-                        if let Some(dl) = tctx.deadline {
-                            if Instant::now() >= dl {
-                                cancel.cancel();
-                                break;
-                            }
                         }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= graphs.len() {
@@ -1307,6 +1348,51 @@ mod tests {
             Some(BudgetKind::Rsgs { limit: 1, .. })
         ));
         assert!(res.any_degraded());
+    }
+
+    #[test]
+    fn both_caps_armed_reports_the_cap_that_tripped() {
+        // Regression: with a deadline armed alongside another degradation
+        // cap, any mid-statement cancellation used to be blamed on the
+        // deadline. A one-byte table cap trips immediately while the
+        // one-hour deadline never does — the stop reason must name the
+        // table cap, and the cancel token must carry the true cause.
+        let (p, t) = parse_and_type(LIST_BUILD).unwrap();
+        let ir = lower_main(&p, &t).unwrap();
+        let cfg = EngineConfig {
+            level: Level::L1,
+            budget: Budget {
+                max_table_bytes: Some(1),
+                deadline: Some(std::time::Duration::from_secs(3600)),
+                ..Budget::default()
+            },
+            ..Default::default()
+        };
+        let engine = Engine::new(&ir, cfg);
+        engine.ctx().tables.tracer.enable();
+        let res = engine.run().unwrap();
+        assert!(
+            matches!(res.stopped, Some(BudgetKind::TableBytes { limit: 1, .. })),
+            "stop reason must be the table cap, got {:?}",
+            res.stopped
+        );
+        assert!(res.any_degraded());
+        // The journal records exactly one raise, attributed to the true
+        // cause (the token itself is reset at run end to keep the shared
+        // tables reusable).
+        let cancels: Vec<_> = engine
+            .ctx()
+            .tables
+            .tracer
+            .drain()
+            .into_iter()
+            .filter(|e| e.kind == psa_rsg::TraceKind::Cancel)
+            .collect();
+        assert_eq!(cancels.len(), 1, "one trace event per raise");
+        assert_eq!(
+            cancels[0].arg,
+            psa_rsg::CancelCause::TableBytes.code() as u64
+        );
     }
 
     #[test]

@@ -110,7 +110,15 @@ impl Json {
             Json::Int(i) => out.push_str(&i.to_string()),
             Json::Float(f) => {
                 if f.is_finite() {
-                    out.push_str(&format!("{f}"));
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    // `Display` renders integral floats without a decimal
+                    // point (`3.0` → `"3"`), which would re-parse as
+                    // `Json::Int` and break round-tripping; force a marker
+                    // so the number stays a float on the wire.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
                 } else {
                     out.push_str("null");
                 }
@@ -531,6 +539,29 @@ mod tests {
         j.set("arr", vec![Json::Int(1), Json::Str("x".into())]);
         let parsed = Json::parse(&j.pretty()).unwrap();
         assert_eq!(parsed, j);
+    }
+
+    #[test]
+    fn integral_floats_roundtrip_as_floats() {
+        // Regression: `format!("{f}")` renders `3.0` as `3`, which the
+        // parser classified as an integer — a Float → Int type flip on
+        // every serialize/parse cycle.
+        for f in [3.0f64, -0.0, 0.0, 1e300, -7.0] {
+            let j = Json::Float(f);
+            let text = j.pretty();
+            assert!(
+                text.contains(['.', 'e', 'E']),
+                "float {f} serialized without a float marker: {text}"
+            );
+            match Json::parse(&text).unwrap() {
+                Json::Float(back) => assert_eq!(back, f, "value drift for {f}"),
+                other => panic!("float {f} re-parsed as {other:?}"),
+            }
+        }
+        // Non-integral values and non-finite → null are unchanged.
+        assert_eq!(Json::Float(2.5).pretty(), "2.5");
+        assert_eq!(Json::Float(f64::NAN).pretty(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).pretty(), "null");
     }
 
     #[test]

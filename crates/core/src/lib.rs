@@ -22,6 +22,9 @@
 //!   with parallelizability annotations on every loop;
 //! * [`report`] — serializable (JSON) analysis reports for downstream
 //!   tooling;
+//! * [`trace`] — Chrome-trace export, latency summaries and the text
+//!   timeline over the run-wide event journal
+//!   ([`psa_rsg::trace::Tracer`]);
 //! * [`api`] — the user-facing facade ([`api::Analyzer`],
 //!   [`api::analyze_source`]).
 
@@ -37,6 +40,7 @@ pub mod report;
 pub mod rsrsg;
 pub mod semantics;
 pub mod stats;
+pub mod trace;
 
 pub use api::{analyze_source, AnalysisOptions, Analyzer};
 pub use engine::{AnalysisError, AnalysisResult, BudgetKind, Engine, EngineConfig};

@@ -131,6 +131,7 @@ pub struct ProgressiveRunner<'a> {
     ir: &'a FuncIr,
     goals: Vec<Goal>,
     base_config: EngineConfig,
+    shape: Option<psa_rsg::ShapeCtx>,
 }
 
 impl<'a> ProgressiveRunner<'a> {
@@ -141,12 +142,21 @@ impl<'a> ProgressiveRunner<'a> {
             ir,
             goals,
             base_config: EngineConfig::default(),
+            shape: None,
         }
     }
 
     /// Override the engine configuration template (level is set per stage).
     pub fn with_config(mut self, config: EngineConfig) -> Self {
         self.base_config = config;
+        self
+    }
+
+    /// Use a caller-provided analysis universe instead of building a fresh
+    /// one: the driver then shares the caller's interner, memo tables and
+    /// trace journal (so one `--trace` timeline spans every level).
+    pub fn with_shape_ctx(mut self, shape: psa_rsg::ShapeCtx) -> Self {
+        self.shape = Some(shape);
         self
     }
 
@@ -167,8 +177,16 @@ impl<'a> ProgressiveRunner<'a> {
             satisfied_at: None,
         };
         let mut level = Level::L1;
-        let shape = psa_rsg::ShapeCtx::from_ir(self.ir);
+        let shape = self
+            .shape
+            .clone()
+            .unwrap_or_else(|| psa_rsg::ShapeCtx::from_ir(self.ir));
         loop {
+            shape.tables.tracer.instant(
+                psa_rsg::TraceKind::LevelStart,
+                crate::trace::level_ordinal(level),
+                0,
+            );
             let config = EngineConfig {
                 level,
                 ..self.base_config.clone()

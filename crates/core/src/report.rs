@@ -219,6 +219,10 @@ pub struct AnalysisReport {
     pub dead_statements: Vec<u32>,
     /// Potential leak sites: `(statement id, rendered, nodes dropped)`.
     pub leaks: Vec<(u32, String, usize)>,
+    /// Trace digest, present only when the run recorded a trace journal;
+    /// the `"trace"` key is absent from the JSON otherwise, keeping
+    /// untraced output bit-identical.
+    pub trace: Option<crate::trace::TraceSummary>,
 }
 
 impl AnalysisReport {
@@ -256,6 +260,9 @@ impl AnalysisReport {
                 })
                 .collect::<Json>(),
         );
+        if let Some(t) = &self.trace {
+            j.set("trace", t.to_json());
+        }
         j
     }
 
@@ -334,6 +341,7 @@ pub fn build_report(ir: &FuncIr, result: &AnalysisResult) -> AnalysisReport {
             .into_iter()
             .map(|l| (l.stmt.0, l.rendered, l.max_nodes_dropped))
             .collect(),
+        trace: None,
     }
 }
 

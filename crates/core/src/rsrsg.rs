@@ -18,6 +18,7 @@
 use psa_rsg::compress::compress;
 use psa_rsg::intern::{CanonEntry, CanonId};
 use psa_rsg::join::{compatible, join};
+use psa_rsg::trace::TraceKind;
 use psa_rsg::{Level, Rsg, ShapeCtx};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -74,7 +75,7 @@ impl Rsrsg {
     pub fn push_raw(&mut self, g: Rsg, ctx: &ShapeCtx) {
         let t = &ctx.tables;
         t.metrics.push_raw_calls.fetch_add(1, Ordering::Relaxed);
-        let e = t.interner.intern(&g, &t.metrics);
+        let e = t.intern(&g);
         if self.contains_id(&e) {
             return;
         }
@@ -128,7 +129,7 @@ impl Rsrsg {
         let m = &t.metrics;
         let mut pending: Vec<(Rsg, Option<CanonEntry>)> = vec![(first, first_entry)];
         while let Some((cand, known)) = pending.pop() {
-            let e = known.unwrap_or_else(|| t.interner.intern(&cand, &t.metrics));
+            let e = known.unwrap_or_else(|| t.intern(&cand));
             if self.contains_id(&e) {
                 m.insert_dups.fetch_add(1, Ordering::Relaxed);
                 continue;
@@ -162,6 +163,7 @@ impl Rsrsg {
                 let joined = compress(&join(&member, &cand, level), ctx, level);
                 m.join_ns
                     .fetch_add(j0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                t.tracer.span_since(TraceKind::Join, j0, 0, 0);
                 pending.push((joined, None));
             } else {
                 self.graphs.push(cand);

@@ -18,10 +18,11 @@ use psa_cfront::types::SelectorId;
 use psa_ir::{Cond, PtrStmt, PvarId};
 use psa_rsg::compress::compress;
 use psa_rsg::divide::divide_with;
-use psa_rsg::intern::{CanonEntry, TransferOutcome};
+use psa_rsg::intern::{CancelCause, CanonEntry, TransferOutcome};
 use psa_rsg::materialize::materialize;
 use psa_rsg::prune::prune_with;
 use psa_rsg::scratch;
+use psa_rsg::trace::TraceKind;
 use psa_rsg::{Level, NodeId, Rsg, ShapeCtx};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -52,6 +53,14 @@ pub struct TransferCtx<'a> {
     /// remaining work via the shared [`psa_rsg::CancelToken`]; `None` (the
     /// default) disables the check entirely.
     pub deadline: Option<Instant>,
+    /// Shared-table byte cap, polled by the per-graph fold loops alongside
+    /// the deadline so a blowing interner cancels mid-statement (with the
+    /// true cause recorded on the token) instead of waiting for the next
+    /// block boundary; `None` (the default) disables the check entirely.
+    pub table_bytes_limit: Option<usize>,
+    /// The statement being transferred, used to attribute kernel trace
+    /// spans to program points (`0` outside a statement context).
+    pub stmt: u32,
 }
 
 impl<'a> TransferCtx<'a> {
@@ -65,7 +74,47 @@ impl<'a> TransferCtx<'a> {
             pessimistic_sharing: false,
             reference_prune: false,
             deadline: None,
+            table_bytes_limit: None,
+            stmt: 0,
         }
+    }
+
+    /// Poll the cooperative caps between per-graph transfers: `true` when
+    /// work should stop because the token is already raised, the deadline
+    /// passed, or the shared tables outgrew their byte cap. The first
+    /// detection raises the token with the true [`CancelCause`] and
+    /// journals one `Cancel` trace event, so the engine can attribute the
+    /// partial result to the budget that actually tripped.
+    pub fn should_stop(&self) -> bool {
+        let tables = &self.ctx.tables;
+        if tables.cancel.is_cancelled() {
+            return true;
+        }
+        if let Some(dl) = self.deadline {
+            if Instant::now() >= dl {
+                if tables.cancel.cancel_with(CancelCause::Deadline) {
+                    tables.tracer.instant(
+                        TraceKind::Cancel,
+                        CancelCause::Deadline.code() as u64,
+                        0,
+                    );
+                }
+                return true;
+            }
+        }
+        if let Some(limit) = self.table_bytes_limit {
+            if tables.approx_table_bytes() > limit {
+                if tables.cancel.cancel_with(CancelCause::TableBytes) {
+                    tables.tracer.instant(
+                        TraceKind::Cancel,
+                        CancelCause::TableBytes.code() as u64,
+                        0,
+                    );
+                }
+                return true;
+            }
+        }
+        false
     }
 }
 
@@ -92,6 +141,10 @@ impl<'a> TransferCtx<'a> {
         let t0 = Instant::now();
         let out = prune_with(g, self.reference_prune);
         self.add_ns(|m| &m.prune_ns, t0);
+        self.ctx
+            .tables
+            .tracer
+            .span_since(TraceKind::Prune, t0, self.stmt as u64, 0);
         out
     }
 
@@ -101,6 +154,10 @@ impl<'a> TransferCtx<'a> {
         let t0 = Instant::now();
         let out = divide_with(g, x, sel, self.reference_prune);
         self.add_ns(|m| &m.divide_ns, t0);
+        self.ctx
+            .tables
+            .tracer
+            .span_since(TraceKind::Divide, t0, self.stmt as u64, 0);
         out
     }
 }
@@ -114,17 +171,10 @@ pub fn transfer_rsrsg(
     tcx: &TransferCtx<'_>,
     stats: &mut AnalysisStats,
 ) -> Rsrsg {
-    let cancel = &tcx.ctx.tables.cancel;
     let mut out = Rsrsg::new();
     for g in input.iter() {
-        if cancel.is_cancelled() {
+        if tcx.should_stop() {
             break;
-        }
-        if let Some(dl) = tcx.deadline {
-            if Instant::now() >= dl {
-                cancel.cancel();
-                break;
-            }
         }
         for gi in transfer_one(g, stmt, tcx, stats) {
             out.insert(gi, tcx.ctx, tcx.level);
@@ -193,6 +243,8 @@ pub fn transfer_one_cached(
         m.transfer_queries.fetch_add(1, Ordering::Relaxed);
         if let Some(hit) = t.transfer.lookup(epoch, sid, e.id) {
             m.transfer_memo_hits.fetch_add(1, Ordering::Relaxed);
+            t.tracer
+                .instant(TraceKind::TransferMemoHit, sid as u64, e.id.0 as u64);
             for w in &hit.warnings {
                 stats.warn(w.clone());
             }
@@ -207,6 +259,8 @@ pub fn transfer_one_cached(
                 .collect();
         }
         m.transfer_memo_misses.fetch_add(1, Ordering::Relaxed);
+        t.tracer
+            .instant(TraceKind::TransferMemoMiss, sid as u64, e.id.0 as u64);
     }
     let t0 = Instant::now();
     let mut scratch = AnalysisStats::default();
@@ -219,7 +273,8 @@ pub fn transfer_one_cached(
             m.compress_calls.fetch_add(1, Ordering::Relaxed);
             m.compress_ns
                 .fetch_add(c0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            let oe = t.interner.intern(&c, m);
+            t.tracer.span_since(TraceKind::Compress, c0, sid as u64, 0);
+            let oe = t.intern(&c);
             (c, oe)
         })
         .collect();

@@ -49,6 +49,9 @@ pub struct AnalysisStats {
     /// Op-level counters for this run (delta of the shared tables between
     /// run start and end; gauges like interner size are end-of-run values).
     pub ops: OpStats,
+    /// Index of `warnings` for O(1) duplicate checks; the vector keeps
+    /// first-occurrence order, this set answers membership.
+    pub(crate) warned: std::collections::HashSet<String>,
 }
 
 impl AnalysisStats {
@@ -57,10 +60,12 @@ impl AnalysisStats {
         self.peak_bytes as f64 / (1024.0 * 1024.0)
     }
 
-    /// Record a warning, deduplicating exact repeats.
+    /// Record a warning, deduplicating exact repeats. First-occurrence
+    /// order is preserved; membership is answered by a hash set so
+    /// warning-heavy runs do not pay a linear scan per emission.
     pub fn warn(&mut self, msg: impl Into<String>) {
         let msg = msg.into();
-        if !self.warnings.contains(&msg) {
+        if self.warned.insert(msg.clone()) {
             self.warnings.push(msg);
         }
     }
@@ -172,6 +177,35 @@ mod tests {
         s.warn("possible NULL dereference at 3:1");
         s.warn("other");
         assert_eq!(s.warnings.len(), 2);
+    }
+
+    #[test]
+    fn warn_keeps_first_occurrence_order() {
+        let mut s = AnalysisStats::default();
+        s.warn("z sorts last but arrived first");
+        s.warn("a sorts first but arrived second");
+        s.warn("z sorts last but arrived first");
+        assert_eq!(
+            s.warnings,
+            vec![
+                "z sorts last but arrived first".to_string(),
+                "a sorts first but arrived second".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn warn_dedup_scales_past_quadratic_sizes() {
+        // 20k distinct + 20k duplicate warnings; the old linear
+        // `contains` scan made this take O(n^2) string comparisons.
+        let mut s = AnalysisStats::default();
+        for i in 0..20_000 {
+            s.warn(format!("warning {i}"));
+            s.warn(format!("warning {i}"));
+        }
+        assert_eq!(s.warnings.len(), 20_000);
+        assert_eq!(s.warnings[0], "warning 0");
+        assert_eq!(s.warnings[19_999], "warning 19999");
     }
 
     #[test]

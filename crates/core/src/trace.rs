@@ -1,0 +1,708 @@
+//! Trace export and digestion: Chrome-trace JSON, latency summaries and a
+//! compact text timeline over the journal recorded by
+//! [`psa_rsg::trace::Tracer`].
+//!
+//! The raw journal lives in `psa-rsg` (so the interner and graph kernels
+//! can record without a dependency cycle); this module owns everything
+//! that *reads* the journal: the `--trace out.json` export loadable in
+//! Perfetto / `chrome://tracing`, the per-statement and per-loop latency
+//! histograms folded into `--stats` and the JSON report, and the text
+//! timeline printed in the CLI summary.
+
+use crate::json::Json;
+use psa_ir::FuncIr;
+use psa_rsg::trace::{TraceEvent, TraceKind};
+use psa_rsg::Level;
+use std::collections::BTreeMap;
+
+/// The level's 1-based ordinal, used as the `arg` of [`TraceKind::Run`]
+/// and [`TraceKind::LevelStart`] events.
+pub fn level_ordinal(level: Level) -> u64 {
+    match level {
+        Level::L1 => 1,
+        Level::L2 => 2,
+        Level::L3 => 3,
+    }
+}
+
+/// Cancel cause code rendered as a stable string (codes are the
+/// [`psa_rsg::CancelCause`] wire values carried in [`TraceKind::Cancel`]
+/// events).
+fn cancel_cause_name(code: u64) -> &'static str {
+    match code {
+        1 => "external",
+        2 => "deadline",
+        3 => "table_bytes",
+        4 => "rsgs",
+        _ => "unknown",
+    }
+}
+
+/// Kind-specific `args` object for the Chrome-trace export, naming the two
+/// raw `u64` payloads.
+fn event_args(e: &TraceEvent) -> Json {
+    let mut a = Json::obj();
+    match e.kind {
+        TraceKind::Run => {
+            a.set("level", e.arg);
+            a.set("iterations", e.arg2);
+        }
+        TraceKind::LevelStart => {
+            a.set("level", e.arg);
+        }
+        TraceKind::StmtTransfer => {
+            a.set("stmt", e.arg);
+            a.set("in_width", e.arg2);
+        }
+        TraceKind::WorklistIter => {
+            a.set("block", e.arg);
+            a.set("iteration", e.arg2);
+        }
+        TraceKind::Join
+        | TraceKind::Compress
+        | TraceKind::Divide
+        | TraceKind::Prune
+        | TraceKind::ForceCompress => {
+            a.set("stmt", e.arg);
+        }
+        TraceKind::Canon => {
+            a.set("bytes", e.arg);
+        }
+        TraceKind::Subsume => {
+            a.set("general", e.arg);
+            a.set("specific", e.arg2);
+        }
+        TraceKind::InternHit | TraceKind::InternMiss => {
+            a.set("id", e.arg);
+        }
+        TraceKind::TransferMemoHit | TraceKind::TransferMemoMiss => {
+            a.set("stmt", e.arg);
+            a.set("input", e.arg2);
+        }
+        TraceKind::Cancel => {
+            a.set("cause", cancel_cause_name(e.arg));
+        }
+    }
+    a
+}
+
+/// Render the journal as a Chrome trace (the JSON Object Format:
+/// `{"traceEvents": [...]}`), loadable in Perfetto or `chrome://tracing`.
+///
+/// Spans become `ph:"X"` complete events and instants `ph:"i"`
+/// thread-scoped instant events; every track additionally gets a
+/// `thread_name` metadata record so the viewer labels the worker lanes.
+/// Timestamps and durations are microseconds (the format's native unit)
+/// with nanosecond precision preserved in the fraction.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> Json {
+    let mut out = Vec::new();
+    let mut tids: Vec<u32> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in &tids {
+        let mut m = Json::obj();
+        m.set("name", "thread_name");
+        m.set("ph", "M");
+        m.set("pid", 1u32);
+        m.set("tid", *tid);
+        let mut args = Json::obj();
+        args.set("name", format!("analysis-{tid}"));
+        m.set("args", args);
+        out.push(m);
+    }
+    for e in events {
+        let mut j = Json::obj();
+        j.set("name", e.kind.name());
+        j.set("cat", e.kind.category());
+        j.set("ph", if e.dur_ns == 0 { "i" } else { "X" });
+        j.set("ts", e.ts_ns as f64 / 1000.0);
+        if e.dur_ns == 0 {
+            // Thread-scoped instant: drawn as a tick on the event's track.
+            j.set("s", "t");
+        } else {
+            j.set("dur", e.dur_ns as f64 / 1000.0);
+        }
+        j.set("pid", 1u32);
+        j.set("tid", e.tid);
+        j.set("args", event_args(e));
+        out.push(j);
+    }
+    let mut doc = Json::obj();
+    doc.set("traceEvents", Json::Arr(out));
+    doc.set("displayTimeUnit", "ms");
+    doc
+}
+
+/// Stream the journal as Chrome trace JSON directly into `out`, one
+/// event per line.
+///
+/// Semantically identical to [`chrome_trace_json`] but avoids building a
+/// `Json` tree — on large runs the journal holds hundreds of thousands of
+/// events, and the tree plus its pretty-printing dominates the cost of
+/// the `--trace` flag (export time exceeded the analysis itself on
+/// barnes-hut at L3). The CLI uses this path; the tree form remains for
+/// tests and embedding.
+pub fn chrome_trace_write(events: &[TraceEvent], out: &mut String) {
+    use std::fmt::Write;
+    out.push_str("{\"traceEvents\": [");
+    let mut tids: Vec<u32> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n  ");
+    };
+    for tid in &tids {
+        sep(out);
+        let _ = write!(
+            out,
+            "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
+             \"args\": {{\"name\": \"analysis-{tid}\"}}}}"
+        );
+    }
+    for e in events {
+        sep(out);
+        let _ = write!(
+            out,
+            "{{\"name\": \"{}\", \"cat\": \"{}\", ",
+            e.kind.name(),
+            e.kind.category()
+        );
+        // Microseconds with the nanosecond fraction, as in the tree form —
+        // rendered from the integer nanosecond value (`{}.{:03}`) rather
+        // than `f64` precision formatting, which is an order of magnitude
+        // slower and dominated export time on large journals.
+        if e.dur_ns == 0 {
+            let _ = write!(
+                out,
+                "\"ph\": \"i\", \"ts\": {}.{:03}, \"s\": \"t\", ",
+                e.ts_ns / 1000,
+                e.ts_ns % 1000
+            );
+        } else {
+            let _ = write!(
+                out,
+                "\"ph\": \"X\", \"ts\": {}.{:03}, \"dur\": {}.{:03}, ",
+                e.ts_ns / 1000,
+                e.ts_ns % 1000,
+                e.dur_ns / 1000,
+                e.dur_ns % 1000
+            );
+        }
+        let _ = write!(out, "\"pid\": 1, \"tid\": {}, \"args\": ", e.tid);
+        write_args(out, e);
+        out.push('}');
+    }
+    out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+}
+
+/// Streaming counterpart of [`event_args`]: the same kind-specific `args`
+/// object, written compactly.
+fn write_args(out: &mut String, e: &TraceEvent) {
+    use std::fmt::Write;
+    let _ = match e.kind {
+        TraceKind::Run => write!(out, "{{\"level\": {}, \"iterations\": {}}}", e.arg, e.arg2),
+        TraceKind::LevelStart => write!(out, "{{\"level\": {}}}", e.arg),
+        TraceKind::StmtTransfer => write!(out, "{{\"stmt\": {}, \"in_width\": {}}}", e.arg, e.arg2),
+        TraceKind::WorklistIter => {
+            write!(out, "{{\"block\": {}, \"iteration\": {}}}", e.arg, e.arg2)
+        }
+        TraceKind::Join
+        | TraceKind::Compress
+        | TraceKind::Divide
+        | TraceKind::Prune
+        | TraceKind::ForceCompress => write!(out, "{{\"stmt\": {}}}", e.arg),
+        TraceKind::Canon => write!(out, "{{\"bytes\": {}}}", e.arg),
+        TraceKind::Subsume => write!(out, "{{\"general\": {}, \"specific\": {}}}", e.arg, e.arg2),
+        TraceKind::InternHit | TraceKind::InternMiss => write!(out, "{{\"id\": {}}}", e.arg),
+        TraceKind::TransferMemoHit | TraceKind::TransferMemoMiss => {
+            write!(out, "{{\"stmt\": {}, \"input\": {}}}", e.arg, e.arg2)
+        }
+        TraceKind::Cancel => write!(out, "{{\"cause\": \"{}\"}}", cancel_cause_name(e.arg)),
+    };
+}
+
+/// Number of log2 latency buckets: bucket `i` counts spans with
+/// `dur_ns` in `[2^i, 2^(i+1))` (bucket 0 is `[0, 2)`), covering up to
+/// ~4.3 s per span.
+pub const HIST_BUCKETS: usize = 32;
+
+/// Aggregate over a set of spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of spans.
+    pub count: u64,
+    /// Total duration in nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    fn add(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Mean span duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// The log2 bucket index of a span duration.
+fn bucket(ns: u64) -> usize {
+    ((64 - ns.leading_zeros() as usize).saturating_sub(1)).min(HIST_BUCKETS - 1)
+}
+
+/// Digested journal: per-kind kernel timings, cache/instant counts, and
+/// per-statement / per-loop statement-transfer latency.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Total events in the journal.
+    pub events: usize,
+    /// Distinct recording tracks (threads).
+    pub threads: usize,
+    /// End of the last event minus start of the first, in nanoseconds.
+    pub wall_ns: u64,
+    /// Span statistics per kind, insertion-ordered by first occurrence.
+    pub spans: Vec<(TraceKind, SpanStat)>,
+    /// Instant-event counts per kind, insertion-ordered.
+    pub instants: Vec<(TraceKind, u64)>,
+    /// Statement-transfer latency per statement id.
+    pub per_stmt: BTreeMap<u32, SpanStat>,
+    /// Statement-transfer latency folded per loop (needs IR loop info;
+    /// empty when `summarize` ran without an IR).
+    pub per_loop: BTreeMap<u32, SpanStat>,
+    /// Log2 histogram of statement-transfer durations.
+    pub stmt_hist: [u64; HIST_BUCKETS],
+}
+
+/// Digest a drained journal. Pass the analyzed function to also fold
+/// statement-transfer latency onto the loops containing each statement.
+pub fn summarize(events: &[TraceEvent], ir: Option<&FuncIr>) -> TraceSummary {
+    let mut s = TraceSummary {
+        events: events.len(),
+        ..TraceSummary::default()
+    };
+    let mut tids: Vec<u32> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    s.threads = tids.len();
+    if let (Some(first), Some(last)) = (
+        events.iter().map(|e| e.ts_ns).min(),
+        events.iter().map(|e| e.ts_ns + e.dur_ns).max(),
+    ) {
+        s.wall_ns = last - first;
+    }
+    for e in events {
+        if e.dur_ns == 0 {
+            match s.instants.iter_mut().find(|(k, _)| *k == e.kind) {
+                Some((_, n)) => *n += 1,
+                None => s.instants.push((e.kind, 1)),
+            }
+            continue;
+        }
+        match s.spans.iter_mut().find(|(k, _)| *k == e.kind) {
+            Some((_, st)) => st.add(e.dur_ns),
+            None => {
+                let mut st = SpanStat::default();
+                st.add(e.dur_ns);
+                s.spans.push((e.kind, st));
+            }
+        }
+        if e.kind == TraceKind::StmtTransfer {
+            let stmt = e.arg as u32;
+            s.per_stmt.entry(stmt).or_default().add(e.dur_ns);
+            s.stmt_hist[bucket(e.dur_ns)] += 1;
+            if let Some(ir) = ir {
+                if let Some(info) = ir.stmts.get(stmt as usize) {
+                    for l in &info.loops {
+                        s.per_loop.entry(l.0).or_default().add(e.dur_ns);
+                    }
+                }
+            }
+        }
+    }
+    s
+}
+
+fn stat_json(st: &SpanStat) -> Json {
+    let mut j = Json::obj();
+    j.set("count", st.count);
+    j.set("total_ns", st.total_ns);
+    j.set("max_ns", st.max_ns);
+    j.set("mean_ns", st.mean_ns());
+    j
+}
+
+impl TraceSummary {
+    /// The summary as a JSON object (the `"trace"` section of the report
+    /// and of `--stats`; the key is absent entirely when tracing is off).
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("events", self.events);
+        j.set("threads", self.threads);
+        j.set("wall_ns", self.wall_ns);
+        let mut spans = Json::obj();
+        for (k, st) in &self.spans {
+            spans.set(k.name(), stat_json(st));
+        }
+        j.set("spans", spans);
+        let mut inst = Json::obj();
+        for (k, n) in &self.instants {
+            inst.set(k.name(), *n);
+        }
+        j.set("instants", inst);
+        j.set(
+            "per_stmt",
+            self.per_stmt
+                .iter()
+                .map(|(sid, st)| {
+                    let mut e = stat_json(st);
+                    match &mut e {
+                        Json::Obj(fields) => fields.insert(0, ("stmt".into(), Json::from(*sid))),
+                        _ => unreachable!(),
+                    }
+                    e
+                })
+                .collect::<Json>(),
+        );
+        j.set(
+            "per_loop",
+            self.per_loop
+                .iter()
+                .map(|(lid, st)| {
+                    let mut e = stat_json(st);
+                    match &mut e {
+                        Json::Obj(fields) => fields.insert(0, ("loop".into(), Json::from(*lid))),
+                        _ => unreachable!(),
+                    }
+                    e
+                })
+                .collect::<Json>(),
+        );
+        // Trim trailing empty buckets so the array stays compact.
+        let used = self
+            .stmt_hist
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |i| i + 1);
+        j.set(
+            "stmt_hist_log2_ns",
+            self.stmt_hist[..used].iter().copied().collect::<Json>(),
+        );
+        j
+    }
+
+    /// Multi-line text rendering for the CLI's `--stats` output: kernel
+    /// table, cache counters and the statement-latency histogram.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace: {} events on {} track(s), {:.3} ms span\n",
+            self.events,
+            self.threads,
+            self.wall_ns as f64 / 1e6
+        ));
+        if !self.spans.is_empty() {
+            out.push_str("  spans (count / total / mean / max):\n");
+            let mut spans = self.spans.clone();
+            spans.sort_by_key(|(_, st)| std::cmp::Reverse(st.total_ns));
+            for (k, st) in &spans {
+                out.push_str(&format!(
+                    "    {:<14} {:>8}  {:>10.3} ms  {:>8.1} us  {:>8.1} us\n",
+                    k.name(),
+                    st.count,
+                    st.total_ns as f64 / 1e6,
+                    st.mean_ns() as f64 / 1e3,
+                    st.max_ns as f64 / 1e3
+                ));
+            }
+        }
+        if !self.instants.is_empty() {
+            let parts: Vec<String> = self
+                .instants
+                .iter()
+                .map(|(k, n)| format!("{}={}", k.name(), n))
+                .collect();
+            out.push_str(&format!("  instants: {}\n", parts.join(" ")));
+        }
+        let used = self
+            .stmt_hist
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |i| i + 1);
+        if used > 0 {
+            out.push_str("  stmt transfer latency (log2 ns buckets):\n");
+            let peak = *self.stmt_hist.iter().max().unwrap_or(&1);
+            for (i, &n) in self.stmt_hist[..used].iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let bar = "#".repeat(((n * 40).div_ceil(peak.max(1))) as usize);
+                out.push_str(&format!("    [{:>2}] {:>8} {}\n", i, n, bar));
+            }
+        }
+        out
+    }
+}
+
+/// Category glyph for the timeline: the dominant activity in a time
+/// bucket.
+fn category_glyph(cat: &str) -> char {
+    match cat {
+        "level" => 'L',
+        "stmt" => 's',
+        "worklist" => 'w',
+        "kernel" => 'k',
+        "cache" => 'c',
+        "budget" => '!',
+        _ => '?',
+    }
+}
+
+/// Render a compact text timeline: one lane per track, time bucketed into
+/// `width` columns, each column showing the dominant activity category
+/// (`s` statement transfers, `k` graph kernels, `w` worklist, `c` cache
+/// traffic, `L` level markers, `!` budget events, `·` idle).
+pub fn render_timeline(events: &[TraceEvent], width: usize) -> String {
+    let width = width.max(8);
+    if events.is_empty() {
+        return "trace timeline: (no events)\n".to_string();
+    }
+    let t0 = events.iter().map(|e| e.ts_ns).min().unwrap_or(0);
+    let t1 = events
+        .iter()
+        .map(|e| e.ts_ns + e.dur_ns)
+        .max()
+        .unwrap_or(t0 + 1)
+        .max(t0 + 1);
+    let span = t1 - t0;
+    let mut tids: Vec<u32> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    // Per track, per column: span-time per category (spans) and instant
+    // counts (fallback when no span time landed in the bucket).
+    let col_of =
+        |ts: u64| (((ts - t0) as u128 * width as u128 / span as u128) as usize).min(width - 1);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace timeline ({:.3} ms, {} track(s), {} events)\n",
+        span as f64 / 1e6,
+        tids.len(),
+        events.len()
+    ));
+    for &tid in &tids {
+        let mut span_time: Vec<BTreeMap<&'static str, u64>> = vec![BTreeMap::new(); width];
+        let mut inst_count: Vec<BTreeMap<&'static str, u64>> = vec![BTreeMap::new(); width];
+        for e in events.iter().filter(|e| e.tid == tid) {
+            let cat = e.kind.category();
+            if e.dur_ns == 0 {
+                *inst_count[col_of(e.ts_ns)].entry(cat).or_default() += 1;
+                continue;
+            }
+            // Whole-run spans would dominate every column; level extent is
+            // visible from the LevelStart instants instead.
+            if e.kind == TraceKind::Run {
+                continue;
+            }
+            // Spread the span's time over the columns it covers.
+            let (c0, c1) = (col_of(e.ts_ns), col_of(e.ts_ns + e.dur_ns - 1));
+            let per_col = e.dur_ns / (c1 - c0 + 1) as u64;
+            for col_time in &mut span_time[c0..=c1] {
+                *col_time.entry(cat).or_default() += per_col.max(1);
+            }
+        }
+        let mut lane = String::new();
+        for col in 0..width {
+            let best_span = span_time[col].iter().max_by_key(|(_, &ns)| ns);
+            let glyph = match best_span {
+                Some((cat, _)) => category_glyph(cat),
+                None => match inst_count[col].iter().max_by_key(|(_, &n)| n) {
+                    Some((cat, _)) => category_glyph(cat),
+                    None => '·',
+                },
+            };
+            lane.push(glyph);
+        }
+        out.push_str(&format!("  analysis-{tid:<3} |{lane}|\n"));
+    }
+    out.push_str("  legend: s=stmt k=kernel w=worklist c=cache L=level !=budget ·=idle\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TraceKind, ts: u64, dur: u64, tid: u32, arg: u64, arg2: u64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            ts_ns: ts,
+            dur_ns: dur,
+            tid,
+            arg,
+            arg2,
+        }
+    }
+
+    #[test]
+    fn level_ordinals_are_one_based() {
+        assert_eq!(level_ordinal(Level::L1), 1);
+        assert_eq!(level_ordinal(Level::L2), 2);
+        assert_eq!(level_ordinal(Level::L3), 3);
+    }
+
+    #[test]
+    fn chrome_export_schema() {
+        let events = vec![
+            ev(TraceKind::StmtTransfer, 1_000, 2_500, 0, 7, 3),
+            ev(TraceKind::InternHit, 1_500, 0, 1, 42, 0),
+        ];
+        let doc = chrome_trace_json(&events);
+        let te = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 thread_name metadata records + 2 events.
+        assert_eq!(te.len(), 4);
+        let meta: Vec<_> = te
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .collect();
+        assert_eq!(meta.len(), 2);
+        assert_eq!(meta[0].get("name").unwrap().as_str(), Some("thread_name"));
+        let span = te
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .unwrap();
+        assert_eq!(span.get("name").unwrap().as_str(), Some("stmt"));
+        assert_eq!(span.get("cat").unwrap().as_str(), Some("stmt"));
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(2.5));
+        assert_eq!(
+            span.get("args").unwrap().get("stmt").unwrap().as_i64(),
+            Some(7)
+        );
+        let inst = te
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("i"))
+            .unwrap();
+        assert_eq!(inst.get("s").unwrap().as_str(), Some("t"));
+        assert!(inst.get("dur").is_none());
+        // The whole document round-trips through the in-tree parser.
+        let text = doc.pretty();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn streaming_export_matches_tree_export() {
+        let events = vec![
+            ev(TraceKind::Run, 0, 9_000, 0, 2, 17),
+            ev(TraceKind::StmtTransfer, 1_000, 2_500, 0, 7, 3),
+            ev(TraceKind::WorklistIter, 1_200, 0, 0, 4, 11),
+            ev(TraceKind::Canon, 2_000, 300, 1, 128, 0),
+            ev(TraceKind::InternHit, 2_100, 0, 1, 42, 0),
+            ev(TraceKind::Subsume, 3_000, 400, 1, 5, 6),
+            ev(TraceKind::Cancel, 4_000, 0, 0, 4, 0),
+        ];
+        let mut text = String::new();
+        chrome_trace_write(&events, &mut text);
+        let streamed = Json::parse(&text).expect("streaming export is valid JSON");
+        // Same document as the tree form, field for field (numeric
+        // values compare exactly: both sides format ns/1000 as f64).
+        assert_eq!(streamed, chrome_trace_json(&events));
+    }
+
+    #[test]
+    fn cancel_args_name_the_cause() {
+        let doc = chrome_trace_json(&[ev(TraceKind::Cancel, 0, 0, 0, 3, 0)]);
+        let te = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let cancel = te
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("cancel"))
+            .unwrap();
+        assert_eq!(
+            cancel.get("args").unwrap().get("cause").unwrap().as_str(),
+            Some("table_bytes")
+        );
+    }
+
+    #[test]
+    fn summarize_aggregates() {
+        let events = vec![
+            ev(TraceKind::StmtTransfer, 0, 1_000, 0, 3, 1),
+            ev(TraceKind::StmtTransfer, 2_000, 3_000, 0, 3, 2),
+            ev(TraceKind::StmtTransfer, 2_500, 2_000, 1, 4, 1),
+            ev(TraceKind::Join, 100, 50, 0, 3, 0),
+            ev(TraceKind::InternHit, 200, 0, 0, 9, 0),
+            ev(TraceKind::InternHit, 300, 0, 1, 9, 0),
+        ];
+        let s = summarize(&events, None);
+        assert_eq!(s.events, 6);
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.wall_ns, 5_000);
+        let stmt = s
+            .spans
+            .iter()
+            .find(|(k, _)| *k == TraceKind::StmtTransfer)
+            .unwrap()
+            .1;
+        assert_eq!(stmt.count, 3);
+        assert_eq!(stmt.total_ns, 6_000);
+        assert_eq!(stmt.max_ns, 3_000);
+        assert_eq!(stmt.mean_ns(), 2_000);
+        assert_eq!(s.per_stmt[&3].count, 2);
+        assert_eq!(s.per_stmt[&4].count, 1);
+        assert_eq!(
+            s.instants
+                .iter()
+                .find(|(k, _)| *k == TraceKind::InternHit)
+                .unwrap()
+                .1,
+            2
+        );
+        assert_eq!(s.stmt_hist.iter().sum::<u64>(), 3);
+        // 1000ns → bucket 9 ([512, 1024)); 2000/3000ns → bucket 10/11.
+        assert_eq!(s.stmt_hist[9], 1);
+        let j = s.to_json();
+        assert_eq!(j.get("events").unwrap().as_i64(), Some(6));
+        assert!(j.get("spans").unwrap().get("stmt").is_some());
+        assert_eq!(
+            j.get("per_stmt").unwrap().as_array().unwrap()[0]
+                .get("stmt")
+                .unwrap()
+                .as_i64(),
+            Some(3)
+        );
+        assert!(!s.render().is_empty());
+    }
+
+    #[test]
+    fn timeline_renders_lanes() {
+        let events = vec![
+            ev(TraceKind::StmtTransfer, 0, 10_000, 0, 1, 1),
+            ev(TraceKind::Join, 10_000, 5_000, 1, 1, 0),
+        ];
+        let text = render_timeline(&events, 20);
+        assert!(text.contains("analysis-0"));
+        assert!(text.contains("analysis-1"));
+        assert!(text.contains('s'));
+        assert!(text.contains('k'));
+        assert!(text.contains("legend"));
+        assert_eq!(render_timeline(&[], 20), "trace timeline: (no events)\n");
+    }
+
+    #[test]
+    fn bucket_indices() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 0);
+        assert_eq!(bucket(2), 1);
+        assert_eq!(bucket(1023), 9);
+        assert_eq!(bucket(1024), 10);
+        assert_eq!(bucket(u64::MAX), HIST_BUCKETS - 1);
+    }
+}

@@ -45,8 +45,9 @@
 use crate::canon::canonical_bytes;
 use crate::graph::Rsg;
 use crate::subsume::subsumes;
+use crate::trace::{TraceKind, Tracer};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
@@ -187,32 +188,95 @@ pub fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Why a [`CancelToken`] was raised. The first raiser wins: later raises
+/// keep the original cause, so the engine can attribute a partial result
+/// to the budget that actually tripped rather than to whichever cap it
+/// happens to poll first (the old behaviour blamed the deadline for any
+/// mid-statement cancellation when one was set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// Raised by `cancel()` without a stated cause (worker panic, caller
+    /// request).
+    External,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The shared-table byte cap tripped.
+    TableBytes,
+    /// The per-statement RSG-count cap tripped.
+    Rsgs,
+}
+
+impl CancelCause {
+    /// Stable small-integer code, used for trace-event arguments.
+    pub fn code(self) -> u8 {
+        match self {
+            CancelCause::External => 1,
+            CancelCause::Deadline => 2,
+            CancelCause::TableBytes => 3,
+            CancelCause::Rsgs => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<CancelCause> {
+        match code {
+            1 => Some(CancelCause::External),
+            2 => Some(CancelCause::Deadline),
+            3 => Some(CancelCause::TableBytes),
+            4 => Some(CancelCause::Rsgs),
+            _ => None,
+        }
+    }
+}
+
 /// Cooperative cancellation token shared by the engine worklist, the
 /// parallel fan-out workers, and the statement-transfer fold loops. Raised
 /// when a soft resource budget (RSGs per statement, table bytes, deadline)
 /// trips or when a fan-out worker panics; every loop that honors it stops
 /// claiming work and lets the engine surface a partial, `degraded`-marked
-/// result instead of running on.
+/// result instead of running on. The token remembers *why* it was raised
+/// (first cause wins) so the engine reports the true stop reason.
 #[derive(Debug, Default)]
 pub struct CancelToken {
     flag: AtomicBool,
+    /// `0` = not raised; otherwise a [`CancelCause::code`].
+    cause: AtomicU8,
 }
 
 impl CancelToken {
-    /// Request cancellation. Idempotent; never blocks.
+    /// Request cancellation with no specific budget cause. Idempotent;
+    /// never blocks.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Relaxed);
+        self.cancel_with(CancelCause::External);
+    }
+
+    /// Request cancellation, recording `cause` if this is the first raise.
+    /// Returns `true` exactly when this call raised the token (so callers
+    /// can emit one trace event per raise). Never blocks.
+    pub fn cancel_with(&self, cause: CancelCause) -> bool {
+        let first = self
+            .cause
+            .compare_exchange(0, cause.code(), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        self.flag.store(true, Ordering::Release);
+        first
     }
 
     /// Has cancellation been requested?
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        self.flag.load(Ordering::Acquire)
     }
 
-    /// Clear the token (the engine resets it at run start, so a cancelled
-    /// run does not poison later runs sharing the same tables).
+    /// The first-raise cause, if the token has been raised.
+    pub fn cause(&self) -> Option<CancelCause> {
+        CancelCause::from_code(self.cause.load(Ordering::Acquire))
+    }
+
+    /// Clear the token and its cause (the engine resets it at run start,
+    /// so a cancelled run does not poison later runs sharing the same
+    /// tables).
     pub fn reset(&self) {
-        self.flag.store(false, Ordering::Relaxed);
+        self.cause.store(0, Ordering::Release);
+        self.flag.store(false, Ordering::Release);
     }
 }
 
@@ -225,15 +289,32 @@ impl Interner {
     /// Intern a graph: serialize to canonical form, return the existing
     /// entry or mint a fresh id. `metrics` records hit/miss and time.
     pub fn intern(&self, g: &Rsg, metrics: &OpMetrics) -> CanonEntry {
+        self.intern_traced(g, metrics, None)
+    }
+
+    /// Like [`Interner::intern`], additionally journaling a canon span and
+    /// a hit/miss instant into `tracer` when one is supplied and enabled.
+    pub fn intern_traced(
+        &self,
+        g: &Rsg,
+        metrics: &OpMetrics,
+        tracer: Option<&Tracer>,
+    ) -> CanonEntry {
         let start = Instant::now();
         let bytes = canonical_bytes(g);
         metrics
             .canon_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if let Some(tr) = tracer {
+            tr.span_since(TraceKind::Canon, start, bytes.len() as u64, 0);
+        }
         let entry = {
             let mut inner = lock_recover(&self.inner);
             if let Some(&id) = inner.map.get(bytes.as_slice()) {
                 metrics.intern_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(tr) = tracer {
+                    tr.instant(TraceKind::InternHit, id as u64, 0);
+                }
                 let (arc, fp, _) = &inner.entries[id as usize];
                 CanonEntry {
                     id: CanonId(id),
@@ -243,6 +324,9 @@ impl Interner {
             } else {
                 metrics.intern_misses.fetch_add(1, Ordering::Relaxed);
                 let id = inner.entries.len() as u32;
+                if let Some(tr) = tracer {
+                    tr.instant(TraceKind::InternMiss, id as u64, 0);
+                }
                 let fp = Fingerprint::of(g);
                 let arc: Arc<[u8]> = bytes.into();
                 // Canonical bytes are stored twice (entries + map key arc is
@@ -628,6 +712,9 @@ pub struct SharedTables {
     /// the parallel fan-out workers. Reset by each `Engine::run` so one
     /// cancelled run does not poison the next run sharing these tables.
     pub cancel: CancelToken,
+    /// Run-wide event journal (disabled by default; enabling it never
+    /// changes analysis results, only records them).
+    pub tracer: Tracer,
     cache_enabled: bool,
     /// Registry of configuration epochs: a caller-supplied configuration
     /// key (level + semantic flags) maps to a compact epoch id used in
@@ -650,6 +737,7 @@ impl SharedTables {
             transfer: TransferCache::new(),
             metrics: OpMetrics::default(),
             cancel: CancelToken::default(),
+            tracer: Tracer::new(),
             cache_enabled: true,
             epochs: Mutex::new(HashMap::new()),
         }
@@ -695,6 +783,14 @@ impl SharedTables {
         self.cache_enabled
     }
 
+    /// Intern a graph through these tables' interner, metrics and tracer.
+    /// The preferred call site for analysis code: interning hits/misses
+    /// recorded here are attributed on the run's trace timeline.
+    pub fn intern(&self, g: &Rsg) -> CanonEntry {
+        self.interner
+            .intern_traced(g, &self.metrics, Some(&self.tracer))
+    }
+
     /// `subsumes(general, specific)` through the fingerprint pre-filter
     /// and memo table. With the cache disabled this is exactly the raw
     /// search (plus counters), which is what makes cache-on/cache-off runs
@@ -724,6 +820,12 @@ impl SharedTables {
         };
         m.subsume_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.tracer.span_since(
+            TraceKind::Subsume,
+            start,
+            general.0.id.0 as u64,
+            specific.0.id.0 as u64,
+        );
         result
     }
 
@@ -767,6 +869,79 @@ mod tests {
         assert_eq!(snap.intern_hits, 1);
         assert_eq!(snap.intern_misses, 2);
         assert_eq!(snap.interner_size, 2);
+    }
+
+    #[test]
+    fn cancel_token_first_cause_wins() {
+        let t = CancelToken::default();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.cause(), None);
+        assert!(t.cancel_with(CancelCause::TableBytes), "first raise");
+        assert!(
+            !t.cancel_with(CancelCause::Deadline),
+            "second raise reports not-first"
+        );
+        assert!(t.is_cancelled());
+        assert_eq!(
+            t.cause(),
+            Some(CancelCause::TableBytes),
+            "the original cause survives later raises"
+        );
+        t.reset();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.cause(), None);
+        assert!(t.cancel_with(CancelCause::Deadline), "raisable again");
+        assert_eq!(t.cause(), Some(CancelCause::Deadline));
+    }
+
+    #[test]
+    fn plain_cancel_is_external_cause() {
+        let t = CancelToken::default();
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.cause(), Some(CancelCause::External));
+    }
+
+    #[test]
+    fn cancel_cause_codes_roundtrip() {
+        for c in [
+            CancelCause::External,
+            CancelCause::Deadline,
+            CancelCause::TableBytes,
+            CancelCause::Rsgs,
+        ] {
+            assert_eq!(CancelCause::from_code(c.code()), Some(c));
+        }
+        assert_eq!(CancelCause::from_code(0), None);
+        assert_eq!(CancelCause::from_code(200), None);
+    }
+
+    #[test]
+    fn traced_interning_attributes_hits_and_misses() {
+        use crate::trace::TraceKind;
+        let t = SharedTables::new();
+        t.tracer.enable();
+        let a = t.intern(&sll(3));
+        let b = t.intern(&sll(3));
+        assert_eq!(a.id, b.id);
+        let events = t.tracer.drain();
+        let misses: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == TraceKind::InternMiss)
+            .collect();
+        let hits: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == TraceKind::InternHit)
+            .collect();
+        assert_eq!(misses.len(), 1);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(misses[0].arg, a.id.0 as u64);
+        assert_eq!(hits[0].arg, a.id.0 as u64);
+        // Each intern also timed its canonical encoding.
+        assert_eq!(
+            events.iter().filter(|e| e.kind == TraceKind::Canon).count(),
+            2
+        );
     }
 
     #[test]

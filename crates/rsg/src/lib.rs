@@ -42,9 +42,13 @@ pub mod scratch;
 pub mod sets;
 pub mod spath;
 pub mod subsume;
+pub mod trace;
 
 pub use ctx::{Level, ShapeCtx};
 pub use graph::Rsg;
-pub use intern::{lock_recover, CancelToken, CanonEntry, CanonId, OpStats, SharedTables};
+pub use intern::{
+    lock_recover, CancelCause, CancelToken, CanonEntry, CanonId, OpStats, SharedTables,
+};
 pub use node::{Node, NodeId};
 pub use sets::{CycleSet, SelSet, TouchSet};
+pub use trace::{TraceEvent, TraceKind, Tracer};

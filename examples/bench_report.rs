@@ -53,6 +53,34 @@ fn time_run(
     (best, out.unwrap())
 }
 
+/// One extra *untimed* run with the trace journal enabled: the per-kernel
+/// span totals (join/compress/divide/prune/canon/subsume plus statement
+/// transfers) land in the report without perturbing the timed reps, which
+/// always run with tracing disabled.
+fn kernel_breakdown(ir: &FuncIr, level: Level, incremental: bool) -> Json {
+    let cfg = EngineConfig {
+        level,
+        transfer_cache: incremental,
+        delta_transfer: incremental,
+        ..Default::default()
+    };
+    let engine = Engine::new(ir, cfg);
+    engine.ctx().tables.tracer.enable();
+    let _ = engine.run();
+    let events = engine.ctx().tables.tracer.drain();
+    let summary = psa::core::trace::summarize(&events, Some(ir));
+    let mut j = Json::obj();
+    for (kind, st) in &summary.spans {
+        let mut e = Json::obj();
+        e.set("count", st.count);
+        e.set("total_ns", st.total_ns);
+        e.set("mean_ns", st.mean_ns());
+        e.set("max_ns", st.max_ns);
+        j.set(kind.name(), e);
+    }
+    j
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let sizes = if quick {
@@ -116,6 +144,7 @@ fn main() {
                     row.set("peak_bytes_baseline", b.stats.peak_bytes as u64);
                     row.set("degraded", a.any_degraded());
                     row.set("ops", ops_to_json(ops));
+                    row.set("kernels", kernel_breakdown(&ir, level, true));
                 }
                 (ri, rb) => {
                     // e.g. the paper's Sparse LU out-of-memory outcome under

@@ -1,0 +1,195 @@
+//! Integration tests for the run-wide tracing subsystem: Chrome-trace
+//! schema on the Fig. 1 doubly-linked list program, disabled-trace
+//! bit-identity, parallel-run event-count invariants, and cancel-cause
+//! attribution.
+
+use psa::core::trace::{chrome_trace_json, summarize};
+use psa::core::{AnalysisOptions, Analyzer, BudgetKind};
+use psa::rsg::{CancelCause, Level, TraceKind};
+
+fn dll_source() -> String {
+    psa::codes::generators::dll_program(6)
+}
+
+fn options(trace: bool, parallel: bool) -> AnalysisOptions {
+    AnalysisOptions {
+        trace,
+        parallel,
+        ..AnalysisOptions::at_level(Level::L2)
+    }
+}
+
+#[test]
+fn chrome_trace_schema_on_fig1_dll() {
+    let src = dll_source();
+    let analyzer = Analyzer::new(&src, options(true, false)).unwrap();
+    let res = analyzer.run().unwrap();
+    let events = analyzer.trace_events();
+    assert!(!events.is_empty(), "traced run must record events");
+
+    // Every executed statement transfer has exactly one span.
+    let stmt_spans = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::StmtTransfer && e.dur_ns > 0)
+        .count();
+    assert_eq!(
+        stmt_spans, res.stats.stmt_transfers,
+        "one StmtTransfer span per executed transfer"
+    );
+    // One Run span per engine run, carrying the level ordinal.
+    let runs: Vec<_> = events.iter().filter(|e| e.kind == TraceKind::Run).collect();
+    assert_eq!(runs.len(), 1);
+    assert_eq!(runs[0].arg, 2, "L2 run ordinal");
+    // Worklist instants match the iteration counter.
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.kind == TraceKind::WorklistIter)
+            .count(),
+        res.stats.iterations
+    );
+
+    // The export is well-formed Chrome trace JSON: a traceEvents array
+    // whose complete events carry name/cat/ts/dur and whose instants
+    // carry a scope, all round-trippable through the in-tree parser.
+    let doc = chrome_trace_json(&events);
+    let text = doc.pretty();
+    let parsed = psa::core::json::Json::parse(&text).unwrap();
+    let te = parsed.get("traceEvents").unwrap().as_array().unwrap();
+    assert!(te.len() >= events.len());
+    for e in te {
+        let ph = e.get("ph").unwrap().as_str().unwrap();
+        assert!(matches!(ph, "X" | "i" | "M"), "unexpected phase {ph}");
+        assert!(e.get("name").unwrap().as_str().is_some());
+        assert!(e.get("pid").is_some());
+        assert!(e.get("tid").is_some());
+        match ph {
+            "X" => {
+                assert!(e.get("ts").unwrap().as_f64().is_some());
+                assert!(e.get("dur").unwrap().as_f64().unwrap() > 0.0);
+            }
+            "i" => {
+                assert!(e.get("ts").unwrap().as_f64().is_some());
+                assert_eq!(e.get("s").unwrap().as_str(), Some("t"));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn disabled_trace_changes_nothing() {
+    let src = dll_source();
+    let traced = Analyzer::new(&src, options(true, false)).unwrap();
+    let plain = Analyzer::new(&src, options(false, false)).unwrap();
+    let rt = traced.run().unwrap();
+    let rp = plain.run().unwrap();
+
+    // No journal without the option; a journal with it.
+    assert!(plain.trace_events().is_empty());
+    assert!(!traced.trace_events().is_empty());
+
+    // Tracing must not perturb the analysis: identical exit sets,
+    // identical per-statement sets, identical op counters.
+    assert!(rt.exit.same_as(&rp.exit));
+    for (a, b) in rt.after_stmt.iter().zip(&rp.after_stmt) {
+        assert!(a.same_as(b));
+    }
+    assert_eq!(rt.stats.stmt_transfers, rp.stats.stmt_transfers);
+    assert_eq!(rt.stats.iterations, rp.stats.iterations);
+    assert_eq!(rt.stats.ops.join_calls, rp.stats.ops.join_calls);
+    assert_eq!(rt.stats.ops.compress_calls, rp.stats.ops.compress_calls);
+    assert_eq!(rt.stats.ops.intern_misses, rp.stats.ops.intern_misses);
+
+    // The untraced report has no "trace" key at all (bit-identity with
+    // pre-tracing output); the traced one gains it only when the caller
+    // attaches a summary.
+    let rep = psa::core::report::build_report(plain.ir(), &rp);
+    let json = rep.to_json_string();
+    assert!(!json.contains("\"trace\""));
+    let mut rep_t = psa::core::report::build_report(traced.ir(), &rt);
+    rep_t.trace = Some(summarize(&traced.trace_events(), Some(traced.ir())));
+    assert!(rep_t.to_json_string().contains("\"trace\""));
+}
+
+#[test]
+fn parallel_run_event_invariants() {
+    let src = dll_source();
+    let analyzer = Analyzer::new(&src, options(true, true)).unwrap();
+    let res = analyzer.run().unwrap();
+    let events = analyzer.trace_events();
+
+    // The transfer-span invariant holds regardless of which worker
+    // claimed each statement.
+    let stmt_spans = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::StmtTransfer)
+        .count();
+    assert_eq!(stmt_spans, res.stats.stmt_transfers);
+
+    // Kernel spans recorded by workers carry their own track ids; the
+    // journal stays time-sorted after the drain merge.
+    assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    let summary = summarize(&events, Some(analyzer.ir()));
+    assert!(summary.threads >= 1);
+    assert_eq!(summary.events, events.len());
+    // Per-statement latency covers every traced statement.
+    let spanned: usize = summary.per_stmt.values().map(|s| s.count as usize).sum();
+    assert_eq!(spanned, res.stats.stmt_transfers);
+}
+
+#[test]
+fn progressive_trace_spans_all_levels() {
+    let src = dll_source();
+    let analyzer = Analyzer::new(
+        &src,
+        AnalysisOptions {
+            trace: true,
+            ..AnalysisOptions::progressive()
+        },
+    )
+    .unwrap();
+    let outcome = analyzer.run_progressive(vec![]);
+    assert!(outcome.best().is_some());
+    let events = analyzer.trace_events();
+    let level_marks: Vec<u64> = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::LevelStart)
+        .map(|e| e.arg)
+        .collect();
+    // No goals: L1 suffices, so exactly one level marker with ordinal 1,
+    // and the run span agrees.
+    assert_eq!(level_marks, vec![1]);
+    let runs: Vec<u64> = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::Run)
+        .map(|e| e.arg)
+        .collect();
+    assert_eq!(runs, vec![1]);
+}
+
+#[test]
+fn cancelled_run_records_the_cause() {
+    let src = dll_source();
+    let analyzer = Analyzer::new(
+        &src,
+        AnalysisOptions {
+            trace: true,
+            budget: psa::core::Budget {
+                max_rsgs: Some(1),
+                ..psa::core::Budget::default()
+            },
+            ..AnalysisOptions::at_level(Level::L1)
+        },
+    )
+    .unwrap();
+    let res = analyzer.run().unwrap();
+    assert!(matches!(res.stopped, Some(BudgetKind::Rsgs { .. })));
+    let events = analyzer.trace_events();
+    let cancels: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::Cancel)
+        .collect();
+    assert_eq!(cancels.len(), 1, "exactly one raise is journaled");
+    assert_eq!(cancels[0].arg, CancelCause::Rsgs.code() as u64);
+}
