@@ -19,6 +19,7 @@
 //! * [`types::TypeTable::build`] — resolve typedefs and struct layouts,
 //!   producing the selector universe used by the analysis.
 
+pub mod asserts;
 pub mod ast;
 pub mod diag;
 pub mod lexer;

@@ -19,6 +19,12 @@
 //! trace JSON loadable in Perfetto / `chrome://tracing`; the CLI summary
 //! then includes a compact text timeline, `--stats` gains latency
 //! histograms, and the `--json` report gains a `"trace"` section.
+//!
+//! `--check asserts` evaluates `// @assert` comments (`shape`, `shared`,
+//! `reach`, `alias`, `acyclic`, each optionally negated) both abstractly
+//! against the analysis and concretely against `--seeds N` interpreter
+//! runs; a concretely refuted assertion exits nonzero, and the `--json`
+//! report gains an `"asserts"` section.
 
 use psa_core::api::{AnalysisOptions, Analyzer};
 use psa_core::engine::AnalysisResult;
@@ -52,6 +58,8 @@ struct Flags {
     stats: bool,
     budget: Budget,
     trace: Option<String>,
+    check_asserts: bool,
+    seeds: usize,
 }
 
 fn parse_count(args: &[String], i: usize, flag: &str) -> Result<usize, String> {
@@ -76,6 +84,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         stats: false,
         budget: Budget::default(),
         trace: None,
+        check_asserts: false,
+        seeds: 3,
     };
     let mut i = 0;
     while i < args.len() {
@@ -118,6 +128,18 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--trace" => {
                 i += 1;
                 f.trace = Some(args.get(i).ok_or("--trace needs an output file")?.clone());
+            }
+            "--check" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("asserts") => f.check_asserts = true,
+                    Some(other) => return Err(format!("unknown check `{other}`")),
+                    None => return Err("--check needs a value (asserts)".into()),
+                }
+            }
+            "--seeds" => {
+                i += 1;
+                f.seeds = parse_count(args, i, "--seeds")?.max(1);
             }
             "--stmt-dump" => f.stmt_dump = true,
             "--parallel-report" => f.parallel_report = true,
@@ -182,7 +204,8 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  psa analyze <file.c> [--level L1|L2|L3|auto] [--function NAME] \
      [--dot DIR] [--stmt-dump] [--parallel-report] [--leak-report] [--annotate] [--json] [--stats]\n  \
-     \x20            [--budget-nodes N] [--budget-rsgs N] [--budget-ms N] [--trace FILE]\n  psa ir <file.c> [--function NAME]\n  \
+     \x20            [--budget-nodes N] [--budget-rsgs N] [--budget-ms N] [--trace FILE]\n  \
+     \x20            [--check asserts] [--seeds N]\n  psa ir <file.c> [--function NAME]\n  \
      psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d> [flags]"
         .to_string()
 }
@@ -294,18 +317,59 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
         None => None,
     };
 
+    // Evaluate `// @assert` comments when asked: abstractly against the
+    // analysis result, concretely against seeded interpreter runs.
+    let assert_report = if flags.check_asserts {
+        let asserts = psa_ir::asserts_of_source(src, analyzer.ir()).map_err(|e| e.to_string())?;
+        let seeds: Vec<u64> = (1..=flags.seeds as u64).collect();
+        Some(psa_concrete::evaluate_asserts(
+            analyzer.ir(),
+            &result,
+            &asserts,
+            &seeds,
+        ))
+    } else {
+        None
+    };
+
     // Soft budget caps yield a *partial* result: report everything we have,
-    // then exit nonzero (but cleanly — no panic) so scripts notice.
+    // then exit nonzero (but cleanly — no panic) so scripts notice. A
+    // concretely refuted assertion also fails the run.
     let stopped = result.stopped;
-    let finish = |stopped: Option<psa_core::BudgetKind>| match stopped {
-        Some(which) => Err(format!("analysis stopped early: {which}")),
-        None => Ok(()),
+    let refuted = assert_report.as_ref().and_then(|r| {
+        r.outcomes
+            .iter()
+            .find(|o| o.verdict == psa_concrete::Verdict::ConcreteViolation)
+    });
+    let refuted_text = refuted.map(|o| o.assertion.text.clone());
+    let finish = move |stopped: Option<psa_core::BudgetKind>| {
+        if let Some(text) = &refuted_text {
+            return Err(format!("assertion refuted concretely: {text}"));
+        }
+        match stopped {
+            Some(which) => Err(format!("analysis stopped early: {which}")),
+            None => Ok(()),
+        }
     };
 
     if flags.json {
         let mut report = psa_core::report::build_report(analyzer.ir(), &result);
         if let Some(events) = &trace_events {
             report.trace = Some(psa_core::trace::summarize(events, Some(analyzer.ir())));
+        }
+        if let Some(ar) = &assert_report {
+            report.asserts = ar
+                .outcomes
+                .iter()
+                .map(|o| psa_core::report::AssertRow {
+                    text: o.assertion.text.clone(),
+                    line: o.assertion.line,
+                    verdict: o.verdict.to_string(),
+                    abstract_verdict: o.abstract_verdict.to_string(),
+                    concrete_checked: o.concrete_checked,
+                    concrete_violations: o.concrete_violations,
+                })
+                .collect();
         }
         println!("{}", report.to_json_string());
         return finish(stopped);
@@ -374,6 +438,34 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
         let rep = queries::structure_report(&result.exit, p);
         if !rep.always_null {
             println!("  {}: {}", pv.name, rep);
+        }
+    }
+
+    if let Some(ar) = &assert_report {
+        println!(
+            "assertion verdicts ({} assertions, {} concrete runs):",
+            ar.outcomes.len(),
+            ar.runs
+        );
+        if let Some(reason) = &ar.inconclusive {
+            println!("  note: {reason} — abstract verdicts downgraded to may-fail");
+        }
+        for o in &ar.outcomes {
+            println!(
+                "  line {}: {} — {} (abstract {}; {} concrete states, {} violations)",
+                o.assertion.line,
+                o.assertion.text,
+                o.verdict,
+                o.abstract_verdict,
+                o.concrete_checked,
+                o.concrete_violations
+            );
+        }
+        for o in ar.soundness_mismatches() {
+            println!(
+                "  SOUNDNESS MISMATCH: `{}` certified abstractly but refuted concretely",
+                o.assertion.text
+            );
         }
     }
 

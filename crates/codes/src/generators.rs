@@ -212,9 +212,10 @@ pub fn random_program(seed: u64, stmts: usize, pvars: usize) -> String {
     for k in 0..stmts {
         let x = &names[rng.gen_range(0..pvars)];
         let y = &names[rng.gen_range(0..pvars)];
+        let t = &names[rng.gen_range(0..pvars)];
         let s = sels[rng.gen_range(0usize..2)];
         let s2 = sels[rng.gen_range(0usize..2)];
-        match rng.gen_range(0..12) {
+        match rng.gen_range(0..16) {
             0 => emit(&mut body, depth, &format!("{x} = NULL;")),
             1 | 2 => emit(
                 &mut body,
@@ -250,6 +251,40 @@ pub fn random_program(seed: u64, stmts: usize, pvars: usize) -> String {
                 open_loops += 1;
                 emit(&mut body, depth, &format!("{x} = {x}->{s};"));
             }
+            12 => {
+                // Conditional free: the analysis must survive a dying
+                // region (free lowers to a no-op, the NULLing is real).
+                emit(
+                    &mut body,
+                    depth,
+                    &format!("if ({x} != NULL) {{ free({x}); {x} = NULL; }}"),
+                );
+            }
+            13 if t != x && t != y => {
+                // Pointer swap through a third pvar.
+                emit(&mut body, depth, &format!("{t} = {x};"));
+                emit(&mut body, depth, &format!("{x} = {y};"));
+                emit(&mut body, depth, &format!("{y} = {t};"));
+            }
+            14 => {
+                // DLL-style back-link pair: creates the must-cycle pattern
+                // CYCLELINKS exists for.
+                emit(
+                    &mut body,
+                    depth,
+                    &format!(
+                        "if ({x} != NULL && {y} != NULL) {{ {x}->{s} = {y}; {y}->{s2} = {x}; }}"
+                    ),
+                );
+            }
+            15 => {
+                // Tree-mutator leaf prune: cuts both children.
+                emit(
+                    &mut body,
+                    depth,
+                    &format!("if ({x} != NULL) {{ {x}->a = NULL; {x}->b = NULL; }}"),
+                );
+            }
             _ => {
                 if open_loops > 0 {
                     depth -= 1;
@@ -277,9 +312,138 @@ pub fn random_program(seed: u64, stmts: usize, pvars: usize) -> String {
     )
 }
 
+/// A seeded DLL stress program: build a doubly-linked list of `n` nodes,
+/// then apply a random sequence of guarded mutations (front pop, front
+/// push, cursor advance, unlink-after-cursor) that exercises the
+/// CYCLELINKS machinery. Always NULL-guarded; always terminates.
+pub fn dll_mutator_program(seed: u64, n: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = String::new();
+    for _ in 0..n.max(4) {
+        let op: &str = match rng.gen_range(0..4) {
+            0 => {
+                // Pop front.
+                "    if (list != NULL) {\n        t = list->nxt;\n        list->nxt = NULL;\n        if (t != NULL) { t->prv = NULL; }\n        list = t;\n    }\n"
+            }
+            1 => {
+                // Push front.
+                "    p = (struct node *) malloc(sizeof(struct node));\n    p->nxt = list;\n    p->prv = NULL;\n    if (list != NULL) { list->prv = p; }\n    list = p;\n"
+            }
+            2 => {
+                // (Re)seat and advance the cursor.
+                "    if (c == NULL) { c = list; }\n    if (c != NULL) { c = c->nxt; }\n"
+            }
+            _ => {
+                // Unlink the node after the cursor.
+                "    if (c != NULL) {\n        t = c->nxt;\n        if (t != NULL) {\n            u = t->nxt;\n            c->nxt = u;\n            if (u != NULL) { u->prv = c; }\n            t->nxt = NULL;\n            t->prv = NULL;\n        }\n    }\n"
+            }
+        };
+        ops.push_str(op);
+    }
+    format!(
+        r#"
+struct node {{ int v; struct node *nxt; struct node *prv; }};
+int main() {{
+    struct node *list;
+    struct node *p;
+    struct node *c;
+    struct node *t;
+    struct node *u;
+    int i;
+    list = NULL;
+    c = NULL;
+    for (i = 0; i < {n}; i++) {{
+        p = (struct node *) malloc(sizeof(struct node));
+        p->nxt = list;
+        p->prv = NULL;
+        if (list != NULL) {{
+            list->prv = p;
+        }}
+        list = p;
+    }}
+{ops}    return 0;
+}}
+"#
+    )
+}
+
+/// A seeded binary-tree stress program: build a small tree, then apply a
+/// random sequence of guarded mutations (leaf prune, subtree graft — which
+/// may create sharing or cycles, rotation-ish child swaps). The analysis
+/// must stay a sound over-approximation through all of them.
+pub fn tree_mutator_program(seed: u64, n: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = String::new();
+    for _ in 0..n.max(4) {
+        let op: &str = match rng.gen_range(0..4) {
+            0 => {
+                // Prune both children of the cursor.
+                "    if (c != NULL) { c->l = NULL; c->r = NULL; }\n"
+            }
+            1 => {
+                // Descend left-or-right (opaque choice).
+                "    if (c == NULL) { c = root; }\n    if (c != NULL) {\n        if (i % 2 == 0) { c = c->l; } else { c = c->r; }\n    }\n    i = i + 1;\n"
+            }
+            2 => {
+                // Graft: hang a fresh node on the cursor's left.
+                "    if (c != NULL) {\n        f = (struct tnode *) malloc(sizeof(struct tnode));\n        f->l = NULL;\n        f->r = NULL;\n        c->l = f;\n    }\n"
+            }
+            _ => {
+                // Cross-graft the root under the cursor: may introduce
+                // sharing and cycles — exactly what the soundness oracle
+                // wants to see survive.
+                "    if (c != NULL) { c->r = root; }\n"
+            }
+        };
+        ops.push_str(op);
+    }
+    format!(
+        r#"
+struct tnode {{ int v; struct tnode *l; struct tnode *r; }};
+int main() {{
+    struct tnode *root;
+    struct tnode *c;
+    struct tnode *f;
+    int i;
+    i = 0;
+    root = (struct tnode *) malloc(sizeof(struct tnode));
+    root->l = NULL;
+    root->r = NULL;
+    f = (struct tnode *) malloc(sizeof(struct tnode));
+    f->l = NULL;
+    f->r = NULL;
+    root->l = f;
+    f = (struct tnode *) malloc(sizeof(struct tnode));
+    f->l = NULL;
+    f->r = NULL;
+    root->r = f;
+    c = root;
+{ops}    return 0;
+}}
+"#
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mutator_programs_parse_and_lower() {
+        for seed in 0..12u64 {
+            for src in [dll_mutator_program(seed, 8), tree_mutator_program(seed, 8)] {
+                let (p, t) = psa_cfront::parse_and_type(&src)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+                psa_ir::lower_main(&p, &t).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            }
+        }
+    }
+
+    #[test]
+    fn mutator_programs_are_deterministic() {
+        assert_eq!(dll_mutator_program(7, 9), dll_mutator_program(7, 9));
+        assert_eq!(tree_mutator_program(7, 9), tree_mutator_program(7, 9));
+    }
 
     #[test]
     fn generated_programs_parse_and_lower() {

@@ -7,6 +7,22 @@ use crate::interp::{ExecOutcome, InterpConfig, Interpreter};
 use psa_core::engine::{Engine, EngineConfig};
 use psa_rsg::Level;
 
+/// Three-valued outcome of a differential check: a budget-stopped analysis
+/// has proven nothing either way, and must be distinguishable from both a
+/// pass and a genuine soundness violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffVerdict {
+    /// Analysis completed and every checked point was covered.
+    Pass,
+    /// At least one concrete state was not covered by its RSRSG — an
+    /// analyzer bug.
+    Violation,
+    /// The analysis was cancelled on a resource budget before its fixed
+    /// point; the partial result under-approximates by construction, so no
+    /// coverage was checked.
+    Inconclusive,
+}
+
 /// Outcome of one differential check.
 #[derive(Debug, Default)]
 pub struct DifferentialReport {
@@ -19,12 +35,30 @@ pub struct DifferentialReport {
     /// How many runs crashed on a NULL dereference (their prefixes still
     /// count as checked points).
     pub crashed_runs: usize,
+    /// `Some(reason)` when the analysis stopped on a budget cap before
+    /// reaching its fixed point. Such runs are neither passes nor
+    /// violations — nothing was checked.
+    pub inconclusive: Option<String>,
 }
 
 impl DifferentialReport {
-    /// True when no violation was observed.
+    /// True only for a full pass: fixed point reached, no violation. An
+    /// inconclusive (budget-stopped) run is *not* sound — it is unchecked.
     pub fn is_sound(&self) -> bool {
-        self.violations.is_empty()
+        self.verdict() == DiffVerdict::Pass
+    }
+
+    /// The three-valued verdict. Violations dominate: a run that produced
+    /// evidence of unsoundness stays a violation even if it also hit a
+    /// budget later.
+    pub fn verdict(&self) -> DiffVerdict {
+        if !self.violations.is_empty() {
+            DiffVerdict::Violation
+        } else if self.inconclusive.is_some() {
+            DiffVerdict::Inconclusive
+        } else {
+            DiffVerdict::Pass
+        }
     }
 }
 
@@ -44,10 +78,24 @@ pub fn check_soundness(src: &str, level: Level, seeds: &[u64]) -> DifferentialRe
 /// still sound over-approximations.
 ///
 /// A *cancelled* (partial) result has not reached its fixed point and
-/// under-approximates by construction; it is reported as a violation rather
-/// than checked, so a budget that stops the engine cannot masquerade as a
-/// soundness pass.
+/// under-approximates by construction; it is reported as **inconclusive**
+/// rather than checked, so a budget that stops the engine is neither a
+/// soundness pass nor folded into the violation count.
 pub fn check_soundness_with(src: &str, config: EngineConfig, seeds: &[u64]) -> DifferentialReport {
+    check_soundness_full(src, config, InterpConfig::default(), seeds)
+}
+
+/// [`check_soundness_with`] plus control over the interpreter base config
+/// (the per-run seed still comes from `seeds`). The fuzzing farm uses a
+/// reduced step budget here: generated programs can loop over cyclic
+/// structures until the cap, and snapshotting a growing heap 20k times per
+/// run would dominate the batch.
+pub fn check_soundness_full(
+    src: &str,
+    config: EngineConfig,
+    interp: InterpConfig,
+    seeds: &[u64],
+) -> DifferentialReport {
     let level = config.level;
     let (program, table) = psa_cfront::parse_and_type(src).expect("differential input parses");
     let ir = psa_ir::lower_main(&program, &table).expect("differential input lowers");
@@ -55,15 +103,17 @@ pub fn check_soundness_with(src: &str, config: EngineConfig, seeds: &[u64]) -> D
 
     let result = match Engine::new(&ir, config).run() {
         Ok(r) => r,
+        Err(e @ psa_core::engine::AnalysisError::BudgetExceeded { .. }) => {
+            report.inconclusive = Some(format!("analysis aborted on budget: {e}"));
+            return report;
+        }
         Err(e) => {
             report.violations.push(format!("analysis failed: {e}"));
             return report;
         }
     };
     if let Some(which) = result.stopped {
-        report
-            .violations
-            .push(format!("analysis stopped early: {which}"));
+        report.inconclusive = Some(format!("analysis stopped early: {which}"));
         return report;
     }
 
@@ -73,7 +123,7 @@ pub fn check_soundness_with(src: &str, config: EngineConfig, seeds: &[u64]) -> D
             &ir,
             InterpConfig {
                 seed,
-                ..Default::default()
+                ..interp.clone()
             },
         )
         .run();
@@ -200,7 +250,30 @@ mod tests {
         };
         let rep = check_soundness_with(LIST, config, &[1]);
         assert!(!rep.is_sound(), "partial result must not pass as sound");
-        assert!(rep.violations[0].contains("stopped early"));
+        assert_eq!(rep.verdict(), DiffVerdict::Inconclusive);
+        assert!(rep
+            .inconclusive
+            .as_deref()
+            .unwrap()
+            .contains("stopped early"));
+    }
+
+    #[test]
+    fn budget_stop_is_not_a_violation() {
+        // Regression: a budget-cancelled analysis used to be folded into
+        // the violation count, inflating "unsound" tallies in batch runs.
+        // It must be inconclusive: zero violations, zero checked points.
+        let config = EngineConfig {
+            budget: psa_core::stats::Budget {
+                deadline: Some(std::time::Duration::ZERO),
+                ..psa_core::stats::Budget::default()
+            },
+            ..EngineConfig::at_level(Level::L1)
+        };
+        let rep = check_soundness_with(LIST, config, &[1]);
+        assert!(rep.violations.is_empty(), "{:#?}", rep.violations);
+        assert_eq!(rep.checked_points, 0);
+        assert_eq!(rep.verdict(), DiffVerdict::Inconclusive);
     }
 
     #[test]

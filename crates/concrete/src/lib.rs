@@ -18,11 +18,21 @@
 //! * [`differential`] — the end-to-end harness.
 
 pub mod alpha;
+pub mod asserts;
 pub mod cover;
 pub mod differential;
+pub mod fuzz;
 pub mod heap;
 pub mod interp;
+pub mod minimize;
 
-pub use differential::{check_soundness, check_soundness_with, DifferentialReport};
+pub use asserts::{
+    check_asserts, evaluate_asserts, evaluate_asserts_with, AssertOutcome, AssertReport, Verdict,
+};
+pub use differential::{
+    check_soundness, check_soundness_full, check_soundness_with, DiffVerdict, DifferentialReport,
+};
+pub use fuzz::{run_farm, FuzzConfig, FuzzFailure, FuzzReport};
 pub use heap::{ConcreteState, Loc};
 pub use interp::{ExecOutcome, InterpConfig, Interpreter};
+pub use minimize::minimize_source;

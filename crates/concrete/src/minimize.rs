@@ -1,0 +1,114 @@
+//! Counterexample minimization by line-granular delta debugging.
+//!
+//! When the fuzzing farm finds a program that exposes a soundness
+//! violation, the raw generated source is noisy — dozens of statements,
+//! most irrelevant. [`minimize_source`] shrinks it with the classic *ddmin*
+//! loop: repeatedly try deleting chunks of lines (halving the chunk size
+//! down to single lines) and keep any deletion under which the failure
+//! still reproduces, until no single line can be removed.
+//!
+//! The failure predicate is a caller-supplied closure; candidates that no
+//! longer parse or lower simply make the closure return `false` and are
+//! rejected, so the result is always a valid program.
+
+/// Shrink `src` to a (locally) minimal set of lines on which `fails` still
+/// returns true. `fails(src)` must be true on entry; the closure is called
+/// on every candidate, so keep it cheap (bounded budgets, few seeds).
+///
+/// Lines whose deletion breaks parsing/lowering are retained because the
+/// closure reports "does not fail" for them — no syntax knowledge lives
+/// here beyond line splitting.
+pub fn minimize_source(src: &str, fails: &mut dyn FnMut(&str) -> bool) -> String {
+    let mut lines: Vec<&str> = src.lines().collect();
+    debug_assert!(fails(src), "minimize_source needs a failing input");
+
+    loop {
+        let before = lines.len();
+        let mut chunk = lines.len().div_ceil(2).max(1);
+        while chunk >= 1 {
+            let mut start = 0;
+            while start < lines.len() {
+                let end = (start + chunk).min(lines.len());
+                let candidate: Vec<&str> = lines[..start]
+                    .iter()
+                    .chain(lines[end..].iter())
+                    .copied()
+                    .collect();
+                if !candidate.is_empty() && fails(&candidate.join("\n")) {
+                    lines = candidate;
+                    // Retry the same window position: the next chunk
+                    // shifted into it.
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if lines.len() == before {
+            return lines.join("\n");
+        }
+    }
+}
+
+/// Count the *statement-ish* lines of a (minimized) program: non-blank
+/// lines that are not pure structure (braces, declarations, the function
+/// header). Used to report reproducer size against the corpus budget.
+pub fn statement_count(src: &str) -> usize {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| {
+            !l.is_empty()
+                && !l.starts_with("//")
+                && !l.starts_with("int main")
+                && *l != "{"
+                && *l != "}"
+                && !l.starts_with("return ")
+                && !is_decl(l)
+        })
+        .count()
+}
+
+fn is_decl(l: &str) -> bool {
+    (l.starts_with("struct ") || l.starts_with("int ")) && l.ends_with(';') && !l.contains('=')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_failing_line() {
+        let src = "a\nb\nc\nNEEDLE\nd\ne\nf\ng";
+        let out = minimize_source(src, &mut |s| s.contains("NEEDLE"));
+        assert_eq!(out, "NEEDLE");
+    }
+
+    #[test]
+    fn keeps_interdependent_lines() {
+        // Failure needs BOTH markers; ddmin must keep both.
+        let src = "x\nFIRST\ny\nz\nSECOND\nw";
+        let out = minimize_source(src, &mut |s| s.contains("FIRST") && s.contains("SECOND"));
+        assert_eq!(out, "FIRST\nSECOND");
+    }
+
+    #[test]
+    fn invalid_candidates_are_rejected() {
+        // Treat "a program missing its closing marker" as invalid: the
+        // predicate refuses it, mimicking a parse failure.
+        let src = "open\nA\nB\nclose";
+        let out = minimize_source(src, &mut |s| {
+            let valid = s.contains("open") && s.contains("close");
+            valid && s.contains('A')
+        });
+        assert_eq!(out, "open\nA\nclose");
+    }
+
+    #[test]
+    fn counts_statements_not_structure() {
+        let src = "struct node { int v; struct node *nxt; };\nint main()\n{\n    struct node *p;\n    p = NULL;\n    p = p;\n    return 0;\n}";
+        assert_eq!(statement_count(src), 2);
+    }
+}

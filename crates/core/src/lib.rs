@@ -30,6 +30,7 @@
 
 pub mod annotate;
 pub mod api;
+pub mod asserts;
 pub mod engine;
 pub mod json;
 pub mod leaks;

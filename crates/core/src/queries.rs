@@ -13,19 +13,174 @@ use psa_rsg::sets::SelSet;
 use psa_rsg::{NodeId, Rsg};
 
 /// Nodes reachable from `start` through NL links (including `start`).
+///
+/// Visited nodes are tracked in a dense bitset keyed by `NodeId` slot, so
+/// one traversal is O(nodes + links) rather than the O(n²) a
+/// `seen.contains` membership scan would cost on large RSGs. The result is
+/// sorted ascending (slot order).
 pub fn reachable_from(g: &Rsg, start: NodeId) -> Vec<NodeId> {
-    let mut seen = vec![start];
+    let mut seen = vec![false; g.num_slots()];
+    seen[start.0 as usize] = true;
     let mut stack = vec![start];
     while let Some(n) = stack.pop() {
         for &(_, b) in g.out_links(n) {
-            if !seen.contains(&b) {
-                seen.push(b);
+            if !seen[b.0 as usize] {
+                seen[b.0 as usize] = true;
                 stack.push(b);
             }
         }
     }
-    seen.sort_unstable();
-    seen
+    seen.iter()
+        .enumerate()
+        .filter(|(_, &v)| v)
+        .map(|(i, _)| NodeId(i as u32))
+        .collect()
+}
+
+/// Is `to` reachable from `from` through NL (may) links?
+pub fn may_reach(g: &Rsg, from: NodeId, to: NodeId) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut seen = vec![false; g.num_slots()];
+    seen[from.0 as usize] = true;
+    let mut stack = vec![from];
+    while let Some(n) = stack.pop() {
+        for &(_, b) in g.out_links(n) {
+            if b == to {
+                return true;
+            }
+            if !seen[b.0 as usize] {
+                seen[b.0 as usize] = true;
+                stack.push(b);
+            }
+        }
+    }
+    false
+}
+
+/// The *must*-edges out of `n`: links that exist in **every** concrete
+/// configuration the graph represents. That needs three certainties: the
+/// source is singular (one location, so "some represented location has the
+/// link" means *the* location has it), the selector is in the must-out set
+/// (the field is definitely populated, not NULL), and exactly one NL target
+/// exists for it (the destination node is determined).
+fn must_edges(g: &Rsg, n: NodeId) -> Vec<(SelectorId, NodeId)> {
+    let node = g.node(n);
+    if node.summary {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for sel in node.selout.iter() {
+        let mut targets = g.out_links(n).iter().filter(|&&(s, _)| s == sel);
+        if let (Some(&(_, b)), None) = (targets.next(), targets.next()) {
+            out.push((sel, b));
+        }
+    }
+    out
+}
+
+/// Nodes reachable from `start` through must-edges only (including
+/// `start`): every listed node is pointed to by a chain of definite links
+/// in every represented configuration.
+pub fn must_reachable_from(g: &Rsg, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.num_slots()];
+    seen[start.0 as usize] = true;
+    let mut stack = vec![start];
+    while let Some(n) = stack.pop() {
+        for (_, b) in must_edges(g, n) {
+            if !seen[b.0 as usize] {
+                seen[b.0 as usize] = true;
+                stack.push(b);
+            }
+        }
+    }
+    seen.iter()
+        .enumerate()
+        .filter(|(_, &v)| v)
+        .map(|(i, _)| NodeId(i as u32))
+        .collect()
+}
+
+/// Is `to` must-reachable from `from` (a chain of definite links in every
+/// configuration)? Since pvar-pointed nodes are singular, this certifies
+/// concrete reachability between two pvar targets.
+pub fn must_reach(g: &Rsg, from: NodeId, to: NodeId) -> bool {
+    must_reachable_from(g, from).binary_search(&to).is_ok()
+}
+
+/// May a directed NL cycle pass through the region reachable from `start`?
+/// (Iterative three-color DFS.) A concrete cycle maps to a closed abstract
+/// walk under the coverage homomorphism, so `false` here certifies
+/// concrete acyclicity of the region.
+pub fn may_cycle_from(g: &Rsg, start: NodeId) -> bool {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; g.num_slots()];
+    // Stack of (node, next out-link index): explicit DFS with gray marking.
+    let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+    color[start.0 as usize] = GRAY;
+    while let Some(top) = stack.last_mut() {
+        let n = top.0;
+        let idx = top.1;
+        let out = g.out_links(n);
+        if idx < out.len() {
+            top.1 += 1;
+            let (_, b) = out[idx];
+            match color[b.0 as usize] {
+                GRAY => return true,
+                WHITE => {
+                    color[b.0 as usize] = GRAY;
+                    stack.push((b, 0));
+                }
+                _ => {}
+            }
+        } else {
+            color[n.0 as usize] = BLACK;
+            stack.pop();
+        }
+    }
+    false
+}
+
+/// Does a cycle of must-edges exist among the nodes must-reachable from
+/// `start`? Certifies that every represented configuration contains a
+/// reachable concrete cycle (each must-edge is a real link everywhere).
+pub fn must_cycle_from(g: &Rsg, start: NodeId) -> bool {
+    let region = must_reachable_from(g, start);
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; g.num_slots()];
+    for &root in &region {
+        if color[root.0 as usize] != WHITE {
+            continue;
+        }
+        // DFS frame: (node, its must-edges, next edge index).
+        type Frame = (NodeId, Vec<(SelectorId, NodeId)>, usize);
+        let mut stack: Vec<Frame> = vec![(root, must_edges(g, root), 0)];
+        color[root.0 as usize] = GRAY;
+        while let Some(top) = stack.last_mut() {
+            if top.2 < top.1.len() {
+                let (_, b) = top.1[top.2];
+                top.2 += 1;
+                match color[b.0 as usize] {
+                    GRAY => return true,
+                    WHITE => {
+                        color[b.0 as usize] = GRAY;
+                        let next = must_edges(g, b);
+                        stack.push((b, next, 0));
+                    }
+                    _ => {}
+                }
+            } else {
+                color[top.0 .0 as usize] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+    false
 }
 
 /// Nodes reachable from a pvar (empty when NULL).
@@ -159,7 +314,7 @@ pub fn structure_report(rsrsg: &Rsrsg, p: PvarId) -> StructureReport {
                 }
                 // Root cycle: can we come back to the root?
                 for &(_, b) in g.out_links(root) {
-                    if reachable_from(g, b).contains(&root) {
+                    if may_reach(g, b, root) {
                         r.cycle_through_root = true;
                     }
                 }

@@ -223,6 +223,40 @@ pub struct AnalysisReport {
     /// the `"trace"` key is absent from the JSON otherwise, keeping
     /// untraced output bit-identical.
     pub trace: Option<crate::trace::TraceSummary>,
+    /// Per-assertion verdict rows, filled by the CLI's `--check asserts`;
+    /// like `trace`, the `"asserts"` key is absent when empty so plain
+    /// reports stay bit-identical.
+    pub asserts: Vec<AssertRow>,
+}
+
+/// One checked shape assertion, serializable.
+#[derive(Debug, Clone)]
+pub struct AssertRow {
+    /// Canonical rendering, e.g. `!shared(x->nxt)`.
+    pub text: String,
+    /// 1-based source line of the `@assert` comment (0 for synthesized).
+    pub line: u32,
+    /// Combined verdict: `holds` / `may-fail` / `concrete-violation`.
+    pub verdict: String,
+    /// What the abstraction alone concluded.
+    pub abstract_verdict: String,
+    /// Concrete states inspected at the assertion's program point.
+    pub concrete_checked: usize,
+    /// How many refuted the assertion.
+    pub concrete_violations: usize,
+}
+
+impl AssertRow {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("text", self.text.as_str());
+        j.set("line", self.line);
+        j.set("verdict", self.verdict.as_str());
+        j.set("abstract_verdict", self.abstract_verdict.as_str());
+        j.set("concrete_checked", self.concrete_checked);
+        j.set("concrete_violations", self.concrete_violations);
+        j
+    }
 }
 
 impl AnalysisReport {
@@ -262,6 +296,12 @@ impl AnalysisReport {
         );
         if let Some(t) = &self.trace {
             j.set("trace", t.to_json());
+        }
+        if !self.asserts.is_empty() {
+            j.set(
+                "asserts",
+                self.asserts.iter().map(|a| a.to_json()).collect::<Json>(),
+            );
         }
         j
     }
@@ -342,6 +382,7 @@ pub fn build_report(ir: &FuncIr, result: &AnalysisResult) -> AnalysisReport {
             .map(|l| (l.stmt.0, l.rendered, l.max_nodes_dropped))
             .collect(),
         trace: None,
+        asserts: Vec::new(),
     }
 }
 

@@ -20,12 +20,14 @@
 //!   (non-recursive user functions are expanded at their call sites before
 //!   lowering).
 
+pub mod asserts;
 pub mod func;
 pub mod induction;
 pub mod inline;
 pub mod lower;
 pub mod pretty;
 
+pub use asserts::{asserts_of_source, resolve_asserts, AssertPred, AssertSite, Assertion};
 pub use func::{
     Block, BlockId, Cond, FuncIr, LoopId, LoopInfo, PtrStmt, PvarId, PvarInfo, ScalarId, Stmt,
     StmtId, StmtInfo, Terminator,

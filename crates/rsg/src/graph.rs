@@ -345,6 +345,12 @@ impl Rsg {
         self.nodes.iter().filter(|n| n.is_some()).count()
     }
 
+    /// Number of node slots (live or dead): `NodeId`s are always below
+    /// this, so it sizes dense per-node scratch vectors (visited bitsets).
+    pub fn num_slots(&self) -> usize {
+        self.nodes.len()
+    }
+
     // ------------------------------------------------------------- PL
 
     /// The node pointed to by `p`, if bound (absence encodes NULL).

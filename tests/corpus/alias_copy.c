@@ -1,0 +1,13 @@
+/* Pointer copies are exact at every level: pvar-pointed nodes are
+ * singular, so alias is decided, not approximated. */
+struct node { int v; struct node *nxt; };
+int main() {
+    struct node *a; struct node *b; struct node *c;
+    a = (struct node *) malloc(sizeof(struct node));
+    b = a;
+    c = (struct node *) malloc(sizeof(struct node));
+    // @assert alias(a, b); expect holds
+    // @assert !alias(a, c); expect holds
+    // @assert !alias(b, c); expect holds
+    return 0;
+}

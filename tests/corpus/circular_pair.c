@@ -1,0 +1,14 @@
+/* A two-node cycle: must-edge cycles certify !acyclic, and the
+ * heuristic classifier reports Cyclic. */
+struct node { int v; struct node *nxt; };
+int main() {
+    struct node *h; struct node *p;
+    h = (struct node *) malloc(sizeof(struct node));
+    p = (struct node *) malloc(sizeof(struct node));
+    h->nxt = p;
+    p->nxt = h;
+    // @assert !acyclic(h); expect holds
+    // @assert shape(h, cyclic); expect holds
+    // @assert reach(h, p); expect holds
+    return 0;
+}

@@ -1,0 +1,14 @@
+/* Create a cycle, then break it: the analysis must track the kill. */
+struct node { int v; struct node *nxt; };
+int main() {
+    struct node *h; struct node *p;
+    h = (struct node *) malloc(sizeof(struct node));
+    p = (struct node *) malloc(sizeof(struct node));
+    h->nxt = p;
+    p->nxt = h;
+    // @assert !acyclic(h); expect holds
+    p->nxt = NULL;
+    // @assert acyclic(h); expect holds
+    // @assert reach(h, p); expect holds
+    return 0;
+}

@@ -1,0 +1,21 @@
+/* Fig. 1's doubly-linked list: interior nodes carry two in-references
+ * (pred nxt + succ prv) but never two through the same selector. */
+struct node { int v; struct node *nxt; struct node *prv; };
+int main() {
+    struct node *list; struct node *p; struct node *x; int i;
+    list = (struct node *) malloc(sizeof(struct node));
+    list->nxt = NULL;
+    list->prv = NULL;
+    for (i = 0; i < 7; i++) {
+        p = (struct node *) malloc(sizeof(struct node));
+        p->nxt = list;
+        p->prv = NULL;
+        list->prv = p;
+        list = p;
+    }
+    x = list;
+    // @assert alias(x, list); expect holds
+    // @assert !shared(x->nxt); expect holds
+    // @assert !shared(x->prv); expect holds
+    return 0;
+}

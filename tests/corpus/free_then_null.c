@@ -1,0 +1,14 @@
+/* Conditional free followed by NULLing: the freed region disappears
+ * from x's reachable set. */
+struct node { int v; struct node *nxt; };
+int main() {
+    struct node *x; struct node *y;
+    x = (struct node *) malloc(sizeof(struct node));
+    y = (struct node *) malloc(sizeof(struct node));
+    x->nxt = y;
+    if (x != NULL) { free(x); x = NULL; }
+    // @assert shape(x, empty); expect holds
+    // @assert !reach(x, y); expect holds
+    // @assert acyclic(x); expect holds
+    return 0;
+}

@@ -1,0 +1,16 @@
+/* Singly-linked list built by front insertion: the paper's flagship
+ * query — no node is referenced twice through `nxt`. */
+struct node { int v; struct node *nxt; };
+int main() {
+    struct node *list; struct node *p; int i;
+    list = NULL;
+    for (i = 0; i < 6; i++) {
+        p = (struct node *) malloc(sizeof(struct node));
+        p->nxt = list;
+        list = p;
+    }
+    // @assert !shared(list->nxt); expect holds
+    // @assert acyclic(list); expect may-fail
+    // @assert shape(list, list); expect holds
+    return 0;
+}

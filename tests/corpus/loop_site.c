@@ -1,0 +1,15 @@
+/* An assertion inside a loop body is checked on every iteration; the
+ * abstraction cannot certify it mid-traversal (summary self-loop), but
+ * no execution refutes it. */
+struct node { int v; struct node *nxt; };
+int main() {
+    struct node *list; struct node *p; int i;
+    list = NULL;
+    for (i = 0; i < 5; i++) {
+        p = (struct node *) malloc(sizeof(struct node));
+        // @assert acyclic(list); expect may-fail
+        p->nxt = list;
+        list = p;
+    }
+    return 0;
+}

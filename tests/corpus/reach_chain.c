@@ -1,0 +1,13 @@
+/* A two-cell chain in straight-line code: must-edges certify positive
+ * reachability, absence of may-paths certifies the negation. */
+struct node { int v; struct node *nxt; };
+int main() {
+    struct node *h; struct node *t;
+    t = (struct node *) malloc(sizeof(struct node));
+    h = (struct node *) malloc(sizeof(struct node));
+    h->nxt = t;
+    // @assert reach(h, t); expect holds
+    // @assert !reach(t, h); expect holds
+    // @assert acyclic(h); expect holds
+    return 0;
+}

@@ -1,0 +1,17 @@
+/* Two cells referencing one target through the same selector: the
+ * negated sharing assertion is concretely refuted (and the abstraction
+ * rightly never certified it). The positive form can never be certified
+ * abstractly — SHSEL is may-information — so it stays may-fail. */
+struct node { int v; struct node *a; struct node *b; };
+int main() {
+    struct node *r; struct node *s; struct node *c;
+    r = (struct node *) malloc(sizeof(struct node));
+    s = (struct node *) malloc(sizeof(struct node));
+    c = (struct node *) malloc(sizeof(struct node));
+    r->a = c;
+    s->a = c;
+    r->b = s;
+    // @assert !shared(r->a); expect concrete-violation
+    // @assert shared(r->a); expect may-fail
+    return 0;
+}

@@ -1,0 +1,13 @@
+/* A three-way pointer swap: exact alias tracking through the temp. */
+struct node { int v; struct node *nxt; };
+int main() {
+    struct node *x; struct node *y; struct node *t;
+    x = (struct node *) malloc(sizeof(struct node));
+    y = (struct node *) malloc(sizeof(struct node));
+    t = x;
+    x = y;
+    y = t;
+    // @assert alias(y, t); expect holds
+    // @assert !alias(x, y); expect holds
+    return 0;
+}

@@ -1,0 +1,16 @@
+/* A three-node tree built explicitly: no sharing through child links,
+ * no cycles. */
+struct tnode { int v; struct tnode *l; struct tnode *r; };
+int main() {
+    struct tnode *root; struct tnode *a; struct tnode *b;
+    root = (struct tnode *) malloc(sizeof(struct tnode));
+    a = (struct tnode *) malloc(sizeof(struct tnode));
+    b = (struct tnode *) malloc(sizeof(struct tnode));
+    root->l = a;
+    root->r = b;
+    // @assert acyclic(root); expect holds
+    // @assert !shared(root->l); expect holds
+    // @assert reach(root, a); expect holds
+    // @assert !reach(a, b); expect holds
+    return 0;
+}

@@ -1,0 +1,11 @@
+/* A deliberately false assertion: two distinct mallocs never alias.
+ * The corpus keeps one concrete-violation entry so the replay test
+ * exercises that verdict too. */
+struct node { int v; struct node *nxt; };
+int main() {
+    struct node *h; struct node *t;
+    h = (struct node *) malloc(sizeof(struct node));
+    t = (struct node *) malloc(sizeof(struct node));
+    // @assert alias(h, t); expect concrete-violation
+    return 0;
+}

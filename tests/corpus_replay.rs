@@ -1,0 +1,119 @@
+//! Corpus replay: every minimized/curated program under `tests/corpus/` is
+//! re-checked at all three analysis levels on every `cargo test`. Each
+//! program carries `// @assert …; expect …` annotations; the replay
+//! verifies the combined abstract+concrete verdict matches, and that no
+//! assertion exposes a soundness mismatch (abstract `holds`, concretely
+//! refuted). Programs found by the fuzzing farm land here after
+//! minimization so regressions stay caught.
+
+use psa::cfront::asserts::ExpectedVerdict;
+use psa::concrete::asserts::{check_asserts, Verdict};
+use psa::rsg::Level;
+use std::path::PathBuf;
+
+const SEEDS: &[u64] = &[1, 2, 3, 4];
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().and_then(|x| x.to_str()) == Some("c")).then_some(p)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn level_index(level: Level) -> u8 {
+    match level {
+        Level::L1 => 1,
+        Level::L2 => 2,
+        Level::L3 => 3,
+    }
+}
+
+fn matches_expected(got: Verdict, want: ExpectedVerdict) -> bool {
+    matches!(
+        (got, want),
+        (Verdict::Holds, ExpectedVerdict::Holds)
+            | (Verdict::MayFail, ExpectedVerdict::MayFail)
+            | (
+                Verdict::ConcreteViolation,
+                ExpectedVerdict::ConcreteViolation
+            )
+    )
+}
+
+#[test]
+fn corpus_is_non_trivial() {
+    assert!(
+        corpus_files().len() >= 10,
+        "corpus shrank below 10 programs"
+    );
+}
+
+#[test]
+fn corpus_replays_at_all_levels() {
+    for path in corpus_files() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&path).unwrap();
+        for level in Level::ALL {
+            let rep = check_asserts(&src, level, SEEDS)
+                .unwrap_or_else(|e| panic!("{name} at {level}: {e}"));
+            assert!(
+                rep.inconclusive.is_none(),
+                "{name} at {level}: corpus programs must analyze to fixpoint"
+            );
+            assert!(
+                rep.soundness_mismatches().is_empty(),
+                "{name} at {level}: SOUNDNESS MISMATCH {:#?}",
+                rep.soundness_mismatches()
+            );
+            assert!(
+                !rep.outcomes.is_empty(),
+                "{name}: corpus program carries no assertions"
+            );
+            for o in &rep.outcomes {
+                for exp in &o.assertion.expect {
+                    if exp.level.is_some_and(|l| l != level_index(level)) {
+                        continue;
+                    }
+                    assert!(
+                        matches_expected(o.verdict, exp.verdict),
+                        "{name} at {level}, line {}: `{}` expected {}, got {} \
+                         (abstract {}, {} concrete states, {} violations)",
+                        o.assertion.line,
+                        o.assertion.text,
+                        exp.verdict.as_str(),
+                        o.verdict,
+                        o.abstract_verdict,
+                        o.concrete_checked,
+                        o.concrete_violations
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_corpus_assertion_carries_an_expectation() {
+    for path in corpus_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let raws = psa::cfront::asserts::extract_asserts(&src).unwrap();
+        for r in &raws {
+            assert!(
+                !r.expect.is_empty(),
+                "{}: line {} `{}` has no `; expect` annotation",
+                path.display(),
+                r.line,
+                r.render()
+            );
+        }
+    }
+}
