@@ -1,4 +1,4 @@
-//! **Ablation A1 — pruning aggressiveness vs sharing information** (§4.2,
+//! *Ablation A1 — pruning aggressiveness vs sharing information* (§4.2,
 //! §5.1): the paper attributes the Barnes-Hut L2/L3 speedup over L1 to
 //! `SHSEL = false` enabling more pruning. This bench measures the PRUNE
 //! fixed point and the full statement pipeline on the Fig. 1 structure with
@@ -17,8 +17,8 @@ fn degrade_sharing(g: &Rsg) -> Rsg {
     let mut g = g.clone();
     for n in g.node_ids().collect::<Vec<_>>() {
         let node = g.node_mut(n);
-        node.shared = true;
-        node.shsel = psa_rsg::SelSet(0b11); // every selector of the universe
+        *node.shared = true;
+        *node.shsel = psa_rsg::SelSet(0b11); // every selector of the universe
     }
     g
 }

@@ -4,7 +4,7 @@
 //! psa analyze <file.c> [--level L1|L2|L3|auto] [--function main]
 //!             [--dot DIR] [--stmt-dump] [--parallel-report]
 //!             [--budget-nodes N] [--budget-rsgs N] [--budget-ms N]
-//!             [--trace FILE]
+//!             [--trace FILE] [--threads N]
 //! psa ir <file.c> [--function main]
 //! psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d> [--level ...]
 //! ```
@@ -60,6 +60,7 @@ struct Flags {
     trace: Option<String>,
     check_asserts: bool,
     seeds: usize,
+    threads: Option<usize>,
 }
 
 fn parse_count(args: &[String], i: usize, flag: &str) -> Result<usize, String> {
@@ -86,6 +87,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         trace: None,
         check_asserts: false,
         seeds: 3,
+        threads: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -140,6 +142,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--seeds" => {
                 i += 1;
                 f.seeds = parse_count(args, i, "--seeds")?.max(1);
+            }
+            "--threads" => {
+                i += 1;
+                f.threads = Some(parse_count(args, i, "--threads")?.max(1));
             }
             "--stmt-dump" => f.stmt_dump = true,
             "--parallel-report" => f.parallel_report = true,
@@ -205,7 +211,7 @@ fn usage() -> String {
     "usage:\n  psa analyze <file.c> [--level L1|L2|L3|auto] [--function NAME] \
      [--dot DIR] [--stmt-dump] [--parallel-report] [--leak-report] [--annotate] [--json] [--stats]\n  \
      \x20            [--budget-nodes N] [--budget-rsgs N] [--budget-ms N] [--trace FILE]\n  \
-     \x20            [--check asserts] [--seeds N]\n  psa ir <file.c> [--function NAME]\n  \
+     \x20            [--check asserts] [--seeds N] [--threads N]\n  psa ir <file.c> [--function NAME]\n  \
      psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d> [flags]"
         .to_string()
 }
@@ -259,6 +265,19 @@ fn print_op_stats(ops: &psa_core::stats::OpStats) {
     );
     println!("  peak RSRSG width: {} graphs", ops.peak_set_width);
     println!(
+        "  shared-table locks: {} contended acquisitions, {:.2?} total wait \
+         (intern {:.2?}, subsume {:.2?}, transfer {:.2?})",
+        ops.lock_contended(),
+        std::time::Duration::from_nanos(ops.lock_wait_ns()),
+        std::time::Duration::from_nanos(ops.intern_lock_wait_ns),
+        std::time::Duration::from_nanos(ops.subsume_lock_wait_ns),
+        std::time::Duration::from_nanos(ops.transfer_lock_wait_ns),
+    );
+    println!(
+        "  shard occupancy peaks: interner {}, subsume memo {}, transfer memo {}",
+        ops.interner_shard_peak, ops.subsume_shard_peak, ops.transfer_shard_peak
+    );
+    println!(
         "  time: intern {:.2?}, subsume {:.2?}, join {:.2?}, compress {:.2?}, transfer {:.2?}",
         std::time::Duration::from_nanos(ops.intern_ns),
         std::time::Duration::from_nanos(ops.subsume_ns),
@@ -280,6 +299,8 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
         level: flags.level,
         budget: flags.budget,
         trace: flags.trace.is_some(),
+        parallel: flags.threads.is_some(),
+        parallel_threads: flags.threads,
         ..Default::default()
     };
     let analyzer = Analyzer::new(src, options).map_err(|e| e.to_string())?;

@@ -10,7 +10,7 @@
 //!   sets, allowed may sets, satisfied sharing bounds, satisfied cycle
 //!   pairs, and (at L3) equal TOUCH;
 //! * arc-consistency over NL in both directions;
-//! * a **singular** node can be forced by at most one location.
+//! * a *singular* node can be forced by at most one location.
 
 use crate::heap::{ConcreteState, Loc};
 use psa_cfront::types::SelectorId;
@@ -296,7 +296,7 @@ mod tests {
         let (mut g, map) = alpha(&st, 2);
         // Tamper: claim the hub unshared.
         let nh = map[&hub];
-        g.node_mut(nh).shared = false;
+        *g.node_mut(nh).shared = false;
         assert!(violation(&g, &st, Level::L1).is_some());
     }
 
@@ -319,7 +319,7 @@ mod tests {
         // Remove the touch mark from the abstract node.
         let mut g2 = g.clone();
         for n in g2.node_ids().collect::<Vec<_>>() {
-            g2.node_mut(n).touch = psa_rsg::TouchSet::new();
+            *g2.node_mut(n).touch = psa_rsg::TouchSet::new();
         }
         assert!(covers(&g2, &st, Level::L1), "L1 ignores TOUCH");
         assert!(!covers(&g2, &st, Level::L3), "L3 compares TOUCH");

@@ -18,6 +18,10 @@ pub struct AnalysisOptions {
     pub budget: Budget,
     /// Parallel per-graph transfers.
     pub parallel: bool,
+    /// Pin the parallel fan-out to exactly this many worker threads
+    /// (`None` = available parallelism). Only meaningful with `parallel`;
+    /// the knob behind the bench-report `--threads` scaling sweeps.
+    pub parallel_threads: Option<usize>,
     /// Inline user-function calls before lowering (the paper's manual
     /// preprocessing, automated). Programs without calls are unaffected.
     pub inline: bool,
@@ -34,6 +38,7 @@ impl Default for AnalysisOptions {
             level: Some(Level::L1),
             budget: Budget::default(),
             parallel: false,
+            parallel_threads: None,
             inline: true,
             trace: false,
         }
@@ -146,6 +151,7 @@ impl Analyzer {
             level,
             budget: self.options.budget,
             parallel: self.options.parallel,
+            parallel_threads: self.options.parallel_threads,
             ..EngineConfig::at_level(level)
         }
     }

@@ -39,6 +39,7 @@ use psa_rsg::intern::{CancelCause, CanonEntry, CanonId};
 use psa_rsg::trace::TraceKind;
 use psa_rsg::{Level, Rsg, ShapeCtx};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Engine configuration.
@@ -52,6 +53,11 @@ pub struct EngineConfig {
     pub parallel: bool,
     /// Minimum graphs in an RSRSG before parallel fan-out pays off.
     pub parallel_threshold: usize,
+    /// Worker-thread count for parallel fan-out. `None` (the default) uses
+    /// the machine's available parallelism; `Some(n)` pins exactly `n`
+    /// workers — the knob behind the bench-report `--threads` scaling
+    /// sweeps. Capped at the fan-out width either way.
+    pub parallel_threads: Option<usize>,
     /// Soft cap on graphs per RSRSG before the widening join kicks in
     /// (force-joining graphs with equal widening signatures). Keeps the
     /// analysis practicable on codes whose control flow fragments the
@@ -102,6 +108,7 @@ impl Default for EngineConfig {
             budget: Budget::default(),
             parallel: false,
             parallel_threshold: 8,
+            parallel_threads: None,
             widen_cap: 12,
             sharing_relaxation: true,
             pessimistic_sharing: false,
@@ -869,10 +876,7 @@ impl<'a> Engine<'a> {
             // at a time to whichever worker is free, so one pathological
             // graph no longer serializes a whole static chunk. Results are
             // merged in input order, keeping the fold deterministic.
-            let nthreads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(graphs.len());
+            let nthreads = self.fanout_threads(graphs.len());
             let next = AtomicUsize::new(0);
             let mut partials: Vec<TransferPartial> = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
@@ -962,6 +966,21 @@ impl<'a> Engine<'a> {
         self.config.parallel_threshold.max(2)
     }
 
+    /// Worker count for a fan-out over `width` graphs: the configured
+    /// override, or the machine's available parallelism, capped at the
+    /// fan-out width (spawning more workers than graphs is pure overhead).
+    fn fanout_threads(&self, width: usize) -> usize {
+        self.config
+            .parallel_threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+            .max(1)
+            .min(width)
+    }
+
     /// Reference fan-out (memo and delta both off): per-graph transfers
     /// across scoped threads with dynamic work claiming, raw outputs
     /// re-unioned in input order.
@@ -974,10 +993,7 @@ impl<'a> Engine<'a> {
     ) -> Rsrsg {
         use crate::semantics::transfer_one;
         let graphs = input.graphs();
-        let nthreads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(graphs.len());
+        let nthreads = self.fanout_threads(graphs.len());
         let next = AtomicUsize::new(0);
         let mut partials: Vec<(usize, Vec<Rsg>, AnalysisStats)> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -1040,7 +1056,7 @@ impl<'a> Engine<'a> {
 /// One worker's share of a dynamically-claimed fan-out: the claimed graph
 /// index (for order-preserving merge), its transfer outputs, and the
 /// thread-local stat deltas.
-type TransferPartial = (usize, Vec<(Rsg, CanonEntry)>, AnalysisStats);
+type TransferPartial = (usize, Vec<(Arc<Rsg>, CanonEntry)>, AnalysisStats);
 
 /// The last transfer of one statement, for the delta worklist: the input
 /// member ids it saw, and its output ids before and after widening.

@@ -155,6 +155,15 @@ pub fn ops_to_json(ops: &OpStats) -> Json {
     j.set("cache_size", ops.cache_size);
     j.set("transfer_cache_size", ops.transfer_cache_size);
     j.set("peak_set_width", ops.peak_set_width);
+    j.set("intern_lock_contended", ops.intern_lock_contended);
+    j.set("subsume_lock_contended", ops.subsume_lock_contended);
+    j.set("transfer_lock_contended", ops.transfer_lock_contended);
+    j.set("intern_lock_wait_ns", ops.intern_lock_wait_ns);
+    j.set("subsume_lock_wait_ns", ops.subsume_lock_wait_ns);
+    j.set("transfer_lock_wait_ns", ops.transfer_lock_wait_ns);
+    j.set("interner_shard_peak", ops.interner_shard_peak);
+    j.set("subsume_shard_peak", ops.subsume_shard_peak);
+    j.set("transfer_shard_peak", ops.transfer_shard_peak);
     j.set("intern_ns", ops.intern_ns);
     j.set("subsume_ns", ops.subsume_ns);
     j.set("join_ns", ops.join_ns);

@@ -16,7 +16,7 @@
 //! [`psa_rsg::intern::SharedTables`].
 
 use psa_rsg::compress::compress;
-use psa_rsg::intern::{CanonEntry, CanonId};
+use psa_rsg::intern::{CanonEntry, CanonId, Fingerprint};
 use psa_rsg::join::{compatible, join};
 use psa_rsg::trace::TraceKind;
 use psa_rsg::{Level, Rsg, ShapeCtx};
@@ -25,9 +25,16 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// A reduced set of RSGs with hash-consed canonical-form bookkeeping.
+///
+/// Members are held behind [`Arc`] so that materializing a set from the
+/// interner ([`Rsrsg::from_interned`]), replaying memoized transfer outputs,
+/// and unioning one set into another all share the interner's representative
+/// graphs instead of deep-copying the node arenas — cloning a whole RSRSG is
+/// a handle copy. Members are immutable once inserted (every kernel builds
+/// new graphs), so sharing is safe.
 #[derive(Debug, Clone, Default)]
 pub struct Rsrsg {
-    graphs: Vec<Rsg>,
+    graphs: Vec<Arc<Rsg>>,
     /// Interned canonical entry of each graph, kept aligned with `graphs`.
     canon: Vec<CanonEntry>,
 }
@@ -55,14 +62,14 @@ impl Rsrsg {
         self.graphs.is_empty()
     }
 
-    /// The member graphs.
-    pub fn graphs(&self) -> &[Rsg] {
+    /// The member graphs (shared handles into the run-wide interner).
+    pub fn graphs(&self) -> &[Arc<Rsg>] {
         &self.graphs
     }
 
     /// Iterate member graphs.
     pub fn iter(&self) -> impl Iterator<Item = &Rsg> {
-        self.graphs.iter()
+        self.graphs.iter().map(|g| &**g)
     }
 
     /// Whether an isomorphic graph is already a member.
@@ -79,7 +86,7 @@ impl Rsrsg {
         if self.contains_id(&e) {
             return;
         }
-        self.graphs.push(g);
+        self.graphs.push(Arc::new(g));
         self.canon.push(e);
     }
 
@@ -99,15 +106,16 @@ impl Rsrsg {
         m.compress_calls.fetch_add(1, Ordering::Relaxed);
         m.compress_ns
             .fetch_add(c0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        self.reduce_in(cand, None, ctx, level);
+        self.reduce_in(Arc::new(cand), None, ctx, level);
     }
 
     /// [`Rsrsg::insert`] for a graph that is already compressed and interned
     /// — e.g. a memoized transfer output materialized from the interner.
     /// Skips the initial COMPRESS (insert's pending loop starts with
     /// `compress(g)`, and compression is idempotent) and reuses the known
-    /// canonical entry instead of re-interning.
-    pub fn insert_compressed(&mut self, g: Rsg, e: CanonEntry, ctx: &ShapeCtx, level: Level) {
+    /// canonical entry instead of re-interning. Takes the shared handle, so
+    /// replaying an interned output never copies the node arena.
+    pub fn insert_compressed(&mut self, g: Arc<Rsg>, e: CanonEntry, ctx: &ShapeCtx, level: Level) {
         ctx.tables
             .metrics
             .insert_calls
@@ -120,14 +128,14 @@ impl Rsrsg {
     /// subsumed candidates, replace subsumed members, until reduced.
     fn reduce_in(
         &mut self,
-        first: Rsg,
+        first: Arc<Rsg>,
         first_entry: Option<CanonEntry>,
         ctx: &ShapeCtx,
         level: Level,
     ) {
         let t = &ctx.tables;
         let m = &t.metrics;
-        let mut pending: Vec<(Rsg, Option<CanonEntry>)> = vec![(first, first_entry)];
+        let mut pending: Vec<(Arc<Rsg>, Option<CanonEntry>)> = vec![(first, first_entry)];
         while let Some((cand, known)) = pending.pop() {
             let e = known.unwrap_or_else(|| t.intern(&cand));
             if self.contains_id(&e) {
@@ -138,7 +146,7 @@ impl Rsrsg {
                 .canon
                 .iter()
                 .zip(&self.graphs)
-                .any(|(me, mg)| t.subsumes_interned((me, mg), (&e, &cand)))
+                .any(|(me, mg)| t.subsumes_interned((me, &**mg), (&e, &*cand)))
             {
                 m.insert_subsumed.fetch_add(1, Ordering::Relaxed);
                 continue;
@@ -146,7 +154,7 @@ impl Rsrsg {
             // Drop members the candidate strictly generalizes.
             let mut i = 0;
             while i < self.graphs.len() {
-                if t.subsumes_interned((&e, &cand), (&self.canon[i], &self.graphs[i])) {
+                if t.subsumes_interned((&e, &*cand), (&self.canon[i], &*self.graphs[i])) {
                     self.graphs.remove(i);
                     self.canon.remove(i);
                     m.insert_replaced.fetch_add(1, Ordering::Relaxed);
@@ -154,7 +162,12 @@ impl Rsrsg {
                     i += 1;
                 }
             }
-            if let Some(i) = self.graphs.iter().position(|m| compatible(m, &cand, level)) {
+            // COMPATIBLE requires exact pvar-domain and scalar-fact
+            // equality, both of which the fingerprint hashes — gate the
+            // expensive structural check (alias classes + spaths) on them.
+            if let Some(i) = self.canon.iter().zip(&self.graphs).position(|(me, mg)| {
+                Fingerprint::may_be_compatible(&me.fp, &e.fp) && compatible(mg, &cand, level)
+            }) {
                 let member = self.graphs.remove(i);
                 self.canon.remove(i);
                 m.join_calls.fetch_add(1, Ordering::Relaxed);
@@ -164,7 +177,7 @@ impl Rsrsg {
                 m.join_ns
                     .fetch_add(j0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 t.tracer.span_since(TraceKind::Join, j0, 0, 0);
-                pending.push((joined, None));
+                pending.push((Arc::new(joined), None));
             } else {
                 self.graphs.push(cand);
                 self.canon.push(e);
@@ -174,16 +187,27 @@ impl Rsrsg {
     }
 
     /// Union another RSRSG into this one. Returns true if this set changed.
+    ///
+    /// Members of a reduced set are already compressed and interned, so each
+    /// is folded in through [`Rsrsg::insert_compressed`] — a handle copy plus
+    /// the reduction loop, with no re-COMPRESS and no arena deep-copy.
     pub fn union_with(&mut self, other: &Rsrsg, ctx: &ShapeCtx, level: Level) -> bool {
         ctx.tables
             .metrics
             .union_calls
             .fetch_add(1, Ordering::Relaxed);
-        let before = self.signature();
-        for g in other.iter() {
-            self.insert(g.clone(), ctx, level);
+        // Change detection by sorted canonical ids: within one interner,
+        // id multisets and byte-form multisets are in bijection, so this
+        // matches a [`Rsrsg::signature`] comparison without touching the
+        // canonical bytes.
+        let mut before = self.canon_ids();
+        before.sort_unstable();
+        for (g, e) in other.graphs.iter().zip(&other.canon) {
+            self.insert_compressed(g.clone(), e.clone(), ctx, level);
         }
-        self.signature() != before
+        let mut after = self.canon_ids();
+        after.sort_unstable();
+        after != before
     }
 
     /// Interned canonical ids of the members, **in member order** (not
@@ -198,9 +222,10 @@ impl Rsrsg {
         &self.canon
     }
 
-    /// Rebuild a set from interned ids by cloning each id's representative
-    /// graph out of the run-wide interner. The ids must come from
-    /// [`Rsrsg::canon_ids`] of a reduced set — membership is restored
+    /// Rebuild a set from interned ids by **sharing** each id's
+    /// representative graph with the run-wide interner (a handle copy, not
+    /// an arena clone — this runs on every block visit). The ids must come
+    /// from [`Rsrsg::canon_ids`] of a reduced set — membership is restored
     /// verbatim (same order), no reduction is re-run. Representatives are
     /// isomorphic to (possibly relabelings of) the graphs that produced the
     /// ids; every downstream operation is isomorphism-invariant.
@@ -208,7 +233,7 @@ impl Rsrsg {
         let mut s = Rsrsg::new();
         for &id in ids {
             let (e, g) = ctx.tables.interner.resolve(id);
-            s.graphs.push((*g).clone());
+            s.graphs.push(g);
             s.canon.push(e);
         }
         s
@@ -236,7 +261,7 @@ impl Rsrsg {
         let mut out = Rsrsg::new();
         for (g, c) in self.graphs.iter().zip(&self.canon) {
             if pred(g) {
-                out.graphs.push(g.clone());
+                out.graphs.push(Arc::clone(g));
                 out.canon.push(c.clone());
             }
         }
@@ -556,7 +581,7 @@ mod tests {
         for n in [3usize, 4, 5, 6] {
             let g = builder::singly_linked_list(n, 1, PvarId(0), sel(0));
             a.insert(g.clone(), &ctx1, Level::L1);
-            let c = psa_rsg::compress::compress(&g, &ctx2, Level::L1);
+            let c = Arc::new(psa_rsg::compress::compress(&g, &ctx2, Level::L1));
             let e = ctx2.tables.interner.intern(&c, &ctx2.tables.metrics);
             b.insert_compressed(c, e, &ctx2, Level::L1);
         }

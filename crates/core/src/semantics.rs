@@ -2,8 +2,8 @@
 //! branch-condition refinement.
 //!
 //! Each statement transforms one RSG into a set of RSGs following the
-//! pipeline of Fig. 2: **divide** (recover a single `x->sel` target per
-//! graph) → **prune** (drop contradicted nodes/links) → **interpret**
+//! pipeline of Fig. 2: *divide* (recover a single `x->sel` target per
+//! graph) → *prune* (drop contradicted nodes/links) → *interpret*
 //! (materializing summary targets into singular nodes first, Fig. 1(d)) →
 //! sharing relaxation. The caller compresses and unions the results into
 //! the output RSRSG.
@@ -219,11 +219,14 @@ impl GraphAction<'_> {
 /// Memoized per-graph transfer: the tentpole's `(config-epoch, stmt,
 /// CanonId) → interned outputs` map.
 ///
-/// Outputs are compressed and interned *here*, so a memo hit materializes
-/// representative graphs straight from the interner and the caller inserts
-/// them through [`Rsrsg::insert_compressed`], skipping both the pipeline
-/// and the COMPRESS. Warnings and revisits observed on the miss are stored
-/// in the [`TransferOutcome`] and replayed verbatim on every hit —
+/// Outputs are compressed and interned *here*, so a memo hit shares the
+/// interner's representative graphs (an `Arc` handle each, no arena copy)
+/// and the caller inserts them through [`Rsrsg::insert_compressed`],
+/// skipping both the pipeline and the COMPRESS. The miss path interns all
+/// of a statement's outputs through one [`SharedTables::intern_batch`]
+/// call, so a single canonicalization-scratch checkout serves the whole
+/// output fan. Warnings and revisits observed on the miss are stored in
+/// the [`TransferOutcome`] and replayed verbatim on every hit —
 /// `AnalysisStats::warn` deduplicates and `revisits` is a set, so replay is
 /// exactly what a recompute would have reported.
 #[allow(clippy::too_many_arguments)]
@@ -236,12 +239,12 @@ pub fn transfer_one_cached(
     use_cache: bool,
     tcx: &TransferCtx<'_>,
     stats: &mut AnalysisStats,
-) -> Vec<(Rsg, CanonEntry)> {
+) -> Vec<(Arc<Rsg>, CanonEntry)> {
     let t = &tcx.ctx.tables;
     let m = &t.metrics;
     if use_cache {
         m.transfer_queries.fetch_add(1, Ordering::Relaxed);
-        if let Some(hit) = t.transfer.lookup(epoch, sid, e.id) {
+        if let Some(hit) = t.transfer_lookup(epoch, sid, e.id) {
             m.transfer_memo_hits.fetch_add(1, Ordering::Relaxed);
             t.tracer
                 .instant(TraceKind::TransferMemoHit, sid as u64, e.id.0 as u64);
@@ -254,7 +257,7 @@ pub fn transfer_one_cached(
                 .iter()
                 .map(|&id| {
                     let (oe, og) = t.interner.resolve(id);
-                    ((*og).clone(), oe)
+                    (og, oe)
                 })
                 .collect();
         }
@@ -265,7 +268,7 @@ pub fn transfer_one_cached(
     let t0 = Instant::now();
     let mut scratch = AnalysisStats::default();
     let raw = action.apply(g, tcx, &mut scratch);
-    let outs: Vec<(Rsg, CanonEntry)> = raw
+    let compressed: Vec<Arc<Rsg>> = raw
         .into_iter()
         .map(|o| {
             let c0 = Instant::now();
@@ -274,10 +277,12 @@ pub fn transfer_one_cached(
             m.compress_ns
                 .fetch_add(c0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             t.tracer.span_since(TraceKind::Compress, c0, sid as u64, 0);
-            let oe = t.intern(&c);
-            (c, oe)
+            Arc::new(c)
         })
         .collect();
+    let refs: Vec<&Rsg> = compressed.iter().map(|c| &**c).collect();
+    let entries = t.intern_batch(&refs);
+    let outs: Vec<(Arc<Rsg>, CanonEntry)> = compressed.into_iter().zip(entries).collect();
     m.transfer_ns
         .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     if use_cache {
@@ -286,7 +291,7 @@ pub fn transfer_one_cached(
             warnings: scratch.warnings.clone(),
             revisits: scratch.revisits.iter().copied().collect(),
         };
-        t.transfer.store(epoch, sid, e.id, Arc::new(outcome));
+        t.transfer_store(epoch, sid, e.id, Arc::new(outcome));
     }
     for w in scratch.warnings {
         stats.warn(w);
@@ -404,13 +409,13 @@ fn store(
             };
             gd.remove_link(n_x, sel, n_t);
             {
-                let nx = gd.node_mut(n_x);
+                let mut nx = gd.node_mut(n_x);
                 nx.clear_out(sel);
                 nx.cyclelinks.drop_first(sel);
             }
             if gd.is_live(n_t) {
                 let remaining_empty = gd.preds(n_t, sel).is_empty();
-                let nt = gd.node_mut(n_t);
+                let mut nt = gd.node_mut(n_t);
                 nt.cyclelinks.drop_second(sel);
                 if remaining_empty {
                     nt.clear_in(sel);
@@ -434,13 +439,13 @@ fn store(
                 gd.add_link(n_x, sel, n_y);
                 gd.node_mut(n_x).set_must_out(sel);
                 {
-                    let ny = gd.node_mut(n_y);
+                    let mut ny = gd.node_mut(n_y);
                     ny.set_must_in(sel);
                     if other_sel {
                         ny.shsel.insert(sel);
                     }
                     if any_other {
-                        ny.shared = true;
+                        *ny.shared = true;
                     }
                 }
                 // CYCLELINKS: if y definitely points back at x through some
@@ -540,7 +545,7 @@ fn load(
 ///   locations and pvar-pointed nodes are singular, so node equality decides
 ///   pointer equality exactly.
 /// * `ScalarEq(v, k)`: graphs knowing `v`'s constant filter exactly; graphs
-///   that do not know it pass through, and the true edge **learns** the
+///   that do not know it pass through, and the true edge *learns* the
 ///   constant (narrowing is sound: the edge's configurations satisfy it).
 /// * `Opaque`: no refinement.
 pub fn refine_by_cond(

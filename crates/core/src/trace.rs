@@ -82,8 +82,23 @@ fn event_args(e: &TraceEvent) -> Json {
         TraceKind::Cancel => {
             a.set("cause", cancel_cause_name(e.arg));
         }
+        TraceKind::LockWait => {
+            a.set("table", lock_table_name(e.arg));
+            a.set("wait_ns", e.arg2);
+        }
     }
     a
+}
+
+/// Human-readable shared-table name for [`TraceKind::LockWait`] events
+/// (wire values are the `LOCK_TABLE_*` constants in `psa_rsg`).
+fn lock_table_name(code: u64) -> &'static str {
+    match code {
+        0 => "interner",
+        1 => "subsume",
+        2 => "transfer",
+        _ => "unknown",
+    }
 }
 
 /// Render the journal as a Chrome trace (the JSON Object Format:
@@ -223,6 +238,12 @@ fn write_args(out: &mut String, e: &TraceEvent) {
             write!(out, "{{\"stmt\": {}, \"input\": {}}}", e.arg, e.arg2)
         }
         TraceKind::Cancel => write!(out, "{{\"cause\": \"{}\"}}", cancel_cause_name(e.arg)),
+        TraceKind::LockWait => write!(
+            out,
+            "{{\"table\": \"{}\", \"wait_ns\": {}}}",
+            lock_table_name(e.arg),
+            e.arg2
+        ),
     };
 }
 

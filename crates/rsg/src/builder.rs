@@ -52,13 +52,13 @@ pub fn doubly_linked_list(
     // individual selector references them once (SHSEL stays false).
     for (i, &id) in ids.iter().enumerate() {
         if i > 0 && i + 1 < len {
-            g.node_mut(id).shared = true;
+            *g.node_mut(id).shared = true;
         }
     }
     g
 }
 
-/// The **summarized** doubly-linked list RSG of Fig. 1(a): three nodes —
+/// The *summarized* doubly-linked list RSG of Fig. 1(a): three nodes —
 /// `n1` (first element, pointed to by `x`), `n2` (summary of the middle
 /// elements), `n3` (last element) — linked by `nxt`/`prv` with full cycle
 /// links. Represents every DLL with two or more elements.
@@ -88,27 +88,27 @@ pub fn fig1_dll(
     g.add_link(n3, prv, n2);
 
     {
-        let m = g.node_mut(n1);
+        let mut m = g.node_mut(n1);
         m.set_must_out(nxt);
         m.set_must_in(prv);
         m.cyclelinks.insert(nxt, prv);
         m.cyclelinks.insert(prv, nxt);
     }
     {
-        let m = g.node_mut(n2);
+        let mut m = g.node_mut(n2);
         m.set_must_out(nxt);
         m.set_must_out(prv);
         m.set_must_in(nxt);
         m.set_must_in(prv);
         m.cyclelinks.insert(nxt, prv);
         m.cyclelinks.insert(prv, nxt);
-        m.summary = true;
+        *m.summary = true;
         // Middle elements are referenced twice (nxt + prv), once per
         // selector: SHARED true, SHSEL false for both.
-        m.shared = true;
+        *m.shared = true;
     }
     {
-        let m = g.node_mut(n3);
+        let mut m = g.node_mut(n3);
         m.set_must_out(prv);
         m.set_must_in(nxt);
         m.cyclelinks.insert(nxt, prv);

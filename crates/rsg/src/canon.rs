@@ -19,30 +19,103 @@
 //! The exact refinement carries full byte/`Vec<u32>` signatures through
 //! `BTreeMap` palettes — correct, but allocation-heavy, and it dominates
 //! interning time. [`canonical_bytes`] therefore first runs the same
-//! refinement over **u64 hash colors** (splitmix-style mixing of the
+//! refinement over *u64 hash colors* (splitmix-style mixing of the
 //! initial color bytes, then of the sorted neighbor color multisets):
 //!
-//! * if the hash partition becomes **discrete** (all `n` hashes distinct),
+//! * if the hash partition becomes *discrete* (all `n` hashes distinct),
 //!   ordering nodes by hash is an isomorphism-invariant total order —
 //!   hashes are computed from ids only through id-independent inputs — so
 //!   serialization under the hash ranks is canonical. A u64 collision can
 //!   only *merge* classes, never split them, so a collision can never
 //!   smuggle a non-discrete partition through this gate;
-//! * if refinement **stalls** (class count stops growing, whether from a
+//! * if refinement *stalls* (class count stops growing, whether from a
 //!   genuine symmetry or a hash collision), we fall back to the exact
 //!   byte-color refinement with individualization above. Stalling is itself
 //!   isomorphism-invariant, so isomorphic graphs always take the same path
 //!   and compare equal.
+//!
+//! # Scratch reuse
+//!
+//! The fast path's working set — the id list, the per-node initial color
+//! bytes (stored as one flat arena plus spans instead of a per-node
+//! `BTreeMap<NodeId, Vec<u8>>`), and the u64 hash/signature vectors — lives
+//! in a thread-local [`CanonScratch`] reused across calls, so steady-state
+//! canonicalization allocates only the output vector. [`canonical_bytes_batch`]
+//! runs many graphs through one scratch checkout; the exact fallback path
+//! (refinement stalled) reconstructs the `BTreeMap` form and is untouched.
+//! Hashes are computed over exactly the same byte sequences as before, so
+//! the output is bit-identical to the unbatched implementation.
 
 use crate::graph::Rsg;
 use crate::node::NodeId;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+
+/// Reusable buffers for the hash-color fast path.
+#[derive(Default)]
+struct CanonScratch {
+    /// Live node ids of the graph being encoded.
+    ids: Vec<NodeId>,
+    /// Flat arena of initial-color bytes, one span per node in `ids` order.
+    init_bytes: Vec<u8>,
+    /// `(start, end)` byte offsets into `init_bytes`, parallel to `ids`.
+    init_spans: Vec<(u32, u32)>,
+    /// Current hash colors, indexed by raw node id.
+    h: Vec<u64>,
+    /// Next-iteration hash colors.
+    next: Vec<u64>,
+    /// Per-node neighbor signature accumulator.
+    sig: Vec<u64>,
+    /// Distinct-class counting buffer.
+    seen: Vec<u64>,
+    /// Node order under the final hash ranks.
+    order: Vec<NodeId>,
+    /// Dense `raw node id → rank` under `order` (fast-path serialization).
+    rank: Vec<u32>,
+    /// Dense `raw node id → index into ids/init_spans`.
+    span_of: Vec<u32>,
+    /// Ranked-link sort buffer for the fast-path serialization.
+    links: Vec<(u32, u32, u32)>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<CanonScratch> = RefCell::new(CanonScratch::default());
+}
 
 /// A canonical byte serialization: equal bytes ⇔ isomorphic graphs (over
 /// fixed pvar/selector universes).
 pub fn canonical_bytes(g: &Rsg) -> Vec<u8> {
-    let ids: Vec<NodeId> = g.node_ids().collect();
-    if ids.is_empty() {
+    SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut scratch) => canonical_bytes_scratch(g, &mut scratch),
+        // Re-entrant call (defensive; nothing below recurses into this
+        // entry point): fall back to a throwaway scratch.
+        Err(_) => canonical_bytes_scratch(g, &mut CanonScratch::default()),
+    })
+}
+
+/// Canonical byte serializations for a batch of graphs, in input order,
+/// through a single scratch checkout. Output `i` is bit-identical to
+/// `canonical_bytes(graphs[i])`.
+pub fn canonical_bytes_batch(graphs: &[&Rsg]) -> Vec<Vec<u8>> {
+    SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut scratch) => graphs
+            .iter()
+            .map(|g| canonical_bytes_scratch(g, &mut scratch))
+            .collect(),
+        Err(_) => {
+            let mut scratch = CanonScratch::default();
+            graphs
+                .iter()
+                .map(|g| canonical_bytes_scratch(g, &mut scratch))
+                .collect()
+        }
+    })
+}
+
+fn canonical_bytes_scratch(g: &Rsg, s: &mut CanonScratch) -> Vec<u8> {
+    s.ids.clear();
+    s.ids.extend(g.node_ids());
+    if s.ids.is_empty() {
         let mut out = b"empty;".to_vec();
         // Even an empty graph records which pvars are NULL (none bound)
         // and the known scalar facts.
@@ -53,8 +126,27 @@ pub fn canonical_bytes(g: &Rsg) -> Vec<u8> {
         }
         return out;
     }
-    let colors = canonical_colors(g, &ids);
-    serialize(g, &ids, &colors)
+    // Initial colors into the flat arena (one span per node).
+    s.init_bytes.clear();
+    s.init_spans.clear();
+    for i in 0..s.ids.len() {
+        let start = s.init_bytes.len() as u32;
+        initial_color_into(g, s.ids[i], &mut s.init_bytes);
+        s.init_spans.push((start, s.init_bytes.len() as u32));
+    }
+    if wl_hash_colors(g, s) {
+        return serialize_from_scratch(g, s);
+    }
+    // Exact fallback: rebuild the per-node byte-color map the refinement
+    // and individualization machinery expects.
+    let init: BTreeMap<NodeId, Vec<u8>> = s
+        .ids
+        .iter()
+        .zip(&s.init_spans)
+        .map(|(&n, &(a, b))| (n, s.init_bytes[a as usize..b as usize].to_vec()))
+        .collect();
+    let colors = best_coloring(g, &s.ids, &init, 0);
+    serialize(g, &s.ids, &colors)
 }
 
 /// Are two graphs isomorphic (as RSGs)?
@@ -65,8 +157,15 @@ pub fn isomorphic(a: &Rsg, b: &Rsg) -> bool {
 /// The exact initial color of a node: every property plus the sorted pvar
 /// set pointing at it.
 fn initial_color(g: &Rsg, n: NodeId) -> Vec<u8> {
-    let nd = g.node(n);
     let mut c = Vec::with_capacity(64);
+    initial_color_into(g, n, &mut c);
+    c
+}
+
+/// Append a node's initial color to `c` (the flat-arena form of
+/// [`initial_color`]; byte-identical output).
+fn initial_color_into(g: &Rsg, n: NodeId, c: &mut Vec<u8>) {
+    let nd = g.node(n);
     c.extend_from_slice(&nd.ty.0.to_le_bytes());
     c.push(nd.shared as u8);
     c.push(nd.summary as u8);
@@ -87,7 +186,6 @@ fn initial_color(g: &Rsg, n: NodeId) -> Vec<u8> {
     for p in g.pvars_of(n) {
         c.extend_from_slice(&p.0.to_le_bytes());
     }
-    c
 }
 
 /// Refine colors until stable; returns a stable coloring (possibly with
@@ -155,16 +253,6 @@ fn refine(g: &Rsg, ids: &[NodeId], init: &BTreeMap<NodeId, Vec<u8>>) -> BTreeMap
     }
 }
 
-/// Full canonical coloring: WL hash-color fast path first, exact
-/// refinement with individualization + backtracking on stall/collision.
-fn canonical_colors(g: &Rsg, ids: &[NodeId]) -> BTreeMap<NodeId, u32> {
-    let init: BTreeMap<NodeId, Vec<u8>> = ids.iter().map(|&n| (n, initial_color(g, n))).collect();
-    if let Some(colors) = wl_hash_colors(g, ids, &init) {
-        return colors;
-    }
-    best_coloring(g, ids, &init, 0)
-}
-
 /// Splitmix64 finalizer: the avalanche mixer used for hash colors.
 fn mix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -183,32 +271,49 @@ fn hash_bytes(bytes: &[u8]) -> u64 {
     mix(h)
 }
 
-/// WL refinement over u64 hash colors. Returns the discrete coloring as
-/// hash ranks, or `None` when the partition stalls before discreteness
-/// (genuine symmetry or hash collision) — the caller then runs the exact
-/// path.
-fn wl_hash_colors(
-    g: &Rsg,
-    ids: &[NodeId],
-    init: &BTreeMap<NodeId, Vec<u8>>,
-) -> Option<BTreeMap<NodeId, u32>> {
+/// Distinct hash colors among the live ids, counted through the reusable
+/// `seen` buffer.
+fn count_classes(ids: &[NodeId], h: &[u64], seen: &mut Vec<u64>) -> usize {
+    seen.clear();
+    seen.extend(ids.iter().map(|id| h[id.0 as usize]));
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// WL refinement over u64 hash colors, working entirely in the scratch
+/// buffers (initial hashes come from the flat color arena). On success the
+/// partition is discrete: `scratch.order` holds the nodes sorted by hash
+/// (the canonical order) and `scratch.rank` the dense inverse, and the
+/// caller serializes straight from the scratch. Returns `false` when the
+/// partition stalls before discreteness (genuine symmetry or hash
+/// collision) — the caller then runs the exact path.
+fn wl_hash_colors(g: &Rsg, scratch: &mut CanonScratch) -> bool {
+    let CanonScratch {
+        ids,
+        init_bytes,
+        init_spans,
+        h,
+        next,
+        sig,
+        seen,
+        order,
+        rank,
+        ..
+    } = scratch;
     let n = ids.len();
     let cap = ids.iter().map(|id| id.0 as usize + 1).max().unwrap_or(0);
-    let mut h = vec![0u64; cap];
-    for &id in ids {
-        h[id.0 as usize] = hash_bytes(&init[&id]);
+    h.clear();
+    h.resize(cap, 0);
+    for (i, &id) in ids.iter().enumerate() {
+        let (a, b) = init_spans[i];
+        h[id.0 as usize] = hash_bytes(&init_bytes[a as usize..b as usize]);
     }
-    let count_classes = |h: &[u64]| -> usize {
-        let mut seen: Vec<u64> = ids.iter().map(|id| h[id.0 as usize]).collect();
-        seen.sort_unstable();
-        seen.dedup();
-        seen.len()
-    };
-    let mut classes = count_classes(&h);
-    let mut sig: Vec<u64> = Vec::new();
+    let mut classes = count_classes(ids, h, seen);
     while classes < n {
-        let mut next = vec![0u64; cap];
-        for &id in ids {
+        next.clear();
+        next.resize(cap, 0);
+        for &id in ids.iter() {
             sig.clear();
             for &(s, b) in g.out_links(id) {
                 sig.push(mix(0xA11C_E5ED ^ (u64::from(s.0) << 1)) ^ h[b.0 as usize]);
@@ -217,7 +322,7 @@ fn wl_hash_colors(
             // the fold is independent of node ids.
             sig.sort_unstable();
             let mut acc = h[id.0 as usize];
-            for &v in &sig {
+            for &v in sig.iter() {
                 acc = mix(acc ^ v);
             }
             sig.clear();
@@ -225,31 +330,83 @@ fn wl_hash_colors(
                 sig.push(mix(0xB0B5_1ED5 ^ (u64::from(s.0) << 1)) ^ h[a.0 as usize]);
             }
             sig.sort_unstable();
-            for &v in &sig {
+            for &v in sig.iter() {
                 acc = mix(acc ^ v);
             }
             next[id.0 as usize] = acc;
         }
-        let next_classes = count_classes(&next);
+        let next_classes = count_classes(ids, next, seen);
         if next_classes <= classes {
             // Stalled short of discreteness — or a collision merged classes
             // (refinement with the old color folded in can otherwise only
             // split). Either way the exact path decides.
-            return None;
+            return false;
         }
-        h = next;
+        std::mem::swap(h, next);
         classes = next_classes;
     }
     // Discrete: rank nodes by hash value.
-    let mut order: Vec<NodeId> = ids.to_vec();
+    order.clear();
+    order.extend_from_slice(ids);
     order.sort_unstable_by_key(|id| h[id.0 as usize]);
-    Some(
-        order
-            .into_iter()
-            .enumerate()
-            .map(|(i, id)| (id, i as u32))
-            .collect(),
-    )
+    rank.clear();
+    rank.resize(cap, 0);
+    for (i, &id) in order.iter().enumerate() {
+        rank[id.0 as usize] = i as u32;
+    }
+    true
+}
+
+/// Fast-path serialization, straight from the scratch buffers left by a
+/// successful [`wl_hash_colors`] run: nodes in `order`, initial-color
+/// bytes from the flat arena, link/pvar ranks from the dense `rank`
+/// vector. Byte-identical to [`serialize`] under the same total order.
+fn serialize_from_scratch(g: &Rsg, s: &mut CanonScratch) -> Vec<u8> {
+    let CanonScratch {
+        ids,
+        init_bytes,
+        init_spans,
+        order,
+        rank,
+        span_of,
+        links,
+        ..
+    } = s;
+    let cap = rank.len();
+    span_of.clear();
+    span_of.resize(cap, 0);
+    for (i, &id) in ids.iter().enumerate() {
+        span_of[id.0 as usize] = i as u32;
+    }
+    let mut out = Vec::with_capacity(order.len() * 48);
+    out.extend_from_slice(&(order.len() as u32).to_le_bytes());
+    for &n in order.iter() {
+        let (a, b) = init_spans[span_of[n.0 as usize] as usize];
+        out.extend_from_slice(&init_bytes[a as usize..b as usize]);
+        out.push(0xFF);
+    }
+    links.clear();
+    links.extend(
+        g.links()
+            .map(|(a, sl, b)| (rank[a.0 as usize], sl.0, rank[b.0 as usize])),
+    );
+    links.sort_unstable();
+    for &(a, sl, b) in links.iter() {
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&sl.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out.push(0xFC);
+    for (p, n) in g.pl_iter() {
+        out.extend_from_slice(&p.0.to_le_bytes());
+        out.extend_from_slice(&rank[n.0 as usize].to_le_bytes());
+    }
+    out.push(0xFB);
+    for (v, k) in g.scalars() {
+        out.extend_from_slice(&v.to_le_bytes());
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+    out
 }
 
 const MAX_INDIVIDUALIZE_DEPTH: usize = 8;
@@ -395,7 +552,7 @@ mod tests {
         let g1 = builder::singly_linked_list(3, 1, PvarId(0), sel(0));
         let mut g2 = g1.clone();
         let last = g2.node_ids().last().unwrap();
-        g2.node_mut(last).shared = true;
+        *g2.node_mut(last).shared = true;
         assert!(!isomorphic(&g1, &g2));
     }
 

@@ -242,7 +242,7 @@ fn compress_once(g: &Rsg, _ctx: &ShapeCtx, level: Level) -> (Rsg, bool) {
     let mut out = Rsg::empty(g.num_pvar_slots());
     for grp in &groups {
         let new_id = if grp.len() == 1 {
-            out.add_node(g.node(grp[0]).clone())
+            out.add_node(g.node(grp[0]).to_node())
         } else {
             out.add_node(merge_group(g, grp))
         };
@@ -360,7 +360,7 @@ fn force_round(cur: &Rsg, round: u8) -> Option<Rsg> {
                 }
             }
             for &m in grp {
-                src.node_mut(m).touch = union.clone();
+                *src.node_mut(m).touch = union.clone();
             }
         }
     }
@@ -370,7 +370,7 @@ fn force_round(cur: &Rsg, round: u8) -> Option<Rsg> {
     let mut out = Rsg::empty(src.num_pvar_slots());
     for grp in &groups {
         let new_id = if grp.len() == 1 {
-            out.add_node(src.node(grp[0]).clone())
+            out.add_node(src.node(grp[0]).to_node())
         } else {
             out.add_node(merge_group(&src, grp))
         };
@@ -450,7 +450,7 @@ mod tests {
         // Mark one middle node as shared: it can no longer merge with the
         // other middle node.
         let ids: Vec<_> = g.node_ids().collect();
-        g.node_mut(ids[1]).shared = true;
+        *g.node_mut(ids[1]).shared = true;
         let c = compress(&g, &ctx, Level::L1);
         assert_eq!(c.num_nodes(), 4);
     }
@@ -468,7 +468,7 @@ mod tests {
         // engine never populates it; simulate by clearing.
         let mut g1 = g.clone();
         for id in g1.node_ids().collect::<Vec<_>>() {
-            g1.node_mut(id).touch = crate::sets::TouchSet::new();
+            *g1.node_mut(id).touch = crate::sets::TouchSet::new();
         }
         let c1 = compress(&g1, &ctx, Level::L1);
         assert_eq!(c1.num_nodes(), 3);

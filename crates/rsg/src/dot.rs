@@ -78,12 +78,18 @@ pub fn rsg_to_dot(g: &Rsg, ctx: &ShapeCtx, name: &str) -> String {
 }
 
 /// Render a set of RSGs (an RSRSG) as one DOT file with clustered subgraphs.
-pub fn rsrsg_to_dot(graphs: &[Rsg], ctx: &ShapeCtx, name: &str) -> String {
+/// Accepts both owned graphs and the `Arc<Rsg>` handles an RSRSG exposes.
+pub fn rsrsg_to_dot<G: std::borrow::Borrow<Rsg>>(
+    graphs: &[G],
+    ctx: &ShapeCtx,
+    name: &str,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{name}\" {{");
     let _ = writeln!(out, "  rankdir=LR;");
     let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
     for (gi, g) in graphs.iter().enumerate() {
+        let g = g.borrow();
         let _ = writeln!(out, "  subgraph cluster_{gi} {{");
         let _ = writeln!(out, "    label=\"rsg{gi}\";");
         for n in g.node_ids() {

@@ -1,6 +1,6 @@
 //! The RSG graph: nodes, pvar references (PL) and selector links (NL).
 //!
-//! NL links are stored as **per-node indexed adjacency**: every node slot
+//! NL links are stored as *per-node indexed adjacency*: every node slot
 //! carries a sorted out-link list (`(sel, target)` order) and a sorted
 //! in-link list (`(source, sel)` order), kept mirror-consistent by
 //! [`Rsg::add_link`] / [`Rsg::remove_link`]. The accessors
@@ -12,10 +12,78 @@
 //! buffers from [`crate::scratch`].
 
 use crate::ctx::ShapeCtx;
-use crate::node::{Node, NodeId};
-use crate::sets::SelSet;
+use crate::node::{Node, NodeId, NodeMut, NodeRef};
+use crate::sets::{CycleSet, SelSet, TouchSet};
 use psa_cfront::types::{SelectorId, StructId};
 use psa_ir::PvarId;
+
+/// Known constant values of tracked scalar (flag) variables, stored as an
+/// inline sorted vec — the environment almost always holds 0–3 entries and
+/// is cloned on every graph copy, so a `BTreeMap`'s pointer-chased tree
+/// nodes cost more than they organize (ISSUE 7 satellite).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScalarMap(Vec<(u32, i64)>);
+
+impl ScalarMap {
+    /// The empty environment.
+    pub fn new() -> ScalarMap {
+        ScalarMap(Vec::new())
+    }
+
+    /// The known constant of scalar `v`, if any.
+    pub fn get(&self, v: u32) -> Option<i64> {
+        self.0
+            .binary_search_by_key(&v, |&(k, _)| k)
+            .ok()
+            .map(|i| self.0[i].1)
+    }
+
+    /// Record `v ↦ k`, replacing any previous fact.
+    pub fn insert(&mut self, v: u32, k: i64) {
+        match self.0.binary_search_by_key(&v, |&(k, _)| k) {
+            Ok(i) => self.0[i].1 = k,
+            Err(i) => self.0.insert(i, (v, k)),
+        }
+    }
+
+    /// Forget scalar `v`.
+    pub fn remove(&mut self, v: u32) {
+        if let Ok(i) = self.0.binary_search_by_key(&v, |&(k, _)| k) {
+            self.0.remove(i);
+        }
+    }
+
+    /// Iterate `(&var, &value)` in ascending variable order (the same shape
+    /// the previous `BTreeMap` iteration produced, so canonical encodings
+    /// are unchanged).
+    pub fn iter(&self) -> impl Iterator<Item = (&u32, &i64)> + '_ {
+        self.0.iter().map(|kv| (&kv.0, &kv.1))
+    }
+
+    /// Number of known facts.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when nothing is known.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Keep only facts present and equal in both environments.
+    pub fn intersect(&mut self, other: &ScalarMap) {
+        self.0.retain(|&(k, v)| other.get(k) == Some(v));
+    }
+}
+
+impl<'a> IntoIterator for &'a ScalarMap {
+    type Item = (&'a u32, &'a i64);
+    type IntoIter =
+        std::iter::Map<std::slice::Iter<'a, (u32, i64)>, fn(&(u32, i64)) -> (&u32, &i64)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().map(|kv| (&kv.0, &kv.1))
+    }
+}
 
 /// Per-node adjacency mirrors. `out` is sorted by `(sel, target)`, `inn` by
 /// `(source, sel)`; each NL link `<a, s, b>` appears exactly once in
@@ -50,7 +118,7 @@ impl<'a> Succs<'a> {
         self.0.first().map(|&(_, b)| b)
     }
 
-    /// The successor, if there is **exactly one**.
+    /// The successor, if there is *exactly one*.
     pub fn unique(&self) -> Option<NodeId> {
         match self.0 {
             [(_, b)] => Some(*b),
@@ -207,40 +275,138 @@ impl PartialEq<Preds<'_>> for Vec<NodeId> {
 ///
 /// Invariants maintained by the operations in this crate:
 ///
-/// * **one PL target per pvar** — a single control path binds each pvar to
+/// * *one PL target per pvar* — a single control path binds each pvar to
 ///   at most one location, so `pl[p]` is an `Option`;
-/// * **pvar-pointed nodes are singular** — a pvar designates exactly one
+/// * *pvar-pointed nodes are singular* — a pvar designates exactly one
 ///   location, and the SPATH property prevents its node from being merged
 ///   with any location not pointed to by the same pvar;
 /// * NL links are *may* information; the node property must-sets
 ///   (`selin`/`selout`/`cyclelinks`) carry the *must* information that
 ///   pruning exploits;
-/// * **adjacency mirrors** — `adj[a].out` and `adj[b].inn` record exactly
+/// * *adjacency mirrors* — `adj[a].out` and `adj[b].inn` record exactly
 ///   the same link set, each list sorted; `num_links` counts the links.
 ///   [`Rsg::check_invariants`] verifies the mirrors.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// * *struct-of-arrays arena* — node properties live in parallel
+///   columns indexed by `NodeId`; the `live` column marks occupancy and
+///   `free` lists recyclable slots. Freed slots are reset to defaults so
+///   equality and hashing never see stale residue, and they are handed out
+///   again only after a whole-graph rebuild boundary ([`Rsg::clone`]),
+///   never inside the operation that freed them.
+#[derive(Debug)]
 pub struct Rsg {
-    nodes: Vec<Option<Node>>,
+    // ----- node columns (struct-of-arrays; all indexed by NodeId) -----
+    ty: Vec<StructId>,
+    live: Vec<bool>,
+    shared: Vec<bool>,
+    summary: Vec<bool>,
+    shsel: Vec<SelSet>,
+    selin: Vec<SelSet>,
+    selout: Vec<SelSet>,
+    pos_selin: Vec<SelSet>,
+    pos_selout: Vec<SelSet>,
+    cyclelinks: Vec<CycleSet>,
+    touch: Vec<TouchSet>,
+    /// Live-node count (maintained incrementally).
+    num_live: usize,
+    /// Slots allocatable by [`Rsg::add_node`] (freed before the last
+    /// rebuild boundary).
+    free: Vec<u32>,
+    /// Slots freed since the last rebuild boundary; promoted into `free`
+    /// on [`Rsg::clone`] so ids held by a running kernel stay dead rather
+    /// than silently aliasing a recycled slot.
+    pending_free: Vec<u32>,
+    // ----- references and links -----
     pl: Vec<Option<NodeId>>,
     adj: Vec<Adj>,
     num_links: usize,
     /// Known constant values of tracked scalar (flag) variables: an entry
-    /// `v ↦ k` asserts that in **every** configuration this graph
+    /// `v ↦ k` asserts that in *every* configuration this graph
     /// represents, scalar `v` holds `k`. Maintained by the engine from
     /// `ScalarConst`/`ScalarHavoc` statements and `ScalarEq` branch
     /// refinement; keeps flag-guarded loops (`done`-style) precise.
-    scalars: std::collections::BTreeMap<u32, i64>,
+    scalars: ScalarMap,
 }
+
+impl Clone for Rsg {
+    /// Cloning is the rebuild boundary: the copy's pending frees become
+    /// allocatable, and the hot columns (`ty`, flags, the five `SelSet`
+    /// bitsets) are plain `memcpy`s — only `cyclelinks`/`touch` entries
+    /// that actually hold data cost per-element work.
+    fn clone(&self) -> Rsg {
+        let mut free = self.free.clone();
+        free.extend_from_slice(&self.pending_free);
+        Rsg {
+            ty: self.ty.clone(),
+            live: self.live.clone(),
+            shared: self.shared.clone(),
+            summary: self.summary.clone(),
+            shsel: self.shsel.clone(),
+            selin: self.selin.clone(),
+            selout: self.selout.clone(),
+            pos_selin: self.pos_selin.clone(),
+            pos_selout: self.pos_selout.clone(),
+            cyclelinks: self.cyclelinks.clone(),
+            touch: self.touch.clone(),
+            num_live: self.num_live,
+            free,
+            pending_free: Vec::new(),
+            pl: self.pl.clone(),
+            adj: self.adj.clone(),
+            num_links: self.num_links,
+            scalars: self.scalars.clone(),
+        }
+    }
+}
+
+impl PartialEq for Rsg {
+    /// Equality ignores the free-list bookkeeping (which records removal
+    /// *order*, not graph content) — matching the previous
+    /// `Vec<Option<Node>>` semantics where any dead slot was simply `None`.
+    /// Freed slots are reset to defaults, so comparing whole columns is
+    /// residue-free.
+    fn eq(&self, other: &Rsg) -> bool {
+        self.live == other.live
+            && self.ty == other.ty
+            && self.shared == other.shared
+            && self.summary == other.summary
+            && self.shsel == other.shsel
+            && self.selin == other.selin
+            && self.selout == other.selout
+            && self.pos_selin == other.pos_selin
+            && self.pos_selout == other.pos_selout
+            && self.cyclelinks == other.cyclelinks
+            && self.touch == other.touch
+            && self.pl == other.pl
+            && self.adj == other.adj
+            && self.num_links == other.num_links
+            && self.scalars == other.scalars
+    }
+}
+
+impl Eq for Rsg {}
 
 impl Rsg {
     /// An empty graph over `num_pvars` pointer variables.
     pub fn empty(num_pvars: usize) -> Rsg {
         Rsg {
-            nodes: Vec::new(),
+            ty: Vec::new(),
+            live: Vec::new(),
+            shared: Vec::new(),
+            summary: Vec::new(),
+            shsel: Vec::new(),
+            selin: Vec::new(),
+            selout: Vec::new(),
+            pos_selin: Vec::new(),
+            pos_selout: Vec::new(),
+            cyclelinks: Vec::new(),
+            touch: Vec::new(),
+            num_live: 0,
+            free: Vec::new(),
+            pending_free: Vec::new(),
             pl: vec![None; num_pvars],
             adj: Vec::new(),
             num_links: 0,
-            scalars: std::collections::BTreeMap::new(),
+            scalars: ScalarMap::new(),
         }
     }
 
@@ -248,7 +414,7 @@ impl Rsg {
 
     /// The known constant of tracked scalar `v`, if any.
     pub fn scalar(&self, v: u32) -> Option<i64> {
-        self.scalars.get(&v).copied()
+        self.scalars.get(v)
     }
 
     /// Record that scalar `v` holds `k` in every represented configuration.
@@ -258,46 +424,120 @@ impl Rsg {
 
     /// Forget scalar `v`'s value (havoc).
     pub fn clear_scalar(&mut self, v: u32) {
-        self.scalars.remove(&v);
+        self.scalars.remove(v);
     }
 
     /// The full known-scalar environment.
-    pub fn scalars(&self) -> &std::collections::BTreeMap<u32, i64> {
+    pub fn scalars(&self) -> &ScalarMap {
         &self.scalars
     }
 
     /// Keep only the facts present and equal in both environments (the
     /// join of the flat constant lattice).
     pub fn intersect_scalars(&mut self, other: &Rsg) {
-        self.scalars.retain(|k, v| other.scalars.get(k) == Some(v));
+        self.scalars.intersect(&other.scalars);
     }
 
     // ------------------------------------------------------------- nodes
 
-    /// Insert a node, returning its id.
+    /// Insert a node, returning its id — from the free list when a
+    /// recyclable slot exists, otherwise by growing every column.
     pub fn add_node(&mut self, node: Node) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Some(node));
+        self.num_live += 1;
+        if let Some(slot) = self.free.pop() {
+            let i = slot as usize;
+            self.ty[i] = node.ty;
+            self.live[i] = true;
+            self.shared[i] = node.shared;
+            self.summary[i] = node.summary;
+            self.shsel[i] = node.shsel;
+            self.selin[i] = node.selin;
+            self.selout[i] = node.selout;
+            self.pos_selin[i] = node.pos_selin;
+            self.pos_selout[i] = node.pos_selout;
+            self.cyclelinks[i] = node.cyclelinks;
+            self.touch[i] = node.touch;
+            debug_assert!(self.adj[i].out.is_empty() && self.adj[i].inn.is_empty());
+            return NodeId(slot);
+        }
+        let id = NodeId(self.ty.len() as u32);
+        self.ty.push(node.ty);
+        self.live.push(true);
+        self.shared.push(node.shared);
+        self.summary.push(node.summary);
+        self.shsel.push(node.shsel);
+        self.selin.push(node.selin);
+        self.selout.push(node.selout);
+        self.pos_selin.push(node.pos_selin);
+        self.pos_selout.push(node.pos_selout);
+        self.cyclelinks.push(node.cyclelinks);
+        self.touch.push(node.touch);
         self.adj.push(Adj::default());
         id
     }
 
-    /// Access a node.
+    /// Access a node as a borrowed column view.
     ///
     /// # Panics
     /// If the node was removed.
-    pub fn node(&self, id: NodeId) -> &Node {
-        self.nodes[id.0 as usize].as_ref().expect("dead node")
+    pub fn node(&self, id: NodeId) -> NodeRef<'_> {
+        let i = id.0 as usize;
+        assert!(self.live[i], "dead node");
+        NodeRef {
+            ty: self.ty[i],
+            shared: self.shared[i],
+            summary: self.summary[i],
+            shsel: self.shsel[i],
+            selin: self.selin[i],
+            selout: self.selout[i],
+            pos_selin: self.pos_selin[i],
+            pos_selout: self.pos_selout[i],
+            cyclelinks: &self.cyclelinks[i],
+            touch: &self.touch[i],
+        }
     }
 
-    /// Mutable access to a node.
-    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        self.nodes[id.0 as usize].as_mut().expect("dead node")
+    /// Mutable column view of a node.
+    pub fn node_mut(&mut self, id: NodeId) -> NodeMut<'_> {
+        let i = id.0 as usize;
+        assert!(self.live[i], "dead node");
+        NodeMut {
+            ty: &mut self.ty[i],
+            shared: &mut self.shared[i],
+            summary: &mut self.summary[i],
+            shsel: &mut self.shsel[i],
+            selin: &mut self.selin[i],
+            selout: &mut self.selout[i],
+            pos_selin: &mut self.pos_selin[i],
+            pos_selout: &mut self.pos_selout[i],
+            cyclelinks: &mut self.cyclelinks[i],
+            touch: &mut self.touch[i],
+        }
     }
 
     /// True if the id refers to a live node.
     pub fn is_live(&self, id: NodeId) -> bool {
-        (id.0 as usize) < self.nodes.len() && self.nodes[id.0 as usize].is_some()
+        (id.0 as usize) < self.live.len() && self.live[id.0 as usize]
+    }
+
+    /// Reset a slot's columns to defaults and queue it for reuse after the
+    /// next rebuild boundary. Clearing drops any `cyclelinks`/`touch`
+    /// allocations and keeps dead slots equality- and residue-free.
+    fn free_slot(&mut self, id: NodeId) {
+        let i = id.0 as usize;
+        self.ty[i] = StructId(0);
+        self.live[i] = false;
+        self.shared[i] = false;
+        self.summary[i] = false;
+        self.shsel[i] = SelSet::EMPTY;
+        self.selin[i] = SelSet::EMPTY;
+        self.selout[i] = SelSet::EMPTY;
+        self.pos_selin[i] = SelSet::EMPTY;
+        self.pos_selout[i] = SelSet::EMPTY;
+        self.cyclelinks[i] = CycleSet::new();
+        self.touch[i] = TouchSet::new();
+        self.num_live -= 1;
+        self.pending_free.push(id.0);
     }
 
     /// Remove a node together with its links and pvar references.
@@ -323,7 +563,7 @@ impl Rsg {
                 }
             }
         }
-        self.nodes[id.0 as usize] = None;
+        self.free_slot(id);
         for slot in self.pl.iter_mut() {
             if *slot == Some(id) {
                 *slot = None;
@@ -333,22 +573,22 @@ impl Rsg {
 
     /// Iterate live node ids in increasing order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes
+        self.live
             .iter()
             .enumerate()
-            .filter(|(_, n)| n.is_some())
+            .filter(|(_, l)| **l)
             .map(|(i, _)| NodeId(i as u32))
     }
 
     /// Number of live nodes.
     pub fn num_nodes(&self) -> usize {
-        self.nodes.iter().filter(|n| n.is_some()).count()
+        self.num_live
     }
 
     /// Number of node slots (live or dead): `NodeId`s are always below
     /// this, so it sizes dense per-node scratch vectors (visited bitsets).
     pub fn num_slots(&self) -> usize {
-        self.nodes.len()
+        self.live.len()
     }
 
     // ------------------------------------------------------------- PL
@@ -476,16 +716,16 @@ impl Rsg {
         }
     }
 
-    /// Nodes **definitely present** in every configuration the graph
+    /// Nodes *definitely present* in every configuration the graph
     /// represents. A node can be "empty" in some configurations — joined
     /// graphs keep alternative substructures side by side (Fig. 1(a):
     /// `n1-nxt->{n2,n3}`), and a node contributed by only one alternative
     /// represents no location in the others. Presence propagates from pvar
     /// targets (a bound pvar designates a real location) along definite
-    /// links: a present **singular** node with a must-out selector and a
+    /// links: a present *singular* node with a must-out selector and a
     /// unique successor definitely populates that link.
     pub fn present_nodes(&self) -> Vec<bool> {
-        let mut present = vec![false; self.nodes.len()];
+        let mut present = vec![false; self.num_slots()];
         let mut stack: Vec<NodeId> = Vec::new();
         for (_, n) in self.pl_iter() {
             if !present[n.0 as usize] {
@@ -510,7 +750,7 @@ impl Rsg {
         present
     }
 
-    /// A link `<a, sel, b>` is **definite** when it must exist in every
+    /// A link `<a, sel, b>` is *definite* when it must exist in every
     /// represented configuration: `a` is definitely present and singular,
     /// `sel` is a must-out selector of `a`, and `b` is `a`'s only `sel`
     /// successor. Callers iterating many links should use
@@ -540,7 +780,7 @@ impl Rsg {
     /// Remove nodes unreachable from every pvar (garbage). Returns the
     /// number of nodes dropped.
     ///
-    /// Garbage may still hold links **into** surviving nodes (a detached
+    /// Garbage may still hold links *into* surviving nodes (a detached
     /// list element keeps its `prv` back-pointer). The analysis models the
     /// reachable sub-heap — garbage can never be named again, so dropping it
     /// is sound — but survivors' must-in selectors whose only witnesses came
@@ -557,7 +797,7 @@ impl Rsg {
     /// targets of garbage-held crossing links) to `touched` — the seed set
     /// the worklist PRUNE uses to avoid a whole-graph rescan.
     pub fn gc_track(&mut self, touched: &mut Vec<NodeId>) -> usize {
-        let mut reachable = vec![false; self.nodes.len()];
+        let mut reachable = vec![false; self.num_slots()];
         let mut stack: Vec<NodeId> = self.pl.iter().flatten().copied().collect();
         for &n in &stack {
             reachable[n.0 as usize] = true;
@@ -595,7 +835,7 @@ impl Rsg {
                 // survivor→garbage links cannot exist (see above), so no
                 // out-list of a survivor needs cleaning.
             }
-            self.nodes[d.0 as usize] = None;
+            self.free_slot(d);
         }
         if !crossing.is_empty() {
             // A surviving must-in claim needs a *definite* witness: remaining
@@ -626,7 +866,7 @@ impl Rsg {
     /// Returns `u32::MAX` for nodes in components no pvar reaches (pending
     /// garbage).
     pub fn structure_labels(&self) -> Vec<u32> {
-        let n = self.nodes.len();
+        let n = self.num_slots();
         let mut parent: Vec<usize> = (0..n).collect();
         fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
@@ -660,7 +900,7 @@ impl Rsg {
     /// Relax SHARED/SHSEL downward where provable (§4.2 relies on `false`
     /// sharing values for aggressive pruning):
     ///
-    /// * a **singular** node with no incoming `sel` links, or exactly one
+    /// * a *singular* node with no incoming `sel` links, or exactly one
     ///   incoming `sel` link from a singular source, is not `sel`-shared;
     /// * a singular node whose total incoming concrete references are
     ///   provably ≤ 1 is not shared.
@@ -699,14 +939,14 @@ impl Rsg {
                 }
             }
             let node = self.node_mut(id);
-            node.shsel = new_shsel;
+            *node.shsel = new_shsel;
             if !unknown && provable_total <= 1 {
-                node.shared = false;
+                *node.shared = false;
             }
         }
     }
 
-    /// Weaken must-in selectors that lost every **definitely-present**
+    /// Weaken must-in selectors that lost every *definitely-present*
     /// witness: `selin(b) ∋ s` asserts that in every configuration some
     /// location references `b` through `s`, and that assertion outlives its
     /// witness when the referencing node becomes reachable only through
@@ -734,7 +974,7 @@ impl Rsg {
     /// Approximate structural size in bytes (nodes + links + PL), the unit
     /// of the Table 1 "Space" column.
     pub fn approx_bytes(&self) -> usize {
-        let node_bytes: usize = self.nodes.iter().flatten().map(|n| n.approx_bytes()).sum();
+        let node_bytes: usize = self.node_ids().map(|n| self.node(n).approx_bytes()).sum();
         node_bytes
             + self.num_links * std::mem::size_of::<(NodeId, SelectorId, NodeId)>()
             + self.pl.len() * std::mem::size_of::<Option<NodeId>>()
@@ -780,13 +1020,13 @@ impl Rsg {
     /// every out entry mirrored by an in entry and vice versa, `num_links`
     /// equal to the total out-degree.
     pub fn check_adjacency(&self) -> Result<(), String> {
-        if self.adj.len() != self.nodes.len() {
+        if self.adj.len() != self.num_slots() {
             return Err("adjacency table length != node table length".into());
         }
         let mut total = 0usize;
         for (i, adj) in self.adj.iter().enumerate() {
             let id = NodeId(i as u32);
-            if self.nodes[i].is_none() && (!adj.out.is_empty() || !adj.inn.is_empty()) {
+            if !self.live[i] && (!adj.out.is_empty() || !adj.inn.is_empty()) {
                 return Err(format!("dead node {id} still has adjacency"));
             }
             if !adj.out.windows(2).all(|w| w[0] < w[1]) {
@@ -982,7 +1222,7 @@ mod tests {
         g.remove_link(a, sel(0), c);
         g.remove_node(c);
         // A summary source also blocks definiteness.
-        g.node_mut(a).summary = true;
+        *g.node_mut(a).summary = true;
         assert!(!g.is_definite_link(a, sel(0), b));
     }
 
@@ -990,7 +1230,7 @@ mod tests {
     fn relax_sharing_lowers_flags() {
         let (mut g, _a, b) = two_node_graph();
         // Claim sharing, then relax: single in-link from a singular source.
-        g.node_mut(b).shared = true;
+        *g.node_mut(b).shared = true;
         g.node_mut(b).shsel.insert(sel(0));
         g.relax_sharing();
         assert!(!g.node(b).shared);
@@ -1000,9 +1240,9 @@ mod tests {
     #[test]
     fn relax_sharing_keeps_flags_with_summary_source() {
         let (mut g, a, b) = two_node_graph();
-        g.node_mut(a).summary = true;
+        *g.node_mut(a).summary = true;
         g.clear_pl(PvarId(0)); // keep pvar-singularity invariant
-        g.node_mut(b).shared = true;
+        *g.node_mut(b).shared = true;
         g.node_mut(b).shsel.insert(sel(0));
         g.relax_sharing();
         // Source is summary: the single abstract link may stand for many.
@@ -1016,7 +1256,7 @@ mod tests {
         let c = g.add_fresh(StructId(0));
         g.set_pl(PvarId(1), c);
         g.add_link(c, sel(0), b);
-        g.node_mut(b).shared = true;
+        *g.node_mut(b).shared = true;
         g.node_mut(b).shsel.insert(sel(0));
         g.relax_sharing();
         assert!(g.node(b).shsel.contains(sel(0)));
@@ -1028,7 +1268,7 @@ mod tests {
         let ctx = ShapeCtx::synthetic(2, 2);
         let (mut g, a, _b) = two_node_graph();
         assert!(g.check_invariants(&ctx).is_ok());
-        g.node_mut(a).summary = true;
+        *g.node_mut(a).summary = true;
         assert!(g.check_invariants(&ctx).is_err());
     }
 

@@ -31,25 +31,54 @@
 //!   search at most once per analysis run;
 //! * [`OpMetrics`] / [`OpStats`] — atomic op-level counters and timings
 //!   (insert/subsume/join/compress/prune calls, cache hits vs. search
-//!   fallbacks, interner size, peak set widths) that the engine snapshots
-//!   into its per-run statistics;
+//!   fallbacks, interner size, peak set widths, shard-lock contention)
+//!   that the engine snapshots into its per-run statistics;
 //! * [`SharedTables`] — the bundle of all three, carried by
 //!   [`crate::ShapeCtx`] behind an `Arc` so the engine worklist, the
 //!   scoped-thread fan-out path and the progressive L1→L2→L3 driver all
 //!   share one table set.
 //!
+//! # Sharding (DESIGN.md §12)
+//!
+//! All three tables are **lock-striped**: entries are distributed over
+//! [`TABLE_SHARDS`] segments by key hash, each behind its own `Mutex`, so
+//! parallel fan-out workers interning or memoizing different keys no
+//! longer convoy on one global lock. The interner additionally resolves
+//! ids **without any lock**: minted entries go into an append-only
+//! segmented slab of `OnceLock` slots, filled *before* the id is published
+//! (inserted into a shard map / returned to a caller), so every id a
+//! reader can legitimately hold names an already-initialized slot.
+//!
+//! Every hot-path shard-lock acquisition goes through [`lock_timed`]: an
+//! uncontended `try_lock` costs nothing extra, while a contended fall-back
+//! to a blocking lock is timed into the per-table `*_lock_wait_ns` /
+//! `*_lock_contended` counters and journaled as a
+//! [`TraceKind::LockWait`] instant when tracing is enabled.
+//!
 //! Everything is guarded by `std::sync` primitives (the build environment
-//! has no registry access for `parking_lot`); contention is negligible
-//! because the critical sections are single hash-map operations.
+//! has no registry access for `parking_lot`).
 
-use crate::canon::canonical_bytes;
+use crate::canon::{canonical_bytes, canonical_bytes_batch};
 use crate::graph::Rsg;
 use crate::subsume::subsumes;
 use crate::trace::{TraceKind, Tracer};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
+
+/// Number of lock stripes per shared table. A power of two so shard
+/// selection is a mask; 16 covers any plausible fan-out width while
+/// keeping the per-table footprint trivial.
+pub const TABLE_SHARDS: usize = 16;
+
+/// Table code carried as `arg` by [`TraceKind::LockWait`] events: the
+/// canonical-form interner.
+pub const LOCK_TABLE_INTERN: u64 = 0;
+/// Table code for the subsumption memo.
+pub const LOCK_TABLE_SUBSUME: u64 = 1;
+/// Table code for the transfer memo.
+pub const LOCK_TABLE_TRANSFER: u64 = 2;
 
 /// Compact identifier of an interned canonical form. Equal ids ⇔ equal
 /// canonical bytes ⇔ isomorphic graphs (within one [`Interner`]).
@@ -76,17 +105,25 @@ pub struct Fingerprint {
     /// Bloom over `(TYPE, TOUCH)` of summary nodes only: a specific
     /// summary node needs a general *summary* host.
     summary_bloom: u64,
-    /// Bloom over the selector ids occurring on NL links: every specific
-    /// link needs a same-selector general link.
+    /// Bloom over `(src (TYPE, TOUCH), selector, dst (TYPE, TOUCH))` of NL
+    /// links: an embedding maps every specific link onto a general link
+    /// with the same selector between hosts of equal type and touch set.
     link_bloom: u64,
     /// Bloom over `(var, value)` scalar facts: every fact the general
     /// graph promises must hold in the specific graph.
     scalar_bloom: u64,
+    /// Bloom over `(TYPE, TOUCH)` of SHARED nodes only: a specific shared
+    /// node needs a general host that is also shared (SHARED may only grow
+    /// from specific to general).
+    shared_bloom: u64,
     /// Node count.
     num_nodes: u32,
     /// Summary-node count. With zero general summary nodes the embedding
     /// is injective, so the specific graph cannot be larger.
     num_summary: u32,
+    /// NL link count. Under an injective embedding (no general summary
+    /// nodes) distinct specific links map onto distinct general links.
+    num_links: u32,
 }
 
 fn mix(h: u64) -> u64 {
@@ -101,6 +138,23 @@ fn bloom_bit(h: u64) -> u64 {
     1u64 << (mix(h) & 63)
 }
 
+/// FNV-1a over a byte slice, used to pick the interner shard for a
+/// canonical serialization. Equal bytes always land on one shard, so the
+/// per-shard maps still dedup exactly.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Shard index for a 64-bit key hash.
+fn shard_of(h: u64) -> usize {
+    (mix(h) & (TABLE_SHARDS as u64 - 1)) as usize
+}
+
 impl Fingerprint {
     /// Compute the fingerprint of a graph.
     pub fn of(g: &Rsg) -> Fingerprint {
@@ -110,26 +164,43 @@ impl Fingerprint {
             dom = mix(dom ^ (p.0 as u64 + 1));
         }
         fp.dom_hash = dom;
+        let mut node_keys = vec![0u64; g.num_slots()];
         for n in g.node_ids() {
             let nd = g.node(n);
             let mut key = nd.ty.0 as u64 + 1;
             for t in nd.touch.iter() {
                 key = mix(key ^ (t.0 as u64 + 0x1000));
             }
+            node_keys[n.0 as usize] = key;
             fp.node_bloom |= bloom_bit(key);
             fp.num_nodes += 1;
             if nd.summary {
                 fp.summary_bloom |= bloom_bit(key);
                 fp.num_summary += 1;
             }
+            if nd.shared {
+                fp.shared_bloom |= bloom_bit(key);
+            }
         }
-        for (_, s, _) in g.links() {
-            fp.link_bloom |= bloom_bit(s.0 as u64 + 0x2000);
+        for (a, s, b) in g.links() {
+            let lk = mix(node_keys[a.0 as usize] ^ (s.0 as u64 + 0x2000))
+                ^ node_keys[b.0 as usize].rotate_left(17);
+            fp.link_bloom |= bloom_bit(lk);
+            fp.num_links += 1;
         }
         for (v, k) in g.scalars() {
             fp.scalar_bloom |= bloom_bit(mix(*v as u64 + 0x3000) ^ *k as u64);
         }
         fp
+    }
+
+    /// Necessary condition for `compatible(a, b)` (see
+    /// [`crate::join::compatible`]): COMPATIBLE requires the exact same
+    /// pvar domain and identical known scalar facts, so differing domain
+    /// hashes or scalar blooms prove the structural check would fail.
+    /// `true` is inconclusive.
+    pub fn may_be_compatible(a: &Fingerprint, b: &Fingerprint) -> bool {
+        a.dom_hash == b.dom_hash && a.scalar_bloom == b.scalar_bloom
     }
 
     /// Necessary condition for `subsumes(general, specific)`: `false`
@@ -141,12 +212,20 @@ impl Fingerprint {
             && specific.node_bloom & !general.node_bloom == 0
             // Specific summary nodes need general summary hosts.
             && specific.summary_bloom & !general.summary_bloom == 0
-            // Every specific link selector must exist in the general graph.
+            // Every specific (src class, selector, dst class) link needs a
+            // matching general link.
             && specific.link_bloom & !general.link_bloom == 0
             // Every general scalar promise must hold in the specific graph.
             && general.scalar_bloom & !specific.scalar_bloom == 0
-            // Without summary hosts the embedding is injective.
-            && (general.num_summary > 0 || specific.num_nodes <= general.num_nodes)
+            // Specific shared nodes need shared general hosts.
+            && specific.shared_bloom & !general.shared_bloom == 0
+            // Without summary hosts the embedding is injective: the
+            // specific graph cannot have more nodes, and since distinct
+            // specific links then map onto distinct general links, no more
+            // links either.
+            && (general.num_summary > 0
+                || (specific.num_nodes <= general.num_nodes
+                    && specific.num_links <= general.num_links))
     }
 }
 
@@ -162,30 +241,101 @@ pub struct CanonEntry {
     pub fp: Fingerprint,
 }
 
-#[derive(Debug, Default)]
-struct InternerInner {
-    map: HashMap<Arc<[u8]>, u32>,
-    entries: Vec<(Arc<[u8]>, Fingerprint, Arc<Rsg>)>,
+/// The immutable payload of one minted canonical form, stored in the
+/// lock-free slab.
+#[derive(Debug)]
+struct InternedForm {
+    bytes: Arc<[u8]>,
+    fp: Fingerprint,
+    graph: Arc<Rsg>,
 }
 
+/// One dedup shard: `canonical bytes → id` behind its stripe lock.
+type ByteShard = Mutex<HashMap<Arc<[u8]>, u32>>;
+/// One lazily materialized slab segment of published forms.
+type SlabSegment = Box<[OnceLock<InternedForm>]>;
+
+/// Entries per slab segment (power of two: the low bits index the slot).
+const SLAB_SEG_LEN: usize = 1 << 10;
+/// Maximum segments, bounding the interner at ~4M canonical forms — far
+/// above any real run; exceeding it is a hard panic, not silent loss.
+const SLAB_MAX_SEGS: usize = 1 << 12;
+
 /// Run-wide hash-consing table for canonical forms.
-#[derive(Debug, Default)]
+///
+/// Dedup maps are lock-striped over [`TABLE_SHARDS`] mutexes keyed by a
+/// hash of the canonical bytes; id → entry resolution is lock-free through
+/// an append-only segmented slab whose slots are filled before their ids
+/// are published.
+#[derive(Debug)]
 pub struct Interner {
-    inner: Mutex<InternerInner>,
+    /// `canonical bytes → id`, striped by byte hash.
+    shards: Box<[ByteShard]>,
+    /// Append-only id → form slab. Segments materialize on demand; each
+    /// slot is written exactly once, before its id escapes the minting
+    /// thread, so readers never observe an empty slot for a valid id.
+    segments: Box<[OnceLock<SlabSegment>]>,
+    /// Next id to mint.
+    next: AtomicU32,
+    /// Count of fully published entries (the `len()` gauge).
+    published: AtomicU64,
     /// Approximate retained bytes (canonical serializations plus
     /// representative graphs), maintained on mint so budget checks never
     /// walk the table.
     bytes: AtomicU64,
 }
 
+impl Default for Interner {
+    fn default() -> Self {
+        Interner {
+            shards: (0..TABLE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            segments: (0..SLAB_MAX_SEGS).map(|_| OnceLock::new()).collect(),
+            next: AtomicU32::new(0),
+            published: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+}
+
 /// Lock a mutex, recovering from poisoning. A panicking worker thread must
 /// not wedge the whole analysis: every critical section in the shared
 /// tables is a single map operation, so the protected data stays consistent
 /// even when the panic unwound through it. All lock sites in the analysis —
-/// here and in downstream crates — go through this one helper so the
-/// recovery policy cannot drift per call site.
+/// here and in downstream crates — go through this helper or
+/// [`lock_timed`] so the recovery policy cannot drift per call site.
 pub fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Lock a shard mutex with contention accounting: an uncontended
+/// `try_lock` returns immediately (no clock read), while a contended
+/// acquisition falls back to the blocking lock, adds the wait to
+/// `wait_ns`/`contended`, and journals a [`TraceKind::LockWait`] instant
+/// (`arg` = table code, `arg2` = nanoseconds waited) when tracing is on.
+/// Poisoning recovers exactly like [`lock_recover`].
+fn lock_timed<'a, T>(
+    m: &'a Mutex<T>,
+    wait_ns: &AtomicU64,
+    contended: &AtomicU64,
+    table: u64,
+    tracer: Option<&Tracer>,
+) -> std::sync::MutexGuard<'a, T> {
+    match m.try_lock() {
+        Ok(g) => return g,
+        Err(std::sync::TryLockError::Poisoned(p)) => return p.into_inner(),
+        Err(std::sync::TryLockError::WouldBlock) => {}
+    }
+    let start = Instant::now();
+    let g = lock_recover(m);
+    let ns = start.elapsed().as_nanos() as u64;
+    wait_ns.fetch_add(ns, Ordering::Relaxed);
+    contended.fetch_add(1, Ordering::Relaxed);
+    if let Some(tr) = tracer {
+        tr.instant(TraceKind::LockWait, table, ns);
+    }
+    g
 }
 
 /// Why a [`CancelToken`] was raised. The first raiser wins: later raises
@@ -286,6 +436,41 @@ impl Interner {
         Interner::default()
     }
 
+    /// Fill the slab slot for a freshly minted id. Must happen before the
+    /// id is inserted into a shard map or handed to a caller
+    /// (fill-before-publish).
+    fn publish(&self, id: u32, form: InternedForm) {
+        let seg = id as usize / SLAB_SEG_LEN;
+        assert!(
+            seg < SLAB_MAX_SEGS,
+            "interner slab exhausted ({id} canonical forms)"
+        );
+        let slots = self.segments[seg].get_or_init(|| {
+            (0..SLAB_SEG_LEN)
+                .map(|_| OnceLock::new())
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+        slots[id as usize % SLAB_SEG_LEN]
+            .set(form)
+            .unwrap_or_else(|_| panic!("canonical id {id} minted twice"));
+        self.published.fetch_add(1, Ordering::Release);
+    }
+
+    /// Resolve an id to its slab slot, lock-free.
+    ///
+    /// # Panics
+    /// If `id` was not minted by this interner: ids only escape after
+    /// their slot is filled, so an empty slot means a foreign id.
+    fn form(&self, id: CanonId) -> &InternedForm {
+        let seg = id.0 as usize / SLAB_SEG_LEN;
+        self.segments
+            .get(seg)
+            .and_then(|s| s.get())
+            .and_then(|slots| slots[id.0 as usize % SLAB_SEG_LEN].get())
+            .expect("CanonId not minted by this interner")
+    }
+
     /// Intern a graph: serialize to canonical form, return the existing
     /// entry or mint a fresh id. `metrics` records hit/miss and time.
     pub fn intern(&self, g: &Rsg, metrics: &OpMetrics) -> CanonEntry {
@@ -308,49 +493,107 @@ impl Interner {
         if let Some(tr) = tracer {
             tr.span_since(TraceKind::Canon, start, bytes.len() as u64, 0);
         }
-        let entry = {
-            let mut inner = lock_recover(&self.inner);
-            if let Some(&id) = inner.map.get(bytes.as_slice()) {
-                metrics.intern_hits.fetch_add(1, Ordering::Relaxed);
-                if let Some(tr) = tracer {
-                    tr.instant(TraceKind::InternHit, id as u64, 0);
-                }
-                let (arc, fp, _) = &inner.entries[id as usize];
-                CanonEntry {
-                    id: CanonId(id),
-                    bytes: arc.clone(),
-                    fp: *fp,
-                }
-            } else {
-                metrics.intern_misses.fetch_add(1, Ordering::Relaxed);
-                let id = inner.entries.len() as u32;
-                if let Some(tr) = tracer {
-                    tr.instant(TraceKind::InternMiss, id as u64, 0);
-                }
-                let fp = Fingerprint::of(g);
-                let arc: Arc<[u8]> = bytes.into();
-                // Canonical bytes are stored twice (entries + map key arc is
-                // shared, so count once) plus the representative graph.
-                let minted = arc.len() as u64 + g.approx_bytes() as u64;
-                self.bytes.fetch_add(minted, Ordering::Relaxed);
-                inner.entries.push((arc.clone(), fp, Arc::new(g.clone())));
-                inner.map.insert(arc.clone(), id);
-                CanonEntry {
-                    id: CanonId(id),
-                    bytes: arc,
-                    fp,
-                }
-            }
-        };
+        let entry = self.intern_with_bytes(g, bytes, metrics, tracer);
         metrics
             .intern_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         entry
     }
 
-    /// Number of distinct canonical forms interned so far.
+    /// Intern a batch of graphs in input order, amortizing the
+    /// canonicalization scratch (hash vectors, color arenas) across the
+    /// whole batch instead of checking it out per graph. Ids mint in
+    /// exactly the order a loop of [`Interner::intern`] calls would mint
+    /// them, so batch and sequential interning are bit-identical.
+    pub fn intern_batch(
+        &self,
+        graphs: &[&Rsg],
+        metrics: &OpMetrics,
+        tracer: Option<&Tracer>,
+    ) -> Vec<CanonEntry> {
+        let start = Instant::now();
+        let all_bytes = canonical_bytes_batch(graphs);
+        metrics
+            .canon_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if let Some(tr) = tracer {
+            for b in &all_bytes {
+                tr.span_since(TraceKind::Canon, start, b.len() as u64, 0);
+            }
+        }
+        let out = graphs
+            .iter()
+            .zip(all_bytes)
+            .map(|(g, bytes)| self.intern_with_bytes(g, bytes, metrics, tracer))
+            .collect();
+        metrics
+            .intern_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// The shared dedup-or-mint step behind the intern entry points;
+    /// `bytes` must be `canonical_bytes(g)`.
+    fn intern_with_bytes(
+        &self,
+        g: &Rsg,
+        bytes: Vec<u8>,
+        metrics: &OpMetrics,
+        tracer: Option<&Tracer>,
+    ) -> CanonEntry {
+        let shard = &self.shards[shard_of(fnv64(&bytes))];
+        let mut map = lock_timed(
+            shard,
+            &metrics.intern_lock_wait_ns,
+            &metrics.intern_lock_contended,
+            LOCK_TABLE_INTERN,
+            tracer,
+        );
+        if let Some(&id) = map.get(bytes.as_slice()) {
+            metrics.intern_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(tr) = tracer {
+                tr.instant(TraceKind::InternHit, id as u64, 0);
+            }
+            let form = self.form(CanonId(id));
+            CanonEntry {
+                id: CanonId(id),
+                bytes: form.bytes.clone(),
+                fp: form.fp,
+            }
+        } else {
+            metrics.intern_misses.fetch_add(1, Ordering::Relaxed);
+            let id = self.next.fetch_add(1, Ordering::Relaxed);
+            if let Some(tr) = tracer {
+                tr.instant(TraceKind::InternMiss, id as u64, 0);
+            }
+            let fp = Fingerprint::of(g);
+            let arc: Arc<[u8]> = bytes.into();
+            // Canonical bytes are stored twice (slab + map key arc is
+            // shared, so count once) plus the representative graph.
+            let minted = arc.len() as u64 + g.approx_bytes() as u64;
+            self.bytes.fetch_add(minted, Ordering::Relaxed);
+            // Fill-before-publish: the slab slot must be readable before
+            // the id appears in the map or escapes to the caller.
+            self.publish(
+                id,
+                InternedForm {
+                    bytes: arc.clone(),
+                    fp,
+                    graph: Arc::new(g.clone()),
+                },
+            );
+            map.insert(arc.clone(), id);
+            CanonEntry {
+                id: CanonId(id),
+                bytes: arc,
+                fp,
+            }
+        }
+    }
+
+    /// Number of distinct canonical forms interned so far. Lock-free.
     pub fn len(&self) -> usize {
-        lock_recover(&self.inner).entries.len()
+        self.published.load(Ordering::Acquire) as usize
     }
 
     /// Approximate retained bytes (canonical encodings + representative
@@ -364,68 +607,92 @@ impl Interner {
         self.len() == 0
     }
 
-    /// The canonical bytes of an interned id.
+    /// Entries in the most occupied dedup shard (occupancy gauge; locks
+    /// each shard briefly).
+    pub fn max_shard_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| lock_recover(s).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The canonical bytes of an interned id. Lock-free.
     ///
     /// # Panics
     /// If `id` was not minted by this interner.
     pub fn bytes(&self, id: CanonId) -> Arc<[u8]> {
-        lock_recover(&self.inner).entries[id.0 as usize].0.clone()
+        self.form(id).bytes.clone()
     }
 
-    /// The fingerprint of an interned id.
+    /// The fingerprint of an interned id. Lock-free.
     ///
     /// # Panics
     /// If `id` was not minted by this interner.
     pub fn fingerprint(&self, id: CanonId) -> Fingerprint {
-        lock_recover(&self.inner).entries[id.0 as usize].1
+        self.form(id).fp
     }
 
     /// The representative graph of an interned id: the exact graph that
     /// first minted the entry (isomorphic to every later graph interning to
-    /// the same id). Shared, immutable.
+    /// the same id). Shared, immutable. Lock-free.
     ///
     /// # Panics
     /// If `id` was not minted by this interner.
     pub fn graph(&self, id: CanonId) -> Arc<Rsg> {
-        lock_recover(&self.inner).entries[id.0 as usize].2.clone()
+        self.form(id).graph.clone()
     }
 
-    /// The full [`CanonEntry`] of an interned id.
+    /// The full [`CanonEntry`] of an interned id. Lock-free.
     ///
     /// # Panics
     /// If `id` was not minted by this interner.
     pub fn entry(&self, id: CanonId) -> CanonEntry {
-        let inner = lock_recover(&self.inner);
-        let (bytes, fp, _) = &inner.entries[id.0 as usize];
+        let form = self.form(id);
         CanonEntry {
             id,
-            bytes: bytes.clone(),
-            fp: *fp,
+            bytes: form.bytes.clone(),
+            fp: form.fp,
         }
     }
 
-    /// Resolve an id into `(entry, graph)` with a single lock acquisition.
+    /// Resolve an id into `(entry, graph)`. Lock-free.
     ///
     /// # Panics
     /// If `id` was not minted by this interner.
     pub fn resolve(&self, id: CanonId) -> (CanonEntry, Arc<Rsg>) {
-        let inner = lock_recover(&self.inner);
-        let (bytes, fp, g) = &inner.entries[id.0 as usize];
+        let form = self.form(id);
         (
             CanonEntry {
                 id,
-                bytes: bytes.clone(),
-                fp: *fp,
+                bytes: form.bytes.clone(),
+                fp: form.fp,
             },
-            g.clone(),
+            form.graph.clone(),
         )
+    }
+
+    #[cfg(test)]
+    fn shard_mutexes(&self) -> &[ByteShard] {
+        &self.shards
     }
 }
 
-/// Memo table for subsumption queries between interned forms.
-#[derive(Debug, Default)]
+/// Memo table for subsumption queries between interned forms, lock-striped
+/// over [`TABLE_SHARDS`] segments by pair-key hash.
+#[derive(Debug)]
 pub struct SubsumeCache {
-    map: Mutex<HashMap<u64, bool>>,
+    shards: Box<[Mutex<HashMap<u64, bool>>]>,
+}
+
+impl Default for SubsumeCache {
+    fn default() -> Self {
+        SubsumeCache {
+            shards: (0..TABLE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
 }
 
 fn pair_key(a: CanonId, b: CanonId) -> u64 {
@@ -438,26 +705,79 @@ impl SubsumeCache {
         SubsumeCache::default()
     }
 
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, bool>> {
+        &self.shards[shard_of(key)]
+    }
+
     /// The memoized answer for `subsumes(general, specific)`, if any.
     pub fn lookup(&self, general: CanonId, specific: CanonId) -> Option<bool> {
-        lock_recover(&self.map)
-            .get(&pair_key(general, specific))
-            .copied()
+        let key = pair_key(general, specific);
+        lock_recover(self.shard(key)).get(&key).copied()
+    }
+
+    /// [`SubsumeCache::lookup`] with shard-lock contention accounting.
+    fn lookup_timed(
+        &self,
+        general: CanonId,
+        specific: CanonId,
+        metrics: &OpMetrics,
+        tracer: Option<&Tracer>,
+    ) -> Option<bool> {
+        let key = pair_key(general, specific);
+        lock_timed(
+            self.shard(key),
+            &metrics.subsume_lock_wait_ns,
+            &metrics.subsume_lock_contended,
+            LOCK_TABLE_SUBSUME,
+            tracer,
+        )
+        .get(&key)
+        .copied()
     }
 
     /// Record an answer.
     pub fn store(&self, general: CanonId, specific: CanonId, value: bool) {
-        lock_recover(&self.map).insert(pair_key(general, specific), value);
+        let key = pair_key(general, specific);
+        lock_recover(self.shard(key)).insert(key, value);
     }
 
-    /// Number of memoized pairs.
+    /// [`SubsumeCache::store`] with shard-lock contention accounting.
+    fn store_timed(
+        &self,
+        general: CanonId,
+        specific: CanonId,
+        value: bool,
+        metrics: &OpMetrics,
+        tracer: Option<&Tracer>,
+    ) {
+        let key = pair_key(general, specific);
+        lock_timed(
+            self.shard(key),
+            &metrics.subsume_lock_wait_ns,
+            &metrics.subsume_lock_contended,
+            LOCK_TABLE_SUBSUME,
+            tracer,
+        )
+        .insert(key, value);
+    }
+
+    /// Number of memoized pairs (sums the shards).
     pub fn len(&self) -> usize {
-        lock_recover(&self.map).len()
+        self.shards.iter().map(|s| lock_recover(s).len()).sum()
+    }
+
+    /// Entries in the most occupied shard (occupancy gauge).
+    pub fn max_shard_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| lock_recover(s).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// True when no pair has been memoized.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.shards.iter().all(|s| lock_recover(s).is_empty())
     }
 }
 
@@ -479,15 +799,33 @@ pub struct TransferOutcome {
 /// Memo key: which configuration epoch, which statement, which input graph.
 type TransferKey = (u32, u32, CanonId);
 
+fn transfer_key_hash(k: &TransferKey) -> u64 {
+    mix(((k.0 as u64) << 32) | k.1 as u64) ^ mix(k.2 .0 as u64)
+}
+
 /// Memo table for per-statement abstract transfer, keyed
-/// `(config-epoch, statement, input CanonId)`. The epoch (see
+/// `(config-epoch, statement, input CanonId)` and lock-striped over
+/// [`TABLE_SHARDS`] segments by key hash. The epoch (see
 /// [`SharedTables::epoch_for`]) isolates engine configurations that give
 /// the transfer function different semantics — compilation level and the
 /// sharing ablation flags — so one table set can serve a progressive
 /// L1→L2→L3 driver without cross-level contamination.
-#[derive(Debug, Default)]
+/// One transfer-memo shard behind its stripe lock.
+type TransferShard = Mutex<HashMap<TransferKey, Arc<TransferOutcome>>>;
+
+#[derive(Debug)]
 pub struct TransferCache {
-    map: Mutex<HashMap<TransferKey, Arc<TransferOutcome>>>,
+    shards: Box<[TransferShard]>,
+}
+
+impl Default for TransferCache {
+    fn default() -> Self {
+        TransferCache {
+            shards: (0..TABLE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
 }
 
 impl TransferCache {
@@ -496,24 +834,81 @@ impl TransferCache {
         TransferCache::default()
     }
 
+    fn shard(&self, k: &TransferKey) -> &Mutex<HashMap<TransferKey, Arc<TransferOutcome>>> {
+        &self.shards[shard_of(transfer_key_hash(k))]
+    }
+
     /// The memoized outcome, if any.
     pub fn lookup(&self, epoch: u32, stmt: u32, input: CanonId) -> Option<Arc<TransferOutcome>> {
-        lock_recover(&self.map).get(&(epoch, stmt, input)).cloned()
+        let k = (epoch, stmt, input);
+        lock_recover(self.shard(&k)).get(&k).cloned()
+    }
+
+    /// [`TransferCache::lookup`] with shard-lock contention accounting.
+    fn lookup_timed(
+        &self,
+        epoch: u32,
+        stmt: u32,
+        input: CanonId,
+        metrics: &OpMetrics,
+        tracer: Option<&Tracer>,
+    ) -> Option<Arc<TransferOutcome>> {
+        let k = (epoch, stmt, input);
+        lock_timed(
+            self.shard(&k),
+            &metrics.transfer_lock_wait_ns,
+            &metrics.transfer_lock_contended,
+            LOCK_TABLE_TRANSFER,
+            tracer,
+        )
+        .get(&k)
+        .cloned()
     }
 
     /// Record an outcome.
     pub fn store(&self, epoch: u32, stmt: u32, input: CanonId, outcome: Arc<TransferOutcome>) {
-        lock_recover(&self.map).insert((epoch, stmt, input), outcome);
+        let k = (epoch, stmt, input);
+        lock_recover(self.shard(&k)).insert(k, outcome);
     }
 
-    /// Number of memoized (epoch, stmt, graph) triples.
+    /// [`TransferCache::store`] with shard-lock contention accounting.
+    fn store_timed(
+        &self,
+        epoch: u32,
+        stmt: u32,
+        input: CanonId,
+        outcome: Arc<TransferOutcome>,
+        metrics: &OpMetrics,
+        tracer: Option<&Tracer>,
+    ) {
+        let k = (epoch, stmt, input);
+        lock_timed(
+            self.shard(&k),
+            &metrics.transfer_lock_wait_ns,
+            &metrics.transfer_lock_contended,
+            LOCK_TABLE_TRANSFER,
+            tracer,
+        )
+        .insert(k, outcome);
+    }
+
+    /// Number of memoized (epoch, stmt, graph) triples (sums the shards).
     pub fn len(&self) -> usize {
-        lock_recover(&self.map).len()
+        self.shards.iter().map(|s| lock_recover(s).len()).sum()
+    }
+
+    /// Entries in the most occupied shard (occupancy gauge).
+    pub fn max_shard_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| lock_recover(s).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// True when nothing has been memoized.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.shards.iter().all(|s| lock_recover(s).is_empty())
     }
 }
 
@@ -560,8 +955,8 @@ op_metrics! {
     struct,
     snapshot:
     /// Plain-data snapshot of [`OpMetrics`], also used as a delta between
-    /// two snapshots. `*_ns` fields are cumulative nanoseconds; `peak_*`
-    /// and `interner_*` fields are gauges.
+    /// two snapshots. `*_ns` fields are cumulative nanoseconds; `peak_*`,
+    /// `interner_*` and `*_shard_peak` fields are gauges.
     snapstruct,
     /// `Rsrsg::insert` calls.
     insert_calls,
@@ -619,12 +1014,25 @@ op_metrics! {
     delta_graphs_reused,
     /// Input graphs actually transferred (cold or delta suffix).
     delta_graphs_transferred,
+    /// Contended interner shard-lock acquisitions.
+    intern_lock_contended,
+    /// Contended subsumption-memo shard-lock acquisitions.
+    subsume_lock_contended,
+    /// Contended transfer-memo shard-lock acquisitions.
+    transfer_lock_contended,
     /// Gauge: distinct canonical forms interned (set at snapshot time).
     interner_size,
     /// Gauge: memoized subsumption pairs (set at snapshot time).
     cache_size,
     /// Gauge: memoized transfer triples (set at snapshot time).
     transfer_cache_size,
+    /// Gauge: entries in the fullest interner dedup shard (snapshot time).
+    interner_shard_peak,
+    /// Gauge: entries in the fullest subsumption-memo shard (snapshot
+    /// time).
+    subsume_shard_peak,
+    /// Gauge: entries in the fullest transfer-memo shard (snapshot time).
+    transfer_shard_peak,
     /// Gauge: widest RSRSG (graph count) seen by any insert.
     peak_set_width,
     /// Nanoseconds spent canonicalizing + interning.
@@ -644,6 +1052,13 @@ op_metrics! {
     /// Nanoseconds spent computing canonical byte encodings (a subset of
     /// `intern_ns`).
     canon_ns,
+    /// Nanoseconds spent waiting on contended interner shard locks.
+    intern_lock_wait_ns,
+    /// Nanoseconds spent waiting on contended subsumption-memo shard
+    /// locks.
+    subsume_lock_wait_ns,
+    /// Nanoseconds spent waiting on contended transfer-memo shard locks.
+    transfer_lock_wait_ns,
 }
 
 impl OpMetrics {
@@ -657,13 +1072,16 @@ impl OpMetrics {
 impl OpStats {
     /// The difference between two snapshots, with gauge fields
     /// (`interner_size`, `cache_size`, `transfer_cache_size`,
-    /// `peak_set_width`) taken from the later snapshot instead of
-    /// subtracted.
+    /// `*_shard_peak`, `peak_set_width`) taken from the later snapshot
+    /// instead of subtracted.
     pub fn delta(&self, earlier: &OpStats) -> OpStats {
         let mut d = self.delta_raw(earlier);
         d.interner_size = self.interner_size;
         d.cache_size = self.cache_size;
         d.transfer_cache_size = self.transfer_cache_size;
+        d.interner_shard_peak = self.interner_shard_peak;
+        d.subsume_shard_peak = self.subsume_shard_peak;
+        d.transfer_shard_peak = self.transfer_shard_peak;
         d.peak_set_width = self.peak_set_width;
         d
     }
@@ -693,6 +1111,17 @@ impl OpStats {
             return 0.0;
         }
         self.transfer_memo_hits as f64 / self.transfer_queries as f64
+    }
+
+    /// Total nanoseconds spent waiting on contended shard locks across all
+    /// three tables.
+    pub fn lock_wait_ns(&self) -> u64 {
+        self.intern_lock_wait_ns + self.subsume_lock_wait_ns + self.transfer_lock_wait_ns
+    }
+
+    /// Total contended shard-lock acquisitions across all three tables.
+    pub fn lock_contended(&self) -> u64 {
+        self.intern_lock_contended + self.subsume_lock_contended + self.transfer_lock_contended
     }
 }
 
@@ -791,10 +1220,60 @@ impl SharedTables {
             .intern_traced(g, &self.metrics, Some(&self.tracer))
     }
 
+    /// Intern several graphs at once through these tables (see
+    /// [`Interner::intern_batch`]): one canonicalization-scratch checkout
+    /// serves the whole batch, and ids mint in input order so results are
+    /// bit-identical to a loop of [`SharedTables::intern`] calls.
+    pub fn intern_batch(&self, graphs: &[&Rsg]) -> Vec<CanonEntry> {
+        self.interner
+            .intern_batch(graphs, &self.metrics, Some(&self.tracer))
+    }
+
+    /// Per-statement transfer-memo lookup through these tables' metrics
+    /// and tracer (shard-lock waits are accounted).
+    pub fn transfer_lookup(
+        &self,
+        epoch: u32,
+        stmt: u32,
+        input: CanonId,
+    ) -> Option<Arc<TransferOutcome>> {
+        self.transfer
+            .lookup_timed(epoch, stmt, input, &self.metrics, Some(&self.tracer))
+    }
+
+    /// Per-statement transfer-memo store through these tables' metrics and
+    /// tracer.
+    pub fn transfer_store(
+        &self,
+        epoch: u32,
+        stmt: u32,
+        input: CanonId,
+        outcome: Arc<TransferOutcome>,
+    ) {
+        self.transfer.store_timed(
+            epoch,
+            stmt,
+            input,
+            outcome,
+            &self.metrics,
+            Some(&self.tracer),
+        );
+    }
+
     /// `subsumes(general, specific)` through the fingerprint pre-filter
     /// and memo table. With the cache disabled this is exactly the raw
     /// search (plus counters), which is what makes cache-on/cache-off runs
     /// comparable bit-for-bit.
+    ///
+    /// The pre-filter runs **before** the memo lookup: prefilter-rejected
+    /// pairs are never stored in the memo (only search results are), so
+    /// the answer and every counter are unchanged by the ordering — but
+    /// the common case (bulk fingerprint rejects) now resolves without
+    /// touching a shard lock at all.
+    /// `subsume_ns` and the `Subsume` trace span cover the embedding
+    /// *searches* only: prefilter rejects and memo hits resolve with
+    /// counter bumps alone (no clock reads), which matters at the several
+    /// hundred thousand queries a large run issues.
     pub fn subsumes_interned(
         &self,
         general: (&CanonEntry, &Rsg),
@@ -802,22 +1281,22 @@ impl SharedTables {
     ) -> bool {
         let m = &self.metrics;
         m.subsume_queries.fetch_add(1, Ordering::Relaxed);
+        if self.cache_enabled {
+            if !Fingerprint::may_subsume(&general.0.fp, &specific.0.fp) {
+                m.subsume_prefilter_rejects.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            if let Some(hit) =
+                self.cache
+                    .lookup_timed(general.0.id, specific.0.id, m, Some(&self.tracer))
+            {
+                m.subsume_cache_hits.fetch_add(1, Ordering::Relaxed);
+                return hit;
+            }
+        }
+        m.subsume_searches.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
-        let result = if !self.cache_enabled {
-            m.subsume_searches.fetch_add(1, Ordering::Relaxed);
-            subsumes(general.1, specific.1)
-        } else if let Some(hit) = self.cache.lookup(general.0.id, specific.0.id) {
-            m.subsume_cache_hits.fetch_add(1, Ordering::Relaxed);
-            hit
-        } else if !Fingerprint::may_subsume(&general.0.fp, &specific.0.fp) {
-            m.subsume_prefilter_rejects.fetch_add(1, Ordering::Relaxed);
-            false
-        } else {
-            m.subsume_searches.fetch_add(1, Ordering::Relaxed);
-            let r = subsumes(general.1, specific.1);
-            self.cache.store(general.0.id, specific.0.id, r);
-            r
-        };
+        let result = subsumes(general.1, specific.1);
         m.subsume_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.tracer.span_since(
@@ -826,10 +1305,15 @@ impl SharedTables {
             general.0.id.0 as u64,
             specific.0.id.0 as u64,
         );
+        if self.cache_enabled {
+            self.cache
+                .store_timed(general.0.id, specific.0.id, result, m, Some(&self.tracer));
+        }
         result
     }
 
-    /// Snapshot every counter, refreshing the size gauges first.
+    /// Snapshot every counter, refreshing the size and shard-occupancy
+    /// gauges first.
     pub fn snapshot(&self) -> OpStats {
         self.metrics
             .interner_size
@@ -840,6 +1324,15 @@ impl SharedTables {
         self.metrics
             .transfer_cache_size
             .store(self.transfer.len() as u64, Ordering::Relaxed);
+        self.metrics
+            .interner_shard_peak
+            .store(self.interner.max_shard_len() as u64, Ordering::Relaxed);
+        self.metrics
+            .subsume_shard_peak
+            .store(self.cache.max_shard_len() as u64, Ordering::Relaxed);
+        self.metrics
+            .transfer_shard_peak
+            .store(self.transfer.max_shard_len() as u64, Ordering::Relaxed);
         self.metrics.snapshot()
     }
 }
@@ -869,6 +1362,48 @@ mod tests {
         assert_eq!(snap.intern_hits, 1);
         assert_eq!(snap.intern_misses, 2);
         assert_eq!(snap.interner_size, 2);
+    }
+
+    #[test]
+    fn intern_batch_matches_sequential() {
+        let t1 = SharedTables::new();
+        let t2 = SharedTables::new();
+        let graphs: Vec<Rsg> = [3usize, 4, 3, 5].iter().map(|&n| sll(n)).collect();
+        let seq: Vec<CanonEntry> = graphs.iter().map(|g| t1.intern(g)).collect();
+        let refs: Vec<&Rsg> = graphs.iter().collect();
+        let batch = t2.intern_batch(&refs);
+        assert_eq!(seq.len(), batch.len());
+        for (a, b) in seq.iter().zip(&batch) {
+            assert_eq!(a.id, b.id, "ids mint in the same order");
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.fp, b.fp);
+        }
+        let s1 = t1.snapshot();
+        let s2 = t2.snapshot();
+        assert_eq!(s1.intern_hits, s2.intern_hits);
+        assert_eq!(s1.intern_misses, s2.intern_misses);
+        assert_eq!(t1.interner.len(), t2.interner.len());
+    }
+
+    #[test]
+    fn interner_resolution_is_lock_free_under_shard_lock() {
+        // Resolving an id while every shard lock is held must not
+        // deadlock: id → entry goes through the slab, never the maps.
+        let t = SharedTables::new();
+        let e = t.intern(&sll(3));
+        let guards: Vec<_> = t
+            .interner
+            .shard_mutexes()
+            .iter()
+            .map(lock_recover)
+            .collect();
+        assert_eq!(t.interner.bytes(e.id), e.bytes);
+        assert_eq!(t.interner.fingerprint(e.id), e.fp);
+        assert_eq!(t.interner.entry(e.id).id, e.id);
+        let (entry, _g) = t.interner.resolve(e.id);
+        assert_eq!(entry.id, e.id);
+        assert_eq!(t.interner.len(), 1, "len() is slab-backed, lock-free");
+        drop(guards);
     }
 
     #[test]
@@ -1053,6 +1588,66 @@ mod tests {
     }
 
     #[test]
+    fn timed_transfer_wrappers_roundtrip() {
+        let t = SharedTables::new();
+        let g = sll(3);
+        let e = t.intern(&g);
+        assert!(t.transfer_lookup(0, 3, e.id).is_none());
+        t.transfer_store(0, 3, e.id, Arc::new(TransferOutcome::default()));
+        assert!(t.transfer_lookup(0, 3, e.id).is_some());
+        assert_eq!(t.transfer.len(), 1);
+    }
+
+    #[test]
+    fn shard_occupancy_gauges_track_entries() {
+        let t = SharedTables::new();
+        for n in 1..=8usize {
+            let g = sll(n);
+            let e = t.intern(&g);
+            t.transfer
+                .store(0, n as u32, e.id, Arc::new(TransferOutcome::default()));
+        }
+        let s = t.snapshot();
+        assert!(s.interner_shard_peak >= 1);
+        assert!(s.transfer_shard_peak >= 1);
+        assert!(s.interner_shard_peak as usize <= t.interner.len());
+        // Uncontended single-thread use never records lock waits.
+        assert_eq!(s.lock_wait_ns(), 0);
+        assert_eq!(s.lock_contended(), 0);
+    }
+
+    #[test]
+    fn sharded_tables_dedup_across_threads() {
+        // Hammer one shared graph (plus distinct per-thread graphs) from
+        // several threads: every thread must agree on the id of the shared
+        // form, and len() must count distinct forms exactly once.
+        let t = Arc::new(SharedTables::new());
+        let mut handles = Vec::new();
+        for k in 0..4u32 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                let shared = t.intern(&sll(3)).id;
+                let own = t.intern(&sll(4 + k as usize)).id;
+                (shared, own)
+            }));
+        }
+        let results: Vec<(CanonId, CanonId)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let first = results[0].0;
+        assert!(results.iter().all(|(s, _)| *s == first));
+        let mut owns: Vec<CanonId> = results.iter().map(|(_, o)| *o).collect();
+        owns.sort();
+        owns.dedup();
+        assert_eq!(owns.len(), 4, "distinct graphs mint distinct ids");
+        assert_eq!(t.interner.len(), 5);
+        // Every minted id resolves lock-free.
+        for (s, o) in &results {
+            let _ = t.interner.resolve(*s);
+            let _ = t.interner.resolve(*o);
+        }
+    }
+
+    #[test]
     fn epochs_are_stable_per_key() {
         let t = SharedTables::new();
         let a = t.epoch_for(10);
@@ -1075,5 +1670,9 @@ mod tests {
         assert_eq!(d.subsume_queries, 1);
         assert_eq!(d.interner_size, 1, "gauge comes from the later snapshot");
         assert_eq!(d.peak_set_width, 7);
+        assert_eq!(
+            d.interner_shard_peak, second.interner_shard_peak,
+            "shard gauges come from the later snapshot"
+        );
     }
 }

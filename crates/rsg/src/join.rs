@@ -104,7 +104,7 @@ pub fn join(g1: &Rsg, g2: &Rsg, level: Level) -> Rsg {
         let cap = g.node_ids().map(|n| n.0 as usize + 1).max().unwrap_or(0);
         let mut m: Vec<Option<NodeId>> = vec![None; cap];
         for id in g.node_ids() {
-            m[id.0 as usize] = Some(out.add_node(g.node(id).clone()));
+            m[id.0 as usize] = Some(out.add_node(g.node(id).to_node()));
         }
         m
     };
@@ -200,7 +200,7 @@ pub fn join(g1: &Rsg, g2: &Rsg, level: Level) -> Rsg {
     let mut final_map: Vec<Option<NodeId>> = vec![None; total];
     for members in groups.values() {
         let new_id = if members.len() == 1 {
-            out.add_node(combined.node(members[0]).clone())
+            out.add_node(combined.node(members[0]).to_node())
         } else {
             // Fold MERGE_NODES pairwise over the combined graph (whose NL is
             // the union, giving the conservative cyclelinks rule the right
@@ -214,9 +214,9 @@ pub fn join(g1: &Rsg, g2: &Rsg, level: Level) -> Rsg {
             for &m in &members[1..] {
                 let summary = combined.node(acc_id).summary || combined.node(m).summary;
                 let merged = merge_nodes(&combined, acc_id, m, summary);
-                *combined.node_mut(acc_id) = merged;
+                combined.node_mut(acc_id).assign(merged);
             }
-            out.add_node(combined.node(acc_id).clone())
+            out.add_node(combined.node(acc_id).to_node())
         };
         for &m in members {
             final_map[m.0 as usize] = Some(new_id);
@@ -237,7 +237,7 @@ pub fn join(g1: &Rsg, g2: &Rsg, level: Level) -> Rsg {
     // widening join may merge differing maps, where intersection is the
     // sound lattice join).
     for (v, k) in g1.scalars() {
-        if g2.scalars().get(v) == Some(k) {
+        if g2.scalars().get(*v) == Some(*k) {
             out.set_scalar(*v, *k);
         }
     }

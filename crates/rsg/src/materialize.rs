@@ -1,6 +1,6 @@
 //! Materialization — the *focus* step of Fig. 1(d): extract the single
 //! location designated by a definite link `<n_y, sel, n_s>` out of the
-//! summary node `n_s` into a fresh **singular** node `n_m`.
+//! summary node `n_s` into a fresh *singular* node `n_m`.
 //!
 //! The residual `n_s` keeps representing the remaining locations. Links are
 //! distributed conservatively:
@@ -8,10 +8,10 @@
 //! * the focused link is redirected: `<n_y, sel, n_m>` replaces
 //!   `<n_y, sel, n_s>`;
 //! * every outgoing may-link of `n_s` is copied onto `n_m`; self-links
-//!   `<n_s, s, n_s>` unroll into `<n_m, s, n_s>`, `<n_s, s, n_m>` **and**
+//!   `<n_s, s, n_s>` unroll into `<n_m, s, n_s>`, `<n_s, s, n_m>` *and*
 //!   `<n_m, s, n_m>` (the extracted location may point to a sibling, be
 //!   pointed by one, or point at itself);
-//! * other incoming may-links of `n_s` are copied onto `n_m` **unless** the
+//! * other incoming may-links of `n_s` are copied onto `n_m` *unless* the
 //!   sharing properties forbid them: with `SHSEL(n_s, sel) = false` the
 //!   extracted location has no second incoming `sel` link, and with
 //!   `SHARED(n_s) = false` it has no other incoming link at all — this is
@@ -37,7 +37,7 @@ pub fn materialize(g: &mut Rsg, n_y: NodeId, sel: SelectorId, n_s: NodeId) -> No
 
     // The extracted node: same properties, singular, definitely referenced
     // through `sel` (the focused link is definite by division).
-    let mut node = g.node(n_s).clone();
+    let mut node = g.node(n_s).to_node();
     node.summary = false;
     node.set_must_in(sel);
     let n_m = g.add_node(node);
@@ -151,7 +151,7 @@ mod tests {
     fn shared_summary_gets_extra_in_links() {
         let (mut g, head, mid) = compressed_list();
         // Pretend the middle may be shared through sel0.
-        g.node_mut(mid).shared = true;
+        *g.node_mut(mid).shared = true;
         g.node_mut(mid).shsel.insert(sel(0));
         let m = materialize(&mut g, head, sel(0), mid);
         // Now the residual summary may also reference the extracted node.

@@ -4,8 +4,10 @@ use crate::sets::{CycleSet, SelSet, TouchSet};
 use psa_cfront::types::StructId;
 use std::fmt;
 
-/// Identifier of a node inside one RSG (slot index; slots are reused only
-/// across whole-graph rebuilds, never within an operation).
+/// Identifier of a node inside one RSG (arena slot index; freed slots are
+/// recycled only across whole-graph rebuilds — see [`crate::graph::Rsg`]'s
+/// free-list discipline — never within an operation, so ids held by a
+/// kernel stay valid-or-dead for the kernel's whole run).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
@@ -82,7 +84,7 @@ impl Node {
     /// alternative per divided variant gets its link promoted to *must*),
     /// and the RSGs would grow without bound.
     ///
-    /// Note this relation is **not transitive**; COMPRESS and JOIN merge
+    /// Note this relation is *not transitive*; COMPRESS and JOIN merge
     /// greedily against the accumulated group view.
     pub fn refpat_compatible(&self, other: &Node) -> bool {
         self.selin.diff(other.may_selin()).is_empty()
@@ -142,6 +144,206 @@ impl Node {
         std::mem::size_of::<Node>()
             + self.cyclelinks.len() * std::mem::size_of::<(u32, u32)>()
             + self.touch.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// A borrowed read view of one arena slot ([`crate::Rsg`] stores nodes as
+/// struct-of-arrays columns, so there is no `&Node` to hand out). The hot
+/// scalar properties are copied out by value — they are one `u64` each —
+/// while the cold dynamic sets stay borrowed. `Copy`, so views can be
+/// captured before mutating the graph without borrow friction.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeRef<'a> {
+    /// TYPE — the struct type of the represented locations.
+    pub ty: StructId,
+    /// SHARED — may some represented location be heap-referenced ≥ 2 times?
+    pub shared: bool,
+    /// True when the node may represent several locations per configuration.
+    pub summary: bool,
+    /// SHSEL — per-selector sharing.
+    pub shsel: SelSet,
+    /// SELINset — definite incoming selectors.
+    pub selin: SelSet,
+    /// SELOUTset — definite outgoing selectors.
+    pub selout: SelSet,
+    /// posSELINset — possible incoming selectors.
+    pub pos_selin: SelSet,
+    /// posSELOUTset — possible outgoing selectors.
+    pub pos_selout: SelSet,
+    /// CYCLELINKS — must-pairs `<s_out, s_back>`.
+    pub cyclelinks: &'a CycleSet,
+    /// TOUCH — induction pvars that have visited the locations (L3).
+    pub touch: &'a TouchSet,
+}
+
+impl<'a> NodeRef<'a> {
+    /// View an owned [`Node`] (used when kernels fold an accumulated group
+    /// node and compare it against arena slots).
+    pub fn of(n: &'a Node) -> NodeRef<'a> {
+        NodeRef {
+            ty: n.ty,
+            shared: n.shared,
+            summary: n.summary,
+            shsel: n.shsel,
+            selin: n.selin,
+            selout: n.selout,
+            pos_selin: n.pos_selin,
+            pos_selout: n.pos_selout,
+            cyclelinks: &n.cyclelinks,
+            touch: &n.touch,
+        }
+    }
+
+    /// Materialize an owned [`Node`] (clones the dynamic sets).
+    pub fn to_node(&self) -> Node {
+        Node {
+            ty: self.ty,
+            shared: self.shared,
+            shsel: self.shsel,
+            selin: self.selin,
+            selout: self.selout,
+            pos_selin: self.pos_selin,
+            pos_selout: self.pos_selout,
+            cyclelinks: self.cyclelinks.clone(),
+            touch: self.touch.clone(),
+            summary: self.summary,
+        }
+    }
+
+    /// The selectors that may be populated out of this node (must ∪ pos).
+    pub fn may_selout(&self) -> SelSet {
+        self.selout.union(self.pos_selout)
+    }
+
+    /// The selectors that may reference this node (must ∪ pos).
+    pub fn may_selin(&self) -> SelSet {
+        self.selin.union(self.pos_selin)
+    }
+
+    /// C_REFPAT over views — see [`Node::refpat_compatible`].
+    pub fn refpat_compatible(&self, other: NodeRef<'_>) -> bool {
+        self.selin.diff(other.may_selin()).is_empty()
+            && other.selin.diff(self.may_selin()).is_empty()
+            && self.selout.diff(other.may_selout()).is_empty()
+            && other.selout.diff(self.may_selout()).is_empty()
+    }
+
+    /// Approximate structural size in bytes — same formula as
+    /// [`Node::approx_bytes`] so the budget accounting is layout-independent.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Node>()
+            + self.cyclelinks.len() * std::mem::size_of::<(u32, u32)>()
+            + self.touch.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// A borrowed write view of one arena slot: one `&mut` per column entry.
+/// Field updates read as `*m.shared = true`; the set fields auto-deref, so
+/// `m.shsel.insert(sel)` works as it did on `&mut Node`.
+#[derive(Debug)]
+pub struct NodeMut<'a> {
+    /// TYPE.
+    pub ty: &'a mut StructId,
+    /// SHARED.
+    pub shared: &'a mut bool,
+    /// Summary flag.
+    pub summary: &'a mut bool,
+    /// SHSEL.
+    pub shsel: &'a mut SelSet,
+    /// SELINset.
+    pub selin: &'a mut SelSet,
+    /// SELOUTset.
+    pub selout: &'a mut SelSet,
+    /// posSELINset.
+    pub pos_selin: &'a mut SelSet,
+    /// posSELOUTset.
+    pub pos_selout: &'a mut SelSet,
+    /// CYCLELINKS.
+    pub cyclelinks: &'a mut CycleSet,
+    /// TOUCH.
+    pub touch: &'a mut TouchSet,
+}
+
+impl NodeMut<'_> {
+    /// Overwrite the whole slot with `n` (the arena replacement for
+    /// `*g.node_mut(id) = n`).
+    pub fn assign(&mut self, n: Node) {
+        *self.ty = n.ty;
+        *self.shared = n.shared;
+        *self.summary = n.summary;
+        *self.shsel = n.shsel;
+        *self.selin = n.selin;
+        *self.selout = n.selout;
+        *self.pos_selin = n.pos_selin;
+        *self.pos_selout = n.pos_selout;
+        *self.cyclelinks = n.cyclelinks;
+        *self.touch = n.touch;
+    }
+
+    /// Read-only view of the slot being mutated.
+    pub fn as_ref(&self) -> NodeRef<'_> {
+        NodeRef {
+            ty: *self.ty,
+            shared: *self.shared,
+            summary: *self.summary,
+            shsel: *self.shsel,
+            selin: *self.selin,
+            selout: *self.selout,
+            pos_selin: *self.pos_selin,
+            pos_selout: *self.pos_selout,
+            cyclelinks: self.cyclelinks,
+            touch: self.touch,
+        }
+    }
+
+    /// The selectors that may be populated out of this node (must ∪ pos).
+    pub fn may_selout(&self) -> SelSet {
+        self.selout.union(*self.pos_selout)
+    }
+
+    /// The selectors that may reference this node (must ∪ pos).
+    pub fn may_selin(&self) -> SelSet {
+        self.selin.union(*self.pos_selin)
+    }
+
+    /// Make `sel` a definite out-selector.
+    pub fn set_must_out(&mut self, sel: psa_cfront::types::SelectorId) {
+        self.selout.insert(sel);
+        self.pos_selout.remove(sel);
+    }
+
+    /// Make `sel` a definite in-selector.
+    pub fn set_must_in(&mut self, sel: psa_cfront::types::SelectorId) {
+        self.selin.insert(sel);
+        self.pos_selin.remove(sel);
+    }
+
+    /// Remove `sel` from both the definite and possible out sets.
+    pub fn clear_out(&mut self, sel: psa_cfront::types::SelectorId) {
+        self.selout.remove(sel);
+        self.pos_selout.remove(sel);
+    }
+
+    /// Remove `sel` from both the definite and possible in sets.
+    pub fn clear_in(&mut self, sel: psa_cfront::types::SelectorId) {
+        self.selin.remove(sel);
+        self.pos_selin.remove(sel);
+    }
+
+    /// Demote `sel` from definite to possible in the out sets.
+    pub fn weaken_out(&mut self, sel: psa_cfront::types::SelectorId) {
+        if self.selout.contains(sel) {
+            self.selout.remove(sel);
+            self.pos_selout.insert(sel);
+        }
+    }
+
+    /// Demote `sel` from definite to possible in the in sets.
+    pub fn weaken_in(&mut self, sel: psa_cfront::types::SelectorId) {
+        if self.selin.contains(sel) {
+            self.selin.remove(sel);
+            self.pos_selin.insert(sel);
+        }
     }
 }
 

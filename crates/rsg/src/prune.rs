@@ -3,16 +3,16 @@
 //!
 //! Rules applied to a fixed point:
 //!
-//! 1. **N_PRUNE** — a node with a must in/out selector that has no
+//! 1. *N_PRUNE* — a node with a must in/out selector that has no
 //!    corresponding NL link is impossible; remove it (with its links and
 //!    pvar references).
-//! 2. **NL_PRUNE** — a link `<n1, sel_i, n2>` contradicting a cycle pair
+//! 2. *NL_PRUNE* — a link `<n1, sel_i, n2>` contradicting a cycle pair
 //!    `<sel_i, sel_j> ∈ CYCLELINKS(n1)` (no `<n2, sel_j, n1>` back link) is
 //!    impossible; remove it.
-//! 3. **pattern rule** — a link whose selector is neither a must nor a
+//! 3. *pattern rule* — a link whose selector is neither a must nor a
 //!    possible out-selector of its source (or in-selector of its target)
 //!    contradicts the reference pattern; remove it.
-//! 4. **sharing rule** (the paper's "false share attributes lead to a more
+//! 4. *sharing rule* (the paper's "false share attributes lead to a more
 //!    aggressive pruning") — when a singular node is *definitely* referenced
 //!    through `sel` by one source and `SHSEL(n, sel) = false`, every other
 //!    incoming `sel` link is impossible; when additionally
@@ -25,7 +25,7 @@
 //!
 //! # Worklist seeding contract
 //!
-//! [`prune`] runs the rules as a **round-synchronous worklist**: round 0
+//! [`prune`] runs the rules as a *round-synchronous worklist*: round 0
 //! examines the whole graph (any element of an arbitrary input may violate
 //! a rule), and every later round re-examines only the elements whose rule
 //! premises can have changed, seeded by what the previous round touched:
@@ -36,7 +36,7 @@
 //! * the survivors that garbage collection stripped in-links from
 //!   ([`Rsg::gc_track`] reports them);
 //! * for the sharing rule, additionally the out-targets of every seeded
-//!   node and of every node whose **presence** ([`Rsg::present_nodes`])
+//!   node and of every node whose *presence* ([`Rsg::present_nodes`])
 //!   flipped between rounds — definiteness of a link `<a, sel, n>` depends
 //!   on `present[a]` and on `succs(a, sel)`, both of which change at `a`,
 //!   not at the pruned element itself.
@@ -432,7 +432,7 @@ mod tests {
         g.node_mut(n2).pos_selout.insert(sel(0));
         g.node_mut(n3).set_must_in(sel(0));
         g.node_mut(n3).shsel.insert(sel(0));
-        g.node_mut(n3).shared = true;
+        *g.node_mut(n3).shared = true;
         let p = prune(&g).expect("consistent");
         assert_eq!(p.num_links(), 2, "shared target keeps both in-links");
     }
@@ -450,7 +450,7 @@ mod tests {
         g.node_mut(n1).set_must_out(sel(0));
         g.node_mut(n2).pos_selout.insert(sel(0));
         g.node_mut(n3).pos_selin.insert(sel(0));
-        g.node_mut(n3).summary = true;
+        *g.node_mut(n3).summary = true;
         let p = prune(&g).expect("consistent");
         assert_eq!(
             p.num_links(),

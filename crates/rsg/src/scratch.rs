@@ -110,6 +110,19 @@ pool!(
     LINK_POOL,
     (NodeId, SelectorId, NodeId)
 );
+pool!(
+    /// A pooled `Vec<(u32, u32)>` — `(start, len)` spans into a flat buffer
+    /// (the subsumption search's per-node candidate segments).
+    span_buf,
+    SPAN_POOL,
+    (u32, u32)
+);
+pool!(
+    /// A pooled `Vec<u32>` (index orderings).
+    idx_buf,
+    IDX_POOL,
+    u32
+);
 
 #[cfg(test)]
 mod tests {

@@ -1,19 +1,19 @@
 //! Subsumption between RSGs: does one graph represent every memory
 //! configuration another represents?
 //!
-//! `subsumes(general, specific)` searches for an **embedding** — a total
+//! `subsumes(general, specific)` searches for an *embedding* — a total
 //! mapping from `specific`'s nodes onto `general`'s nodes such that every
 //! configuration admitted by `specific` is admitted by `general`:
 //!
 //! * pvar bindings agree (`map(pl_s(p)) = pl_g(p)`, same NULL-ness);
 //! * TYPE and TOUCH are equal; SHARED/SHSEL may only grow
 //!   (`specific ⇒ general`);
-//! * `general`'s **must**-sets are weaker (`selin_g ⊆ selin_s`, same for
-//!   out) and its **may**-sets wider;
+//! * `general`'s *must*-sets are weaker (`selin_g ⊆ selin_s`, same for
+//!   out) and its *may*-sets wider;
 //! * `general`'s CYCLELINKS pairs are a subset of `specific`'s (a must-pair
 //!   the general graph promises must hold in everything it represents);
 //! * every NL link of `specific` maps onto a link of `general`;
-//! * a **singular** general node hosts at most one specific node, and never
+//! * a *singular* general node hosts at most one specific node, and never
 //!   a summary one.
 //!
 //! The search backtracks, so a positive answer is exact — dropping a
@@ -21,29 +21,42 @@
 //! makes the engine's accumulation idempotent: re-presenting an
 //! already-joined contribution is recognized and discarded instead of
 //! churning the set forever.
+//!
+//! The search runs hundreds of thousands of times per fixpoint, so all of
+//! its working state — specific node ids, per-node candidate sets (a flat
+//! buffer plus `(start, len)` spans), the assignment order and the partial
+//! assignment — checks out of the thread-local [`crate::scratch`] pools
+//! instead of allocating per call.
 
 use crate::graph::Rsg;
-use crate::node::{Node, NodeId};
+use crate::node::{NodeId, NodeRef};
+
+/// Sentinel for "not yet assigned" in the pooled assignment buffer (a real
+/// node id never reaches `u32::MAX`).
+const UNASSIGNED: NodeId = NodeId(u32::MAX);
 
 /// Does `general` represent every configuration of `specific`?
 pub fn subsumes(general: &Rsg, specific: &Rsg) -> bool {
     debug_assert_eq!(general.num_pvar_slots(), specific.num_pvar_slots());
 
     // Pvar domains must agree exactly (PL is must information).
-    let dom_g: Vec<_> = general.pl_iter().map(|(p, _)| p).collect();
-    let dom_s: Vec<_> = specific.pl_iter().map(|(p, _)| p).collect();
-    if dom_g != dom_s {
+    if !general
+        .pl_iter()
+        .map(|(p, _)| p)
+        .eq(specific.pl_iter().map(|(p, _)| p))
+    {
         return false;
     }
     // Every scalar fact the general graph promises must hold in the
     // specific one (extra facts in `specific` are fine — they only narrow).
     for (v, k) in general.scalars() {
-        if specific.scalars().get(v) != Some(k) {
+        if specific.scalars().get(*v) != Some(*k) {
             return false;
         }
     }
 
-    let s_ids: Vec<NodeId> = specific.node_ids().collect();
+    let mut s_ids = crate::scratch::node_buf();
+    s_ids.extend(specific.node_ids());
     if s_ids.is_empty() {
         // The empty heap: general must have no *present* obligations; since
         // domains agree (no pvars bound), it represents the empty heap iff
@@ -51,60 +64,77 @@ pub fn subsumes(general: &Rsg, specific: &Rsg) -> bool {
         return true;
     }
 
-    // Candidate sets filtered by node-local conditions and pvar pinning.
-    let mut cand: Vec<Vec<NodeId>> = Vec::with_capacity(s_ids.len());
-    for &sn in &s_ids {
-        let mut cs: Vec<NodeId> = general
-            .node_ids()
-            .filter(|&gn| node_weaker(general.node(gn), specific.node(sn)))
-            .collect();
+    // Candidate sets filtered by node-local conditions and pvar pinning:
+    // one flat buffer, with `spans[i] = (start, len)` delimiting specific
+    // node `i`'s segment.
+    let mut cand_flat = crate::scratch::node_buf();
+    let mut spans = crate::scratch::span_buf();
+    for &sn in s_ids.iter() {
+        let start = cand_flat.len();
+        cand_flat.extend(
+            general
+                .node_ids()
+                .filter(|&gn| node_weaker(general.node(gn), specific.node(sn))),
+        );
         for (p, target) in specific.pl_iter() {
             if target == sn {
                 let pin = general.pl(p).expect("domains agree");
-                cs.retain(|&gn| gn == pin);
+                let mut w = start;
+                for r in start..cand_flat.len() {
+                    if cand_flat[r] == pin {
+                        cand_flat[w] = cand_flat[r];
+                        w += 1;
+                    }
+                }
+                cand_flat.truncate(w);
             }
         }
-        if cs.is_empty() {
+        if cand_flat.len() == start {
             return false;
         }
-        cand.push(cs);
+        spans.push((start as u32, (cand_flat.len() - start) as u32));
+    }
+
+    fn seg(flat: &[NodeId], sp: (u32, u32)) -> &[NodeId] {
+        &flat[sp.0 as usize..(sp.0 + sp.1) as usize]
     }
 
     // Arc-consistency prepass: a candidate must be able to simulate every
     // link of the specific node with *some* candidate of the neighbour.
     // Cheap, and it usually collapses the search space to (near) singleton
     // candidate sets. The filter for node `i` reads the candidate sets —
-    // including `cand[i]` itself for self-links — before any of this
-    // node's removals apply, so survivors are collected into a pooled side
-    // buffer first instead of snapshotting the whole table per node.
-    let index_of_ac = |n: NodeId| s_ids.binary_search(&n).expect("specific node");
+    // including its own segment for self-links — before any of this node's
+    // removals apply, so survivors are collected into a pooled side buffer
+    // first and copied back over the segment start (segments only shrink).
+    let index_of = |n: NodeId| s_ids.binary_search(&n).expect("specific node");
     let mut kept = crate::scratch::node_buf();
     loop {
         let mut changed = false;
         for (i, &sn) in s_ids.iter().enumerate() {
             let outs = specific.out_links(sn);
             let ins = specific.in_links(sn);
+            let (start, len) = spans[i];
             kept.clear();
-            kept.extend(cand[i].iter().copied().filter(|&gn| {
+            kept.extend(seg(&cand_flat, (start, len)).iter().copied().filter(|&gn| {
                 outs.iter().all(|&(sel, t)| {
                     general
                         .succs(gn, sel)
                         .iter()
-                        .any(|gt| cand[index_of_ac(t)].contains(&gt))
+                        .any(|gt| seg(&cand_flat, spans[index_of(t)]).contains(&gt))
                 }) && ins.iter().all(|&(f, sel)| {
                     general
                         .preds(gn, sel)
                         .iter()
-                        .any(|gf| cand[index_of_ac(f)].contains(&gf))
+                        .any(|gf| seg(&cand_flat, spans[index_of(f)]).contains(&gf))
                 })
             }));
             if kept.is_empty() {
                 return false;
             }
-            if kept.len() != cand[i].len() {
+            if kept.len() != len as usize {
                 changed = true;
-                cand[i].clear();
-                cand[i].extend_from_slice(&kept);
+                cand_flat[start as usize..start as usize + kept.len()].copy_from_slice(&kept);
+                spans[i].1 = kept.len() as u32;
             }
         }
         if !changed {
@@ -116,16 +146,17 @@ pub fn subsumes(general: &Rsg, specific: &Rsg) -> bool {
     // Backtracking assignment with link-consistency checks against already
     // assigned neighbours. Order nodes by candidate count (most constrained
     // first).
-    let mut order: Vec<usize> = (0..s_ids.len()).collect();
-    order.sort_by_key(|&i| cand[i].len());
-    let mut assign: Vec<Option<NodeId>> = vec![None; s_ids.len()];
-    let index_of = |n: NodeId| s_ids.binary_search(&n).expect("specific node");
+    let mut order = crate::scratch::idx_buf();
+    order.extend(0..s_ids.len() as u32);
+    order.sort_by_key(|&i| spans[i as usize].1);
+    let mut assign = crate::scratch::node_buf();
+    assign.resize(s_ids.len(), UNASSIGNED);
 
     fn consistent(
         general: &Rsg,
         specific: &Rsg,
         s_ids: &[NodeId],
-        assign: &[Option<NodeId>],
+        assign: &[NodeId],
         idx: usize,
         gn: NodeId,
         index_of: &dyn Fn(NodeId) -> usize,
@@ -133,15 +164,16 @@ pub fn subsumes(general: &Rsg, specific: &Rsg) -> bool {
         let sn = s_ids[idx];
         // Singular general nodes host at most one specific node.
         if !general.node(gn).summary {
-            for (j, a) in assign.iter().enumerate() {
-                if j != idx && *a == Some(gn) {
+            for (j, &a) in assign.iter().enumerate() {
+                if j != idx && a == gn {
                     return false;
                 }
             }
         }
         // Links to/from already-assigned specifics must be simulated.
         for &(sel, t) in specific.out_links(sn) {
-            if let Some(gt) = assign[index_of(t)] {
+            let gt = assign[index_of(t)];
+            if gt != UNASSIGNED {
                 if !general.has_link(gn, sel, gt) {
                     return false;
                 }
@@ -150,7 +182,8 @@ pub fn subsumes(general: &Rsg, specific: &Rsg) -> bool {
             }
         }
         for &(f, sel) in specific.in_links(sn) {
-            if let Some(gf) = assign[index_of(f)] {
+            let gf = assign[index_of(f)];
+            if gf != UNASSIGNED {
                 if !general.has_link(gf, sel, gn) {
                     return false;
                 }
@@ -166,9 +199,10 @@ pub fn subsumes(general: &Rsg, specific: &Rsg) -> bool {
         general: &Rsg,
         specific: &Rsg,
         s_ids: &[NodeId],
-        cand: &[Vec<NodeId>],
-        order: &[usize],
-        assign: &mut Vec<Option<NodeId>>,
+        cand_flat: &[NodeId],
+        spans: &[(u32, u32)],
+        order: &[u32],
+        assign: &mut [NodeId],
         depth: usize,
         index_of: &dyn Fn(NodeId) -> usize,
         budget: &mut usize,
@@ -179,19 +213,20 @@ pub fn subsumes(general: &Rsg, specific: &Rsg) -> bool {
         if *budget == 0 {
             return false; // give up: treat as not subsumed (sound)
         }
-        let idx = order[depth];
-        for &gn in &cand[idx] {
+        let idx = order[depth] as usize;
+        for &gn in seg(cand_flat, spans[idx]) {
             *budget -= 1;
             if *budget == 0 {
                 return false;
             }
             if consistent(general, specific, s_ids, assign, idx, gn, index_of) {
-                assign[idx] = Some(gn);
+                assign[idx] = gn;
                 if search(
                     general,
                     specific,
                     s_ids,
-                    cand,
+                    cand_flat,
+                    spans,
                     order,
                     assign,
                     depth + 1,
@@ -200,7 +235,7 @@ pub fn subsumes(general: &Rsg, specific: &Rsg) -> bool {
                 ) {
                     return true;
                 }
-                assign[idx] = None;
+                assign[idx] = UNASSIGNED;
             }
         }
         false
@@ -211,7 +246,8 @@ pub fn subsumes(general: &Rsg, specific: &Rsg) -> bool {
         general,
         specific,
         &s_ids,
-        &cand,
+        &cand_flat,
+        &spans,
         &order,
         &mut assign,
         0,
@@ -222,7 +258,7 @@ pub fn subsumes(general: &Rsg, specific: &Rsg) -> bool {
 
 /// Node-local check: can general node `g` represent everything specific
 /// node `s` represents?
-fn node_weaker(g: &Node, s: &Node) -> bool {
+fn node_weaker(g: NodeRef<'_>, s: NodeRef<'_>) -> bool {
     g.ty == s.ty
         && g.touch == s.touch
         && (!s.shared || g.shared)
@@ -234,7 +270,6 @@ fn node_weaker(g: &Node, s: &Node) -> bool {
         && (!s.summary || g.summary)
         && g.cyclelinks.iter().all(|(a, b)| s.cyclelinks.contains(a, b))
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,7 +343,7 @@ mod tests {
         let n = a.add_fresh(StructId(0));
         a.set_pl(PvarId(0), n);
         let mut b = a.clone();
-        b.node_mut(n).shared = true;
+        *b.node_mut(n).shared = true;
         // Shared-general covers unshared-specific, not vice versa.
         assert!(subsumes(&b, &a));
         assert!(!subsumes(&a, &b));
@@ -343,7 +378,7 @@ mod tests {
         let dll = builder::doubly_linked_list(3, 1, PvarId(0), sel(0), sel(1));
         let mut weak = dll.clone();
         for n in weak.node_ids().collect::<Vec<_>>() {
-            weak.node_mut(n).cyclelinks = crate::sets::CycleSet::new();
+            *weak.node_mut(n).cyclelinks = crate::sets::CycleSet::new();
         }
         assert!(
             subsumes(&weak, &dll),

@@ -61,6 +61,10 @@ pub enum TraceKind {
     /// The [`crate::CancelToken`] was raised. `arg` = cause code (the
     /// discriminant of [`crate::intern::CancelCause`]).
     Cancel,
+    /// A contended shard-lock acquisition on a shared table. `arg` = table
+    /// code (`0` interner, `1` subsumption memo, `2` transfer memo — see
+    /// `LOCK_TABLE_*` in [`crate::intern`]), `arg2` = nanoseconds waited.
+    LockWait,
 }
 
 impl TraceKind {
@@ -83,6 +87,7 @@ impl TraceKind {
             TraceKind::TransferMemoMiss => "memo_miss",
             TraceKind::ForceCompress => "force_compress",
             TraceKind::Cancel => "cancel",
+            TraceKind::LockWait => "lock_wait",
         }
     }
 
@@ -101,7 +106,8 @@ impl TraceKind {
             TraceKind::InternHit
             | TraceKind::InternMiss
             | TraceKind::TransferMemoHit
-            | TraceKind::TransferMemoMiss => "cache",
+            | TraceKind::TransferMemoMiss
+            | TraceKind::LockWait => "cache",
             TraceKind::ForceCompress | TraceKind::Cancel => "budget",
         }
     }
@@ -335,6 +341,7 @@ mod tests {
             TraceKind::TransferMemoMiss,
             TraceKind::ForceCompress,
             TraceKind::Cancel,
+            TraceKind::LockWait,
         ] {
             assert!(!k.name().is_empty());
             assert!(!k.category().is_empty());

@@ -1,0 +1,172 @@
+//! Corpus canonical-byte pinning (ISSUE 7 satellite).
+//!
+//! The arena/sharding/batched-canon rework must not change a single
+//! analysis outcome: this suite replays every program under
+//! `tests/corpus/` at L1/L2/L3 and pins an FNV-1a hash of the exit
+//! RSRSG's full canonical signature (the sorted canonical byte strings
+//! of every member graph). The pins were generated on the pre-arena
+//! `Vec<Option<Node>>` layout, so a green run is a machine-checked
+//! bit-identity proof that the data-oriented storage rewrite preserved
+//! both verdicts (see `corpus_replay.rs`) and canonical bytes.
+//!
+//! If a pin fails after an *intentional* encoding or semantics change,
+//! regenerate with `cargo test --test corpus_canon -- --nocapture`
+//! (each failure prints the fresh hash) and note the break in DESIGN.md.
+
+use psa::core::api::{analyze_source, AnalysisOptions};
+use psa::rsg::Level;
+use std::path::PathBuf;
+
+/// FNV-1a, 64-bit — matches `golden_canon.rs`.
+fn fnv64(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+fn exit_signature_hash(src: &str, level: Level) -> u64 {
+    let opts = AnalysisOptions {
+        level: Some(level),
+        ..AnalysisOptions::default()
+    };
+    let res = analyze_source(src, opts).expect("corpus program analyzes");
+    assert!(
+        res.stopped.is_none(),
+        "corpus programs must run to fixpoint"
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for bytes in res.exit.signature() {
+        fnv64(&mut h, &bytes);
+        // Separator so concatenation ambiguity can't alias two sets.
+        fnv64(&mut h, &[0xFF, 0x00]);
+    }
+    h
+}
+
+/// `(file, L1 hash, L2 hash, L3 hash)` — regenerate with `--nocapture`.
+const PINS: &[(&str, u64, u64, u64)] = &[
+    (
+        "alias_copy.c",
+        0x610b11d6256812bc,
+        0x610b11d6256812bc,
+        0x610b11d6256812bc,
+    ),
+    (
+        "circular_pair.c",
+        0xcf588a6152852f46,
+        0xcf588a6152852f46,
+        0xcf588a6152852f46,
+    ),
+    (
+        "cycle_break.c",
+        0xf3ae1aadf3ad788f,
+        0xf3ae1aadf3ad788f,
+        0xf3ae1aadf3ad788f,
+    ),
+    (
+        "dll_fig1.c",
+        0x407c209a296e6e91,
+        0xf65a3c059855258c,
+        0xf65a3c059855258c,
+    ),
+    (
+        "free_then_null.c",
+        0xaf5e6cf4d30680f3,
+        0xaf5e6cf4d30680f3,
+        0xaf5e6cf4d30680f3,
+    ),
+    (
+        "list_unshared.c",
+        0x525865296a960f2b,
+        0x11e84eae8c3be5dc,
+        0x11e84eae8c3be5dc,
+    ),
+    (
+        "loop_site.c",
+        0x525865296a960f2b,
+        0x11e84eae8c3be5dc,
+        0x11e84eae8c3be5dc,
+    ),
+    (
+        "reach_chain.c",
+        0xf3ae1aadf3ad788f,
+        0xf3ae1aadf3ad788f,
+        0xf3ae1aadf3ad788f,
+    ),
+    (
+        "shared_diamond.c",
+        0x1ec24b4d39866563,
+        0x1ec24b4d39866563,
+        0x1ec24b4d39866563,
+    ),
+    (
+        "swap_pointers.c",
+        0x9390e8e52ae6a009,
+        0x9390e8e52ae6a009,
+        0x9390e8e52ae6a009,
+    ),
+    (
+        "tree_leaves.c",
+        0x6b217d147e19f7b2,
+        0x6b217d147e19f7b2,
+        0x6b217d147e19f7b2,
+    ),
+    (
+        "wrong_alias.c",
+        0x17dbf8230a0080d6,
+        0x17dbf8230a0080d6,
+        0x17dbf8230a0080d6,
+    ),
+];
+
+#[test]
+fn corpus_exit_signatures_are_bit_identical() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/corpus exists")
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().and_then(|x| x.to_str()) == Some("c")).then_some(p)
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "corpus is empty");
+
+    let pins: std::collections::BTreeMap<&str, (u64, u64, u64)> = PINS
+        .iter()
+        .map(|&(name, a, b, c)| (name, (a, b, c)))
+        .collect();
+
+    let mut failures = Vec::new();
+    for path in &files {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(path).unwrap();
+        let got = (
+            exit_signature_hash(&src, Level::L1),
+            exit_signature_hash(&src, Level::L2),
+            exit_signature_hash(&src, Level::L3),
+        );
+        match pins.get(name.as_str()) {
+            Some(&want) if want == got => {}
+            other => {
+                println!(
+                    "    (\"{name}\", 0x{:016x}, 0x{:016x}, 0x{:016x}),",
+                    got.0, got.1, got.2
+                );
+                failures.push(match other {
+                    None => format!("{name}: no pin (add the line above)"),
+                    Some(&(a, b, c)) => format!(
+                        "{name}: signature drifted \
+                         (pinned 0x{a:016x}/0x{b:016x}/0x{c:016x})"
+                    ),
+                });
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "exit canonical signatures changed:\n{}",
+        failures.join("\n")
+    );
+}

@@ -101,7 +101,7 @@ fn golden_shared_hub() {
     let spoke = builder::singly_linked_list(2, 3, PvarId(1), NXT);
     let mut map = std::collections::BTreeMap::new();
     for n in spoke.node_ids() {
-        map.insert(n, g.add_node(spoke.node(n).clone()));
+        map.insert(n, g.add_node(spoke.node(n).to_node()));
     }
     for (a, s, b) in spoke.links() {
         g.add_link(map[&a], s, map[&b]);

@@ -9,11 +9,16 @@
 //! observationally identical through the whole accessor surface:
 //! `links()`, `num_links()`, `has_link`, `succs`, `preds`, `out_links`,
 //! `in_links`, and the internal mirror invariants (`check_adjacency`).
+//!
+//! A second model (ISSUE 7) covers the struct-of-arrays arena itself:
+//! alloc / free / payload-mutate / clone-boundary interleavings against a
+//! `BTreeMap<NodeId, payload>`, checking payload survival, recycled-slot
+//! hygiene, and the clone-boundary free-list discipline.
 
 use proptest::prelude::*;
 use psa::rsg::{NodeId, Rsg};
 use psa_cfront::types::{SelectorId, StructId};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One raw operation; indices are interpreted modulo the live-node count at
 /// application time, so every generated sequence is valid.
@@ -136,8 +141,145 @@ fn apply(g: &mut Rsg, m: &mut Model, op: Op) {
     }
 }
 
+// --------------------------------------------------------------- arena model
+//
+// The struct-of-arrays arena recycles node slots through a free-list with a
+// clone-boundary discipline: `remove_node` parks the slot in `pending_free`,
+// and only a `clone()` (the rebuild boundary the engine crosses between
+// kernel applications) promotes parked slots into the allocatable free list.
+// This model check drives alloc / payload-mutate / free / clone-boundary
+// interleavings against a `BTreeMap<NodeId, payload>` and asserts that
+// payloads survive exactly as long as their node, that a recycled slot never
+// leaks the previous tenant's payload, and that reuse respects the boundary
+// (a slot freed *after* the last clone is never handed out).
+
+/// One arena operation; indices modulo live count as in [`Op`].
+#[derive(Debug, Clone, Copy)]
+enum ArenaOp {
+    /// `(ty, shared, summary)` payload for the new node.
+    Alloc(u8, bool, bool),
+    /// Flip a live node's payload to `(shared, summary)`.
+    Mutate(u8, bool, bool),
+    Free(u8),
+    CloneBoundary,
+}
+
+fn arb_arena_op() -> impl Strategy<Value = ArenaOp> {
+    prop_oneof![
+        4 => (any::<u8>(), any::<bool>(), any::<bool>())
+            .prop_map(|(t, sh, su)| ArenaOp::Alloc(t, sh, su)),
+        2 => (any::<u8>(), any::<bool>(), any::<bool>())
+            .prop_map(|(i, sh, su)| ArenaOp::Mutate(i, sh, su)),
+        3 => any::<u8>().prop_map(ArenaOp::Free),
+        1 => Just(ArenaOp::CloneBoundary),
+    ]
+}
+
+type Payload = (StructId, bool, bool);
+
+#[derive(Debug, Default)]
+struct ArenaModel {
+    /// Live nodes and the payload each must still carry.
+    live: BTreeMap<NodeId, Payload>,
+    /// Slots freed since the last clone boundary: not yet reusable.
+    parked: BTreeSet<u32>,
+    /// Slots freed before the last clone boundary: reusable.
+    reusable: BTreeSet<u32>,
+    /// Total slots ever allocated (`Rsg::num_slots`).
+    slots: usize,
+}
+
+impl ArenaModel {
+    fn pick(&self, i: u8) -> Option<NodeId> {
+        if self.live.is_empty() {
+            return None;
+        }
+        self.live.keys().nth(i as usize % self.live.len()).copied()
+    }
+}
+
+fn check_arena(g: &Rsg, m: &ArenaModel) {
+    assert_eq!(g.num_nodes(), m.live.len(), "live count");
+    assert_eq!(g.num_slots(), m.slots, "slot count");
+    assert_eq!(
+        g.node_ids().collect::<Vec<_>>(),
+        m.live.keys().copied().collect::<Vec<_>>(),
+        "live id set"
+    );
+    for (&id, &(ty, shared, summary)) in &m.live {
+        assert!(g.is_live(id));
+        let n = g.node(id);
+        assert_eq!(n.ty, ty, "payload ty of {id:?}");
+        assert_eq!(n.shared, shared, "payload shared of {id:?}");
+        assert_eq!(n.summary, summary, "payload summary of {id:?}");
+    }
+    for &slot in m.parked.iter().chain(&m.reusable) {
+        assert!(!g.is_live(NodeId(slot)), "freed slot {slot} reads live");
+    }
+}
+
+fn apply_arena(g: &mut Rsg, m: &mut ArenaModel, op: ArenaOp) {
+    match op {
+        ArenaOp::Alloc(t, sh, su) => {
+            let ty = StructId(u32::from(t) % 4);
+            let id = g.add_fresh(ty);
+            let nm = g.node_mut(id);
+            *nm.shared = sh;
+            *nm.summary = su;
+            // Reuse discipline: a fresh id either grows the arena or
+            // recycles a slot freed before the last clone boundary —
+            // never a live slot, never one parked since the boundary.
+            if id.0 as usize == m.slots {
+                m.slots += 1;
+            } else {
+                assert!(
+                    m.reusable.remove(&id.0),
+                    "alloc returned {id:?}: not fresh, not a pre-boundary free slot"
+                );
+            }
+            assert!(!m.parked.contains(&id.0), "reused a parked slot {id:?}");
+            let prev = m.live.insert(id, (ty, sh, su));
+            assert!(prev.is_none(), "alloc returned live id {id:?}");
+        }
+        ArenaOp::Mutate(i, sh, su) => {
+            let Some(id) = m.pick(i) else { return };
+            let nm = g.node_mut(id);
+            *nm.shared = sh;
+            *nm.summary = su;
+            let p = m.live.get_mut(&id).unwrap();
+            p.1 = sh;
+            p.2 = su;
+        }
+        ArenaOp::Free(i) => {
+            let Some(id) = m.pick(i) else { return };
+            g.remove_node(id);
+            m.live.remove(&id);
+            m.parked.insert(id.0);
+        }
+        ArenaOp::CloneBoundary => {
+            let copy = g.clone();
+            assert_eq!(&copy, g, "clone must be observationally identical");
+            *g = copy;
+            let parked = std::mem::take(&mut m.parked);
+            m.reusable.extend(parked);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arena_alloc_free_reuse_matches_payload_model(
+        ops in proptest::collection::vec(arb_arena_op(), 1..120),
+    ) {
+        let mut g = Rsg::empty(1);
+        let mut m = ArenaModel::default();
+        for op in ops {
+            apply_arena(&mut g, &mut m, op);
+            check_arena(&g, &m);
+        }
+    }
 
     #[test]
     fn indexed_adjacency_matches_btreeset_model(ops in proptest::collection::vec(arb_op(), 1..80)) {

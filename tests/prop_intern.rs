@@ -22,7 +22,7 @@ fn arb_rsg() -> impl Strategy<Value = Rsg> {
             let t = builder::binary_tree(depth, 1, PvarId(0), SelectorId(0), SelectorId(1));
             let mut map = std::collections::BTreeMap::new();
             for n in t.node_ids() {
-                map.insert(n, g.add_node(t.node(n).clone()));
+                map.insert(n, g.add_node(t.node(n).to_node()));
             }
             for (a, s, b) in t.links() {
                 g.add_link(map[&a], s, map[&b]);
@@ -42,7 +42,7 @@ fn renumbered(g: &Rsg) -> Rsg {
     let mut map = std::collections::BTreeMap::new();
     let mut h = Rsg::empty(g.num_pvar_slots());
     for &n in ids.iter().rev() {
-        map.insert(n, h.add_node(g.node(n).clone()));
+        map.insert(n, h.add_node(g.node(n).to_node()));
     }
     for (a, s, b) in g.links() {
         h.add_link(map[&a], s, map[&b]);
@@ -151,7 +151,7 @@ fn fingerprint_distinguishes_node_types() {
     let a = builder::singly_linked_list(3, 2, PvarId(0), SelectorId(0));
     let mut b = a.clone();
     for n in b.node_ids().collect::<Vec<_>>() {
-        b.node_mut(n).ty = StructId(7);
+        *b.node_mut(n).ty = StructId(7);
     }
     assert_ne!(Fingerprint::of(&a), Fingerprint::of(&b));
 }

@@ -28,7 +28,7 @@ fn arb_rsg() -> impl Strategy<Value = Rsg> {
                 // Splice tree nodes into g with fresh ids.
                 let mut map = std::collections::BTreeMap::new();
                 for n in t.node_ids() {
-                    map.insert(n, g.add_node(t.node(n).clone()));
+                    map.insert(n, g.add_node(t.node(n).to_node()));
                 }
                 for (a, s, b) in t.links() {
                     g.add_link(map[&a], s, map[&b]);
@@ -64,7 +64,7 @@ proptest! {
         let mut map = std::collections::BTreeMap::new();
         let mut h = Rsg::empty(g.num_pvar_slots());
         for &n in ids.iter().rev() {
-            map.insert(n, h.add_node(g.node(n).clone()));
+            map.insert(n, h.add_node(g.node(n).to_node()));
         }
         for (a, s, b) in g.links() {
             h.add_link(map[&a], s, map[&b]);
