@@ -61,6 +61,8 @@ struct Flags {
     check_asserts: bool,
     seeds: usize,
     threads: Option<usize>,
+    save_cache: Option<String>,
+    load_cache: Option<String>,
 }
 
 fn parse_count(args: &[String], i: usize, flag: &str) -> Result<usize, String> {
@@ -88,6 +90,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         check_asserts: false,
         seeds: 3,
         threads: None,
+        save_cache: None,
+        load_cache: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -147,6 +151,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 i += 1;
                 f.threads = Some(parse_count(args, i, "--threads")?.max(1));
             }
+            "--save-cache" => {
+                i += 1;
+                f.save_cache = Some(args.get(i).ok_or("--save-cache needs a file")?.clone());
+            }
+            "--load-cache" => {
+                i += 1;
+                f.load_cache = Some(args.get(i).ok_or("--load-cache needs a file")?.clone());
+            }
             "--stmt-dump" => f.stmt_dump = true,
             "--parallel-report" => f.parallel_report = true,
             "--leak-report" => f.leak_report = true,
@@ -199,6 +211,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let flags = parse_flags(&args[2..])?;
             analyze(&src, which, flags)
         }
+        "serve" => {
+            let flags = parse_flags(&args[1..])?;
+            serve(flags)
+        }
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -211,9 +227,46 @@ fn usage() -> String {
     "usage:\n  psa analyze <file.c> [--level L1|L2|L3|auto] [--function NAME] \
      [--dot DIR] [--stmt-dump] [--parallel-report] [--leak-report] [--annotate] [--json] [--stats]\n  \
      \x20            [--budget-nodes N] [--budget-rsgs N] [--budget-ms N] [--trace FILE]\n  \
-     \x20            [--check asserts] [--seeds N] [--threads N]\n  psa ir <file.c> [--function NAME]\n  \
-     psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d> [flags]"
+     \x20            [--check asserts] [--seeds N] [--threads N]\n  \
+     \x20            [--save-cache FILE] [--load-cache FILE]\n  psa ir <file.c> [--function NAME]\n  \
+     psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d> [flags]\n  \
+     psa serve [--threads N] [--load-cache FILE] [--save-cache FILE]\n  \
+     \x20       (newline-delimited JSON requests on stdin; see DESIGN.md \u{00a7}13)"
         .to_string()
+}
+
+/// `psa serve`: resident daemon on stdin/stdout. `--load-cache` warms the
+/// shared tables before the first request; `--save-cache` snapshots them
+/// after the loop exits (EOF or a `shutdown` request).
+fn serve(flags: Flags) -> Result<(), String> {
+    let tables = match &flags.load_cache {
+        Some(path) => {
+            std::sync::Arc::new(psa_rsg::snapshot::load(path).map_err(|e| e.to_string())?)
+        }
+        None => std::sync::Arc::new(psa_rsg::SharedTables::new()),
+    };
+    let server = psa_core::serve::Server::with_tables(
+        tables,
+        psa_core::serve::ServeOptions {
+            parallel: flags.threads.is_some(),
+            parallel_threads: flags.threads,
+        },
+    );
+    let stdin = std::io::stdin();
+    // `Stdout` (not `StdoutLock`) is `Send`, which the per-request handler
+    // threads need; the serve loop serializes writes under its own lock.
+    server
+        .serve(stdin.lock(), std::io::stdout())
+        .map_err(|e| format!("serve I/O: {e}"))?;
+    if let Some(path) = &flags.save_cache {
+        let tables = server.tables();
+        psa_rsg::snapshot::save(&tables, path).map_err(|e| e.to_string())?;
+        eprintln!(
+            "psa: saved cache with {} interned forms to {path}",
+            tables.interner.len()
+        );
+    }
+    Ok(())
 }
 
 fn print_op_stats(ops: &psa_core::stats::OpStats) {
@@ -294,6 +347,14 @@ fn print_op_stats(ops: &psa_core::stats::OpStats) {
 }
 
 fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
+    // Warm start: restore interned forms and memo tables from a snapshot
+    // written by an earlier `--save-cache` run (or the daemon).
+    let tables = match &flags.load_cache {
+        Some(path) => Some(std::sync::Arc::new(
+            psa_rsg::snapshot::load(path).map_err(|e| e.to_string())?,
+        )),
+        None => None,
+    };
     let options = AnalysisOptions {
         function: flags.function.clone(),
         level: flags.level,
@@ -301,6 +362,7 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
         trace: flags.trace.is_some(),
         parallel: flags.threads.is_some(),
         parallel_threads: flags.threads,
+        tables,
         ..Default::default()
     };
     let analyzer = Analyzer::new(src, options).map_err(|e| e.to_string())?;
@@ -321,6 +383,15 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
     } else {
         analyzer.run().map_err(|e| e.to_string())?
     };
+
+    if let Some(path) = &flags.save_cache {
+        let ctx = analyzer.shape_ctx();
+        psa_rsg::snapshot::save(&ctx.tables, path).map_err(|e| e.to_string())?;
+        eprintln!(
+            "psa: saved cache with {} interned forms to {path}",
+            ctx.tables.interner.len()
+        );
+    }
 
     // Drain the journal once (after every run, so progressive timelines
     // span all levels) and write the Chrome trace before any report path.

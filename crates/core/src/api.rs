@@ -5,7 +5,8 @@ use crate::progressive::{Goal, ProgressiveOutcome, ProgressiveRunner};
 use crate::stats::Budget;
 use psa_cfront::diag::Diagnostic;
 use psa_ir::{lower_function, FuncIr};
-use psa_rsg::{Level, ShapeCtx};
+use psa_rsg::{Level, ShapeCtx, SharedTables};
+use std::sync::Arc;
 
 /// Options for [`analyze_source`] / [`Analyzer`].
 #[derive(Debug, Clone)]
@@ -29,6 +30,13 @@ pub struct AnalysisOptions {
     /// retrieve it with [`Analyzer::trace_events`]. Off by default:
     /// disabled tracing leaves every analysis output bit-identical.
     pub trace: bool,
+    /// Pre-warmed shared tables to analyze against — e.g. restored from a
+    /// [`psa_rsg::snapshot`] or held by the resident daemon across
+    /// requests. `None` (the default) starts cold. Interned forms and
+    /// memos carry over; per-handle observers (metrics, cancellation,
+    /// tracer) are whatever the supplied handle holds, so daemon callers
+    /// pass a fresh [`SharedTables::session`] per request.
+    pub tables: Option<Arc<SharedTables>>,
 }
 
 impl Default for AnalysisOptions {
@@ -41,6 +49,7 @@ impl Default for AnalysisOptions {
             parallel_threads: None,
             inline: true,
             trace: false,
+            tables: None,
         }
     }
 }
@@ -123,7 +132,10 @@ impl Analyzer {
             program
         };
         let ir = lower_function(&program, &table, &options.function)?;
-        let shape = ShapeCtx::from_ir(&ir);
+        let mut shape = ShapeCtx::from_ir(&ir);
+        if let Some(tables) = &options.tables {
+            shape = shape.with_tables(Arc::clone(tables));
+        }
         if options.trace {
             shape.tables.tracer.enable();
         }

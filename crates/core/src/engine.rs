@@ -225,6 +225,14 @@ pub enum AnalysisError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// A shared-table snapshot could not be saved or loaded
+    /// (`--save-cache` / `--load-cache`, daemon `save_cache`/`load_cache`).
+    /// Wraps [`psa_rsg::snapshot::SnapshotError`], which distinguishes I/O
+    /// problems, corruption/truncation, and format-version mismatches.
+    Snapshot {
+        /// The rendered [`psa_rsg::snapshot::SnapshotError`].
+        message: String,
+    },
 }
 
 impl AnalysisError {
@@ -252,11 +260,22 @@ impl std::fmt::Display for AnalysisError {
             AnalysisError::Internal { message } => {
                 write!(f, "internal analysis error: {message}")
             }
+            AnalysisError::Snapshot { message } => {
+                write!(f, "{message}")
+            }
         }
     }
 }
 
 impl std::error::Error for AnalysisError {}
+
+impl From<psa_rsg::snapshot::SnapshotError> for AnalysisError {
+    fn from(e: psa_rsg::snapshot::SnapshotError) -> Self {
+        AnalysisError::Snapshot {
+            message: e.to_string(),
+        }
+    }
+}
 
 /// The product of a run: per-statement RSRSGs plus statistics. A run under
 /// degradation caps may be **partial**: [`AnalysisResult::stopped`] records
@@ -351,21 +370,53 @@ impl<'a> Engine<'a> {
     }
 
     /// The epoch key of this run's transfer-relevant configuration: the
-    /// function body plus every config knob [`crate::semantics::transfer_one`]
-    /// consults. Runs sharing a [`ShapeCtx`] only share memoized transfers
-    /// when their keys agree — a progressive driver re-running the same
-    /// function at the same level hits, L1 results never leak into L3, and
-    /// different functions on one ctx never alias.
+    /// analysis universe ([`ShapeCtx::universe_key`]) plus every config knob
+    /// [`crate::semantics::transfer_one`] consults. Runs sharing a
+    /// [`ShapeCtx`] only share memoized transfers when their keys agree — a
+    /// progressive driver re-running at the same level hits, L1 results never
+    /// leak into L3, and incompatible universes never alias.
+    ///
+    /// Deliberately *not* a function-body hash: the per-statement memo key is
+    /// `(epoch, stmt slot)`, where the slot is minted from the statement's
+    /// *content* ([`Engine::stmt_content_key`]). Two functions — or two
+    /// versions of one function, across requests or across a snapshot
+    /// restore — that execute an identical statement over an identical
+    /// universe therefore share its memoized transfers, which is what makes
+    /// warm-start and incremental re-analysis pay off.
     fn config_key(&self) -> u64 {
         let repr = format!(
-            "{:?}|{:?}|{}|{}|{}",
-            self.ir.stmts,
-            self.ir.blocks,
+            "{:x}|{}|{}|{}",
+            self.ctx.universe_key(),
             self.config.level,
             self.config.sharing_relaxation,
             self.config.pessimistic_sharing
         );
         // FNV-1a, deterministic across processes.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in repr.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// The content key of one statement: the statement itself plus the
+    /// active in-loop pvars that TOUCH tracking consults (empty below L3,
+    /// matching what [`crate::semantics::transfer_one`] actually sees).
+    /// Source positions are deliberately excluded — warnings are
+    /// name-based, so a statement that merely moved lines keeps its
+    /// memoized transfers. The engine resolves this key to a dense slot id
+    /// via [`SharedTables::stmt_slot_for`]; the slot replaces the raw
+    /// statement index in the transfer-memo key so identical statements
+    /// alias across function versions.
+    fn stmt_content_key(&self, sid: StmtId) -> u64 {
+        let info = self.ir.stmt(sid);
+        let active = if self.config.level.use_touch() {
+            self.ir.active_ipvars(&info.loops)
+        } else {
+            Vec::new()
+        };
+        let repr = format!("{:?}|{active:?}", info.stmt);
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in repr.as_bytes() {
             h ^= u64::from(*b);
@@ -409,6 +460,15 @@ impl<'a> Engine<'a> {
         let nblocks = self.ir.blocks.len();
         let nstmts = self.ir.stmts.len();
         let epoch = self.ctx.tables.epoch_for(self.config_key());
+        // Per-statement dense memo slots, minted from statement content so
+        // identical statements share transfers across function versions.
+        let slots: Vec<u32> = (0..nstmts)
+            .map(|i| {
+                self.ctx
+                    .tables
+                    .stmt_slot_for(self.stmt_content_key(StmtId(i as u32)))
+            })
+            .collect();
         let mut stats = AnalysisStats {
             num_stmts: nstmts,
             ..AnalysisStats::default()
@@ -515,6 +575,7 @@ impl<'a> Engine<'a> {
                     cur,
                     sid,
                     epoch,
+                    slots[si],
                     deadline.map(|(dl, _)| dl),
                     &mut deltas[si],
                     &mut stats,
@@ -744,6 +805,7 @@ impl<'a> Engine<'a> {
         cur: Rsrsg,
         sid: StmtId,
         epoch: u32,
+        slot: u32,
         deadline: Option<Instant>,
         cache: &mut Option<StmtDelta>,
         stats: &mut AnalysisStats,
@@ -819,7 +881,7 @@ impl<'a> Engine<'a> {
                         .fetch_add(c.input_ids.len() as u64, Ordering::Relaxed);
                     let mut out = Rsrsg::from_interned(&c.prewiden, &self.ctx);
                     let skip = c.input_ids.len();
-                    self.fold_transfer(&mut out, &cur, skip, &action, sid, epoch, &tcx, stats);
+                    self.fold_transfer(&mut out, &cur, skip, &action, slot, epoch, &tcx, stats);
                     let prewiden = out.canon_ids();
                     out.widen(&self.ctx, level, cap);
                     *cache = Some(StmtDelta {
@@ -833,7 +895,7 @@ impl<'a> Engine<'a> {
             m.delta_stmt_fulls.fetch_add(1, Ordering::Relaxed);
         }
         let mut out = Rsrsg::new();
-        self.fold_transfer(&mut out, &cur, 0, &action, sid, epoch, &tcx, stats);
+        self.fold_transfer(&mut out, &cur, 0, &action, slot, epoch, &tcx, stats);
         let prewiden = out.canon_ids();
         out.widen(&self.ctx, level, cap);
         if self.config.delta_transfer {
@@ -858,7 +920,7 @@ impl<'a> Engine<'a> {
         input: &Rsrsg,
         skip: usize,
         action: &GraphAction<'_>,
-        sid: StmtId,
+        slot: u32,
         epoch: u32,
         tcx: &TransferCtx<'_>,
         stats: &mut AnalysisStats,
@@ -913,7 +975,7 @@ impl<'a> Engine<'a> {
                                 &graphs[i],
                                 &entries[i],
                                 action,
-                                sid.0,
+                                slot,
                                 epoch,
                                 use_memo,
                                 &tctx,
@@ -953,8 +1015,7 @@ impl<'a> Engine<'a> {
                 if tcx.should_stop() {
                     break;
                 }
-                for (og, oe) in
-                    transfer_one_cached(g, e, action, sid.0, epoch, use_memo, tcx, stats)
+                for (og, oe) in transfer_one_cached(g, e, action, slot, epoch, use_memo, tcx, stats)
                 {
                     out.insert_compressed(og, oe, &self.ctx, tcx.level);
                 }

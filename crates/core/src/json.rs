@@ -47,6 +47,19 @@ impl Json {
         self
     }
 
+    /// Remove a member from an object, returning it if present. A no-op
+    /// returning `None` on non-objects; used e.g. to strip timing-bearing
+    /// subtrees ("stats") before comparing reports for bit-identity.
+    pub fn remove(&mut self, key: &str) -> Option<Json> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .position(|(k, _)| k == key)
+                .map(|i| fields.remove(i).1),
+            _ => None,
+        }
+    }
+
     /// Member lookup on objects.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
@@ -101,6 +114,44 @@ impl Json {
         let mut out = String::new();
         self.write(&mut out, 0);
         out
+    }
+
+    /// Serialize on a single line with no whitespace — the framing the
+    /// newline-delimited serve protocol needs (a pretty document would
+    /// split one message across lines). Escaping matches [`Json::pretty`],
+    /// so embedded newlines in strings stay escaped.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            leaf => leaf.write(out, 0),
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {

@@ -40,6 +40,7 @@ pub mod queries;
 pub mod report;
 pub mod rsrsg;
 pub mod semantics;
+pub mod serve;
 pub mod stats;
 pub mod trace;
 

@@ -216,8 +216,14 @@ impl GraphAction<'_> {
     }
 }
 
-/// Memoized per-graph transfer: the tentpole's `(config-epoch, stmt,
+/// Memoized per-graph transfer: the tentpole's `(config-epoch, stmt slot,
 /// CanonId) → interned outputs` map.
+///
+/// `slot` is the dense id [`SharedTables::stmt_slot_for`] minted from the
+/// statement's *content* (not its position), so identical statements share
+/// memoized transfers across function versions, daemon requests and
+/// snapshot restores. Trace events still carry the positional statement
+/// index (`tcx.stmt`) for human-facing timelines.
 ///
 /// Outputs are compressed and interned *here*, so a memo hit shares the
 /// interner's representative graphs (an `Arc` handle each, no arena copy)
@@ -234,7 +240,7 @@ pub fn transfer_one_cached(
     g: &Rsg,
     e: &CanonEntry,
     action: &GraphAction<'_>,
-    sid: u32,
+    slot: u32,
     epoch: u32,
     use_cache: bool,
     tcx: &TransferCtx<'_>,
@@ -244,10 +250,10 @@ pub fn transfer_one_cached(
     let m = &t.metrics;
     if use_cache {
         m.transfer_queries.fetch_add(1, Ordering::Relaxed);
-        if let Some(hit) = t.transfer_lookup(epoch, sid, e.id) {
+        if let Some(hit) = t.transfer_lookup(epoch, slot, e.id) {
             m.transfer_memo_hits.fetch_add(1, Ordering::Relaxed);
             t.tracer
-                .instant(TraceKind::TransferMemoHit, sid as u64, e.id.0 as u64);
+                .instant(TraceKind::TransferMemoHit, tcx.stmt as u64, e.id.0 as u64);
             for w in &hit.warnings {
                 stats.warn(w.clone());
             }
@@ -263,7 +269,7 @@ pub fn transfer_one_cached(
         }
         m.transfer_memo_misses.fetch_add(1, Ordering::Relaxed);
         t.tracer
-            .instant(TraceKind::TransferMemoMiss, sid as u64, e.id.0 as u64);
+            .instant(TraceKind::TransferMemoMiss, tcx.stmt as u64, e.id.0 as u64);
     }
     let t0 = Instant::now();
     let mut scratch = AnalysisStats::default();
@@ -276,7 +282,8 @@ pub fn transfer_one_cached(
             m.compress_calls.fetch_add(1, Ordering::Relaxed);
             m.compress_ns
                 .fetch_add(c0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            t.tracer.span_since(TraceKind::Compress, c0, sid as u64, 0);
+            t.tracer
+                .span_since(TraceKind::Compress, c0, tcx.stmt as u64, 0);
             Arc::new(c)
         })
         .collect();
@@ -291,7 +298,7 @@ pub fn transfer_one_cached(
             warnings: scratch.warnings.clone(),
             revisits: scratch.revisits.iter().copied().collect(),
         };
-        t.transfer_store(epoch, sid, e.id, Arc::new(outcome));
+        t.transfer_store(epoch, slot, e.id, Arc::new(outcome));
     }
     for w in scratch.warnings {
         stats.warn(w);

@@ -380,6 +380,11 @@ fn serialize_from_scratch(g: &Rsg, s: &mut CanonScratch) -> Vec<u8> {
     }
     let mut out = Vec::with_capacity(order.len() * 48);
     out.extend_from_slice(&(order.len() as u32).to_le_bytes());
+    // The slot count is part of the form even when the trailing slots are
+    // unbound: the shared interner serves many universes (warm daemon,
+    // restored snapshots), and the minted representative's PL vector must
+    // be indexable by every pvar of the universe that interned it.
+    out.extend_from_slice(&(g.num_pvar_slots() as u32).to_le_bytes());
     for &n in order.iter() {
         let (a, b) = init_spans[span_of[n.0 as usize] as usize];
         out.extend_from_slice(&init_bytes[a as usize..b as usize]);
@@ -466,6 +471,9 @@ fn serialize(g: &Rsg, ids: &[NodeId], colors: &BTreeMap<NodeId, u32>) -> Vec<u8>
         .collect();
     let mut out = Vec::with_capacity(order.len() * 48);
     out.extend_from_slice(&(order.len() as u32).to_le_bytes());
+    // Slot count: see serialize_from_scratch — keeps the two encoders
+    // bit-identical and distinguishes universes with more pvar slots.
+    out.extend_from_slice(&(g.num_pvar_slots() as u32).to_le_bytes());
     for &n in &order {
         out.extend_from_slice(&initial_color(g, n));
         out.push(0xFF);

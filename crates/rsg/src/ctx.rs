@@ -158,6 +158,36 @@ impl ShapeCtx {
         self
     }
 
+    /// A deterministic 64-bit digest of the analysis universe: pvar,
+    /// selector and struct counts, the per-struct selector/target tables,
+    /// and every name. Two `ShapeCtx`s with equal keys give every graph
+    /// operation identical semantics (transfer warnings embed pvar names,
+    /// so names are part of the key), which is what lets the engine's
+    /// transfer-memo epoch be derived from the universe instead of the
+    /// whole function body — the basis of cross-function and
+    /// cross-process (snapshot) memo reuse.
+    pub fn universe_key(&self) -> u64 {
+        let repr = format!(
+            "{}|{}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            self.num_pvars,
+            self.num_selectors,
+            self.num_structs,
+            self.selectors_of,
+            self.sel_target,
+            self.pvar_names,
+            self.pvar_is_temp,
+            self.selector_names,
+            self.struct_names,
+        );
+        // FNV-1a: deterministic across processes and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in repr.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
     /// The selectors declared by struct `t`.
     pub fn struct_selectors(&self, t: StructId) -> SelSet {
         self.selectors_of[t.0 as usize]

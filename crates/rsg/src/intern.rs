@@ -779,6 +779,23 @@ impl SubsumeCache {
     pub fn is_empty(&self) -> bool {
         self.shards.iter().all(|s| lock_recover(s).is_empty())
     }
+
+    /// Every memoized `(general, specific, answer)` triple, sorted for
+    /// deterministic output (snapshot codec).
+    pub fn entries(&self) -> Vec<(CanonId, CanonId, bool)> {
+        let mut v: Vec<(CanonId, CanonId, bool)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                lock_recover(s)
+                    .iter()
+                    .map(|(&key, &val)| (CanonId((key >> 32) as u32), CanonId(key as u32), val))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        v.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        v
+    }
 }
 
 /// The memoized outcome of transferring one interned graph through one
@@ -910,6 +927,23 @@ impl TransferCache {
     pub fn is_empty(&self) -> bool {
         self.shards.iter().all(|s| lock_recover(s).is_empty())
     }
+
+    /// Every memoized `(epoch, stmt-slot, input, outcome)` entry, sorted by
+    /// key for deterministic output (snapshot codec).
+    pub fn entries(&self) -> Vec<(u32, u32, CanonId, Arc<TransferOutcome>)> {
+        let mut v: Vec<(u32, u32, CanonId, Arc<TransferOutcome>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                lock_recover(s)
+                    .iter()
+                    .map(|(&(e, st, id), out)| (e, st, id, out.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        v.sort_unstable_by_key(|&(e, st, id, _)| (e, st, id));
+        v
+    }
 }
 
 macro_rules! op_metrics {
@@ -942,6 +976,14 @@ macro_rules! op_metrics {
             fn delta_raw(&self, earlier: &OpStats) -> OpStats {
                 OpStats {
                     $( $field: self.$field.saturating_sub(earlier.$field), )+
+                }
+            }
+
+            /// Counter-wise sum (gauges included; see
+            /// [`OpStats::accumulate`] for the fixups).
+            fn sum_raw(&self, other: &OpStats) -> OpStats {
+                OpStats {
+                    $( $field: self.$field.saturating_add(other.$field), )+
                 }
             }
         }
@@ -1086,6 +1128,22 @@ impl OpStats {
         d
     }
 
+    /// Running total across runs: counters are summed, while the gauge
+    /// fields (table sizes, shard peaks, peak set width) take the maximum
+    /// of the two snapshots — the daemon folds each request's per-run delta
+    /// into its process-lifetime `server` section with this.
+    pub fn accumulate(&self, other: &OpStats) -> OpStats {
+        let mut s = self.sum_raw(other);
+        s.interner_size = self.interner_size.max(other.interner_size);
+        s.cache_size = self.cache_size.max(other.cache_size);
+        s.transfer_cache_size = self.transfer_cache_size.max(other.transfer_cache_size);
+        s.interner_shard_peak = self.interner_shard_peak.max(other.interner_shard_peak);
+        s.subsume_shard_peak = self.subsume_shard_peak.max(other.subsume_shard_peak);
+        s.transfer_shard_peak = self.transfer_shard_peak.max(other.transfer_shard_peak);
+        s.peak_set_width = self.peak_set_width.max(other.peak_set_width);
+        s
+    }
+
     /// Fraction of subsumption queries answered without the backtracking
     /// search (memo hits + pre-filter rejects); 0.0 when none were issued.
     pub fn cache_hit_rate(&self) -> f64 {
@@ -1125,30 +1183,85 @@ impl OpStats {
     }
 }
 
+/// An insertion-ordered registry mapping caller-supplied 64-bit keys to
+/// compact dense ids, used for both configuration epochs and statement
+/// slots in transfer-memo keys. Ids mint in first-seen order, which is
+/// what lets a snapshot replay the registry and land on identical ids.
+#[derive(Debug, Default)]
+pub struct KeyRegistry {
+    map: Mutex<HashMap<u64, u32>>,
+}
+
+impl KeyRegistry {
+    /// The dense id for `key`, minting the next id for unseen keys.
+    pub fn id_for(&self, key: u64) -> u32 {
+        let mut map = lock_recover(&self.map);
+        let next = map.len() as u32;
+        *map.entry(key).or_insert(next)
+    }
+
+    /// Number of registered keys.
+    pub fn len(&self) -> usize {
+        lock_recover(&self.map).len()
+    }
+
+    /// True when no key has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every `(key, id)` pair, sorted by id — the replay order a snapshot
+    /// must use so restored ids match.
+    pub fn dump(&self) -> Vec<(u64, u32)> {
+        let mut v: Vec<(u64, u32)> = lock_recover(&self.map)
+            .iter()
+            .map(|(&k, &id)| (k, id))
+            .collect();
+        v.sort_by_key(|&(_, id)| id);
+        v
+    }
+}
+
 /// The run-wide bundle: interner + subsumption memo + metrics, shared by
 /// every RSRSG operation of an analysis via [`crate::ShapeCtx`].
+///
+/// The *tables* (interner, subsumption memo, transfer memo, epoch and
+/// statement-slot registries) sit behind `Arc`s, while the *observers*
+/// (metrics, cancellation token, tracer) are owned per handle. A
+/// [`SharedTables::session`] therefore shares every byte of cached state
+/// with its parent but counts, cancels and traces independently — the
+/// isolation the resident analysis daemon needs to serve concurrent
+/// requests off one warm table set without one request's deadline
+/// cancelling another or its counters leaking into another's report.
 #[derive(Debug)]
 pub struct SharedTables {
     /// Canonical-form interner.
-    pub interner: Interner,
+    pub interner: Arc<Interner>,
     /// Subsumption memo table.
-    pub cache: SubsumeCache,
+    pub cache: Arc<SubsumeCache>,
     /// Per-statement transfer memo table.
-    pub transfer: TransferCache,
-    /// Op-level counters.
+    pub transfer: Arc<TransferCache>,
+    /// Op-level counters (per handle; see [`SharedTables::session`]).
     pub metrics: OpMetrics,
     /// Cooperative cancellation flag, observed by the engine worklist and
     /// the parallel fan-out workers. Reset by each `Engine::run` so one
     /// cancelled run does not poison the next run sharing these tables.
+    /// Per handle: sessions cancel independently.
     pub cancel: CancelToken,
     /// Run-wide event journal (disabled by default; enabling it never
-    /// changes analysis results, only records them).
+    /// changes analysis results, only records them). Per handle.
     pub tracer: Tracer,
     cache_enabled: bool,
     /// Registry of configuration epochs: a caller-supplied configuration
-    /// key (level + semantic flags) maps to a compact epoch id used in
-    /// transfer-memo keys.
-    epochs: Mutex<HashMap<u64, u32>>,
+    /// key (universe + level + semantic flags) maps to a compact epoch id
+    /// used in transfer-memo keys.
+    epochs: Arc<KeyRegistry>,
+    /// Registry of statement slots: a content key (statement + active
+    /// induction pvars) maps to a compact slot id used in transfer-memo
+    /// keys, so identical statements share memo entries across functions,
+    /// engine runs and processes (via snapshots) regardless of where they
+    /// sit in a block list.
+    slots: Arc<KeyRegistry>,
 }
 
 impl Default for SharedTables {
@@ -1161,14 +1274,35 @@ impl SharedTables {
     /// Tables with memoization and pre-filtering enabled (the default).
     pub fn new() -> SharedTables {
         SharedTables {
-            interner: Interner::new(),
-            cache: SubsumeCache::new(),
-            transfer: TransferCache::new(),
+            interner: Arc::new(Interner::new()),
+            cache: Arc::new(SubsumeCache::new()),
+            transfer: Arc::new(TransferCache::new()),
             metrics: OpMetrics::default(),
             cancel: CancelToken::default(),
             tracer: Tracer::new(),
             cache_enabled: true,
-            epochs: Mutex::new(HashMap::new()),
+            epochs: Arc::new(KeyRegistry::default()),
+            slots: Arc::new(KeyRegistry::default()),
+        }
+    }
+
+    /// A handle sharing this table set's cached state — interner,
+    /// subsumption memo, transfer memo, epoch and slot registries — with
+    /// fresh, independent observers (metrics, cancellation token, tracer).
+    /// The daemon takes one session per request: the request inherits every
+    /// warm entry, its budget deadline can only cancel itself, and its op
+    /// counters start at zero.
+    pub fn session(&self) -> SharedTables {
+        SharedTables {
+            interner: self.interner.clone(),
+            cache: self.cache.clone(),
+            transfer: self.transfer.clone(),
+            metrics: OpMetrics::default(),
+            cancel: CancelToken::default(),
+            tracer: Tracer::new(),
+            cache_enabled: self.cache_enabled,
+            epochs: self.epochs.clone(),
+            slots: self.slots.clone(),
         }
     }
 
@@ -1192,9 +1326,27 @@ impl SharedTables {
     /// each other's entries, while identical configurations (e.g. repeated
     /// runs at one level) share everything.
     pub fn epoch_for(&self, config_key: u64) -> u32 {
-        let mut epochs = lock_recover(&self.epochs);
-        let next = epochs.len() as u32;
-        *epochs.entry(config_key).or_insert(next)
+        self.epochs.id_for(config_key)
+    }
+
+    /// The statement-slot id for a statement content key (see the engine's
+    /// per-statement key derivation), minting a fresh one for unseen keys.
+    /// Identical statements — same operation, operand pvars/selectors and
+    /// active induction pvars — share one slot, so their memoized transfers
+    /// are shared across functions and across engine runs on the same table
+    /// set, including runs separated by a snapshot save/restore.
+    pub fn stmt_slot_for(&self, content_key: u64) -> u32 {
+        self.slots.id_for(content_key)
+    }
+
+    /// The epoch registry, sorted by epoch id (snapshot codec).
+    pub fn epochs_dump(&self) -> Vec<(u64, u32)> {
+        self.epochs.dump()
+    }
+
+    /// The statement-slot registry, sorted by slot id (snapshot codec).
+    pub fn slots_dump(&self) -> Vec<(u64, u32)> {
+        self.slots.dump()
     }
 
     /// Tables that intern (storage still needs ids) but answer every
@@ -1655,6 +1807,80 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(t.epoch_for(10), a);
         assert_eq!(t.epoch_for(20), b);
+    }
+
+    #[test]
+    fn stmt_slots_mint_densely_and_dump_in_order() {
+        let t = SharedTables::new();
+        assert_eq!(t.stmt_slot_for(0xdead), 0);
+        assert_eq!(t.stmt_slot_for(0xbeef), 1);
+        assert_eq!(t.stmt_slot_for(0xdead), 0, "stable per key");
+        let dump = t.slots_dump();
+        assert_eq!(dump, vec![(0xdead, 0), (0xbeef, 1)]);
+        assert_eq!(t.epochs_dump(), Vec::new());
+    }
+
+    #[test]
+    fn sessions_share_tables_but_not_observers() {
+        let base = SharedTables::new();
+        let e = base.intern(&sll(3));
+        let epoch = base.epoch_for(42);
+        let s = base.session();
+        // Cached state is shared: the same graph hits, the same key maps
+        // to the same epoch, and memo stores are visible both ways.
+        assert_eq!(s.intern(&sll(3)).id, e.id);
+        assert_eq!(s.epoch_for(42), epoch);
+        s.transfer_store(epoch, 0, e.id, Arc::new(TransferOutcome::default()));
+        assert!(base.transfer_lookup(epoch, 0, e.id).is_some());
+        // Observers are not: the session's metrics started at zero and the
+        // base cancel token is unaffected by a session cancel.
+        assert_eq!(s.metrics.snapshot().intern_misses, 0);
+        assert_eq!(s.metrics.snapshot().intern_hits, 1);
+        assert_eq!(base.metrics.snapshot().intern_misses, 1);
+        s.cancel.cancel();
+        assert!(s.cancel.is_cancelled());
+        assert!(!base.cancel.is_cancelled());
+    }
+
+    #[test]
+    fn memo_dump_accessors_roundtrip() {
+        let t = SharedTables::new();
+        let a = t.intern(&sll(2));
+        let b = t.intern(&sll(3));
+        t.cache.store(a.id, b.id, false);
+        t.cache.store(a.id, a.id, true);
+        assert_eq!(
+            t.cache.entries(),
+            vec![(a.id, a.id, true), (a.id, b.id, false)]
+        );
+        t.transfer
+            .store(1, 5, a.id, Arc::new(TransferOutcome::default()));
+        t.transfer
+            .store(0, 9, b.id, Arc::new(TransferOutcome::default()));
+        let te = t.transfer.entries();
+        assert_eq!(te.len(), 2);
+        assert_eq!((te[0].0, te[0].1, te[0].2), (0, 9, b.id));
+        assert_eq!((te[1].0, te[1].1, te[1].2), (1, 5, a.id));
+    }
+
+    #[test]
+    fn op_stats_accumulate_sums_counters_maxes_gauges() {
+        let a = OpStats {
+            intern_hits: 3,
+            interner_size: 10,
+            peak_set_width: 4,
+            ..Default::default()
+        };
+        let b = OpStats {
+            intern_hits: 2,
+            interner_size: 12,
+            peak_set_width: 2,
+            ..Default::default()
+        };
+        let c = a.accumulate(&b);
+        assert_eq!(c.intern_hits, 5);
+        assert_eq!(c.interner_size, 12);
+        assert_eq!(c.peak_set_width, 4);
     }
 
     #[test]

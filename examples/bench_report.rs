@@ -18,6 +18,15 @@
 //! ([`EngineConfig::parallel_threads`]), at L2 and L3 where the fan-out
 //! actually runs wide. Sweep rows carry a `"threads"` field so
 //! `scripts/bench_diff` keys them separately from the sequential rows.
+//!
+//! Every row records its cache state: `"cache": "cold"` rows start from
+//! fresh shared tables (the historical configuration), `"cache": "warm"`
+//! rows re-run over tables already populated by a prior run of the same
+//! code and level — the warm-start daemon / `--load-cache` configuration.
+//! Warm rows are **medians over `--repeat N` samples** (default 5; warm
+//! runs are fast enough that a single sample is noise), with a same-size
+//! cold median alongside for the p50 warm-vs-cold ratio that
+//! `scripts/bench_diff --warm` tracks.
 
 use psa::core::engine::{AnalysisResult, Engine, EngineConfig};
 use psa::core::json::Json;
@@ -91,6 +100,51 @@ fn time_parallel_run(
     (best, out.unwrap())
 }
 
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// Warm-start timing. One untimed warming run populates fresh shared
+/// tables; each timed warm sample then runs a fresh engine over a fresh
+/// session of those tables (fresh per-request metrics, shared memos —
+/// exactly what a daemon request sees). Cold samples get fresh tables per
+/// run. Both sides report the median over `samples` runs.
+fn time_warm_vs_cold(
+    ir: &FuncIr,
+    level: Level,
+    samples: usize,
+) -> (Duration, Duration, AnalysisResult) {
+    let cfg = || EngineConfig {
+        level,
+        transfer_cache: true,
+        delta_transfer: true,
+        ..Default::default()
+    };
+    let warming = Engine::new(ir, cfg());
+    let base_ctx = warming.ctx().clone();
+    warming.run().expect("warming run");
+    let mut warm_walls = Vec::with_capacity(samples);
+    let mut out = None;
+    for _ in 0..samples {
+        let session = std::sync::Arc::new(base_ctx.tables.session());
+        let ctx = base_ctx.clone().with_tables(session);
+        let start = Instant::now();
+        let res = Engine::with_shape_ctx(ir, cfg(), ctx)
+            .run()
+            .expect("warm run");
+        warm_walls.push(start.elapsed());
+        out = Some(res);
+    }
+    let mut cold_walls = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        let _ = Engine::new(ir, cfg()).run().expect("cold run");
+        cold_walls.push(start.elapsed());
+    }
+    (median(cold_walls), median(warm_walls), out.unwrap())
+}
+
 /// One extra *untimed* run with the trace journal enabled: the per-kernel
 /// span totals (join/compress/divide/prune/canon/subsume plus statement
 /// transfers) land in the report without perturbing the timed reps, which
@@ -138,6 +192,17 @@ fn main() {
                 .collect()
         })
         .unwrap_or_default();
+    let repeat: usize = args
+        .iter()
+        .position(|a| a == "--repeat")
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--repeat needs a sample count"))
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("--repeat: not a number"))
+                .max(1)
+        })
+        .unwrap_or(5);
     let sizes = if quick {
         psa::codes::Sizes::tiny()
     } else {
@@ -173,6 +238,7 @@ fn main() {
             let mut row = Json::obj();
             row.set("code", *name);
             row.set("level", level.to_string());
+            row.set("cache", "cold");
             match (&res_incr, &res_base) {
                 (Ok(a), Ok(b)) => {
                     assert!(a.exit.same_as(&b.exit), "differential violation");
@@ -215,7 +281,41 @@ fn main() {
                     row.set("agree", ri.is_err() == rb.is_err());
                 }
             }
+            let cold_ok = res_incr.is_ok();
+            let cold_exit = res_incr.as_ref().ok().map(|a| a.exit.clone());
             rows.push(row);
+
+            // Warm-start row: the daemon / --load-cache configuration,
+            // medians over `repeat` samples per side.
+            if cold_ok {
+                let (cold_p50, warm_p50, res_warm) = time_warm_vs_cold(&ir, level, repeat);
+                if let Some(exit) = &cold_exit {
+                    assert!(res_warm.exit.same_as(exit), "warm-start changed the result");
+                }
+                let ratio = cold_p50.as_secs_f64() / warm_p50.as_secs_f64();
+                let wops = &res_warm.stats.ops;
+                println!(
+                    "{:<12} {:<4} {:>12.2?} {:>12.2?} {:>7.2}x {:>8.1}%   (warm p50 over {} reps)",
+                    name,
+                    level.to_string(),
+                    warm_p50,
+                    cold_p50,
+                    ratio,
+                    wops.transfer_memo_hit_rate() * 100.0,
+                    repeat,
+                );
+                let mut wrow = Json::obj();
+                wrow.set("code", *name);
+                wrow.set("level", level.to_string());
+                wrow.set("cache", "warm");
+                wrow.set("repeat", repeat as u64);
+                wrow.set("wall_ms_incremental", warm_p50.as_secs_f64() * 1e3);
+                wrow.set("wall_ms_cold_p50", cold_p50.as_secs_f64() * 1e3);
+                wrow.set("speedup_vs_cold", ratio);
+                wrow.set("degraded", res_warm.any_degraded());
+                wrow.set("ops", ops_to_json(wops));
+                rows.push(wrow);
+            }
         }
     }
 
@@ -237,6 +337,7 @@ fn main() {
                     row.set("code", *name);
                     row.set("level", level.to_string());
                     row.set("threads", n as u64);
+                    row.set("cache", "cold");
                     match res {
                         Ok(a) => {
                             if let Some((base, ref res1)) = one_thread {
@@ -284,6 +385,7 @@ fn main() {
     root.set("benchmark", "fixpoint");
     root.set("quick", quick);
     root.set("reps", reps as u64);
+    root.set("repeat_warm", repeat as u64);
     root.set(
         "threads_swept",
         threads.iter().map(|n| *n as u64).collect::<Json>(),

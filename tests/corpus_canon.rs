@@ -48,75 +48,75 @@ fn exit_signature_hash(src: &str, level: Level) -> u64 {
 const PINS: &[(&str, u64, u64, u64)] = &[
     (
         "alias_copy.c",
-        0x610b11d6256812bc,
-        0x610b11d6256812bc,
-        0x610b11d6256812bc,
+        0x91a2939e5ca14b9b,
+        0x91a2939e5ca14b9b,
+        0x91a2939e5ca14b9b,
     ),
     (
         "circular_pair.c",
-        0xcf588a6152852f46,
-        0xcf588a6152852f46,
-        0xcf588a6152852f46,
+        0xa2d7b1d090a50df4,
+        0xa2d7b1d090a50df4,
+        0xa2d7b1d090a50df4,
     ),
     (
         "cycle_break.c",
-        0xf3ae1aadf3ad788f,
-        0xf3ae1aadf3ad788f,
-        0xf3ae1aadf3ad788f,
+        0x1265469da3aa3675,
+        0x1265469da3aa3675,
+        0x1265469da3aa3675,
     ),
     (
         "dll_fig1.c",
-        0x407c209a296e6e91,
-        0xf65a3c059855258c,
-        0xf65a3c059855258c,
+        0x6f2f1792678362bb,
+        0x8c41185c641dfbae,
+        0x8c41185c641dfbae,
     ),
     (
         "free_then_null.c",
-        0xaf5e6cf4d30680f3,
-        0xaf5e6cf4d30680f3,
-        0xaf5e6cf4d30680f3,
+        0x7fa9bdcc02f858b1,
+        0x7fa9bdcc02f858b1,
+        0x7fa9bdcc02f858b1,
     ),
     (
         "list_unshared.c",
-        0x525865296a960f2b,
-        0x11e84eae8c3be5dc,
-        0x11e84eae8c3be5dc,
+        0x050b630e55e40657,
+        0x8367a16158190a10,
+        0x8367a16158190a10,
     ),
     (
         "loop_site.c",
-        0x525865296a960f2b,
-        0x11e84eae8c3be5dc,
-        0x11e84eae8c3be5dc,
+        0x050b630e55e40657,
+        0x8367a16158190a10,
+        0x8367a16158190a10,
     ),
     (
         "reach_chain.c",
-        0xf3ae1aadf3ad788f,
-        0xf3ae1aadf3ad788f,
-        0xf3ae1aadf3ad788f,
+        0x1265469da3aa3675,
+        0x1265469da3aa3675,
+        0x1265469da3aa3675,
     ),
     (
         "shared_diamond.c",
-        0x1ec24b4d39866563,
-        0x1ec24b4d39866563,
-        0x1ec24b4d39866563,
+        0xf781f01a10275efe,
+        0xf781f01a10275efe,
+        0xf781f01a10275efe,
     ),
     (
         "swap_pointers.c",
-        0x9390e8e52ae6a009,
-        0x9390e8e52ae6a009,
-        0x9390e8e52ae6a009,
+        0xd1bc78e79e2e93d6,
+        0xd1bc78e79e2e93d6,
+        0xd1bc78e79e2e93d6,
     ),
     (
         "tree_leaves.c",
-        0x6b217d147e19f7b2,
-        0x6b217d147e19f7b2,
-        0x6b217d147e19f7b2,
+        0xbb4862b03a263e43,
+        0xbb4862b03a263e43,
+        0xbb4862b03a263e43,
     ),
     (
         "wrong_alias.c",
-        0x17dbf8230a0080d6,
-        0x17dbf8230a0080d6,
-        0x17dbf8230a0080d6,
+        0x10fb35989cb59bc4,
+        0x10fb35989cb59bc4,
+        0x10fb35989cb59bc4,
     ),
 ];
 

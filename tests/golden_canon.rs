@@ -45,17 +45,17 @@ fn golden_singly_linked_lists() {
     check(
         "sll(1)",
         &builder::singly_linked_list(1, 2, P0, NXT),
-        0x2918a012a5414643,
+        0x0ca0ac7864d5c9ed,
     );
     check(
         "sll(2)",
         &builder::singly_linked_list(2, 2, P0, NXT),
-        0xac02ac5d42a00bc6,
+        0x0d665156bda909d8,
     );
     check(
         "sll(3)",
         &builder::singly_linked_list(3, 2, P0, NXT),
-        0x106f5c625f71c19a,
+        0x95f9e9e257836dc8,
     );
 }
 
@@ -64,7 +64,7 @@ fn golden_circular_list() {
     check(
         "circ(3)",
         &builder::circular_list(3, 2, P0, NXT),
-        0xad783ba353bec39f,
+        0x49df21c79b11c181,
     );
 }
 
@@ -73,14 +73,14 @@ fn golden_doubly_linked_list() {
     check(
         "dll(3)",
         &builder::doubly_linked_list(3, 2, P0, NXT, PRV),
-        0xeefba85efc0488a1,
+        0xce74123c43bb2997,
     );
 }
 
 #[test]
 fn golden_fig1_dll() {
     let (g, _) = builder::fig1_dll(P0, 3, NXT, PRV);
-    check("fig1", &g, 0xf86a52783ac33876);
+    check("fig1", &g, 0xa8ef15604611632f);
 }
 
 #[test]
@@ -88,7 +88,7 @@ fn golden_binary_tree() {
     check(
         "tree(2)",
         &builder::binary_tree(2, 2, P0, NXT, PRV),
-        0xcab3be3583892537,
+        0x048fc78586524291,
     );
 }
 
@@ -112,7 +112,7 @@ fn golden_shared_hub() {
     g.add_link(tail, NXT, hub);
     g.node_mut(tail).pos_selout.insert(NXT);
     g.node_mut(hub).pos_selin.insert(NXT);
-    check("hub", &g, 0xa4a46ab4a3ab824d);
+    check("hub", &g, 0x1861de45347ba7c6);
 }
 
 #[test]

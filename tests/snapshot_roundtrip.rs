@@ -1,0 +1,116 @@
+//! Snapshot round-trip suite (warm-start ISSUE satellite): after analyzing
+//! each paper code, the shared tables serialize to a snapshot and restore
+//! to an observably equivalent warm state — re-analysis under the restored
+//! tables produces a bit-identical JSON report (timing/ops stats aside)
+//! and replays memoized transfers instead of recomputing them. Damaged
+//! snapshots (truncated, bit-flipped, wrong version, not a snapshot at
+//! all) fail with a typed [`AnalysisError::Snapshot`], never a panic.
+
+use psa::codes::{table1_codes, Sizes};
+use psa::core::engine::{AnalysisError, AnalysisResult};
+use psa::core::json::Json;
+use psa::core::report::build_report;
+use psa::core::{AnalysisOptions, Analyzer};
+use psa::rsg::{snapshot, Level, SharedTables};
+use std::sync::Arc;
+
+/// Analyze `src` at L2 over the given tables, returning the report JSON
+/// with the `stats` section stripped (wall-clock and per-run op counts are
+/// the two fields that legitimately differ between a cold and a warm run)
+/// plus the raw result for op-counter assertions.
+fn analyze_with(src: &str, tables: Arc<SharedTables>) -> (Json, AnalysisResult) {
+    let mut options = AnalysisOptions::at_level(Level::L2);
+    options.inline = true;
+    options.tables = Some(tables);
+    let analyzer = Analyzer::new(src, options).expect("paper code parses");
+    let result = analyzer.run().expect("analysis succeeds");
+    let mut json = build_report(analyzer.ir(), &result).to_json();
+    json.remove("stats");
+    (json, result)
+}
+
+#[test]
+fn restored_snapshot_reanalysis_is_bit_identical_and_warm() {
+    for (name, src) in table1_codes(Sizes::tiny()) {
+        let tables = Arc::new(SharedTables::new());
+        let (cold_json, _) = analyze_with(&src, Arc::clone(&tables));
+
+        let bytes = snapshot::to_bytes(&tables);
+        let restored = Arc::new(snapshot::from_bytes(&bytes).expect("snapshot restores"));
+        let (warm_json, warm) = analyze_with(&src, Arc::clone(&restored));
+
+        assert_eq!(
+            cold_json.compact(),
+            warm_json.compact(),
+            "{name}: report diverged after snapshot restore"
+        );
+        let ops = &warm.stats.ops;
+        assert!(
+            ops.transfer_memo_hits > 0,
+            "{name}: restored transfer memo must replay transfers"
+        );
+        assert_eq!(
+            ops.transfer_memo_misses, 0,
+            "{name}: resubmitting the identical program must miss nothing"
+        );
+        assert!(
+            ops.intern_hits > 0,
+            "{name}: restored interner must answer canonicalizations"
+        );
+    }
+}
+
+#[test]
+fn snapshot_files_roundtrip_on_disk() {
+    let dir = std::env::temp_dir().join(format!("psa_roundtrip_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("warm.psas");
+
+    let (_, src) = table1_codes(Sizes::tiny()).remove(0);
+    let tables = Arc::new(SharedTables::new());
+    let (cold_json, _) = analyze_with(&src, Arc::clone(&tables));
+    snapshot::save(&tables, &path).expect("snapshot saves");
+
+    let restored = Arc::new(snapshot::load(&path).expect("snapshot loads"));
+    let (warm_json, warm) = analyze_with(&src, restored);
+    assert_eq!(cold_json.compact(), warm_json.compact());
+    assert!(warm.stats.ops.transfer_memo_hits > 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn damaged_snapshots_fail_with_typed_errors() {
+    let (_, src) = table1_codes(Sizes::tiny()).remove(0);
+    let tables = Arc::new(SharedTables::new());
+    analyze_with(&src, Arc::clone(&tables));
+    let bytes = snapshot::to_bytes(&tables);
+
+    let typed = |err: snapshot::SnapshotError| -> AnalysisError {
+        let converted = AnalysisError::from(err);
+        assert!(
+            matches!(converted, AnalysisError::Snapshot { .. }),
+            "snapshot failures must surface as AnalysisError::Snapshot, got {converted:?}"
+        );
+        converted
+    };
+
+    // Truncation at every decile: typed error, never a panic.
+    for i in 1..10 {
+        let cut = bytes.len() * i / 10;
+        let err = snapshot::from_bytes(&bytes[..cut]).expect_err("truncated snapshot must fail");
+        typed(err);
+    }
+
+    // A flipped payload bit fails the checksum.
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    typed(snapshot::from_bytes(&flipped).expect_err("corrupt snapshot must fail"));
+
+    // Garbage that is not a snapshot at all.
+    typed(snapshot::from_bytes(b"definitely not a snapshot").expect_err("garbage must fail"));
+
+    // A missing file is an I/O failure, also typed.
+    typed(snapshot::load("/nonexistent/psa-warm.psas").expect_err("missing file must fail"));
+}
