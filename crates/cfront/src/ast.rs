@@ -18,6 +18,10 @@ pub enum TypeExpr {
     Named(String),
     /// `T *`
     Pointer(Box<TypeExpr>),
+    /// `T name[N]` — fixed-size array, allowed only as a struct field,
+    /// where the type table expands it into `N` element fields
+    /// (`name[0]` … `name[N-1]`).
+    Array(Box<TypeExpr>, u32),
 }
 
 impl TypeExpr {
@@ -45,6 +49,7 @@ impl fmt::Display for TypeExpr {
             TypeExpr::Struct(n) => write!(f, "struct {n}"),
             TypeExpr::Named(n) => write!(f, "{n}"),
             TypeExpr::Pointer(t) => write!(f, "{t} *"),
+            TypeExpr::Array(t, n) => write!(f, "{t}[{n}]"),
         }
     }
 }

@@ -5,8 +5,12 @@
 //!   declaration once `typedef struct cell cell;` has been seen;
 //! * compound assignments (`+=` etc.), `++`/`--` are desugared to plain
 //!   assignments in the AST;
-//! * arrays and the address-of operator on heap fields are rejected — the
-//!   analyzed codes use pure pointer structures and scalars, as in the paper.
+//! * fixed-size arrays are allowed only as struct fields and only with
+//!   constant non-negative indices; `q->kids[2]` folds into the expanded
+//!   element field `kids[2]`, and nested-struct access `p->pos.x` folds
+//!   into the composite field `pos.x`. Local arrays and the address-of
+//!   operator on heap fields remain rejected — the analyzed codes use
+//!   pure pointer structures and scalars, as in the paper.
 
 use crate::ast::*;
 use crate::diag::{Diagnostic, Span};
@@ -193,7 +197,7 @@ impl Parser {
         while !self.eat(&TokenKind::RBrace) {
             let base = self.type_base()?;
             loop {
-                let (ty, fname, fspan) = self.declarator(base.clone())?;
+                let (ty, fname, fspan) = self.field_declarator(base.clone())?;
                 fields.push(Field {
                     name: fname,
                     ty,
@@ -315,10 +319,39 @@ impl Parser {
         if *self.peek() == TokenKind::LBracket {
             return Err(Diagnostic::error(
                 self.span(),
-                "array declarators are not supported by this C subset",
+                "array declarators are supported only as struct fields in this C subset",
             ));
         }
         Ok((base.pointer_to(depth), name, span))
+    }
+
+    /// [`Self::declarator`] for struct fields, where a fixed-size array
+    /// suffix (`T *name[N]`) is allowed; the type table expands it into
+    /// element fields `name[0]` … `name[N-1]`.
+    fn field_declarator(&mut self, base: TypeExpr) -> Result<(TypeExpr, String, Span), Diagnostic> {
+        let mut depth = 0;
+        while self.eat(&TokenKind::Star) {
+            depth += 1;
+        }
+        let (name, span) = self.expect_ident()?;
+        let mut ty = base.pointer_to(depth);
+        if self.eat(&TokenKind::LBracket) {
+            let n = match self.bump() {
+                Token {
+                    kind: TokenKind::IntLit(v),
+                    ..
+                } if v > 0 => v as u32,
+                t => {
+                    return Err(Diagnostic::error(
+                        t.span,
+                        "array fields need a positive integer-literal size",
+                    ));
+                }
+            };
+            self.expect(&TokenKind::RBracket)?;
+            ty = TypeExpr::Array(Box::new(ty), n);
+        }
+        Ok((ty, name, span))
     }
 
     /// Parse a full type expression (base + stars), for casts and sizeof.
@@ -760,7 +793,16 @@ impl Parser {
                 TokenKind::Dot => {
                     self.bump();
                     let (name, _) = self.expect_ident()?;
-                    e = Expr::Member(Box::new(e), name, false, span);
+                    // A dot access hanging off a member access is a nested
+                    // struct-by-value field: fold it into the parent access
+                    // with the composite name the type table expands to
+                    // (`p->pos.x` reads field `pos.x` of `*p`).
+                    e = match e {
+                        Expr::Member(base, f, arrow, mspan) => {
+                            Expr::Member(base, format!("{f}.{name}"), arrow, mspan)
+                        }
+                        other => Expr::Member(Box::new(other), name, false, span),
+                    };
                 }
                 TokenKind::Arrow => {
                     self.bump();
@@ -782,10 +824,25 @@ impl Parser {
                     e = Expr::Assign(Box::new(e), Box::new(sum), span);
                 }
                 TokenKind::LBracket => {
-                    return Err(Diagnostic::error(
-                        span,
-                        "array indexing is not supported by this C subset",
-                    ));
+                    self.bump();
+                    let idx = self.expr_no_assign()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    // Constant index into an array struct field folds into
+                    // the expanded element-field name (`q->kids[2]` reads
+                    // field `kids[2]`). Anything else — local arrays,
+                    // variable indices — is outside the subset.
+                    e = match (e, idx) {
+                        (Expr::Member(base, f, arrow, mspan), Expr::IntLit(k, _)) if k >= 0 => {
+                            Expr::Member(base, format!("{f}[{k}]"), arrow, mspan)
+                        }
+                        _ => {
+                            return Err(Diagnostic::error(
+                                span,
+                                "array indexing is supported only on struct fields \
+                                 with constant non-negative indices",
+                            ));
+                        }
+                    };
                 }
                 _ => break,
             }
@@ -1032,6 +1089,62 @@ mod tests {
     fn array_rejected() {
         let src = "int main() { int a[10]; return 0; }";
         assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn array_struct_field_parses_with_size() {
+        let src = "struct quad { struct quad *kids[4]; }; int main() { return 0; }";
+        let p = parse(src).unwrap();
+        let s = p.struct_def("quad").unwrap();
+        assert_eq!(s.fields.len(), 1);
+        match &s.fields[0].ty {
+            TypeExpr::Array(elem, 4) => assert!(elem.is_pointer()),
+            other => panic!("expected array field type, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_sized_array_field_rejected() {
+        let src = "struct quad { struct quad *kids[0]; }; int main() { return 0; }";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn constant_index_on_member_folds_into_composite_field() {
+        let src = "struct quad { struct quad *kids[4]; }; \
+                   int main() { struct quad *q; struct quad *c; c = q->kids[2]; return 0; }";
+        let p = parse(src).unwrap();
+        let f = p.function("main").unwrap();
+        match &f.body[2] {
+            Stmt::Expr(Expr::Assign(_, rhs, _)) => match &**rhs {
+                Expr::Member(_, field, true, _) => assert_eq!(field, "kids[2]"),
+                other => panic!("expected folded member, got {other:?}"),
+            },
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn variable_index_rejected() {
+        let src = "struct quad { struct quad *kids[4]; }; \
+                   int main() { struct quad *q; int i; q = q->kids[i]; return 0; }";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn dot_on_arrow_member_folds_into_composite_field() {
+        let src = "struct pt { double x; double y; }; \
+                   struct site { struct pt pos; }; \
+                   int main() { struct site *s; double d; d = s->pos.x; return 0; }";
+        let p = parse(src).unwrap();
+        let f = p.function("main").unwrap();
+        match &f.body[2] {
+            Stmt::Expr(Expr::Assign(_, rhs, _)) => match &**rhs {
+                Expr::Member(_, field, true, _) => assert_eq!(field, "pos.x"),
+                other => panic!("expected folded member, got {other:?}"),
+            },
+            other => panic!("expected assign, got {other:?}"),
+        }
     }
 
     #[test]

@@ -142,34 +142,79 @@ impl TypeTable {
             let ty = table.resolve(&td.ty, td.span)?;
             table.typedefs.insert(td.name.clone(), ty);
         }
-        // Pass 2: resolve fields and assign selector ids.
+        // Pass 2: resolve fields and assign selector ids. Array fields
+        // expand into one field per element (`kids[0]` …) and
+        // struct-by-value fields inline the embedded struct's already
+        // resolved fields under composite names (`pos.x`), so downstream
+        // layers only ever see scalar and pointer fields. Declaration
+        // order doubles as the resolution order, which is exactly C's
+        // complete-type requirement for by-value embedding.
+        let mut resolved: Vec<bool> = vec![false; table.structs.len()];
         for s in &program.structs {
             let sid = table.struct_ids[&s.name];
             let mut fields = Vec::with_capacity(s.fields.len());
             for f in &s.fields {
-                let ty = table.resolve(&f.ty, f.span)?;
-                if matches!(ty, SemType::Struct(_)) {
-                    return Err(Diagnostic::error(
-                        f.span,
-                        format!(
-                            "field `{}` embeds a struct by value; only pointers, \
-                             ints and doubles are supported",
-                            f.name
-                        ),
-                    ));
-                }
-                let selector = if ty.pointee_struct().is_some() {
-                    Some(table.intern_selector(&f.name))
-                } else {
-                    None
+                let (elem_ty, count) = match &f.ty {
+                    TypeExpr::Array(elem, n) => (table.resolve(elem, f.span)?, Some(*n)),
+                    other => (table.resolve(other, f.span)?, None),
                 };
-                fields.push(FieldInfo {
-                    name: f.name.clone(),
-                    ty,
-                    selector,
-                });
+                if let SemType::Struct(inner) = elem_ty {
+                    if count.is_some() {
+                        return Err(Diagnostic::error(
+                            f.span,
+                            format!(
+                                "field `{}`: arrays of struct values are not supported \
+                                 (use an array of pointers)",
+                                f.name
+                            ),
+                        ));
+                    }
+                    if !resolved[inner.0 as usize] {
+                        return Err(Diagnostic::error(
+                            f.span,
+                            format!(
+                                "field `{}` embeds `struct {}` by value before its \
+                                 definition is complete",
+                                f.name, table.structs[inner.0 as usize].name
+                            ),
+                        ));
+                    }
+                    // Inline the embedded struct's (already expanded) fields.
+                    let inner_fields = table.structs[inner.0 as usize].fields.clone();
+                    for g in inner_fields {
+                        let name = format!("{}.{}", f.name, g.name);
+                        let selector = if g.ty.pointee_struct().is_some() {
+                            Some(table.intern_selector(&name))
+                        } else {
+                            None
+                        };
+                        fields.push(FieldInfo {
+                            name,
+                            ty: g.ty,
+                            selector,
+                        });
+                    }
+                    continue;
+                }
+                let names: Vec<String> = match count {
+                    Some(n) => (0..n).map(|k| format!("{}[{k}]", f.name)).collect(),
+                    None => vec![f.name.clone()],
+                };
+                for name in names {
+                    let selector = if elem_ty.pointee_struct().is_some() {
+                        Some(table.intern_selector(&name))
+                    } else {
+                        None
+                    };
+                    fields.push(FieldInfo {
+                        name,
+                        ty: elem_ty.clone(),
+                        selector,
+                    });
+                }
             }
             table.structs[sid.0 as usize].fields = fields;
+            resolved[sid.0 as usize] = true;
         }
         Ok(table)
     }
@@ -203,6 +248,12 @@ impl TypeTable {
                 .cloned()
                 .ok_or_else(|| Diagnostic::error(span, format!("unknown type `{name}`")))?,
             TypeExpr::Pointer(inner) => SemType::Pointer(Box::new(self.resolve(inner, span)?)),
+            TypeExpr::Array(_, _) => {
+                return Err(Diagnostic::error(
+                    span,
+                    "array types are supported only as struct fields",
+                ))
+            }
         })
     }
 
@@ -351,9 +402,75 @@ mod tests {
     }
 
     #[test]
-    fn struct_by_value_field_rejected() {
+    fn struct_by_value_field_expands_into_composite_scalars() {
+        let t = table(
+            "struct pt { double x; double y; }; \
+             struct site { struct pt pos; struct site *nxt; }; \
+             int main() { return 0; }",
+        );
+        let sid = t.struct_id("site").unwrap();
+        let names: Vec<&str> = t
+            .struct_info(sid)
+            .fields
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["pos.x", "pos.y", "nxt"]);
+        assert!(t
+            .struct_info(sid)
+            .field("pos.x")
+            .unwrap()
+            .selector
+            .is_none());
+        assert!(t.struct_info(sid).field("nxt").unwrap().selector.is_some());
+    }
+
+    #[test]
+    fn struct_by_value_embedding_inlines_pointer_fields_with_fresh_selectors() {
+        let t = table(
+            "struct link { struct link *ptr; }; \
+             struct node { struct link fwd; struct link bwd; }; \
+             int main() { return 0; }",
+        );
+        let sid = t.struct_id("node").unwrap();
+        let f = t.struct_info(sid).field("fwd.ptr").unwrap();
+        let b = t.struct_info(sid).field("bwd.ptr").unwrap();
+        assert!(f.selector.is_some() && b.selector.is_some());
+        assert_ne!(f.selector, b.selector);
+    }
+
+    #[test]
+    fn struct_by_value_forward_embed_rejected() {
         let p =
-            parse("struct a { int v; }; struct b { struct a inner; }; int main() { return 0; }")
+            parse("struct b { struct a inner; }; struct a { int v; }; int main() { return 0; }")
+                .unwrap();
+        assert!(TypeTable::build(&p).is_err());
+    }
+
+    #[test]
+    fn array_field_expands_into_element_fields() {
+        let t = table("struct quad { struct quad *kids[4]; int tag; }; int main() { return 0; }");
+        let sid = t.struct_id("quad").unwrap();
+        let info = t.struct_info(sid);
+        let names: Vec<&str> = info.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["kids[0]", "kids[1]", "kids[2]", "kids[3]", "tag"]
+        );
+        for k in 0..4 {
+            let f = info.field(&format!("kids[{k}]")).unwrap();
+            assert!(
+                f.selector.is_some(),
+                "kids[{k}] should be a pointer selector"
+            );
+        }
+        assert!(info.field("tag").unwrap().selector.is_none());
+    }
+
+    #[test]
+    fn array_of_struct_values_rejected() {
+        let p =
+            parse("struct a { int v; }; struct b { struct a inner[3]; }; int main() { return 0; }")
                 .unwrap();
         assert!(TypeTable::build(&p).is_err());
     }

@@ -6,7 +6,7 @@
 //!             [--budget-nodes N] [--budget-rsgs N] [--budget-ms N]
 //!             [--trace FILE] [--threads N]
 //! psa ir <file.c> [--function main]
-//! psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d> [--level ...]
+//! psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d|bisort|tsp|health|perimeter|voronoi> [--level ...]
 //! ```
 //!
 //! Budget flags degrade gracefully: `--budget-nodes` forces coarser
@@ -25,6 +25,13 @@
 //! against the analysis and concretely against `--seeds N` interpreter
 //! runs; a concretely refuted assertion exits nonzero, and the `--json`
 //! report gains an `"asserts"` section.
+//!
+//! `--check memory` derives three-valued null-deref / use-after-free /
+//! double-free / leak verdicts per statement from the fixed-point RSRSGs
+//! and validates every abstract `safe` claim against `--seeds N` concrete
+//! executions; a `violation` verdict or a refuted `safe` claim exits
+//! nonzero. `--check` accepts a comma-separated list
+//! (`--check asserts,memory`).
 
 use psa_core::api::{AnalysisOptions, Analyzer};
 use psa_core::engine::AnalysisResult;
@@ -59,6 +66,7 @@ struct Flags {
     budget: Budget,
     trace: Option<String>,
     check_asserts: bool,
+    check_memory: bool,
     seeds: usize,
     threads: Option<usize>,
     save_cache: Option<String>,
@@ -88,6 +96,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         budget: Budget::default(),
         trace: None,
         check_asserts: false,
+        check_memory: false,
         seeds: 3,
         threads: None,
         save_cache: None,
@@ -137,10 +146,18 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--check" => {
                 i += 1;
-                match args.get(i).map(String::as_str) {
-                    Some("asserts") => f.check_asserts = true,
-                    Some(other) => return Err(format!("unknown check `{other}`")),
-                    None => return Err("--check needs a value (asserts)".into()),
+                // Comma-separated list of checks: `--check asserts,memory`.
+                let v = args
+                    .get(i)
+                    .ok_or("--check needs a value (asserts, memory, or a comma-separated list)")?;
+                for check in v.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+                    match check {
+                        "asserts" => f.check_asserts = true,
+                        "memory" => f.check_memory = true,
+                        other => {
+                            return Err(format!("unknown check `{other}` (valid: asserts, memory)"))
+                        }
+                    }
                 }
             }
             "--seeds" => {
@@ -206,6 +223,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 "treeadd" => psa_codes::olden::treeadd(sizes),
                 "power" => psa_codes::olden::power(sizes),
                 "em3d" => psa_codes::olden::em3d(sizes),
+                "bisort" => psa_codes::olden::bisort(sizes),
+                "tsp" => psa_codes::olden::tsp(sizes),
+                "health" => psa_codes::olden::health(sizes),
+                "perimeter" => psa_codes::olden::perimeter(sizes),
+                "voronoi" => psa_codes::olden::voronoi(sizes),
                 other => return Err(format!("unknown benchmark code `{other}`")),
             };
             let flags = parse_flags(&args[2..])?;
@@ -227,9 +249,9 @@ fn usage() -> String {
     "usage:\n  psa analyze <file.c> [--level L1|L2|L3|auto] [--function NAME] \
      [--dot DIR] [--stmt-dump] [--parallel-report] [--leak-report] [--annotate] [--json] [--stats]\n  \
      \x20            [--budget-nodes N] [--budget-rsgs N] [--budget-ms N] [--trace FILE]\n  \
-     \x20            [--check asserts] [--seeds N] [--threads N]\n  \
+     \x20            [--check asserts,memory] [--seeds N] [--threads N]\n  \
      \x20            [--save-cache FILE] [--load-cache FILE]\n  psa ir <file.c> [--function NAME]\n  \
-     psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d> [flags]\n  \
+     psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d|bisort|tsp|health|perimeter|voronoi> [flags]\n  \
      psa serve [--threads N] [--load-cache FILE] [--save-cache FILE]\n  \
      \x20       (newline-delimited JSON requests on stdin; see DESIGN.md \u{00a7}13)"
         .to_string()
@@ -424,9 +446,27 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
         None
     };
 
+    // Memory-safety verdicts when asked: abstract per-statement verdicts
+    // from the fixed point, every `safe` claim validated against seeded
+    // concrete executions.
+    let memory_reports = if flags.check_memory {
+        let abs = psa_core::memsafe::memory_report(analyzer.ir(), &result);
+        let seeds: Vec<u64> = (1..=flags.seeds as u64).collect();
+        let diff = psa_concrete::memsafe::validate_memory_report(
+            analyzer.ir(),
+            &abs,
+            psa_concrete::InterpConfig::default(),
+            &seeds,
+        );
+        Some((abs, diff))
+    } else {
+        None
+    };
+
     // Soft budget caps yield a *partial* result: report everything we have,
     // then exit nonzero (but cleanly — no panic) so scripts notice. A
-    // concretely refuted assertion also fails the run.
+    // concretely refuted assertion, a memory `violation` verdict or a
+    // refuted memory `safe` claim also fails the run.
     let stopped = result.stopped;
     let refuted = assert_report.as_ref().and_then(|r| {
         r.outcomes
@@ -434,9 +474,24 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
             .find(|o| o.verdict == psa_concrete::Verdict::ConcreteViolation)
     });
     let refuted_text = refuted.map(|o| o.assertion.text.clone());
+    let memory_failure = memory_reports.as_ref().and_then(|(abs, diff)| {
+        if let Some(m) = diff.mismatches.first() {
+            Some(format!("memory `safe` claim refuted concretely: {m}"))
+        } else if abs.num_violations() > 0 {
+            Some(format!(
+                "{} memory violation verdict(s) (program faults on every path reaching them)",
+                abs.num_violations()
+            ))
+        } else {
+            None
+        }
+    });
     let finish = move |stopped: Option<psa_core::BudgetKind>| {
         if let Some(text) = &refuted_text {
             return Err(format!("assertion refuted concretely: {text}"));
+        }
+        if let Some(why) = &memory_failure {
+            return Err(why.clone());
         }
         match stopped {
             Some(which) => Err(format!("analysis stopped early: {which}")),
@@ -518,6 +573,19 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
                 psa_core::trace::summarize(events, Some(analyzer.ir())).render()
             );
         }
+        if let Some((abs, _)) = &memory_reports {
+            let c = abs.counts();
+            println!("  memory verdicts:");
+            for (i, check) in psa_core::memsafe::MemCheck::ALL.iter().enumerate() {
+                println!(
+                    "    {}: {} safe, {} may-fail, {} violation",
+                    check.name(),
+                    c[i][0],
+                    c[i][1],
+                    c[i][2]
+                );
+            }
+        }
     }
 
     // Per-pvar structure reports (program pvars only).
@@ -558,6 +626,20 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
                 "  SOUNDNESS MISMATCH: `{}` certified abstractly but refuted concretely",
                 o.assertion.text
             );
+        }
+    }
+
+    if let Some((abs, diff)) = &memory_reports {
+        println!("memory-safety report ({} concrete runs):", diff.runs);
+        print!("{abs}");
+        println!(
+            "  differential: {} fault(s), {} leak event(s) observed concretely, {} mismatch(es)",
+            diff.concrete_faults,
+            diff.concrete_leaks,
+            diff.mismatches.len()
+        );
+        for m in &diff.mismatches {
+            println!("  SOUNDNESS MISMATCH: {m}");
         }
     }
 

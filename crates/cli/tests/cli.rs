@@ -258,3 +258,101 @@ fn leak_report_flag_runs() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("leak / dead-code report"));
 }
+
+const UAF: &str = r#"
+struct node { int v; struct node *nxt; };
+int main() {
+    struct node *p;
+    p = (struct node *) malloc(sizeof(struct node));
+    p->nxt = NULL;
+    free(p);
+    p->v = 1;
+    return 0;
+}
+"#;
+
+#[test]
+fn check_memory_flags_violations_and_exits_nonzero() {
+    let f = write_tmp("uaf.c", UAF);
+    let out = psa()
+        .args([
+            "analyze",
+            f.to_str().unwrap(),
+            "--check",
+            "memory",
+            "--seeds",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "a definite UAF must exit nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("memory-safety report"));
+    assert!(stdout.contains("use-after-free"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("memory violation verdict"),
+        "clean failure line, got: {stderr}"
+    );
+}
+
+#[test]
+fn check_accepts_comma_separated_list() {
+    let f = write_tmp("list_both_checks.c", LIST);
+    let out = psa()
+        .args([
+            "analyze",
+            f.to_str().unwrap(),
+            "--check",
+            "asserts,memory",
+            "--seeds",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("memory-safety report"));
+}
+
+#[test]
+fn check_rejects_unknown_value_cleanly() {
+    let f = write_tmp("list_bad_check.c", LIST);
+    let out = psa()
+        .args([
+            "analyze",
+            f.to_str().unwrap(),
+            "--check",
+            "asserts,frobnicate",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown check `frobnicate`") && stderr.contains("valid: asserts, memory"),
+        "clean diagnostic, got: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "no panic: {stderr}");
+}
+
+#[test]
+fn json_carries_memory_section() {
+    let f = write_tmp("list_mem_json.c", LIST);
+    let out = psa()
+        .args(["analyze", f.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v = psa_core::json::Json::parse(stdout.trim()).expect("valid JSON");
+    let mem = v.get("memory").expect("memory section present");
+    let counts = mem.get("counts").expect("per-check counts");
+    for check in ["null-deref", "use-after-free", "double-free", "leak"] {
+        assert!(counts.get(check).is_some(), "missing counts for {check}");
+    }
+}

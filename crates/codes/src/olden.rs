@@ -1,7 +1,7 @@
 //! Olden-style pointer benchmarks — the classic shape-analysis workload
-//! suite (treeadd, power, em3d), rewritten in the supported C subset with
-//! the paper's transformations (recursion → explicit stacks) applied. These
-//! extend the validation beyond the paper's four codes:
+//! suite, rewritten in the supported C subset with the paper's
+//! transformations (recursion → explicit stacks) applied. These extend the
+//! validation beyond the paper's four codes:
 //!
 //! * [`treeadd`] exercises the **function inliner** (tree construction and
 //!   the stack walk live in helper functions);
@@ -9,7 +9,17 @@
 //!   the nested-lists shape with multi-type selectors;
 //! * [`em3d`] builds a **genuinely shared** bipartite graph — the analysis
 //!   must report sharing (a true DAG), making it the negative control for
-//!   the unshared-list claims.
+//!   the unshared-list claims;
+//! * [`bisort`] sorts values in a binary tree with repeated swap passes;
+//! * [`tsp`] threads a **doubly-linked tour list** through a binary tree
+//!   of cities (nodes simultaneously on tree and list links);
+//! * [`health`] is a 4-ary hierarchy (`kids[4]` array fields) with patient
+//!   waiting lists that are drained with **`free`** — the memory-safety
+//!   workload;
+//! * [`perimeter`] is a quadtree built entirely through **array-of-pointer
+//!   fields** (`struct quad *kids[4]`);
+//! * [`voronoi`] stores coordinates in a **nested struct by value**
+//!   (`struct pt pos;`, accessed as `s->pos.x`).
 
 use crate::Sizes;
 
@@ -234,12 +244,448 @@ int main() {{
     )
 }
 
+/// Olden `bisort`: build a binary tree of values (via an inlined helper),
+/// then run repeated swap passes over the tree with an explicit stack until
+/// every parent is no larger than its children — the sorting-network flavour
+/// of the original bitonic sort, without recursion.
+pub fn bisort(s: Sizes) -> String {
+    let n = s.n;
+    format!(
+        r#"
+struct bnode {{ int v; struct bnode *l; struct bnode *r; }};
+struct bstk  {{ struct bstk *prev; struct bnode *node; }};
+
+struct bnode *mkbnode(int v) {{
+    struct bnode *p;
+    p = (struct bnode *) malloc(sizeof(struct bnode));
+    p->v = v;
+    p->l = NULL;
+    p->r = NULL;
+    return p;
+}}
+
+int main() {{
+    struct bnode *root;
+    struct bnode *cur;
+    struct bnode *fresh;
+    struct bstk *top;
+    struct bstk *sp;
+    int i;
+    int pass;
+    int swapped;
+    int tmp;
+
+    root = mkbnode({n});
+    for (i = 1; i < {n}; i++) {{
+        fresh = mkbnode(({n} - i) * 7 % {n});
+        cur = root;
+        for (;;) {{
+            if (i % 2 == 0) {{
+                if (cur->l == NULL) {{ cur->l = fresh; break; }}
+                cur = cur->l;
+            }} else {{
+                if (cur->r == NULL) {{ cur->r = fresh; break; }}
+                cur = cur->r;
+            }}
+        }}
+    }}
+
+    /* bisort: bubble values downward until no pass swaps */
+    swapped = 1;
+    pass = 0;
+    while (swapped == 1 && pass < {n}) {{
+        swapped = 0;
+        pass = pass + 1;
+        top = (struct bstk *) malloc(sizeof(struct bstk));
+        top->prev = NULL;
+        top->node = root;
+        while (top != NULL) {{
+            cur = top->node;
+            top = top->prev;
+            if (cur->l != NULL) {{
+                if (cur->l->v < cur->v) {{
+                    tmp = cur->v;
+                    cur->v = cur->l->v;
+                    cur->l->v = tmp;
+                    swapped = 1;
+                }}
+                sp = (struct bstk *) malloc(sizeof(struct bstk));
+                sp->node = cur->l;
+                sp->prev = top;
+                top = sp;
+            }}
+            if (cur->r != NULL) {{
+                if (cur->r->v < cur->v) {{
+                    tmp = cur->v;
+                    cur->v = cur->r->v;
+                    cur->r->v = tmp;
+                    swapped = 1;
+                }}
+                sp = (struct bstk *) malloc(sizeof(struct bstk));
+                sp->node = cur->r;
+                sp->prev = top;
+                top = sp;
+            }}
+        }}
+    }}
+    return 0;
+}}
+"#
+    )
+}
+
+/// Olden `tsp`: a binary tree of cities, then a **doubly-linked tour list**
+/// threaded through the same nodes (tree links `l`/`r` and list links
+/// `nxt`/`prv` coexist), then a pass over the tour accumulating the tour
+/// length — the structure the paper's tsp kernel exhibits after its
+/// conquer step.
+pub fn tsp(s: Sizes) -> String {
+    let n = s.n;
+    format!(
+        r#"
+struct city {{ double x; double y; struct city *l; struct city *r;
+               struct city *nxt; struct city *prv; }};
+struct cstk {{ struct cstk *prev; struct city *node; }};
+
+struct city *mkcity(double x, double y) {{
+    struct city *c;
+    c = (struct city *) malloc(sizeof(struct city));
+    c->x = x;
+    c->y = y;
+    c->l = NULL;
+    c->r = NULL;
+    c->nxt = NULL;
+    c->prv = NULL;
+    return c;
+}}
+
+int main() {{
+    struct city *root;
+    struct city *cur;
+    struct city *fresh;
+    struct city *first;
+    struct city *last;
+    struct cstk *top;
+    struct cstk *sp;
+    int i;
+    double len;
+    double dx;
+    double dy;
+
+    root = mkcity(0.0, 0.0);
+    for (i = 1; i < {n}; i++) {{
+        fresh = mkcity(1.0 * i, 1.0 * (i % 3));
+        cur = root;
+        for (;;) {{
+            if (fresh->x < cur->x) {{
+                if (cur->l == NULL) {{ cur->l = fresh; break; }}
+                cur = cur->l;
+            }} else {{
+                if (cur->r == NULL) {{ cur->r = fresh; break; }}
+                cur = cur->r;
+            }}
+        }}
+    }}
+
+    /* conquer: thread the doubly-linked tour through the tree nodes */
+    first = NULL;
+    last = NULL;
+    top = (struct cstk *) malloc(sizeof(struct cstk));
+    top->prev = NULL;
+    top->node = root;
+    while (top != NULL) {{
+        cur = top->node;
+        top = top->prev;
+        if (first == NULL) {{
+            first = cur;
+        }} else {{
+            last->nxt = cur;
+            cur->prv = last;
+        }}
+        last = cur;
+        if (cur->l != NULL) {{
+            sp = (struct cstk *) malloc(sizeof(struct cstk));
+            sp->node = cur->l;
+            sp->prev = top;
+            top = sp;
+        }}
+        if (cur->r != NULL) {{
+            sp = (struct cstk *) malloc(sizeof(struct cstk));
+            sp->node = cur->r;
+            sp->prev = top;
+            top = sp;
+        }}
+    }}
+
+    /* tour length along the list */
+    len = 0.0;
+    cur = first;
+    while (cur != NULL && cur->nxt != NULL) {{
+        dx = cur->nxt->x - cur->x;
+        dy = cur->nxt->y - cur->y;
+        len = len + dx * dx + dy * dy;
+        cur = cur->nxt;
+    }}
+    return 0;
+}}
+"#
+    )
+}
+
+/// Olden `health`: a 4-ary hospital hierarchy built through **array
+/// fields** (`struct vil *kids[4]`), each village holding a waiting list
+/// of patients. The simulation admits patients and then **frees** treated
+/// ones — the suite's memory-safety workload (malloc/free churn that the
+/// checker must prove clean).
+pub fn health(s: Sizes) -> String {
+    let n = s.n;
+    format!(
+        r#"
+struct pat {{ int hosp; struct pat *nxt; }};
+struct vil {{ int seed; struct vil *kids[4]; struct vil *all; struct pat *waiting; }};
+
+struct vil *mkvil(int seed) {{
+    struct vil *v;
+    v = (struct vil *) malloc(sizeof(struct vil));
+    v->seed = seed;
+    v->kids[0] = NULL;
+    v->kids[1] = NULL;
+    v->kids[2] = NULL;
+    v->kids[3] = NULL;
+    v->all = NULL;
+    v->waiting = NULL;
+    return v;
+}}
+
+int main() {{
+    struct vil *root;
+    struct vil *v;
+    struct vil *c;
+    struct vil *vl;
+    struct pat *p;
+    struct pat *q;
+    int t;
+
+    /* two-level 4-ary hierarchy, threaded onto an `all` list */
+    root = mkvil(1);
+    vl = root;
+    c = mkvil(2); root->kids[0] = c; c->all = vl; vl = c;
+    c = mkvil(3); root->kids[1] = c; c->all = vl; vl = c;
+    c = mkvil(4); root->kids[2] = c; c->all = vl; vl = c;
+    c = mkvil(5); root->kids[3] = c; c->all = vl; vl = c;
+
+    /* simulation: admit one patient per village per step, treat one */
+    for (t = 0; t < {n}; t++) {{
+        v = vl;
+        while (v != NULL) {{
+            p = (struct pat *) malloc(sizeof(struct pat));
+            p->hosp = t;
+            p->nxt = v->waiting;
+            v->waiting = p;
+            if (t % 2 == 1 && v->waiting != NULL) {{
+                p = v->waiting;
+                v->waiting = p->nxt;
+                free(p);
+                p = NULL;
+            }}
+            v = v->all;
+        }}
+    }}
+
+    /* shutdown: drain every waiting list */
+    v = vl;
+    while (v != NULL) {{
+        p = v->waiting;
+        while (p != NULL) {{
+            q = p->nxt;
+            free(p);
+            p = q;
+        }}
+        v->waiting = NULL;
+        v = v->all;
+    }}
+    return 0;
+}}
+"#
+    )
+}
+
+/// Olden `perimeter`: a quadtree whose children live in an
+/// **array-of-pointers field** (`struct quad *kids[4]`); leaves carry a
+/// colour, and the perimeter pass walks the tree with an explicit stack
+/// summing the contribution of black leaves.
+pub fn perimeter(s: Sizes) -> String {
+    let n = s.n;
+    format!(
+        r#"
+struct quad {{ int color; int size; struct quad *kids[4]; }};
+struct qstk {{ struct qstk *prev; struct quad *node; }};
+
+struct quad *mkquad(int color, int size) {{
+    struct quad *q;
+    q = (struct quad *) malloc(sizeof(struct quad));
+    q->color = color;
+    q->size = size;
+    q->kids[0] = NULL;
+    q->kids[1] = NULL;
+    q->kids[2] = NULL;
+    q->kids[3] = NULL;
+    return q;
+}}
+
+int main() {{
+    struct quad *root;
+    struct quad *q;
+    struct quad *c;
+    struct qstk *top;
+    struct qstk *sp;
+    int perim;
+
+    /* root plus one subdivided quadrant, colours alternating */
+    root = mkquad(0, {n});
+    c = mkquad(1, {n} / 2); root->kids[0] = c;
+    c = mkquad(0, {n} / 2); root->kids[1] = c;
+    c = mkquad(1, {n} / 2); root->kids[2] = c;
+    c = mkquad(0, {n} / 2); root->kids[3] = c;
+    q = root->kids[1];
+    c = mkquad(1, {n} / 4); q->kids[0] = c;
+    c = mkquad(1, {n} / 4); q->kids[1] = c;
+    c = mkquad(0, {n} / 4); q->kids[2] = c;
+    c = mkquad(1, {n} / 4); q->kids[3] = c;
+
+    /* perimeter: stack walk, black leaves contribute 4 * size */
+    perim = 0;
+    top = (struct qstk *) malloc(sizeof(struct qstk));
+    top->prev = NULL;
+    top->node = root;
+    while (top != NULL) {{
+        q = top->node;
+        top = top->prev;
+        if (q->kids[0] == NULL) {{
+            if (q->color == 1) {{
+                perim = perim + 4 * q->size;
+            }}
+        }} else {{
+            sp = (struct qstk *) malloc(sizeof(struct qstk));
+            sp->node = q->kids[0];
+            sp->prev = top;
+            top = sp;
+            sp = (struct qstk *) malloc(sizeof(struct qstk));
+            sp->node = q->kids[1];
+            sp->prev = top;
+            top = sp;
+            sp = (struct qstk *) malloc(sizeof(struct qstk));
+            sp->node = q->kids[2];
+            sp->prev = top;
+            top = sp;
+            sp = (struct qstk *) malloc(sizeof(struct qstk));
+            sp->node = q->kids[3];
+            sp->prev = top;
+            top = sp;
+        }}
+    }}
+    return 0;
+}}
+"#
+    )
+}
+
+/// Olden `voronoi` (sketch): sites carry their coordinates in a **nested
+/// struct by value** (`struct pt pos;`), get organised into a binary tree
+/// on `pos.x`, and an in-order stack walk chains neighbouring sites while
+/// accumulating the squared edge lengths of the resulting diagram seam.
+pub fn voronoi(s: Sizes) -> String {
+    let n = s.n;
+    format!(
+        r#"
+struct pt   {{ double x; double y; }};
+struct site {{ struct pt pos; struct site *l; struct site *r; struct site *nbr; }};
+struct vstk {{ struct vstk *prev; struct site *node; }};
+
+struct site *mksite(double x, double y) {{
+    struct site *p;
+    p = (struct site *) malloc(sizeof(struct site));
+    p->pos.x = x;
+    p->pos.y = y;
+    p->l = NULL;
+    p->r = NULL;
+    p->nbr = NULL;
+    return p;
+}}
+
+int main() {{
+    struct site *root;
+    struct site *cur;
+    struct site *fresh;
+    struct site *last;
+    struct vstk *top;
+    struct vstk *sp;
+    int i;
+    double acc;
+    double dx;
+    double dy;
+
+    root = mksite(0.5, 0.5);
+    for (i = 1; i < {n}; i++) {{
+        fresh = mksite(1.0 * (i * 7 % {n}), 1.0 * (i % 5));
+        cur = root;
+        for (;;) {{
+            if (fresh->pos.x < cur->pos.x) {{
+                if (cur->l == NULL) {{ cur->l = fresh; break; }}
+                cur = cur->l;
+            }} else {{
+                if (cur->r == NULL) {{ cur->r = fresh; break; }}
+                cur = cur->r;
+            }}
+        }}
+    }}
+
+    /* seam: chain visited sites, accumulate squared edge lengths */
+    last = NULL;
+    acc = 0.0;
+    top = (struct vstk *) malloc(sizeof(struct vstk));
+    top->prev = NULL;
+    top->node = root;
+    while (top != NULL) {{
+        cur = top->node;
+        top = top->prev;
+        if (last != NULL) {{
+            last->nbr = cur;
+            dx = cur->pos.x - last->pos.x;
+            dy = cur->pos.y - last->pos.y;
+            acc = acc + dx * dx + dy * dy;
+        }}
+        last = cur;
+        if (cur->l != NULL) {{
+            sp = (struct vstk *) malloc(sizeof(struct vstk));
+            sp->node = cur->l;
+            sp->prev = top;
+            top = sp;
+        }}
+        if (cur->r != NULL) {{
+            sp = (struct vstk *) malloc(sizeof(struct vstk));
+            sp->node = cur->r;
+            sp->prev = top;
+            top = sp;
+        }}
+    }}
+    return 0;
+}}
+"#
+    )
+}
+
 /// All Olden-style codes as `(name, source)`.
 pub fn olden_codes(s: Sizes) -> Vec<(&'static str, String)> {
     vec![
         ("treeadd", treeadd(s)),
         ("power", power(s)),
         ("em3d", em3d(s)),
+        ("bisort", bisort(s)),
+        ("tsp", tsp(s)),
+        ("health", health(s)),
+        ("perimeter", perimeter(s)),
+        ("voronoi", voronoi(s)),
     ]
 }
 
@@ -263,5 +709,46 @@ mod tests {
         let src = treeadd(Sizes::default());
         assert!(src.contains("struct tnode *mknode(int v)"));
         assert!(src.contains("root = mknode(0);"));
+    }
+
+    #[test]
+    fn full_suite_has_eight_codes() {
+        let names: Vec<&str> = olden_codes(Sizes::tiny())
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "treeadd",
+                "power",
+                "em3d",
+                "bisort",
+                "tsp",
+                "health",
+                "perimeter",
+                "voronoi"
+            ]
+        );
+    }
+
+    #[test]
+    fn perimeter_uses_array_of_pointer_fields() {
+        let src = perimeter(Sizes::tiny());
+        assert!(src.contains("struct quad *kids[4];"));
+        assert!(src.contains("q->kids[3]"));
+    }
+
+    #[test]
+    fn voronoi_uses_nested_struct_by_value() {
+        let src = voronoi(Sizes::tiny());
+        assert!(src.contains("struct pt pos;"));
+        assert!(src.contains("cur->pos.x"));
+    }
+
+    #[test]
+    fn health_frees_treated_patients() {
+        let src = health(Sizes::tiny());
+        assert!(src.contains("free(p);"));
     }
 }

@@ -3,7 +3,7 @@
 //! statement covers every concrete state observed there.
 
 use crate::cover::{any_covers, violation};
-use crate::interp::{ExecOutcome, InterpConfig, Interpreter};
+use crate::interp::{InterpConfig, Interpreter};
 use psa_core::engine::{Engine, EngineConfig};
 use psa_rsg::Level;
 
@@ -127,7 +127,7 @@ pub fn check_soundness_full(
             },
         )
         .run();
-        if matches!(exec.outcome, ExecOutcome::NullDeref(_)) {
+        if exec.outcome.fault_stmt().is_some() {
             report.crashed_runs += 1;
         }
         for point in &exec.trace {

@@ -38,6 +38,11 @@ pub struct ConcreteState {
     /// variable materializes a "garbage" value chosen by the interpreter,
     /// which then persists (C's uninitialized reads, made consistent).
     pub ints: BTreeMap<psa_ir::ScalarId, i64>,
+    /// Freed-cell provenance: location → the statement that freed it.
+    /// Freed objects stay in `objects` (locations are never reused, so the
+    /// abstraction function and coverage check are unaffected); this map is
+    /// what makes use-after-free and double-free concretely observable.
+    freed: BTreeMap<Loc, u32>,
     next: u32,
 }
 
@@ -149,6 +154,43 @@ impl ConcreteState {
             }
         }
         out
+    }
+
+    /// Free the object at `l`, recording the freeing statement. Returns
+    /// `false` when `l` was already freed (a double free) — the caller
+    /// decides how to fault. The object is retained in `objects` so
+    /// locations are never reused and α still sees the cell.
+    pub fn free(&mut self, l: Loc, stmt: u32) -> bool {
+        debug_assert!(self.objects.contains_key(&l), "freeing unallocated {l}");
+        self.freed.insert(l, stmt).is_none()
+    }
+
+    /// Has `l` been freed?
+    pub fn is_freed(&self, l: Loc) -> bool {
+        self.freed.contains_key(&l)
+    }
+
+    /// The statement that freed `l`, if any (provenance).
+    pub fn freed_at(&self, l: Loc) -> Option<u32> {
+        self.freed.get(&l).copied()
+    }
+
+    /// Number of freed cells.
+    pub fn num_freed(&self) -> usize {
+        self.freed.len()
+    }
+
+    /// Locations that are leaked *right now*: allocated, never freed, and
+    /// unreachable from the pvar frame. Locations are never reused and the
+    /// frame is the only root, so once unreachable a cell stays leaked —
+    /// this is the concrete oracle for the abstract leak verdicts.
+    pub fn leaked(&self) -> Vec<Loc> {
+        let reachable = self.reachable();
+        self.objects
+            .keys()
+            .copied()
+            .filter(|l| !self.freed.contains_key(l) && reachable.binary_search(l).is_err())
+            .collect()
     }
 
     /// Record a concrete TOUCH visit.

@@ -8,7 +8,7 @@
 //! soundness testing. A NULL dereference aborts the run (that prefix of the
 //! trace is still checked — the analysis also drops the crashing path).
 
-use crate::heap::ConcreteState;
+use crate::heap::{ConcreteState, Loc};
 use psa_ir::{BlockId, Cond, FuncIr, PtrStmt, Stmt, StmtId, Terminator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,8 +45,32 @@ pub enum ExecOutcome {
     Returned,
     /// Dereferenced NULL at the given statement.
     NullDeref(StmtId),
+    /// Dereferenced a freed cell at the given statement.
+    UseAfterFree(StmtId),
+    /// Freed an already-freed cell at the given statement.
+    DoubleFree(StmtId),
     /// Hit the step budget.
     StepBudget,
+}
+
+impl ExecOutcome {
+    /// The faulting statement of a crashing outcome (`None` for a normal
+    /// return or a step-budget stop).
+    pub fn fault_stmt(&self) -> Option<StmtId> {
+        match *self {
+            ExecOutcome::NullDeref(s)
+            | ExecOutcome::UseAfterFree(s)
+            | ExecOutcome::DoubleFree(s) => Some(s),
+            ExecOutcome::Returned | ExecOutcome::StepBudget => None,
+        }
+    }
+}
+
+/// What went wrong inside one statement step.
+enum Fault {
+    Null,
+    UseAfterFree,
+    DoubleFree,
 }
 
 /// One recorded trace point: the state *after* executing `stmt`.
@@ -105,9 +129,14 @@ impl<'a> Interpreter<'a> {
                 }
                 match self.step(&mut state, sid) {
                     Ok(()) => {}
-                    Err(()) => {
+                    Err(fault) => {
+                        let outcome = match fault {
+                            Fault::Null => ExecOutcome::NullDeref(sid),
+                            Fault::UseAfterFree => ExecOutcome::UseAfterFree(sid),
+                            Fault::DoubleFree => ExecOutcome::DoubleFree(sid),
+                        };
                         return ExecResult {
-                            outcome: ExecOutcome::NullDeref(sid),
+                            outcome,
                             final_state: state,
                             trace,
                             steps,
@@ -180,9 +209,18 @@ impl<'a> Interpreter<'a> {
         }
     }
 
-    /// Execute one statement; `Err(())` on NULL dereference.
-    fn step(&self, state: &mut ConcreteState, sid: StmtId) -> Result<(), ()> {
+    /// Execute one statement; faults on NULL dereference, dereference of a
+    /// freed cell, or double free.
+    fn step(&self, state: &mut ConcreteState, sid: StmtId) -> Result<(), Fault> {
         let info = self.ir.stmt(sid);
+        // A dereference must find the base both bound and not freed.
+        let deref = |state: &ConcreteState, l: Loc| -> Result<Loc, Fault> {
+            if state.is_freed(l) {
+                Err(Fault::UseAfterFree)
+            } else {
+                Ok(l)
+            }
+        };
         let ptr = match &info.stmt {
             Stmt::Scalar(_) => return Ok(()),
             Stmt::ScalarConst(v, k) => {
@@ -199,13 +237,19 @@ impl<'a> Interpreter<'a> {
                 return Ok(());
             }
             Stmt::ScalarStore(x, _) => {
-                // Writing a scalar field still requires the base to be
-                // non-NULL.
-                return if state.pvar(*x).is_some() {
-                    Ok(())
-                } else {
-                    Err(())
-                };
+                // Writing a scalar field still dereferences the base.
+                let l = state.pvar(*x).ok_or(Fault::Null)?;
+                deref(state, l)?;
+                return Ok(());
+            }
+            Stmt::Free(x) => {
+                // free(NULL) is a no-op; re-freeing a freed cell faults.
+                if let Some(l) = state.pvar(*x) {
+                    if !state.free(l, sid.0) {
+                        return Err(Fault::DoubleFree);
+                    }
+                }
+                return Ok(());
             }
             Stmt::Ptr(p) => *p,
         };
@@ -228,16 +272,19 @@ impl<'a> Interpreter<'a> {
                 }
             }
             PtrStmt::StoreNil(x, sel) => {
-                let l = state.pvar(x).ok_or(())?;
+                let l = state.pvar(x).ok_or(Fault::Null)?;
+                let l = deref(state, l)?;
                 state.store(l, sel, None);
             }
             PtrStmt::Store(x, sel, y) => {
-                let l = state.pvar(x).ok_or(())?;
+                let l = state.pvar(x).ok_or(Fault::Null)?;
+                let l = deref(state, l)?;
                 let v = state.pvar(y);
                 state.store(l, sel, v);
             }
             PtrStmt::Load(x, y, sel) => {
-                let l = state.pvar(y).ok_or(())?;
+                let l = state.pvar(y).ok_or(Fault::Null)?;
+                let l = deref(state, l)?;
                 let v = state.load(l, sel);
                 state.set_pvar(x, v);
                 if let Some(t) = v {

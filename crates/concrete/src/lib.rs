@@ -24,6 +24,7 @@ pub mod differential;
 pub mod fuzz;
 pub mod heap;
 pub mod interp;
+pub mod memsafe;
 pub mod minimize;
 
 pub use asserts::{
@@ -35,4 +36,5 @@ pub use differential::{
 pub use fuzz::{run_farm, FuzzConfig, FuzzFailure, FuzzReport};
 pub use heap::{ConcreteState, Loc};
 pub use interp::{ExecOutcome, InterpConfig, Interpreter};
+pub use memsafe::{check_memory, validate_memory_report, MemDiffReport};
 pub use minimize::minimize_source;

@@ -313,6 +313,22 @@ impl AnalysisResult {
         &self.after_stmt[s.0 as usize]
     }
 
+    /// The RSRSG *entering* statement `pos` of block `bi`: the block input
+    /// for the first statement, the predecessor statement's fixed-point
+    /// output otherwise. Clients must reconstruct inputs through this (or
+    /// equivalently through [`AnalysisResult::at`] of the predecessor)
+    /// rather than threading a running clone through the block — a memo
+    /// replay may store a member order different from the one a clone
+    /// accumulated, and per-graph set operations are order-sensitive.
+    pub fn input_at(&self, ir: &psa_ir::FuncIr, bi: psa_ir::BlockId, pos: usize) -> &Rsrsg {
+        let block = ir.block(bi);
+        if pos == 0 {
+            &self.block_in[bi.0 as usize]
+        } else {
+            self.at(block.stmts[pos - 1])
+        }
+    }
+
     /// True when the fixed point completed (no cancellation; forced
     /// summarization may still have coarsened statements).
     pub fn is_complete(&self) -> bool {
@@ -815,8 +831,10 @@ impl<'a> Engine<'a> {
         let cap = self.config.widen_cap;
         let info = self.ir.stmt(sid);
         let action = match &info.stmt {
-            // Identity: untracked scalar ops pass the set through.
-            Stmt::Scalar(_) | Stmt::ScalarStore(_, _) => {
+            // Identity: untracked scalar ops pass the set through. `free`
+            // is shape-identity too — the abstraction keeps covering the
+            // retained cell; the memory-safety client interprets it.
+            Stmt::Scalar(_) | Stmt::ScalarStore(_, _) | Stmt::Free(_) => {
                 let mut out = cur;
                 out.widen(&self.ctx, level, cap);
                 return out;

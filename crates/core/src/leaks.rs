@@ -31,24 +31,52 @@ pub struct LeakSite {
 #[derive(Debug, Clone, Default)]
 pub struct LeakReport {
     /// Statements never reached (empty RSRSG at fixed point) — dead code
-    /// or code only reachable through a crashing dereference.
+    /// or code only reachable through a crashing dereference. Only claimed
+    /// when the analysis reached its fixed point and the statement is not
+    /// degraded: a budget-stopped run leaves never-visited statements with
+    /// empty RSRSGs that mean "not analyzed", not "unreachable".
     pub dead_statements: Vec<StmtId>,
     /// Potential leak sites.
     pub leaks: Vec<LeakSite>,
+    /// Statements on which dead/leak claims were withheld because their
+    /// RSRSGs are degraded (force-summarized or left stale by a budget).
+    pub downgraded_statements: Vec<StmtId>,
+    /// `Some(reason)` when the analysis stopped on a budget before its
+    /// fixed point. The partial result under-approximates: nothing can be
+    /// claimed dead or leaking, and the whole report is inconclusive.
+    pub inconclusive: Option<String>,
 }
 
 /// Build the leak/dead-code report for a finished analysis.
+///
+/// Degradation discipline: a run that [`AnalysisResult::stopped`] early
+/// yields an *inconclusive* report (no dead/leak claims at all — statements
+/// the engine never visited are indistinguishable from unreachable ones);
+/// a completed run withholds claims on individual
+/// [`AnalysisResult::degraded`] statements, listing them as downgraded.
 pub fn leak_report(ir: &FuncIr, result: &AnalysisResult) -> LeakReport {
-    use crate::queries::reachable_from;
     let mut report = LeakReport::default();
+    if let Some(which) = &result.stopped {
+        report.inconclusive = Some(format!("analysis stopped early: {which}"));
+        return report;
+    }
 
     for (bi, block) in ir.blocks.iter().enumerate() {
-        // The input of the first statement is the block input; afterwards
-        // each statement's input is its predecessor's output.
-        let mut pre = result.block_in[bi].clone();
-        for &sid in &block.stmts {
+        let bid = psa_ir::BlockId(bi as u32);
+        for (pos, &sid) in block.stmts.iter().enumerate() {
             let info = ir.stmt(sid);
+            // Inputs come from the predecessor's fixed-point output (the
+            // block input for the first statement) — *not* from a clone
+            // threaded through the block, which goes stale when a memo
+            // replay stores a different member order.
+            let pre = result.input_at(ir, bid, pos);
             let cur = result.at(sid);
+            if result.degraded[sid.0 as usize] {
+                // Sound but coarsened (or stale) state: neither a dead nor
+                // a leak claim survives; say so instead.
+                report.downgraded_statements.push(sid);
+                continue;
+            }
             let is_ptr = matches!(info.stmt, Stmt::Ptr(_));
             if is_ptr && cur.is_empty() && !pre.is_empty() {
                 report.dead_statements.push(sid);
@@ -64,42 +92,11 @@ pub fn leak_report(ir: &FuncIr, result: &AnalysisResult) -> LeakReport {
             if let Some(x) = rebinds {
                 // Temps are bookkeeping, their kills never leak.
                 if !ir.pvar(x).is_temp {
-                    let mut max_dropped = 0usize;
-                    for g in pre.iter() {
-                        let Some(old) = g.pl(x) else { continue };
-                        // For x = x->sel and x = y, the new target may keep
-                        // the region alive; conservatively we only check
-                        // reachability through the *other* pvars.
-                        let region = reachable_from(g, old);
-                        let mut reachable_elsewhere = std::collections::BTreeSet::new();
-                        for (p, root) in g.pl_iter() {
-                            if p == x {
-                                continue;
-                            }
-                            for n in reachable_from(g, root) {
-                                reachable_elsewhere.insert(n);
-                            }
-                        }
-                        // x = x->sel / x = y: the new binding also keeps its
-                        // region; approximate it from the statement shape.
-                        let new_root = match info.stmt {
-                            Stmt::Ptr(PtrStmt::Copy(_, y)) => g.pl(y),
-                            Stmt::Ptr(PtrStmt::Load(_, y, sel)) => {
-                                g.pl(y).and_then(|ny| g.succs(ny, sel).first())
-                            }
-                            _ => None,
-                        };
-                        if let Some(nr) = new_root {
-                            for n in reachable_from(g, nr) {
-                                reachable_elsewhere.insert(n);
-                            }
-                        }
-                        let dropped = region
-                            .iter()
-                            .filter(|n| !reachable_elsewhere.contains(n))
-                            .count();
-                        max_dropped = max_dropped.max(dropped);
-                    }
+                    let max_dropped = pre
+                        .iter()
+                        .map(|g| nodes_dropped_in_graph(&info.stmt, g, x))
+                        .max()
+                        .unwrap_or(0);
                     if max_dropped > 0 {
                         report.leaks.push(LeakSite {
                             stmt: sid,
@@ -109,19 +106,68 @@ pub fn leak_report(ir: &FuncIr, result: &AnalysisResult) -> LeakReport {
                     }
                 }
             }
-            pre = cur.clone();
         }
     }
     report
 }
 
+/// Nodes of one input graph `g` that the rebind of `x` by `stmt` makes
+/// unreachable: `x`'s old region minus everything reachable through the
+/// other pvars or the statement's new root. Shared by [`leak_report`], the
+/// memory-safety client and the differential recomputation test.
+pub fn nodes_dropped_in_graph(stmt: &Stmt, g: &psa_rsg::Rsg, x: psa_ir::PvarId) -> usize {
+    use crate::queries::reachable_from;
+    let Some(old) = g.pl(x) else { return 0 };
+    // For x = x->sel and x = y, the new target may keep the region alive;
+    // conservatively we only check reachability through the *other* pvars.
+    let region = reachable_from(g, old);
+    let mut reachable_elsewhere = std::collections::BTreeSet::new();
+    for (p, root) in g.pl_iter() {
+        if p == x {
+            continue;
+        }
+        for n in reachable_from(g, root) {
+            reachable_elsewhere.insert(n);
+        }
+    }
+    // x = x->sel / x = y: the new binding also keeps its region;
+    // approximate it from the statement shape.
+    let new_root = match *stmt {
+        Stmt::Ptr(PtrStmt::Copy(_, y)) => g.pl(y),
+        Stmt::Ptr(PtrStmt::Load(_, y, sel)) => g.pl(y).and_then(|ny| g.succs(ny, sel).first()),
+        _ => None,
+    };
+    if let Some(nr) = new_root {
+        for n in reachable_from(g, nr) {
+            reachable_elsewhere.insert(n);
+        }
+    }
+    region
+        .iter()
+        .filter(|n| !reachable_elsewhere.contains(n))
+        .count()
+}
+
 impl std::fmt::Display for LeakReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.dead_statements.is_empty() && self.leaks.is_empty() {
+        if let Some(reason) = &self.inconclusive {
+            return writeln!(f, "leak report inconclusive: {reason}");
+        }
+        if self.dead_statements.is_empty()
+            && self.leaks.is_empty()
+            && self.downgraded_statements.is_empty()
+        {
             return writeln!(f, "no dead statements, no leak sites");
         }
         for s in &self.dead_statements {
             writeln!(f, "dead: {s}")?;
+        }
+        if !self.downgraded_statements.is_empty() {
+            writeln!(
+                f,
+                "{} degraded statement(s) withheld from dead/leak claims",
+                self.downgraded_statements.len()
+            )?;
         }
         for l in &self.leaks {
             writeln!(

@@ -18,6 +18,9 @@
 //!   independence report built on the SHARED/SHSEL/TOUCH properties;
 //! * [`leaks`] — a second client pass: dead statements and potential memory
 //!   leak sites read off the per-statement RSRSGs;
+//! * [`memsafe`] — the memory-safety checker: three-valued null-deref,
+//!   use-after-free, double-free and leak verdicts per statement, validated
+//!   differentially against the concrete interpreter;
 //! * [`annotate`] — the §6 conclusion, closed: re-emit the analyzed source
 //!   with parallelizability annotations on every loop;
 //! * [`report`] — serializable (JSON) analysis reports for downstream
@@ -34,6 +37,7 @@ pub mod asserts;
 pub mod engine;
 pub mod json;
 pub mod leaks;
+pub mod memsafe;
 pub mod parallel;
 pub mod progressive;
 pub mod queries;

@@ -236,6 +236,90 @@ pub struct AnalysisReport {
     /// like `trace`, the `"asserts"` key is absent when empty so plain
     /// reports stay bit-identical.
     pub asserts: Vec<AssertRow>,
+    /// Memory-safety section (`--check memory`); the `"memory"` key is
+    /// absent when the check did not run.
+    pub memory: Option<MemorySection>,
+}
+
+/// Serializable memory-safety report: per-check verdict counts plus every
+/// non-`Safe` site.
+#[derive(Debug, Clone)]
+pub struct MemorySection {
+    /// `(check name, safe, may_fail, violation)` per check kind.
+    pub counts: Vec<(String, usize, usize, usize)>,
+    /// Flagged sites: `(stmt id, check, verdict, rendered, detail)`.
+    pub sites: Vec<(u32, String, String, String, String)>,
+    /// Sites downgraded because their statements were budget-degraded.
+    pub downgraded: usize,
+    /// `Some(reason)` when the analysis stopped early (no verdicts).
+    pub inconclusive: Option<String>,
+}
+
+impl MemorySection {
+    /// Build from a checker report.
+    pub fn from_report(rep: &crate::memsafe::MemReport) -> MemorySection {
+        use crate::memsafe::MemCheck;
+        let c = rep.counts();
+        MemorySection {
+            counts: MemCheck::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, k)| (k.name().to_string(), c[i][0], c[i][1], c[i][2]))
+                .collect(),
+            sites: rep
+                .flagged()
+                .map(|s| {
+                    (
+                        s.stmt.0,
+                        s.check.name().to_string(),
+                        s.verdict.name().to_string(),
+                        s.rendered.clone(),
+                        s.detail.clone(),
+                    )
+                })
+                .collect(),
+            downgraded: rep.sites.iter().filter(|s| s.degraded).count(),
+            inconclusive: rep.inconclusive.clone(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        let mut counts = Json::obj();
+        for (name, safe, may_fail, violation) in &self.counts {
+            let mut row = Json::obj();
+            row.set("safe", *safe);
+            row.set("may_fail", *may_fail);
+            row.set("violation", *violation);
+            counts.set(name.as_str(), row);
+        }
+        j.set("counts", counts);
+        j.set(
+            "sites",
+            self.sites
+                .iter()
+                .map(|(sid, check, verdict, rendered, detail)| {
+                    let mut row = Json::obj();
+                    row.set("stmt", *sid);
+                    row.set("check", check.as_str());
+                    row.set("verdict", verdict.as_str());
+                    row.set("rendered", rendered.as_str());
+                    row.set("detail", detail.as_str());
+                    row
+                })
+                .collect::<Json>(),
+        );
+        j.set("downgraded", self.downgraded);
+        match &self.inconclusive {
+            Some(s) => {
+                j.set("inconclusive", s.as_str());
+            }
+            None => {
+                j.set("inconclusive", Json::Null);
+            }
+        }
+        j
+    }
 }
 
 /// One checked shape assertion, serializable.
@@ -311,6 +395,9 @@ impl AnalysisReport {
                 "asserts",
                 self.asserts.iter().map(|a| a.to_json()).collect::<Json>(),
             );
+        }
+        if let Some(m) = &self.memory {
+            j.set("memory", m.to_json());
         }
         j
     }
@@ -392,6 +479,9 @@ pub fn build_report(ir: &FuncIr, result: &AnalysisResult) -> AnalysisReport {
             .collect(),
         trace: None,
         asserts: Vec::new(),
+        memory: Some(MemorySection::from_report(&crate::memsafe::memory_report(
+            ir, result,
+        ))),
     }
 }
 

@@ -121,8 +121,15 @@ pub enum Stmt {
     /// Any other assignment to a tracked scalar variable: its value becomes
     /// unknown.
     ScalarHavoc(ScalarId, String),
+    /// `free(x)` — deallocates the cell `x` points to. The *shape* transfer
+    /// is the identity (the abstraction keeps covering the retained cell;
+    /// NULL-ness of `x` is untouched), but the memory-safety client tracks
+    /// the freed cell's provenance, and the concrete interpreter observes
+    /// use-after-free / double-free through it. `free(NULL)` is a no-op,
+    /// matching C.
+    Free(PvarId),
     /// Anything with no shape effect and no heap write (scalar arithmetic,
-    /// `printf`, `free`). Keeps a short description for traces.
+    /// `printf`). Keeps a short description for traces.
     Scalar(String),
 }
 

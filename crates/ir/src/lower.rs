@@ -970,9 +970,22 @@ impl Lowerer {
     fn lower_call(&mut self, name: &str, args: &[Expr], span: Span) -> Result<(), Diagnostic> {
         match name {
             "free" => {
-                // The paper's analysis treats deallocation as a no-op: freed
-                // locations are never accessed again by a correct program.
-                self.emit(Stmt::Scalar("free(...)".to_string()), span);
+                // The paper's analysis treats deallocation as shape-identity
+                // (freed locations are never accessed again by a correct
+                // program), but the memory-safety client needs the freed
+                // pvar, so a pointer argument lowers to a real statement.
+                match args {
+                    [arg] if self.is_pointerish(arg) => {
+                        match self.lower_ptr_operand(arg, span)? {
+                            Operand::Pvar(p) => self.emit(Stmt::Free(p), span),
+                            // free(NULL) is a no-op in C.
+                            Operand::Null => {
+                                self.emit(Stmt::Scalar("free(NULL)".to_string()), span);
+                            }
+                        }
+                    }
+                    _ => self.emit(Stmt::Scalar("free(...)".to_string()), span),
+                }
                 Ok(())
             }
             "printf" | "fprintf" | "puts" | "exit" | "srand" | "assert" => {
@@ -1332,9 +1345,29 @@ mod tests {
     }
 
     #[test]
-    fn free_and_printf_are_noops() {
+    fn free_lowers_to_free_stmt_and_printf_is_noop() {
         let ir = lower(r#"struct node *p; free(p); printf("%d", 1);"#);
-        assert_eq!(ptr_stmts(&ir).len(), 0);
+        assert_eq!(ptr_stmts(&ir).len(), 0, "free is not a pointer statement");
+        let p = ir.pvar_id("p").unwrap();
+        assert!(
+            ir.stmts.iter().any(|s| s.stmt == Stmt::Free(p)),
+            "free(p) lowers to Stmt::Free"
+        );
+        assert!(ir
+            .stmts
+            .iter()
+            .any(|s| matches!(&s.stmt, Stmt::Scalar(d) if d.contains("printf"))));
+    }
+
+    #[test]
+    fn free_null_and_free_chain_lower() {
+        // free(NULL) is a no-op; free(p->nxt) loads the field first.
+        let ir = lower("struct node *p; free(0); free(p->nxt);");
+        assert!(ir
+            .stmts
+            .iter()
+            .any(|s| matches!(&s.stmt, Stmt::Ptr(PtrStmt::Load(_, _, _)))));
+        assert!(ir.stmts.iter().any(|s| matches!(&s.stmt, Stmt::Free(_))));
     }
 
     #[test]

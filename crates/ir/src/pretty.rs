@@ -44,6 +44,7 @@ pub fn stmt(ir: &FuncIr, s: &Stmt) -> String {
         Stmt::ScalarStore(b, d) => format!("scalar store: {}{d}", ir.pvar_name(*b)),
         Stmt::ScalarConst(v, k) => format!("{} = {k}", ir.scalar_name(*v)),
         Stmt::ScalarHavoc(_, d) => format!("scalar: {d}"),
+        Stmt::Free(x) => format!("free({})", ir.pvar_name(*x)),
         Stmt::Scalar(d) => format!("scalar: {d}"),
     }
 }

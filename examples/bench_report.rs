@@ -37,6 +37,7 @@ use std::time::{Duration, Instant};
 
 fn ir_for(src: &str) -> FuncIr {
     let (p, t) = psa::cfront::parse_and_type(src).expect("parse");
+    let p = psa::ir::inline_program(&p, "main").expect("inline");
     lower_main(&p, &t).expect("lower")
 }
 
@@ -216,6 +217,12 @@ fn main() {
             "dll",
             psa::codes::generators::dll_program(if quick { 6 } else { 12 }),
         ),
+        // Olden extension rows — informational for now (bench_diff gates
+        // only on rows present in the committed reference; new names pass
+        // through until the reference is regenerated with them).
+        ("health", psa::codes::olden::health(sizes)),
+        ("perimeter", psa::codes::olden::perimeter(sizes)),
+        ("voronoi", psa::codes::olden::voronoi(sizes)),
     ];
 
     println!(

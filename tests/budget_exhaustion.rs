@@ -102,6 +102,139 @@ fn barnes_hut_l3_completes_under_node_cap() {
     );
 }
 
+/// Regression for the leak/memory clients' degradation discipline: under a
+/// node cap that forces summarization on Barnes-Hut, no budget-degraded
+/// statement may carry a dead-statement claim, a leak claim, or a `safe`
+/// memory verdict — degraded state is sound but too coarse to certify
+/// anything.
+#[test]
+fn node_capped_barnes_hut_withholds_claims_on_degraded_statements() {
+    let budget = Budget {
+        max_nodes: Some(6),
+        ..Budget::default()
+    };
+    let a = analyzer_with_budget(&barnes_hut(Sizes::default()), budget);
+    let res = a
+        .run_at(Level::L3)
+        .expect("node cap degrades, never errors");
+    assert!(res.any_degraded(), "cap must bite for this regression test");
+
+    let leaks = psa::core::leaks::leak_report(a.ir(), &res);
+    assert!(leaks.inconclusive.is_none(), "completed run is conclusive");
+    for sid in res.degraded_stmts() {
+        assert!(
+            !leaks.dead_statements.contains(&sid),
+            "{sid}: dead claim on a degraded statement"
+        );
+        assert!(
+            leaks.leaks.iter().all(|l| l.stmt != sid),
+            "{sid}: leak claim on a degraded statement"
+        );
+        assert!(
+            leaks.downgraded_statements.contains(&sid),
+            "{sid}: degraded statement missing from the downgraded list"
+        );
+    }
+
+    let mem = psa::core::memsafe::memory_report(a.ir(), &res);
+    assert!(mem.inconclusive.is_none());
+    for site in &mem.sites {
+        if res.degraded[site.stmt.0 as usize] {
+            assert!(site.degraded, "{}: degraded flag missing", site.stmt);
+            assert_ne!(
+                site.verdict,
+                psa::core::memsafe::MemVerdict::Safe,
+                "{}: `safe` claim on a degraded statement",
+                site.stmt
+            );
+            assert_ne!(
+                site.verdict,
+                psa::core::memsafe::MemVerdict::Violation,
+                "{}: `violation` claim on a degraded statement",
+                site.stmt
+            );
+        }
+    }
+}
+
+/// A budget-stopped (not merely degraded) run yields an inconclusive leak
+/// report with zero claims — never-visited statements have empty RSRSGs
+/// that mean "not analyzed", not "unreachable".
+#[test]
+fn stopped_run_leak_report_is_inconclusive_with_no_claims() {
+    let budget = Budget {
+        deadline: Some(Duration::ZERO),
+        ..Budget::default()
+    };
+    let a = analyzer_with_budget(&barnes_hut(Sizes::default()), budget);
+    let res = a.run_at(Level::L1).expect("deadline stops softly");
+    assert!(res.stopped.is_some(), "zero deadline must stop the engine");
+    let rep = psa::core::leaks::leak_report(a.ir(), &res);
+    assert!(rep.inconclusive.is_some());
+    assert!(rep.dead_statements.is_empty());
+    assert!(rep.leaks.is_empty());
+}
+
+/// Differential check on the leak report's arithmetic: every reported
+/// `max_nodes_dropped` must equal a direct recomputation from the
+/// statement's fixed-point inputs (`AnalysisResult::input_at`), so the
+/// report can never go stale against the engine's stored states.
+#[test]
+fn leak_drop_counts_match_direct_recomputation() {
+    let src = r#"
+        struct node { int v; struct node *nxt; };
+        int main() {
+            struct node *list; struct node *p; int i;
+            list = NULL;
+            for (i = 0; i < 6; i++) {
+                p = (struct node *) malloc(sizeof(struct node));
+                p->nxt = list;
+                list = p;
+            }
+            p = NULL;
+            list = NULL;
+            return 0;
+        }
+    "#;
+    let a = Analyzer::new(src, AnalysisOptions::default()).unwrap();
+    let res = a.run_at(Level::L1).unwrap();
+    let rep = psa::core::leaks::leak_report(a.ir(), &res);
+    assert!(!rep.leaks.is_empty(), "the head drop must be reported");
+    let ir = a.ir();
+    for site in &rep.leaks {
+        let (bid, pos) = ir
+            .blocks
+            .iter()
+            .enumerate()
+            .find_map(|(bi, b)| {
+                b.stmts
+                    .iter()
+                    .position(|&s| s == site.stmt)
+                    .map(|pos| (psa::ir::BlockId(bi as u32), pos))
+            })
+            .expect("leak site is in some block");
+        let info = ir.stmt(site.stmt);
+        let x = match info.stmt {
+            psa::ir::Stmt::Ptr(psa::ir::PtrStmt::Nil(x))
+            | psa::ir::Stmt::Ptr(psa::ir::PtrStmt::Malloc(x, _))
+            | psa::ir::Stmt::Ptr(psa::ir::PtrStmt::Load(x, _, _))
+            | psa::ir::Stmt::Ptr(psa::ir::PtrStmt::Copy(x, _)) => x,
+            _ => panic!("leak site is not a rebind"),
+        };
+        let recomputed = res
+            .input_at(ir, bid, pos)
+            .iter()
+            .map(|g| psa::core::leaks::nodes_dropped_in_graph(&info.stmt, g, x))
+            .max()
+            .unwrap_or(0);
+        assert_eq!(
+            site.max_nodes_dropped, recomputed,
+            "{}: reported drop count diverges from recomputation",
+            site.stmt
+        );
+    }
+}
+
 /// A 1 ms deadline on sparse LU yields a partial result, not an error and
 /// not a panic.
 #[test]

@@ -111,6 +111,38 @@ fn olden_codes_converge_at_all_levels() {
 }
 
 #[test]
+fn olden_codes_memory_safe_and_validated() {
+    // The full suite must come back with zero memory-safety *violations*
+    // (may-fail sites are fine — they are the analysis being honest), and
+    // every abstract `safe` claim must survive concrete execution.
+    for (name, src) in psa::codes::olden::olden_codes(Sizes::tiny()) {
+        let a = analyzer(&src);
+        let res = a
+            .run_at(Level::L1)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let abs = psa::core::memsafe::memory_report(a.ir(), &res);
+        assert!(abs.inconclusive.is_none(), "{name}: report inconclusive");
+        assert_eq!(
+            abs.num_violations(),
+            0,
+            "{name}: unexpected memory violations:\n{abs}"
+        );
+        let diff = psa::concrete::validate_memory_report(
+            a.ir(),
+            &abs,
+            psa::concrete::InterpConfig::default(),
+            &[1, 2, 3],
+        );
+        assert!(
+            diff.is_validated(),
+            "{name}: refuted safe claims: {:#?}",
+            diff.mismatches
+        );
+        assert_eq!(diff.concrete_faults, 0, "{name}: concrete faults observed");
+    }
+}
+
+#[test]
 fn olden_codes_differentially_sound() {
     for (name, src) in psa::codes::olden::olden_codes(Sizes::tiny()) {
         // The soundness oracle runs on the *inlined* program: inline first,
@@ -145,8 +177,8 @@ fn olden_codes_differentially_sound() {
             }
         }
         // Also exercise the plain harness on the already-inlined codes
-        // (power and em3d have no calls).
-        if !src.contains("mknode") {
+        // (power and em3d have no calls; the rest build through helpers).
+        if name == "power" || name == "em3d" {
             let rep = check_soundness(&src, Level::L1, &[3]);
             assert!(rep.is_sound(), "{name}: {:#?}", rep.violations);
         }
