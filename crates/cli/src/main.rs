@@ -9,6 +9,11 @@
 //! psa bench-code <matvec|matmat|lu|barnes-hut|treeadd|power|em3d|bisort|tsp|health|perimeter|voronoi> [--level ...]
 //! ```
 //!
+//! Inputs may define multiple functions: non-recursive calls are inlined
+//! automatically, recursive functions are analyzed through per-entry call
+//! summaries (DESIGN.md §15). `--stats` reports the summary-cache traffic
+//! and `--json` adds a `"calls"` section with one row per call site.
+//!
 //! Budget flags degrade gracefully: `--budget-nodes` forces coarser
 //! summarization instead of failing, while `--budget-rsgs` / `--budget-ms`
 //! stop the fixed point early and report the partial result before exiting
@@ -52,6 +57,15 @@ fn main() -> ExitCode {
     }
 }
 
+/// One `--check` kind. Kept as an ordered, deduplicated list on
+/// [`Flags`] so `--check memory,memory` (or `--check memory --check
+/// memory`) runs each checker once and emits each report section once.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Check {
+    Asserts,
+    Memory,
+}
+
 struct Flags {
     level: Option<Level>,
     progressive: bool,
@@ -65,12 +79,21 @@ struct Flags {
     stats: bool,
     budget: Budget,
     trace: Option<String>,
-    check_asserts: bool,
-    check_memory: bool,
+    checks: Vec<Check>,
     seeds: usize,
     threads: Option<usize>,
     save_cache: Option<String>,
     load_cache: Option<String>,
+}
+
+impl Flags {
+    fn check_asserts(&self) -> bool {
+        self.checks.contains(&Check::Asserts)
+    }
+
+    fn check_memory(&self) -> bool {
+        self.checks.contains(&Check::Memory)
+    }
 }
 
 fn parse_count(args: &[String], i: usize, flag: &str) -> Result<usize, String> {
@@ -95,8 +118,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         stats: false,
         budget: Budget::default(),
         trace: None,
-        check_asserts: false,
-        check_memory: false,
+        checks: Vec::new(),
         seeds: 3,
         threads: None,
         save_cache: None,
@@ -151,12 +173,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .get(i)
                     .ok_or("--check needs a value (asserts, memory, or a comma-separated list)")?;
                 for check in v.split(',').map(str::trim).filter(|c| !c.is_empty()) {
-                    match check {
-                        "asserts" => f.check_asserts = true,
-                        "memory" => f.check_memory = true,
+                    let kind = match check {
+                        "asserts" => Check::Asserts,
+                        "memory" => Check::Memory,
                         other => {
                             return Err(format!("unknown check `{other}` (valid: asserts, memory)"))
                         }
+                    };
+                    // Dedupe while preserving first-mention order.
+                    if !f.checks.contains(&kind) {
+                        f.checks.push(kind);
                     }
                 }
             }
@@ -327,6 +353,17 @@ fn print_op_stats(ops: &psa_core::stats::OpStats) {
         ops.delta_graphs_reused,
         ops.delta_graphs_transferred
     );
+    if ops.summary_queries > 0 {
+        println!(
+            "  summary cache: {} queries — {} finalized hits, {} recursive (in-progress) hits, \
+             {} misses ({:.1}% hit rate)",
+            ops.summary_queries,
+            ops.summary_hits,
+            ops.summary_recursive_hits,
+            ops.summary_misses,
+            ops.summary_hit_rate() * 100.0
+        );
+    }
     println!(
         "  graph ops: {} joins, {} compress, {} prune, {} divide, {} materialize, \
          {} forced widening joins, {} unions",
@@ -433,7 +470,7 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
 
     // Evaluate `// @assert` comments when asked: abstractly against the
     // analysis result, concretely against seeded interpreter runs.
-    let assert_report = if flags.check_asserts {
+    let assert_report = if flags.check_asserts() {
         let asserts = psa_ir::asserts_of_source(src, analyzer.ir()).map_err(|e| e.to_string())?;
         let seeds: Vec<u64> = (1..=flags.seeds as u64).collect();
         Some(psa_concrete::evaluate_asserts(
@@ -449,7 +486,7 @@ fn analyze(src: &str, name: &str, flags: Flags) -> Result<(), String> {
     // Memory-safety verdicts when asked: abstract per-statement verdicts
     // from the fixed point, every `safe` claim validated against seeded
     // concrete executions.
-    let memory_reports = if flags.check_memory {
+    let memory_reports = if flags.check_memory() {
         let abs = psa_core::memsafe::memory_report(analyzer.ir(), &result);
         let seeds: Vec<u64> = (1..=flags.seeds as u64).collect();
         let diff = psa_concrete::memsafe::validate_memory_report(

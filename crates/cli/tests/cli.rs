@@ -172,7 +172,7 @@ fn budget_nodes_degrades_but_succeeds() {
     let out = psa()
         .args([
             "bench-code",
-            "treeadd",
+            "power",
             "--level",
             "L2",
             "--budget-nodes",
@@ -188,6 +188,34 @@ fn budget_nodes_degrades_but_succeeds() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("[degraded]"), "{stdout}");
     assert!(stdout.contains("degraded statements"), "{stdout}");
+}
+
+#[test]
+fn budget_nodes_in_recursive_callee_stops_soundly() {
+    // A node budget tight enough to degrade *inside* a recursive callee
+    // must not let the caller keep a too-precise summary: the engine
+    // reports a sound early stop (nonzero exit), never a silent success.
+    let out = psa()
+        .args([
+            "bench-code",
+            "treeadd",
+            "--level",
+            "L2",
+            "--budget-nodes",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "budget-starved summary must not claim success"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("stopped early"), "{stderr}");
+    assert!(
+        !stderr.contains("panicked"),
+        "sound stop, not a crash: {stderr}"
+    );
 }
 
 #[test]
@@ -355,4 +383,135 @@ fn json_carries_memory_section() {
     for check in ["null-deref", "use-after-free", "double-free", "leak"] {
         assert!(counts.get(check).is_some(), "missing counts for {check}");
     }
+}
+
+const RECURSIVE: &str = r#"
+struct tnode { int v; struct tnode *l; struct tnode *r; };
+struct tnode *treealloc(int level) {
+    struct tnode *t;
+    t = (struct tnode *) malloc(sizeof(struct tnode));
+    t->v = 1;
+    t->l = NULL;
+    t->r = NULL;
+    if (level > 0) {
+        t->l = treealloc(level - 1);
+        t->r = treealloc(level - 1);
+    }
+    return t;
+}
+int main() {
+    struct tnode *root;
+    root = treealloc(4);
+    return 0;
+}
+"#;
+
+#[test]
+fn check_duplicates_run_once_and_json_shape_is_stable() {
+    // `--check memory,memory` must behave exactly like `--check memory`:
+    // one checker run, one report section, one JSON key.
+    let f = write_tmp("list_dup_check.c", LIST);
+    let out = psa()
+        .args([
+            "analyze",
+            f.to_str().unwrap(),
+            "--check",
+            "memory,memory",
+            "--seeds",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.matches("memory-safety report").count(),
+        1,
+        "duplicate --check entries must not duplicate the report:\n{stdout}"
+    );
+
+    let dup = psa()
+        .args([
+            "analyze",
+            f.to_str().unwrap(),
+            "--check",
+            "memory,memory",
+            "--seeds",
+            "2",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(dup.status.success());
+    let single = psa()
+        .args([
+            "analyze",
+            f.to_str().unwrap(),
+            "--check",
+            "memory",
+            "--seeds",
+            "2",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(single.status.success());
+    // Wall-clock counters (elapsed_ms, *_ns, peak_bytes) vary run to run;
+    // everything else must match exactly.
+    fn stable(raw: &[u8]) -> String {
+        String::from_utf8_lossy(raw)
+            .lines()
+            .filter(|l| {
+                !(l.contains("_ns\":") || l.contains("elapsed_ms") || l.contains("peak_bytes"))
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+    let dup_json = String::from_utf8_lossy(&dup.stdout).into_owned();
+    assert_eq!(
+        stable(&dup.stdout),
+        stable(&single.stdout),
+        "deduped --check list must produce identical JSON"
+    );
+    // Exactly one "memory" key in the raw text (a parsed object would
+    // silently collapse duplicates, so pin the serialized shape).
+    assert_eq!(dup_json.matches("\"memory\":").count(), 1);
+}
+
+#[test]
+fn json_carries_call_sites_and_summary_stats_for_recursive_input() {
+    let f = write_tmp("rectree.c", RECURSIVE);
+    let out = psa()
+        .args(["analyze", f.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v = psa_core::json::Json::parse(stdout.trim()).expect("valid JSON");
+    let calls = v.get("calls").expect("calls section for recursive input");
+    let rows = calls.as_array().expect("calls is an array");
+    assert!(!rows.is_empty());
+    let row = rows
+        .iter()
+        .find(|r| r.get("callee").and_then(|c| c.as_str()) == Some("treealloc"))
+        .expect("treealloc call row");
+    assert_eq!(row.get("recursive").and_then(|b| b.as_bool()), Some(true));
+    let ops = v.get("stats").unwrap().get("ops").expect("ops stats");
+    let queries = ops
+        .get("summary_queries")
+        .and_then(|q| q.as_f64())
+        .expect("summary_queries counter");
+    assert!(
+        queries > 0.0,
+        "recursive input goes through the summary path"
+    );
+    assert!(ops.get("summary_hit_rate").is_some());
 }

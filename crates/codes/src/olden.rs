@@ -1,32 +1,100 @@
 //! Olden-style pointer benchmarks — the classic shape-analysis workload
-//! suite, rewritten in the supported C subset with the paper's
-//! transformations (recursion → explicit stacks) applied. These extend the
-//! validation beyond the paper's four codes:
+//! suite, written in their **natural multi-function form**: recursive
+//! builders and traversals where the originals are recursive, ordinary
+//! helper functions elsewhere. `lower_program` inlines the non-recursive
+//! helpers automatically and summarizes the recursive ones, so nothing
+//! here needs the paper's manual flattening. The `*_flat` variants keep
+//! the earlier recursion-free sources (explicit stacks, as the paper's
+//! manual transformation produced) for differential comparison between
+//! the summary path and the purely-inlined path.
 //!
-//! * [`treeadd`] exercises the **function inliner** (tree construction and
-//!   the stack walk live in helper functions);
-//! * [`power`] is a three-level hierarchy (root → branch list → leaf list),
-//!   the nested-lists shape with multi-type selectors;
+//! * [`treeadd`] builds a binary tree with a **recursive** `treealloc` and
+//!   sums it with a **recursive** `treeadd` — the suite's canonical
+//!   summary-path workload;
+//! * [`power`] is a three-level hierarchy (root → branch list → leaf list)
+//!   built through a helper, the nested-lists shape with multi-type
+//!   selectors;
 //! * [`em3d`] builds a **genuinely shared** bipartite graph — the analysis
 //!   must report sharing (a true DAG), making it the negative control for
 //!   the unshared-list claims;
-//! * [`bisort`] sorts values in a binary tree with repeated swap passes;
+//! * [`bisort`] builds a value tree with a **recursive** `randtree` and
+//!   sorts it with a **recursive** `bimerge` swap pass;
 //! * [`tsp`] threads a **doubly-linked tour list** through a binary tree
 //!   of cities (nodes simultaneously on tree and list links);
 //! * [`health`] is a 4-ary hierarchy (`kids[4]` array fields) with patient
 //!   waiting lists that are drained with **`free`** — the memory-safety
 //!   workload;
-//! * [`perimeter`] is a quadtree built entirely through **array-of-pointer
-//!   fields** (`struct quad *kids[4]`);
+//! * [`perimeter`] is a quadtree built by a **recursive** subdivision over
+//!   **array-of-pointer fields** (`struct quad *kids[4]`) and measured by
+//!   a recursive perimeter walk;
 //! * [`voronoi`] stores coordinates in a **nested struct by value**
 //!   (`struct pt pos;`, accessed as `s->pos.x`).
 
 use crate::Sizes;
 
-/// Olden `treeadd`: build a binary tree, then sum all values with an
-/// explicit stack. Uses helper functions (`mknode`, `insert`) that the
-/// inliner must expand.
+/// Recursion depth for the tree-shaped codes: log₂ of the requested node
+/// count, kept small so the concrete interpreter can execute the trees
+/// within its step budget.
+fn depth(s: Sizes) -> usize {
+    (usize::BITS - 1 - s.n.max(2).leading_zeros()) as usize
+}
+
+/// Olden `treeadd` in its natural form: recursive tree construction
+/// (`treealloc`) and recursive summation (`treeadd`), exactly the two
+/// functions of the original benchmark. Both are self-recursive, so the
+/// engine analyzes them through entry-graph summaries.
 pub fn treeadd(s: Sizes) -> String {
+    let d = depth(s);
+    format!(
+        r#"
+struct tnode {{ int v; struct tnode *l; struct tnode *r; }};
+
+struct tnode *mknode(int v) {{
+    struct tnode *p;
+    p = (struct tnode *) malloc(sizeof(struct tnode));
+    p->v = v;
+    p->l = NULL;
+    p->r = NULL;
+    return p;
+}}
+
+struct tnode *treealloc(int level) {{
+    struct tnode *t;
+    t = mknode(level);
+    if (level > 0) {{
+        t->l = treealloc(level - 1);
+        t->r = treealloc(level - 1);
+    }}
+    return t;
+}}
+
+int treeadd(struct tnode *t) {{
+    int sl;
+    int sr;
+    int total;
+    if (t == NULL) {{
+        return 0;
+    }}
+    sl = treeadd(t->l);
+    sr = treeadd(t->r);
+    total = sl + sr + t->v;
+    return total;
+}}
+
+int main() {{
+    struct tnode *root;
+    int sum;
+    root = treealloc({d});
+    sum = treeadd(root);
+    return 0;
+}}
+"#
+    )
+}
+
+/// The recursion-free `treeadd`: iterative insertion plus an explicit
+/// stack walk (the paper's manual transformation applied by hand).
+pub fn treeadd_flat(s: Sizes) -> String {
     let n = s.n;
     format!(
         r#"
@@ -101,8 +169,9 @@ int main() {{
 }
 
 /// Olden `power`: a root with a list of branches, each branch with a list
-/// of leaves; a downward pass sets demand, an upward-style pass accumulates
-/// (expressed as repeated traversals, as the paper's codes do).
+/// of leaves, built by a per-branch helper; a downward pass sets demand, an
+/// upward-style pass accumulates (expressed as repeated traversals, as the
+/// paper's codes do).
 pub fn power(s: Sizes) -> String {
     let (n, m) = (s.n, s.m);
     format!(
@@ -111,27 +180,34 @@ struct leaf   {{ double w; struct leaf *nxt; }};
 struct branch {{ double w; struct leaf *leaves; struct branch *nxt; }};
 struct rootn  {{ double total; struct branch *branches; }};
 
+struct branch *mkbranch() {{
+    struct branch *br;
+    struct leaf *lf;
+    int j;
+    br = (struct branch *) malloc(sizeof(struct branch));
+    br->w = 0.0;
+    br->leaves = NULL;
+    for (j = 0; j < {m}; j++) {{
+        lf = (struct leaf *) malloc(sizeof(struct leaf));
+        lf->w = 1.0;
+        lf->nxt = br->leaves;
+        br->leaves = lf;
+    }}
+    return br;
+}}
+
 int main() {{
     struct rootn *root;
     struct branch *br;
     struct leaf *lf;
     int i;
-    int j;
     double acc;
 
     root = (struct rootn *) malloc(sizeof(struct rootn));
     root->total = 0.0;
     root->branches = NULL;
     for (i = 0; i < {n}; i++) {{
-        br = (struct branch *) malloc(sizeof(struct branch));
-        br->w = 0.0;
-        br->leaves = NULL;
-        for (j = 0; j < {m}; j++) {{
-            lf = (struct leaf *) malloc(sizeof(struct leaf));
-            lf->w = 1.0;
-            lf->nxt = br->leaves;
-            br->leaves = lf;
-        }}
+        br = mkbranch();
         br->nxt = root->branches;
         root->branches = br;
     }}
@@ -172,10 +248,10 @@ int main() {{
     )
 }
 
-/// Olden `em3d`: a bipartite dependence graph. Each E-node points (through
-/// a chain of `dep` cells) at H-nodes, and H-nodes are deliberately shared
-/// between E-nodes — the shape analysis must classify this as a DAG, not a
-/// tree of lists.
+/// Olden `em3d`: a bipartite dependence graph built through node helpers.
+/// Each E-node points (through a chain of `dep` cells) at H-nodes, and
+/// H-nodes are deliberately shared between E-nodes — the shape analysis
+/// must classify this as a DAG, not a tree of lists.
 pub fn em3d(s: Sizes) -> String {
     let n = s.n;
     format!(
@@ -184,9 +260,41 @@ struct hnode {{ double v; struct hnode *nxt; }};
 struct dep   {{ struct hnode *to; struct dep *nxt; }};
 struct enode {{ double v; struct dep *deps; struct enode *nxt; }};
 
+struct hnode *mkhnode(struct hnode *rest) {{
+    struct hnode *h;
+    h = (struct hnode *) malloc(sizeof(struct hnode));
+    h->v = 1.0;
+    h->nxt = rest;
+    return h;
+}}
+
+struct enode *mkenode(struct hnode *hlist, struct enode *rest) {{
+    struct enode *e;
+    struct hnode *h;
+    struct dep *d;
+    e = (struct enode *) malloc(sizeof(struct enode));
+    e->v = 0.0;
+    e->deps = NULL;
+    h = hlist;
+    if (h != NULL) {{
+        d = (struct dep *) malloc(sizeof(struct dep));
+        d->to = h;
+        d->nxt = e->deps;
+        e->deps = d;
+        h = h->nxt;
+    }}
+    if (h != NULL) {{
+        d = (struct dep *) malloc(sizeof(struct dep));
+        d->to = h;
+        d->nxt = e->deps;
+        e->deps = d;
+    }}
+    e->nxt = rest;
+    return e;
+}}
+
 int main() {{
     struct hnode *hlist;
-    struct hnode *h;
     struct enode *elist;
     struct enode *e;
     struct dep *d;
@@ -196,34 +304,13 @@ int main() {{
     /* H nodes */
     hlist = NULL;
     for (i = 0; i < {n}; i++) {{
-        h = (struct hnode *) malloc(sizeof(struct hnode));
-        h->v = 1.0;
-        h->nxt = hlist;
-        hlist = h;
+        hlist = mkhnode(hlist);
     }}
 
     /* E nodes, each depending on the first two H nodes (shared!) */
     elist = NULL;
     for (i = 0; i < {n}; i++) {{
-        e = (struct enode *) malloc(sizeof(struct enode));
-        e->v = 0.0;
-        e->deps = NULL;
-        h = hlist;
-        if (h != NULL) {{
-            d = (struct dep *) malloc(sizeof(struct dep));
-            d->to = h;
-            d->nxt = e->deps;
-            e->deps = d;
-            h = h->nxt;
-        }}
-        if (h != NULL) {{
-            d = (struct dep *) malloc(sizeof(struct dep));
-            d->to = h;
-            d->nxt = e->deps;
-            e->deps = d;
-        }}
-        e->nxt = elist;
-        elist = e;
+        elist = mkenode(hlist, elist);
     }}
 
     /* compute phase: every E node reads its H dependencies */
@@ -244,11 +331,87 @@ int main() {{
     )
 }
 
-/// Olden `bisort`: build a binary tree of values (via an inlined helper),
-/// then run repeated swap passes over the tree with an explicit stack until
-/// every parent is no larger than its children — the sorting-network flavour
-/// of the original bitonic sort, without recursion.
+/// Olden `bisort` in its natural form: a **recursive** `randtree` builder
+/// and a **recursive** `bimerge` pass bubbling values downward, repeated
+/// until no pass swaps — the sorting-network flavour of the original
+/// bitonic sort, with the recursion kept.
 pub fn bisort(s: Sizes) -> String {
+    let (n, d) = (s.n, depth(s));
+    format!(
+        r#"
+struct bnode {{ int v; struct bnode *l; struct bnode *r; }};
+
+struct bnode *mkbnode(int v) {{
+    struct bnode *p;
+    p = (struct bnode *) malloc(sizeof(struct bnode));
+    p->v = v;
+    p->l = NULL;
+    p->r = NULL;
+    return p;
+}}
+
+struct bnode *randtree(int level, int seed) {{
+    struct bnode *t;
+    t = mkbnode(seed);
+    if (level > 0) {{
+        t->l = randtree(level - 1, seed * 7 % 19);
+        t->r = randtree(level - 1, seed * 3 % 23);
+    }}
+    return t;
+}}
+
+/* one merge pass: swap out-of-order parent/child values, recurse */
+int bimerge(struct bnode *t) {{
+    int sl;
+    int sr;
+    int tmp;
+    int swaps;
+    if (t == NULL) {{
+        return 0;
+    }}
+    swaps = 0;
+    if (t->l != NULL) {{
+        if (t->l->v < t->v) {{
+            tmp = t->v;
+            t->v = t->l->v;
+            t->l->v = tmp;
+            swaps = swaps + 1;
+        }}
+    }}
+    if (t->r != NULL) {{
+        if (t->r->v < t->v) {{
+            tmp = t->v;
+            t->v = t->r->v;
+            t->r->v = tmp;
+            swaps = swaps + 1;
+        }}
+    }}
+    sl = bimerge(t->l);
+    sr = bimerge(t->r);
+    swaps = swaps + sl + sr;
+    return swaps;
+}}
+
+int main() {{
+    struct bnode *root;
+    int pass;
+    int swapped;
+    root = randtree({d}, {n});
+    swapped = 1;
+    pass = 0;
+    while (swapped > 0 && pass < {n}) {{
+        swapped = bimerge(root);
+        pass = pass + 1;
+    }}
+    return 0;
+}}
+"#
+    )
+}
+
+/// The recursion-free `bisort`: iterative insertion and stack-walk swap
+/// passes.
+pub fn bisort_flat(s: Sizes) -> String {
     let n = s.n;
     format!(
         r#"
@@ -510,11 +673,78 @@ int main() {{
     )
 }
 
-/// Olden `perimeter`: a quadtree whose children live in an
-/// **array-of-pointers field** (`struct quad *kids[4]`); leaves carry a
-/// colour, and the perimeter pass walks the tree with an explicit stack
-/// summing the contribution of black leaves.
+/// Olden `perimeter` in its natural form: a quadtree subdivided by a
+/// **recursive** `buildtree` over the `kids[4]` array field, measured by a
+/// **recursive** `perim` walk where black leaves contribute `4 * size`.
 pub fn perimeter(s: Sizes) -> String {
+    let (n, d) = (s.n, depth(s).min(3));
+    format!(
+        r#"
+struct quad {{ int color; int size; struct quad *kids[4]; }};
+
+struct quad *mkquad(int color, int size) {{
+    struct quad *q;
+    q = (struct quad *) malloc(sizeof(struct quad));
+    q->color = color;
+    q->size = size;
+    q->kids[0] = NULL;
+    q->kids[1] = NULL;
+    q->kids[2] = NULL;
+    q->kids[3] = NULL;
+    return q;
+}}
+
+struct quad *buildtree(int level, int size) {{
+    struct quad *q;
+    q = mkquad(level % 2, size);
+    if (level > 0) {{
+        q->kids[0] = buildtree(level - 1, size / 2);
+        q->kids[1] = buildtree(level - 1, size / 2);
+        q->kids[2] = buildtree(level - 1, size / 2);
+        q->kids[3] = buildtree(level - 1, size / 2);
+    }}
+    return q;
+}}
+
+int perim(struct quad *q) {{
+    int acc;
+    int k;
+    if (q == NULL) {{
+        return 0;
+    }}
+    if (q->kids[0] == NULL) {{
+        if (q->color == 1) {{
+            k = 4 * q->size;
+            return k;
+        }}
+        return 0;
+    }}
+    acc = 0;
+    k = perim(q->kids[0]);
+    acc = acc + k;
+    k = perim(q->kids[1]);
+    acc = acc + k;
+    k = perim(q->kids[2]);
+    acc = acc + k;
+    k = perim(q->kids[3]);
+    acc = acc + k;
+    return acc;
+}}
+
+int main() {{
+    struct quad *root;
+    int p;
+    root = buildtree({d}, {n});
+    p = perim(root);
+    return 0;
+}}
+"#
+    )
+}
+
+/// The recursion-free `perimeter`: hand-built two-level quadtree plus an
+/// explicit stack walk.
+pub fn perimeter_flat(s: Sizes) -> String {
     let n = s.n;
     format!(
         r#"
@@ -675,7 +905,8 @@ int main() {{
     )
 }
 
-/// All Olden-style codes as `(name, source)`.
+/// All Olden-style codes as `(name, source)` in their natural
+/// multi-function form (`treeadd`, `bisort` and `perimeter` recursive).
 pub fn olden_codes(s: Sizes) -> Vec<(&'static str, String)> {
     vec![
         ("treeadd", treeadd(s)),
@@ -689,26 +920,71 @@ pub fn olden_codes(s: Sizes) -> Vec<(&'static str, String)> {
     ]
 }
 
+/// The recursion-free variants (explicit stacks instead of recursion) for
+/// the codes whose natural form recurses; the rest are shared with
+/// [`olden_codes`]. Everything here analyzes through plain inlining.
+pub fn olden_codes_flat(s: Sizes) -> Vec<(&'static str, String)> {
+    vec![
+        ("treeadd", treeadd_flat(s)),
+        ("power", power(s)),
+        ("em3d", em3d(s)),
+        ("bisort", bisort_flat(s)),
+        ("tsp", tsp(s)),
+        ("health", health(s)),
+        ("perimeter", perimeter_flat(s)),
+        ("voronoi", voronoi(s)),
+    ]
+}
+
+/// The codes of [`olden_codes`] whose natural form is recursive — the ones
+/// the engine must take through the summary path.
+pub const RECURSIVE_OLDEN: [&str; 3] = ["treeadd", "bisort", "perimeter"];
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn olden_codes_parse_and_lower_with_inlining() {
+    fn olden_codes_parse_and_lower() {
         for (name, src) in olden_codes(Sizes::default()) {
             let (p, t) = psa_cfront::parse_and_type(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
-            let p2 = psa_ir::inline_program(&p, "main")
-                .unwrap_or_else(|e| panic!("{name}: inline: {e}"));
-            let ir = psa_ir::lower_main(&p2, &t).unwrap_or_else(|e| panic!("{name}: lower: {e}"));
-            assert!(ir.num_ptr_stmts() > 5, "{name}");
+            let ir = psa_ir::lower_program(&p, &t, "main")
+                .unwrap_or_else(|e| panic!("{name}: lower: {e}"));
+            let ptr_stmts = ir.num_ptr_stmts()
+                + ir.callees
+                    .iter()
+                    .map(|c| c.ir.num_ptr_stmts())
+                    .sum::<usize>();
+            assert!(ptr_stmts > 5, "{name}");
+            if RECURSIVE_OLDEN.contains(&name) {
+                assert!(
+                    !ir.callees.is_empty(),
+                    "{name} should keep recursive callees"
+                );
+            } else {
+                assert!(ir.callees.is_empty(), "{name} should inline away all calls");
+            }
         }
     }
 
     #[test]
-    fn treeadd_uses_helper_function() {
+    fn flat_variants_lower_without_callees() {
+        for (name, src) in olden_codes_flat(Sizes::default()) {
+            let (p, t) = psa_cfront::parse_and_type(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let ir = psa_ir::lower_program(&p, &t, "main")
+                .unwrap_or_else(|e| panic!("{name}: lower: {e}"));
+            assert!(
+                ir.callees.is_empty(),
+                "{name} flat variant must not recurse"
+            );
+        }
+    }
+
+    #[test]
+    fn treeadd_is_recursive() {
         let src = treeadd(Sizes::default());
-        assert!(src.contains("struct tnode *mknode(int v)"));
-        assert!(src.contains("root = mknode(0);"));
+        assert!(src.contains("t->l = treealloc(level - 1);"));
+        assert!(src.contains("sl = treeadd(t->l);"));
     }
 
     #[test]
@@ -730,13 +1006,18 @@ mod tests {
                 "voronoi"
             ]
         );
+        let flat: Vec<&str> = olden_codes_flat(Sizes::tiny())
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, flat);
     }
 
     #[test]
     fn perimeter_uses_array_of_pointer_fields() {
         let src = perimeter(Sizes::tiny());
         assert!(src.contains("struct quad *kids[4];"));
-        assert!(src.contains("q->kids[3]"));
+        assert!(src.contains("q->kids[0] = buildtree(level - 1, size / 2);"));
     }
 
     #[test]

@@ -216,7 +216,7 @@ pub fn check_asserts_with(
     seeds: &[u64],
 ) -> Result<AssertReport, String> {
     let (program, table) = psa_cfront::parse_and_type(src).map_err(|e| e.to_string())?;
-    let ir = psa_ir::lower_main(&program, &table).map_err(|e| e.to_string())?;
+    let ir = psa_ir::lower_program(&program, &table, "main").map_err(|e| e.to_string())?;
     let asserts = psa_ir::asserts_of_source(src, &ir).map_err(|e| e.to_string())?;
     let result = Engine::new(&ir, config).run().map_err(|e| e.to_string())?;
     Ok(evaluate_asserts(&ir, &result, &asserts, seeds))

@@ -98,7 +98,7 @@ pub fn check_soundness_full(
 ) -> DifferentialReport {
     let level = config.level;
     let (program, table) = psa_cfront::parse_and_type(src).expect("differential input parses");
-    let ir = psa_ir::lower_main(&program, &table).expect("differential input lowers");
+    let ir = psa_ir::lower_program(&program, &table, "main").expect("differential input lowers");
     let mut report = DifferentialReport::default();
 
     let result = match Engine::new(&ir, config).run() {

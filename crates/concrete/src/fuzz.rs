@@ -258,7 +258,7 @@ fn check_program(
 
 fn frontend(src: &str) -> Option<FuncIr> {
     let (program, table) = psa_cfront::parse_and_type(src).ok()?;
-    psa_ir::lower_main(&program, &table).ok()
+    psa_ir::lower_program(&program, &table, "main").ok()
 }
 
 /// The synthesized assertion battery: every certifiable predicate form, in

@@ -9,9 +9,16 @@
 //! trace is still checked — the analysis also drops the crashing path).
 
 use crate::heap::{ConcreteState, Loc};
-use psa_ir::{BlockId, Cond, FuncIr, PtrStmt, Stmt, StmtId, Terminator};
+use psa_ir::{
+    BlockId, CallArg, CallScalarArg, CallStmt, Cond, FuncIr, PtrStmt, Stmt, StmtId, Terminator,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Call-frame nesting cap. Deep recursion burns the step budget anyway;
+/// exceeding the frame cap reports the same non-fault `StepBudget` stop so
+/// the differential harness treats both identically.
+const MAX_CALL_DEPTH: usize = 256;
 
 /// Interpreter configuration.
 #[derive(Debug, Clone)]
@@ -113,37 +120,59 @@ impl<'a> Interpreter<'a> {
         let mut state = ConcreteState::new();
         let mut trace = Vec::new();
         let mut steps = 0usize;
-        let mut block = self.ir.entry;
+        let outcome = self.exec_func(self.ir, &mut state, &mut rng, &mut trace, &mut steps, 0);
+        ExecResult {
+            outcome,
+            final_state: state,
+            trace,
+            steps,
+        }
+    }
 
+    /// Execute one function body (the root at depth 0, a callee otherwise)
+    /// to its `return` or first fault. Trace points are recorded for the
+    /// root frame only — the differential harness compares against the
+    /// root's per-statement RSRSGs — and a fault inside a call is
+    /// re-attributed frame by frame, so the reported statement is always
+    /// the root-frame statement (the call site) whose execution faulted.
+    fn exec_func(
+        &self,
+        body: &FuncIr,
+        state: &mut ConcreteState,
+        rng: &mut StdRng,
+        trace: &mut Vec<TracePoint>,
+        steps: &mut usize,
+        depth: usize,
+    ) -> ExecOutcome {
+        let mut block = body.entry;
         loop {
-            let b = self.ir.block(block);
+            let b = body.block(block);
             for &sid in &b.stmts {
-                steps += 1;
-                if steps > self.config.max_steps {
-                    return ExecResult {
-                        outcome: ExecOutcome::StepBudget,
-                        final_state: state,
-                        trace,
-                        steps,
-                    };
+                *steps += 1;
+                if *steps > self.config.max_steps {
+                    return ExecOutcome::StepBudget;
                 }
-                match self.step(&mut state, sid) {
-                    Ok(()) => {}
-                    Err(fault) => {
-                        let outcome = match fault {
-                            Fault::Null => ExecOutcome::NullDeref(sid),
-                            Fault::UseAfterFree => ExecOutcome::UseAfterFree(sid),
-                            Fault::DoubleFree => ExecOutcome::DoubleFree(sid),
-                        };
-                        return ExecResult {
-                            outcome,
-                            final_state: state,
-                            trace,
-                            steps,
-                        };
+                if let Stmt::Call(c) = &body.stmt(sid).stmt {
+                    match self.exec_call(c, state, rng, trace, steps, depth) {
+                        ExecOutcome::Returned => {}
+                        ExecOutcome::StepBudget => return ExecOutcome::StepBudget,
+                        ExecOutcome::NullDeref(_) => return ExecOutcome::NullDeref(sid),
+                        ExecOutcome::UseAfterFree(_) => return ExecOutcome::UseAfterFree(sid),
+                        ExecOutcome::DoubleFree(_) => return ExecOutcome::DoubleFree(sid),
+                    }
+                } else {
+                    match self.step(body, state, sid) {
+                        Ok(()) => {}
+                        Err(fault) => {
+                            return match fault {
+                                Fault::Null => ExecOutcome::NullDeref(sid),
+                                Fault::UseAfterFree => ExecOutcome::UseAfterFree(sid),
+                                Fault::DoubleFree => ExecOutcome::DoubleFree(sid),
+                            };
+                        }
                     }
                 }
-                if self.config.record_trace {
+                if depth == 0 && self.config.record_trace {
                     trace.push(TracePoint {
                         stmt: sid,
                         state: state.clone(),
@@ -151,14 +180,7 @@ impl<'a> Interpreter<'a> {
                 }
             }
             let next = match b.term {
-                Terminator::Return => {
-                    return ExecResult {
-                        outcome: ExecOutcome::Returned,
-                        final_state: state,
-                        trace,
-                        steps,
-                    };
-                }
+                Terminator::Return => return ExecOutcome::Returned,
                 Terminator::Goto(t) => t,
                 Terminator::Branch {
                     cond,
@@ -185,23 +207,123 @@ impl<'a> Interpreter<'a> {
                     }
                 }
             };
-            self.cross_edge(&mut state, block, next);
+            self.cross_edge(body, state, block, next);
             block = next;
         }
+    }
+
+    /// Execute one call: save the callee's frame slots, bind the actuals
+    /// by value, run the body, capture the return slots, restore the frame
+    /// and bind the destinations. Frame slots are exactly
+    /// [`psa_ir::CalleeFunc::owned_pvars`]/`owned_scalars`, so recursive
+    /// activations nest correctly over the shared slot universe.
+    fn exec_call(
+        &self,
+        c: &CallStmt,
+        state: &mut ConcreteState,
+        rng: &mut StdRng,
+        trace: &mut Vec<TracePoint>,
+        steps: &mut usize,
+        depth: usize,
+    ) -> ExecOutcome {
+        if depth >= MAX_CALL_DEPTH {
+            return ExecOutcome::StepBudget;
+        }
+        let callee = &self.ir.callees[c.callee as usize];
+        // Evaluate actuals before touching any slot (an argument may name
+        // a slot the callee owns in a recursive self-call).
+        let ptr_vals: Vec<Option<Loc>> = c
+            .ptr_args
+            .iter()
+            .map(|a| match a {
+                CallArg::Pvar(p) => state.pvar(*p),
+                CallArg::Null => None,
+            })
+            .collect();
+        let scalar_vals: Vec<Option<i64>> = c
+            .scalar_args
+            .iter()
+            .map(|a| match a {
+                CallScalarArg::Const(k) => Some(*k),
+                CallScalarArg::Var(s) => state.ints.get(s).copied(),
+                CallScalarArg::Opaque => None,
+            })
+            .collect();
+        // Push the frame.
+        let saved_pvars: Vec<(psa_ir::PvarId, Option<Loc>)> = callee
+            .owned_pvars
+            .iter()
+            .map(|&p| (p, state.pvar(p)))
+            .collect();
+        let saved_scalars: Vec<(psa_ir::ScalarId, Option<i64>)> = callee
+            .owned_scalars
+            .iter()
+            .map(|&s| (s, state.ints.get(&s).copied()))
+            .collect();
+        for &p in &callee.owned_pvars {
+            state.set_pvar(p, None);
+        }
+        for &s in &callee.owned_scalars {
+            state.ints.remove(&s);
+        }
+        for (i, &f) in callee.params_ptr.iter().enumerate() {
+            state.set_pvar(f, ptr_vals.get(i).copied().flatten());
+        }
+        for (i, &f) in callee.params_scalar.iter().enumerate() {
+            if let Some(Some(k)) = scalar_vals.get(i) {
+                state.ints.insert(f, *k);
+            }
+        }
+        let outcome = self.exec_func(&callee.ir, state, rng, trace, steps, depth + 1);
+        // Capture the return slots, then pop the frame.
+        let ret_ptr = callee.ret_ptr.and_then(|slot| state.pvar(slot));
+        let ret_scalar = callee
+            .ret_scalar
+            .and_then(|slot| state.ints.get(&slot).copied());
+        state.clear_touch(&callee.owned_pvars);
+        for (p, v) in saved_pvars {
+            state.set_pvar(p, v);
+        }
+        for (s, v) in saved_scalars {
+            match v {
+                Some(k) => {
+                    state.ints.insert(s, k);
+                }
+                None => {
+                    state.ints.remove(&s);
+                }
+            }
+        }
+        if outcome == ExecOutcome::Returned {
+            if let Some(d) = c.ret_ptr {
+                state.set_pvar(d, ret_ptr);
+            }
+            if let Some(d) = c.ret_scalar {
+                match ret_scalar {
+                    Some(k) => {
+                        state.ints.insert(d, k);
+                    }
+                    None => {
+                        state.ints.remove(&d);
+                    }
+                }
+            }
+        }
+        outcome
     }
 
     /// Apply loop-exit TOUCH clearing and loop-entry TOUCH marking on a CFG
     /// edge, mirroring the engine exactly (the coverage check compares TOUCH
     /// sets at L3).
-    fn cross_edge(&self, state: &mut ConcreteState, from: BlockId, to: BlockId) {
-        let exited = self.ir.exited_loops(from, to);
+    fn cross_edge(&self, body: &FuncIr, state: &mut ConcreteState, from: BlockId, to: BlockId) {
+        let exited = body.exited_loops(from, to);
         if !exited.is_empty() {
-            let ipvars = self.ir.active_ipvars(exited);
+            let ipvars = body.active_ipvars(exited);
             state.clear_touch(&ipvars);
         }
-        let entered = self.ir.entered_loops(from, to);
+        let entered = body.entered_loops(from, to);
         if !entered.is_empty() {
-            for p in self.ir.active_ipvars(entered) {
+            for p in body.active_ipvars(entered) {
                 if let Some(l) = state.pvar(p) {
                     state.touch(l, p);
                 }
@@ -211,8 +333,8 @@ impl<'a> Interpreter<'a> {
 
     /// Execute one statement; faults on NULL dereference, dereference of a
     /// freed cell, or double free.
-    fn step(&self, state: &mut ConcreteState, sid: StmtId) -> Result<(), Fault> {
-        let info = self.ir.stmt(sid);
+    fn step(&self, body: &FuncIr, state: &mut ConcreteState, sid: StmtId) -> Result<(), Fault> {
+        let info = body.stmt(sid);
         // A dereference must find the base both bound and not freed.
         let deref = |state: &ConcreteState, l: Loc| -> Result<Loc, Fault> {
             if state.is_freed(l) {
@@ -251,9 +373,11 @@ impl<'a> Interpreter<'a> {
                 }
                 return Ok(());
             }
+            // Calls are dispatched by `exec_func` before reaching `step`.
+            Stmt::Call(_) => unreachable!("calls are handled by exec_call"),
             Stmt::Ptr(p) => *p,
         };
-        let ipvars = self.ir.active_ipvars(&info.loops);
+        let ipvars = body.active_ipvars(&info.loops);
         match ptr {
             PtrStmt::Nil(x) => {
                 state.set_pvar(x, None);

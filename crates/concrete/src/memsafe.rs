@@ -63,7 +63,7 @@ pub fn check_memory(
     seeds: &[u64],
 ) -> MemDiffReport {
     let (program, table) = psa_cfront::parse_and_type(src).expect("memsafe input parses");
-    let ir = psa_ir::lower_main(&program, &table).expect("memsafe input lowers");
+    let ir = psa_ir::lower_program(&program, &table, "main").expect("memsafe input lowers");
 
     let result = match Engine::new(&ir, config).run() {
         Ok(r) => r,

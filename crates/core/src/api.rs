@@ -4,7 +4,7 @@ use crate::engine::{AnalysisError, AnalysisResult, Engine, EngineConfig};
 use crate::progressive::{Goal, ProgressiveOutcome, ProgressiveRunner};
 use crate::stats::Budget;
 use psa_cfront::diag::Diagnostic;
-use psa_ir::{lower_function, FuncIr};
+use psa_ir::{lower_function, lower_program, FuncIr};
 use psa_rsg::{Level, ShapeCtx, SharedTables};
 use std::sync::Arc;
 
@@ -122,16 +122,19 @@ pub struct Analyzer {
 }
 
 impl Analyzer {
-    /// Parse and lower `src` under `options`, inlining user-function calls
-    /// first when `options.inline` is set.
+    /// Parse and lower `src` under `options`. With `options.inline` set
+    /// (the default) the whole program is lowered through
+    /// [`psa_ir::lower_program`]: non-recursive calls are inlined away and
+    /// recursive functions survive as [`psa_ir::Stmt::Call`] statements the
+    /// engine analyzes with entry-graph summaries. Without it, only the
+    /// entry function's own body is lowered.
     pub fn new(src: &str, options: AnalysisOptions) -> Result<Analyzer, Error> {
         let (program, table) = psa_cfront::parse_and_type(src)?;
-        let program = if options.inline {
-            psa_ir::inline_program(&program, &options.function)?
+        let ir = if options.inline {
+            lower_program(&program, &table, &options.function)?
         } else {
-            program
+            lower_function(&program, &table, &options.function)?
         };
-        let ir = lower_function(&program, &table, &options.function)?;
         let mut shape = ShapeCtx::from_ir(&ir);
         if let Some(tables) = &options.tables {
             shape = shape.with_tables(Arc::clone(tables));

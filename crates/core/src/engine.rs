@@ -177,6 +177,56 @@ pub enum BudgetKind {
         /// The configured deadline in milliseconds.
         limit_ms: u64,
     },
+    /// Interprocedural summary computation gave up soundly at a call site;
+    /// see [`InterprocReason`]. Like the other soft stops, everything from
+    /// the stopping call onward is degraded and clients claim nothing.
+    Interproc {
+        /// What stopped the summary computation.
+        reason: InterprocReason,
+    },
+}
+
+/// Why a recursive-call summary computation stopped. Every case is a
+/// *sound* refusal: the call's output is left at the caller's input, the
+/// statement is marked degraded, and the run records
+/// [`BudgetKind::Interproc`] so downstream clients clamp to may-fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterprocReason {
+    /// The nested callee analysis itself degraded or stopped on a budget;
+    /// its exit set is an under-approximation the caller must not consume.
+    NestedStop,
+    /// The summary fixpoint did not converge within the round cap.
+    SummaryRounds,
+    /// One function accumulated more distinct entry graphs than the
+    /// per-(body, epoch) cap admits.
+    SummaryEntries,
+    /// Summary computations nested deeper than the recursion cap.
+    Depth,
+    /// A call site exposed a cutpoint the localization cannot name: a cell
+    /// inside the region passed to the callee is referenced from the
+    /// caller's frame other than through an argument target, so the exit
+    /// region cannot be glued back soundly.
+    Cutpoint,
+}
+
+impl std::fmt::Display for InterprocReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterprocReason::NestedStop => {
+                write!(f, "nested callee analysis degraded or stopped on a budget")
+            }
+            InterprocReason::SummaryRounds => {
+                write!(f, "summary fixpoint exceeded the iteration-round cap")
+            }
+            InterprocReason::SummaryEntries => {
+                write!(f, "function exceeded the distinct-entry-graph cap")
+            }
+            InterprocReason::Depth => write!(f, "summary recursion exceeded the depth cap"),
+            InterprocReason::Cutpoint => {
+                write!(f, "call site has a cutpoint the localization cannot name")
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for BudgetKind {
@@ -200,6 +250,9 @@ impl std::fmt::Display for BudgetKind {
             }
             BudgetKind::Deadline { limit_ms } => {
                 write!(f, "wall-clock deadline of {limit_ms} ms passed")
+            }
+            BudgetKind::Interproc { reason } => {
+                write!(f, "interprocedural analysis stopped: {reason}")
             }
         }
     }
@@ -355,6 +408,20 @@ pub struct Engine<'a> {
     ir: &'a FuncIr,
     ctx: ShapeCtx,
     config: EngineConfig,
+    /// The callee table for resolving [`Stmt::Call`] indices. The root
+    /// engine's own table; nested summary engines inherit the root's
+    /// (callee bodies carry empty tables of their own).
+    callees: &'a [psa_ir::CalleeFunc],
+    /// Override for the entry RSRSG: nested summary runs start from the
+    /// prepared call-entry graph instead of the all-NULL entry.
+    entry_state: Option<Rsrsg>,
+    /// Summary-computation nesting depth (0 for a root run).
+    call_depth: u32,
+    /// Set by the call transfer when an interprocedural summary had to
+    /// give up; `run_inner` converts it into a soft stop exactly like the
+    /// RSG/deadline caps. A `Cell` because the transfer path only holds
+    /// `&self` (call transfers never run on fan-out workers).
+    interproc_stop: std::cell::Cell<Option<InterprocReason>>,
 }
 
 impl<'a> Engine<'a> {
@@ -377,12 +444,66 @@ impl<'a> Engine<'a> {
                 psa_rsg::intern::SharedTables::without_cache(),
             ))
         };
-        Engine { ir, ctx, config }
+        Engine {
+            callees: &ir.callees,
+            ir,
+            ctx,
+            config,
+            entry_state: None,
+            call_depth: 0,
+            interproc_stop: std::cell::Cell::new(None),
+        }
+    }
+
+    /// A nested engine for one summary computation: runs a callee body over
+    /// the caller's universe and shared tables, starting from a prepared
+    /// call-entry RSRSG. Always sequential (the outer run owns any
+    /// parallelism) and bounded by whatever wall-clock remains of the outer
+    /// deadline (the caller fixes up `config.budget.deadline`).
+    pub(crate) fn nested(
+        ir: &'a FuncIr,
+        callees: &'a [psa_ir::CalleeFunc],
+        config: EngineConfig,
+        ctx: ShapeCtx,
+        entry: Rsrsg,
+        call_depth: u32,
+    ) -> Engine<'a> {
+        Engine {
+            ir,
+            ctx,
+            config,
+            callees,
+            entry_state: Some(entry),
+            call_depth,
+            interproc_stop: std::cell::Cell::new(None),
+        }
     }
 
     /// The analysis universe.
     pub fn ctx(&self) -> &ShapeCtx {
         &self.ctx
+    }
+
+    /// The engine configuration.
+    pub(crate) fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The callee table [`Stmt::Call`] indices resolve against.
+    pub(crate) fn callees(&self) -> &'a [psa_ir::CalleeFunc] {
+        self.callees
+    }
+
+    /// Current summary nesting depth.
+    pub(crate) fn call_depth(&self) -> u32 {
+        self.call_depth
+    }
+
+    /// Record an interprocedural stop; picked up by the statement loop.
+    pub(crate) fn set_interproc_stop(&self, reason: InterprocReason) {
+        if self.interproc_stop.get().is_none() {
+            self.interproc_stop.set(Some(reason));
+        }
     }
 
     /// The epoch key of this run's transfer-relevant configuration: the
@@ -399,7 +520,7 @@ impl<'a> Engine<'a> {
     /// restore — that execute an identical statement over an identical
     /// universe therefore share its memoized transfers, which is what makes
     /// warm-start and incremental re-analysis pay off.
-    fn config_key(&self) -> u64 {
+    pub(crate) fn config_key(&self) -> u64 {
         let repr = format!(
             "{:x}|{}|{}|{}",
             self.ctx.universe_key(),
@@ -469,7 +590,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run_inner(&self) -> Result<AnalysisResult, AnalysisError> {
+    pub(crate) fn run_inner(&self) -> Result<AnalysisResult, AnalysisError> {
         let start = Instant::now();
         let ops_start = self.ctx.tables.snapshot();
         let level = self.config.level;
@@ -531,7 +652,10 @@ impl<'a> Engine<'a> {
         // post-widening output ids of the last transfer of each statement.
         let mut deltas: Vec<Option<StmtDelta>> = (0..nstmts).map(|_| None).collect();
 
-        let entry_set = Rsrsg::entry(self.ir.num_pvars(), &self.ctx);
+        let entry_set = match &self.entry_state {
+            Some(prepared) => prepared.clone(),
+            None => Rsrsg::entry(self.ir.num_pvars(), &self.ctx),
+        };
         let ei = self.ir.entry.0 as usize;
         charge(&mut in_bytes[ei], &mut live_in, entry_set.approx_bytes());
         block_in_ids[ei] = entry_set.canon_ids();
@@ -616,6 +740,15 @@ impl<'a> Engine<'a> {
                         Some(sid),
                     ));
                 }
+                // An interprocedural summary gave up at this statement:
+                // soft-stop exactly like the degradation caps (the call's
+                // output passed the input through, which is only sound
+                // under the degraded/stopped discipline).
+                if stopped.is_none() {
+                    if let Some(reason) = self.interproc_stop.take() {
+                        stopped = Some(BudgetKind::Interproc { reason });
+                    }
+                }
                 // Soft caps: record the partial state, cancel the rest.
                 if stopped.is_none() {
                     if let Some(limit) = budget.max_rsgs {
@@ -649,6 +782,14 @@ impl<'a> Engine<'a> {
                             if let Some((_, limit_ms)) = deadline {
                                 stopped = Some(BudgetKind::Deadline { limit_ms });
                             }
+                        }
+                        Some(CancelCause::Interproc) => {
+                            stopped = Some(BudgetKind::Interproc {
+                                reason: self
+                                    .interproc_stop
+                                    .take()
+                                    .unwrap_or(InterprocReason::NestedStop),
+                            });
                         }
                         Some(CancelCause::External) | None => {}
                     }
@@ -792,6 +933,7 @@ impl<'a> Engine<'a> {
             BudgetKind::TableBytes { .. } => CancelCause::TableBytes,
             BudgetKind::Rsgs { .. } => CancelCause::Rsgs,
             BudgetKind::Deadline { .. } => CancelCause::Deadline,
+            BudgetKind::Interproc { .. } => CancelCause::Interproc,
             _ => CancelCause::External,
         };
         if self.ctx.tables.cancel.cancel_with(cause) {
@@ -836,6 +978,16 @@ impl<'a> Engine<'a> {
             // retained cell; the memory-safety client interprets it.
             Stmt::Scalar(_) | Stmt::ScalarStore(_, _) | Stmt::Free(_) => {
                 let mut out = cur;
+                out.widen(&self.ctx, level, cap);
+                return out;
+            }
+            // Calls go through the summary machinery, bypassing the delta
+            // and transfer memos: the output depends on the summary cache
+            // state, not just the input ids (the summary cache *is* the
+            // call-level memo). On a summary give-up the input passes
+            // through and `interproc_stop` soft-stops the run.
+            Stmt::Call(c) => {
+                let mut out = crate::interproc::transfer_call(self, c, &cur, sid, deadline, stats);
                 out.widen(&self.ctx, level, cap);
                 return out;
             }

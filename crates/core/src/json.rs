@@ -221,6 +221,7 @@ impl Json {
         let mut p = Parser {
             bytes: src.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -323,9 +324,17 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting accepted by [`Json::parse`]. The parser
+/// recurses once per `[`/`{`, so unbounded nesting in attacker-shaped
+/// input (a `psa serve` request body) would overflow the native stack and
+/// kill the process; past this depth we return a parse error instead.
+/// Matches the C front end's `MAX_NESTING` cap.
+const MAX_NESTING: usize = 256;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -383,11 +392,25 @@ impl<'a> Parser<'a> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
+    }
+
+    /// Run one container parse a level deeper, enforcing [`MAX_NESTING`].
+    fn nested(
+        &mut self,
+        f: fn(&mut Parser<'a>) -> Result<Json, ParseError>,
+    ) -> Result<Json, ParseError> {
+        if self.depth >= MAX_NESTING {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        let v = f(self);
+        self.depth -= 1;
+        v
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
@@ -633,6 +656,23 @@ mod tests {
         assert!(Json::parse("{} trailing").is_err());
         assert!(Json::parse(r#"{"a": 1, "a": 2}"#).is_err());
         assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+        // 10k-deep input must come back as a clean error; before the
+        // MAX_NESTING cap this recursed once per bracket and blew the
+        // stack, killing the resident daemon on a hostile serve request.
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let deep = format!("{}null{}", open.repeat(10_000), close.repeat(10_000));
+            let err = Json::parse(&deep).expect_err("deep nesting rejected");
+            assert!(err.message.contains("nesting too deep"), "{err}");
+        }
+        // Depth just under the cap still parses.
+        let ok = format!("{}null{}", "[".repeat(256), "]".repeat(256));
+        assert!(Json::parse(&ok).is_ok());
+        let over = format!("{}null{}", "[".repeat(257), "]".repeat(257));
+        assert!(Json::parse(&over).is_err());
     }
 
     #[test]

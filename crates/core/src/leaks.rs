@@ -87,6 +87,10 @@ pub fn leak_report(ir: &FuncIr, result: &AnalysisResult) -> LeakReport {
                 | Stmt::Ptr(PtrStmt::Malloc(x, _))
                 | Stmt::Ptr(PtrStmt::Load(x, _, _))
                 | Stmt::Ptr(PtrStmt::Copy(x, _)) => Some(x),
+                // A pointer-returning call rebinds its destination; the
+                // callee's own internal drops are reported separately from
+                // its summary flags by the memory-safety client.
+                Stmt::Call(ref c) => c.ret_ptr,
                 _ => None,
             };
             if let Some(x) = rebinds {

@@ -18,6 +18,11 @@
 //!   independence report built on the SHARED/SHSEL/TOUCH properties;
 //! * [`leaks`] — a second client pass: dead statements and potential memory
 //!   leak sites read off the per-statement RSRSGs;
+//! * [`interproc`] — interprocedural call transfer: localization of the
+//!   callee-reachable subheap (with cutpoint anchors and the
+//!   unshared-summary split), the per-(function, entry) summary cache
+//!   tabulated to a fixed point, and the glue step that re-attaches the
+//!   caller's frame;
 //! * [`memsafe`] — the memory-safety checker: three-valued null-deref,
 //!   use-after-free, double-free and leak verdicts per statement, validated
 //!   differentially against the concrete interpreter;
@@ -35,6 +40,7 @@ pub mod annotate;
 pub mod api;
 pub mod asserts;
 pub mod engine;
+pub mod interproc;
 pub mod json;
 pub mod leaks;
 pub mod memsafe;
@@ -49,7 +55,9 @@ pub mod stats;
 pub mod trace;
 
 pub use api::{analyze_source, AnalysisOptions, Analyzer};
-pub use engine::{AnalysisError, AnalysisResult, BudgetKind, Engine, EngineConfig};
+pub use engine::{
+    AnalysisError, AnalysisResult, BudgetKind, Engine, EngineConfig, InterprocReason,
+};
 pub use progressive::{Goal, ProgressiveOutcome, ProgressiveRunner};
 pub use rsrsg::Rsrsg;
 pub use stats::{AnalysisBudget, AnalysisStats, Budget};

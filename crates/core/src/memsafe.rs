@@ -265,7 +265,8 @@ pub fn memory_report(ir: &FuncIr, result: &AnalysisResult) -> MemReport {
         for (pos, &sid) in block.stmts.iter().enumerate() {
             let pre = result.input_at(ir, bid, pos);
             let degraded = result.degraded[sid.0 as usize];
-            check_stmt(ir, sid, pre, &st, degraded, &mut report.sites);
+            let call_info = result.stats.call_sites.get(&sid.0);
+            check_stmt(ir, sid, pre, &st, degraded, call_info, &mut report.sites);
             transfer_dangling(ir, sid, pre, &mut st);
         }
     }
@@ -382,6 +383,32 @@ fn transfer_dangling(ir: &FuncIr, sid: StmtId, pre: &Rsrsg, st: &mut DanglingSta
                 st.taint = true;
             }
         }
+        Stmt::Call(c) => {
+            // A callee that (transitively) contains `free` may free any
+            // cell reachable from the caller's heap: conservatively taint
+            // the heap and mark every pvar possibly dangling.
+            let may_free = ir
+                .callees
+                .get(c.callee as usize)
+                .is_some_and(|f| f.may_free);
+            if may_free {
+                st.taint = true;
+                for i in 0..ir.num_pvars() {
+                    st.may.insert(PvarId(i as u32));
+                }
+                st.must.clear();
+            }
+            if let Some(dest) = c.ret_ptr {
+                // The returned pointer comes out of the callee's heap
+                // traffic: dangling only under taint, like a `Load`.
+                if st.taint {
+                    st.may.insert(dest);
+                } else {
+                    st.may.remove(&dest);
+                }
+                st.must.remove(&dest);
+            }
+        }
         Stmt::Ptr(PtrStmt::StoreNil(_, _))
         | Stmt::ScalarStore(_, _)
         | Stmt::ScalarConst(_, _)
@@ -398,6 +425,7 @@ fn check_stmt(
     pre: &Rsrsg,
     st: &DanglingState,
     degraded: bool,
+    call_info: Option<&crate::stats::CallSiteInfo>,
     sites: &mut Vec<MemSite>,
 ) {
     let info = ir.stmt(sid);
@@ -466,12 +494,35 @@ fn check_stmt(
         push(MemCheck::DoubleFree, verdict, detail);
     }
 
-    // Leak verdicts at non-temp rebinds.
+    // Call sites surface the callee summary's soundness flags. No `Safe`
+    // is ever claimed here: the summary's warning bit covers pointer
+    // loads/stores but not every callee-internal fault class, and a claim
+    // the differential harness could refute is worse than no claim.
+    if let (Stmt::Call(_), Some(ci)) = (&info.stmt, call_info) {
+        if ci.warned {
+            push(
+                MemCheck::NullDeref,
+                MemVerdict::MayFail,
+                format!("callee `{}` may dereference NULL", ci.callee),
+            );
+        }
+        if ci.may_leak {
+            push(
+                MemCheck::Leak,
+                MemVerdict::MayFail,
+                format!("callee `{}` may drop unreachable cells", ci.callee),
+            );
+        }
+    }
+
+    // Leak verdicts at non-temp rebinds (including a call's discarded old
+    // return-destination binding).
     let rebinds = match info.stmt {
         Stmt::Ptr(PtrStmt::Nil(x))
         | Stmt::Ptr(PtrStmt::Malloc(x, _))
         | Stmt::Ptr(PtrStmt::Load(x, _, _))
         | Stmt::Ptr(PtrStmt::Copy(x, _)) => Some(x),
+        Stmt::Call(ref c) => c.ret_ptr,
         _ => None,
     };
     if let Some(x) = rebinds {

@@ -164,6 +164,11 @@ pub fn ops_to_json(ops: &OpStats) -> Json {
     j.set("interner_shard_peak", ops.interner_shard_peak);
     j.set("subsume_shard_peak", ops.subsume_shard_peak);
     j.set("transfer_shard_peak", ops.transfer_shard_peak);
+    j.set("summary_queries", ops.summary_queries);
+    j.set("summary_hits", ops.summary_hits);
+    j.set("summary_recursive_hits", ops.summary_recursive_hits);
+    j.set("summary_misses", ops.summary_misses);
+    j.set("summary_hit_rate", ops.summary_hit_rate());
     j.set("intern_ns", ops.intern_ns);
     j.set("subsume_ns", ops.subsume_ns);
     j.set("join_ns", ops.join_ns);
@@ -239,6 +244,40 @@ pub struct AnalysisReport {
     /// Memory-safety section (`--check memory`); the `"memory"` key is
     /// absent when the check did not run.
     pub memory: Option<MemorySection>,
+    /// Per-call-site facts for the `Call` statements that survived
+    /// inlining (the recursive core); the `"calls"` key is absent when
+    /// the program has none, keeping call-free reports bit-identical.
+    pub calls: Vec<CallRow>,
+}
+
+/// One recursive call site, serializable.
+#[derive(Debug, Clone)]
+pub struct CallRow {
+    /// The `Call` statement's id.
+    pub stmt: u32,
+    /// Callee function name.
+    pub callee: String,
+    /// Went through the summary path (vs. inlined away before analysis).
+    pub recursive: bool,
+    /// The callee body may fault on some path from this entry.
+    pub warned: bool,
+    /// The call may leak cells only the callee's frame kept alive.
+    pub may_leak: bool,
+    /// The callee (transitively) frees memory.
+    pub may_free: bool,
+}
+
+impl CallRow {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("stmt", self.stmt);
+        j.set("callee", self.callee.as_str());
+        j.set("recursive", self.recursive);
+        j.set("warned", self.warned);
+        j.set("may_leak", self.may_leak);
+        j.set("may_free", self.may_free);
+        j
+    }
 }
 
 /// Serializable memory-safety report: per-check verdict counts plus every
@@ -399,6 +438,12 @@ impl AnalysisReport {
         if let Some(m) = &self.memory {
             j.set("memory", m.to_json());
         }
+        if !self.calls.is_empty() {
+            j.set(
+                "calls",
+                self.calls.iter().map(|c| c.to_json()).collect::<Json>(),
+            );
+        }
         j
     }
 
@@ -482,6 +527,19 @@ pub fn build_report(ir: &FuncIr, result: &AnalysisResult) -> AnalysisReport {
         memory: Some(MemorySection::from_report(&crate::memsafe::memory_report(
             ir, result,
         ))),
+        calls: result
+            .stats
+            .call_sites
+            .iter()
+            .map(|(&sid, info)| CallRow {
+                stmt: sid,
+                callee: info.callee.clone(),
+                recursive: info.recursive,
+                warned: info.warned,
+                may_leak: info.may_leak,
+                may_free: info.may_free,
+            })
+            .collect(),
     }
 }
 

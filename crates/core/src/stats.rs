@@ -49,6 +49,11 @@ pub struct AnalysisStats {
     /// Op-level counters for this run (delta of the shared tables between
     /// run start and end; gauges like interner size are end-of-run values).
     pub ops: OpStats,
+    /// Per-call-site summary facts, keyed by the `Call` statement's id.
+    /// Flags are OR-accumulated across worklist revisits of the site; the
+    /// memory-safety and leak clients read them to place verdicts at call
+    /// statements without re-walking callee bodies.
+    pub call_sites: std::collections::BTreeMap<u32, CallSiteInfo>,
     /// Index of `warnings` for O(1) duplicate checks; the vector keeps
     /// first-occurrence order, this set answers membership.
     pub(crate) warned: std::collections::HashSet<String>,
@@ -69,6 +74,26 @@ impl AnalysisStats {
             self.warnings.push(msg);
         }
     }
+}
+
+/// What one call site's summaries established, for downstream clients.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallSiteInfo {
+    /// Callee source name.
+    pub callee: String,
+    /// The callee's nested analysis emitted warnings (possible NULL
+    /// dereference inside the callee body, transitively).
+    pub warned: bool,
+    /// Exit-graph cleanup dropped cells only the callee's locals kept
+    /// alive — the callee may leak (independent of the return value; a
+    /// discarded returned structure is reported by the caller-side rebind
+    /// check instead).
+    pub may_leak: bool,
+    /// The callee (or anything it calls) contains `free`.
+    pub may_free: bool,
+    /// At least one application of this site went through the
+    /// recursive-summary fixpoint rather than plain exits replay.
+    pub recursive: bool,
 }
 
 /// Resource budgets for one engine run.

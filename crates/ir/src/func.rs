@@ -106,6 +106,91 @@ impl PtrStmt {
     }
 }
 
+/// A pointer-valued actual argument of a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallArg {
+    /// The argument is the value of a pvar at the call site.
+    Pvar(PvarId),
+    /// The argument is the NULL literal.
+    Null,
+}
+
+/// A scalar actual argument. The abstract transfer ignores scalar values
+/// (callee scalar formals start unknown, which keeps summary entries
+/// convergent); the concrete interpreter evaluates `Const`/`Var`
+/// truthfully and materializes seeded garbage for `Opaque`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallScalarArg {
+    /// An integer literal.
+    Const(i64),
+    /// The value of a tracked scalar variable.
+    Var(ScalarId),
+    /// Anything else (arithmetic, untracked variables).
+    Opaque,
+}
+
+/// A call to a defined function that survived inlining (i.e. a recursive
+/// one), analyzed via entry/exit summaries. `callee` indexes the **root**
+/// function's [`FuncIr::callees`] table — callee bodies reference the same
+/// table, so indices stay meaningful across nesting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallStmt {
+    /// Index into the root [`FuncIr::callees`].
+    pub callee: u32,
+    /// Pointer-to-struct actuals, in callee parameter order.
+    pub ptr_args: Vec<CallArg>,
+    /// Scalar actuals, in callee parameter order.
+    pub scalar_args: Vec<CallScalarArg>,
+    /// Destination pvar for a pointer-returning call.
+    pub ret_ptr: Option<PvarId>,
+    /// Destination tracked scalar for an int-returning call.
+    pub ret_scalar: Option<ScalarId>,
+}
+
+/// A lowered callee: the body of a recursive function sharing the root
+/// function's pvar/scalar universe, plus the metadata the interprocedural
+/// transfer needs (formals, the never-assigned anchor pvars that pin
+/// argument targets through the callee analysis, and the return slots).
+#[derive(Debug, Clone)]
+pub struct CalleeFunc {
+    /// Source name.
+    pub name: String,
+    /// The lowered body. Shares the root's full pvar/scalar tables; its
+    /// own `callees` list is empty (call indices refer to the root table).
+    pub ir: FuncIr,
+    /// Pointer-to-struct formals, in parameter order.
+    pub params_ptr: Vec<PvarId>,
+    /// Tracked scalar formals, in parameter order.
+    pub params_scalar: Vec<ScalarId>,
+    /// One reserved, never-assigned pvar per pointer formal. Bound to the
+    /// argument target in the localized entry graph, so the target cell
+    /// stays identifiable (and gc-rooted) through the callee analysis and
+    /// can be re-bound at glue time.
+    pub anchors: Vec<PvarId>,
+    /// Reserved, never-assigned cutpoint anchors. When the caller's frame
+    /// references the passed region somewhere other than an argument
+    /// target (a sibling cell materialized out of a shared summary, a
+    /// local bound mid-structure), the localization pins that cell with
+    /// one of these slots so the glue can find it in the exit graph. The
+    /// supply is fixed; call sites needing more give up soundly.
+    pub cut_anchors: Vec<PvarId>,
+    /// Slot holding the returned pointer (`{name}.__ret`), if any.
+    pub ret_ptr: Option<PvarId>,
+    /// Slot holding the returned scalar, if any.
+    pub ret_scalar: Option<ScalarId>,
+    /// Every pvar owned by this function: formals, anchors, return slot,
+    /// body locals and temps. The concrete interpreter saves/restores
+    /// exactly these slots across call frames.
+    pub owned_pvars: Vec<PvarId>,
+    /// Every tracked scalar owned by this function.
+    pub owned_scalars: Vec<ScalarId>,
+    /// The body (or anything it can call) contains `free`.
+    pub may_free: bool,
+    /// Content hash of the body, part of the summary-cache key so
+    /// identical bodies share summaries across lowerings.
+    pub body_hash: u64,
+}
+
 /// One IR statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
@@ -131,6 +216,9 @@ pub enum Stmt {
     /// Anything with no shape effect and no heap write (scalar arithmetic,
     /// `printf`). Keeps a short description for traces.
     Scalar(String),
+    /// A call to a recursive (non-inlinable) defined function, analyzed
+    /// through the summary cache. See [`CallStmt`].
+    Call(CallStmt),
 }
 
 /// A statement with its metadata.
@@ -247,6 +335,11 @@ pub struct FuncIr {
     pub entry_edges: BTreeMap<(BlockId, BlockId), Vec<LoopId>>,
     /// The resolved type universe.
     pub types: TypeTable,
+    /// Recursive callees reachable from this function, lowered over the
+    /// same pvar/scalar universe. Non-empty only on the root function
+    /// produced by [`crate::lower_program`]; [`CallStmt::callee`] indexes
+    /// this table.
+    pub callees: Vec<CalleeFunc>,
 }
 
 impl FuncIr {

@@ -19,7 +19,7 @@
 
 use psa_cfront::ast::{Decl, Expr, Function, Program, Stmt};
 use psa_cfront::diag::{Diagnostic, Span};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Maximum nesting of inlined bodies.
 pub const MAX_INLINE_DEPTH: usize = 16;
@@ -28,19 +28,35 @@ pub const MAX_INLINE_DEPTH: usize = 16;
 /// program whose entry function is call-free (except the intrinsic
 /// `malloc`/`free`/`printf` family).
 pub fn inline_program(program: &Program, entry: &str) -> Result<Program, Diagnostic> {
-    let f = program
-        .function(entry)
-        .ok_or_else(|| Diagnostic::error(Span::SYNTH, format!("function `{entry}` not found")))?;
+    inline_program_keep(program, entry, &BTreeSet::new())
+}
+
+/// Like [`inline_program`], but calls to functions in `opaque` are left in
+/// place — both in the entry body and inside the opaque bodies themselves,
+/// which also get their *other* (inlinable) calls expanded. The lowering
+/// summarizes the surviving calls; `lower_program` passes the recursive
+/// functions here.
+pub fn inline_program_keep(
+    program: &Program,
+    entry: &str,
+    opaque: &BTreeSet<String>,
+) -> Result<Program, Diagnostic> {
     let mut ctx = Inliner {
         program,
         counter: 0,
+        opaque,
     };
-    let mut stack = vec![entry.to_string()];
-    let body = ctx.inline_block(&f.body, &mut stack, 0)?;
     let mut out = program.clone();
-    let inlined = Function { body, ..f.clone() };
-    if let Some(slot) = out.functions.iter_mut().find(|g| g.name == entry) {
-        *slot = inlined;
+    for name in std::iter::once(entry).chain(opaque.iter().map(|s| s.as_str())) {
+        let f = program.function(name).ok_or_else(|| {
+            Diagnostic::error(Span::SYNTH, format!("function `{name}` not found"))
+        })?;
+        let mut stack = vec![name.to_string()];
+        let body = ctx.inline_block(&f.body, &mut stack, 0)?;
+        let inlined = Function { body, ..f.clone() };
+        if let Some(slot) = out.functions.iter_mut().find(|g| g.name == name) {
+            *slot = inlined;
+        }
     }
     Ok(out)
 }
@@ -69,6 +85,8 @@ fn is_intrinsic(name: &str) -> bool {
 struct Inliner<'a> {
     program: &'a Program,
     counter: usize,
+    /// Calls to these functions are kept for summary-based analysis.
+    opaque: &'a BTreeSet<String>,
 }
 
 impl<'a> Inliner<'a> {
@@ -190,7 +208,7 @@ impl<'a> Inliner<'a> {
     }
 
     fn inlinable(&self, name: &str) -> bool {
-        !is_intrinsic(name) && self.program.function(name).is_some()
+        !is_intrinsic(name) && !self.opaque.contains(name) && self.program.function(name).is_some()
     }
 
     /// Conditions may not contain user calls (we would have to hoist them).

@@ -29,11 +29,11 @@ pub mod pretty;
 
 pub use asserts::{asserts_of_source, resolve_asserts, AssertPred, AssertSite, Assertion};
 pub use func::{
-    Block, BlockId, Cond, FuncIr, LoopId, LoopInfo, PtrStmt, PvarId, PvarInfo, ScalarId, Stmt,
-    StmtId, StmtInfo, Terminator,
+    Block, BlockId, CallArg, CallScalarArg, CallStmt, CalleeFunc, Cond, FuncIr, LoopId, LoopInfo,
+    PtrStmt, PvarId, PvarInfo, ScalarId, Stmt, StmtId, StmtInfo, Terminator,
 };
-pub use inline::inline_program;
-pub use lower::{lower_function, lower_main, LowerError};
+pub use inline::{inline_program, inline_program_keep};
+pub use lower::{lower_function, lower_main, lower_program, LowerError};
 
 #[cfg(test)]
 mod tests {

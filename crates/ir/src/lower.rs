@@ -15,7 +15,7 @@ use crate::func::*;
 use psa_cfront::ast::{self, BinOp, Expr, Stmt as AStmt, TypeExpr, UnOp};
 use psa_cfront::diag::{Diagnostic, Span};
 use psa_cfront::types::{SemType, StructId, TypeTable};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Errors produced during lowering.
 pub type LowerError = Diagnostic;
@@ -27,10 +27,11 @@ pub fn lower_main(program: &ast::Program, table: &TypeTable) -> Result<FuncIr, L
 
 /// Lower the named function of a program.
 ///
-/// The analyzed function plays the role of the paper's (manually inlined)
-/// whole program: it must not receive pointer parameters, because the
-/// analysis starts from an empty heap. Global pointer variables are
-/// registered as pvars; global initializers run before the body.
+/// The analyzed function plays the role of a whole program after inlining
+/// (which [`crate::lower_program`] performs automatically): it must not
+/// receive pointer parameters, because the analysis starts from an empty
+/// heap. Global pointer variables are registered as pvars; global
+/// initializers run before the body.
 pub fn lower_function(
     program: &ast::Program,
     table: &TypeTable,
@@ -61,7 +62,8 @@ pub fn lower_function(
                 format!(
                     "function `{name}` takes pointer parameter `{}`; the analysis \
                      starts from an empty heap, so the entry function must not \
-                     receive pointers (inline callers, as the paper does)",
+                     receive pointers (use `lower_program`, which inlines callers \
+                     automatically and summarizes recursive ones)",
                     p.name
                 ),
             ));
@@ -76,6 +78,512 @@ pub fn lower_function(
     }
     lw.pop_scope();
     lw.finish()
+}
+
+/// Lower a whole program rooted at `entry`, handling user function calls
+/// automatically: non-recursive calls are inlined bottom-up over the call
+/// graph (fresh renaming per call site), and functions on a call-graph
+/// cycle are lowered as [`CalleeFunc`] bodies over a single shared
+/// pvar/scalar universe, with their call sites becoming [`Stmt::Call`]
+/// statements that the engine analyzes via entry/exit summaries.
+///
+/// With no recursion in sight this is exactly `inline_program` +
+/// [`lower_function`] — bit-identical output to the manual pipeline.
+pub fn lower_program(
+    program: &ast::Program,
+    table: &TypeTable,
+    entry: &str,
+) -> Result<FuncIr, LowerError> {
+    let recursive = recursive_functions(program, entry);
+    let inlined = crate::inline::inline_program_keep(program, entry, &recursive)?;
+    if recursive.is_empty() {
+        return lower_function(&inlined, table, entry);
+    }
+    // The localized call transfer strips every binding from the callee's
+    // entry graph, which would make a global read inside a recursive callee
+    // see NULL/unknown and a global write be lost at glue time. Refuse the
+    // combination rather than analyze it wrong.
+    for g in &inlined.globals {
+        let sem = table.resolve(&g.ty, g.span)?;
+        if sem.pointee_struct().is_some() || matches!(sem, SemType::Int) {
+            return Err(Diagnostic::error(
+                g.span,
+                format!(
+                    "global variable `{}` is not supported together with \
+                     recursive functions (pass it as a parameter instead)",
+                    g.name
+                ),
+            ));
+        }
+    }
+
+    // --- pass 1: shared universe seeds — globals, then per-callee formals,
+    // anchors and return slots, in sorted name order so ids are stable.
+    let mut pvars: Vec<PvarInfo> = Vec::new();
+    let mut scalars: Vec<String> = Vec::new();
+    let mut globals: BTreeMap<String, Binding> = BTreeMap::new();
+    for g in &inlined.globals {
+        let sem = table.resolve(&g.ty, g.span)?;
+        if let Some(sid) = sem.pointee_struct() {
+            let id = PvarId(pvars.len() as u32);
+            pvars.push(PvarInfo {
+                name: g.name.clone(),
+                pointee: sid,
+                is_temp: false,
+            });
+            globals.insert(g.name.clone(), Binding::Ptr(id));
+        } else if matches!(sem, SemType::Int) {
+            let id = ScalarId(scalars.len() as u32);
+            scalars.push(g.name.clone());
+            globals.insert(g.name.clone(), Binding::Scalar(Some(id)));
+        } else {
+            globals.insert(g.name.clone(), Binding::Scalar(None));
+        }
+    }
+
+    let names: Vec<String> = recursive.iter().cloned().collect();
+    let mut sigs: BTreeMap<String, CallSig> = BTreeMap::new();
+    let mut seeds: Vec<CalleeSeed> = Vec::new();
+    for (index, name) in names.iter().enumerate() {
+        let f = inlined.function(name).ok_or_else(|| {
+            Diagnostic::error(Span::SYNTH, format!("function `{name}` not found"))
+        })?;
+        let mut params = Vec::new();
+        let mut bindings = globals.clone();
+        let mut params_ptr = Vec::new();
+        let mut params_scalar = Vec::new();
+        let first_pvar = pvars.len();
+        let first_scalar = scalars.len();
+        for p in &f.params {
+            let sem = table.resolve(&p.ty, f.span)?;
+            if let Some(sid) = sem.pointee_struct() {
+                let id = PvarId(pvars.len() as u32);
+                pvars.push(PvarInfo {
+                    name: format!("{name}.{}", p.name),
+                    pointee: sid,
+                    is_temp: false,
+                });
+                bindings.insert(p.name.clone(), Binding::Ptr(id));
+                params.push(CallParam::Ptr);
+                params_ptr.push(id);
+            } else if matches!(sem, SemType::Int) {
+                let id = ScalarId(scalars.len() as u32);
+                scalars.push(format!("{name}.{}", p.name));
+                bindings.insert(p.name.clone(), Binding::Scalar(Some(id)));
+                params.push(CallParam::Scalar(Some(id)));
+                params_scalar.push(id);
+            } else {
+                bindings.insert(p.name.clone(), Binding::Scalar(None));
+                params.push(CallParam::Scalar(None));
+            }
+        }
+        // Anchors: one reserved, never-assigned pvar per pointer formal.
+        let mut anchors = Vec::new();
+        for (i, &p) in params_ptr.iter().enumerate() {
+            let pointee = pvars[p.0 as usize].pointee;
+            let id = PvarId(pvars.len() as u32);
+            pvars.push(PvarInfo {
+                name: format!("{name}.__anchor{i}"),
+                pointee,
+                is_temp: true,
+            });
+            anchors.push(id);
+        }
+        // Cutpoint anchors: a fixed supply of reserved slots for frame
+        // references into the passed region beyond the argument targets.
+        // The pointee is nominal — an anchored cell can be of any struct.
+        let mut cut_anchors = Vec::new();
+        let cut_pointee = params_ptr
+            .first()
+            .map(|&p| pvars[p.0 as usize].pointee)
+            .unwrap_or(StructId(0));
+        for j in 0..4 {
+            let id = PvarId(pvars.len() as u32);
+            pvars.push(PvarInfo {
+                name: format!("{name}.__cut{j}"),
+                pointee: cut_pointee,
+                is_temp: true,
+            });
+            cut_anchors.push(id);
+        }
+        // Return slot.
+        let ret_sem = table.resolve(&f.ret, f.span)?;
+        let mut ret_ptr = None;
+        let mut ret_scalar = None;
+        if let Some(sid) = ret_sem.pointee_struct() {
+            let id = PvarId(pvars.len() as u32);
+            pvars.push(PvarInfo {
+                name: format!("{name}.__ret"),
+                pointee: sid,
+                is_temp: false,
+            });
+            ret_ptr = Some((id, sid));
+        } else if matches!(ret_sem, SemType::Int) {
+            let id = ScalarId(scalars.len() as u32);
+            scalars.push(format!("{name}.__ret"));
+            ret_scalar = Some(id);
+        }
+        sigs.insert(
+            name.clone(),
+            CallSig {
+                index: index as u32,
+                params,
+                ret_ptr,
+                ret_scalar,
+            },
+        );
+        seeds.push(CalleeSeed {
+            name: name.clone(),
+            bindings,
+            params_ptr,
+            params_scalar,
+            anchors,
+            cut_anchors,
+            ret_ptr: ret_ptr.map(|(id, _)| id),
+            ret_scalar,
+            first_pvar,
+            first_scalar,
+        });
+    }
+
+    // --- pass 2: lower each recursive body over the growing shared tables.
+    let mut callee_irs: Vec<FuncIr> = Vec::new();
+    let mut owned: Vec<(Vec<PvarId>, Vec<ScalarId>)> = Vec::new();
+    for seed in &seeds {
+        let f = inlined.function(&seed.name).expect("checked in pass 1");
+        let mut lw = Lowerer::new_seeded(
+            table.clone(),
+            seed.name.clone(),
+            std::mem::take(&mut pvars),
+            std::mem::take(&mut scalars),
+            seed.bindings.clone(),
+            sigs.clone(),
+            format!("{}.", seed.name),
+            seed.ret_ptr,
+            seed.ret_scalar,
+        );
+        let body_start_pvar = lw.pvars.len();
+        let body_start_scalar = lw.scalars.len();
+        lw.push_scope();
+        for s in &f.body {
+            lw.lower_stmt(s)?;
+        }
+        lw.pop_scope();
+        let ir = lw.finish()?;
+        // Owned slots: formals + anchors + return slot registered in pass 1
+        // (the contiguous range starting at the seed's watermark) plus body
+        // locals and temps (the range this lowering appended).
+        let mut own_p: Vec<PvarId> = (seed.first_pvar..body_start_pvar)
+            .chain(body_start_pvar..ir.pvars.len())
+            .map(|i| PvarId(i as u32))
+            .collect();
+        // Pass-1 ranges for later callees interleave; restrict to this
+        // callee's own seeds.
+        own_p.retain(|&p| {
+            let n = &ir.pvars[p.0 as usize].name;
+            n.starts_with(&format!("{}.", seed.name)) || p.0 as usize >= body_start_pvar
+        });
+        let mut own_s: Vec<ScalarId> = (seed.first_scalar..body_start_scalar)
+            .chain(body_start_scalar..ir.scalars.len())
+            .map(|i| ScalarId(i as u32))
+            .collect();
+        own_s.retain(|&s| {
+            let n = &ir.scalars[s.0 as usize];
+            n.starts_with(&format!("{}.", seed.name)) || s.0 as usize >= body_start_scalar
+        });
+        pvars = ir.pvars.clone();
+        scalars = ir.scalars.clone();
+        owned.push((own_p, own_s));
+        callee_irs.push(ir);
+    }
+
+    // --- pass 3: the root, over the final callee tables.
+    let mut lw = Lowerer::new_seeded(
+        table.clone(),
+        entry.to_string(),
+        pvars,
+        scalars,
+        globals,
+        sigs.clone(),
+        String::new(),
+        None,
+        None,
+    );
+    let func = inlined
+        .function(entry)
+        .ok_or_else(|| Diagnostic::error(Span::SYNTH, format!("function `{entry}` not found")))?;
+    for g in &inlined.globals {
+        if let Some(init) = &g.init {
+            let lhs = Expr::Ident(g.name.clone(), g.span);
+            lw.lower_assign(&lhs, init, g.span)?;
+            lw.flush_temps();
+        }
+    }
+    for p in &func.params {
+        let sem = table.resolve(&p.ty, func.span)?;
+        if sem.pointee_struct().is_some() {
+            return Err(Diagnostic::error(
+                func.span,
+                format!(
+                    "entry function `{entry}` takes pointer parameter `{}`; the \
+                     analysis starts from an empty heap",
+                    p.name
+                ),
+            ));
+        }
+        let tracked = matches!(sem, SemType::Int);
+        lw.declare_scalar(&p.name, tracked);
+    }
+    lw.push_scope();
+    for s in &func.body {
+        lw.lower_stmt(s)?;
+    }
+    lw.pop_scope();
+    let mut root = lw.finish()?;
+
+    // --- pass 4: every FuncIr carries the final full tables, and callees
+    // get their metadata (body hash, transitive may-free).
+    let final_pvars = root.pvars.clone();
+    let final_scalars = root.scalars.clone();
+    let mut callees: Vec<CalleeFunc> = Vec::new();
+    for (i, mut ir) in callee_irs.into_iter().enumerate() {
+        ir.pvars = final_pvars.clone();
+        ir.scalars = final_scalars.clone();
+        let body_hash = body_hash(&ir);
+        let (owned_pvars, owned_scalars) = owned[i].clone();
+        let seed = &seeds[i];
+        callees.push(CalleeFunc {
+            name: seed.name.clone(),
+            ir,
+            params_ptr: seed.params_ptr.clone(),
+            params_scalar: seed.params_scalar.clone(),
+            anchors: seed.anchors.clone(),
+            cut_anchors: seed.cut_anchors.clone(),
+            ret_ptr: seed.ret_ptr,
+            ret_scalar: seed.ret_scalar,
+            owned_pvars,
+            owned_scalars,
+            may_free: false,
+            body_hash,
+        });
+    }
+    // Transitive may-free over the callee call graph.
+    let direct_free: Vec<bool> = callees
+        .iter()
+        .map(|c| c.ir.stmts.iter().any(|s| matches!(s.stmt, Stmt::Free(_))))
+        .collect();
+    let calls_of: Vec<Vec<u32>> = callees
+        .iter()
+        .map(|c| {
+            c.ir.stmts
+                .iter()
+                .filter_map(|s| match &s.stmt {
+                    Stmt::Call(cs) => Some(cs.callee),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+    let mut may_free = direct_free;
+    loop {
+        let mut changed = false;
+        for i in 0..callees.len() {
+            if !may_free[i] && calls_of[i].iter().any(|&j| may_free[j as usize]) {
+                may_free[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (c, f) in callees.iter_mut().zip(may_free) {
+        c.may_free = f;
+    }
+    root.callees = callees;
+    Ok(root)
+}
+
+/// FNV-1a hash of a callee body's structural content, for the summary
+/// cache key.
+fn body_hash(ir: &FuncIr) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    eat(ir.name.as_bytes());
+    for s in &ir.stmts {
+        eat(format!("{:?}", s.stmt).as_bytes());
+    }
+    for b in &ir.blocks {
+        eat(format!("{:?}", b).as_bytes());
+    }
+    h
+}
+
+/// The user functions reachable from `entry` that sit on a call-graph
+/// cycle (self- or mutual recursion); these cannot be inlined and get
+/// summary-based analysis instead.
+fn recursive_functions(program: &ast::Program, entry: &str) -> BTreeSet<String> {
+    // Direct-call edges among defined functions.
+    let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in &program.functions {
+        let mut callees = BTreeSet::new();
+        collect_calls(&f.body, &mut |name| {
+            if program.function(name).is_some() {
+                callees.insert(name.to_string());
+            }
+        });
+        edges.insert(f.name.clone(), callees);
+    }
+    // Reachable set from entry.
+    let mut reach: BTreeSet<String> = BTreeSet::new();
+    let mut stack = vec![entry.to_string()];
+    while let Some(n) = stack.pop() {
+        if !reach.insert(n.clone()) {
+            continue;
+        }
+        if let Some(cs) = edges.get(&n) {
+            stack.extend(cs.iter().cloned());
+        }
+    }
+    // A function is recursive iff it can reach itself.
+    let mut out = BTreeSet::new();
+    for f in &reach {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack: Vec<&str> = edges
+            .get(f)
+            .map(|cs| cs.iter().map(|s| s.as_str()).collect())
+            .unwrap_or_default();
+        while let Some(n) = stack.pop() {
+            if n == f {
+                out.insert(f.clone());
+                break;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(cs) = edges.get(n) {
+                stack.extend(cs.iter().map(|s| s.as_str()));
+            }
+        }
+    }
+    out
+}
+
+/// Visit every call name in a statement list.
+fn collect_calls(stmts: &[AStmt], f: &mut impl FnMut(&str)) {
+    for s in stmts {
+        collect_calls_stmt(s, f);
+    }
+}
+
+fn collect_calls_stmt(s: &AStmt, f: &mut impl FnMut(&str)) {
+    match s {
+        AStmt::Decl(d) => {
+            if let Some(e) = &d.init {
+                walk_calls(e, f);
+            }
+        }
+        AStmt::Expr(e) => walk_calls(e, f),
+        AStmt::Block(v, _) => collect_calls(v, f),
+        AStmt::If(c, t, e, _) => {
+            walk_calls(c, f);
+            collect_calls_stmt(t, f);
+            if let Some(e) = e {
+                collect_calls_stmt(e, f);
+            }
+        }
+        AStmt::While(c, b, _) => {
+            walk_calls(c, f);
+            collect_calls_stmt(b, f);
+        }
+        AStmt::DoWhile(b, c, _) => {
+            collect_calls_stmt(b, f);
+            walk_calls(c, f);
+        }
+        AStmt::For(init, c, step, b, _) => {
+            if let Some(i) = init {
+                collect_calls_stmt(i, f);
+            }
+            if let Some(c) = c {
+                walk_calls(c, f);
+            }
+            if let Some(s) = step {
+                walk_calls(s, f);
+            }
+            collect_calls_stmt(b, f);
+        }
+        AStmt::Switch(scrut, arms, _) => {
+            walk_calls(scrut, f);
+            for (_, body) in arms {
+                collect_calls(body, f);
+            }
+        }
+        AStmt::Return(Some(e), _) => walk_calls(e, f),
+        _ => {}
+    }
+}
+
+fn walk_calls(e: &Expr, f: &mut impl FnMut(&str)) {
+    if let Expr::Call(name, _, _) = e {
+        f(name);
+    }
+    match e {
+        Expr::Unary(_, x, _) | Expr::Member(x, _, _, _) | Expr::Cast(_, x, _) => walk_calls(x, f),
+        Expr::Binary(_, a, b, _) | Expr::Assign(a, b, _) => {
+            walk_calls(a, f);
+            walk_calls(b, f);
+        }
+        Expr::Call(_, args, _) => {
+            for a in args {
+                walk_calls(a, f);
+            }
+        }
+        Expr::Cond(c, a, b, _) => {
+            walk_calls(c, f);
+            walk_calls(a, f);
+            walk_calls(b, f);
+        }
+        _ => {}
+    }
+}
+
+/// Signature of a summarized (recursive) callee, known to every lowerer.
+#[derive(Debug, Clone)]
+struct CallSig {
+    /// Index into the root's callee table.
+    index: u32,
+    /// Formals in declaration order.
+    params: Vec<CallParam>,
+    /// Pointer-return slot and its pointee type.
+    ret_ptr: Option<(PvarId, StructId)>,
+    /// Scalar-return slot.
+    ret_scalar: Option<ScalarId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CallParam {
+    Ptr,
+    /// `Some` for tracked int formals.
+    Scalar(Option<ScalarId>),
+}
+
+/// Pre-registered identity of one recursive callee (pass 1 output).
+struct CalleeSeed {
+    name: String,
+    bindings: BTreeMap<String, Binding>,
+    params_ptr: Vec<PvarId>,
+    params_scalar: Vec<ScalarId>,
+    anchors: Vec<PvarId>,
+    cut_anchors: Vec<PvarId>,
+    ret_ptr: Option<PvarId>,
+    ret_scalar: Option<ScalarId>,
+    first_pvar: usize,
+    first_scalar: usize,
 }
 
 /// Name binding in the current scopes.
@@ -113,6 +621,15 @@ struct Lowerer {
     /// Temps created while lowering the current source statement; killed
     /// right after it.
     pending_temps: Vec<PvarId>,
+    /// Prefix for names this lowerer introduces (`"{func}."` for recursive
+    /// callee bodies sharing the root's tables, empty for the root).
+    prefix: String,
+    /// Signatures of summarized (recursive) callees visible at call sites.
+    call_sigs: BTreeMap<String, CallSig>,
+    /// Where `return e;` stores a pointer result, in callee mode.
+    ret_ptr_slot: Option<PvarId>,
+    /// Where `return e;` stores a tracked-int result, in callee mode.
+    ret_scalar_slot: Option<ScalarId>,
 }
 
 impl Lowerer {
@@ -137,7 +654,38 @@ impl Lowerer {
             entry_edges: BTreeMap::new(),
             temp_counter: 0,
             pending_temps: Vec::new(),
+            prefix: String::new(),
+            call_sigs: BTreeMap::new(),
+            ret_ptr_slot: None,
+            ret_scalar_slot: None,
         }
+    }
+
+    /// A lowerer over a pre-seeded shared universe: the pvar/scalar tables
+    /// carry earlier registrations (globals, callee formals, anchors, return
+    /// slots, previously lowered callee locals) and `bindings` maps source
+    /// names visible in this function to them.
+    #[allow(clippy::too_many_arguments)]
+    fn new_seeded(
+        table: TypeTable,
+        name: String,
+        pvars: Vec<PvarInfo>,
+        scalars: Vec<String>,
+        bindings: BTreeMap<String, Binding>,
+        call_sigs: BTreeMap<String, CallSig>,
+        prefix: String,
+        ret_ptr_slot: Option<PvarId>,
+        ret_scalar_slot: Option<ScalarId>,
+    ) -> Self {
+        let mut lw = Lowerer::new(table, name);
+        lw.pvars = pvars;
+        lw.scalars = scalars;
+        lw.scopes = vec![bindings];
+        lw.call_sigs = call_sigs;
+        lw.prefix = prefix;
+        lw.ret_ptr_slot = ret_ptr_slot;
+        lw.ret_scalar_slot = ret_scalar_slot;
+        lw
     }
 
     // ------------------------------------------------------------- plumbing
@@ -207,7 +755,7 @@ impl Lowerer {
     fn fresh_temp(&mut self, pointee: StructId) -> PvarId {
         let n = self.temp_counter;
         self.temp_counter += 1;
-        let id = self.fresh_pvar(format!("@t{n}"), pointee, true);
+        let id = self.fresh_pvar(format!("{}@t{n}", self.prefix), pointee, true);
         self.pending_temps.push(id);
         id
     }
@@ -260,10 +808,11 @@ impl Lowerer {
         match &sem {
             SemType::Pointer(_) => {
                 if let Some(sid) = sem.pointee_struct() {
+                    let base = format!("{}{name}", self.prefix);
                     let unique = if self.lookup(name).is_some() {
-                        format!("{name}#{}", self.pvars.len())
+                        format!("{base}#{}", self.pvars.len())
                     } else {
-                        name.to_string()
+                        base
                     };
                     let id = self.fresh_pvar(unique, sid, false);
                     self.scopes
@@ -296,7 +845,7 @@ impl Lowerer {
     fn declare_scalar(&mut self, name: &str, tracked: bool) {
         let id = if tracked {
             let id = ScalarId(self.scalars.len() as u32);
-            self.scalars.push(name.to_string());
+            self.scalars.push(format!("{}{name}", self.prefix));
             Some(id)
         } else {
             None
@@ -457,7 +1006,42 @@ impl Lowerer {
                 self.switch_to(join);
                 Ok(())
             }
-            AStmt::Return(_, _) => {
+            AStmt::Return(val, span) => {
+                if let Some(e) = val {
+                    if let Some(slot) = self.ret_ptr_slot {
+                        self.lower_ptr_assign_to_var(slot, e, *span)?;
+                        self.flush_temps();
+                    } else if let Some(slot) = self.ret_scalar_slot {
+                        match e {
+                            Expr::IntLit(v, _) => self.emit(Stmt::ScalarConst(slot, *v), *span),
+                            Expr::Call(cname, cargs, sp)
+                                if self.call_sigs.contains_key(cname.as_str()) =>
+                            {
+                                let dest = self.call_sigs[cname.as_str()].ret_scalar.map(|_| slot);
+                                self.emit_call(cname, cargs, None, dest, *sp)?;
+                                self.flush_temps();
+                                if dest.is_none() {
+                                    self.emit(
+                                        Stmt::ScalarHavoc(slot, format!("return {cname}(...)")),
+                                        *span,
+                                    );
+                                }
+                            }
+                            _ => {
+                                self.check_no_user_call(e)?;
+                                self.emit(
+                                    Stmt::ScalarHavoc(slot, format!("return {}", short_desc(e))),
+                                    *span,
+                                );
+                            }
+                        }
+                    } else {
+                        // Root function: the returned value is unobserved, but
+                        // calls inside it would have heap effects we must not
+                        // drop silently.
+                        self.check_no_user_call(e)?;
+                    }
+                }
                 self.seal(Terminator::Return);
                 Ok(())
             }
@@ -536,6 +1120,18 @@ impl Lowerer {
 
     /// Lower `cond`, branching to `t` when true and `f` when false.
     fn lower_cond(&mut self, cond: &Expr, t: BlockId, f: BlockId) -> Result<(), Diagnostic> {
+        // Calls to summarized functions may mutate the heap; hiding one
+        // inside a (possibly re-evaluated, possibly opaque) condition would
+        // drop those effects, so require it to be hoisted.
+        if let Some(n) = self.first_user_call(cond) {
+            return Err(Diagnostic::error(
+                cond.span(),
+                format!(
+                    "call to `{n}` inside a condition cannot be summarized; \
+                     assign its result to a variable and test that"
+                ),
+            ));
+        }
         match cond {
             Expr::Binary(BinOp::And, a, b, _) => {
                 let mid = self.new_block();
@@ -656,6 +1252,7 @@ impl Lowerer {
             Expr::Assign(lhs, rhs, span) => self.lower_assign(lhs, rhs, *span),
             Expr::Call(name, args, span) => self.lower_call(name, args, *span).map(|_| ()),
             _ => {
+                self.check_no_user_call(e)?;
                 self.emit(Stmt::Scalar(short_desc(e)), e.span());
                 Ok(())
             }
@@ -675,9 +1272,44 @@ impl Lowerer {
             Expr::Cast(ty, _, _) => {
                 matches!(ty, TypeExpr::Pointer(_))
             }
-            Expr::Call(name, _, _) => name == "malloc" || name == "calloc",
+            Expr::Call(name, _, _) => {
+                name == "malloc"
+                    || name == "calloc"
+                    || self
+                        .call_sigs
+                        .get(name.as_str())
+                        .is_some_and(|s| s.ret_ptr.is_some())
+            }
             _ => false,
         }
+    }
+
+    /// The first call to a summarized function inside `e`, if any.
+    fn first_user_call(&self, e: &Expr) -> Option<String> {
+        let mut found: Option<String> = None;
+        walk_calls(e, &mut |n| {
+            if found.is_none() && self.call_sigs.contains_key(n) {
+                found = Some(n.to_string());
+            }
+        });
+        found
+    }
+
+    /// Reject calls to summarized functions buried inside an expression that
+    /// is otherwise lowered opaquely (scalar havoc, untracked stores, …) —
+    /// dropping the call would drop its heap effects.
+    fn check_no_user_call(&self, e: &Expr) -> Result<(), Diagnostic> {
+        if let Some(n) = self.first_user_call(e) {
+            return Err(Diagnostic::error(
+                e.span(),
+                format!(
+                    "call to `{n}` is only supported as a statement or as the \
+                     entire right-hand side of an assignment; hoist it into \
+                     its own statement"
+                ),
+            ));
+        }
+        Ok(())
     }
 
     /// If `base->field` is a selector access, return its ids.
@@ -771,6 +1403,20 @@ impl Lowerer {
                     "cast `malloc` to a struct pointer type so its type is known",
                 ))
             }
+            Expr::Call(name, args, sp) if self.call_sigs.contains_key(name.as_str()) => {
+                // Summarized call in pointer-operand position (e.g.
+                // `x->left = build(...)`): call into a fresh temp.
+                let sig = &self.call_sigs[name.as_str()];
+                let Some((_, sid)) = sig.ret_ptr else {
+                    return Err(Diagnostic::error(
+                        *sp,
+                        format!("`{name}` does not return a pointer"),
+                    ));
+                };
+                let t = self.fresh_temp(sid);
+                self.emit_call(name, args, Some(t), None, *sp)?;
+                Ok(Operand::Pvar(t))
+            }
             other => Err(Diagnostic::error(
                 other.span(),
                 format!("unsupported pointer expression: {}", short_desc(other)),
@@ -807,14 +1453,37 @@ impl Lowerer {
                     // Tracked int: constant assignments become flag facts.
                     match rhs {
                         Expr::IntLit(v, _) => self.emit(Stmt::ScalarConst(id, *v), span),
-                        _ => self.emit(
-                            Stmt::ScalarHavoc(id, format!("{name} = {}", short_desc(rhs))),
-                            span,
-                        ),
+                        Expr::Call(cname, cargs, sp)
+                            if self.call_sigs.contains_key(cname.as_str()) =>
+                        {
+                            let dest = self.call_sigs[cname.as_str()].ret_scalar.map(|_| id);
+                            self.emit_call(cname, cargs, None, dest, *sp)?;
+                            if dest.is_none() {
+                                self.emit(
+                                    Stmt::ScalarHavoc(id, format!("{name} = {cname}(...)")),
+                                    span,
+                                );
+                            }
+                        }
+                        _ => {
+                            self.check_no_user_call(rhs)?;
+                            self.emit(
+                                Stmt::ScalarHavoc(id, format!("{name} = {}", short_desc(rhs))),
+                                span,
+                            );
+                        }
                     }
                     Ok(())
                 }
                 Some(Binding::Scalar(None)) => {
+                    if let Expr::Call(cname, cargs, sp) = rhs {
+                        if self.call_sigs.contains_key(cname.as_str()) {
+                            // Result lands in an untracked slot, but the call's
+                            // heap effects still happen.
+                            return self.emit_call(cname, cargs, None, None, *sp);
+                        }
+                    }
+                    self.check_no_user_call(rhs)?;
                     self.emit(Stmt::Scalar(format!("{name} = {}", short_desc(rhs))), span);
                     Ok(())
                 }
@@ -844,6 +1513,7 @@ impl Lowerer {
                         let Operand::Pvar(x) = base_op else {
                             return Err(Diagnostic::error(*sp, "store through NULL"));
                         };
+                        self.check_no_user_call(rhs)?;
                         self.emit(
                             Stmt::ScalarStore(x, format!("->{field} = {}", short_desc(rhs))),
                             span,
@@ -916,11 +1586,15 @@ impl Lowerer {
                 self.emit_ptr(PtrStmt::Load(x, y, sel), span);
                 Ok(())
             }
+            Expr::Call(cname, cargs, sp) if self.call_sigs.contains_key(cname.as_str()) => {
+                // `x = f(...)` for a summarized callee: return straight into x.
+                self.emit_call(cname, cargs, Some(x), None, *sp)
+            }
             other => Err(Diagnostic::error(
                 other.span(),
                 format!(
                     "unsupported pointer right-hand side: {} (pointer arithmetic \
-                     and function calls are outside the subset)",
+                     and calls to undefined functions are outside the subset)",
                     short_desc(other)
                 ),
             )),
@@ -997,17 +1671,25 @@ impl Lowerer {
                 self.emit(Stmt::Scalar("malloc (discarded)".to_string()), span);
                 Ok(())
             }
+            _ if self.call_sigs.contains_key(name) => {
+                // Result-discarding call to a summarized callee.
+                self.emit_call(name, args, None, None, span)
+            }
             _ => {
-                // Unknown call: allowed only if no pointer-to-struct argument
-                // could leak/mutate heap structure.
+                // Undefined call: allowed only if no pointer-to-struct argument
+                // could leak/mutate heap structure. (Calls to functions defined
+                // in the translation unit never reach this point: the inliner
+                // expands the non-recursive ones and `call_sigs` covers the
+                // recursive ones.)
                 for a in args {
                     if self.is_pointerish(a) {
                         return Err(Diagnostic::error(
                             span,
                             format!(
-                                "call to unknown function `{name}` with pointer \
-                                 argument; inline it (the paper performs manual \
-                                 inlining) or remove the call"
+                                "call to undefined function `{name}` with pointer \
+                                 argument; define it in this translation unit so \
+                                 it can be inlined or summarized, or remove the \
+                                 call"
                             ),
                         ));
                     }
@@ -1015,6 +1697,80 @@ impl Lowerer {
                 self.emit(Stmt::Scalar(format!("{name}(...)")), span);
                 Ok(())
             }
+        }
+    }
+
+    /// Emit a [`Stmt::Call`] to a summarized callee, checking arity and
+    /// return-slot compatibility and lowering the arguments.
+    fn emit_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        dest_ptr: Option<PvarId>,
+        dest_scalar: Option<ScalarId>,
+        span: Span,
+    ) -> Result<(), Diagnostic> {
+        let sig = self.call_sigs[name].clone();
+        if args.len() != sig.params.len() {
+            return Err(Diagnostic::error(
+                span,
+                format!(
+                    "`{name}` expects {} argument(s), got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        if dest_ptr.is_some() && sig.ret_ptr.is_none() {
+            return Err(Diagnostic::error(
+                span,
+                format!("`{name}` does not return a pointer"),
+            ));
+        }
+        let mut ptr_args = Vec::new();
+        let mut scalar_args = Vec::new();
+        for (a, p) in args.iter().zip(&sig.params) {
+            match p {
+                CallParam::Ptr => {
+                    let op = self.lower_store_value(a, a.span())?;
+                    ptr_args.push(match op {
+                        Operand::Null => CallArg::Null,
+                        Operand::Pvar(pv) => CallArg::Pvar(pv),
+                    });
+                }
+                CallParam::Scalar(Some(_)) => {
+                    self.check_no_user_call(a)?;
+                    scalar_args.push(self.lower_scalar_arg(a));
+                }
+                CallParam::Scalar(None) => {
+                    // Untracked scalar formal: the value is unobservable, but
+                    // a buried call inside the argument would not be.
+                    self.check_no_user_call(a)?;
+                }
+            }
+        }
+        self.emit(
+            Stmt::Call(CallStmt {
+                callee: sig.index,
+                ptr_args,
+                scalar_args,
+                ret_ptr: dest_ptr,
+                ret_scalar: dest_scalar,
+            }),
+            span,
+        );
+        Ok(())
+    }
+
+    /// Lower a tracked-int argument expression to a [`CallScalarArg`].
+    fn lower_scalar_arg(&mut self, e: &Expr) -> CallScalarArg {
+        match e {
+            Expr::IntLit(v, _) => CallScalarArg::Const(*v),
+            Expr::Ident(n, _) => match self.lookup(n) {
+                Some(Binding::Scalar(Some(id))) => CallScalarArg::Var(id),
+                _ => CallScalarArg::Opaque,
+            },
+            _ => CallScalarArg::Opaque,
         }
     }
 
@@ -1031,6 +1787,7 @@ impl Lowerer {
             exit_edges: self.exit_edges,
             entry_edges: self.entry_edges,
             types: self.table,
+            callees: Vec::new(),
         };
         ir.validate()
             .map_err(|m| Diagnostic::error(Span::SYNTH, m))?;
@@ -1069,6 +1826,127 @@ fn short_desc(e: &Expr) -> String {
 mod tests {
     use super::*;
     use psa_cfront::parse_and_type;
+
+    const TREEADD: &str = r#"
+        struct tree { int val; struct tree *left; struct tree *right; };
+        struct tree *build(int depth) {
+            struct tree *t;
+            struct tree *l;
+            struct tree *r;
+            if (depth <= 0) { return NULL; }
+            t = (struct tree *) malloc(sizeof(struct tree));
+            l = build(depth - 1);
+            r = build(depth - 1);
+            t->left = l;
+            t->right = r;
+            return t;
+        }
+        int sum(struct tree *t) {
+            int a;
+            int b;
+            if (t == NULL) { return 0; }
+            a = sum(t->left);
+            b = sum(t->right);
+            return a + b + 1;
+        }
+        int main() {
+            struct tree *root;
+            int total;
+            root = build(4);
+            total = sum(root);
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn lower_program_summarizes_recursive_functions() {
+        let (p, t) = parse_and_type(TREEADD).unwrap();
+        let ir = lower_program(&p, &t, "main").unwrap();
+        assert_eq!(ir.callees.len(), 2, "build and sum are recursive");
+        let build = ir.callees.iter().find(|c| c.name == "build").unwrap();
+        let sum = ir.callees.iter().find(|c| c.name == "sum").unwrap();
+        // build(int): no pointer formals, pointer return.
+        assert!(build.params_ptr.is_empty());
+        assert_eq!(build.params_scalar.len(), 1);
+        assert!(build.ret_ptr.is_some());
+        assert!(build.anchors.is_empty());
+        // sum(tree*): one pointer formal with its anchor, tracked int return.
+        assert_eq!(sum.params_ptr.len(), 1);
+        assert_eq!(sum.anchors.len(), 1);
+        assert!(sum.ret_ptr.is_none());
+        assert!(sum.ret_scalar.is_some());
+        assert!(!build.may_free && !sum.may_free);
+        // Root calls both; each callee body contains its recursive call.
+        let calls = |ir: &FuncIr| {
+            ir.stmts
+                .iter()
+                .filter(|s| matches!(s.stmt, Stmt::Call(_)))
+                .count()
+        };
+        assert_eq!(calls(&ir), 2);
+        assert_eq!(calls(&build.ir), 2);
+        assert_eq!(calls(&sum.ir), 2);
+        // All FuncIrs share the final tables.
+        assert_eq!(ir.pvars.len(), build.ir.pvars.len());
+        assert_eq!(ir.scalars.len(), sum.ir.scalars.len());
+        // Owned slots are disjoint between the callees.
+        for p in &build.owned_pvars {
+            assert!(!sum.owned_pvars.contains(p));
+        }
+    }
+
+    #[test]
+    fn lower_program_matches_inline_path_when_no_recursion() {
+        let src = r#"
+            struct node { int v; struct node *nxt; };
+            struct node *mk(void) {
+                struct node *p;
+                p = (struct node *) malloc(sizeof(struct node));
+                p->nxt = NULL;
+                return p;
+            }
+            int main() {
+                struct node *a;
+                a = mk();
+                return 0;
+            }
+        "#;
+        let (p, t) = parse_and_type(src).unwrap();
+        let via_program = lower_program(&p, &t, "main").unwrap();
+        let p2 = crate::inline::inline_program(&p, "main").unwrap();
+        let via_inline = lower_main(&p2, &t).unwrap();
+        assert_eq!(
+            format!("{:?}", via_program.stmts),
+            format!("{:?}", via_inline.stmts)
+        );
+        assert_eq!(
+            format!("{:?}", via_program.blocks),
+            format!("{:?}", via_inline.blocks)
+        );
+        assert!(via_program.callees.is_empty());
+    }
+
+    #[test]
+    fn call_in_condition_rejected_with_hoist_hint() {
+        let src = r#"
+            struct node { int v; struct node *nxt; };
+            int depth(struct node *p) {
+                int d;
+                if (p == NULL) { return 0; }
+                d = depth(p->nxt);
+                return d + 1;
+            }
+            int main() {
+                struct node *l;
+                l = NULL;
+                if (depth(l) == 0) { return 1; }
+                return 0;
+            }
+        "#;
+        let (p, t) = parse_and_type(src).unwrap();
+        let err = lower_program(&p, &t, "main").unwrap_err();
+        assert!(err.message.contains("condition"), "{}", err.message);
+    }
 
     fn lower(body: &str) -> FuncIr {
         let src = format!(

@@ -46,6 +46,32 @@ pub fn stmt(ir: &FuncIr, s: &Stmt) -> String {
         Stmt::ScalarHavoc(_, d) => format!("scalar: {d}"),
         Stmt::Free(x) => format!("free({})", ir.pvar_name(*x)),
         Stmt::Scalar(d) => format!("scalar: {d}"),
+        Stmt::Call(c) => {
+            let name = ir
+                .callees
+                .get(c.callee as usize)
+                .map(|f| f.name.as_str())
+                .unwrap_or("?");
+            let mut args: Vec<String> = c
+                .ptr_args
+                .iter()
+                .map(|a| match a {
+                    crate::func::CallArg::Null => "NULL".to_string(),
+                    crate::func::CallArg::Pvar(p) => ir.pvar_name(*p).to_string(),
+                })
+                .collect();
+            args.extend(c.scalar_args.iter().map(|a| match a {
+                crate::func::CallScalarArg::Const(v) => v.to_string(),
+                crate::func::CallScalarArg::Var(s) => ir.scalar_name(*s).to_string(),
+                crate::func::CallScalarArg::Opaque => "<scalar>".to_string(),
+            }));
+            let call = format!("{name}({})", args.join(", "));
+            match (c.ret_ptr, c.ret_scalar) {
+                (Some(x), _) => format!("{} = {call}", ir.pvar_name(x)),
+                (None, Some(s)) => format!("{} = {call}", ir.scalar_name(s)),
+                (None, None) => call,
+            }
+        }
     }
 }
 

@@ -31,6 +31,19 @@ pub fn divide_with(g: &Rsg, x: PvarId, sel: SelectorId, reference_prune: bool) -
     let Some(n) = g.pl(x) else {
         return vec![g.clone()];
     };
+    divide_at(g, n, sel, reference_prune)
+}
+
+/// Divide `g` with respect to a *node* and `sel` — the pvar-free core of
+/// [`divide`]. The interprocedural localization uses this to resolve a
+/// caller-frame edge `<n, sel, ·>` to a single definite target before
+/// materializing that target out of a summary node.
+pub fn divide_at(
+    g: &Rsg,
+    n: crate::node::NodeId,
+    sel: SelectorId,
+    reference_prune: bool,
+) -> Vec<Rsg> {
     let succs = g.succs(n, sel);
     let must = g.node(n).selout.contains(sel);
     let mut out = Vec::with_capacity(succs.len() + 1);

@@ -860,6 +860,41 @@ impl Rsg {
         dead.len()
     }
 
+    /// Import every live node and link of `other` into this graph, keeping
+    /// all node properties. Returns the node map, indexed by `other`'s
+    /// slot: `map[old.0] == Some(new)` for live nodes.
+    ///
+    /// Pvar bindings and scalar values are deliberately **not** imported —
+    /// the caller decides which of `other`'s roots survive in the merged
+    /// graph (the interprocedural glue binds return slots and anchored
+    /// argument targets explicitly).
+    pub fn absorb(&mut self, other: &Rsg) -> Vec<Option<NodeId>> {
+        let mut map: Vec<Option<NodeId>> = vec![None; other.num_slots()];
+        for id in other.node_ids() {
+            let n = other.node(id);
+            let node = Node {
+                ty: n.ty,
+                shared: n.shared,
+                summary: n.summary,
+                shsel: n.shsel,
+                selin: n.selin,
+                selout: n.selout,
+                pos_selin: n.pos_selin,
+                pos_selout: n.pos_selout,
+                cyclelinks: n.cyclelinks.clone(),
+                touch: n.touch.clone(),
+            };
+            map[id.0 as usize] = Some(self.add_node(node));
+        }
+        for (a, sel, b) in other.links() {
+            let (Some(na), Some(nb)) = (map[a.0 as usize], map[b.0 as usize]) else {
+                continue;
+            };
+            self.add_link(na, sel, nb);
+        }
+        map
+    }
+
     /// STRUCTURE labels: the canonical label of each node's weakly-connected
     /// component, defined as the smallest pvar bound into the component.
     /// Call after [`Rsg::gc`] so every component has at least one pvar.

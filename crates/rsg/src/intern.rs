@@ -354,6 +354,11 @@ pub enum CancelCause {
     TableBytes,
     /// The per-statement RSG-count cap tripped.
     Rsgs,
+    /// Interprocedural analysis gave up soundly: a call-site localization
+    /// found a cutpoint or escaping TOUCH mark, or a recursive-summary cap
+    /// (entries, rounds, depth) tripped. The partial result is sound but
+    /// carries no claims past the stopping call.
+    Interproc,
 }
 
 impl CancelCause {
@@ -364,6 +369,7 @@ impl CancelCause {
             CancelCause::Deadline => 2,
             CancelCause::TableBytes => 3,
             CancelCause::Rsgs => 4,
+            CancelCause::Interproc => 5,
         }
     }
 
@@ -373,6 +379,7 @@ impl CancelCause {
             2 => Some(CancelCause::Deadline),
             3 => Some(CancelCause::TableBytes),
             4 => Some(CancelCause::Rsgs),
+            5 => Some(CancelCause::Interproc),
             _ => None,
         }
     }
@@ -1056,6 +1063,15 @@ op_metrics! {
     delta_graphs_reused,
     /// Input graphs actually transferred (cold or delta suffix).
     delta_graphs_transferred,
+    /// Recursive-call summary lookups issued (hits + misses).
+    summary_queries,
+    /// Summary lookups answered from a finalized cache entry.
+    summary_hits,
+    /// Summary lookups answered from an in-progress (partial) entry at a
+    /// recursive call site — the fixpoint iteration's back-edges.
+    summary_recursive_hits,
+    /// Summary lookups that computed a fresh entry (nested engine run).
+    summary_misses,
     /// Contended interner shard-lock acquisitions.
     intern_lock_contended,
     /// Contended subsumption-memo shard-lock acquisitions.
@@ -1171,6 +1187,15 @@ impl OpStats {
         self.transfer_memo_hits as f64 / self.transfer_queries as f64
     }
 
+    /// Fraction of summary queries answered from a finalized cache entry;
+    /// 0.0 when none were issued.
+    pub fn summary_hit_rate(&self) -> f64 {
+        if self.summary_queries == 0 {
+            return 0.0;
+        }
+        self.summary_hits as f64 / self.summary_queries as f64
+    }
+
     /// Total nanoseconds spent waiting on contended shard locks across all
     /// three tables.
     pub fn lock_wait_ns(&self) -> u64 {
@@ -1222,6 +1247,119 @@ impl KeyRegistry {
     }
 }
 
+/// One cached interprocedural summary: the exit graphs (as interned
+/// canonical ids) a function body produces from one entry graph, plus the
+/// soundness flags the caller's memory-safety verdicts must honor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SummaryEntry {
+    /// Interned exit graphs at the callee's `return`, deduplicated and
+    /// sorted (so fixpoint comparison is order-independent). Empty while a
+    /// recursive computation has not yet found a terminating path — the
+    /// "bottom" seed of the fixpoint.
+    pub exits: Vec<CanonId>,
+    /// The nested analysis degraded or stopped on a budget: callers must
+    /// clamp this call's verdicts to may-fail, never safe.
+    pub degraded: bool,
+    /// The callee's own memory report carries a non-safe null-deref /
+    /// use-after-free / double-free verdict somewhere in its body.
+    pub warned: bool,
+    /// The callee may leak cells (its report carries a non-safe leak
+    /// verdict, or exit-graph garbage collection dropped cells).
+    pub may_leak: bool,
+    /// The fixpoint over this entry completed; the entry may be served
+    /// across top-level calls. Non-finalized entries are only meaningful
+    /// inside the in-progress computation that wrote them.
+    pub finalized: bool,
+}
+
+/// Per-(function body, configuration epoch, entry graph) summary table for
+/// recursive-call analysis, shared across engine runs like the other memo
+/// tables. Keys combine a 64-bit body hash (so textually identical bodies
+/// from different lowerings share entries), the configuration epoch (level
+/// and semantic flags change transfer meaning), and the entry graph's
+/// [`CanonId`]. Not persisted by table snapshots — summaries rebuild
+/// cheaply and embed `CanonId`s that a snapshot would have to remap.
+#[derive(Debug, Default)]
+pub struct SummaryCache {
+    entries: Mutex<HashMap<(u64, u32, CanonId), SummaryEntry>>,
+    /// Bumped on every entry change; the outermost fixpoint driver re-runs
+    /// until a full round leaves the version untouched.
+    version: AtomicU64,
+}
+
+impl SummaryCache {
+    /// An empty cache.
+    pub fn new() -> SummaryCache {
+        SummaryCache::default()
+    }
+
+    /// The cached entry for a key, if any.
+    pub fn get(&self, body: u64, epoch: u32, entry: CanonId) -> Option<SummaryEntry> {
+        lock_recover(&self.entries)
+            .get(&(body, epoch, entry))
+            .cloned()
+    }
+
+    /// Store `value`, bumping the version when it differs from the cached
+    /// entry. Returns `true` when the entry changed.
+    pub fn put(&self, body: u64, epoch: u32, entry: CanonId, value: SummaryEntry) -> bool {
+        let mut map = lock_recover(&self.entries);
+        let slot = map.entry((body, epoch, entry)).or_default();
+        if *slot == value {
+            return false;
+        }
+        *slot = value;
+        self.version.fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
+    /// Remove a **non-finalized** entry — the cleanup path when a summary
+    /// computation aborts on a budget and its bottom seed must not linger.
+    /// Finalized entries are never removed.
+    pub fn remove(&self, body: u64, epoch: u32, entry: CanonId) {
+        let mut map = lock_recover(&self.entries);
+        if map.get(&(body, epoch, entry)).is_some_and(|e| !e.finalized) {
+            map.remove(&(body, epoch, entry));
+            self.version.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Mark an entry finalized (fixpoint complete); no-op for absent keys.
+    pub fn finalize(&self, body: u64, epoch: u32, entry: CanonId) {
+        let mut map = lock_recover(&self.entries);
+        if let Some(slot) = map.get_mut(&(body, epoch, entry)) {
+            if !slot.finalized {
+                slot.finalized = true;
+                self.version.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Current change version.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Number of cached entries for one (body, epoch) — the per-function
+    /// entry-cap check.
+    pub fn entries_for(&self, body: u64, epoch: u32) -> usize {
+        lock_recover(&self.entries)
+            .keys()
+            .filter(|&&(b, e, _)| b == body && e == epoch)
+            .count()
+    }
+
+    /// Total cached entries.
+    pub fn len(&self) -> usize {
+        lock_recover(&self.entries).len()
+    }
+
+    /// True when no summary is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// The run-wide bundle: interner + subsumption memo + metrics, shared by
 /// every RSRSG operation of an analysis via [`crate::ShapeCtx`].
 ///
@@ -1241,6 +1379,9 @@ pub struct SharedTables {
     pub cache: Arc<SubsumeCache>,
     /// Per-statement transfer memo table.
     pub transfer: Arc<TransferCache>,
+    /// Recursive-call summary table (per function body + epoch + entry
+    /// graph). Shared like the other tables; not persisted by snapshots.
+    pub summaries: Arc<SummaryCache>,
     /// Op-level counters (per handle; see [`SharedTables::session`]).
     pub metrics: OpMetrics,
     /// Cooperative cancellation flag, observed by the engine worklist and
@@ -1277,6 +1418,7 @@ impl SharedTables {
             interner: Arc::new(Interner::new()),
             cache: Arc::new(SubsumeCache::new()),
             transfer: Arc::new(TransferCache::new()),
+            summaries: Arc::new(SummaryCache::new()),
             metrics: OpMetrics::default(),
             cancel: CancelToken::default(),
             tracer: Tracer::new(),
@@ -1297,6 +1439,7 @@ impl SharedTables {
             interner: self.interner.clone(),
             cache: self.cache.clone(),
             transfer: self.transfer.clone(),
+            summaries: self.summaries.clone(),
             metrics: OpMetrics::default(),
             cancel: CancelToken::default(),
             tracer: Tracer::new(),

@@ -31,14 +31,15 @@
 use psa::core::engine::{AnalysisResult, Engine, EngineConfig};
 use psa::core::json::Json;
 use psa::core::report::ops_to_json;
-use psa::ir::{lower_main, FuncIr};
+use psa::ir::FuncIr;
 use psa::rsg::Level;
 use std::time::{Duration, Instant};
 
 fn ir_for(src: &str) -> FuncIr {
+    // Full interprocedural lowering: non-recursive helpers inline, the
+    // recursive Olden codes keep callees and go through the summary path.
     let (p, t) = psa::cfront::parse_and_type(src).expect("parse");
-    let p = psa::ir::inline_program(&p, "main").expect("inline");
-    lower_main(&p, &t).expect("lower")
+    psa::ir::lower_program(&p, &t, "main").expect("lower")
 }
 
 /// Best-of-N wall time plus the (deterministic) run result. Each rep uses a

@@ -1,10 +1,11 @@
 //! Integration tests for the Olden-style extension workloads: shapes,
-//! parallelizability and differential soundness. These exercise the
-//! function inliner end to end (treeadd's helpers) and provide the
-//! negative control for the sharing analysis (em3d's genuinely shared
-//! bipartite graph).
+//! parallelizability and differential soundness. These exercise the whole
+//! interprocedural pipeline end to end — the inliner on treeadd's
+//! non-recursive helper, the summary path on its recursive core — and
+//! provide the negative control for the sharing analysis (em3d's
+//! genuinely shared bipartite graph).
 
-use psa::codes::olden::{em3d, power, treeadd};
+use psa::codes::olden::{em3d, power, treeadd, RECURSIVE_OLDEN};
 use psa::codes::Sizes;
 use psa::concrete::check_soundness;
 use psa::core::api::{AnalysisOptions, Analyzer};
@@ -16,18 +17,34 @@ fn analyzer(src: &str) -> Analyzer {
 }
 
 #[test]
-fn treeadd_inlines_and_stays_tree() {
+fn treeadd_keeps_recursive_callees_and_stays_tree() {
     let a = analyzer(&treeadd(Sizes::default()));
-    // The inliner must have expanded mknode.
-    assert!(a.ir().pvar_id("__inl0_p").is_some(), "mknode inlined");
+    // The natural form keeps its two recursive functions as callees
+    // (the non-recursive `mknode` helper inlines into `treealloc`).
+    let names: Vec<&str> = a.ir().callees.iter().map(|c| c.name.as_str()).collect();
+    assert!(names.contains(&"treealloc"), "callees: {names:?}");
+    assert!(names.contains(&"treeadd"), "callees: {names:?}");
+    let treealloc = a
+        .ir()
+        .callees
+        .iter()
+        .find(|c| c.name == "treealloc")
+        .unwrap();
+    let inl_pvars: Vec<&str> = (0..treealloc.ir.num_pvars())
+        .map(|i| treealloc.ir.pvar_name(psa::ir::PvarId(i as u32)))
+        .filter(|n| n.contains("__inl"))
+        .collect();
+    assert!(!inl_pvars.is_empty(), "mknode inlined into treealloc");
+
+    // The summary path must preserve the shape verdict the flat form
+    // gets: a clean unshared binary tree at exit.
     let res = a.run_at(Level::L1).unwrap();
+    assert!(res.stopped.is_none(), "no degradation: {:?}", res.stopped);
     let root = a.ir().pvar_id("root").unwrap();
     let ir = a.ir();
-
-    // At exit, residual sharing can only come through the traversal stack's
-    // `node` selector (the walk referenced tree cells); the tree's own
-    // child selectors are never shared.
     let rep = queries::structure_report(&res.exit, root);
+    assert!(!rep.any_shared, "tree unshared at exit: {rep}");
+    assert_eq!(rep.class, ShapeClass::Tree);
     let l = ir.types.selector_id("l").unwrap();
     let r = ir.types.selector_id("r").unwrap();
     assert!(
@@ -38,23 +55,6 @@ fn treeadd_inlines_and_stays_tree() {
         !rep.shared_selectors.contains(r),
         "right children unshared: {rep}"
     );
-
-    // Right after construction (before the stack walk touches it), the
-    // structure is a clean unshared tree: inspect the RSRSG at the last
-    // construction statement (the break targets rejoin before `sum = 0`).
-    let walk_start = ir
-        .stmts
-        .iter()
-        .position(|st| {
-            matches!(&st.stmt, psa::ir::Stmt::Ptr(psa::ir::PtrStmt::Malloc(p, t))
-            if ir.pvar_name(*p) == "top"
-                && ir.types.struct_info(*t).name == "stk")
-        })
-        .expect("stack creation found");
-    let before_walk = res.at(psa::ir::StmtId(walk_start as u32 - 1));
-    let rep2 = queries::structure_report(before_walk, root);
-    assert!(!rep2.any_shared, "tree unshared before the walk: {rep2}");
-    assert_eq!(rep2.class, ShapeClass::Tree);
 }
 
 #[test]
@@ -144,14 +144,28 @@ fn olden_codes_memory_safe_and_validated() {
 
 #[test]
 fn olden_codes_differentially_sound() {
+    // The natural multi-function form goes through the full pipeline —
+    // inlining for non-recursive calls, summaries for the recursive ones —
+    // and every root-level abstract state must cover the frame-aware
+    // interpreter's concrete state at the same point (for a call statement
+    // that is the *glued* post-call state).
     for (name, src) in psa::codes::olden::olden_codes(Sizes::tiny()) {
-        // The soundness oracle runs on the *inlined* program: inline first,
-        // then hand the flat source… the harness lowers `main` directly, so
-        // inline here via the API-equivalent path.
+        let rep = check_soundness(&src, Level::L1, &[1, 2]);
+        assert!(
+            rep.inconclusive.is_none(),
+            "{name}: inconclusive: {:?}",
+            rep.inconclusive
+        );
+        assert!(rep.is_sound(), "{name}: {:#?}", rep.violations);
+    }
+    // The recursion-free variants exercise the explicit-inliner path over
+    // the same workloads; both pipelines must be sound on the same shapes.
+    for (name, src) in psa::codes::olden::olden_codes_flat(Sizes::tiny()) {
+        if !RECURSIVE_OLDEN.contains(&name) {
+            continue; // identical source to the natural form, checked above
+        }
         let (p, t) = psa_cfront::parse_and_type(&src).unwrap();
         let p2 = psa::ir::inline_program(&p, "main").unwrap();
-        // Reconstruct a source-independent check by running the engine and
-        // interpreter over the same IR.
         let ir = psa::ir::lower_main(&p2, &t).unwrap();
         let engine = psa::core::engine::Engine::new(
             &ir,
@@ -171,16 +185,69 @@ fn olden_codes_differentially_sound() {
                 let rsrsg = result.at(point.stmt);
                 assert!(
                     psa::concrete::cover::any_covers(rsrsg.iter(), &point.state, Level::L1),
-                    "{name}: uncovered after {} (seed {seed})",
+                    "{name} (flat): uncovered after {} (seed {seed})",
                     point.stmt
                 );
             }
         }
-        // Also exercise the plain harness on the already-inlined codes
-        // (power and em3d have no calls; the rest build through helpers).
-        if name == "power" || name == "em3d" {
-            let rep = check_soundness(&src, Level::L1, &[3]);
-            assert!(rep.is_sound(), "{name}: {:#?}", rep.violations);
+    }
+}
+
+#[test]
+fn auto_inlined_reports_match_explicit_inlining_bit_for_bit() {
+    // For non-recursive multi-function sources, the automatic inliner in
+    // `lower_program` and the explicit `inline_program` + `lower_main`
+    // pipeline must agree on everything the report says: same verdicts,
+    // same shapes, same statement-level sections. Only wall-clock counters
+    // (elapsed_ms, peak_bytes, *_ns) may differ between the two runs.
+    fn stable(report: &str) -> String {
+        report
+            .lines()
+            .filter(|l| {
+                !(l.contains("_ns\":") || l.contains("elapsed_ms") || l.contains("peak_bytes"))
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+    for (name, src) in psa::codes::olden::olden_codes(Sizes::tiny()) {
+        if RECURSIVE_OLDEN.contains(&name) {
+            continue; // summaries, not inlining — no flattened twin exists
+        }
+        let (p, t) = psa_cfront::parse_and_type(&src).unwrap();
+        for level in Level::ALL {
+            let auto = {
+                let ir = psa::ir::lower_program(&p, &t, "main")
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+                let engine = psa::core::engine::Engine::new(
+                    &ir,
+                    psa::core::engine::EngineConfig::at_level(level),
+                );
+                let result = engine
+                    .run()
+                    .unwrap_or_else(|e| panic!("{name}/{level}: {e}"));
+                psa::core::report::build_report(&ir, &result)
+                    .to_json()
+                    .pretty()
+            };
+            let explicit = {
+                let p2 = psa::ir::inline_program(&p, "main").unwrap();
+                let ir = psa::ir::lower_main(&p2, &t).unwrap();
+                let engine = psa::core::engine::Engine::new(
+                    &ir,
+                    psa::core::engine::EngineConfig::at_level(level),
+                );
+                let result = engine
+                    .run()
+                    .unwrap_or_else(|e| panic!("{name}/{level}: {e}"));
+                psa::core::report::build_report(&ir, &result)
+                    .to_json()
+                    .pretty()
+            };
+            assert_eq!(
+                stable(&auto),
+                stable(&explicit),
+                "{name}/{level}: the two inlining pipelines diverged"
+            );
         }
     }
 }
